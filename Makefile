@@ -1,0 +1,24 @@
+# Convenience targets for the GENERIC reproduction.
+
+PROFILE ?= bench
+
+.PHONY: install test bench report examples clean
+
+install:
+	pip install -e . || python setup.py develop
+
+test:
+	pytest tests/
+
+bench:
+	REPRO_PROFILE=$(PROFILE) pytest benchmarks/ --benchmark-only
+
+report:
+	python -m repro.eval.reporting --profile $(PROFILE) --out report.md
+
+examples:
+	for f in examples/*.py; do echo "== $$f"; python $$f || exit 1; done
+
+clean:
+	rm -rf build dist *.egg-info src/*.egg-info .pytest_cache
+	find . -name __pycache__ -type d -exec rm -rf {} +

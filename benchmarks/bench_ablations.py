@@ -1,0 +1,146 @@
+"""Ablation benches: id compression, power gating, window-length sweep."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.ids import SeedIdGenerator
+from repro.eval.experiments import ablations
+
+_CACHE = {}
+
+
+def _regenerate(which: str, bench_profile: str):
+    key = which
+    if key not in _CACHE:
+        runner = {
+            "ids": ablations.run_id_compression,
+            "gating": ablations.run_power_gating,
+            "window": ablations.run_window_sweep,
+            "divider": ablations.run_divider,
+            "bitwidth": ablations.run_bitwidth,
+            "levels": ablations.run_level_scheme,
+            "convergence": ablations.run_convergence,
+        }.get(which)
+        if runner is not None:
+            result = runner(profile=bench_profile)
+        else:
+            result = {
+                "banks": ablations.run_bank_sweep,
+                "burst": ablations.run_burst_throughput,
+            }[which]()
+        print()
+        print(result.render(float_fmt="{:.4g}"))
+        _CACHE[key] = result
+    return _CACHE[key]
+
+
+@pytest.fixture(scope="module")
+def a1_result(bench_profile):
+    return _regenerate("ids", bench_profile)
+
+
+@pytest.fixture(scope="module")
+def a2_result(bench_profile):
+    return _regenerate("gating", bench_profile)
+
+
+@pytest.fixture(scope="module")
+def a3_result(bench_profile):
+    return _regenerate("window", bench_profile)
+
+
+def test_regenerate_and_verify_id_compression(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        _regenerate, args=("ids", bench_profile), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+def test_regenerate_and_verify_power_gating(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        _regenerate, args=("gating", bench_profile), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+def test_regenerate_and_verify_window_sweep(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        _regenerate, args=("window", bench_profile), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+class TestIdCompression:
+    def test_claims(self, a1_result):
+        a1_result.assert_claims()
+
+    def test_id_generation_speed(self, benchmark):
+        gen = SeedIdGenerator(np.random.default_rng(0), dim=4096)
+        benchmark(gen.table, 1024)
+
+
+class TestPowerGating:
+    def test_claims(self, a2_result):
+        a2_result.assert_claims()
+
+    def test_suite_has_low_and_high_occupancy_apps(self, a2_result):
+        """Paper: minimum ~6% (EEG/FACE), maximum ~81% (ISOLET)."""
+        occupancies = [
+            float(r[2].rstrip("%")) / 100
+            for r in a2_result.rows
+            if r[0] != "AVERAGE"
+        ]
+        assert min(occupancies) < 0.15
+        assert max(occupancies) > 0.5
+
+
+class TestWindowSweep:
+    def test_claims(self, a3_result):
+        a3_result.assert_claims()
+
+    def test_covers_n_1_to_5(self, a3_result):
+        assert sorted(a3_result.data["means"]) == [1, 2, 3, 4, 5]
+
+
+def test_regenerate_and_verify_divider(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        _regenerate, args=("divider", bench_profile), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+def test_regenerate_and_verify_bitwidth(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        _regenerate, args=("bitwidth", bench_profile), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+def test_regenerate_and_verify_bank_sweep(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        _regenerate, args=("banks", bench_profile), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+def test_regenerate_and_verify_burst(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        _regenerate, args=("burst", bench_profile), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+def test_regenerate_and_verify_level_scheme(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        _regenerate, args=("levels", bench_profile), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+def test_regenerate_and_verify_convergence(benchmark, bench_profile):
+    result = benchmark.pedantic(
+        _regenerate, args=("convergence", bench_profile), rounds=1, iterations=1
+    )
+    result.assert_claims()

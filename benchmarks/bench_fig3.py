@@ -1,0 +1,68 @@
+"""Fig. 3 regeneration: HDC/ML energy & time on conventional devices."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.encoders import make_encoder
+from repro.datasets import load_dataset
+from repro.eval.experiments import fig3
+from repro.platforms import EDGE_GPU, RASPBERRY_PI, hdc_inference_workload
+
+
+_CACHE = {}
+
+
+def _regenerate(bench_profile):
+    """Run the experiment once per session; later tests reuse the result."""
+    if "result" not in _CACHE:
+        result = fig3.run(profile=bench_profile)
+        print()
+        print(result.render(float_fmt="{:.4g}"))
+        _CACHE["result"] = result
+    return _CACHE["result"]
+
+
+@pytest.fixture(scope="module")
+def fig3_result(bench_profile):
+    return _regenerate(bench_profile)
+
+
+def test_regenerate_and_verify(benchmark, bench_profile):
+    """The paper artifact itself: regenerate the rows, assert the claims."""
+    result = benchmark.pedantic(
+        _regenerate, args=(bench_profile,), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+class TestFig3Shape:
+    def test_all_claims_hold(self, fig3_result):
+        fig3_result.assert_claims()
+
+    def test_every_device_and_algorithm_present(self, fig3_result):
+        results = fig3_result.data["results"]
+        assert set(fig3.HDC_ALGOS) <= set(results)
+        assert set(fig3.ML_ALGOS) <= set(results)
+        for algo in results.values():
+            assert set(algo) == {"Raspberry Pi", "CPU", "eGPU"}
+
+    def test_training_costs_more_than_inference(self, fig3_result):
+        """Per-input, every platform pays more to train than to infer."""
+        results = fig3_result.data["results"]
+        for algo, devices in results.items():
+            for dev, vals in devices.items():
+                assert vals["train_energy_j"] > vals["infer_energy_j"] * 0.5
+
+
+class TestFig3Kernels:
+    def test_workload_model_evaluation_speed(self, benchmark, bench_profile):
+        ds = load_dataset("MNIST", bench_profile)
+        enc = make_encoder("generic", dim=2048, seed=5)
+        enc.fit(ds.X_train)
+        w = hdc_inference_workload(enc, ds.n_classes)
+
+        def evaluate():
+            return (RASPBERRY_PI.energy_j(w), EDGE_GPU.energy_j(w))
+
+        benchmark(evaluate)

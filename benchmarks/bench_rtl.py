@@ -1,0 +1,63 @@
+"""RTL cross-validation bench: the reproduction's "Modelsim" step.
+
+The paper verified its SystemVerilog in Modelsim; here the clock-stepped
+RTL twin is checked against the functional models at a small
+configuration, and its simulation cost is measured (the price of
+cycle accuracy, ~10^4x slower than the functional model).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import model_io
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.hardware import controller
+from repro.hardware.accelerator import GenericAccelerator
+from repro.hardware.params import ArchParams
+from repro.hardware.spec import AppSpec
+from repro.rtl import GenericRTL
+
+DIM = 128
+LANES = 16
+
+
+@pytest.fixture(scope="module")
+def validated():
+    rng = np.random.default_rng(61)
+    protos = rng.normal(scale=1.5, size=(3, 12))
+    y = rng.integers(0, 3, size=60)
+    X = protos[y] + rng.normal(scale=0.5, size=(60, 12))
+    enc = GenericEncoder(dim=DIM, num_levels=8, seed=19)
+    clf = HDClassifier(enc, epochs=3, seed=19, norm_block=64)
+    clf.fit(X, y)
+    image = model_io.export_model(clf)
+    rtl = GenericRTL(lanes=LANES, norm_block=64).load_image(image)
+    acc = GenericAccelerator()
+    acc.load_image(image)
+    return rtl, acc, clf, X
+
+
+def test_rtl_cross_validation(benchmark, validated):
+    """One timed RTL inference + the three equivalence assertions."""
+    rtl, acc, clf, X = validated
+
+    result = benchmark(rtl.infer_one, X[0])
+    # 1. encoding bit-exact with the software encoder
+    assert np.array_equal(result.encoding, clf.encoder.encode(X[0]))
+    # 2. prediction matches the functional accelerator
+    assert result.prediction == acc.infer(X[:1]).predictions[0]
+    # 3. cycle count tracks the analytical controller model within 2x
+    spec = AppSpec(dim=DIM, n_features=X.shape[1], window=3, n_classes=3)
+    analytical, _ = controller.inference(
+        spec, ArchParams(lanes=LANES, norm_block=64)
+    )
+    assert 0.5 < result.cycles / analytical < 2.0
+
+
+def test_functional_model_speed(benchmark, validated):
+    """Reference point: the functional accelerator on the same input."""
+    _, acc, _, X = validated
+    benchmark(acc.infer, X[:1])

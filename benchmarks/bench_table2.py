@@ -1,0 +1,64 @@
+"""Table 2 regeneration: K-means vs HDC clustering NMI on FCPS + Iris."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.baselines import KMeans
+from repro.core.clustering import HDCluster
+from repro.core.encoders import GenericEncoder
+from repro.datasets import make_cluster_dataset
+from repro.eval.experiments import table2
+
+
+_CACHE = {}
+
+
+def _regenerate():
+    """Run the experiment once per session; later tests reuse the result."""
+    if "result" not in _CACHE:
+        result = table2.run()
+        print()
+        print(result.render(float_fmt="{:.3f}"))
+        _CACHE["result"] = result
+    return _CACHE["result"]
+
+
+@pytest.fixture(scope="module")
+def table2_result():
+    return _regenerate()
+
+
+def test_regenerate_and_verify(benchmark):
+    """The paper artifact itself: regenerate the rows, assert the claims."""
+    result = benchmark.pedantic(
+        _regenerate, args=(), rounds=1, iterations=1
+    )
+    result.assert_claims()
+
+
+class TestTable2Shape:
+    def test_all_claims_hold(self, table2_result):
+        table2_result.assert_claims()
+
+    def test_five_rows(self, table2_result):
+        assert len(table2_result.data["table"]) == 5
+
+    def test_hdc_wins_somewhere_or_stays_close(self, table2_result):
+        """Paper: K-means edges HDC by only 0.031 on average."""
+        table = table2_result.data["table"]
+        gaps = [row["kmeans"] - row["hdc"] for row in table.values()]
+        assert min(gaps) < 0.05  # HDC ties or wins at least once
+
+
+class TestTable2Kernels:
+    def test_hdc_clustering_speed(self, benchmark):
+        X, _, k = make_cluster_dataset("Tetra", seed=7, scale=0.3)
+        def run():
+            enc = GenericEncoder(dim=1024, seed=7, window=3)
+            return HDCluster(enc, k=k, epochs=8, seed=7).fit(X)
+        benchmark(run)
+
+    def test_kmeans_speed(self, benchmark):
+        X, _, k = make_cluster_dataset("Tetra", seed=7, scale=0.3)
+        benchmark(lambda: KMeans(k=k, seed=7).fit(X))

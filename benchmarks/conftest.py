@@ -1,0 +1,27 @@
+"""Shared configuration for the benchmark harness.
+
+Each ``bench_*`` file regenerates one table or figure of the paper:
+it runs the experiment module once (cached), prints the paper-style
+rows, asserts the shape claims, and times the hot kernels under
+pytest-benchmark.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+
+Environment knob ``REPRO_PROFILE`` (tiny | bench | full) trades
+fidelity for runtime; the default is ``bench``.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def profile() -> str:
+    return os.environ.get("REPRO_PROFILE", "bench")
+
+
+@pytest.fixture(scope="session")
+def bench_profile() -> str:
+    return profile()

@@ -1,0 +1,53 @@
+"""Binary deployment: ship a 1-bit model when there's no ASIC around.
+
+Not every node gets a GENERIC die.  For plain microcontrollers the
+software fallback is the paper's own eGPU trick (Section 3.3): quantize
+the model to signs, pack 64 dimensions per machine word, and classify
+with XOR + popcount.  :class:`repro.core.packed.PackedModel` implements
+exactly that; this example measures what the binary path costs in
+accuracy and what it saves in footprint against the 16-bit model.
+
+Run with::
+
+    python examples/binary_deployment.py
+"""
+
+from __future__ import annotations
+
+from repro import GenericEncoder, HDClassifier
+from repro.core.packed import PackedModel
+from repro.datasets import load_dataset
+
+DATASETS = ("FACE", "MNIST", "UCIHAR", "EEG")
+
+
+def main() -> None:
+    print(f"{'dataset':<8} | {'16-bit acc':>10} | {'1-bit acc':>9} | "
+          f"{'model KB':>8} | {'packed KB':>9} | {'shrink':>6}")
+    print("-" * 66)
+    for name in DATASETS:
+        ds = load_dataset(name, profile="bench")
+        enc = GenericEncoder(dim=2048, window=3, seed=13,
+                             use_ids=ds.use_position_ids)
+        clf = HDClassifier(enc, epochs=8, seed=13).fit(ds.X_train, ds.y_train)
+        full_acc = clf.score(ds.X_test, ds.y_test)
+
+        packed = PackedModel.from_classifier(clf)
+        packed_acc = packed.score(ds.X_test, ds.y_test)
+
+        full_kb = clf.n_classes * enc.dim * 2 / 1024
+        packed_kb = packed.model_bytes() / 1024
+        print(f"{name:<8} | {full_acc:>10.3f} | {packed_acc:>9.3f} | "
+              f"{full_kb:>8.1f} | {packed_kb:>9.2f} | "
+              f"{packed.compression_vs_16bit():>5.0f}x")
+
+    print("\nThe packed model is 16x smaller and classifies with XOR + "
+          "popcount only -- the same bit-level parallelism the GENERIC ASIC "
+          "exploits natively.  Whether 1-bit signs are affordable is "
+          "application-dependent (exactly the bw story of Fig. 6): wide-"
+          "margin models (FACE, MNIST) lose nothing, tight-margin ones "
+          "(EEG) need more bits -- check before you ship.")
+
+
+if __name__ == "__main__":
+    main()

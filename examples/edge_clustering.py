@@ -1,0 +1,70 @@
+"""Unsupervised clustering on the edge: GENERIC vs K-means.
+
+An IoT gateway receives an unlabeled sensor stream and groups it
+on-device (Section 4.2.3).  The example clusters the FCPS benchmark
+shapes with both the HDC engine (simulated accelerator, with its
+energy report) and a K-means baseline, comparing cluster quality (NMI,
+Table 2) and the per-input energy gap (Fig. 10) estimated by the
+device models.
+
+Run with::
+
+    python examples/edge_clustering.py
+"""
+
+from __future__ import annotations
+
+from repro import GenericAccelerator, GenericEncoder
+from repro.baselines import KMeans
+from repro.datasets import CLUSTER_DATASETS, make_cluster_dataset
+from repro.eval.metrics import normalized_mutual_information
+from repro.hardware.spec import AppSpec, Mode
+from repro.platforms import RASPBERRY_PI
+from repro.platforms.device import Workload
+
+
+def cluster_on_accelerator(X, k: int, dim: int = 512, seed: int = 7):
+    accelerator = GenericAccelerator()
+    accelerator.configure(
+        AppSpec(dim=dim, n_features=X.shape[1], window=min(3, X.shape[1]),
+                n_classes=max(2, k), mode=Mode.CLUSTER)
+    )
+    encoder = GenericEncoder(dim=dim, seed=seed, window=min(3, X.shape[1]))
+    encoder.fit(X)
+    accelerator.load_tables(
+        encoder.levels.vectors, encoder.id_generator.seed,
+        encoder.quantizer.lo, encoder.quantizer.hi,
+    )
+    return accelerator.cluster(X, k=k, epochs=10)
+
+
+def main() -> None:
+    print(f"{'dataset':<12} | {'NMI k-means':>11} | {'NMI HDC':>8} | "
+          f"{'uJ HDC':>8} | {'uJ k-means@Pi':>13} | {'ratio':>8}")
+    print("-" * 72)
+    for name in CLUSTER_DATASETS:
+        X, y_true, k = make_cluster_dataset(name, seed=7, scale=0.4)
+
+        kmeans = KMeans(k=k, seed=7).fit(X)
+        nmi_km = normalized_mutual_information(y_true, kmeans.labels_)
+        profile = kmeans.compute_profile(len(X), X.shape[1])
+        pi_energy = RASPBERRY_PI.energy_j(
+            Workload(flops=profile.train_flops / len(X),
+                     bytes_moved=profile.train_bytes / len(X),
+                     sync_points=max(1, kmeans.iterations_))
+        )
+
+        report = cluster_on_accelerator(X, k)
+        nmi_hdc = normalized_mutual_information(y_true, report.predictions)
+
+        ratio = pi_energy / report.energy_per_input_j
+        print(f"{name:<12} | {nmi_km:>11.3f} | {nmi_hdc:>8.3f} | "
+              f"{report.energy_per_input_j * 1e6:>8.3f} | "
+              f"{pi_energy * 1e6:>13.1f} | {ratio:>7.0f}x")
+
+    print("\nComparable cluster quality at a three-to-four orders of "
+          "magnitude energy discount per input.")
+
+
+if __name__ == "__main__":
+    main()

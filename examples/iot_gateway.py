@@ -1,0 +1,78 @@
+"""IoT gateway: one GENERIC chip time-multiplexing several applications.
+
+The paper pitches GENERIC as flexible enough to serve "various
+applications" from one design -- e.g. a gateway that classifies
+activity windows, screens EEG segments and sorts page-layout blocks as
+the traffic arrives.  This example builds three trained applications,
+registers their config bitstreams with the
+:class:`~repro.hardware.multiplex.AppManager`, replays a mixed request
+trace, and accounts for everything: per-app accuracy, serving energy,
+and the reprogramming (swap) overhead of sharing one device.
+
+Run with::
+
+    python examples/iot_gateway.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GenericEncoder, HDClassifier
+from repro.core import model_io
+from repro.datasets import load_dataset
+from repro.hardware.multiplex import AppManager
+
+APPS = ("PAMAP2", "EEG", "PAGE")
+
+
+def train_app(name: str, seed: int = 9):
+    ds = load_dataset(name, profile="bench")
+    enc = GenericEncoder(dim=1024, window=3, seed=seed,
+                         use_ids=ds.use_position_ids)
+    clf = HDClassifier(enc, epochs=6, seed=seed).fit(ds.X_train, ds.y_train)
+    return model_io.export_model(clf), ds
+
+
+def main() -> None:
+    manager = AppManager(config_baud_bits_per_s=10e6)
+    datasets = {}
+    for name in APPS:
+        image, ds = train_app(name)
+        slot = manager.register(name, image)
+        datasets[name] = ds
+        print(f"registered {name:<7} bitstream {slot.stream_bytes / 1024:6.1f} KB")
+
+    # a mixed arrival trace: bursts from each application, interleaved
+    rng = np.random.default_rng(3)
+    correct = {name: 0 for name in APPS}
+    total = {name: 0 for name in APPS}
+    for _ in range(12):
+        name = APPS[rng.integers(len(APPS))]
+        ds = datasets[name]
+        start = int(rng.integers(0, max(1, ds.n_test - 8)))
+        X = ds.X_test[start : start + 8]
+        y = ds.y_test[start : start + 8]
+        report = manager.infer(name, X)
+        correct[name] += int(np.sum(report.predictions == y))
+        total[name] += len(y)
+
+    print(f"\n{'app':<8} | {'served':>6} | {'accuracy':>8} | "
+          f"{'energy uJ':>9} | {'swaps':>5}")
+    print("-" * 50)
+    for name, stats in manager.summary().items():
+        acc = correct[name] / max(1, total[name])
+        print(f"{name:<8} | {stats['inferences']:>6.0f} | {acc:>8.3f} | "
+              f"{stats['energy_j'] * 1e6:>9.2f} | {stats['swaps']:>5.0f}")
+
+    print(f"\nreprogramming overhead: {manager.total_swap_time_s() * 1e3:.2f} ms, "
+          f"{manager.total_swap_energy_j() * 1e6:.3f} uJ total "
+          f"({len(manager.swap_log)} swaps over the config port)")
+    serving = sum(s['energy_j'] for s in manager.summary().values())
+    print(f"serving energy:         {serving * 1e6:.2f} uJ")
+    print("\nOne 0.30 mm^2 die serves all three applications; swapping costs "
+          "milliseconds of config-port streaming, not silicon.")
+
+
+if __name__ == "__main__":
+    main()

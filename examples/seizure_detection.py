@@ -1,0 +1,79 @@
+"""Seizure detection from EEG + voltage over-scaling on a robust model.
+
+Two GENERIC features in one biosignal scenario:
+
+1. **per-application id configuration** -- time-series like scalp EEG
+   carry their signal in *local waveforms* at arbitrary offsets, so the
+   windowed encoding runs with the global id binding disabled (ids set
+   to the XOR identity), as the paper does for order-free applications.
+   A random-projection baseline is trained for contrast and collapses.
+2. **voltage over-scaling** (Section 4.3.4), demonstrated on the
+   paper's own showcase: a 1-bit FACE model that keeps its accuracy up
+   to ~7% flipped SRAM bits while class-memory static power drops
+   severalfold.  (Which models tolerate undervolting is application-
+   and bit-width-dependent -- Fig. 6; the 2-class EEG model here, with
+   its tiny inter-class margin, is *not* a good undervolting target.)
+
+Run with::
+
+    python examples/seizure_detection.py
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro import GenericEncoder, HDClassifier
+from repro import RandomProjectionEncoder
+from repro.core import model_io
+from repro.datasets import load_dataset
+from repro.hardware.faults import corrupt_model
+from repro.hardware.voltage import operating_point
+
+
+def main() -> None:
+    dataset = load_dataset("EEG", profile="bench")
+    print(f"dataset: {dataset.describe()}")
+    print(f"position ids enabled: {dataset.use_position_ids}")
+
+    # order-free GENERIC vs a random-projection baseline
+    generic = HDClassifier(
+        GenericEncoder(dim=2048, window=3, use_ids=False, seed=3),
+        epochs=8, seed=3,
+    ).fit(dataset.X_train, dataset.y_train)
+    rp = HDClassifier(
+        RandomProjectionEncoder(dim=2048, seed=3), epochs=8, seed=3
+    ).fit(dataset.X_train, dataset.y_train)
+
+    print(f"\nGENERIC (windows, no ids): {generic.score(dataset.X_test, dataset.y_test):.3f}")
+    print(f"random projection:          {rp.score(dataset.X_test, dataset.y_test):.3f}"
+          "   <- no translation-invariant signal")
+
+    # voltage over-scaling demo on the paper's robust configuration:
+    # a 1-bit FACE model (Fig. 6)
+    face = load_dataset("FACE", profile="bench")
+    face_clf = HDClassifier(
+        GenericEncoder(dim=2048, window=3, seed=3), epochs=8, seed=3
+    ).fit(face.X_train, face.y_train)
+    encodings = face_clf.encoder.encode_batch(face.X_test).astype(np.float64)
+
+    print(f"\nundervolting a 1-bit FACE model "
+          f"({face_clf.score(face.X_test, face.y_test):.3f} at nominal vdd):")
+    print(f"{'bit-error':>9} | {'vdd':>5} | {'accuracy':>8} | "
+          f"{'static saving':>13}")
+    print("-" * 48)
+    rng = np.random.default_rng(11)
+    for rate in (0.0, 0.01, 0.02, 0.05, 0.07):
+        point = operating_point(rate)
+        faulty = face_clf.with_model(corrupt_model(face_clf.model_, 1, rate, rng))
+        preds = faulty.predict_encoded(encodings)
+        acc = float(np.mean(preds == face.y_test))
+        print(f"{rate:>9.0%} | {point.vdd:>5.2f} | {acc:>8.3f} | "
+              f"{point.static_saving:>12.1f}x")
+
+    print("\nA few percent of flipped SRAM bits barely move the 1-bit "
+          "model: the bundled hypervectors are redundant by construction.")
+
+
+if __name__ == "__main__":
+    main()

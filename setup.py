@@ -1,0 +1,11 @@
+"""Legacy setup shim.
+
+The execution environment ships setuptools without the ``wheel`` package,
+so PEP 517 editable installs fail with "invalid command 'bdist_wheel'".
+This shim lets ``pip install -e . --no-use-pep517`` (and plain
+``pip install -e .`` on modern toolchains via pyproject.toml) work.
+"""
+
+from setuptools import setup
+
+setup()

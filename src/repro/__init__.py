@@ -1,0 +1,45 @@
+"""Reproduction of GENERIC (DAC 2022): an HDC learning engine for the edge.
+
+The package splits the paper's system into four layers:
+
+- :mod:`repro.core` -- the GENERIC encoding and HDC learning algorithms
+  (classification with retraining, clustering), plus the baseline HDC
+  encodings the paper compares against.
+- :mod:`repro.hardware` -- a cycle-approximate simulator of the GENERIC
+  ASIC with its energy/area model and the paper's energy-reduction
+  techniques (id compression, power gating, dimension reduction, voltage
+  over-scaling).
+- :mod:`repro.baselines` -- from-scratch NumPy implementations of the ML
+  algorithms the paper benchmarks (MLP, SVM, random forest, kNN,
+  logistic regression, DNN, K-means).
+- :mod:`repro.datasets` / :mod:`repro.platforms` / :mod:`repro.eval` --
+  the evaluation substrate: synthetic stand-ins for the paper's
+  benchmarks, device energy models, and one experiment module per table
+  and figure.
+"""
+
+from repro.core.classifier import HDClassifier
+from repro.core.clustering import HDCluster
+from repro.core.encoders import (
+    GenericEncoder,
+    LevelIdEncoder,
+    NgramEncoder,
+    PermutationEncoder,
+    RandomProjectionEncoder,
+    make_encoder,
+)
+from repro.hardware.accelerator import GenericAccelerator
+from repro.version import __version__
+
+__all__ = [
+    "GenericAccelerator",
+    "GenericEncoder",
+    "HDClassifier",
+    "HDCluster",
+    "LevelIdEncoder",
+    "NgramEncoder",
+    "PermutationEncoder",
+    "RandomProjectionEncoder",
+    "__version__",
+    "make_encoder",
+]

@@ -1,0 +1,32 @@
+"""From-scratch NumPy baselines the paper benchmarks against.
+
+The paper compares HDC with scikit-learn models (MLP, SVM, random
+forest, kNN, logistic regression), an AutoKeras-searched DNN, and
+K-means for clustering.  This environment has no scikit-learn, so each
+algorithm is implemented here with a small, well-tested NumPy core.
+Every model exposes ``fit`` / ``predict`` / ``score`` plus a
+``compute_profile`` used by the device models of
+:mod:`repro.platforms` to estimate energy and latency (Fig. 3/8/9/10).
+"""
+
+from repro.baselines.common import ComputeProfile, standardize, train_test_split
+from repro.baselines.dnn import DNNClassifier
+from repro.baselines.kmeans import KMeans
+from repro.baselines.knn import KNNClassifier
+from repro.baselines.logistic import LogisticRegression
+from repro.baselines.mlp import MLPClassifier
+from repro.baselines.random_forest import RandomForestClassifier
+from repro.baselines.svm import SVMClassifier
+
+__all__ = [
+    "ComputeProfile",
+    "DNNClassifier",
+    "KMeans",
+    "KNNClassifier",
+    "LogisticRegression",
+    "MLPClassifier",
+    "RandomForestClassifier",
+    "SVMClassifier",
+    "standardize",
+    "train_test_split",
+]

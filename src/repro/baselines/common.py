@@ -1,0 +1,153 @@
+"""Shared utilities for the NumPy baseline models."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class ComputeProfile:
+    """Operation counts used by the device energy models.
+
+    ``train_flops`` covers the whole training run (all epochs); the
+    ``*_bytes`` fields approximate main-memory traffic, which dominates
+    on cache-starved edge CPUs (paper Section 3.3).  ``train_syncs``
+    counts unbatchable sequential steps during training (per-node tree
+    growth, per-sample updates) that pay the host's dispatch overhead.
+    """
+
+    train_flops: float
+    infer_flops: float  # per input
+    train_bytes: float
+    infer_bytes: float  # per input
+    train_syncs: float = 0.0
+
+    def scaled(self, factor: float) -> "ComputeProfile":
+        return ComputeProfile(
+            train_flops=self.train_flops * factor,
+            infer_flops=self.infer_flops * factor,
+            train_bytes=self.train_bytes * factor,
+            infer_bytes=self.infer_bytes * factor,
+            train_syncs=self.train_syncs * factor,
+        )
+
+
+class Standardizer:
+    """Zero-mean unit-variance feature scaling (fit on train only)."""
+
+    def __init__(self):
+        self.mean_: Optional[np.ndarray] = None
+        self.std_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "Standardizer":
+        X = np.asarray(X, dtype=np.float64)
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        self.std_ = np.where(std > 0, std, 1.0)
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("Standardizer used before fit")
+        return (np.asarray(X, dtype=np.float64) - self.mean_) / self.std_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+
+def standardize(
+    X_train: np.ndarray, X_test: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Standardize train/test with statistics from the training set."""
+    scaler = Standardizer().fit(X_train)
+    return scaler.transform(X_train), scaler.transform(X_test)
+
+
+def one_hot(y_idx: np.ndarray, n_classes: int) -> np.ndarray:
+    out = np.zeros((len(y_idx), n_classes), dtype=np.float64)
+    out[np.arange(len(y_idx)), y_idx] = 1.0
+    return out
+
+
+def softmax(z: np.ndarray) -> np.ndarray:
+    z = z - z.max(axis=1, keepdims=True)
+    e = np.exp(z)
+    return e / e.sum(axis=1, keepdims=True)
+
+
+def relu(z: np.ndarray) -> np.ndarray:
+    return np.maximum(z, 0.0)
+
+
+def minibatches(
+    n: int, batch_size: int, rng: np.random.Generator
+) -> Iterator[np.ndarray]:
+    """Yield shuffled index batches covering ``range(n)`` once."""
+    order = rng.permutation(n)
+    for start in range(0, n, batch_size):
+        yield order[start : start + batch_size]
+
+
+def train_test_split(
+    X: np.ndarray,
+    y: np.ndarray,
+    test_fraction: float = 0.3,
+    seed: int = 0,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray, np.ndarray]:
+    """Shuffled split; stratification is unnecessary for our balanced sets."""
+    if not 0.0 < test_fraction < 1.0:
+        raise ValueError(f"test_fraction must be in (0, 1), got {test_fraction}")
+    rng = np.random.default_rng(seed)
+    n = len(X)
+    order = rng.permutation(n)
+    n_test = max(1, int(round(n * test_fraction)))
+    test_idx, train_idx = order[:n_test], order[n_test:]
+    return X[train_idx], X[test_idx], y[train_idx], y[test_idx]
+
+
+class LabelCodec:
+    """Map arbitrary labels to contiguous indices and back."""
+
+    def __init__(self):
+        self.classes_: Optional[np.ndarray] = None
+
+    def fit(self, y: np.ndarray) -> np.ndarray:
+        self.classes_, idx = np.unique(np.asarray(y), return_inverse=True)
+        return idx
+
+    def decode(self, idx: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("LabelCodec used before fit")
+        return self.classes_[idx]
+
+    @property
+    def n_classes(self) -> int:
+        if self.classes_ is None:
+            raise RuntimeError("LabelCodec used before fit")
+        return len(self.classes_)
+
+
+class AdamState:
+    """Adam optimizer state for a list of parameter arrays."""
+
+    def __init__(self, params, lr: float = 1e-3, beta1=0.9, beta2=0.999, eps=1e-8):
+        self.lr = lr
+        self.beta1 = beta1
+        self.beta2 = beta2
+        self.eps = eps
+        self.t = 0
+        self.m = [np.zeros_like(p) for p in params]
+        self.v = [np.zeros_like(p) for p in params]
+
+    def step(self, params, grads) -> None:
+        self.t += 1
+        b1, b2 = self.beta1, self.beta2
+        for i, (p, g) in enumerate(zip(params, grads)):
+            self.m[i] = b1 * self.m[i] + (1 - b1) * g
+            self.v[i] = b2 * self.v[i] + (1 - b2) * (g * g)
+            m_hat = self.m[i] / (1 - b1**self.t)
+            v_hat = self.v[i] / (1 - b2**self.t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)

@@ -1,0 +1,152 @@
+"""CART decision tree (gini impurity), the unit of the random forest.
+
+The split search is vectorized per candidate feature: values are sorted
+once, class counts are accumulated cumulatively, and the gini gain of
+every threshold is evaluated in one pass -- fast enough in NumPy for the
+forest sizes the benchmarks use.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass
+class _Node:
+    feature: int = -1
+    threshold: float = 0.0
+    left: Optional["_Node"] = None
+    right: Optional["_Node"] = None
+    prediction: int = -1  # class index at leaves
+    n_samples: int = 0
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _best_split_for_feature(values: np.ndarray, y: np.ndarray, n_classes: int):
+    """Best gini gain for one feature; returns (gain, threshold) or None."""
+    order = np.argsort(values, kind="stable")
+    v = values[order]
+    cls = y[order]
+    n = len(v)
+    # cumulative class counts for prefixes [0..i)
+    onehot = np.zeros((n, n_classes))
+    onehot[np.arange(n), cls] = 1.0
+    prefix = np.cumsum(onehot, axis=0)
+    total = prefix[-1]
+
+    # candidate split after position i (left = first i+1 samples), only where
+    # the value changes so thresholds are meaningful
+    idx = np.nonzero(v[1:] > v[:-1])[0]
+    if len(idx) == 0:
+        return None
+    left_counts = prefix[idx]
+    right_counts = total - left_counts
+    n_left = idx + 1.0
+    n_right = n - n_left
+    gini_left = 1.0 - ((left_counts / n_left[:, None]) ** 2).sum(axis=1)
+    gini_right = 1.0 - ((right_counts / n_right[:, None]) ** 2).sum(axis=1)
+    parent = 1.0 - ((total / n) ** 2).sum()
+    gain = parent - (n_left * gini_left + n_right * gini_right) / n
+    best = int(np.argmax(gain))
+    if gain[best] <= 1e-12:
+        return None
+    threshold = 0.5 * (v[idx[best]] + v[idx[best] + 1])
+    return float(gain[best]), threshold
+
+
+class DecisionTreeClassifier:
+    """CART tree on class indices (the forest handles label decoding)."""
+
+    def __init__(
+        self,
+        max_depth: Optional[int] = None,
+        min_samples_split: int = 2,
+        min_samples_leaf: int = 1,
+        max_features: Optional[str] = None,  # None or "sqrt"
+        seed: int = 0,
+    ):
+        self.max_depth = max_depth
+        self.min_samples_split = min_samples_split
+        self.min_samples_leaf = min_samples_leaf
+        self.max_features = max_features
+        self.seed = seed
+        self.root_: Optional[_Node] = None
+        self.n_classes_: int = 0
+        self.n_nodes_: int = 0
+        self.depth_: int = 0
+
+    def fit(self, X: np.ndarray, y_idx: np.ndarray, n_classes: int) -> "DecisionTreeClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y_idx = np.asarray(y_idx, dtype=np.int64)
+        self.n_classes_ = n_classes
+        rng = np.random.default_rng(self.seed)
+        self.n_nodes_ = 0
+        self.depth_ = 0
+        self.root_ = self._grow(X, y_idx, depth=0, rng=rng)
+        return self
+
+    def _n_candidate_features(self, d: int) -> int:
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(d)))
+        return d
+
+    def _grow(self, X: np.ndarray, y: np.ndarray, depth: int, rng) -> _Node:
+        self.n_nodes_ += 1
+        self.depth_ = max(self.depth_, depth)
+        counts = np.bincount(y, minlength=self.n_classes_)
+        node = _Node(prediction=int(np.argmax(counts)), n_samples=len(y))
+        if (
+            len(y) < self.min_samples_split
+            or counts.max() == len(y)
+            or (self.max_depth is not None and depth >= self.max_depth)
+        ):
+            return node
+
+        d = X.shape[1]
+        k = self._n_candidate_features(d)
+        features = rng.choice(d, size=k, replace=False) if k < d else np.arange(d)
+        best = None
+        for f in features:
+            result = _best_split_for_feature(X[:, f], y, self.n_classes_)
+            if result is None:
+                continue
+            gain, threshold = result
+            if best is None or gain > best[0]:
+                best = (gain, int(f), threshold)
+        if best is None:
+            return node
+
+        _, feature, threshold = best
+        mask = X[:, feature] <= threshold
+        if mask.sum() < self.min_samples_leaf or (~mask).sum() < self.min_samples_leaf:
+            return node
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._grow(X[mask], y[mask], depth + 1, rng)
+        node.right = self._grow(X[~mask], y[~mask], depth + 1, rng)
+        return node
+
+    def predict_idx(self, X: np.ndarray) -> np.ndarray:
+        if self.root_ is None:
+            raise RuntimeError("DecisionTreeClassifier used before fit")
+        X = np.asarray(X, dtype=np.float64)
+        out = np.empty(len(X), dtype=np.int64)
+        # iterative batched traversal: route index sets down the tree
+        stack = [(self.root_, np.arange(len(X)))]
+        while stack:
+            node, idx = stack.pop()
+            if len(idx) == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.prediction
+                continue
+            mask = X[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out

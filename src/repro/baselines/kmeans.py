@@ -1,0 +1,111 @@
+"""K-means clustering (Lloyd's algorithm), the paper's clustering baseline."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.baselines.common import ComputeProfile
+
+
+class KMeans:
+    """Lloyd's algorithm with k-means++ initialization and restarts."""
+
+    def __init__(
+        self,
+        k: int,
+        max_iter: int = 100,
+        n_init: int = 5,
+        tol: float = 1e-6,
+        seed: int = 0,
+    ):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.max_iter = max_iter
+        self.n_init = n_init
+        self.tol = tol
+        self.seed = seed
+        self.centroids_: Optional[np.ndarray] = None
+        self.labels_: Optional[np.ndarray] = None
+        self.inertia_: float = np.inf
+        self.iterations_: int = 0
+
+    def _init_pp(self, X: np.ndarray, rng: np.random.Generator) -> np.ndarray:
+        """k-means++ seeding."""
+        n = len(X)
+        centroids = np.empty((self.k, X.shape[1]))
+        centroids[0] = X[rng.integers(n)]
+        d2 = ((X - centroids[0]) ** 2).sum(axis=1)
+        for i in range(1, self.k):
+            probs = d2 / d2.sum() if d2.sum() > 0 else np.full(n, 1.0 / n)
+            centroids[i] = X[rng.choice(n, p=probs)]
+            d2 = np.minimum(d2, ((X - centroids[i]) ** 2).sum(axis=1))
+        return centroids
+
+    def _lloyd(self, X: np.ndarray, centroids: np.ndarray):
+        labels = np.zeros(len(X), dtype=np.int64)
+        inertia = np.inf
+        iterations = 0
+        for it in range(self.max_iter):
+            d2 = (
+                -2.0 * X @ centroids.T
+                + (centroids * centroids).sum(axis=1)[None, :]
+                + (X * X).sum(axis=1)[:, None]
+            )
+            labels = np.argmin(d2, axis=1)
+            new_inertia = float(d2[np.arange(len(X)), labels].sum())
+            new_centroids = centroids.copy()
+            for c in range(self.k):
+                members = labels == c
+                if members.any():
+                    new_centroids[c] = X[members].mean(axis=0)
+            iterations = it + 1
+            if inertia - new_inertia < self.tol * max(1.0, abs(inertia)):
+                centroids = new_centroids
+                inertia = new_inertia
+                break
+            centroids = new_centroids
+            inertia = new_inertia
+        return centroids, labels, inertia, iterations
+
+    def fit(self, X: np.ndarray) -> "KMeans":
+        X = np.asarray(X, dtype=np.float64)
+        if len(X) < self.k:
+            raise ValueError(f"need at least k={self.k} samples, got {len(X)}")
+        rng = np.random.default_rng(self.seed)
+        best = None
+        total_iters = 0
+        for _ in range(self.n_init):
+            centroids = self._init_pp(X, rng)
+            centroids, labels, inertia, iters = self._lloyd(X, centroids)
+            total_iters += iters
+            if best is None or inertia < best[2]:
+                best = (centroids, labels, inertia)
+        self.centroids_, self.labels_, self.inertia_ = best
+        self.iterations_ = total_iters
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.centroids_ is None:
+            raise RuntimeError("KMeans used before fit")
+        X = np.asarray(X, dtype=np.float64)
+        d2 = (
+            -2.0 * X @ self.centroids_.T
+            + (self.centroids_ * self.centroids_).sum(axis=1)[None, :]
+        )
+        return np.argmin(d2, axis=1)
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).labels_
+
+    def compute_profile(self, n_samples: int, n_features: int) -> ComputeProfile:
+        """Per-input clustering cost: distances to k centroids per iteration."""
+        per_input_flops = 2.0 * self.k * n_features * max(1, self.iterations_)
+        return ComputeProfile(
+            train_flops=per_input_flops * n_samples,
+            infer_flops=2.0 * self.k * n_features,
+            train_bytes=8.0 * self.k * n_features * max(1, self.iterations_) * n_samples,
+            infer_bytes=8.0 * self.k * n_features,
+        )

@@ -1,0 +1,55 @@
+"""k-nearest-neighbours classifier (discarded in the paper for accuracy,
+shown in Fig. 3's KNN energy bars)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import ComputeProfile, LabelCodec, Standardizer
+
+
+class KNNClassifier:
+    """Brute-force kNN with Euclidean distance and majority vote."""
+
+    def __init__(self, k: int = 5):
+        if k < 1:
+            raise ValueError(f"k must be >= 1, got {k}")
+        self.k = k
+        self.codec = LabelCodec()
+        self.scaler = Standardizer()
+        self.X_: np.ndarray | None = None
+        self.y_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "KNNClassifier":
+        self.X_ = self.scaler.fit_transform(np.asarray(X, dtype=np.float64))
+        self.y_ = self.codec.fit(y)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.X_ is None:
+            raise RuntimeError("KNNClassifier used before fit")
+        Q = self.scaler.transform(np.asarray(X, dtype=np.float64))
+        # ||q - x||^2 = ||q||^2 - 2 q.x + ||x||^2 ; the q term is constant per row
+        d2 = -2.0 * Q @ self.X_.T + (self.X_ * self.X_).sum(axis=1)[None, :]
+        k = min(self.k, len(self.X_))
+        nearest = np.argpartition(d2, k - 1, axis=1)[:, :k]
+        votes = self.y_[nearest]
+        preds = np.array(
+            [np.bincount(row, minlength=self.codec.n_classes).argmax() for row in votes]
+        )
+        return self.codec.decode(preds)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def compute_profile(self, n_train: int) -> ComputeProfile:
+        if self.X_ is None:
+            raise RuntimeError("compute_profile needs a fitted model")
+        d = self.X_.shape[1]
+        infer_flops = 2.0 * n_train * d  # distance to every stored sample
+        return ComputeProfile(
+            train_flops=n_train * d,  # just standardize + store
+            infer_flops=infer_flops,
+            train_bytes=8.0 * n_train * d,
+            infer_bytes=8.0 * n_train * d,
+        )

@@ -1,0 +1,76 @@
+"""Multinomial logistic regression (paper discards it for low accuracy,
+but it appears as the LR bars of Fig. 3, so it is implemented)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.baselines.common import (
+    AdamState,
+    ComputeProfile,
+    LabelCodec,
+    Standardizer,
+    minibatches,
+    one_hot,
+    softmax,
+)
+
+
+class LogisticRegression:
+    """Softmax regression with L2 regularization, trained with Adam."""
+
+    def __init__(
+        self,
+        lr: float = 1e-2,
+        epochs: int = 50,
+        batch_size: int = 64,
+        l2: float = 1e-4,
+        seed: int = 0,
+    ):
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.seed = seed
+        self.codec = LabelCodec()
+        self.scaler = Standardizer()
+        self.W: np.ndarray | None = None
+        self.b: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        rng = np.random.default_rng(self.seed)
+        X = self.scaler.fit_transform(np.asarray(X, dtype=np.float64))
+        y_idx = self.codec.fit(y)
+        targets = one_hot(y_idx, self.codec.n_classes)
+        self.W = np.zeros((X.shape[1], self.codec.n_classes))
+        self.b = np.zeros(self.codec.n_classes)
+        adam = AdamState([self.W, self.b], lr=self.lr)
+        for _ in range(self.epochs):
+            for batch in minibatches(len(X), self.batch_size, rng):
+                probs = softmax(X[batch] @ self.W + self.b)
+                delta = (probs - targets[batch]) / len(batch)
+                grad_w = X[batch].T @ delta + self.l2 * self.W
+                grad_b = delta.sum(axis=0)
+                adam.step([self.W, self.b], [grad_w, grad_b])
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.W is None:
+            raise RuntimeError("LogisticRegression used before fit")
+        logits = self.scaler.transform(X) @ self.W + self.b
+        return self.codec.decode(np.argmax(logits, axis=1))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def compute_profile(self, n_train: int) -> ComputeProfile:
+        if self.W is None:
+            raise RuntimeError("compute_profile needs a fitted model")
+        infer_flops = 2.0 * self.W.size
+        train_flops = 3.0 * infer_flops * n_train * self.epochs
+        return ComputeProfile(
+            train_flops=train_flops,
+            infer_flops=infer_flops,
+            train_bytes=8.0 * self.W.size * self.epochs,
+            infer_bytes=8.0 * self.W.size,
+        )

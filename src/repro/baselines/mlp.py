@@ -1,0 +1,165 @@
+"""Multi-layer perceptron trained with Adam (scikit-learn MLP stand-in)."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from repro.baselines.common import (
+    AdamState,
+    ComputeProfile,
+    LabelCodec,
+    Standardizer,
+    minibatches,
+    one_hot,
+    relu,
+    softmax,
+)
+
+
+class MLPClassifier:
+    """Fully connected ReLU network with a softmax output.
+
+    Parameters mirror scikit-learn's defaults where sensible: one hidden
+    layer of 100 units, Adam, minibatch training with early stopping on
+    a held-out validation slice.
+    """
+
+    def __init__(
+        self,
+        hidden: Sequence[int] = (100,),
+        lr: float = 1e-3,
+        epochs: int = 60,
+        batch_size: int = 64,
+        l2: float = 1e-4,
+        patience: int = 8,
+        validation_fraction: float = 0.1,
+        seed: int = 0,
+    ):
+        self.hidden = tuple(hidden)
+        self.lr = lr
+        self.epochs = epochs
+        self.batch_size = batch_size
+        self.l2 = l2
+        self.patience = patience
+        self.validation_fraction = validation_fraction
+        self.seed = seed
+
+        self.codec = LabelCodec()
+        self.scaler = Standardizer()
+        self.weights: list = []
+        self.biases: list = []
+        self.history_: list = []
+
+    # -- internals -------------------------------------------------------------
+
+    def _init_params(self, n_in: int, n_out: int, rng: np.random.Generator) -> None:
+        sizes = (n_in, *self.hidden, n_out)
+        self.weights = []
+        self.biases = []
+        for a, b in zip(sizes[:-1], sizes[1:]):
+            scale = np.sqrt(2.0 / a)  # He init for ReLU stacks
+            self.weights.append(rng.normal(0.0, scale, size=(a, b)))
+            self.biases.append(np.zeros(b))
+
+    def _forward(self, X: np.ndarray) -> Tuple[list, np.ndarray]:
+        acts = [X]
+        h = X
+        for W, b in zip(self.weights[:-1], self.biases[:-1]):
+            h = relu(h @ W + b)
+            acts.append(h)
+        logits = h @ self.weights[-1] + self.biases[-1]
+        return acts, logits
+
+    def _backward(self, acts: list, probs: np.ndarray, targets: np.ndarray):
+        n = len(targets)
+        grads_w = [None] * len(self.weights)
+        grads_b = [None] * len(self.biases)
+        delta = (probs - targets) / n
+        for layer in range(len(self.weights) - 1, -1, -1):
+            grads_w[layer] = acts[layer].T @ delta + self.l2 * self.weights[layer]
+            grads_b[layer] = delta.sum(axis=0)
+            if layer > 0:
+                delta = (delta @ self.weights[layer].T) * (acts[layer] > 0)
+        return grads_w, grads_b
+
+    # -- public API ---------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "MLPClassifier":
+        rng = np.random.default_rng(self.seed)
+        X = self.scaler.fit_transform(np.asarray(X, dtype=np.float64))
+        y_idx = self.codec.fit(y)
+        n_classes = self.codec.n_classes
+        targets = one_hot(y_idx, n_classes)
+
+        n_val = max(1, int(len(X) * self.validation_fraction))
+        order = rng.permutation(len(X))
+        val_idx, tr_idx = order[:n_val], order[n_val:]
+        X_tr, T_tr = X[tr_idx], targets[tr_idx]
+        X_val, y_val = X[val_idx], y_idx[val_idx]
+
+        self._init_params(X.shape[1], n_classes, rng)
+        params = self.weights + self.biases
+        adam = AdamState(params, lr=self.lr)
+
+        best_acc = -1.0
+        best_params = None
+        stale = 0
+        for _ in range(self.epochs):
+            for batch in minibatches(len(X_tr), self.batch_size, rng):
+                acts, logits = self._forward(X_tr[batch])
+                probs = softmax(logits)
+                grads_w, grads_b = self._backward(acts, probs, T_tr[batch])
+                adam.step(self.weights + self.biases, grads_w + grads_b)
+            val_acc = float(np.mean(self._predict_idx(X_val) == y_val))
+            self.history_.append(val_acc)
+            if val_acc > best_acc + 1e-6:
+                best_acc = val_acc
+                best_params = (
+                    [W.copy() for W in self.weights],
+                    [b.copy() for b in self.biases],
+                )
+                stale = 0
+            else:
+                stale += 1
+                if stale >= self.patience:
+                    break
+        if best_params is not None:
+            self.weights, self.biases = best_params
+        return self
+
+    def _predict_idx(self, X_scaled: np.ndarray) -> np.ndarray:
+        _, logits = self._forward(X_scaled)
+        return np.argmax(logits, axis=1)
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        if not self.weights:
+            raise RuntimeError("MLPClassifier used before fit")
+        _, logits = self._forward(self.scaler.transform(X))
+        return softmax(logits)
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.weights:
+            raise RuntimeError("MLPClassifier used before fit")
+        idx = self._predict_idx(self.scaler.transform(X))
+        return self.codec.decode(idx)
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def compute_profile(self, n_train: int) -> ComputeProfile:
+        """FLOP/byte estimate for the device models."""
+        if not self.weights:
+            raise RuntimeError("compute_profile needs a fitted model")
+        mac_per_input = sum(W.size for W in self.weights)
+        infer_flops = 2.0 * mac_per_input
+        epochs = max(1, len(self.history_))
+        train_flops = 3.0 * infer_flops * n_train * epochs  # fwd + bwd
+        weight_bytes = 8.0 * mac_per_input
+        return ComputeProfile(
+            train_flops=train_flops,
+            infer_flops=infer_flops,
+            train_bytes=weight_bytes * epochs * max(1, n_train // self.batch_size),
+            infer_bytes=weight_bytes,
+        )

@@ -1,0 +1,98 @@
+"""Random forest: bagged CART trees with sqrt-feature subsampling.
+
+The paper's most *energy-efficient* classic-ML baseline (Fig. 3/8): a
+forest of shallow trees is cheap at inference, which is exactly why the
+paper uses RF as the efficiency yardstick for conventional devices.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from repro.baselines.common import ComputeProfile, LabelCodec
+from repro.baselines.decision_tree import DecisionTreeClassifier
+
+
+class RandomForestClassifier:
+    """Bootstrap-aggregated decision trees with majority voting."""
+
+    def __init__(
+        self,
+        n_estimators: int = 30,
+        max_depth: Optional[int] = 12,
+        min_samples_leaf: int = 1,
+        seed: int = 0,
+    ):
+        if n_estimators < 1:
+            raise ValueError(f"n_estimators must be >= 1, got {n_estimators}")
+        self.n_estimators = n_estimators
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.seed = seed
+        self.codec = LabelCodec()
+        self.trees_: List[DecisionTreeClassifier] = []
+        self._n_features_fitted: int = 1
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "RandomForestClassifier":
+        X = np.asarray(X, dtype=np.float64)
+        y_idx = self.codec.fit(y)
+        n_classes = self.codec.n_classes
+        rng = np.random.default_rng(self.seed)
+        self._n_features_fitted = X.shape[1]
+        self.trees_ = []
+        for t in range(self.n_estimators):
+            boot = rng.integers(0, len(X), size=len(X))
+            tree = DecisionTreeClassifier(
+                max_depth=self.max_depth,
+                min_samples_leaf=self.min_samples_leaf,
+                max_features="sqrt",
+                seed=int(rng.integers(0, 2**31 - 1)),
+            )
+            tree.fit(X[boot], y_idx[boot], n_classes)
+            self.trees_.append(tree)
+        return self
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if not self.trees_:
+            raise RuntimeError("RandomForestClassifier used before fit")
+        X = np.asarray(X, dtype=np.float64)
+        votes = np.zeros((len(X), self.codec.n_classes), dtype=np.int64)
+        for tree in self.trees_:
+            preds = tree.predict_idx(X)
+            votes[np.arange(len(X)), preds] += 1
+        return self.codec.decode(np.argmax(votes, axis=1))
+
+    def score(self, X: np.ndarray, y: np.ndarray) -> float:
+        return float(np.mean(self.predict(X) == np.asarray(y)))
+
+    def compute_profile(self, n_train: int) -> ComputeProfile:
+        if not self.trees_:
+            raise RuntimeError("compute_profile needs a fitted model")
+        avg_depth = max(1.0, float(np.mean([t.depth_ for t in self.trees_])))
+        total_nodes = sum(t.n_nodes_ for t in self.trees_)
+        # inference: one comparison per level per tree -- trees are the
+        # *cheapest* inference among the baselines (the paper's Fig. 3 RF).
+        infer_flops = self.n_estimators * avg_depth
+        # training: every tree level re-partitions all n samples, and each
+        # node's split search sorts/scans ~sqrt(d) candidate features over
+        # its samples -- trees x depth x n x sqrt(d) x log2(n) flops.
+        sqrt_d = np.sqrt(max(1.0, self._n_features_fitted))
+        train_flops = (
+            self.n_estimators
+            * avg_depth
+            * n_train
+            * sqrt_d
+            * max(1.0, np.log2(max(2, n_train)))
+        )
+        node_bytes = 24.0  # feature id + threshold + child pointers
+        return ComputeProfile(
+            train_flops=float(train_flops),
+            infer_flops=infer_flops,
+            train_bytes=float(
+                self.n_estimators * avg_depth * n_train * sqrt_d * 8.0
+            ),
+            infer_bytes=self.n_estimators * avg_depth * node_bytes,
+            train_syncs=float(total_nodes),  # one host dispatch per node
+        )

@@ -1,0 +1,48 @@
+"""Algorithmic core of the GENERIC reproduction.
+
+This subpackage implements Section 2 (HDC background), Section 3 (the
+GENERIC encoding and its baselines) and the learning procedures of the
+paper: classification with retraining and unsupervised clustering.
+"""
+
+from repro.core.classifier import HDClassifier
+from repro.core.clustering import HDCluster
+from repro.core.online import AdaptiveHDClassifier
+from repro.core.packed import PackedModel
+from repro.core.hypervector import (
+    bind,
+    bundle,
+    cosine,
+    dot,
+    hamming,
+    normalized_hamming,
+    permute,
+    random_bipolar,
+    sign_quantize,
+    to_binary,
+    to_bipolar,
+)
+from repro.core.levels import LevelTable, Quantizer
+from repro.core.ids import IdTable, SeedIdGenerator
+
+__all__ = [
+    "AdaptiveHDClassifier",
+    "PackedModel",
+    "HDClassifier",
+    "HDCluster",
+    "IdTable",
+    "LevelTable",
+    "Quantizer",
+    "SeedIdGenerator",
+    "bind",
+    "bundle",
+    "cosine",
+    "dot",
+    "hamming",
+    "normalized_hamming",
+    "permute",
+    "random_bipolar",
+    "sign_quantize",
+    "to_binary",
+    "to_bipolar",
+]

@@ -1,0 +1,250 @@
+"""HDC classification: model initialization, retraining, inference.
+
+Implements Fig. 1 of the paper:
+
+- **training (initialization)** -- every encoded training input is added
+  to its class hypervector;
+- **retraining** -- for a number of epochs, each training input is
+  scored against the model; on a misprediction the encoding is
+  subtracted from the wrongly-predicted class and added to the correct
+  class (per-sample, online);
+- **inference** -- the query is encoded and the class with the highest
+  cosine similarity wins.
+
+The classifier also implements the on-demand dimension reduction of
+Section 4.3.3: predictions can run on a 128-multiple prefix of the
+dimensions, using either exact per-prefix norms from the
+:class:`~repro.core.norms.SubNormTable` (the paper's fix) or the stale
+full-length norms (the "Constant" curves of Fig. 5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.encoders.base import Encoder
+from repro.core.norms import DEFAULT_BLOCK, SubNormTable
+from repro.core.sims import score as score_fn
+
+
+@dataclass
+class TrainReport:
+    """Bookkeeping returned by :meth:`HDClassifier.fit`."""
+
+    epochs_run: int
+    updates_per_epoch: list
+    train_accuracy_per_epoch: list
+
+    @property
+    def final_train_accuracy(self) -> float:
+        return self.train_accuracy_per_epoch[-1] if self.train_accuracy_per_epoch else 0.0
+
+
+class HDClassifier:
+    """Hyperdimensional classifier over any :class:`Encoder`.
+
+    Parameters
+    ----------
+    encoder:
+        The encoding to use; fitted on the training data if not already.
+    epochs:
+        Retraining epochs after initialization (paper uses 20).
+    metric:
+        ``"cosine"`` (default), ``"dot"``, or ``"hardware"`` -- see
+        :mod:`repro.core.sims`.
+    shuffle:
+        Shuffle the sample order each retraining epoch.
+    seed:
+        Seed for the shuffling generator.
+    norm_block:
+        Granularity of the sub-norm table (128 in the ASIC).
+    """
+
+    def __init__(
+        self,
+        encoder: Encoder,
+        epochs: int = 20,
+        metric: str = "cosine",
+        shuffle: bool = True,
+        seed: int = 0,
+        norm_block: int = DEFAULT_BLOCK,
+    ):
+        self.encoder = encoder
+        self.epochs = epochs
+        self.metric = metric
+        self.shuffle = shuffle
+        self.rng = np.random.default_rng(seed)
+        self.norm_block = norm_block
+
+        self.classes_: Optional[np.ndarray] = None
+        self.model_: Optional[np.ndarray] = None
+        self.norms_: Optional[SubNormTable] = None
+        self.report_: Optional[TrainReport] = None
+
+    # -- training ----------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "HDClassifier":
+        """Initialize and retrain the HDC model on ``(X, y)``."""
+        X = np.asarray(X, dtype=np.float64)
+        y = np.asarray(y)
+        if len(X) != len(y):
+            raise ValueError(f"X has {len(X)} rows but y has {len(y)} labels")
+        if not self.encoder.fitted:
+            self.encoder.fit(X)
+        encodings = self.encoder.encode_batch(X).astype(np.float64)
+        self.classes_, y_idx = np.unique(y, return_inverse=True)
+        n_classes = len(self.classes_)
+
+        dim = self.encoder.dim
+        if dim % self.norm_block:
+            raise ValueError(
+                f"encoder dim {dim} must be a multiple of norm_block={self.norm_block}"
+            )
+        model = np.zeros((n_classes, dim), dtype=np.float64)
+        np.add.at(model, y_idx, encodings)
+
+        self.model_ = model
+        self.norms_ = SubNormTable(n_classes, dim, block=self.norm_block)
+        self.norms_.recompute(model)
+
+        self.report_ = self._retrain(encodings, y_idx)
+        return self
+
+    def _retrain(self, encodings: np.ndarray, y_idx: np.ndarray) -> TrainReport:
+        """Per-sample online retraining (Fig. 1c)."""
+        updates_per_epoch = []
+        acc_per_epoch = []
+        n = len(encodings)
+        order = np.arange(n)
+        for _ in range(self.epochs):
+            if self.shuffle:
+                self.rng.shuffle(order)
+            updates = 0
+            for i in order:
+                h = encodings[i]
+                pred = int(np.argmax(self._scores(h[None, :])[0]))
+                truth = int(y_idx[i])
+                if pred != truth:
+                    self.model_[pred] -= h
+                    self.model_[truth] += h
+                    self.norms_.update_class(pred, self.model_[pred])
+                    self.norms_.update_class(truth, self.model_[truth])
+                    updates += 1
+            updates_per_epoch.append(updates)
+            preds = np.argmax(self._scores(encodings), axis=1)
+            acc_per_epoch.append(float(np.mean(preds == y_idx)))
+            if updates == 0:
+                break
+        return TrainReport(
+            epochs_run=len(updates_per_epoch),
+            updates_per_epoch=updates_per_epoch,
+            train_accuracy_per_epoch=acc_per_epoch,
+        )
+
+    # -- inference -----------------------------------------------------------
+
+    def _check_fitted(self) -> None:
+        if self.model_ is None:
+            raise RuntimeError("HDClassifier used before fit()")
+
+    def _scores(
+        self,
+        encodings: np.ndarray,
+        dim: Optional[int] = None,
+        constant_norms: bool = False,
+    ) -> np.ndarray:
+        self._check_fitted()
+        if dim is None or dim == self.encoder.dim:
+            norm2 = self.norms_.full_norm2()
+            model = self.model_
+            queries = encodings
+        else:
+            model = self.model_[:, :dim]
+            queries = encodings[:, :dim]
+            norm2 = self.norms_.full_norm2() if constant_norms else self.norms_.norm2(dim)
+        if self.metric == "hardware":
+            return score_fn(queries, model, metric="hardware", norm2=norm2)
+        if self.metric == "cosine":
+            # cosine with the (possibly reduced) norm2 from the table; the
+            # query norm is constant per row and cannot change the arg-max.
+            dots = queries @ model.T
+            safe = np.where(norm2 <= 0.0, np.inf, norm2)
+            return dots / np.sqrt(safe)[None, :]
+        return score_fn(queries, model, metric=self.metric)
+
+    def predict_encoded(
+        self,
+        encodings: np.ndarray,
+        dim: Optional[int] = None,
+        constant_norms: bool = False,
+    ) -> np.ndarray:
+        """Predict from pre-encoded queries (optionally dimension-reduced)."""
+        scores = self._scores(
+            np.atleast_2d(np.asarray(encodings, dtype=np.float64)),
+            dim=dim,
+            constant_norms=constant_norms,
+        )
+        return self.classes_[np.argmax(scores, axis=1)]
+
+    def predict(
+        self,
+        X: np.ndarray,
+        dim: Optional[int] = None,
+        constant_norms: bool = False,
+    ) -> np.ndarray:
+        """Encode and classify raw inputs."""
+        encodings = self.encoder.encode_batch(np.asarray(X, dtype=np.float64))
+        return self.predict_encoded(encodings, dim=dim, constant_norms=constant_norms)
+
+    def score(
+        self,
+        X: np.ndarray,
+        y: np.ndarray,
+        dim: Optional[int] = None,
+        constant_norms: bool = False,
+    ) -> float:
+        """Classification accuracy on ``(X, y)``."""
+        preds = self.predict(X, dim=dim, constant_norms=constant_norms)
+        return float(np.mean(preds == np.asarray(y)))
+
+    # -- model surgery ---------------------------------------------------------
+
+    @property
+    def n_classes(self) -> int:
+        self._check_fitted()
+        return len(self.classes_)
+
+    def quantized_model(self, bits: int) -> np.ndarray:
+        """Class matrix quantized to signed ``bits``-bit integers (Fig. 6).
+
+        Symmetric linear quantization per model (shared scale), matching
+        the masked ``bw``-bit class words the accelerator loads.
+        """
+        self._check_fitted()
+        from repro.hardware.faults import quantize_to_bits
+
+        return quantize_to_bits(self.model_, bits).astype(np.float64)
+
+    def with_model(self, model: np.ndarray) -> "HDClassifier":
+        """Return a shallow copy using a substituted class matrix.
+
+        Used by the fault-injection experiments: the encoder, classes and
+        metric are shared, the model (and its norms) are replaced.
+        """
+        self._check_fitted()
+        clone = HDClassifier(
+            self.encoder,
+            epochs=self.epochs,
+            metric=self.metric,
+            shuffle=self.shuffle,
+            norm_block=self.norm_block,
+        )
+        clone.classes_ = self.classes_
+        clone.model_ = np.asarray(model, dtype=np.float64)
+        clone.norms_ = SubNormTable(len(self.classes_), self.encoder.dim, self.norm_block)
+        clone.norms_.recompute(clone.model_)
+        clone.report_ = self.report_
+        return clone

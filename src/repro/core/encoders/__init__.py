@@ -1,0 +1,23 @@
+"""HDC encoders: the GENERIC proposal and the paper's four baselines."""
+
+from repro.core.encoders.base import DEFAULT_DIM, DEFAULT_LEVELS, Encoder, OpProfile
+from repro.core.encoders.generic import GenericEncoder, NgramEncoder
+from repro.core.encoders.level_id import LevelIdEncoder
+from repro.core.encoders.permutation import PermutationEncoder
+from repro.core.encoders.random_projection import RandomProjectionEncoder
+from repro.core.encoders.registry import ENCODERS, PAPER_ORDER, make_encoder
+
+__all__ = [
+    "DEFAULT_DIM",
+    "DEFAULT_LEVELS",
+    "ENCODERS",
+    "Encoder",
+    "GenericEncoder",
+    "LevelIdEncoder",
+    "NgramEncoder",
+    "OpProfile",
+    "PAPER_ORDER",
+    "PermutationEncoder",
+    "RandomProjectionEncoder",
+    "make_encoder",
+]

@@ -1,0 +1,140 @@
+"""Shared machinery for HDC encoders.
+
+Every encoder maps a raw feature vector ``x`` (length ``d``) to an
+encoded hypervector of length ``dim``.  Encoders are *fit* on training
+data (to learn the quantization range and allocate level/id tables) and
+then encode single inputs or batches.  Batch encoding is chunked so the
+intermediate ``(batch, d, dim)`` level lookups stay within a bounded
+memory footprint.
+
+Encoders also report an :class:`OpProfile` -- the operation counts the
+platform models in :mod:`repro.platforms` use to estimate energy and
+latency on conventional devices (Fig. 3 of the paper).
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.core.levels import LevelTable, Quantizer
+
+DEFAULT_DIM = 4096
+DEFAULT_LEVELS = 64
+_CHUNK_BUDGET = 64 * 1024 * 1024  # int8 elements allowed per chunk buffer
+
+
+@dataclass
+class OpProfile:
+    """Operation counts for encoding one input (per-sample)."""
+
+    xor_ops: int = 0
+    add_ops: int = 0
+    mul_ops: int = 0
+    mem_bytes: int = 0
+    notes: Dict[str, int] = field(default_factory=dict)
+
+    def total_ops(self) -> int:
+        return self.xor_ops + self.add_ops + self.mul_ops
+
+
+class Encoder(ABC):
+    """Base class: fit a quantizer + tables, then encode inputs."""
+
+    #: human-readable name used by the registry and result tables
+    name: str = "base"
+
+    def __init__(
+        self,
+        dim: int = DEFAULT_DIM,
+        num_levels: int = DEFAULT_LEVELS,
+        seed: int = 0,
+        level_scheme: str = "linear",
+    ):
+        if dim <= 0:
+            raise ValueError(f"dim must be positive, got {dim}")
+        self.dim = dim
+        self.num_levels = num_levels
+        self.seed = seed
+        self.level_scheme = level_scheme
+        self.rng = np.random.default_rng(seed)
+        self.quantizer = Quantizer(num_levels=num_levels)
+        self.levels: Optional[LevelTable] = None
+        self.n_features: Optional[int] = None
+
+    # -- fitting ---------------------------------------------------------
+
+    def fit(self, X: np.ndarray) -> "Encoder":
+        """Learn the quantization range and allocate per-index tables."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected (N, d) matrix, got shape {X.shape}")
+        self.n_features = X.shape[1]
+        self.quantizer.fit(X)
+        self.levels = LevelTable(
+            self.rng, self.num_levels, self.dim, scheme=self.level_scheme
+        )
+        self._allocate(X)
+        return self
+
+    def _allocate(self, X: np.ndarray) -> None:
+        """Hook for subclasses to allocate id tables etc. after fit."""
+
+    @property
+    def fitted(self) -> bool:
+        return self.n_features is not None
+
+    def _check_fitted(self) -> None:
+        if not self.fitted:
+            raise RuntimeError(f"{type(self).__name__} used before fit()")
+
+    # -- encoding --------------------------------------------------------
+
+    def encode(self, x: np.ndarray) -> np.ndarray:
+        """Encode a single input vector to an int32 hypervector."""
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError(f"encode() takes a single input, got shape {x.shape}")
+        return self.encode_batch(x[None, :])[0]
+
+    def encode_batch(self, X: np.ndarray, chunk: Optional[int] = None) -> np.ndarray:
+        """Encode a batch of inputs; returns an ``(N, dim)`` int32 matrix."""
+        self._check_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if X.shape[1] != self.n_features:
+            raise ValueError(
+                f"input has {X.shape[1]} features, encoder fitted with "
+                f"{self.n_features}"
+            )
+        if chunk is None:
+            per_sample = max(1, self.n_features * self.dim)
+            chunk = max(1, min(len(X), _CHUNK_BUDGET // per_sample))
+        out = np.empty((len(X), self.dim), dtype=np.int32)
+        for start in range(0, len(X), chunk):
+            stop = min(start + chunk, len(X))
+            out[start:stop] = self._encode_chunk(X[start:stop])
+        return out
+
+    @abstractmethod
+    def _encode_chunk(self, X: np.ndarray) -> np.ndarray:
+        """Encode a small batch; subclasses implement the actual math."""
+
+    # -- cost reporting ----------------------------------------------------
+
+    def op_profile(self) -> OpProfile:
+        """Per-input operation counts (used by the device models)."""
+        self._check_fitted()
+        return self._op_profile()
+
+    def _op_profile(self) -> OpProfile:
+        d = int(self.n_features or 0)
+        return OpProfile(add_ops=d * self.dim, mem_bytes=d * self.dim // 8)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"{type(self).__name__}(dim={self.dim}, "
+            f"num_levels={self.num_levels}, seed={self.seed})"
+        )

@@ -1,0 +1,60 @@
+"""Random-projection encoding (paper Section 2.2, Fig. 2c).
+
+Each feature index owns a random bipolar id; the *raw feature value*
+multiplies its id and the products are accumulated:
+
+    H(X) = sum_m x_m * id_m
+
+i.e. a signed random projection of the input into the hyperspace.  The
+projection preserves the geometry of the raw feature vector (good for
+tabular data, 94.6% on MNIST in Table 1) but collapses temporal
+structure that only shows in the *arrangement* of values (46.8% on EEG,
+8.2% on LANG).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.encoders.base import DEFAULT_DIM, DEFAULT_LEVELS, Encoder, OpProfile
+from repro.core.ids import IdTable
+
+
+class RandomProjectionEncoder(Encoder):
+    """Signed random projection: bundle value-weighted ids."""
+
+    name = "rp"
+
+    def __init__(
+        self,
+        dim: int = DEFAULT_DIM,
+        num_levels: int = DEFAULT_LEVELS,
+        seed: int = 0,
+        quantize: bool = True,
+    ):
+        super().__init__(dim=dim, num_levels=num_levels, seed=seed)
+        #: quantize the projection back to levels, as the fixed-point ASIC
+        #: baseline does; disable for an exact float projection.
+        self.quantize = quantize
+        self.ids: IdTable | None = None
+
+    def _allocate(self, X: np.ndarray) -> None:
+        self.ids = IdTable(self.rng, self.n_features, self.dim)
+
+    def _encode_chunk(self, X: np.ndarray) -> np.ndarray:
+        # Normalize values into level indices so magnitudes are bounded the
+        # same way as the other fixed-point encoders.
+        if self.quantize:
+            values = self.quantizer.transform(X).astype(np.float64)
+        else:
+            values = X
+        proj = values @ self.ids.all().astype(np.float64)
+        return np.rint(proj).astype(np.int32)
+
+    def _op_profile(self) -> OpProfile:
+        d = int(self.n_features)
+        return OpProfile(
+            mul_ops=d * self.dim,
+            add_ops=d * self.dim,
+            mem_bytes=d * self.dim // 8 + d,
+        )

@@ -1,0 +1,32 @@
+"""Name-based encoder construction for experiments and the CLI examples."""
+
+from __future__ import annotations
+
+from typing import Dict, Type
+
+from repro.core.encoders.base import Encoder
+from repro.core.encoders.generic import GenericEncoder, NgramEncoder
+from repro.core.encoders.level_id import LevelIdEncoder
+from repro.core.encoders.permutation import PermutationEncoder
+from repro.core.encoders.random_projection import RandomProjectionEncoder
+
+ENCODERS: Dict[str, Type[Encoder]] = {
+    GenericEncoder.name: GenericEncoder,
+    NgramEncoder.name: NgramEncoder,
+    LevelIdEncoder.name: LevelIdEncoder,
+    PermutationEncoder.name: PermutationEncoder,
+    RandomProjectionEncoder.name: RandomProjectionEncoder,
+}
+
+#: Table 1 column order of the paper.
+PAPER_ORDER = ("rp", "level-id", "ngram", "permute", "generic")
+
+
+def make_encoder(name: str, **kwargs) -> Encoder:
+    """Instantiate an encoder by its paper name (see ``ENCODERS``)."""
+    try:
+        cls = ENCODERS[name]
+    except KeyError:
+        known = ", ".join(sorted(ENCODERS))
+        raise ValueError(f"unknown encoder {name!r}; known encoders: {known}")
+    return cls(**kwargs)

@@ -1,0 +1,116 @@
+"""Primitive hypervector operations.
+
+The algorithmic library works in the *bipolar* domain: a hypervector is a
+NumPy vector with entries in ``{-1, +1}`` (``int8``), and a *bundled*
+hypervector (the result of element-wise addition of many bipolar vectors)
+is an integer vector.  The hardware simulator works in the *binary*
+domain (``{0, 1}`` with XOR as multiplication); :func:`to_binary` and
+:func:`to_bipolar` convert between the two views with the standard
+mapping ``bit b -> 1 - 2 b``.
+
+All randomness is drawn from an explicit :class:`numpy.random.Generator`
+so that every experiment in the repository is reproducible from a seed.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional, Sequence, Union
+
+import numpy as np
+
+ArrayLike = Union[np.ndarray, Sequence[int], Sequence[float]]
+
+
+def random_bipolar(
+    rng: np.random.Generator,
+    dim: int,
+    size: Optional[int] = None,
+) -> np.ndarray:
+    """Draw one or ``size`` random bipolar hypervectors of length ``dim``.
+
+    Returns an ``int8`` array of shape ``(dim,)`` or ``(size, dim)`` with
+    i.i.d. equiprobable entries in ``{-1, +1}``.
+    """
+    if dim <= 0:
+        raise ValueError(f"hypervector dimension must be positive, got {dim}")
+    shape = (dim,) if size is None else (size, dim)
+    bits = rng.integers(0, 2, size=shape, dtype=np.int8)
+    return (1 - 2 * bits).astype(np.int8)
+
+
+def bind(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Bind two bipolar hypervectors (element-wise multiply, XOR in binary).
+
+    Binding is its own inverse: ``bind(bind(a, b), b) == a``.
+    """
+    return (a * b).astype(np.int8)
+
+
+def permute(hv: np.ndarray, shift: int) -> np.ndarray:
+    """Permute a hypervector by ``shift`` indexes (circular shift, rho^shift).
+
+    Matches the paper's :math:`\\rho^{(j)}` operator.  Works on a single
+    vector or on the last axis of a batch.
+    """
+    if shift == 0:
+        return hv
+    return np.roll(hv, shift, axis=-1)
+
+
+def bundle(hvs: Iterable[np.ndarray]) -> np.ndarray:
+    """Bundle (element-wise add) an iterable of hypervectors into int32."""
+    stacked = np.asarray(list(hvs))
+    if stacked.ndim == 1:
+        return stacked.astype(np.int32)
+    return stacked.sum(axis=0, dtype=np.int32)
+
+
+def sign_quantize(hv: np.ndarray, rng: Optional[np.random.Generator] = None) -> np.ndarray:
+    """Quantize a bundled hypervector back to bipolar by taking its sign.
+
+    Zero entries are broken to +1 deterministically, or randomly when a
+    generator is supplied (the usual HDC tie-break).
+    """
+    out = np.where(np.asarray(hv) >= 0, 1, -1).astype(np.int8)
+    if rng is not None:
+        zeros = np.asarray(hv) == 0
+        if zeros.any():
+            out[zeros] = random_bipolar(rng, int(zeros.sum()))
+    return out
+
+
+def to_binary(hv: np.ndarray) -> np.ndarray:
+    """Map bipolar ``{-1, +1}`` to binary ``{1, 0}`` (``+1 -> 0``)."""
+    return ((1 - np.asarray(hv, dtype=np.int8)) // 2).astype(np.uint8)
+
+
+def to_bipolar(bits: np.ndarray) -> np.ndarray:
+    """Map binary ``{0, 1}`` to bipolar ``{+1, -1}`` (``0 -> +1``)."""
+    return (1 - 2 * np.asarray(bits, dtype=np.int8)).astype(np.int8)
+
+
+def dot(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    """Dot product in int64 to avoid overflow on long bundled vectors."""
+    return np.dot(np.asarray(a, dtype=np.int64), np.asarray(b, dtype=np.int64))
+
+
+def cosine(a: np.ndarray, b: np.ndarray) -> float:
+    """Cosine similarity between two (possibly bundled) hypervectors."""
+    af = np.asarray(a, dtype=np.float64)
+    bf = np.asarray(b, dtype=np.float64)
+    na = np.linalg.norm(af)
+    nb = np.linalg.norm(bf)
+    if na == 0.0 or nb == 0.0:
+        return 0.0
+    return float(af @ bf / (na * nb))
+
+
+def hamming(a: np.ndarray, b: np.ndarray) -> int:
+    """Hamming distance between two bipolar or binary hypervectors."""
+    return int(np.count_nonzero(np.asarray(a) != np.asarray(b)))
+
+
+def normalized_hamming(a: np.ndarray, b: np.ndarray) -> float:
+    """Hamming distance divided by the dimensionality (in [0, 1])."""
+    a = np.asarray(a)
+    return hamming(a, b) / a.shape[-1]

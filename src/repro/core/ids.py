@@ -1,0 +1,100 @@
+"""Binding ``id`` hypervectors (paper Sections 2.2 and 4.3.1).
+
+Two implementations are provided:
+
+- :class:`IdTable` stores one independent random id per index -- the
+  straightforward software view, and what a naive accelerator would keep
+  in a 512 KB id memory.
+- :class:`SeedIdGenerator` reproduces the GENERIC ASIC's id-memory
+  compression: ids are generated on-the-fly by permuting (circularly
+  shifting) a single seed id by ``k`` indexes, shrinking the id storage
+  to one row (1024x reduction in the paper).  Circular shifts of a
+  random vector remain pairwise quasi-orthogonal, which is the property
+  binding needs; :meth:`SeedIdGenerator.orthogonality` exposes it for
+  the tests.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.hypervector import random_bipolar
+
+
+class IdTable:
+    """Independent random ids, one per binding index."""
+
+    def __init__(self, rng: np.random.Generator, count: int, dim: int):
+        if count <= 0:
+            raise ValueError(f"id count must be positive, got {count}")
+        self.count = count
+        self.dim = dim
+        self.vectors = random_bipolar(rng, dim, size=count)
+
+    def __len__(self) -> int:
+        return self.count
+
+    def __getitem__(self, index) -> np.ndarray:
+        return self.vectors[index]
+
+    def all(self) -> np.ndarray:
+        """All ids as an ``(count, dim)`` int8 matrix."""
+        return self.vectors
+
+    def storage_bits(self) -> int:
+        """Bits a hardware id memory would need for this table."""
+        return self.count * self.dim
+
+
+class SeedIdGenerator:
+    """Generate ``id_k = rho^k(seed)`` on the fly from a single seed id.
+
+    This mirrors GENERIC's id compression: the hardware keeps a 4 Kbit
+    seed vector and derives the id of window ``k`` by right-shifting the
+    seed ``k`` positions (implemented with the ``tmp`` register of
+    Fig. 4 marker 2).
+    """
+
+    def __init__(self, rng: np.random.Generator, dim: int):
+        self.dim = dim
+        self.seed = random_bipolar(rng, dim)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        if not 0 <= index:
+            raise IndexError(f"id index must be non-negative, got {index}")
+        return np.roll(self.seed, index % self.dim)
+
+    def table(self, count: int) -> np.ndarray:
+        """Materialize the first ``count`` ids as an ``(count, dim)`` matrix.
+
+        The software encoder uses this to vectorize; the hardware model
+        never materializes it.
+        """
+        if count <= 0:
+            raise ValueError(f"id count must be positive, got {count}")
+        shifts = np.arange(count) % self.dim
+        cols = (np.arange(self.dim)[None, :] - shifts[:, None]) % self.dim
+        return self.seed[cols]
+
+    def storage_bits(self) -> int:
+        """Bits the compressed hardware id memory needs (one seed row)."""
+        return self.dim
+
+    def orthogonality(self, count: int) -> float:
+        """Max |normalized dot| between distinct ids among the first ``count``.
+
+        Near zero for a random seed: permutation preserves orthogonality.
+        """
+        ids = self.table(count).astype(np.int32)
+        gram = ids @ ids.T / self.dim
+        np.fill_diagonal(gram, 0.0)
+        return float(np.abs(gram).max())
+
+
+def identity_ids(count: int, dim: int) -> np.ndarray:
+    """Ids that skip global binding (paper: ids set to the XOR identity).
+
+    In the binary/XOR domain the identity is the all-zero vector; in our
+    bipolar domain it is the all-ones vector.
+    """
+    return np.ones((count, dim), dtype=np.int8)

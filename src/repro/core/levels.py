@@ -1,0 +1,146 @@
+"""Level hypervectors and the input quantizer (paper Section 2.2, Fig. 2a).
+
+Level hypervectors are the hyperspace representatives of scalar feature
+values.  Inputs are quantized into ``num_levels`` bins (the paper and the
+GENERIC ASIC use 64); the level table preserves scalar distance: adjacent
+levels are highly similar, while the first and last levels are nearly
+orthogonal (``L_min . L_max ~ 0`` in Fig. 2a).
+
+The table is built the standard way: ``L_0`` is random, and each
+subsequent level flips a fresh, disjoint slice of ``dim / (2 (Q - 1))``
+positions, so exactly ``dim / 2`` positions differ between the extremes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+from repro.core.hypervector import random_bipolar
+
+
+LEVEL_SCHEMES = ("linear", "random")
+
+
+class LevelTable:
+    """A table of ``num_levels`` bipolar level hypervectors.
+
+    Parameters
+    ----------
+    rng:
+        Source of randomness.
+    num_levels:
+        Number of quantization bins (rows of the table).
+    dim:
+        Hypervector dimensionality.
+    scheme:
+        How the levels relate to each other:
+
+        - ``"linear"`` (the paper's choice): ``L_0`` random, each
+          subsequent level flips a fresh disjoint slice, so similarity
+          decays linearly with bin distance and the extremes are
+          orthogonal (Fig. 2a);
+        - ``"random"`` -- independent random levels (all pairwise
+          orthogonal): right for *categorical* features where bin
+          distance is meaningless (an ablation knob, not the paper's
+          default).
+    """
+
+    def __init__(
+        self,
+        rng: np.random.Generator,
+        num_levels: int,
+        dim: int,
+        scheme: str = "linear",
+    ):
+        if num_levels < 2:
+            raise ValueError(f"need at least 2 levels, got {num_levels}")
+        if dim < num_levels - 1:
+            raise ValueError(
+                f"dim={dim} too small to spread flips over {num_levels} levels"
+            )
+        if scheme not in LEVEL_SCHEMES:
+            raise ValueError(
+                f"unknown level scheme {scheme!r}; choose from {LEVEL_SCHEMES}"
+            )
+        self.num_levels = num_levels
+        self.dim = dim
+        self.scheme = scheme
+        self.vectors = self._build(rng)
+
+    def _build(self, rng: np.random.Generator) -> np.ndarray:
+        if self.scheme == "random":
+            return random_bipolar(rng, self.dim, size=self.num_levels)
+        base = random_bipolar(rng, self.dim)
+        table = np.empty((self.num_levels, self.dim), dtype=np.int8)
+        table[0] = base
+        # Flip dim/2 positions in total, spread evenly and disjointly across
+        # the Q-1 transitions so similarity decays linearly with bin distance.
+        flip_order = rng.permutation(self.dim)[: self.dim // 2]
+        boundaries = np.linspace(0, len(flip_order), self.num_levels, dtype=int)
+        current = base.copy()
+        for q in range(1, self.num_levels):
+            chunk = flip_order[boundaries[q - 1] : boundaries[q]]
+            current = current.copy()
+            current[chunk] *= -1
+            table[q] = current
+        return table
+
+    def __len__(self) -> int:
+        return self.num_levels
+
+    def __getitem__(self, bins: np.ndarray) -> np.ndarray:
+        """Look up level hypervectors for an array of bin indices."""
+        return self.vectors[bins]
+
+    def similarity_profile(self) -> np.ndarray:
+        """Normalized dot of ``L_0`` with every level (diagnostic for Fig. 2a)."""
+        base = self.vectors[0].astype(np.int32)
+        return (self.vectors.astype(np.int32) @ base) / self.dim
+
+
+@dataclass
+class Quantizer:
+    """Quantize raw features into level-bin indices.
+
+    The GENERIC ASIC quantizes every incoming feature into one of
+    ``num_levels`` bins using the application's value range (min/max seen
+    during training, matching the `bin` unit of Fig. 4).
+    """
+
+    num_levels: int = 64
+    lo: Optional[np.ndarray] = field(default=None, repr=False)
+    hi: Optional[np.ndarray] = field(default=None, repr=False)
+    per_feature: bool = False
+
+    def fit(self, X: np.ndarray) -> "Quantizer":
+        """Learn the value range from training data ``X`` of shape (N, d)."""
+        X = np.asarray(X, dtype=np.float64)
+        if X.ndim != 2:
+            raise ValueError(f"expected (N, d) training matrix, got shape {X.shape}")
+        if self.per_feature:
+            self.lo = X.min(axis=0)
+            self.hi = X.max(axis=0)
+        else:
+            self.lo = np.asarray(X.min())
+            self.hi = np.asarray(X.max())
+        return self
+
+    @property
+    def fitted(self) -> bool:
+        return self.lo is not None
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        """Map features to integer bins in ``[0, num_levels)``."""
+        if not self.fitted:
+            raise RuntimeError("Quantizer.transform called before fit")
+        X = np.asarray(X, dtype=np.float64)
+        span = np.where(self.hi > self.lo, self.hi - self.lo, 1.0)
+        scaled = (X - self.lo) / span
+        bins = np.floor(scaled * self.num_levels).astype(np.int64)
+        return np.clip(bins, 0, self.num_levels - 1)
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

@@ -1,0 +1,191 @@
+"""Serialize a trained HDC model as a GENERIC "config-port image".
+
+The accelerator is loaded through its config port with the level table,
+the seed id, and (for offline-trained models) the class hypervectors
+(Section 4.1).  :func:`export_model` captures exactly that payload from a
+trained :class:`~repro.core.classifier.HDClassifier`;
+:func:`import_model` restores a classifier, and the hardware simulator
+consumes the same image via
+:meth:`repro.hardware.accelerator.GenericAccelerator.load_image`.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+import numpy as np
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders.generic import GenericEncoder
+
+FORMAT_VERSION = 1
+
+
+@dataclass
+class ConfigImage:
+    """Everything the config/spec ports need to run an application."""
+
+    dim: int
+    num_levels: int
+    window: int
+    use_ids: bool
+    n_features: int
+    n_classes: int
+    metric: str
+    level_table: np.ndarray
+    seed_id: Optional[np.ndarray]
+    class_matrix: np.ndarray
+    class_labels: np.ndarray
+    quantizer_lo: np.ndarray
+    quantizer_hi: np.ndarray
+    extras: Dict[str, float] = field(default_factory=dict)
+
+
+def export_model(clf: HDClassifier) -> ConfigImage:
+    """Capture a trained classifier as a config-port image.
+
+    Only :class:`GenericEncoder`-family encoders map onto the ASIC; other
+    encoders raise, as they would have no hardware to run on.
+    """
+    if clf.model_ is None:
+        raise RuntimeError("export_model needs a fitted classifier")
+    enc = clf.encoder
+    if not isinstance(enc, GenericEncoder):
+        raise TypeError(
+            f"the GENERIC ASIC runs the windowed encoding; got {type(enc).__name__}"
+        )
+    seed_id = enc.id_generator.seed if enc.use_ids else None
+    return ConfigImage(
+        dim=enc.dim,
+        num_levels=enc.num_levels,
+        window=enc.window,
+        use_ids=enc.use_ids,
+        n_features=int(enc.n_features),
+        n_classes=clf.n_classes,
+        metric=clf.metric,
+        level_table=enc.levels.vectors.copy(),
+        seed_id=None if seed_id is None else seed_id.copy(),
+        class_matrix=clf.model_.copy(),
+        class_labels=np.asarray(clf.classes_),
+        quantizer_lo=np.atleast_1d(np.asarray(enc.quantizer.lo, dtype=np.float64)),
+        quantizer_hi=np.atleast_1d(np.asarray(enc.quantizer.hi, dtype=np.float64)),
+    )
+
+
+def import_model(image: ConfigImage, epochs: int = 0, seed: int = 0) -> HDClassifier:
+    """Rebuild a ready-to-predict classifier from a config image."""
+    enc = GenericEncoder(
+        dim=image.dim,
+        num_levels=image.num_levels,
+        seed=seed,
+        window=image.window,
+        use_ids=image.use_ids,
+    )
+    enc.n_features = image.n_features
+    enc.quantizer.lo = image.quantizer_lo if image.quantizer_lo.size > 1 else image.quantizer_lo[0]
+    enc.quantizer.hi = image.quantizer_hi if image.quantizer_hi.size > 1 else image.quantizer_hi[0]
+    # Restore tables instead of regenerating them.
+    enc.levels = _RestoredLevels(image.level_table)
+    n_windows = image.n_features - image.window + 1
+    if image.use_ids:
+        if image.seed_id is None:
+            raise ValueError("image declares use_ids but carries no seed id")
+        enc.id_generator = _RestoredSeed(image.seed_id)
+        enc._ids = enc.id_generator.table(n_windows)
+    else:
+        enc._ids = np.ones((n_windows, image.dim), dtype=np.int8)
+
+    clf = HDClassifier(enc, epochs=epochs, metric=image.metric, seed=seed)
+    clf.classes_ = image.class_labels
+    clf.model_ = np.asarray(image.class_matrix, dtype=np.float64)
+    from repro.core.norms import SubNormTable
+
+    clf.norms_ = SubNormTable(image.n_classes, image.dim)
+    clf.norms_.recompute(clf.model_)
+    return clf
+
+
+def save_image(image: ConfigImage, path: Union[str, Path]) -> None:
+    """Persist an image as ``.npz`` plus an inline JSON header."""
+    path = Path(path)
+    header = {
+        "format_version": FORMAT_VERSION,
+        "dim": image.dim,
+        "num_levels": image.num_levels,
+        "window": image.window,
+        "use_ids": image.use_ids,
+        "n_features": image.n_features,
+        "n_classes": image.n_classes,
+        "metric": image.metric,
+        "extras": image.extras,
+    }
+    arrays = {
+        "level_table": image.level_table,
+        "class_matrix": image.class_matrix,
+        "class_labels": image.class_labels,
+        "quantizer_lo": image.quantizer_lo,
+        "quantizer_hi": image.quantizer_hi,
+        "header": np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    }
+    if image.seed_id is not None:
+        arrays["seed_id"] = image.seed_id
+    np.savez_compressed(path, **arrays)
+
+
+def load_image(path: Union[str, Path]) -> ConfigImage:
+    """Load an image written by :func:`save_image`."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        if header.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported config image version {header.get('format_version')}"
+            )
+        return ConfigImage(
+            dim=header["dim"],
+            num_levels=header["num_levels"],
+            window=header["window"],
+            use_ids=header["use_ids"],
+            n_features=header["n_features"],
+            n_classes=header["n_classes"],
+            metric=header["metric"],
+            level_table=data["level_table"],
+            seed_id=data["seed_id"] if "seed_id" in data else None,
+            class_matrix=data["class_matrix"],
+            class_labels=data["class_labels"],
+            quantizer_lo=data["quantizer_lo"],
+            quantizer_hi=data["quantizer_hi"],
+            extras=header.get("extras", {}),
+        )
+
+
+class _RestoredLevels:
+    """Minimal stand-in for :class:`LevelTable` built from a stored table."""
+
+    def __init__(self, vectors: np.ndarray):
+        self.vectors = np.asarray(vectors, dtype=np.int8)
+        self.num_levels, self.dim = self.vectors.shape
+
+    def __len__(self) -> int:
+        return self.num_levels
+
+    def __getitem__(self, bins):
+        return self.vectors[bins]
+
+
+class _RestoredSeed:
+    """Minimal stand-in for :class:`SeedIdGenerator` from a stored seed."""
+
+    def __init__(self, seed: np.ndarray):
+        self.seed = np.asarray(seed, dtype=np.int8)
+        self.dim = len(self.seed)
+
+    def __getitem__(self, index: int) -> np.ndarray:
+        return np.roll(self.seed, index % self.dim)
+
+    def table(self, count: int) -> np.ndarray:
+        shifts = np.arange(count) % self.dim
+        cols = (np.arange(self.dim)[None, :] - shifts[:, None]) % self.dim
+        return self.seed[cols]

@@ -1,0 +1,71 @@
+"""Per-block squared-norm bookkeeping for on-demand dimension reduction.
+
+Section 4.3.3 of the paper: GENERIC can shrink the effective
+dimensionality ``D_hv`` at inference time, but the cosine denominator
+must then cover only the *surviving* dimensions.  Using the full-length
+norm ("Constant" in Fig. 5) costs up to 20.1% accuracy; the ASIC instead
+stores the squared L2 norm of every 128-dimension *sub-class* in a
+separate row of the norm2 memory, so reduced-dimension norms are exact
+at a granularity of 128.
+
+:class:`SubNormTable` is that memory: a ``(n_classes, D/block)`` table of
+per-block squared norms with O(blocks-touched) incremental updates.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+DEFAULT_BLOCK = 128
+
+
+class SubNormTable:
+    """Blocked squared-L2 norms of the class hypervectors."""
+
+    def __init__(self, n_classes: int, dim: int, block: int = DEFAULT_BLOCK):
+        if dim % block != 0:
+            raise ValueError(f"dim={dim} must be a multiple of block={block}")
+        self.n_classes = n_classes
+        self.dim = dim
+        self.block = block
+        self.n_blocks = dim // block
+        self.table = np.zeros((n_classes, self.n_blocks), dtype=np.float64)
+
+    def recompute(self, classes: np.ndarray) -> None:
+        """Rebuild the whole table from the class matrix (training time)."""
+        c = np.asarray(classes, dtype=np.float64)
+        if c.shape != (self.n_classes, self.dim):
+            raise ValueError(
+                f"class matrix shape {c.shape} != ({self.n_classes}, {self.dim})"
+            )
+        blocked = c.reshape(self.n_classes, self.n_blocks, self.block)
+        self.table = (blocked * blocked).sum(axis=2)
+
+    def update_class(self, index: int, class_vector: np.ndarray) -> None:
+        """Refresh one class row after a retraining update."""
+        c = np.asarray(class_vector, dtype=np.float64)
+        blocked = c.reshape(self.n_blocks, self.block)
+        self.table[index] = (blocked * blocked).sum(axis=1)
+
+    def norm2(self, dim: int) -> np.ndarray:
+        """Squared norms over the first ``dim`` dimensions (block granular).
+
+        ``dim`` must be a multiple of the block size, matching the
+        hardware's reduction granularity of 128.
+        """
+        if dim % self.block != 0:
+            raise ValueError(
+                f"reduced dim {dim} must be a multiple of block={self.block}"
+            )
+        if not 0 < dim <= self.dim:
+            raise ValueError(f"reduced dim {dim} out of range (0, {self.dim}]")
+        blocks = dim // self.block
+        return self.table[:, :blocks].sum(axis=1)
+
+    def full_norm2(self) -> np.ndarray:
+        """Squared norms over all dimensions."""
+        return self.table.sum(axis=1)
+
+    def storage_bytes(self, word_bytes: int = 4) -> int:
+        """Size of the norm2 memory (2 KB for 32 classes in the paper)."""
+        return self.n_classes * self.n_blocks * word_bytes

@@ -1,0 +1,126 @@
+"""Adaptive (similarity-weighted) retraining -- an extension.
+
+The paper's retraining (Fig. 1c) moves a full encoded hypervector
+between classes on every misprediction.  The HDC literature the paper
+builds on (e.g. the in-sensor adaptive learning of Moin et al. [7] and
+OnlineHD-style training) refines this: the update is *scaled by how
+wrong the model was*, so confident mistakes move the model a lot and
+near-ties barely disturb it.  This module provides that variant as
+:class:`AdaptiveHDClassifier`, a drop-in replacement for
+:class:`~repro.core.classifier.HDClassifier`.
+
+Update rule on a sample with encoding ``h``, true class ``t`` and
+predicted class ``p != t`` (cosine scores ``s``)::
+
+    C_t += lr * (1 - s_t) * h
+    C_p -= lr * (1 - s_p) * h
+
+and optionally (``update_on_correct=True``) a small reinforcement on
+correct predictions, which is what lets the model keep adapting on a
+drifting stream.  This is an *extension* beyond the paper; the
+benchmarks use the paper's rule unless stated.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.core.classifier import HDClassifier, TrainReport
+
+
+class AdaptiveHDClassifier(HDClassifier):
+    """HDC classifier with similarity-weighted (OnlineHD-style) updates."""
+
+    def __init__(
+        self,
+        encoder,
+        epochs: int = 20,
+        lr: float = 1.0,
+        update_on_correct: bool = False,
+        metric: str = "cosine",
+        shuffle: bool = True,
+        seed: int = 0,
+        norm_block: int = 128,
+    ):
+        super().__init__(
+            encoder,
+            epochs=epochs,
+            metric=metric,
+            shuffle=shuffle,
+            seed=seed,
+            norm_block=norm_block,
+        )
+        if lr <= 0:
+            raise ValueError(f"learning rate must be positive, got {lr}")
+        self.lr = lr
+        self.update_on_correct = update_on_correct
+
+    def _cosine_row(self, h: np.ndarray) -> np.ndarray:
+        dots = self.model_ @ h
+        norms = np.sqrt(self.norms_.full_norm2())
+        hn = np.linalg.norm(h)
+        safe = np.where(norms * hn == 0.0, np.inf, norms * hn)
+        return dots / safe
+
+    def _retrain(self, encodings: np.ndarray, y_idx: np.ndarray) -> TrainReport:
+        updates_per_epoch = []
+        acc_per_epoch = []
+        n = len(encodings)
+        order = np.arange(n)
+        for _ in range(self.epochs):
+            if self.shuffle:
+                self.rng.shuffle(order)
+            updates = 0
+            for i in order:
+                h = encodings[i]
+                sims = self._cosine_row(h)
+                pred = int(np.argmax(sims))
+                truth = int(y_idx[i])
+                if pred != truth:
+                    self.model_[truth] += self.lr * (1.0 - sims[truth]) * h
+                    self.model_[pred] -= self.lr * (1.0 - sims[pred]) * h
+                    self.norms_.update_class(truth, self.model_[truth])
+                    self.norms_.update_class(pred, self.model_[pred])
+                    updates += 1
+                elif self.update_on_correct:
+                    bump = 0.1 * self.lr * (1.0 - sims[truth])
+                    if bump > 0:
+                        self.model_[truth] += bump * h
+                        self.norms_.update_class(truth, self.model_[truth])
+            updates_per_epoch.append(updates)
+            preds = np.argmax(self._scores(encodings), axis=1)
+            acc_per_epoch.append(float(np.mean(preds == y_idx)))
+            if updates == 0 and not self.update_on_correct:
+                break
+        return TrainReport(
+            epochs_run=len(updates_per_epoch),
+            updates_per_epoch=updates_per_epoch,
+            train_accuracy_per_epoch=acc_per_epoch,
+        )
+
+    def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "AdaptiveHDClassifier":
+        """Continue training on a new batch (streaming adaptation).
+
+        Unseen labels must have appeared in the original ``fit`` call;
+        the class memory layout is fixed once configured, as on the
+        hardware.
+        """
+        self._check_fitted()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y)
+        unknown = set(np.unique(y)) - set(self.classes_.tolist())
+        if unknown:
+            raise ValueError(f"labels not present at fit time: {sorted(unknown)}")
+        encodings = self.encoder.encode_batch(X).astype(np.float64)
+        y_idx = np.searchsorted(self.classes_, y)
+        for i in range(len(X)):
+            h = encodings[i]
+            sims = self._cosine_row(h)
+            pred = int(np.argmax(sims))
+            truth = int(y_idx[i])
+            if pred != truth:
+                self.model_[truth] += self.lr * (1.0 - sims[truth]) * h
+                self.model_[pred] -= self.lr * (1.0 - sims[pred]) * h
+                self.norms_.update_class(truth, self.model_[truth])
+                self.norms_.update_class(pred, self.model_[pred])
+        return self

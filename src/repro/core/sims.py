@@ -1,0 +1,94 @@
+"""Similarity metrics between a query encoding and class hypervectors.
+
+The paper scores classes with cosine similarity
+``delta_i = (H . C_i) / (||H|| ||C_i||)`` and applies two hardware
+simplifications (Section 4.2.1):
+
+- ``||H||`` is dropped -- it is shared by every class and does not change
+  the arg-max;
+- the square root of ``||C_i||`` is removed by squaring the dot product:
+  ``delta_i = (H . C_i)^2 / ||C_i||^2``, computed with an approximate
+  log-based divider (Mitchell).  Squaring loses the sign of the dot
+  product, so the hardware metric keeps the sign explicitly (a negative
+  dot means *dis*similar and must not outrank a positive one).
+
+:func:`score` is the single entry point; ``metric`` selects among
+``"dot"``, ``"cosine"`` and ``"hardware"`` (squared, sign-preserving).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+METRICS = ("dot", "cosine", "hardware")
+
+
+def dot_scores(queries: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Raw dot products, shape (N, n_classes) for (N, D) x (n_classes, D)."""
+    q = np.atleast_2d(np.asarray(queries, dtype=np.float64))
+    c = np.asarray(classes, dtype=np.float64)
+    return q @ c.T
+
+
+def cosine_scores(queries: np.ndarray, classes: np.ndarray) -> np.ndarray:
+    """Exact cosine similarity scores (zero-norm classes score 0)."""
+    scores = dot_scores(queries, classes)
+    qn = np.linalg.norm(np.atleast_2d(queries).astype(np.float64), axis=1)
+    cn = np.linalg.norm(np.asarray(classes, dtype=np.float64), axis=1)
+    qn = np.where(qn == 0.0, 1.0, qn)
+    cn = np.where(cn == 0.0, np.inf, cn)
+    return scores / qn[:, None] / cn[None, :]
+
+
+def hardware_scores(
+    queries: np.ndarray,
+    classes: np.ndarray,
+    norm2: Optional[np.ndarray] = None,
+    divider=None,
+) -> np.ndarray:
+    """The ASIC's metric: ``sign(dot) * dot^2 / ||C||^2``.
+
+    Parameters
+    ----------
+    norm2:
+        Pre-computed squared L2 norms of the classes (the ``norm2``
+        memory of Fig. 4).  Recomputed when omitted.  Passing *stale*
+        norms (computed at full dimensionality while the dot products
+        use fewer dimensions) reproduces the "Constant" curves of
+        Fig. 5.
+    divider:
+        Optional callable ``(numerator, denominator) -> quotient`` used
+        in place of exact division, e.g. the Mitchell approximate
+        divider of :mod:`repro.hardware.mitchell`.
+    """
+    scores = dot_scores(queries, classes)
+    if norm2 is None:
+        c = np.asarray(classes, dtype=np.float64)
+        norm2 = (c * c).sum(axis=1)
+    norm2 = np.asarray(norm2, dtype=np.float64)
+    safe = np.where(norm2 <= 0.0, np.inf, norm2)
+    num = scores * scores
+    if divider is None:
+        ratio = num / safe[None, :]
+    else:
+        ratio = divider(num, safe[None, :])
+    return np.sign(scores) * ratio
+
+
+def score(
+    queries: np.ndarray,
+    classes: np.ndarray,
+    metric: str = "cosine",
+    norm2: Optional[np.ndarray] = None,
+    divider=None,
+) -> np.ndarray:
+    """Score queries against class hypervectors with the chosen metric."""
+    if metric == "dot":
+        return dot_scores(queries, classes)
+    if metric == "cosine":
+        return cosine_scores(queries, classes)
+    if metric == "hardware":
+        return hardware_scores(queries, classes, norm2=norm2, divider=divider)
+    raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")

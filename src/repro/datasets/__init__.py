@@ -1,0 +1,28 @@
+"""Synthetic stand-ins for the paper's benchmark datasets.
+
+The paper evaluates on eleven real datasets (UCI + vision/speech) and
+five clustering sets (FCPS + Iris).  Those files are not available in
+this offline environment, so each dataset is replaced by a deterministic
+generator that reproduces the *information structure* that drives
+Table 1: where the discriminative signal lives (local motifs, global
+positions, value histograms) decides which encoder succeeds.  See
+``DESIGN.md`` for the substitution rationale, and
+:mod:`repro.datasets.synthetic` for the generator families.
+"""
+
+from repro.datasets.base import Dataset
+from repro.datasets.fcps import CLUSTER_DATASETS, make_cluster_dataset
+from repro.datasets.registry import (
+    CLASSIFICATION_DATASETS,
+    DatasetSpec,
+    load_dataset,
+)
+
+__all__ = [
+    "CLASSIFICATION_DATASETS",
+    "CLUSTER_DATASETS",
+    "Dataset",
+    "DatasetSpec",
+    "load_dataset",
+    "make_cluster_dataset",
+]

@@ -1,0 +1,62 @@
+"""Dataset container shared by the experiment harness."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict
+
+import numpy as np
+
+
+@dataclass
+class Dataset:
+    """A classification dataset with a fixed train/test split.
+
+    ``use_position_ids`` carries the per-application GENERIC
+    configuration from the paper: order-free applications (LANG) run the
+    windowed encoding with the id binding disabled (ids set to the XOR
+    identity), everything else binds window positions.
+    """
+
+    name: str
+    X_train: np.ndarray
+    y_train: np.ndarray
+    X_test: np.ndarray
+    y_test: np.ndarray
+    use_position_ids: bool = True
+    domain: str = "tabular"
+    metadata: Dict[str, float] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        self.X_train = np.asarray(self.X_train, dtype=np.float64)
+        self.X_test = np.asarray(self.X_test, dtype=np.float64)
+        self.y_train = np.asarray(self.y_train)
+        self.y_test = np.asarray(self.y_test)
+        if len(self.X_train) != len(self.y_train):
+            raise ValueError(f"{self.name}: train X/y length mismatch")
+        if len(self.X_test) != len(self.y_test):
+            raise ValueError(f"{self.name}: test X/y length mismatch")
+        if self.X_train.shape[1] != self.X_test.shape[1]:
+            raise ValueError(f"{self.name}: train/test feature mismatch")
+
+    @property
+    def n_features(self) -> int:
+        return self.X_train.shape[1]
+
+    @property
+    def n_classes(self) -> int:
+        return len(np.unique(self.y_train))
+
+    @property
+    def n_train(self) -> int:
+        return len(self.X_train)
+
+    @property
+    def n_test(self) -> int:
+        return len(self.X_test)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name}: d={self.n_features}, classes={self.n_classes}, "
+            f"train={self.n_train}, test={self.n_test}, domain={self.domain}"
+        )

@@ -1,0 +1,143 @@
+"""Clustering benchmarks: FCPS shapes (Ultsch) plus an Iris-like set.
+
+The paper's Table 2 and Fig. 10 use four FCPS datasets -- Hepta, Tetra,
+TwoDiamonds, WingNut -- and the Iris flower data.  The FCPS shapes are
+defined geometrically in the original suite, so they can be regenerated
+faithfully; Iris is replaced by a 3-class, 4-feature Gaussian analogue
+with one well-separated class and two overlapping ones (its signature
+structure).
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def make_hepta(n_per_cluster: int = 30, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Seven well-separated Gaussian blobs in 3-D (one central, six axial)."""
+    rng = np.random.default_rng(seed)
+    centers = np.array(
+        [
+            [0, 0, 0],
+            [3, 0, 0], [-3, 0, 0],
+            [0, 3, 0], [0, -3, 0],
+            [0, 0, 3], [0, 0, -3],
+        ],
+        dtype=np.float64,
+    )
+    X = np.concatenate(
+        [c + rng.normal(scale=0.35, size=(n_per_cluster, 3)) for c in centers]
+    )
+    y = np.repeat(np.arange(7), n_per_cluster)
+    return X, y
+
+
+def make_tetra(n_per_cluster: int = 100, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Four almost-touching clusters at tetrahedron corners."""
+    rng = np.random.default_rng(seed)
+    centers = np.array(
+        [[1, 1, 1], [1, -1, -1], [-1, 1, -1], [-1, -1, 1]], dtype=np.float64
+    )
+    X = np.concatenate(
+        [c + rng.normal(scale=0.52, size=(n_per_cluster, 3)) for c in centers]
+    )
+    y = np.repeat(np.arange(4), n_per_cluster)
+    return X, y
+
+
+def make_two_diamonds(
+    n_per_cluster: int = 400, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two touching diamond-shaped clusters in 2-D."""
+    rng = np.random.default_rng(seed)
+
+    def diamond(center_x: float, n: int) -> np.ndarray:
+        # uniform in the L1 ball of radius 1
+        pts = []
+        while len(pts) < n:
+            cand = rng.uniform(-1, 1, size=(n, 2))
+            keep = np.abs(cand).sum(axis=1) <= 1.0
+            pts.extend(cand[keep])
+        pts = np.asarray(pts[:n])
+        pts[:, 0] += center_x
+        return pts
+
+    X = np.concatenate([diamond(-1.05, n_per_cluster), diamond(1.05, n_per_cluster)])
+    y = np.repeat(np.arange(2), n_per_cluster)
+    return X, y
+
+
+def make_wingnut(
+    n_per_cluster: int = 500, seed: int = 0
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Two rectangular clouds with density gradients facing each other."""
+    rng = np.random.default_rng(seed)
+
+    def wing(sign: float, n: int) -> np.ndarray:
+        # density increases toward the inner edge: rejection-free via sqrt
+        u = rng.uniform(size=n)
+        x = sign * (0.2 + 2.0 * (1.0 - np.sqrt(u)))
+        yv = rng.uniform(-1.0, 1.0, size=n)
+        jitter = rng.normal(scale=0.05, size=(n, 2))
+        return np.stack([x, yv], axis=1) + jitter
+
+    X = np.concatenate([wing(-1.0, n_per_cluster), wing(1.0, n_per_cluster)])
+    y = np.repeat(np.arange(2), n_per_cluster)
+    return X, y
+
+
+def make_iris_like(n_per_class: int = 50, seed: int = 0) -> Tuple[np.ndarray, np.ndarray]:
+    """Iris analogue: 4 features, one separable class, two overlapping."""
+    rng = np.random.default_rng(seed)
+    means = np.array(
+        [
+            [5.0, 3.4, 1.5, 0.25],  # setosa-like: well separated
+            [5.9, 2.8, 4.3, 1.3],  # versicolor-like
+            [6.6, 3.0, 5.5, 2.0],  # virginica-like: overlaps the previous
+        ]
+    )
+    scales = np.array(
+        [
+            [0.35, 0.38, 0.17, 0.10],
+            [0.51, 0.31, 0.47, 0.20],
+            [0.64, 0.32, 0.55, 0.27],
+        ]
+    )
+    X = np.concatenate(
+        [m + rng.normal(size=(n_per_class, 4)) * s for m, s in zip(means, scales)]
+    )
+    y = np.repeat(np.arange(3), n_per_class)
+    return X, y
+
+
+CLUSTER_DATASETS = {
+    "Hepta": (make_hepta, 7),
+    "Tetra": (make_tetra, 4),
+    "TwoDiamonds": (make_two_diamonds, 2),
+    "WingNut": (make_wingnut, 2),
+    "Iris": (make_iris_like, 3),
+}
+
+
+def make_cluster_dataset(name: str, seed: int = 0, scale: float = 1.0):
+    """Return ``(X, y_true, k)`` for one clustering benchmark.
+
+    Samples arrive shuffled: HDC clustering seeds its centroids with the
+    first ``k`` encoded inputs, which assumes a mixed arrival order (as
+    any real stream would be), not the generator's class-sorted layout.
+    """
+    try:
+        maker, k = CLUSTER_DATASETS[name]
+    except KeyError:
+        known = ", ".join(CLUSTER_DATASETS)
+        raise ValueError(f"unknown clustering dataset {name!r}; known: {known}")
+    import inspect
+
+    sig = inspect.signature(maker)
+    size_param = next(iter(sig.parameters))
+    default = sig.parameters[size_param].default
+    X, y = maker(**{size_param: max(k * 5, int(default * scale)), "seed": seed})
+    order = np.random.default_rng(seed).permutation(len(X))
+    return X[order], y[order], k

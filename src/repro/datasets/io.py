@@ -1,0 +1,72 @@
+"""Dataset persistence: save/load the synthetic benchmarks as ``.npz``.
+
+The generators are deterministic, but exporting a dataset pins the
+exact arrays for external tools (or for swapping in the *real* UCI
+files on a machine that has them: save them in this format and
+:func:`load` returns a drop-in :class:`~repro.datasets.base.Dataset`).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.datasets.base import Dataset
+
+FORMAT_VERSION = 1
+
+
+def save(dataset: Dataset, path: Union[str, Path]) -> None:
+    """Write a dataset (split, labels, metadata) to ``path`` (.npz)."""
+    header = {
+        "format_version": FORMAT_VERSION,
+        "name": dataset.name,
+        "domain": dataset.domain,
+        "use_position_ids": dataset.use_position_ids,
+        "metadata": dataset.metadata,
+    }
+    np.savez_compressed(
+        Path(path),
+        X_train=dataset.X_train,
+        y_train=dataset.y_train,
+        X_test=dataset.X_test,
+        y_test=dataset.y_test,
+        header=np.frombuffer(json.dumps(header).encode(), dtype=np.uint8),
+    )
+
+
+def load(path: Union[str, Path]) -> Dataset:
+    """Read a dataset written by :func:`save` (or hand-built externally)."""
+    with np.load(Path(path), allow_pickle=False) as data:
+        header = json.loads(bytes(data["header"].tobytes()).decode())
+        if header.get("format_version") != FORMAT_VERSION:
+            raise ValueError(
+                f"unsupported dataset file version {header.get('format_version')}"
+            )
+        return Dataset(
+            name=header["name"],
+            X_train=data["X_train"],
+            y_train=data["y_train"],
+            X_test=data["X_test"],
+            y_test=data["y_test"],
+            use_position_ids=header["use_position_ids"],
+            domain=header["domain"],
+            metadata=header.get("metadata", {}),
+        )
+
+
+def export_suite(directory: Union[str, Path], profile: str = "bench") -> list:
+    """Export every registry dataset to ``directory``; returns the paths."""
+    from repro.datasets.registry import CLASSIFICATION_DATASETS, load_dataset
+
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    paths = []
+    for name in CLASSIFICATION_DATASETS:
+        path = directory / f"{name.lower()}_{profile}.npz"
+        save(load_dataset(name, profile), path)
+        paths.append(path)
+    return paths

@@ -1,0 +1,270 @@
+"""Generator families behind the synthetic benchmark datasets.
+
+Three information structures drive Table 1 of the paper, and each family
+below isolates one of them:
+
+- :func:`make_prototype_dataset` -- *positional* signal: every class has
+  a per-position prototype.  To control how much an order-free encoder
+  (ngram) can recover, prototypes are assembled from a **shared motif
+  alphabet** arranged in class-specific orders: the local windows inside
+  a motif appear in every class, so only boundary windows leak local
+  signal.  Models ISOLET / MNIST / FACE / UCIHAR / PAMAP2.
+- :func:`make_motif_dataset` -- *translation-invariant local* signal:
+  class-specific short motifs are planted at random offsets on a
+  zero-mean background, so per-position means carry nothing (random
+  projection fails) while windowed encoders thrive.  Models EEG / EMG.
+- :func:`make_markov_dataset` -- *order-free n-gram* signal: symbol
+  sequences from class-specific Markov transition tables whose stationary
+  statistics are equalized in mean, so only local transitions
+  discriminate.  Models LANG.
+- :func:`make_tabular_dataset` -- classic class-conditional Gaussians
+  with optional adjacent-pair interactions.  Models CARDIO / PAGE / DNA.
+
+All generators take an explicit seed and return ``(X, y)``.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+
+def _smooth(rng: np.random.Generator, length: int, passes: int = 2) -> np.ndarray:
+    """Random vector smoothed by repeated 3-tap averaging (band-limited)."""
+    v = rng.normal(size=length)
+    for _ in range(passes):
+        v = np.convolve(v, [0.25, 0.5, 0.25], mode="same")
+    return v
+
+
+# ---------------------------------------------------------------------------
+# prototype family (positional signal, tunable ngram leakage)
+# ---------------------------------------------------------------------------
+
+def make_prototype_dataset(
+    n_classes: int,
+    n_features: int,
+    n_samples: int,
+    seed: int,
+    motif_len: int = 16,
+    alphabet_size: int = 8,
+    noise: float = 0.4,
+    jitter: int = 0,
+    boundary_leak: float = 1.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Per-class prototypes built from a shared motif alphabet.
+
+    Every class concatenates the *same multiset* of motifs in a
+    class-specific order, so window contents are shared across classes
+    and only window *positions* (plus motif boundaries) discriminate.
+
+    Parameters
+    ----------
+    motif_len:
+        Length of each alphabet motif; longer motifs mean fewer
+        boundary windows, i.e. a harder problem for ngram encoding.
+    alphabet_size:
+        Number of distinct motifs; smaller alphabets increase window
+        collisions between classes.
+    noise:
+        Standard deviation of the additive Gaussian noise.
+    jitter:
+        Maximum circular shift applied per sample (translation noise
+        that hurts strictly positional methods a little).
+    boundary_leak:
+        Scale of a small class-specific boundary marker; raising it
+        gives ngram partial signal (used to land MNIST's mid-range
+        ngram accuracy rather than total failure).
+    """
+    rng = np.random.default_rng(seed)
+    n_slots = max(2, n_features // motif_len)
+    usable = n_slots * motif_len
+    # lightly smoothed motifs: rough enough that every slot carries strong
+    # per-position signal, smooth enough to look like sensor data
+    alphabet = np.stack(
+        [_smooth(rng, motif_len, passes=1) for _ in range(alphabet_size)]
+    )
+    alphabet /= np.abs(alphabet).max() or 1.0
+
+    # one shared multiset of slot assignments, permuted per class
+    base_slots = rng.integers(0, alphabet_size, size=n_slots)
+    prototypes = np.zeros((n_classes, n_features))
+    for c in range(n_classes):
+        order = rng.permutation(n_slots)
+        seq = alphabet[base_slots[order]].reshape(usable)
+        if boundary_leak > 0:
+            # class-specific boundary markers give ngram a partial foothold
+            marks = rng.normal(scale=boundary_leak, size=n_slots)
+            for s in range(n_slots):
+                seq[s * motif_len] += marks[s]
+        prototypes[c, :usable] = seq
+        if usable < n_features:
+            prototypes[c, usable:] = _smooth(rng, n_features - usable)
+
+    y = rng.integers(0, n_classes, size=n_samples)
+    X = prototypes[y] + rng.normal(scale=noise, size=(n_samples, n_features))
+    if jitter > 0:
+        shifts = rng.integers(-jitter, jitter + 1, size=n_samples)
+        for i, s in enumerate(shifts):
+            if s:
+                X[i] = np.roll(X[i], s)
+    return X, y
+
+
+# ---------------------------------------------------------------------------
+# motif family (translation-invariant local signal; RP fails)
+# ---------------------------------------------------------------------------
+
+def make_motif_dataset(
+    n_classes: int,
+    n_features: int,
+    n_samples: int,
+    seed: int,
+    motif_len: int = 6,
+    motifs_per_sample: int = 8,
+    amplitude: float = 2.0,
+    background: float = 0.5,
+    histogram_leak: float = 0.0,
+    anchored: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Class-specific motifs planted on zero-mean noise.
+
+    Motifs are sign-balanced (each occurrence is multiplied by a random
+    ±1), so per-position and per-sample means are identical across
+    classes: a linear random projection sees nothing, while windowed
+    encoders match the motif shapes wherever they land.
+
+    Two variants feed the non-window encoders the partial/positional
+    signal they show in the paper:
+
+    - ``histogram_leak`` scales the background noise per class (global,
+      class-dependent variance -> value-histogram signal; the EEG
+      level-id column);
+    - ``anchored=True`` plants the motifs at *class-specific fixed
+      positions* instead of uniformly random offsets: positional
+      encoders learn which positions host activity (the EMG column,
+      where level-id and permutation match the windowed encoders) while
+      the random sign keeps every mean at zero, so the linear
+      projection still fails.
+    """
+    rng = np.random.default_rng(seed)
+    motifs = np.stack(
+        [_smooth(rng, motif_len, passes=1) for _ in range(n_classes)]
+    )
+    motifs *= amplitude / (np.abs(motifs).max(axis=1, keepdims=True) + 1e-12)
+
+    y = rng.integers(0, n_classes, size=n_samples)
+    spread = 1.0 + histogram_leak * y / max(1, n_classes - 1)
+    X = rng.normal(scale=background, size=(n_samples, n_features)) * spread[:, None]
+    max_start = n_features - motif_len
+    anchors = None
+    if anchored:
+        anchors = np.stack(
+            [
+                rng.choice(max_start + 1, size=motifs_per_sample, replace=False)
+                for _ in range(n_classes)
+            ]
+        )
+    for i in range(n_samples):
+        c = y[i]
+        if anchored:
+            starts = anchors[c]
+        else:
+            starts = rng.integers(0, max_start + 1, size=motifs_per_sample)
+        signs = rng.choice([-1.0, 1.0], size=motifs_per_sample)
+        for s, sign in zip(starts, signs):
+            X[i, s : s + motif_len] += sign * motifs[c]
+    return X, y
+
+
+# ---------------------------------------------------------------------------
+# Markov family (order-free n-gram signal; only local transitions matter)
+# ---------------------------------------------------------------------------
+
+def make_markov_dataset(
+    n_classes: int,
+    n_features: int,
+    n_samples: int,
+    seed: int,
+    alphabet_size: int = 12,
+    concentration: float = 0.25,
+    marginal_leak: float = 0.0,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Symbol sequences from class-specific Markov chains.
+
+    Each class owns a random transition matrix; sequences are sampled
+    from it, so bigram/trigram statistics identify the class while the
+    global arrangement is non-stationary noise.  The symbol values are
+    re-centered per sample (mean removed), killing linear-projection
+    signal; ``marginal_leak`` biases each class's stationary
+    distribution slightly so value-histogram methods recover partial
+    accuracy (LANG's level-id column).
+    """
+    rng = np.random.default_rng(seed)
+    transitions = np.empty((n_classes, alphabet_size, alphabet_size))
+    for c in range(n_classes):
+        t = rng.gamma(concentration, size=(alphabet_size, alphabet_size))
+        if marginal_leak > 0:
+            bias = rng.gamma(1.0, size=alphabet_size)
+            t *= 1.0 + marginal_leak * bias[None, :]
+        transitions[c] = t / t.sum(axis=1, keepdims=True)
+
+    y = rng.integers(0, n_classes, size=n_samples)
+    X = np.empty((n_samples, n_features))
+    for i in range(n_samples):
+        T = transitions[y[i]]
+        state = rng.integers(alphabet_size)
+        seq = np.empty(n_features, dtype=np.int64)
+        for t_step in range(n_features):
+            seq[t_step] = state
+            state = rng.choice(alphabet_size, p=T[state])
+        values = seq.astype(np.float64)
+        X[i] = values - values.mean()  # remove linear (mean) signal
+    return X, y
+
+
+# ---------------------------------------------------------------------------
+# tabular family (class-conditional Gaussians + pair interactions)
+# ---------------------------------------------------------------------------
+
+def make_tabular_dataset(
+    n_classes: int,
+    n_features: int,
+    n_samples: int,
+    seed: int,
+    separation: float = 1.2,
+    noise: float = 1.0,
+    informative_fraction: float = 0.6,
+    pair_interaction: float = 0.0,
+    binary: bool = False,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Class-conditional Gaussian blobs, optionally with XOR-like pairs.
+
+    ``pair_interaction`` injects class signal into the *product* of
+    adjacent feature pairs (zero marginal means): a nonlinearity that
+    window-based encoders and trees capture but per-feature encoders and
+    linear models cannot -- the CARDIO column's mechanism.
+    ``binary`` thresholds features to {0, 1} (DNA).
+    """
+    rng = np.random.default_rng(seed)
+    n_informative = max(1, int(n_features * informative_fraction))
+    means = np.zeros((n_classes, n_features))
+    means[:, :n_informative] = rng.normal(
+        scale=separation, size=(n_classes, n_informative)
+    )
+    y = rng.integers(0, n_classes, size=n_samples)
+    X = means[y] + rng.normal(scale=noise, size=(n_samples, n_features))
+    if pair_interaction > 0:
+        # adjacent pairs whose signs correlate per class (zero mean each)
+        n_pairs = n_features // 2
+        pair_signs = rng.choice([-1.0, 1.0], size=(n_classes, n_pairs))
+        signs = rng.choice([-1.0, 1.0], size=(n_samples, n_pairs))
+        for p in range(n_pairs):
+            a, b = 2 * p, 2 * p + 1
+            target = pair_signs[y, p] * signs[:, p]
+            X[:, a] += pair_interaction * signs[:, p]
+            X[:, b] += pair_interaction * target
+    if binary:
+        X = (X > np.median(X)).astype(np.float64)
+    return X, y

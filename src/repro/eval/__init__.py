@@ -1,0 +1,18 @@
+"""Evaluation substrate: metrics, result tables, experiment modules.
+
+Each table/figure of the paper has a module under
+:mod:`repro.eval.experiments` exposing a ``run(...)`` function that
+returns an :class:`~repro.eval.harness.ExperimentResult`; the
+``benchmarks/`` directory wraps those runs with pytest-benchmark and
+asserts the paper's shape claims.
+"""
+
+from repro.eval.harness import ExperimentResult
+from repro.eval.metrics import accuracy, geometric_mean, normalized_mutual_information
+
+__all__ = [
+    "ExperimentResult",
+    "accuracy",
+    "geometric_mean",
+    "normalized_mutual_information",
+]

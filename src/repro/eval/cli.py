@@ -1,0 +1,119 @@
+"""Command-line entry point for the experiment suite.
+
+Regenerate any paper artifact without touching pytest::
+
+    python -m repro.eval.cli table1 --profile tiny
+    python -m repro.eval.cli fig9
+    python -m repro.eval.cli all --profile bench --json results/
+
+Each run prints the paper-style table plus the shape-claim checklist;
+``--json`` additionally dumps machine-readable results per experiment.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import Callable, Dict, Optional
+
+from repro.eval.harness import ExperimentResult
+
+
+def _runners() -> Dict[str, Callable[..., ExperimentResult]]:
+    from repro.eval.experiments import (
+        ablations,
+        fig3,
+        fig5,
+        fig6,
+        fig7,
+        fig8,
+        fig9,
+        fig10,
+        summary,
+        table1,
+        table2,
+    )
+
+    return {
+        "summary": lambda profile: summary.run(profile=profile),
+        "table1": lambda profile: table1.run(profile=profile),
+        "table2": lambda profile: table2.run(),
+        "fig3": lambda profile: fig3.run(profile=profile),
+        "fig5": lambda profile: fig5.run(profile=profile),
+        "fig6": lambda profile: fig6.run(profile=profile),
+        "fig7": lambda profile: fig7.run(profile=profile),
+        "fig8": lambda profile: fig8.run(profile=profile),
+        "fig9": lambda profile: fig9.run(profile=profile),
+        "fig10": lambda profile: fig10.run(),
+        "ablation-ids": lambda profile: ablations.run_id_compression(profile=profile),
+        "ablation-gating": lambda profile: ablations.run_power_gating(profile=profile),
+        "ablation-window": lambda profile: ablations.run_window_sweep(profile=profile),
+        "ablation-divider": lambda profile: ablations.run_divider(profile=profile),
+        "ablation-bitwidth": lambda profile: ablations.run_bitwidth(profile=profile),
+        "ablation-banks": lambda profile: ablations.run_bank_sweep(),
+        "ablation-burst": lambda profile: ablations.run_burst_throughput(),
+        "ablation-levels": lambda profile: ablations.run_level_scheme(profile=profile),
+        "ablation-convergence": lambda profile: ablations.run_convergence(profile=profile),
+    }
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro.eval.cli",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=[*sorted(_runners()), "all"],
+        help="which artifact to regenerate ('all' runs everything)",
+    )
+    parser.add_argument(
+        "--profile",
+        default="bench",
+        choices=("tiny", "bench", "full"),
+        help="dataset size profile (default: bench)",
+    )
+    parser.add_argument(
+        "--json",
+        type=Path,
+        default=None,
+        metavar="DIR",
+        help="also write <DIR>/<experiment>.json per result",
+    )
+    parser.add_argument(
+        "--strict",
+        action="store_true",
+        help="exit non-zero if any shape claim fails",
+    )
+    return parser
+
+
+def run_one(
+    name: str,
+    profile: str,
+    json_dir: Optional[Path] = None,
+) -> ExperimentResult:
+    result = _runners()[name](profile)
+    print(result.render())
+    print()
+    if json_dir is not None:
+        json_dir.mkdir(parents=True, exist_ok=True)
+        (json_dir / f"{name}.json").write_text(result.to_json())
+    return result
+
+
+def main(argv: Optional[list] = None) -> int:
+    args = build_parser().parse_args(argv)
+    names = sorted(_runners()) if args.experiment == "all" else [args.experiment]
+    ok = True
+    for name in names:
+        result = run_one(name, args.profile, args.json)
+        ok = ok and result.all_claims_hold
+    if args.strict and not ok:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

@@ -1,0 +1,20 @@
+"""One module per paper artifact (see DESIGN.md's experiment index).
+
+Every module exposes ``run(profile=..., seed=...) -> ExperimentResult``
+and prints its table when executed as ``python -m
+repro.eval.experiments.<name>``.
+"""
+
+EXPERIMENTS = (
+    "summary",
+    "table1",
+    "table2",
+    "fig3",
+    "fig5",
+    "fig6",
+    "fig7",
+    "fig8",
+    "fig9",
+    "fig10",
+    "ablations",
+)

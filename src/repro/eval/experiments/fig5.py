@@ -1,0 +1,119 @@
+"""Fig. 5: accuracy vs dimensions with constant vs updated L2 norms.
+
+On-demand dimension reduction (Section 4.3.3) shrinks the effective
+``D_hv`` at inference time.  The cosine denominator must cover only the
+surviving dimensions: reusing the full-length ("Constant") norms loses
+up to 20.1% accuracy on EEG and 8.5% on ISOLET, while the blocked
+sub-norms ("Updated") track the full-dimension accuracy closely until
+the dimensionality gets very small.
+
+Shape claims:
+
+- updated norms dominate constant norms at reduced dimensions;
+- the worst-case gap is substantial (several accuracy points);
+- with updated norms, accuracy degrades gracefully (the 1K-dim point
+  stays within a few points of the 4K-dim point, the property GENERIC-LP
+  exploits for its 4x energy saving on ISOLET).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.datasets import load_dataset
+from repro.eval.harness import ExperimentResult
+
+DEFAULT_DATASETS = ("EEG", "ISOLET")
+DEFAULT_DIM = 2048
+
+
+def sweep_dataset(
+    name: str,
+    profile: str = "bench",
+    dim: int = DEFAULT_DIM,
+    dims: Optional[Sequence[int]] = None,
+    epochs: int = 10,
+    seed: int = 5,
+) -> Dict[str, Dict[int, float]]:
+    """Accuracy at each reduced dimensionality, both norm policies."""
+    ds = load_dataset(name, profile)
+    encoder = GenericEncoder(dim=dim, seed=seed, use_ids=ds.use_position_ids)
+    clf = HDClassifier(encoder, epochs=epochs, seed=seed)
+    clf.fit(ds.X_train, ds.y_train)
+    encodings = encoder.encode_batch(ds.X_test).astype(np.float64)
+    if dims is None:
+        dims = [d for d in (dim // 16, dim // 8, dim // 4, dim // 2, dim) if d >= 128]
+    out: Dict[str, Dict[int, float]] = {"constant": {}, "updated": {}}
+    for d in dims:
+        for policy, constant in (("constant", True), ("updated", False)):
+            preds = clf.predict_encoded(encodings, dim=d, constant_norms=constant)
+            out[policy][d] = float(np.mean(preds == ds.y_test))
+    return out
+
+
+def run(
+    profile: str = "bench",
+    dim: int = DEFAULT_DIM,
+    epochs: int = 10,
+    seed: int = 5,
+    datasets: Sequence[str] = DEFAULT_DATASETS,
+) -> ExperimentResult:
+    curves = {
+        name: sweep_dataset(name, profile=profile, dim=dim, epochs=epochs, seed=seed)
+        for name in datasets
+    }
+    headers = ["dataset", "policy", *[
+        str(d) for d in sorted(next(iter(curves.values()))["updated"])
+    ]]
+    rows = []
+    for name, c in curves.items():
+        for policy in ("constant", "updated"):
+            rows.append([name, policy, *[c[policy][d] for d in sorted(c[policy])]])
+
+    gaps = []
+    graceful = []
+    for name, c in curves.items():
+        dims_sorted = sorted(c["updated"])
+        reduced = [d for d in dims_sorted if d < dims_sorted[-1]]
+        gaps.extend(c["updated"][d] - c["constant"][d] for d in reduced)
+        full_acc = c["updated"][dims_sorted[-1]]
+        half = dims_sorted[-2] if len(dims_sorted) > 1 else dims_sorted[-1]
+        graceful.append(c["updated"][half] >= full_acc - 0.12)
+
+    claims = {
+        "updated norms never lose to constant norms (reduced dims)": all(
+            g >= -0.02 for g in gaps
+        ),
+        "constant norms cost several points somewhere (max gap > 3%)": (
+            max(gaps) > 0.03
+        ),
+        "updated-norm accuracy degrades gracefully to half dimensions": all(
+            graceful
+        ),
+    }
+    from repro.eval.figures import line_series
+
+    charts = {
+        name: line_series(
+            {policy: dict(c[policy]) for policy in ("constant", "updated")},
+            title=f"Fig. 5 ({name}) -- accuracy vs dimensions",
+            y_range=(0.0, 1.0),
+        )
+        for name, c in curves.items()
+    }
+    return ExperimentResult(
+        experiment="Figure 5",
+        description="accuracy vs dimensions, constant vs updated L2 norms",
+        headers=headers,
+        rows=rows,
+        data={"curves": curves, "charts": charts},
+        claims=claims,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

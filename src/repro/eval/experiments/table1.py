@@ -1,0 +1,156 @@
+"""Table 1: accuracy of HDC encoders and ML baselines on the 11 datasets.
+
+Columns follow the paper: RP, level-id, ngram, permute, GENERIC for HDC;
+MLP, SVM, RF, DNN for ML.  The GENERIC column uses each dataset's
+per-application id configuration (ids disabled for order-free data),
+exactly as the flexible architecture intends.
+
+Shape claims asserted against the paper:
+
+- GENERIC has the highest mean accuracy among the HDC encoders;
+- GENERIC's mean beats the best classic-ML mean (paper: +6.5% over SVM);
+- GENERIC's mean beats the best baseline HDC mean (paper: +3.5% over
+  level-id) and has the lowest standard deviation across datasets;
+- random projection collapses on the temporal datasets (EEG, LANG);
+- ngram collapses on globally-ordered datasets (ISOLET, MNIST) but ties
+  GENERIC on LANG.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import (
+    DNNClassifier,
+    MLPClassifier,
+    RandomForestClassifier,
+    SVMClassifier,
+)
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import PAPER_ORDER, make_encoder
+from repro.datasets import CLASSIFICATION_DATASETS, load_dataset
+from repro.eval.harness import ExperimentResult
+
+HDC_COLUMNS = PAPER_ORDER  # ("rp", "level-id", "ngram", "permute", "generic")
+ML_COLUMNS = ("mlp", "svm", "rf", "dnn")
+DEFAULT_DIM = 2048
+DEFAULT_EPOCHS = 10
+
+
+def _make_ml(name: str, seed: int):
+    if name == "mlp":
+        return MLPClassifier(hidden=(100,), epochs=40, seed=seed)
+    if name == "svm":
+        return SVMClassifier(kernel="rbf", seed=seed)
+    if name == "rf":
+        return RandomForestClassifier(n_estimators=25, max_depth=12, seed=seed)
+    if name == "dnn":
+        return DNNClassifier(epochs=30, seed=seed)
+    raise ValueError(f"unknown ML baseline {name!r}")
+
+
+def evaluate_dataset(
+    name: str,
+    profile: str = "bench",
+    dim: int = DEFAULT_DIM,
+    epochs: int = DEFAULT_EPOCHS,
+    seed: int = 5,
+    include_ml: bool = True,
+) -> Dict[str, float]:
+    """Accuracy of every column on one dataset."""
+    ds = load_dataset(name, profile)
+    row: Dict[str, float] = {}
+    for enc_name in HDC_COLUMNS:
+        kwargs = {"dim": dim, "seed": seed}
+        if enc_name == "generic":
+            kwargs["use_ids"] = ds.use_position_ids
+        encoder = make_encoder(enc_name, **kwargs)
+        clf = HDClassifier(encoder, epochs=epochs, seed=seed)
+        clf.fit(ds.X_train, ds.y_train)
+        row[enc_name] = clf.score(ds.X_test, ds.y_test)
+    if include_ml:
+        for ml_name in ML_COLUMNS:
+            model = _make_ml(ml_name, seed)
+            model.fit(ds.X_train, ds.y_train)
+            row[ml_name] = model.score(ds.X_test, ds.y_test)
+    return row
+
+
+def run(
+    profile: str = "bench",
+    dim: int = DEFAULT_DIM,
+    epochs: int = DEFAULT_EPOCHS,
+    seed: int = 5,
+    datasets: Optional[Sequence[str]] = None,
+    include_ml: bool = True,
+) -> ExperimentResult:
+    """Reproduce Table 1; returns rows per dataset plus Mean/STDV rows."""
+    names = list(datasets) if datasets else list(CLASSIFICATION_DATASETS)
+    table: Dict[str, Dict[str, float]] = {}
+    for name in names:
+        table[name] = evaluate_dataset(
+            name, profile=profile, dim=dim, epochs=epochs, seed=seed,
+            include_ml=include_ml,
+        )
+
+    columns = list(HDC_COLUMNS) + (list(ML_COLUMNS) if include_ml else [])
+    means = {c: float(np.mean([table[n][c] for n in names])) for c in columns}
+    stds = {c: float(np.std([table[n][c] for n in names])) for c in columns}
+
+    headers = ["dataset", *columns]
+    rows = [[n, *(table[n][c] for c in columns)] for n in names]
+    rows.append(["Mean", *(means[c] for c in columns)])
+    rows.append(["STDV", *(stds[c] for c in columns)])
+
+    claims: Dict[str, bool] = {}
+    hdc_means = {c: means[c] for c in HDC_COLUMNS}
+    best_baseline_hdc = max(
+        (c for c in HDC_COLUMNS if c != "generic"), key=lambda c: hdc_means[c]
+    )
+    claims["GENERIC has the highest mean among HDC encoders"] = (
+        means["generic"] == max(hdc_means.values())
+    )
+    claims["GENERIC improves on the best baseline HDC mean"] = (
+        means["generic"] > means[best_baseline_hdc]
+    )
+    claims["GENERIC has the lowest accuracy STDV among HDC encoders"] = (
+        stds["generic"] == min(stds[c] for c in HDC_COLUMNS)
+    )
+    if include_ml:
+        best_classic = max(("mlp", "svm", "rf"), key=lambda c: means[c])
+        claims["GENERIC mean beats the best classic-ML mean"] = (
+            means["generic"] > means[best_classic]
+        )
+    if "EEG" in table:
+        claims["RP collapses on EEG (temporal signal)"] = (
+            table["EEG"]["rp"] < table["EEG"]["generic"] - 0.2
+        )
+    if "LANG" in table:
+        claims["RP collapses on LANG"] = table["LANG"]["rp"] < 0.2
+        claims["ngram ties GENERIC on LANG (both ~max)"] = (
+            abs(table["LANG"]["ngram"] - table["LANG"]["generic"]) < 0.05
+            and table["LANG"]["generic"] > 0.8
+        )
+    if "ISOLET" in table:
+        claims["ngram collapses on ISOLET (global order)"] = (
+            table["ISOLET"]["ngram"] < table["ISOLET"]["generic"] - 0.3
+        )
+    if "MNIST" in table:
+        claims["ngram trails GENERIC on MNIST"] = (
+            table["MNIST"]["ngram"] < table["MNIST"]["generic"] - 0.2
+        )
+
+    return ExperimentResult(
+        experiment="Table 1",
+        description="classification accuracy of HDC and ML algorithms",
+        headers=headers,
+        rows=rows,
+        data={"table": table, "means": means, "stds": stds},
+        claims=claims,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

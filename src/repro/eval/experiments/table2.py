@@ -1,0 +1,81 @@
+"""Table 2: mutual-information score of K-means vs HDC clustering.
+
+The paper reports normalized mutual information against ground truth on
+Hepta, Tetra, TwoDiamonds, WingNut (FCPS) and Iris.  K-means edges HDC
+by 0.031 on average; the shape claim is that the two stay comparable
+(HDC within a small margin everywhere, occasionally ahead).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Sequence
+
+import numpy as np
+
+from repro.baselines import KMeans
+from repro.core.clustering import HDCluster
+from repro.core.encoders import GenericEncoder
+from repro.datasets import CLUSTER_DATASETS, make_cluster_dataset
+from repro.eval.harness import ExperimentResult
+from repro.eval.metrics import normalized_mutual_information
+
+DEFAULT_DIM = 2048
+
+
+def evaluate_dataset(
+    name: str,
+    dim: int = DEFAULT_DIM,
+    epochs: int = 12,
+    seed: int = 7,
+    scale: float = 1.0,
+) -> Dict[str, float]:
+    """NMI of K-means and HDC clustering on one benchmark."""
+    X, y_true, k = make_cluster_dataset(name, seed=seed, scale=scale)
+    km = KMeans(k=k, seed=seed).fit(X)
+    encoder = GenericEncoder(dim=dim, seed=seed, window=min(3, X.shape[1]))
+    hdc = HDCluster(encoder, k=k, epochs=epochs, seed=seed).fit(X)
+    return {
+        "kmeans": normalized_mutual_information(y_true, km.labels_),
+        "hdc": normalized_mutual_information(y_true, hdc.labels_),
+    }
+
+
+def run(
+    dim: int = DEFAULT_DIM,
+    epochs: int = 12,
+    seed: int = 7,
+    scale: float = 1.0,
+    datasets: Optional[Sequence[str]] = None,
+) -> ExperimentResult:
+    names = list(datasets) if datasets else list(CLUSTER_DATASETS)
+    table = {
+        name: evaluate_dataset(name, dim=dim, epochs=epochs, seed=seed, scale=scale)
+        for name in names
+    }
+    km_mean = float(np.mean([table[n]["kmeans"] for n in names]))
+    hdc_mean = float(np.mean([table[n]["hdc"] for n in names]))
+
+    headers = ["dataset", "K-means", "HDC"]
+    rows = [[n, table[n]["kmeans"], table[n]["hdc"]] for n in names]
+    rows.append(["Mean", km_mean, hdc_mean])
+
+    claims = {
+        "HDC clustering is comparable to K-means (mean gap < 0.15)": (
+            abs(km_mean - hdc_mean) < 0.15
+        ),
+        "HDC NMI is meaningful on every dataset (> 0.3)": all(
+            table[n]["hdc"] > 0.3 for n in names
+        ),
+    }
+    return ExperimentResult(
+        experiment="Table 2",
+        description="normalized mutual information of K-means and HDC",
+        headers=headers,
+        rows=rows,
+        data={"table": table, "kmeans_mean": km_mean, "hdc_mean": hdc_mean},
+        claims=claims,
+    )
+
+
+if __name__ == "__main__":  # pragma: no cover
+    print(run().render())

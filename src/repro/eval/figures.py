@@ -1,0 +1,102 @@
+"""Text rendering of figure-like artifacts (bars and series).
+
+The paper's figures are log-scale bar charts (energy per input) and
+line plots (accuracy vs dimensions / error rate).  The benches print
+tables for exact numbers; these helpers add a terminal-friendly visual
+so the regenerated artifact *reads* like the figure:
+
+- :func:`bar_chart` -- horizontal bars, optionally log-scaled (Figs. 3,
+  8, 9, 10);
+- :func:`line_series` -- multi-series sparkline grid (Figs. 5, 6).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Optional
+
+_BLOCKS = " .:-=+*#%@"
+
+
+def _scale(value: float, lo: float, hi: float, log: bool) -> float:
+    if log:
+        value, lo, hi = (math.log10(max(v, 1e-30)) for v in (value, lo, hi))
+    if hi <= lo:
+        return 1.0
+    return (value - lo) / (hi - lo)
+
+
+def bar_chart(
+    data: Dict[str, float],
+    title: str = "",
+    width: int = 50,
+    log: bool = True,
+    unit: str = "",
+    baseline: Optional[str] = None,
+) -> str:
+    """Horizontal bar chart; values must be positive for log scale.
+
+    ``baseline`` names an entry whose ratio is annotated on every bar
+    (e.g. GENERIC-LP in Fig. 9).
+    """
+    if not data:
+        raise ValueError("nothing to plot")
+    values = list(data.values())
+    if log and any(v <= 0 for v in values):
+        raise ValueError("log-scale bars need positive values")
+    lo, hi = min(values), max(values)
+    label_width = max(len(k) for k in data)
+    lines = []
+    if title:
+        lines.append(title)
+    base = data.get(baseline) if baseline else None
+    for name, value in data.items():
+        frac = _scale(value, lo, hi, log)
+        bar = "#" * max(1, int(round(frac * width)))
+        note = f" {value:.4g}{unit}"
+        if base:
+            note += f" ({value / base:.3g}x)"
+        lines.append(f"{name.ljust(label_width)} |{bar}{note}")
+    return "\n".join(lines)
+
+
+def line_series(
+    series: Dict[str, Dict[float, float]],
+    title: str = "",
+    width: int = 40,
+    y_range: Optional[tuple] = None,
+) -> str:
+    """One sparkline row per series over a shared x grid.
+
+    ``series`` maps series name -> {x: y}; x values are sorted and
+    resampled by nearest-neighbour onto ``width`` columns.
+    """
+    if not series:
+        raise ValueError("nothing to plot")
+    all_y = [y for s in series.values() for y in s.values()]
+    lo, hi = y_range if y_range else (min(all_y), max(all_y))
+    span = (hi - lo) or 1.0
+    label_width = max(len(k) for k in series)
+    lines = []
+    if title:
+        lines.append(title)
+    for name, points in series.items():
+        xs = sorted(points)
+        cols = []
+        for c in range(width):
+            # nearest x for this column
+            target = xs[0] + (xs[-1] - xs[0]) * c / max(1, width - 1)
+            nearest = min(xs, key=lambda x: abs(x - target))
+            frac = (points[nearest] - lo) / span
+            level = int(round(frac * (len(_BLOCKS) - 1)))
+            cols.append(_BLOCKS[max(0, min(level, len(_BLOCKS) - 1))])
+        lines.append(
+            f"{name.ljust(label_width)} |{''.join(cols)}| "
+            f"{points[xs[0]]:.3g}..{points[xs[-1]]:.3g}"
+        )
+    lines.append(
+        f"{''.ljust(label_width)}  x: {min(min(s) for s in series.values()):.3g}"
+        f" .. {max(max(s) for s in series.values()):.3g}, "
+        f"y: {lo:.3g} .. {hi:.3g}"
+    )
+    return "\n".join(lines)

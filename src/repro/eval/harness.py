@@ -1,0 +1,64 @@
+"""Experiment result container and shared harness helpers."""
+
+from __future__ import annotations
+
+import json
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence
+
+from repro.eval.tables import format_table
+
+
+@dataclass
+class ExperimentResult:
+    """Output of one table/figure reproduction.
+
+    ``data`` holds the raw numbers keyed exactly like the paper's rows
+    and series; ``claims`` records shape assertions (claim text ->
+    bool) so benchmarks can fail loudly when the reproduction drifts.
+    """
+
+    experiment: str
+    description: str
+    headers: Sequence[str]
+    rows: List[Sequence]
+    data: Dict = field(default_factory=dict)
+    claims: Dict[str, bool] = field(default_factory=dict)
+
+    def render(self, float_fmt: str = "{:.3f}") -> str:
+        body = format_table(
+            self.headers, self.rows, title=f"{self.experiment}: {self.description}",
+            float_fmt=float_fmt,
+        )
+        if self.claims:
+            checks = "\n".join(
+                f"  [{'ok' if ok else 'FAIL'}] {claim}" for claim, ok in self.claims.items()
+            )
+            body += f"\n\nshape claims:\n{checks}"
+        return body
+
+    def assert_claims(self) -> None:
+        """Raise if any recorded shape claim does not hold."""
+        failed = [claim for claim, ok in self.claims.items() if not ok]
+        if failed:
+            raise AssertionError(
+                f"{self.experiment}: shape claims failed: {failed}"
+            )
+
+    @property
+    def all_claims_hold(self) -> bool:
+        return all(self.claims.values())
+
+    def to_json(self) -> str:
+        return json.dumps(
+            {
+                "experiment": self.experiment,
+                "description": self.description,
+                "headers": list(self.headers),
+                "rows": [list(r) for r in self.rows],
+                "data": self.data,
+                "claims": self.claims,
+            },
+            indent=2,
+            default=float,
+        )

@@ -1,0 +1,69 @@
+"""Evaluation metrics: accuracy, NMI (Table 2), geometric mean (Fig. 3)."""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+import numpy as np
+
+
+def accuracy(y_true: np.ndarray, y_pred: np.ndarray) -> float:
+    """Fraction of matching labels."""
+    y_true = np.asarray(y_true)
+    y_pred = np.asarray(y_pred)
+    if y_true.shape != y_pred.shape:
+        raise ValueError(f"shape mismatch: {y_true.shape} vs {y_pred.shape}")
+    if len(y_true) == 0:
+        raise ValueError("accuracy of zero samples is undefined")
+    return float(np.mean(y_true == y_pred))
+
+
+def _entropy(counts: np.ndarray) -> float:
+    p = counts[counts > 0] / counts.sum()
+    return float(-(p * np.log(p)).sum())
+
+
+def normalized_mutual_information(labels_a: np.ndarray, labels_b: np.ndarray) -> float:
+    """NMI with arithmetic-mean normalization (Table 2's score).
+
+    Returns 1.0 for identical partitions (up to relabeling) and ~0 for
+    independent ones.  Both inputs may use arbitrary label values.
+    """
+    a = np.asarray(labels_a)
+    b = np.asarray(labels_b)
+    if a.shape != b.shape:
+        raise ValueError(f"shape mismatch: {a.shape} vs {b.shape}")
+    if len(a) == 0:
+        raise ValueError("NMI of zero samples is undefined")
+    _, ai = np.unique(a, return_inverse=True)
+    _, bi = np.unique(b, return_inverse=True)
+    n_a = ai.max() + 1
+    n_b = bi.max() + 1
+    contingency = np.zeros((n_a, n_b), dtype=np.float64)
+    np.add.at(contingency, (ai, bi), 1.0)
+    n = contingency.sum()
+
+    h_a = _entropy(contingency.sum(axis=1))
+    h_b = _entropy(contingency.sum(axis=0))
+    if h_a == 0.0 and h_b == 0.0:
+        return 1.0  # both partitions are single clusters
+    pij = contingency / n
+    pa = contingency.sum(axis=1) / n
+    pb = contingency.sum(axis=0) / n
+    outer = pa[:, None] * pb[None, :]
+    mask = pij > 0
+    mi = float((pij[mask] * np.log(pij[mask] / outer[mask])).sum())
+    denom = 0.5 * (h_a + h_b)
+    if denom == 0.0:
+        return 0.0
+    return float(np.clip(mi / denom, 0.0, 1.0))
+
+
+def geometric_mean(values: Iterable[float]) -> float:
+    """Geometric mean, the aggregation the paper uses across datasets."""
+    arr = np.asarray(list(values), dtype=np.float64)
+    if len(arr) == 0:
+        raise ValueError("geometric mean of nothing is undefined")
+    if (arr <= 0).any():
+        raise ValueError("geometric mean requires positive values")
+    return float(np.exp(np.mean(np.log(arr))))

@@ -1,0 +1,50 @@
+"""Console rendering of experiment results (rows the paper reports)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+
+def format_table(
+    headers: Sequence[str],
+    rows: Sequence[Sequence],
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a fixed-width text table."""
+
+    def fmt(cell) -> str:
+        if isinstance(cell, float):
+            return float_fmt.format(cell)
+        return str(cell)
+
+    str_rows = [[fmt(c) for c in row] for row in rows]
+    widths = [
+        max(len(str(h)), *(len(r[i]) for r in str_rows)) if str_rows else len(str(h))
+        for i, h in enumerate(headers)
+    ]
+    sep = "-+-".join("-" * w for w in widths)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+        lines.append("=" * len(sep))
+    lines.append(" | ".join(str(h).ljust(w) for h, w in zip(headers, widths)))
+    lines.append(sep)
+    for row in str_rows:
+        lines.append(" | ".join(c.ljust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def dict_table(
+    data: Dict[str, Dict[str, float]],
+    row_name: str = "dataset",
+    title: Optional[str] = None,
+    float_fmt: str = "{:.3f}",
+) -> str:
+    """Render a nested dict {row: {column: value}} as a table."""
+    if not data:
+        raise ValueError("empty table")
+    columns = list(next(iter(data.values())).keys())
+    headers = [row_name, *columns]
+    rows = [[name, *(values.get(c, float("nan")) for c in columns)] for name, values in data.items()]
+    return format_table(headers, rows, title=title, float_fmt=float_fmt)

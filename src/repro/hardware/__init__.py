@@ -1,0 +1,29 @@
+"""Cycle-approximate simulator of the GENERIC ASIC (paper Sections 4-5).
+
+The simulator is *functionally faithful* (its predictions match the
+algorithmic library bit-for-bit given the same tables, modulo the
+hardware similarity metric and quantization) and *structurally faithful*
+(cycles, memory traffic and bank activation follow the architecture of
+Fig. 4).  Absolute energy/area numbers come from an analytical model
+calibrated to the paper's reported 14 nm figures; see
+:mod:`repro.hardware.energy`.
+"""
+
+from repro.hardware.accelerator import GenericAccelerator, RunReport
+from repro.hardware.energy import EnergyModel
+from repro.hardware.multiplex import AppManager
+from repro.hardware.params import ArchParams
+from repro.hardware.serial import InputPort, burst_analysis
+from repro.hardware.spec import AppSpec, Mode
+
+__all__ = [
+    "AppManager",
+    "AppSpec",
+    "ArchParams",
+    "EnergyModel",
+    "GenericAccelerator",
+    "InputPort",
+    "Mode",
+    "RunReport",
+    "burst_analysis",
+]

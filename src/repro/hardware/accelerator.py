@@ -1,0 +1,324 @@
+"""Top-level GENERIC accelerator model (paper Section 4).
+
+Composes the encoder unit, search unit, controller cycle model, power
+gating, voltage over-scaling and the energy model into a device you can
+program through an :class:`~repro.hardware.spec.AppSpec`, load through a
+config image (offline training) or train on-device, and run in the three
+modes of the paper: training, inference, clustering.
+
+Every run returns a :class:`RunReport` with predictions, cycle counts,
+and a calibrated energy estimate, so the benchmark harness regenerates
+Figures 8-10 directly from simulated runs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.model_io import ConfigImage
+from repro.hardware import controller
+from repro.hardware.counters import Counters
+from repro.hardware.encoder_unit import EncoderUnit
+from repro.hardware.energy import EnergyModel, PowerReport
+from repro.hardware.params import DEFAULT_PARAMS, ArchParams
+from repro.hardware.power_gating import GatingPlan, plan_for_spec
+from repro.hardware.search_unit import SearchUnit
+from repro.hardware.spec import AppSpec, Mode
+from repro.hardware.voltage import VoltagePoint, operating_point
+
+
+@dataclass
+class RunReport:
+    """Outcome of a simulated run."""
+
+    mode: Mode
+    n_inputs: int
+    counters: Counters
+    power: PowerReport
+    predictions: Optional[np.ndarray] = None
+    extras: dict = field(default_factory=dict)
+
+    @property
+    def cycles(self) -> int:
+        return self.counters.cycles
+
+    @property
+    def time_s(self) -> float:
+        return self.power.time_s
+
+    @property
+    def energy_j(self) -> float:
+        return self.power.total_j
+
+    @property
+    def energy_per_input_j(self) -> float:
+        return self.energy_j / max(1, self.n_inputs)
+
+    @property
+    def time_per_input_s(self) -> float:
+        return self.time_s / max(1, self.n_inputs)
+
+
+class GenericAccelerator:
+    """Programmable HDC engine: train, infer, cluster.
+
+    Parameters
+    ----------
+    params:
+        Architecture configuration; the default matches the paper.
+    """
+
+    def __init__(self, params: ArchParams = DEFAULT_PARAMS):
+        params.validate()
+        self.params = params
+        self.energy_model = EnergyModel(params)
+        self.spec: Optional[AppSpec] = None
+        self.encoder: Optional[EncoderUnit] = None
+        self.search: Optional[SearchUnit] = None
+        self.gating: Optional[GatingPlan] = None
+        self.vos: Optional[VoltagePoint] = None
+        self.class_labels: Optional[np.ndarray] = None
+        self.rng = np.random.default_rng(0)
+
+    # -- programming -----------------------------------------------------------
+
+    def configure(self, spec: AppSpec) -> "GenericAccelerator":
+        """Load the spec registers and plan the power gating."""
+        spec.validate(self.params)
+        self.spec = spec
+        self.gating = plan_for_spec(spec, self.params)
+        self.search = SearchUnit(
+            spec.n_classes, spec.dim, norm_block=self.params.norm_block
+        )
+        return self
+
+    def load_tables(
+        self,
+        level_table: np.ndarray,
+        seed_id: Optional[np.ndarray],
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ) -> None:
+        """Load the level memory, seed id and quantizer range (config port)."""
+        self._require_spec()
+        level_table = np.asarray(level_table, dtype=np.int8)
+        if level_table.shape[0] > self.params.num_levels:
+            raise ValueError(
+                f"{level_table.shape[0]} levels exceed the level memory "
+                f"({self.params.num_levels} rows)"
+            )
+        if level_table.shape[1] < self.spec.dim:
+            raise ValueError(
+                f"level rows of {level_table.shape[1]} bits shorter than "
+                f"D_hv={self.spec.dim}"
+            )
+        self.encoder = EncoderUnit(
+            level_table,
+            seed_id if self.spec.use_ids else None,
+            self.spec.window,
+            np.asarray(lo),
+            np.asarray(hi),
+        )
+
+    def load_image(self, image: ConfigImage, bitwidth: Optional[int] = None) -> AppSpec:
+        """Program spec + tables + offline-trained classes from an image."""
+        spec = AppSpec(
+            dim=image.dim,
+            n_features=image.n_features,
+            window=image.window,
+            n_classes=image.n_classes,
+            bitwidth=bitwidth if bitwidth is not None else 16,
+            mode=Mode.INFERENCE,
+            use_ids=image.use_ids,
+        )
+        self.configure(spec)
+        lo = image.quantizer_lo if image.quantizer_lo.size > 1 else image.quantizer_lo[0]
+        hi = image.quantizer_hi if image.quantizer_hi.size > 1 else image.quantizer_hi[0]
+        self.load_tables(image.level_table, image.seed_id, lo, hi)
+        self.search.load_classes(image.class_matrix, bitwidth=spec.bitwidth)
+        self.class_labels = np.asarray(image.class_labels)
+        return spec
+
+    def set_voltage_overscaling(self, error_rate: float) -> VoltagePoint:
+        """Engage voltage over-scaling at a target bit-error rate."""
+        self.vos = operating_point(error_rate) if error_rate > 0 else None
+        return self.vos or operating_point(0.0)
+
+    def reduce_dimensions(self, dim: int) -> None:
+        """On-demand dimension reduction: update the spec's D_hv."""
+        self._require_spec()
+        if dim % self.params.norm_block or dim % self.params.lanes:
+            raise ValueError(
+                f"reduced D_hv={dim} must be a multiple of the lane count and "
+                f"of {self.params.norm_block}"
+            )
+        if dim > self.search.dim:
+            raise ValueError(
+                f"cannot raise dimensions above the trained {self.search.dim}"
+            )
+        self.spec = self.spec.with_dim(dim)
+        self.gating = plan_for_spec(self.spec, self.params)
+
+    def _require_spec(self) -> None:
+        if self.spec is None:
+            raise RuntimeError("accelerator used before configure()")
+
+    def _require_ready(self) -> None:
+        self._require_spec()
+        if self.encoder is None:
+            raise RuntimeError("load_tables()/load_image() must run before this")
+
+    def _label_of(self, index: int):
+        if self.class_labels is None:
+            return index
+        return self.class_labels[index]
+
+    # -- modes --------------------------------------------------------------------
+
+    def train(
+        self,
+        X: np.ndarray,
+        y: Sequence,
+        epochs: int = 20,
+        seed: int = 0,
+    ) -> RunReport:
+        """On-device training: initialization plus retraining epochs."""
+        self._require_ready()
+        spec = self.spec
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        y = np.asarray(y)
+        labels, y_idx = np.unique(y, return_inverse=True)
+        if len(labels) > spec.n_classes:
+            raise ValueError(
+                f"{len(labels)} labels exceed the configured n_C={spec.n_classes}"
+            )
+        self.class_labels = labels
+        rng = np.random.default_rng(seed)
+
+        total = Counters()
+        encodings = np.empty((len(X), spec.dim), dtype=np.float64)
+        # initialization: accumulate every encoding into its class
+        for i, x in enumerate(X):
+            encodings[i] = self.encoder.encode(x, dim=spec.dim)
+            self.search.accumulate(int(y_idx[i]), encodings[i])
+            _, c = controller.train_init(spec, self.params)
+            total.add(c)
+        # retraining epochs (per-sample online updates)
+        order = np.arange(len(X))
+        for _ in range(epochs):
+            rng.shuffle(order)
+            updates = 0
+            for i in order:
+                pred = self.search.predict(encodings[i])
+                truth = int(y_idx[i])
+                miss = pred != truth
+                if miss:
+                    self.search.accumulate(pred, encodings[i], sign=-1)
+                    self.search.accumulate(truth, encodings[i], sign=+1)
+                    updates += 1
+                _, c = controller.retrain_sample(spec, self.params, miss)
+                total.add(c)
+            if updates == 0:
+                break
+
+        power = self.energy_model.report(
+            total, gating=self.gating, vos=self.vos, bitwidth=spec.bitwidth
+        )
+        return RunReport(
+            mode=Mode.TRAIN,
+            n_inputs=len(X),
+            counters=total,
+            power=power,
+            extras={"epochs_requested": epochs},
+        )
+
+    def infer(
+        self,
+        X: np.ndarray,
+        exact_divider: bool = False,
+        constant_norms: bool = False,
+    ) -> RunReport:
+        """Classify a batch of inputs, one at a time like the hardware."""
+        self._require_ready()
+        spec = self.spec
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        total = Counters()
+        preds = []
+        for x in X:
+            encoding = self.encoder.encode(x, dim=spec.dim)
+            idx = self.search.predict(
+                encoding,
+                dim=spec.dim,
+                exact_divider=exact_divider,
+                constant_norms=constant_norms,
+            )
+            preds.append(self._label_of(idx))
+            _, c = controller.inference(spec, self.params)
+            total.add(c)
+        power = self.energy_model.report(
+            total, gating=self.gating, vos=self.vos, bitwidth=spec.bitwidth
+        )
+        return RunReport(
+            mode=Mode.INFERENCE,
+            n_inputs=len(X),
+            counters=total,
+            power=power,
+            predictions=np.asarray(preds),
+        )
+
+    def cluster(self, X: np.ndarray, k: int, epochs: int = 10) -> RunReport:
+        """Unsupervised clustering (Section 4.2.3)."""
+        self._require_ready()
+        spec = self.spec
+        if k > spec.n_classes:
+            raise ValueError(f"k={k} exceeds the configured n_C={spec.n_classes}")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if len(X) < k:
+            raise ValueError(f"need at least k={k} inputs, got {len(X)}")
+
+        total = Counters()
+        encodings = np.empty((len(X), spec.dim), dtype=np.float64)
+        for i, x in enumerate(X):
+            encodings[i] = self.encoder.encode(x, dim=spec.dim)
+            _, c = controller.train_init(spec, self.params)
+            total.add(c)
+        centroids = encodings[:k].copy()
+        labels = np.zeros(len(X), dtype=np.int64)
+        for epoch in range(epochs):
+            copies = np.zeros_like(centroids)
+            new_labels = np.empty(len(X), dtype=np.int64)
+            for i in range(len(X)):
+                # hardware metric against the current (frozen) centroids
+                dots = centroids[:, : spec.dim] @ encodings[i, : spec.dim]
+                norm2 = (centroids[:, : spec.dim] ** 2).sum(axis=1)
+                safe = np.where(norm2 <= 0.0, np.inf, norm2)
+                scores = np.sign(dots) * np.where(
+                    np.isfinite(safe), dots * dots / safe, 0.0
+                )
+                winner = int(np.argmax(scores))
+                new_labels[i] = winner
+                copies[winner] += encodings[i]
+                _, c = controller.cluster_sample(spec, self.params)
+                total.add(c)
+            counts = np.bincount(new_labels, minlength=k)
+            copies[counts == 0] = centroids[counts == 0]
+            converged = epoch > 0 and np.array_equal(new_labels, labels)
+            labels = new_labels
+            centroids = copies
+            if converged:
+                break
+
+        power = self.energy_model.report(
+            total, gating=self.gating, vos=self.vos, bitwidth=spec.bitwidth
+        )
+        return RunReport(
+            mode=Mode.CLUSTER,
+            n_inputs=len(X),
+            counters=total,
+            power=power,
+            predictions=labels,
+            extras={"centroids": centroids},
+        )

@@ -1,0 +1,149 @@
+"""Cycle model of the GENERIC controller (paper Section 4).
+
+The controller orchestrates passes over the stored input: each pass
+produces ``m`` encoding dimensions while the search unit consumes the
+previous pass's dimensions, so encoding and dot-product are pipelined.
+The formulas below follow the dataflow of Fig. 4:
+
+- **input load**: one serial element per cycle into the feature memory;
+- **pass**: ``d`` feature reads drive the window pipeline; reading the
+  ``n_C`` class rows (one per cycle from each of the ``m`` class
+  memories) overlaps, so a pass costs ``max(d, n_C)`` plus a small
+  pipeline-fill overhead;
+- **finalize**: the accumulated scores are normalized class-by-class
+  through the Mitchell divider (reads the blocked norm2 rows);
+- **training init**: accumulating the encoded dimensions into the label's
+  class row adds a read-modify-write per pass;
+- **retraining update**: the paper states each class update costs
+  ``3 x D_hv / m`` cycles (read class row, read temporary encoding row,
+  write back); a misprediction updates two classes;
+- **clustering**: inference-style search plus a temporary store of the
+  encoding and a copy-centroid read-modify-write for the winner.
+
+Each function returns ``(cycles, Counters)`` so the energy model can
+charge per-access energies.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from repro.hardware.counters import Counters
+from repro.hardware.params import ArchParams
+from repro.hardware.spec import AppSpec
+
+
+def _passes(spec: AppSpec, params: ArchParams) -> int:
+    return spec.dim // params.lanes
+
+
+def load_input(spec: AppSpec, params: ArchParams) -> Tuple[int, Counters]:
+    """Serial input load: one element per cycle into the feature memory."""
+    c = Counters(
+        cycles=spec.n_features,
+        feature_writes=spec.n_features,
+    )
+    return c.cycles, c
+
+
+def encode_pass(spec: AppSpec, params: ArchParams, with_search: bool) -> Tuple[int, Counters]:
+    """One pass producing ``m`` dimensions, optionally overlapped with search."""
+    d = spec.n_features
+    n_c = spec.n_classes
+    busy = max(d, n_c) if with_search else d
+    cycles = busy + params.pass_overhead_cycles
+    c = Counters(
+        cycles=cycles,
+        datapath_cycles=busy,
+        feature_reads=d,
+        level_reads=d,
+        # the tmp register refills from the seed-id row every m windows
+        seed_reads=-(-spec.n_windows // params.lanes) if spec.use_ids else 0,
+    )
+    if with_search:
+        c.class_reads += n_c * params.lanes  # n_C rows from each of m memories
+        c.score_reads += n_c  # accumulate partial dot products
+        c.score_writes += n_c
+    return cycles, c
+
+
+def finalize_scores(spec: AppSpec, params: ArchParams) -> Tuple[int, Counters]:
+    """Normalize the n_C scores through the Mitchell divider."""
+    blocks = spec.dim // params.norm_block
+    c = Counters(
+        cycles=spec.n_classes,
+        datapath_cycles=spec.n_classes,
+        norm2_reads=spec.n_classes * blocks,
+        score_reads=spec.n_classes,
+    )
+    return c.cycles, c
+
+
+def inference(spec: AppSpec, params: ArchParams) -> Tuple[int, Counters]:
+    """Full inference on one input: load, passes with search, finalize."""
+    total = Counters()
+    cycles, c = load_input(spec, params)
+    total.add(c)
+    n_passes = _passes(spec, params)
+    _, per_pass = encode_pass(spec, params, with_search=True)
+    for f, v in per_pass.as_dict().items():
+        setattr(total, f, getattr(total, f) + v * n_passes)
+    _, fin = finalize_scores(spec, params)
+    total.add(fin)
+    total.inputs_processed = 1
+    return total.cycles, total
+
+
+def train_init(spec: AppSpec, params: ArchParams) -> Tuple[int, Counters]:
+    """Initialization: encode and accumulate into the label's class rows."""
+    total = Counters()
+    _, c = load_input(spec, params)
+    total.add(c)
+    n_passes = _passes(spec, params)
+    _, per_pass = encode_pass(spec, params, with_search=False)
+    for f, v in per_pass.as_dict().items():
+        setattr(total, f, getattr(total, f) + v * n_passes)
+    # read-modify-write of one class row per pass
+    total.cycles += 2 * n_passes
+    total.class_reads += n_passes * params.lanes
+    total.class_writes += n_passes * params.lanes
+    total.inputs_processed = 1
+    return total.cycles, total
+
+
+def retrain_sample(
+    spec: AppSpec, params: ArchParams, mispredicted: bool
+) -> Tuple[int, Counters]:
+    """One retraining sample: inference + temp store (+ update on a miss)."""
+    total = Counters()
+    _, c = inference(spec, params)
+    total.add(c)
+    n_passes = _passes(spec, params)
+    # the encoding is stored in temporary class-memory rows while scoring
+    total.class_writes += n_passes * params.lanes
+    if mispredicted:
+        update_cycles = params.retrain_update_passes * n_passes
+        blocks = spec.dim // params.norm_block
+        for _ in range(2):  # subtract from wrong class, add to right class
+            total.cycles += update_cycles
+            total.class_reads += 2 * n_passes * params.lanes  # class + temp rows
+            total.class_writes += n_passes * params.lanes
+            total.norm2_writes += blocks
+        total.model_updates = 1
+    return total.cycles, total
+
+
+def cluster_sample(spec: AppSpec, params: ArchParams) -> Tuple[int, Counters]:
+    """One clustering sample: similarity search + copy-centroid update."""
+    total = Counters()
+    _, c = inference(spec, params)
+    total.add(c)
+    n_passes = _passes(spec, params)
+    # temp store of the encoding during scoring
+    total.class_writes += n_passes * params.lanes
+    # add the stored encoding into the winner's copy centroid
+    total.cycles += 2 * n_passes
+    total.class_reads += 2 * n_passes * params.lanes
+    total.class_writes += n_passes * params.lanes
+    total.model_updates = 1
+    return total.cycles, total

@@ -1,0 +1,37 @@
+"""Event counters produced by the simulator and consumed by the energy model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, fields
+
+
+@dataclass
+class Counters:
+    """Cycle and memory-access counts accumulated over a run."""
+
+    cycles: int = 0
+    datapath_cycles: int = 0
+    feature_reads: int = 0
+    feature_writes: int = 0
+    level_reads: int = 0
+    seed_reads: int = 0
+    class_reads: int = 0
+    class_writes: int = 0
+    norm2_reads: int = 0
+    norm2_writes: int = 0
+    score_reads: int = 0
+    score_writes: int = 0
+    inputs_processed: int = 0
+    model_updates: int = 0
+
+    def add(self, other: "Counters") -> "Counters":
+        """Accumulate another counter set into this one (in place)."""
+        for f in fields(self):
+            setattr(self, f.name, getattr(self, f.name) + getattr(other, f.name))
+        return self
+
+    def copy(self) -> "Counters":
+        return Counters(**{f.name: getattr(self, f.name) for f in fields(self)})
+
+    def as_dict(self) -> dict:
+        return {f.name: getattr(self, f.name) for f in fields(self)}

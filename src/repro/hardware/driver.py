@@ -1,0 +1,188 @@
+"""Host driver: the config/spec-port wire format.
+
+The accelerator is programmed through two ports (Section 4.1): the
+*spec* port carries the per-application registers (``D_hv``, ``d``,
+``n``, ``n_C``, ``bw``, mode, id enable) and the *config* port streams
+the memories (level table, seed id, class words, quantizer range).
+This module defines a concrete byte-level bitstream for that
+programming sequence, so a host MCU could flash a trained model from a
+file:
+
+``[magic][version][spec words][quantizer][level bits][seed bits?]``
+``[class words][crc32]``
+
+- spec registers are packed little-endian ``uint32``;
+- level and id rows are bit-packed (8 hypervector bits per byte);
+- class words are signed 16-bit, striped in row order;
+- the stream ends with a CRC-32 over everything before it.
+
+:func:`serialize` produces the stream from a
+:class:`~repro.core.model_io.ConfigImage`; :func:`deserialize` parses
+and validates it back; ``GenericAccelerator`` and ``GenericRTL`` can
+then be programmed from the parsed image.
+"""
+
+from __future__ import annotations
+
+import struct
+import zlib
+import numpy as np
+
+from repro.core.hypervector import to_binary, to_bipolar
+from repro.core.model_io import ConfigImage
+
+MAGIC = b"GNRC"
+VERSION = 1
+
+_MODE_BITS = {"dot": 0, "cosine": 1, "hardware": 2}
+_MODE_NAMES = {v: k for k, v in _MODE_BITS.items()}
+
+
+class BitstreamError(ValueError):
+    """Raised when a config bitstream is malformed or corrupt."""
+
+
+def _pack_bits(bits: np.ndarray) -> bytes:
+    """Pack a {0,1} array into bytes, LSB-first within each byte."""
+    return np.packbits(np.asarray(bits, dtype=np.uint8), bitorder="little").tobytes()
+
+
+def _unpack_bits(data: bytes, count: int) -> np.ndarray:
+    out = np.unpackbits(
+        np.frombuffer(data, dtype=np.uint8), bitorder="little"
+    )
+    if len(out) < count:
+        raise BitstreamError(f"bit payload too short: {len(out)} < {count}")
+    return out[:count]
+
+
+def serialize(image: ConfigImage) -> bytes:
+    """Encode a config image as the programming bitstream."""
+    if image.metric not in _MODE_BITS:
+        raise BitstreamError(f"unsupported metric {image.metric!r}")
+    lo = np.atleast_1d(np.asarray(image.quantizer_lo, dtype=np.float64))
+    hi = np.atleast_1d(np.asarray(image.quantizer_hi, dtype=np.float64))
+    if lo.size != 1 or hi.size != 1:
+        raise BitstreamError("the wire format carries a global quantizer range")
+
+    head = bytearray()
+    head += MAGIC
+    head += struct.pack(
+        "<7I",
+        VERSION,
+        image.dim,
+        image.num_levels,
+        image.window,
+        image.n_features,
+        image.n_classes,
+        (_MODE_BITS[image.metric] << 1) | int(image.use_ids),
+    )
+    head += struct.pack("<2d", float(lo[0]), float(hi[0]))
+
+    body = bytearray()
+    body += _pack_bits(to_binary(image.level_table).reshape(-1))
+    if image.use_ids:
+        if image.seed_id is None:
+            raise BitstreamError("image declares ids but has no seed")
+        body += _pack_bits(to_binary(image.seed_id))
+
+    classes = np.rint(np.asarray(image.class_matrix)).astype(np.int64)
+    if np.abs(classes).max(initial=0) > 32767:
+        raise BitstreamError("class words exceed the 16-bit storage range")
+    body += classes.astype("<i2").tobytes()
+
+    labels = np.asarray(image.class_labels)
+    label_blob = "\x00".join(str(v) for v in labels).encode()
+    body += struct.pack("<I", len(label_blob)) + label_blob
+
+    stream = bytes(head) + bytes(body)
+    return stream + struct.pack("<I", zlib.crc32(stream) & 0xFFFFFFFF)
+
+
+def deserialize(stream: bytes) -> ConfigImage:
+    """Parse and CRC-check a programming bitstream back into an image."""
+    if len(stream) < 4 + 28 + 16 + 4:
+        raise BitstreamError("stream truncated")
+    payload, crc_bytes = stream[:-4], stream[-4:]
+    (crc,) = struct.unpack("<I", crc_bytes)
+    if zlib.crc32(payload) & 0xFFFFFFFF != crc:
+        raise BitstreamError("CRC mismatch: stream corrupt")
+    if payload[:4] != MAGIC:
+        raise BitstreamError(f"bad magic {payload[:4]!r}")
+
+    offset = 4
+    version, dim, num_levels, window, d, n_c, flags = struct.unpack_from(
+        "<7I", payload, offset
+    )
+    offset += 28
+    if version != VERSION:
+        raise BitstreamError(f"unsupported bitstream version {version}")
+    lo, hi = struct.unpack_from("<2d", payload, offset)
+    offset += 16
+    use_ids = bool(flags & 1)
+    metric = _MODE_NAMES.get(flags >> 1)
+    if metric is None:
+        raise BitstreamError(f"unknown metric code {flags >> 1}")
+
+    level_bytes = (num_levels * dim + 7) // 8
+    level_bits = _unpack_bits(
+        payload[offset : offset + level_bytes], num_levels * dim
+    )
+    offset += level_bytes
+    level_table = to_bipolar(level_bits.reshape(num_levels, dim))
+
+    seed = None
+    if use_ids:
+        seed_bytes = (dim + 7) // 8
+        seed = to_bipolar(_unpack_bits(payload[offset : offset + seed_bytes], dim))
+        offset += seed_bytes
+
+    class_bytes = n_c * dim * 2
+    classes = np.frombuffer(
+        payload[offset : offset + class_bytes], dtype="<i2"
+    ).astype(np.float64).reshape(n_c, dim)
+    offset += class_bytes
+
+    (label_len,) = struct.unpack_from("<I", payload, offset)
+    offset += 4
+    label_blob = payload[offset : offset + label_len].decode()
+    labels = np.array(label_blob.split("\x00")) if label_blob else np.arange(n_c)
+    if len(labels) != n_c:
+        raise BitstreamError(
+            f"{len(labels)} labels for {n_c} classes"
+        )
+    # labels serialize as strings; restore integer labels when possible
+    try:
+        labels = labels.astype(np.int64)
+    except ValueError:
+        pass
+
+    return ConfigImage(
+        dim=dim,
+        num_levels=num_levels,
+        window=window,
+        use_ids=use_ids,
+        n_features=d,
+        n_classes=n_c,
+        metric=metric,
+        level_table=level_table,
+        seed_id=seed,
+        class_matrix=classes,
+        class_labels=labels,
+        quantizer_lo=np.atleast_1d(lo),
+        quantizer_hi=np.atleast_1d(hi),
+    )
+
+
+def stream_size_bytes(image: ConfigImage) -> int:
+    """Exact size of the stream :func:`serialize` would produce."""
+    return len(serialize(image))
+
+
+def programming_time_s(
+    image: ConfigImage, baud_bits_per_s: float = 10e6
+) -> float:
+    """How long flashing the model takes over a serial config port."""
+    if baud_bits_per_s <= 0:
+        raise ValueError("baud rate must be positive")
+    return stream_size_bytes(image) * 8 / baud_bits_per_s

@@ -1,0 +1,85 @@
+"""Functional model of the GENERIC encoder pipeline (Fig. 4, left).
+
+The hardware encodes one input at a time: features are fetched from the
+feature memory, quantized to a level bin, the level hypervector slides
+through the window register stack (reg n..1), the permuted levels are
+XOR-folded into a window hypervector, bound with the on-the-fly
+generated id (seed row + tmp register), and accumulated into the
+encoding.  This model computes the same function vectorized over the
+dimension axis per input, and is bit-exact with
+:class:`repro.core.encoders.GenericEncoder` given the same tables
+(asserted in the tests).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class EncoderUnit:
+    """Window encoder with a level table and an optional seed id."""
+
+    def __init__(
+        self,
+        level_table: np.ndarray,
+        seed_id: Optional[np.ndarray],
+        window: int,
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ):
+        self.level_table = np.asarray(level_table, dtype=np.int8)
+        self.num_levels, self.dim = self.level_table.shape
+        self.seed_id = None if seed_id is None else np.asarray(seed_id, dtype=np.int8)
+        if self.seed_id is not None and len(self.seed_id) != self.dim:
+            raise ValueError("seed id length must match the level-table dimension")
+        if window < 1:
+            raise ValueError(f"window must be >= 1, got {window}")
+        self.window = window
+        self.lo = np.asarray(lo, dtype=np.float64)
+        self.hi = np.asarray(hi, dtype=np.float64)
+
+    def quantize(self, x: np.ndarray) -> np.ndarray:
+        """Feature-to-bin quantization (the ``bin`` unit of Fig. 4)."""
+        span = np.where(self.hi > self.lo, self.hi - self.lo, 1.0)
+        scaled = (np.asarray(x, dtype=np.float64) - self.lo) / span
+        bins = np.floor(scaled * self.num_levels).astype(np.int64)
+        return np.clip(bins, 0, self.num_levels - 1)
+
+    def ids_for(self, n_windows: int) -> np.ndarray:
+        """Materialized ids: rho^k(seed) or the binding identity."""
+        if self.seed_id is None:
+            return np.ones((n_windows, self.dim), dtype=np.int8)
+        shifts = np.arange(n_windows) % self.dim
+        cols = (np.arange(self.dim)[None, :] - shifts[:, None]) % self.dim
+        return self.seed_id[cols]
+
+    def encode(self, x: np.ndarray, dim: Optional[int] = None) -> np.ndarray:
+        """Encode one input; optionally stop after ``dim`` dimensions.
+
+        On-demand dimension reduction (Section 4.3.3) simply updates the
+        pass counter's exit condition, i.e. the encoding is a prefix.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 1:
+            raise ValueError(f"the hardware encodes one input at a time, got {x.shape}")
+        n_windows = len(x) - self.window + 1
+        if n_windows < 1:
+            raise ValueError(
+                f"input of {len(x)} features shorter than window {self.window}"
+            )
+        bins = self.quantize(x)
+        prod = np.ones((n_windows, self.dim), dtype=np.int8)
+        for j in range(self.window):
+            lv = self.level_table[bins[j : j + n_windows]]
+            if j:
+                lv = np.roll(lv, j, axis=1)
+            prod *= lv
+        bound = prod * self.ids_for(n_windows)
+        encoding = bound.sum(axis=0, dtype=np.int32)
+        if dim is not None:
+            if not 0 < dim <= self.dim:
+                raise ValueError(f"reduced dim {dim} out of range (0, {self.dim}]")
+            encoding = encoding[:dim]
+        return encoding

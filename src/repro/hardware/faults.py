@@ -1,0 +1,88 @@
+"""Bit-flip fault injection into the class memories (Fig. 6 left axes).
+
+The class words are stored as ``bw``-bit two's-complement integers; under
+voltage over-scaling each stored bit flips independently with the target
+error rate.  :func:`inject_bitflips` corrupts a quantized class matrix
+accordingly and returns the corrupted values, which the classifier (or
+the accelerator) then uses unmodified -- accuracy under faults is
+measured, not modeled.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+
+def quantize_to_bits(model: np.ndarray, bits: int) -> np.ndarray:
+    """Symmetric linear quantization of class values to ``bits``-bit ints.
+
+    The scale is a high percentile of the magnitudes rather than the
+    global maximum: bundled class hypervectors have heavy-tailed entries,
+    and max-scaling would collapse almost everything to zero at low
+    bit-widths.  Values beyond the scale saturate (as a fixed-point
+    accumulator would).  Returns integers in
+    ``[-(2^(b-1) - 1), 2^(b-1) - 1]``; 1-bit models map to the sign.
+    """
+    model = np.asarray(model, dtype=np.float64)
+    if bits < 1:
+        raise ValueError(f"bit-width must be >= 1, got {bits}")
+    if bits == 1:
+        return np.where(model >= 0, 1, -1).astype(np.int64)
+    qmax = 2 ** (bits - 1) - 1
+    scale = np.percentile(np.abs(model), 99.0)
+    if scale == 0.0:
+        scale = np.abs(model).max()
+    if scale == 0.0:
+        return np.zeros(model.shape, dtype=np.int64)
+    q = np.rint(model / scale * qmax)
+    return np.clip(q, -qmax, qmax).astype(np.int64)
+
+
+def inject_bitflips(
+    quantized: np.ndarray,
+    bits: int,
+    error_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Flip each stored bit independently with probability ``error_rate``.
+
+    ``quantized`` holds ``bits``-bit signed integers (1-bit models hold
+    +/-1).  Returns the corrupted integers with the same convention.
+    """
+    if not 0.0 <= error_rate <= 1.0:
+        raise ValueError(f"error rate must be in [0, 1], got {error_rate}")
+    q = np.asarray(quantized, dtype=np.int64)
+    if error_rate == 0.0:
+        return q.copy()
+    if bits == 1:
+        # one stored bit: the sign
+        flips = rng.random(q.shape) < error_rate
+        out = q.copy()
+        out[flips] = -out[flips]
+        return out
+    # two's-complement words of `bits` bits
+    mask = (1 << bits) - 1
+    words = (q & mask).astype(np.uint64)
+    flip_bits = np.zeros(q.shape, dtype=np.uint64)
+    for b in range(bits):
+        flips = rng.random(q.shape) < error_rate
+        flip_bits |= flips.astype(np.uint64) << np.uint64(b)
+    corrupted = words ^ flip_bits
+    # sign-extend back to int64
+    sign_bit = np.uint64(1 << (bits - 1))
+    signed = corrupted.astype(np.int64)
+    negative = (corrupted & sign_bit) != 0
+    signed[negative] -= 1 << bits
+    return signed
+
+
+def corrupt_model(
+    model: np.ndarray,
+    bits: int,
+    error_rate: float,
+    rng: np.random.Generator,
+) -> np.ndarray:
+    """Quantize, inject faults, and return a float model for scoring."""
+    q = quantize_to_bits(model, bits)
+    corrupted = inject_bitflips(q, bits, error_rate, rng)
+    return corrupted.astype(np.float64)

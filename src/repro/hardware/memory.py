@@ -1,0 +1,117 @@
+"""SRAM macro models with access counting and bank power gating.
+
+The simulator does not model bit cells; each :class:`Sram` records its
+geometry and counts word reads/writes so the energy model can charge
+per-access energies, and exposes the 4-way banking used by the
+application-opportunistic power gating of Section 4.3.2.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass
+class Sram:
+    """One SRAM macro: geometry plus access counters."""
+
+    name: str
+    rows: int
+    width_bits: int
+    banks: int = 1
+    reads: int = 0
+    writes: int = 0
+
+    def __post_init__(self) -> None:
+        if self.rows <= 0 or self.width_bits <= 0:
+            raise ValueError(f"{self.name}: rows and width must be positive")
+        if self.banks < 1 or self.rows % self.banks:
+            raise ValueError(f"{self.name}: rows must split evenly into banks")
+
+    @property
+    def bits(self) -> int:
+        return self.rows * self.width_bits
+
+    @property
+    def bytes(self) -> int:
+        return self.bits // 8
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.rows // self.banks
+
+    def count_reads(self, n: int = 1) -> None:
+        self.reads += int(n)
+
+    def count_writes(self, n: int = 1) -> None:
+        self.writes += int(n)
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0
+
+    def banks_for_rows(self, rows_used: int) -> int:
+        """Banks that must stay powered to cover ``rows_used`` rows.
+
+        The striped class layout fills rows from the bottom, so the active
+        banks are a prefix; unused banks are power gated permanently for
+        the application (no wake-up cost, Section 4.3.2).
+        """
+        if rows_used <= 0:
+            return 0
+        if rows_used > self.rows:
+            raise ValueError(
+                f"{self.name}: {rows_used} rows requested, only {self.rows} exist"
+            )
+        return math.ceil(rows_used / self.rows_per_bank)
+
+
+@dataclass
+class MemorySet:
+    """All SRAM macros of the GENERIC design, keyed by their Fig. 4 role."""
+
+    level: Sram
+    feature: Sram
+    seed_id: Sram
+    classes: Sram  # aggregated view of the m class memories
+    norm2: Sram
+    score: Sram
+
+    def all(self) -> Dict[str, Sram]:
+        return {
+            "level": self.level,
+            "feature": self.feature,
+            "seed_id": self.seed_id,
+            "classes": self.classes,
+            "norm2": self.norm2,
+            "score": self.score,
+        }
+
+    def reset_counters(self) -> None:
+        for sram in self.all().values():
+            sram.reset_counters()
+
+    def total_bits(self) -> int:
+        return sum(s.bits for s in self.all().values())
+
+
+def build_memories(params) -> MemorySet:
+    """Instantiate the paper's memory geometry from :class:`ArchParams`."""
+    return MemorySet(
+        level=Sram("level", rows=params.num_levels * (params.max_dim // params.lanes),
+                   width_bits=params.lanes),
+        feature=Sram("feature", rows=params.max_features, width_bits=params.feature_bits),
+        seed_id=Sram("seed_id", rows=params.max_dim // params.lanes,
+                     width_bits=params.lanes),
+        classes=Sram(
+            "classes",
+            rows=params.lanes * params.class_mem_rows,
+            width_bits=params.class_word_bits,
+            banks=params.class_banks,
+        ),
+        norm2=Sram("norm2", rows=params.max_classes * (params.max_dim // params.norm_block),
+                   width_bits=32),
+        score=Sram("score", rows=params.max_classes, width_bits=32),
+    )

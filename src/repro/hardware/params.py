@@ -1,0 +1,87 @@
+"""Architectural constants of the GENERIC ASIC (paper Sections 4.1, 5.1).
+
+The numbers below are the paper's published configuration:
+
+- ``m = 16`` lanes: each pass over the stored input produces 16 encoding
+  dimensions, and 16 class memories serve 16 consecutive dimensions per
+  cycle to the dot-product pipeline;
+- level memory: 64 levels x 4 K bits = 32 KB;
+- feature (input) memory: 1024 rows x 8 bits;
+- class memories: 16 x (8 K rows x 16 bits) = 256 KB total, enough for
+  ``D_hv = 4K`` x 32 classes at 16-bit words, banked 4 ways for the
+  application-opportunistic power gating of Section 4.3.2;
+- id memory: one 4 Kbit seed row (the 1024x compression of Section 4.3.1);
+- norm2 memory: squared L2 norms at 128-dimension granularity (2 KB for
+  32 classes);
+- 500 MHz clock at the 14 nm node.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class ArchParams:
+    """Immutable architecture configuration."""
+
+    lanes: int = 16  # m: dimensions produced / searched per cycle
+    clock_hz: float = 500e6
+    technology_nm: int = 14
+
+    num_levels: int = 64
+    max_dim: int = 4096  # D_hv at the default 32-class layout
+    max_classes: int = 32
+    max_features: int = 1024
+    feature_bits: int = 8
+    class_word_bits: int = 16
+    class_mem_rows: int = 8192  # rows per class memory
+    class_banks: int = 4  # power-gating banks per class memory
+    norm_block: int = 128  # sub-norm granularity (Section 4.3.3)
+    retrain_update_passes: int = 3  # paper: each update takes 3 x D_hv/m cycles
+
+    # pipeline fill cycles charged once per pass over the input
+    pass_overhead_cycles: int = 4
+
+    @property
+    def class_capacity_words(self) -> int:
+        """Total class-memory capacity in 16-bit words (D_hv x classes)."""
+        return self.lanes * self.class_mem_rows
+
+    @property
+    def rows_per_bank(self) -> int:
+        return self.class_mem_rows // self.class_banks
+
+    @property
+    def level_mem_bits(self) -> int:
+        return self.num_levels * self.max_dim
+
+    @property
+    def id_mem_bits(self) -> int:
+        """Compressed id memory: a single seed row (Section 4.3.1)."""
+        return self.max_dim
+
+    @property
+    def uncompressed_id_mem_bits(self) -> int:
+        """What a naive id memory would need (1 K ids x D_hv)."""
+        return self.max_features * self.max_dim
+
+    @property
+    def feature_mem_bits(self) -> int:
+        return self.max_features * self.feature_bits
+
+    @property
+    def norm2_mem_bits(self) -> int:
+        # one 32-bit word per class per 128-dim block
+        return self.max_classes * (self.max_dim // self.norm_block) * 32
+
+    def validate(self) -> None:
+        if self.max_dim % self.lanes:
+            raise ValueError("max_dim must be a multiple of the lane count")
+        if self.class_mem_rows % self.class_banks:
+            raise ValueError("class_mem_rows must split evenly into banks")
+        if self.max_dim % self.norm_block:
+            raise ValueError("max_dim must be a multiple of norm_block")
+
+
+DEFAULT_PARAMS = ArchParams()

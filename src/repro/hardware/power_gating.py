@@ -1,0 +1,85 @@
+"""Application-opportunistic power gating (paper Section 4.3.2).
+
+The class layout stripes dimensions across the ``m`` class memories so an
+application with ``n_C`` classes at ``D_hv`` dimensions always occupies
+the *first* ``n_C * D_hv / (32 * 4K)`` fraction of every class memory.
+Unused banks (4 per memory in the shipped configuration) are therefore a
+suffix and can be permanently gated for the application: no wake-up
+latency or energy is ever paid.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable
+
+import math
+
+from repro.hardware.params import DEFAULT_PARAMS, ArchParams
+from repro.hardware.spec import AppSpec
+
+
+@dataclass(frozen=True)
+class GatingPlan:
+    """Which fraction of the class-memory banks stays powered."""
+
+    banks_total: int
+    banks_active: int
+    rows_used: int
+    rows_total: int
+
+    @property
+    def occupancy(self) -> float:
+        """Fraction of class-memory rows the application fills."""
+        return self.rows_used / self.rows_total
+
+    @property
+    def active_fraction(self) -> float:
+        """Fraction of banks (hence class-memory leakage) still powered."""
+        return self.banks_active / self.banks_total
+
+    @property
+    def leakage_saving(self) -> float:
+        """Fraction of class-memory static power removed by gating."""
+        return 1.0 - self.active_fraction
+
+
+def plan_for_spec(spec: AppSpec, params: ArchParams = DEFAULT_PARAMS) -> GatingPlan:
+    """Gating decision for one application spec."""
+    rows_total = params.class_mem_rows
+    rows_used = spec.class_rows_used(params)
+    if rows_used > rows_total:
+        raise ValueError(
+            f"spec needs {rows_used} class rows, memory has {rows_total}"
+        )
+    banks_active = max(1, math.ceil(rows_used / params.rows_per_bank))
+    return GatingPlan(
+        banks_total=params.class_banks,
+        banks_active=banks_active,
+        rows_used=rows_used,
+        rows_total=rows_total,
+    )
+
+
+def average_active_banks(
+    specs: Iterable[AppSpec], params: ArchParams = DEFAULT_PARAMS
+) -> float:
+    """Mean active banks over a suite of applications (paper: 1.6 of 4)."""
+    plans = [plan_for_spec(s, params) for s in specs]
+    if not plans:
+        raise ValueError("need at least one spec")
+    return sum(p.banks_active for p in plans) / len(plans)
+
+
+def gating_area_overhead(banks: int) -> float:
+    """Relative class-memory area overhead of bank partitioning.
+
+    The paper reports 20% for 4 banks and 55% for 8; interpolate in
+    between with a linear per-bank cost anchored at those two points.
+    """
+    if banks < 1:
+        raise ValueError("banks must be >= 1")
+    if banks == 1:
+        return 0.0
+    # anchored: 4 banks -> 0.20, 8 banks -> 0.55
+    return max(0.0, 0.20 + (banks - 4) * (0.55 - 0.20) / 4)

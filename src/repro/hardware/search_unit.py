@@ -1,0 +1,102 @@
+"""Functional model of the GENERIC search unit (Fig. 4, bottom).
+
+Holds the class matrix (striped across the ``m`` class memories in the
+real design), the blocked norm2 memory, and the score pipeline with the
+Mitchell approximate divider.  Class words are masked to the spec's
+``bw`` effective bits (Fig. 4 marker 5) and can be corrupted by the
+voltage over-scaling fault model before scoring.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.norms import SubNormTable
+from repro.hardware.faults import quantize_to_bits
+from repro.hardware.mitchell import mitchell_divide
+
+
+class SearchUnit:
+    """Class memories + norm2 memory + score pipeline."""
+
+    def __init__(self, n_classes: int, dim: int, norm_block: int = 128):
+        self.n_classes = n_classes
+        self.dim = dim
+        self.norm_block = norm_block
+        self.classes = np.zeros((n_classes, dim), dtype=np.float64)
+        self.norms = SubNormTable(n_classes, dim, block=norm_block)
+        self.bitwidth = 16
+
+    # -- model loading / update ------------------------------------------------
+
+    def load_classes(self, matrix: np.ndarray, bitwidth: int = 16) -> None:
+        """Load (possibly offline-trained) class hypervectors.
+
+        The stored words are 16-bit; a smaller ``bitwidth`` masks the
+        low-order bits out of the dot product, which we model by
+        re-quantizing the loaded model to ``bitwidth`` bits.
+        """
+        matrix = np.asarray(matrix, dtype=np.float64)
+        if matrix.shape != (self.n_classes, self.dim):
+            raise ValueError(
+                f"class matrix {matrix.shape} != ({self.n_classes}, {self.dim})"
+            )
+        self.bitwidth = bitwidth
+        if bitwidth < 16:
+            self.classes = quantize_to_bits(matrix, bitwidth).astype(np.float64)
+        else:
+            self.classes = matrix.copy()
+        self.norms.recompute(self.classes)
+
+    def accumulate(self, class_index: int, encoding: np.ndarray, sign: int = 1) -> None:
+        """Add (or subtract) an encoding into a class row and refresh norms."""
+        if not 0 <= class_index < self.n_classes:
+            raise IndexError(f"class index {class_index} out of range")
+        self.classes[class_index] += sign * np.asarray(encoding, dtype=np.float64)
+        self.norms.update_class(class_index, self.classes[class_index])
+
+    def overwrite(self, matrix: np.ndarray) -> None:
+        """Replace the raw class values (fault injection path)."""
+        self.classes = np.asarray(matrix, dtype=np.float64).copy()
+        self.norms.recompute(self.classes)
+
+    # -- scoring --------------------------------------------------------------
+
+    def scores(
+        self,
+        encoding: np.ndarray,
+        dim: Optional[int] = None,
+        exact_divider: bool = False,
+        constant_norms: bool = False,
+    ) -> np.ndarray:
+        """Hardware similarity: ``sign(dot) * dot^2 / ||C||^2``.
+
+        ``dim`` enables on-demand dimension reduction; ``constant_norms``
+        reproduces the stale-norm failure mode of Fig. 5.
+        """
+        encoding = np.asarray(encoding, dtype=np.float64)
+        use_dim = self.dim if dim is None else dim
+        if encoding.shape[-1] < use_dim:
+            raise ValueError(
+                f"encoding has {encoding.shape[-1]} dims, need {use_dim}"
+            )
+        q = encoding[:use_dim]
+        c = self.classes[:, :use_dim]
+        if constant_norms or use_dim == self.dim:
+            norm2 = self.norms.full_norm2() if constant_norms else self.norms.norm2(use_dim)
+        else:
+            norm2 = self.norms.norm2(use_dim)
+        dots = c @ q
+        num = dots * dots
+        safe = np.where(norm2 <= 0.0, np.inf, norm2)
+        if exact_divider:
+            ratio = np.where(np.isfinite(safe), num / safe, 0.0)
+        else:
+            ratio = mitchell_divide(num, safe, correct=True)
+        return np.sign(dots) * ratio
+
+    def predict(self, encoding: np.ndarray, **kwargs) -> int:
+        """Winning class index for one encoding."""
+        return int(np.argmax(self.scores(encoding, **kwargs)))

@@ -1,0 +1,91 @@
+"""Serial input port and burst-inference analysis (paper Sections 1, 4.1).
+
+GENERIC reads inputs "from the serial interface element by element" into
+the feature memory before encoding starts, and the paper sizes the
+design to be "fast enough during training and burst inference, e.g.,
+when it serves as an IoT gateway".  This module models that front end:
+
+- :class:`InputPort` -- a byte-serial link with a FIFO; computes how
+  long one input takes to arrive and whether the link can keep the
+  engine busy;
+- :func:`burst_analysis` -- steady-state throughput of the
+  load/compute pipeline: input ``i+1`` streams in while input ``i`` is
+  encoded and searched (double-buffered feature memory), so the engine
+  sustains ``1 / max(t_load, t_compute)`` inputs per second.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.hardware import controller
+from repro.hardware.params import DEFAULT_PARAMS, ArchParams
+from repro.hardware.spec import AppSpec
+
+
+@dataclass(frozen=True)
+class InputPort:
+    """Byte-serial front end feeding the feature memory."""
+
+    baud_bits_per_s: float = 10e6  # a typical SPI-class link
+    bits_per_element: int = 8
+    fifo_elements: int = 64
+
+    def load_time_s(self, n_features: int) -> float:
+        """Wall-clock time for one input to arrive over the link."""
+        if n_features <= 0:
+            raise ValueError(f"n_features must be positive, got {n_features}")
+        return n_features * self.bits_per_element / self.baud_bits_per_s
+
+    def element_rate_per_s(self) -> float:
+        return self.baud_bits_per_s / self.bits_per_element
+
+
+@dataclass(frozen=True)
+class BurstReport:
+    """Steady-state pipeline analysis for one application."""
+
+    t_load_s: float
+    t_compute_s: float
+    inputs_per_s: float
+    bound: str  # "link" or "compute"
+    link_utilization: float
+    engine_utilization: float
+
+
+def burst_analysis(
+    spec: AppSpec,
+    port: InputPort = InputPort(),
+    params: ArchParams = DEFAULT_PARAMS,
+) -> BurstReport:
+    """Throughput of double-buffered load/compute for burst inference."""
+    spec.validate(params)
+    t_load = port.load_time_s(spec.n_features)
+    cycles, _ = controller.inference(spec, params)
+    # the serial load overlaps with compute; discount its cycles
+    load_cycles, _ = controller.load_input(spec, params)
+    t_compute = (cycles - load_cycles) / params.clock_hz
+    period = max(t_load, t_compute)
+    return BurstReport(
+        t_load_s=t_load,
+        t_compute_s=t_compute,
+        inputs_per_s=1.0 / period,
+        bound="link" if t_load >= t_compute else "compute",
+        link_utilization=t_load / period,
+        engine_utilization=t_compute / period,
+    )
+
+
+def required_baud_for_engine(
+    spec: AppSpec,
+    params: ArchParams = DEFAULT_PARAMS,
+    bits_per_element: int = 8,
+) -> float:
+    """Link speed (bits/s) at which the engine stops waiting on input."""
+    spec.validate(params)
+    cycles, _ = controller.inference(spec, params)
+    load_cycles, _ = controller.load_input(spec, params)
+    t_compute = (cycles - load_cycles) / params.clock_hz
+    if t_compute <= 0:
+        raise ValueError("degenerate spec: no compute time")
+    return spec.n_features * bits_per_element / t_compute

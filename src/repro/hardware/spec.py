@@ -1,0 +1,91 @@
+"""Application spec registers (the ``spec`` port of Fig. 4).
+
+GENERIC is programmed per application through a handful of registers
+rather than an instruction set: hypervector dimensionality ``D_hv``,
+features per input ``d``, window length ``n``, number of classes or
+centroids ``n_C``, effective class bit-width ``bw``, and the mode
+(training, inference, or clustering).  The class-memory layout trades
+``D_hv`` against ``n_C``: with the default geometry, ``D_hv x n_C`` may
+not exceed 4K x 32 words (e.g. 8K dimensions for 16 classes).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+from repro.hardware.params import DEFAULT_PARAMS, ArchParams
+
+VALID_BITWIDTHS = (1, 2, 4, 8, 16)
+
+
+class Mode(enum.Enum):
+    """Operating mode selected through the spec port."""
+
+    TRAIN = "train"
+    INFERENCE = "inference"
+    CLUSTER = "cluster"
+
+
+@dataclass(frozen=True)
+class AppSpec:
+    """Per-application configuration loaded through the spec port."""
+
+    dim: int  # D_hv: hypervector dimensionality in use
+    n_features: int  # d: elements per input
+    window: int = 3  # n: window length of the GENERIC encoding
+    n_classes: int = 2  # n_C: classes (classification) or centroids (clustering)
+    bitwidth: int = 16  # bw: effective class bit-width (masked, Section 4.3.4)
+    mode: Mode = Mode.INFERENCE
+    use_ids: bool = True  # global binding; off for order-free apps (LANG)
+
+    def validate(self, params: ArchParams = DEFAULT_PARAMS) -> "AppSpec":
+        """Check the spec against the architecture; returns self for chaining."""
+        if self.dim <= 0 or self.dim % params.lanes:
+            raise ValueError(
+                f"D_hv={self.dim} must be a positive multiple of m={params.lanes}"
+            )
+        if self.dim % params.norm_block:
+            raise ValueError(
+                f"D_hv={self.dim} must be a multiple of the norm block "
+                f"({params.norm_block}) for on-demand dimension reduction"
+            )
+        if not 1 <= self.n_features <= params.max_features:
+            raise ValueError(
+                f"d={self.n_features} outside 1..{params.max_features} "
+                "(feature memory rows)"
+            )
+        if not 1 <= self.window <= self.n_features:
+            raise ValueError(
+                f"window n={self.window} must be in 1..d ({self.n_features})"
+            )
+        if not 1 <= self.n_classes <= params.max_classes:
+            raise ValueError(
+                f"n_C={self.n_classes} outside 1..{params.max_classes}"
+            )
+        if self.dim * self.n_classes > params.class_capacity_words:
+            raise ValueError(
+                f"D_hv x n_C = {self.dim * self.n_classes} words exceeds the "
+                f"class memory capacity ({params.class_capacity_words}); "
+                "trade dimensions for classes (Section 4.1)"
+            )
+        if self.bitwidth not in VALID_BITWIDTHS:
+            raise ValueError(
+                f"bw={self.bitwidth} not in {VALID_BITWIDTHS}"
+            )
+        return self
+
+    @property
+    def n_windows(self) -> int:
+        return self.n_features - self.window + 1
+
+    def with_dim(self, dim: int) -> "AppSpec":
+        """On-demand dimension reduction: same app, fewer dimensions."""
+        return replace(self, dim=dim)
+
+    def with_mode(self, mode: Mode) -> "AppSpec":
+        return replace(self, mode=mode)
+
+    def class_rows_used(self, params: ArchParams = DEFAULT_PARAMS) -> int:
+        """Rows occupied in each of the m class memories (striped layout)."""
+        return (self.dim // params.lanes) * self.n_classes

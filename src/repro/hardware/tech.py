@@ -1,0 +1,69 @@
+"""Technology-node scaling (Stillmaker & Baas, Integration'17 style).
+
+The paper scales the published numbers of Datta et al. [10] and tiny-HD
+[8] to 14 nm "according to [21]" before comparing.  We implement the same
+step with a per-node table of normalized CMOS energy-per-operation and
+delay, fitted to the shape of the Stillmaker-Baas data (general-purpose
+scaling at nominal voltage).  Only *ratios* between nodes are used.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+# node (nm) -> (relative energy per op, relative delay), normalized to 45 nm.
+_NODE_TABLE = {
+    180: (11.3, 3.39),
+    130: (5.60, 2.20),
+    90: (2.60, 1.57),
+    65: (1.60, 1.25),
+    45: (1.00, 1.00),
+    32: (0.62, 0.81),
+    22: (0.36, 0.65),
+    14: (0.191, 0.521),
+    10: (0.138, 0.462),
+    7: (0.091, 0.405),
+}
+
+
+def known_nodes() -> tuple:
+    return tuple(sorted(_NODE_TABLE))
+
+
+def _lookup(node_nm: int) -> tuple:
+    try:
+        return _NODE_TABLE[node_nm]
+    except KeyError:
+        nodes = np.array(sorted(_NODE_TABLE))
+        if not nodes.min() <= node_nm <= nodes.max():
+            raise ValueError(
+                f"node {node_nm} nm outside modeled range "
+                f"[{nodes.min()}, {nodes.max()}]"
+            )
+        energies = np.array([_NODE_TABLE[n][0] for n in nodes])
+        delays = np.array([_NODE_TABLE[n][1] for n in nodes])
+        # interpolate in log-log space: scaling laws are power-law-ish
+        e = np.exp(np.interp(np.log(node_nm), np.log(nodes), np.log(energies)))
+        d = np.exp(np.interp(np.log(node_nm), np.log(nodes), np.log(delays)))
+        return float(e), float(d)
+
+
+def scale_energy(value: float, from_nm: int, to_nm: int) -> float:
+    """Scale an energy from one node to another."""
+    e_from, _ = _lookup(from_nm)
+    e_to, _ = _lookup(to_nm)
+    return value * e_to / e_from
+
+
+def scale_delay(value: float, from_nm: int, to_nm: int) -> float:
+    """Scale a delay/latency from one node to another."""
+    _, d_from = _lookup(from_nm)
+    _, d_to = _lookup(to_nm)
+    return value * d_to / d_from
+
+
+def scale_power(value: float, from_nm: int, to_nm: int) -> float:
+    """Scale power = energy/delay between nodes."""
+    return scale_energy(value, from_nm, to_nm) / (
+        scale_delay(1.0, from_nm, to_nm)
+    )

@@ -1,0 +1,86 @@
+"""Voltage over-scaling model (paper Section 4.3.4, Fig. 6 right axes).
+
+Scaling the class-memory supply below nominal saves static power
+(super-linearly) and dynamic power (quadratically) at the cost of SRAM
+bit-flip errors; HDC absorbs a surprising amount of those (Fig. 6 left
+axes).  The silicon voltage-vs-error curve the paper cites (Yang &
+Murmann, ISQED'17) is not reproducible here, so the model below is a
+monotone digitization of Fig. 6's right axes: a table of
+(bit-error-rate, supply voltage, static-saving, dynamic-saving) anchor
+points with log-linear interpolation in between.  The *resilience*
+result is real -- faults are injected into the simulated class memory by
+:mod:`repro.hardware.faults` -- only the power mapping is tabulated.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+NOMINAL_VDD = 0.90
+
+# (bit error rate, vdd, static power saving x, dynamic power saving x)
+_ANCHORS = np.array(
+    [
+        (0.000, 0.90, 1.0, 1.0),
+        (0.001, 0.82, 1.5, 1.20),
+        (0.005, 0.76, 2.1, 1.40),
+        (0.010, 0.72, 2.6, 1.56),
+        (0.020, 0.68, 3.3, 1.75),
+        (0.040, 0.64, 4.4, 1.98),
+        (0.060, 0.61, 5.3, 2.18),
+        (0.080, 0.585, 6.2, 2.37),
+        (0.100, 0.565, 7.0, 2.54),
+    ]
+)
+MAX_ERROR_RATE = float(_ANCHORS[-1, 0])
+
+
+@dataclass(frozen=True)
+class VoltagePoint:
+    """Operating point of the over-scaled class memory."""
+
+    error_rate: float
+    vdd: float
+    static_saving: float
+    dynamic_saving: float
+
+    @property
+    def static_factor(self) -> float:
+        """Multiplier applied to class-memory static power (<= 1)."""
+        return 1.0 / self.static_saving
+
+    @property
+    def dynamic_factor(self) -> float:
+        """Multiplier applied to class-memory dynamic energy (<= 1)."""
+        return 1.0 / self.dynamic_saving
+
+
+def operating_point(error_rate: float) -> VoltagePoint:
+    """Interpolate the operating point for a target bit-error rate."""
+    if not 0.0 <= error_rate <= MAX_ERROR_RATE:
+        raise ValueError(
+            f"error rate {error_rate} outside modeled range [0, {MAX_ERROR_RATE}]"
+        )
+    rates = _ANCHORS[:, 0]
+    vdd = float(np.interp(error_rate, rates, _ANCHORS[:, 1]))
+    static = float(np.interp(error_rate, rates, _ANCHORS[:, 2]))
+    dynamic = float(np.interp(error_rate, rates, _ANCHORS[:, 3]))
+    return VoltagePoint(
+        error_rate=float(error_rate),
+        vdd=vdd,
+        static_saving=static,
+        dynamic_saving=dynamic,
+    )
+
+
+def error_rate_for_voltage(vdd: float) -> float:
+    """Inverse map: expected bit-error rate at a given supply voltage."""
+    lo = float(_ANCHORS[-1, 1])
+    if not lo <= vdd <= NOMINAL_VDD:
+        raise ValueError(f"vdd {vdd} outside modeled range [{lo}, {NOMINAL_VDD}]")
+    # anchors are monotone decreasing in vdd; flip for np.interp
+    vdds = _ANCHORS[::-1, 1]
+    rates = _ANCHORS[::-1, 0]
+    return float(np.interp(vdd, vdds, rates))

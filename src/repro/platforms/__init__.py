@@ -1,0 +1,39 @@
+"""Device energy/latency models for conventional platforms.
+
+The paper measures HDC and ML algorithms on a Raspberry Pi 3, a desktop
+Core i7-8700 and a Jetson TX2 edge GPU (Hioki power meter).  None of
+that hardware exists here, so each device is an operation-count model:
+an algorithm reports how many arithmetic operations and memory bytes one
+input (or one training run) needs, and the device model converts the
+counts to energy and time using per-op/per-byte constants calibrated to
+the paper's relative factors (Section 3.3, Figures 3/8/9/10).  Only
+*ratios between platforms* are meaningful, exactly as in the paper.
+"""
+
+from repro.platforms.device import DeviceModel, Workload
+from repro.platforms.desktop_cpu import DESKTOP_CPU
+from repro.platforms.egpu import EDGE_GPU
+from repro.platforms.opcount import (
+    hdc_clustering_workload,
+    hdc_inference_workload,
+    hdc_training_workload,
+    ml_inference_workload,
+    ml_training_workload,
+)
+from repro.platforms.published import PUBLISHED_ACCELERATORS, PublishedAccelerator
+from repro.platforms.raspberry_pi import RASPBERRY_PI
+
+__all__ = [
+    "DESKTOP_CPU",
+    "DeviceModel",
+    "EDGE_GPU",
+    "PUBLISHED_ACCELERATORS",
+    "PublishedAccelerator",
+    "RASPBERRY_PI",
+    "Workload",
+    "hdc_clustering_workload",
+    "hdc_inference_workload",
+    "hdc_training_workload",
+    "ml_inference_workload",
+    "ml_training_workload",
+]

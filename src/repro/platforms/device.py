@@ -1,0 +1,107 @@
+"""Operation-count device model.
+
+A :class:`Workload` is a bag of operation counts; a :class:`DeviceModel`
+converts it into energy (J) and latency (s).  The constants are not
+datasheet values: they are calibrated so the *ratios* between devices
+match the paper's measured factors (e.g. the eGPU improving GENERIC
+inference energy by ~134x over the Raspberry Pi via bit-packing), which
+is the only information Figures 3 and 8-10 convey.
+
+Model
+-----
+
+``energy = ops/throughput-efficiency + bytes x energy_per_byte + idle``:
+
+- ``energy_per_flop`` / ``energy_per_bitop``: cost of one 32-bit
+  arithmetic op and one packed bit-level op.  Devices that cannot pack
+  binary ops (CPUs running unvectorized HDC) pay close to a full flop
+  per bit-op; the eGPU pays ~1/32 of a flop.
+- ``flops_per_second``: sustained arithmetic rate used for latency.
+- ``overhead_power``: board/system power drawn while the job runs,
+  charged over the computed latency (this is what makes the Raspberry
+  Pi expensive per input despite its small core power).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+
+@dataclass(frozen=True)
+class Workload:
+    """Operation counts for one unit of work (one input, or one run).
+
+    ``sync_points`` counts *sequential* steps that cannot be batched
+    (per-sample model updates, per-iteration assignment sweeps): each
+    one pays the device's invocation/synchronization latency, which is
+    what makes per-sample algorithms expensive on hosts with launch or
+    interpreter overhead -- the effect behind the paper's measured
+    K-means and eGPU-training numbers.
+    """
+
+    flops: float = 0.0  # 32-bit arithmetic operations
+    bitops: float = 0.0  # bit-level ops (XOR/popcount style)
+    bytes_moved: float = 0.0  # main-memory traffic
+    sync_points: float = 0.0  # unbatchable sequential steps
+    label: str = ""
+
+    def __add__(self, other: "Workload") -> "Workload":
+        return Workload(
+            flops=self.flops + other.flops,
+            bitops=self.bitops + other.bitops,
+            bytes_moved=self.bytes_moved + other.bytes_moved,
+            sync_points=self.sync_points + other.sync_points,
+            label=self.label or other.label,
+        )
+
+    def scaled(self, factor: float) -> "Workload":
+        return Workload(
+            flops=self.flops * factor,
+            bitops=self.bitops * factor,
+            bytes_moved=self.bytes_moved * factor,
+            sync_points=self.sync_points * factor,
+            label=self.label,
+        )
+
+
+@dataclass(frozen=True)
+class DeviceModel:
+    """Energy/latency model of one platform."""
+
+    name: str
+    energy_per_flop: float  # J
+    bitop_packing: float  # how many bit-ops ride one flop slot (>= 1)
+    energy_per_byte: float  # J
+    flops_per_second: float
+    overhead_power: float  # W, charged over the latency
+    #: Workload.bytes_moved assumes bit-packed hypervectors; platforms
+    #: that store one element per byte/word move proportionally more
+    #: (the paper's eGPU advantage comes from bit-packing, Section 3.3).
+    byte_expansion: float = 1.0
+    #: latency of one unbatchable step (kernel launch on a GPU,
+    #: interpreter/dispatch overhead on a CPU or the Pi)
+    sync_latency_s: float = 0.0
+    notes: str = ""
+
+    def latency_s(self, w: Workload) -> float:
+        effective_ops = w.flops + w.bitops / self.bitop_packing
+        compute = effective_ops / self.flops_per_second
+        # memory-bound floor: bytes at ~4 bytes per flop-slot
+        memory = w.bytes_moved * self.byte_expansion / (4.0 * self.flops_per_second)
+        return max(compute, memory) + w.sync_points * self.sync_latency_s
+
+    def energy_j(self, w: Workload) -> float:
+        effective_ops = w.flops + w.bitops / self.bitop_packing
+        dynamic = (
+            effective_ops * self.energy_per_flop
+            + w.bytes_moved * self.byte_expansion * self.energy_per_byte
+        )
+        return dynamic + self.overhead_power * self.latency_s(w)
+
+    def report(self, w: Workload) -> Dict[str, float]:
+        return {
+            "device": self.name,
+            "energy_j": self.energy_j(w),
+            "latency_s": self.latency_s(w),
+        }

@@ -1,0 +1,96 @@
+"""Workload builders: algorithm -> operation counts.
+
+HDC workloads are derived from the encoder's
+:class:`~repro.core.encoders.base.OpProfile` plus the similarity search;
+ML workloads come from each baseline's ``compute_profile``.  The
+returned :class:`~repro.platforms.device.Workload` objects feed the
+device models of this package.
+"""
+
+from __future__ import annotations
+
+from repro.baselines.common import ComputeProfile
+from repro.core.encoders.base import Encoder
+from repro.platforms.device import Workload
+
+
+def hdc_inference_workload(encoder: Encoder, n_classes: int) -> Workload:
+    """One-input HDC inference: encode + dot-product with every class."""
+    profile = encoder.op_profile()
+    search_flops = 2.0 * n_classes * encoder.dim + 2.0 * n_classes
+    return Workload(
+        flops=profile.mul_ops + profile.add_ops + search_flops,
+        bitops=float(profile.xor_ops),
+        bytes_moved=profile.mem_bytes + 2.0 * n_classes * encoder.dim,
+        label=f"hdc-infer-{encoder.name}",
+    )
+
+
+def hdc_training_workload(
+    encoder: Encoder,
+    n_classes: int,
+    n_train: int,
+    epochs: int = 20,
+    update_fraction: float = 0.25,
+) -> Workload:
+    """Full HDC training: encode once, then epochs of score + update.
+
+    ``update_fraction`` approximates how many samples are mispredicted
+    (hence updated) per retraining epoch.
+    """
+    encode = hdc_inference_workload(encoder, n_classes).scaled(n_train)
+    per_epoch_flops = n_train * (2.0 * n_classes * encoder.dim) + (
+        update_fraction * n_train * 4.0 * encoder.dim
+    )
+    per_epoch_bytes = n_train * 2.0 * n_classes * encoder.dim
+    retrain = Workload(
+        flops=per_epoch_flops * epochs,
+        bytes_moved=per_epoch_bytes * epochs,
+        # per-sample online updates serialize: one sync per sample per epoch
+        sync_points=float(n_train * epochs),
+    )
+    total = encode + retrain
+    return Workload(
+        flops=total.flops,
+        bitops=total.bitops,
+        bytes_moved=total.bytes_moved,
+        sync_points=total.sync_points,
+        label=f"hdc-train-{encoder.name}",
+    )
+
+
+def hdc_clustering_workload(
+    encoder: Encoder, k: int, n_samples: int, epochs: int = 10
+) -> Workload:
+    """HDC clustering: encode once + per-epoch similarity and accumulate."""
+    encode = hdc_inference_workload(encoder, k).scaled(n_samples)
+    per_epoch = Workload(
+        flops=n_samples * (2.0 * k * encoder.dim + 2.0 * encoder.dim),
+        bytes_moved=n_samples * 2.0 * k * encoder.dim,
+    )
+    total = encode + per_epoch.scaled(epochs)
+    return Workload(
+        flops=total.flops,
+        bitops=total.bitops,
+        bytes_moved=total.bytes_moved,
+        label=f"hdc-cluster-{encoder.name}",
+    )
+
+
+def ml_inference_workload(profile: ComputeProfile, label: str = "ml") -> Workload:
+    """One-input inference for a fitted baseline model."""
+    return Workload(
+        flops=profile.infer_flops,
+        bytes_moved=profile.infer_bytes,
+        label=f"{label}-infer",
+    )
+
+
+def ml_training_workload(profile: ComputeProfile, label: str = "ml") -> Workload:
+    """Whole-training-run workload for a fitted baseline model."""
+    return Workload(
+        flops=profile.train_flops,
+        bytes_moved=profile.train_bytes,
+        sync_points=profile.train_syncs,
+        label=f"{label}-train",
+    )

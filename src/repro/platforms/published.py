@@ -1,0 +1,102 @@
+"""Published accelerator baselines for Fig. 9.
+
+The paper compares GENERIC's inference energy against two prior HDC
+accelerators using their published per-input numbers, technology-scaled
+to 14 nm "according to [21]":
+
+- **Datta et al.** (JETCAS'19 [10]): a programmable hyperdimensional
+  processor architecture; trainable, but ~10% lower accuracy and
+  higher energy (the paper reports GENERIC-LP at 15.7x less energy).
+- **tiny-HD** (DATE'21 [8]): an inference-only HDC engine; the paper
+  reports GENERIC-LP at 4.1x less energy, crediting tiny-HD's lack of
+  training support for its smaller memories.
+
+Their papers' raw numbers are not in the DAC text, so we anchor each
+model the way the comparison is actually used: by its published *ratio*
+to GENERIC-LP's per-input inference energy at the paper's operating
+point, after node scaling.  The node-scaling step itself is exercised
+through :mod:`repro.hardware.tech`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+
+from repro.hardware.tech import scale_energy
+
+
+@dataclass(frozen=True)
+class PublishedAccelerator:
+    """Per-input inference energy of a published design."""
+
+    name: str
+    reference: str
+    technology_nm: int
+    energy_per_input_j: float  # at its native node
+    supports_training: bool
+
+    def energy_at_node(self, node_nm: int) -> float:
+        """Technology-scaled per-input energy (the paper's comparison step)."""
+        return scale_energy(self.energy_per_input_j, self.technology_nm, node_nm)
+
+
+@lru_cache(maxsize=1)
+def generic_lp_reference_energy_14nm() -> float:
+    """GENERIC-LP per-input inference energy at the model's reference app.
+
+    Computed from the calibrated simulator at the energy model's
+    reference spec with the paper's low-power package engaged (quarter
+    dimensions, 4-bit classes, 4% voltage over-scaling).  Used only to
+    place the published baselines on an absolute scale; their position
+    relative to GENERIC-LP is the paper's reported ratio.
+    """
+    from repro.hardware import controller
+    from repro.hardware.counters import Counters
+    from repro.hardware.energy import EnergyModel
+    from repro.hardware.params import DEFAULT_PARAMS
+    from repro.hardware.power_gating import plan_for_spec
+    from repro.hardware.spec import AppSpec
+    from repro.hardware.voltage import operating_point
+
+    model = EnergyModel(DEFAULT_PARAMS)
+    ref = AppSpec(**EnergyModel.REFERENCE_SPEC).validate(DEFAULT_PARAMS)
+    lp = ref.with_dim(ref.dim // 4)
+    counters = Counters()
+    _, c = controller.inference(lp, DEFAULT_PARAMS)
+    counters.add(c)
+    report = model.report(
+        counters,
+        gating=plan_for_spec(lp, DEFAULT_PARAMS),
+        vos=operating_point(0.04),
+        bitwidth=4,
+    )
+    return report.total_j
+
+
+def _from_ratio(ratio_at_14nm: float, native_nm: int) -> float:
+    """Back out a native-node energy from the paper's 14 nm ratio."""
+    energy_14 = ratio_at_14nm * generic_lp_reference_energy_14nm()
+    return energy_14 / scale_energy(1.0, native_nm, 14)
+
+
+def _build_registry():
+    return {
+        "datta-jetcas19": PublishedAccelerator(
+            name="Datta et al. [10]",
+            reference="IEEE JETCAS 9(3), 2019",
+            technology_nm=28,
+            energy_per_input_j=_from_ratio(15.7, 28),
+            supports_training=True,
+        ),
+        "tiny-hd-date21": PublishedAccelerator(
+            name="tiny-HD [8]",
+            reference="DATE 2021",
+            technology_nm=22,
+            energy_per_input_j=_from_ratio(4.1, 22),
+            supports_training=False,
+        ),
+    }
+
+
+PUBLISHED_ACCELERATORS = _build_registry()

@@ -1,0 +1,23 @@
+"""Raspberry Pi 3 model (ARM Cortex-A53, the paper's low-end edge device).
+
+Calibration intent: small sustained FLOP rate, no bit-packing benefit
+(the paper's Python/NEON path cannot exploit one-bit accumulation), high
+per-byte cost because hypervectors overflow the small caches, and a few
+watts of board overhead -- together these reproduce the paper's
+observation that HDC on the Pi costs orders of magnitude more energy per
+input than the eGPU (134x for GENERIC inference).
+"""
+
+from repro.platforms.device import DeviceModel
+
+RASPBERRY_PI = DeviceModel(
+    name="Raspberry Pi",
+    energy_per_flop=2.0e-9,
+    bitop_packing=1.0,  # no packed bit ops
+    energy_per_byte=6.0e-9,
+    flops_per_second=1.5e9,
+    byte_expansion=8.0,
+    overhead_power=2.5,
+    sync_latency_s=4.0e-6,
+    notes="Cortex-A53 @1.2GHz; caches too small for 4K-dim hypervectors",
+)

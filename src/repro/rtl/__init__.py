@@ -1,0 +1,31 @@
+"""Cycle-accurate behavioural model of the GENERIC ASIC ("RTL twin").
+
+The paper implements GENERIC in SystemVerilog and verifies it in
+Modelsim.  :mod:`repro.hardware` models the design *analytically*
+(closed-form cycle counts, functional math); this package models it
+*structurally*: clocked registers, synchronous SRAMs with one-cycle
+read latency, the window register stack with its per-stage one-bit
+shifts (the ``<<`` boxes of Fig. 4), the seed-id ``tmp`` register that
+refills every ``m`` windows, the striped class memories, and the
+controller FSM -- executed cycle by cycle.
+
+It is intentionally slow (a Python event loop) and is used at small
+configurations to *cross-validate* the fast models:
+
+- encodings are bit-exact with :class:`repro.core.encoders.GenericEncoder`
+  and :class:`repro.hardware.encoder_unit.EncoderUnit`;
+- predictions match :class:`repro.hardware.search_unit.SearchUnit`;
+- measured cycle counts track the analytical controller model.
+"""
+
+from repro.rtl.top import GenericRTL, RTLInferenceResult
+from repro.rtl.trace import Trace, TraceEvent
+from repro.rtl.train_top import GenericRTLTrainer
+
+__all__ = [
+    "GenericRTL",
+    "GenericRTLTrainer",
+    "RTLInferenceResult",
+    "Trace",
+    "TraceEvent",
+]

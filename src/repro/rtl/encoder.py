@@ -1,0 +1,173 @@
+"""Cycle-accurate encoder pipeline (Fig. 4, left half).
+
+One pass over the stored input produces ``m`` encoding dimensions
+``[base, base + m)``.  Per cycle the pipeline:
+
+1. issues a feature-memory read (stage F);
+2. quantizes the returned feature to a level bin and issues the level
+   row read for an ``m + n - 1`` bit slice starting at ``base - (n-1)``
+   (stage Q) -- the extra ``n - 1`` bits feed the per-stage one-bit
+   shifts of the window register stack;
+3. pushes the returned slice onto the window stack and, once ``n``
+   slices are present, folds the window product, binds the on-the-fly
+   id bits and accumulates into the ``m`` lane accumulators (stage W).
+
+The window stack mirrors the ``reg n .. reg 1`` chain of the paper: a
+slice entering at stage 0 uses sub-bits ``[0, m)``; each stage it ages,
+its effective window advances one bit (``[s, s + m)`` at age ``s``),
+which is exactly the permutation-by-``j`` of the GENERIC encoding since
+age ``s`` corresponds to in-window offset ``j = n - 1 - s``.
+
+The id path reproduces Section 4.3.1: the seed id lives in an SRAM of
+``m``-bit rows; a ``tmp`` register refills from it once every ``m``
+windows and shifts one bit per window into ``reg_id``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.rtl.sram import SyncSRAM
+
+
+@dataclass
+class EncoderConfig:
+    """Static configuration of the encoder pipeline."""
+
+    dim: int
+    lanes: int  # m
+    window: int  # n
+    num_levels: int
+    n_features: int
+    use_ids: bool
+
+
+class RTLEncoder:
+    """Clock-stepped encoder producing m dimensions per pass."""
+
+    def __init__(
+        self,
+        config: EncoderConfig,
+        level_bits: np.ndarray,  # (num_levels, dim) in {0,1}
+        seed_bits: Optional[np.ndarray],  # (dim,) in {0,1} or None
+        lo: np.ndarray,
+        hi: np.ndarray,
+    ):
+        c = config
+        if c.dim % c.lanes:
+            raise ValueError("dim must be a multiple of the lane count")
+        self.config = c
+        self.level_bits = np.asarray(level_bits, dtype=np.uint8)
+        if self.level_bits.shape != (c.num_levels, c.dim):
+            raise ValueError(
+                f"level table {self.level_bits.shape} != "
+                f"({c.num_levels}, {c.dim})"
+            )
+        self.seed_bits = (
+            None if seed_bits is None else np.asarray(seed_bits, dtype=np.uint8)
+        )
+        if c.use_ids and self.seed_bits is None:
+            raise ValueError("use_ids requires a seed id")
+        self.lo = np.asarray(lo, dtype=np.float64)
+        self.hi = np.asarray(hi, dtype=np.float64)
+
+        # memories: feature SRAM (one element per row), level SRAM modeled
+        # as the packed bit table with slice reads, seed SRAM of m-bit rows
+        self.feature_mem = SyncSRAM("feature", rows=c.n_features, width=1,
+                                    dtype=np.float64)
+        self.level_reads = 0
+        self.seed_reads = 0
+
+        self._reset_pass_state()
+
+    # -- host side ---------------------------------------------------------------
+
+    def load_input(self, x: np.ndarray) -> int:
+        """Serial load: one element per cycle into the feature memory.
+
+        Returns the cycles consumed (= d), matching the paper's
+        element-by-element input port.
+        """
+        x = np.asarray(x, dtype=np.float64)
+        if x.shape != (self.config.n_features,):
+            raise ValueError(
+                f"input shape {x.shape} != ({self.config.n_features},)"
+            )
+        for t, value in enumerate(x):
+            self.feature_mem.issue_write(t, np.array([value]))
+            self.feature_mem.tick()
+        return self.config.n_features
+
+    # -- per-pass execution ----------------------------------------------------------
+
+    def _reset_pass_state(self) -> None:
+        self._stack: list = []  # youngest first: slices of (m + n - 1) bits
+        self._acc = np.zeros(self.config.lanes, dtype=np.int64)
+        self._windows_folded = 0
+        self._pipeline: list = []  # (stage, payload) in-flight items
+
+    def quantize(self, value: float) -> int:
+        span = np.where(self.hi > self.lo, self.hi - self.lo, 1.0)
+        scaled = (value - self.lo) / span
+        return int(np.clip(np.floor(scaled * self.config.num_levels),
+                           0, self.config.num_levels - 1))
+
+    def _level_slice(self, bin_index: int, base: int) -> np.ndarray:
+        """m + n - 1 level bits starting at ``base - (n - 1)`` (wrapped)."""
+        c = self.config
+        start = (base - (c.window - 1)) % c.dim
+        idx = (start + np.arange(c.lanes + c.window - 1)) % c.dim
+        self.level_reads += 1
+        return self.level_bits[bin_index, idx]
+
+    def _id_bits(self, window_index: int, base: int) -> np.ndarray:
+        """m id bits for one window: rho^i(seed)[base .. base+m)."""
+        c = self.config
+        if not c.use_ids:
+            return np.zeros(c.lanes, dtype=np.uint8)
+        # tmp-register refill: one seed-row read per m windows
+        if window_index % c.lanes == 0:
+            self.seed_reads += 1
+        idx = (base - window_index + np.arange(c.lanes)) % c.dim
+        return self.seed_bits[idx]
+
+    def run_pass(self, pass_index: int) -> tuple:
+        """Encode dims [pass*m, pass*m + m); returns (partial_dims, cycles).
+
+        Cycle accounting: one feature per cycle plus the 3-stage
+        pipeline fill (fetch, quantize+level read, fold).
+        """
+        c = self.config
+        base = pass_index * c.lanes
+        if base + c.lanes > c.dim:
+            raise ValueError(f"pass {pass_index} beyond D_hv={c.dim}")
+        self._reset_pass_state()
+
+        cycles = 0
+        window_index = 0
+        # stage-F/Q/W software pipeline: issue feature reads one per cycle
+        for t in range(c.n_features):
+            self.feature_mem.issue_read(t)
+            self.feature_mem.tick()
+            value = float(self.feature_mem.read_data[0])
+            cycles += 1
+            bin_index = self.quantize(value)
+            slice_bits = self._level_slice(bin_index, base)
+            # push youngest-first; age grows with position
+            self._stack.insert(0, slice_bits)
+            if len(self._stack) > c.window:
+                self._stack.pop()
+            if len(self._stack) == c.window:
+                # fold: XOR over ages s of bits [s, s+m)
+                folded = np.zeros(c.lanes, dtype=np.uint8)
+                for age, stored in enumerate(self._stack):
+                    folded ^= stored[age : age + c.lanes]
+                folded ^= self._id_bits(window_index, base)
+                # bipolar accumulate: bit 0 -> +1, bit 1 -> -1
+                self._acc += 1 - 2 * folded.astype(np.int64)
+                window_index += 1
+        cycles += 3  # pipeline fill/drain (fetch, quantize, fold stages)
+        return self._acc.copy(), cycles

@@ -1,0 +1,197 @@
+"""RTL-level training and clustering (paper Sections 4.2.2, 4.2.3).
+
+Extends the RTL twin beyond inference with the learning datapaths of
+Fig. 4:
+
+- **initialization** -- encoded inputs are accumulated into the label's
+  class rows through the adder/mux pair (markers 3/4): one
+  read-modify-write of a class row per pass;
+- **retraining** -- while a training input is scored, its encoding is
+  written to *temporary rows* of the class memories; on a
+  misprediction the controller replays the rows: read class row, read
+  temp row, write back -- the paper's ``3 x D_hv / m`` cycles per
+  class update -- then refreshes the squared-norm row through the
+  multiplier feedback path (marker 8);
+- **clustering** -- the first ``k`` encoded inputs seed the centroids;
+  each input is scored against the *frozen* centroids and added into a
+  *copy centroid* row set, which replaces the active set at the end of
+  the epoch.
+
+Row budget per pass: ``n_C`` active slots, ``n_C`` copy slots
+(clustering) and one temp slot, all striped across the m memories like
+the active classes, so the same power-gating prefix argument applies.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.rtl.sram import SyncSRAM
+from repro.rtl.trace import Trace
+
+
+@dataclass
+class LearnReport:
+    """Outcome of an RTL training or clustering run."""
+
+    cycles: int
+    inputs: int
+    updates: int
+    labels: Optional[np.ndarray] = None
+
+
+class RTLLearnUnit:
+    """Class-memory learning datapath with temp and copy row sets."""
+
+    def __init__(
+        self,
+        dim: int,
+        lanes: int,
+        n_classes: int,
+        with_copy_set: bool = False,
+        norm_block: int = 128,
+        trace: Optional[Trace] = None,
+    ):
+        if dim % lanes:
+            raise ValueError("dim must be a multiple of the lane count")
+        self.dim = dim
+        self.lanes = lanes
+        self.n_classes = n_classes
+        self.passes = dim // lanes
+        self.norm_block = min(norm_block, dim)
+        self.blocks = max(1, dim // self.norm_block)
+        self.with_copy_set = with_copy_set
+        self.trace = trace if trace is not None else Trace(enabled=False)
+
+        # slots per pass: active classes, optional copy classes, one temp
+        self.slots = n_classes * (2 if with_copy_set else 1) + 1
+        rows = self.passes * self.slots
+        self.class_mems = [
+            SyncSRAM(f"class{l}", rows=rows, width=1) for l in range(lanes)
+        ]
+        self.norm2_mem = SyncSRAM("norm2", rows=n_classes, width=self.blocks)
+        self.cycle = 0
+
+    # -- row addressing --------------------------------------------------------
+
+    def _row(self, pass_index: int, slot: int) -> int:
+        return pass_index * self.slots + slot
+
+    def _slot_active(self, class_index: int) -> int:
+        return class_index
+
+    def _slot_copy(self, class_index: int) -> int:
+        if not self.with_copy_set:
+            raise RuntimeError("no copy row set configured")
+        return self.n_classes + class_index
+
+    @property
+    def _slot_temp(self) -> int:
+        return self.slots - 1
+
+    # -- primitive row operations ----------------------------------------------------
+
+    def _read_row(self, pass_index: int, slot: int) -> np.ndarray:
+        words = np.empty(self.lanes, dtype=np.int64)
+        row = self._row(pass_index, slot)
+        for lane, mem in enumerate(self.class_mems):
+            mem.issue_read(row)
+            mem.tick()
+            words[lane] = mem.read_data[0]
+        self.cycle += 1
+        return words
+
+    def _write_row(self, pass_index: int, slot: int, words: np.ndarray) -> None:
+        row = self._row(pass_index, slot)
+        for lane, mem in enumerate(self.class_mems):
+            mem.issue_write(row, np.array([words[lane]]))
+            mem.tick()
+        self.cycle += 1
+
+    # -- learning datapaths -----------------------------------------------------------
+
+    def accumulate_encoding(
+        self, class_index: int, pass_index: int, dims: np.ndarray, sign: int = 1
+    ) -> None:
+        """Initialization: class row += encoded dims (one RMW, 2 cycles)."""
+        slot = self._slot_active(class_index)
+        current = self._read_row(pass_index, slot)
+        self._write_row(pass_index, slot, current + sign * np.asarray(dims))
+        self.trace.record(self.cycle, "class_rmw")
+
+    def store_temp(self, pass_index: int, dims: np.ndarray) -> None:
+        """Write the pass's encoding into the temporary rows (1 cycle)."""
+        self._write_row(pass_index, self._slot_temp, np.asarray(dims))
+        self.trace.record(self.cycle, "temp_write")
+
+    def apply_update_from_temp(self, class_index: int, sign: int,
+                               copy_set: bool = False) -> None:
+        """Replay temp rows into a class: the paper's 3 x D_hv/m cycles."""
+        slot = (
+            self._slot_copy(class_index) if copy_set
+            else self._slot_active(class_index)
+        )
+        for p in range(self.passes):
+            current = self._read_row(p, slot)
+            temp = self._read_row(p, self._slot_temp)
+            self._write_row(p, slot, current + sign * temp)
+        self.trace.record(self.cycle, "class_update")
+
+    def refresh_norm(self, class_index: int) -> None:
+        """Recompute one class's blocked squared norms (marker 8 path)."""
+        values = self.read_class(class_index)
+        blocked = values.reshape(self.blocks, self.norm_block).astype(np.float64)
+        norms = (blocked * blocked).sum(axis=1)
+        self.norm2_mem.issue_write(class_index, norms.astype(np.int64))
+        self.norm2_mem.tick()
+        self.cycle += self.passes  # one squared-accumulate sweep
+        self.trace.record(self.cycle, "norm_refresh")
+
+    def commit_copy_set(self) -> None:
+        """Clustering epoch boundary: copy centroids replace the active set."""
+        for c in range(self.n_classes):
+            for p in range(self.passes):
+                words = self._read_row(p, self._slot_copy(c))
+                self._write_row(p, self._slot_active(c), words)
+            self.refresh_norm(c)
+        self.trace.record(self.cycle, "copy_commit")
+
+    def clear_copy_set(self) -> None:
+        for c in range(self.n_classes):
+            for p in range(self.passes):
+                self._write_row(p, self._slot_copy(c), np.zeros(self.lanes,
+                                                                dtype=np.int64))
+
+    # -- read-back / scoring ------------------------------------------------------------
+
+    def read_class(self, class_index: int, copy_set: bool = False) -> np.ndarray:
+        """Assemble one class hypervector from its striped rows."""
+        slot = (
+            self._slot_copy(class_index) if copy_set
+            else self._slot_active(class_index)
+        )
+        out = np.empty(self.dim, dtype=np.int64)
+        for p in range(self.passes):
+            out[p * self.lanes : (p + 1) * self.lanes] = self._read_row(p, slot)
+        return out
+
+    def score_pass(self, pass_index: int, dims: np.ndarray) -> np.ndarray:
+        """Partial dot products of one pass against every active class."""
+        partial = np.asarray(dims, dtype=np.int64)
+        out = np.empty(self.n_classes, dtype=np.int64)
+        for c in range(self.n_classes):
+            words = self._read_row(pass_index, self._slot_active(c))
+            out[c] = int(np.dot(words, partial))
+        return out
+
+    def norms(self) -> np.ndarray:
+        """Current squared norms of the active classes."""
+        out = np.empty(self.n_classes, dtype=np.float64)
+        for c in range(self.n_classes):
+            self.norm2_mem.issue_read(c)
+            self.norm2_mem.tick()
+            out[c] = float(self.norm2_mem.read_data.sum())
+        return out

@@ -1,0 +1,124 @@
+"""Cycle-accurate search unit (Fig. 4, bottom half).
+
+The ``m`` class memories hold the model striped exactly as Section
+4.3.2 describes: the ``m`` dimensions of pass ``p`` for class ``c``
+live in row ``p * n_C + c`` of the m memories (one 16-bit word each),
+so an application always occupies the *first* rows and unused bank
+suffixes can be gated.
+
+Per pass, the unit reads the ``n_C`` rows (one class per cycle from all
+m memories in parallel), MACs them against the pass's partial encoding
+through the pipelined adder tree, and accumulates into the score
+memory.  Finalization reads the blocked norm2 rows and pushes each
+score through the (corrected) Mitchell divider, tracking the maximum.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.core.norms import SubNormTable
+from repro.hardware.mitchell import mitchell_divide
+from repro.rtl.sram import SyncSRAM
+
+
+class RTLSearch:
+    """Clock-stepped dot-product search over striped class memories."""
+
+    def __init__(self, dim: int, lanes: int, n_classes: int, norm_block: int = 128):
+        if dim % lanes:
+            raise ValueError("dim must be a multiple of the lane count")
+        self.dim = dim
+        self.lanes = lanes
+        self.n_classes = n_classes
+        self.norm_block = min(norm_block, dim)
+        self.passes = dim // lanes
+
+        rows = self.passes * n_classes
+        self.class_mems = [
+            SyncSRAM(f"class{l}", rows=rows, width=1) for l in range(lanes)
+        ]
+        self.score_mem = SyncSRAM("score", rows=n_classes, width=1)
+        self.blocks = max(1, dim // self.norm_block)
+        self.norm2_mem = SyncSRAM("norm2", rows=n_classes, width=self.blocks)
+
+    # -- host side ----------------------------------------------------------------
+
+    def load_classes(self, matrix: np.ndarray) -> None:
+        """Stripe a (n_C, dim) class matrix into the m memories."""
+        matrix = np.asarray(matrix)
+        if matrix.shape != (self.n_classes, self.dim):
+            raise ValueError(
+                f"class matrix {matrix.shape} != ({self.n_classes}, {self.dim})"
+            )
+        for lane, mem in enumerate(self.class_mems):
+            contents = np.empty((self.passes * self.n_classes, 1), dtype=np.int64)
+            for p in range(self.passes):
+                for c in range(self.n_classes):
+                    contents[p * self.n_classes + c, 0] = matrix[c, p * self.lanes + lane]
+            mem.load(contents)
+        # blocked squared norms into the norm2 memory
+        norms = SubNormTable(self.n_classes, self.dim, block=self.norm_block)
+        norms.recompute(matrix.astype(np.float64))
+        self.norm2_mem.load(norms.table.astype(np.int64))
+
+    # -- per-pass execution ------------------------------------------------------------
+
+    def reset_scores(self) -> None:
+        self.score_mem.data[:] = 0
+
+    def accumulate_pass(self, pass_index: int, partial_dims: np.ndarray) -> int:
+        """MAC one pass's m dims against every class; returns cycles (n_C)."""
+        partial = np.asarray(partial_dims, dtype=np.int64)
+        if partial.shape != (self.lanes,):
+            raise ValueError(f"partial dims shape {partial.shape} != ({self.lanes},)")
+        cycles = 0
+        for c in range(self.n_classes):
+            row = pass_index * self.n_classes + c
+            words = np.empty(self.lanes, dtype=np.int64)
+            for lane, mem in enumerate(self.class_mems):
+                mem.issue_read(row)
+                mem.tick()
+                words[lane] = mem.read_data[0]
+            mac = int(np.dot(words, partial))
+            self.score_mem.issue_read(c)
+            self.score_mem.tick()
+            current = int(self.score_mem.read_data[0])
+            self.score_mem.issue_write(c, np.array([current + mac]))
+            self.score_mem.tick()
+            cycles += 1
+        return cycles
+
+    # -- finalize -----------------------------------------------------------------------
+
+    def finalize(self, dim_used: Optional[int] = None) -> tuple:
+        """Normalize scores with the Mitchell divider; returns
+        (winner, scores, cycles)."""
+        dim_used = self.dim if dim_used is None else dim_used
+        if dim_used % self.norm_block:
+            raise ValueError(
+                f"dim_used={dim_used} must be a multiple of {self.norm_block}"
+            )
+        blocks_used = dim_used // self.norm_block
+        scores = np.empty(self.n_classes, dtype=np.float64)
+        cycles = 0
+        for c in range(self.n_classes):
+            self.score_mem.issue_read(c)
+            self.score_mem.tick()
+            dot = float(self.score_mem.read_data[0])
+            self.norm2_mem.issue_read(c)
+            self.norm2_mem.tick()
+            norm2 = float(self.norm2_mem.read_data[:blocks_used].sum())
+            if norm2 <= 0:
+                scores[c] = 0.0
+            else:
+                ratio = float(
+                    mitchell_divide(np.array([dot * dot]), np.array([norm2]),
+                                    correct=True)[0]
+                )
+                scores[c] = np.sign(dot) * ratio
+            cycles += 1
+        winner = int(np.argmax(scores))
+        return winner, scores, cycles

@@ -1,0 +1,84 @@
+"""Clocked primitives: registers and the two-phase update discipline.
+
+Everything stateful in the RTL twin follows the same contract: during a
+cycle, combinational code reads current values and schedules next
+values with ``set_next``; :func:`clock_edge` then commits every
+scheduled value at once.  This mirrors non-blocking assignment
+semantics in Verilog and prevents order-dependent bugs in the Python
+model.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Iterable, List, Optional
+
+import numpy as np
+
+
+class Register:
+    """A clocked register holding an arbitrary value (int or ndarray)."""
+
+    def __init__(self, name: str, reset_value: Any = 0):
+        self.name = name
+        self._reset_value = self._copy(reset_value)
+        self.value = self._copy(reset_value)
+        self._next: Optional[Any] = None
+        self._pending = False
+
+    @staticmethod
+    def _copy(value: Any) -> Any:
+        if isinstance(value, np.ndarray):
+            return value.copy()
+        return value
+
+    def set_next(self, value: Any) -> None:
+        """Schedule the value to commit at the next clock edge."""
+        self._next = self._copy(value)
+        self._pending = True
+
+    def tick(self) -> None:
+        """Commit the scheduled value (no-op if nothing was scheduled)."""
+        if self._pending:
+            self.value = self._next
+            self._next = None
+            self._pending = False
+
+    def reset(self) -> None:
+        self.value = self._copy(self._reset_value)
+        self._next = None
+        self._pending = False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Register({self.name}={self.value!r})"
+
+
+class RegisterFile:
+    """A named collection of registers ticked together."""
+
+    def __init__(self):
+        self._registers: List[Register] = []
+
+    def new(self, name: str, reset_value: Any = 0) -> Register:
+        reg = Register(name, reset_value)
+        self._registers.append(reg)
+        return reg
+
+    def extend(self, registers: Iterable[Register]) -> None:
+        self._registers.extend(registers)
+
+    def tick(self) -> None:
+        for reg in self._registers:
+            reg.tick()
+
+    def reset(self) -> None:
+        for reg in self._registers:
+            reg.reset()
+
+    def __len__(self) -> int:
+        return len(self._registers)
+
+
+def clock_edge(*files: RegisterFile) -> None:
+    """Commit every register in the given files (one rising edge)."""
+    for f in files:
+        f.tick()

@@ -1,0 +1,92 @@
+"""Synchronous SRAM model with one-cycle read latency and access counts.
+
+A read issued in cycle ``t`` (``issue_read``) delivers its data in
+cycle ``t+1`` (``read_data``), like a registered-output SRAM macro.
+Writes commit at the clock edge.  Rows hold NumPy arrays (bit slices or
+words); the model also counts accesses so RTL runs can be charged by
+the same energy model as the analytical simulator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+
+class SyncSRAM:
+    """Single-port synchronous SRAM (1R or 1W per cycle)."""
+
+    def __init__(self, name: str, rows: int, width: int, dtype=np.int64):
+        if rows <= 0 or width <= 0:
+            raise ValueError(f"{name}: rows and width must be positive")
+        self.name = name
+        self.rows = rows
+        self.width = width
+        self.data = np.zeros((rows, width), dtype=dtype)
+        self.reads = 0
+        self.writes = 0
+
+        self._read_pending: Optional[int] = None
+        self._read_output: Optional[np.ndarray] = None
+        self._write_pending: Optional[tuple] = None
+
+    # -- combinational phase -------------------------------------------------
+
+    def issue_read(self, row: int) -> None:
+        """Request row contents; available via read_data after the edge."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"{self.name}: read row {row} out of range")
+        if self._write_pending is not None:
+            raise RuntimeError(f"{self.name}: single port already writing")
+        self._read_pending = row
+
+    def issue_write(self, row: int, value: np.ndarray) -> None:
+        """Schedule a row write for the coming clock edge."""
+        if not 0 <= row < self.rows:
+            raise IndexError(f"{self.name}: write row {row} out of range")
+        if self._read_pending is not None:
+            raise RuntimeError(f"{self.name}: single port already reading")
+        value = np.asarray(value)
+        if value.shape != (self.width,):
+            raise ValueError(
+                f"{self.name}: write width {value.shape} != ({self.width},)"
+            )
+        self._write_pending = (row, value.astype(self.data.dtype))
+
+    # -- sequential phase -----------------------------------------------------
+
+    def tick(self) -> None:
+        """Clock edge: commit the write, latch the read output."""
+        if self._write_pending is not None:
+            row, value = self._write_pending
+            self.data[row] = value
+            self.writes += 1
+            self._write_pending = None
+        if self._read_pending is not None:
+            self._read_output = self.data[self._read_pending].copy()
+            self.reads += 1
+            self._read_pending = None
+
+    @property
+    def read_data(self) -> np.ndarray:
+        """Data latched by the most recent read (valid one cycle later)."""
+        if self._read_output is None:
+            raise RuntimeError(f"{self.name}: no read has completed yet")
+        return self._read_output
+
+    # -- backdoor (host/config port) -----------------------------------------------
+
+    def load(self, contents: np.ndarray) -> None:
+        """Host-side bulk load through the config port (not cycle-counted)."""
+        contents = np.asarray(contents, dtype=self.data.dtype)
+        if contents.shape[0] > self.rows or contents.shape[1] != self.width:
+            raise ValueError(
+                f"{self.name}: cannot load shape {contents.shape} into "
+                f"({self.rows}, {self.width})"
+            )
+        self.data[: contents.shape[0]] = contents
+
+    def reset_counters(self) -> None:
+        self.reads = 0
+        self.writes = 0

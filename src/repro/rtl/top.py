@@ -1,0 +1,135 @@
+"""Top-level RTL twin: controller FSM tying encoder and search together.
+
+``GenericRTL`` is programmed exactly like the analytical simulator --
+from a :class:`~repro.core.model_io.ConfigImage` -- and runs inference
+one input at a time:
+
+1. serial input load (``d`` cycles);
+2. ``D_hv / m`` passes; each pass encodes ``m`` dimensions while the
+   search unit consumes the *previous* pass's dimensions (the pipeline
+   of Section 4.2.1), so a pass costs ``max(encode, search)`` cycles;
+3. a drain pass for the final search plus score finalization.
+
+The twin is slow (pure Python per cycle) and intended for
+cross-validation at small configurations; production experiments use
+:mod:`repro.hardware`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from repro.core.model_io import ConfigImage
+from repro.core.hypervector import to_binary
+from repro.rtl.encoder import EncoderConfig, RTLEncoder
+from repro.rtl.search import RTLSearch
+
+
+@dataclass
+class RTLInferenceResult:
+    """Outcome of one RTL inference."""
+
+    prediction: object
+    winner_index: int
+    scores: np.ndarray
+    cycles: int
+    encoding: np.ndarray
+    pass_cycles: List[int] = field(default_factory=list)
+
+
+class GenericRTL:
+    """Cycle-stepped GENERIC engine (inference)."""
+
+    def __init__(self, lanes: int = 16, norm_block: int = 128):
+        self.lanes = lanes
+        self.norm_block = norm_block
+        self.encoder: Optional[RTLEncoder] = None
+        self.search: Optional[RTLSearch] = None
+        self.class_labels: Optional[np.ndarray] = None
+        self.dim = 0
+
+    # -- programming -----------------------------------------------------------------
+
+    def load_image(self, image: ConfigImage) -> "GenericRTL":
+        if image.dim % self.lanes:
+            raise ValueError(
+                f"D_hv={image.dim} must be a multiple of m={self.lanes}"
+            )
+        lo = np.atleast_1d(image.quantizer_lo)
+        hi = np.atleast_1d(image.quantizer_hi)
+        if lo.size != 1 or hi.size != 1:
+            raise ValueError("the RTL twin supports global quantizer ranges")
+        config = EncoderConfig(
+            dim=image.dim,
+            lanes=self.lanes,
+            window=image.window,
+            num_levels=image.num_levels,
+            n_features=image.n_features,
+            use_ids=image.use_ids,
+        )
+        self.encoder = RTLEncoder(
+            config,
+            level_bits=to_binary(image.level_table),
+            seed_bits=None if image.seed_id is None else to_binary(image.seed_id),
+            lo=lo[0],
+            hi=hi[0],
+        )
+        self.search = RTLSearch(
+            dim=image.dim,
+            lanes=self.lanes,
+            n_classes=image.n_classes,
+            norm_block=min(self.norm_block, image.dim),
+        )
+        self.search.load_classes(np.rint(image.class_matrix).astype(np.int64))
+        self.class_labels = np.asarray(image.class_labels)
+        self.dim = image.dim
+        return self
+
+    def _require_ready(self) -> None:
+        if self.encoder is None or self.search is None:
+            raise RuntimeError("GenericRTL used before load_image()")
+
+    # -- execution --------------------------------------------------------------------
+
+    def infer_one(self, x: np.ndarray) -> RTLInferenceResult:
+        """Run one input through the full load/encode/search/finalize flow."""
+        self._require_ready()
+        cycles = self.encoder.load_input(np.asarray(x, dtype=np.float64))
+
+        passes = self.dim // self.lanes
+        self.search.reset_scores()
+        encoding = np.empty(self.dim, dtype=np.int64)
+        pass_cycles: List[int] = []
+        pending: Optional[tuple] = None  # (pass_index, partial_dims)
+        for p in range(passes):
+            partial, encode_cycles = self.encoder.run_pass(p)
+            encoding[p * self.lanes : (p + 1) * self.lanes] = partial
+            search_cycles = 0
+            if pending is not None:
+                search_cycles = self.search.accumulate_pass(*pending)
+            pending = (p, partial)
+            step = max(encode_cycles, search_cycles)
+            pass_cycles.append(step)
+            cycles += step
+        # drain: the last pass's dimensions still need their search
+        cycles += self.search.accumulate_pass(*pending)
+        winner, scores, fin_cycles = self.search.finalize(self.dim)
+        cycles += fin_cycles
+
+        label = winner if self.class_labels is None else self.class_labels[winner]
+        return RTLInferenceResult(
+            prediction=label,
+            winner_index=winner,
+            scores=scores,
+            cycles=cycles,
+            encoding=encoding,
+            pass_cycles=pass_cycles,
+        )
+
+    def infer(self, X: np.ndarray) -> List[RTLInferenceResult]:
+        """Convenience wrapper over a batch (still one input at a time)."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        return [self.infer_one(x) for x in X]

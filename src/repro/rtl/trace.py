@@ -1,0 +1,77 @@
+"""Waveform-style tracing for the RTL twin (a Modelsim stand-in).
+
+The paper verified its RTL in Modelsim; the twin offers the same
+observability through a lightweight event trace: components record
+named events with a cycle stamp, and the trace can be filtered,
+asserted on in tests, or dumped as a text "waveform" where each signal
+gets one row and each cycle one column.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded event."""
+
+    cycle: int
+    signal: str
+    value: object
+
+
+@dataclass
+class Trace:
+    """Append-only event log with query helpers."""
+
+    events: List[TraceEvent] = field(default_factory=list)
+    enabled: bool = True
+
+    def record(self, cycle: int, signal: str, value: object = 1) -> None:
+        if self.enabled:
+            self.events.append(TraceEvent(cycle, signal, value))
+
+    # -- queries -------------------------------------------------------------
+
+    def signals(self) -> List[str]:
+        seen: Dict[str, None] = {}
+        for e in self.events:
+            seen.setdefault(e.signal, None)
+        return list(seen)
+
+    def of(self, signal: str) -> List[TraceEvent]:
+        return [e for e in self.events if e.signal == signal]
+
+    def count(self, signal: str) -> int:
+        return sum(1 for e in self.events if e.signal == signal)
+
+    def last_cycle(self) -> int:
+        return max((e.cycle for e in self.events), default=0)
+
+    def between(self, start: int, stop: int) -> "Trace":
+        return Trace(
+            events=[e for e in self.events if start <= e.cycle < stop],
+            enabled=self.enabled,
+        )
+
+    # -- rendering ----------------------------------------------------------------
+
+    def render(self, width: Optional[int] = None) -> str:
+        """Text waveform: one row per signal, '#' where the signal fired."""
+        if not self.events:
+            return "(empty trace)"
+        last = self.last_cycle()
+        width = width or min(last + 1, 120)
+        scale = (last + 1) / width
+        names = self.signals()
+        label_w = max(len(n) for n in names)
+        lines = [f"{''.ljust(label_w)}  cycles 0..{last}"]
+        for name in names:
+            row = [" "] * width
+            for e in self.of(name):
+                col = min(width - 1, int(e.cycle / scale))
+                row[col] = "#"
+            lines.append(f"{name.ljust(label_w)} |{''.join(row)}|")
+        return "\n".join(lines)

@@ -1,0 +1,244 @@
+"""Trainable RTL top: on-device training and clustering, clock-stepped.
+
+``GenericRTLTrainer`` is the RTL counterpart of
+:meth:`repro.hardware.accelerator.GenericAccelerator.train` /
+``.cluster``: programmed with encoding tables only (no offline model),
+it initializes, retrains and clusters entirely through the
+class-memory learning datapath of :mod:`repro.rtl.learn`.
+
+Cross-validation (see ``tests/rtl/test_rtl_training.py``): given the
+same sample order, the RTL trainer produces the *same class matrix*
+and the same predictions as the functional accelerator.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.core.hypervector import to_binary
+from repro.hardware.mitchell import mitchell_divide
+from repro.rtl.encoder import EncoderConfig, RTLEncoder
+from repro.rtl.learn import LearnReport, RTLLearnUnit
+from repro.rtl.trace import Trace
+
+
+class GenericRTLTrainer:
+    """Clock-stepped GENERIC engine with training and clustering modes."""
+
+    def __init__(self, lanes: int = 16, norm_block: int = 128,
+                 trace: Optional[Trace] = None):
+        self.lanes = lanes
+        self.norm_block = norm_block
+        self.trace = trace if trace is not None else Trace(enabled=False)
+        self.encoder: Optional[RTLEncoder] = None
+        self.learn: Optional[RTLLearnUnit] = None
+        self.class_labels: Optional[np.ndarray] = None
+        self.dim = 0
+
+    # -- programming -----------------------------------------------------------
+
+    def configure(
+        self,
+        dim: int,
+        n_features: int,
+        n_classes: int,
+        level_table: np.ndarray,
+        seed_id: Optional[np.ndarray],
+        lo,
+        hi,
+        window: int = 3,
+        with_copy_set: bool = False,
+    ) -> "GenericRTLTrainer":
+        level_table = np.asarray(level_table)
+        config = EncoderConfig(
+            dim=dim,
+            lanes=self.lanes,
+            window=window,
+            num_levels=level_table.shape[0],
+            n_features=n_features,
+            use_ids=seed_id is not None,
+        )
+        self.encoder = RTLEncoder(
+            config,
+            level_bits=to_binary(level_table),
+            seed_bits=None if seed_id is None else to_binary(np.asarray(seed_id)),
+            lo=np.asarray(lo),
+            hi=np.asarray(hi),
+        )
+        self.learn = RTLLearnUnit(
+            dim=dim,
+            lanes=self.lanes,
+            n_classes=n_classes,
+            with_copy_set=with_copy_set,
+            norm_block=min(self.norm_block, dim),
+            trace=self.trace,
+        )
+        self.dim = dim
+        return self
+
+    def _require_ready(self) -> None:
+        if self.encoder is None or self.learn is None:
+            raise RuntimeError("GenericRTLTrainer used before configure()")
+
+    # -- shared kernels ----------------------------------------------------------
+
+    def _encode_all_passes(self, x: np.ndarray, store_temp: bool) -> np.ndarray:
+        """Encode every pass; optionally stream into the temp rows."""
+        passes = self.dim // self.lanes
+        encoding = np.empty(self.dim, dtype=np.int64)
+        self.encoder.load_input(np.asarray(x, dtype=np.float64))
+        self.learn.cycle += self.encoder.config.n_features  # serial load
+        for p in range(passes):
+            dims, cycles = self.encoder.run_pass(p)
+            self.learn.cycle += cycles
+            encoding[p * self.lanes : (p + 1) * self.lanes] = dims
+            if store_temp:
+                self.learn.store_temp(p, dims)
+        return encoding
+
+    def _score(self, encoding: np.ndarray) -> np.ndarray:
+        """Hardware similarity against the active classes."""
+        passes = self.dim // self.lanes
+        dots = np.zeros(self.learn.n_classes, dtype=np.int64)
+        for p in range(passes):
+            dots += self.learn.score_pass(
+                p, encoding[p * self.lanes : (p + 1) * self.lanes]
+            )
+        norm2 = self.learn.norms()
+        safe = np.where(norm2 <= 0.0, np.inf, norm2)
+        ratio = mitchell_divide(
+            (dots * dots).astype(np.float64), safe, correct=True
+        )
+        return np.sign(dots) * ratio
+
+    # -- training -------------------------------------------------------------------
+
+    def train(
+        self,
+        X: np.ndarray,
+        y: Sequence,
+        epochs: int = 5,
+        seed: int = 0,
+    ) -> LearnReport:
+        """Initialization + per-sample retraining (Section 4.2.2)."""
+        self._require_ready()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        labels, y_idx = np.unique(np.asarray(y), return_inverse=True)
+        if len(labels) > self.learn.n_classes:
+            raise ValueError(
+                f"{len(labels)} labels exceed n_C={self.learn.n_classes}"
+            )
+        self.class_labels = labels
+        rng = np.random.default_rng(seed)
+        passes = self.dim // self.lanes
+
+        encodings = np.empty((len(X), self.dim), dtype=np.int64)
+        for i, x in enumerate(X):
+            encodings[i] = self._encode_all_passes(x, store_temp=False)
+            for p in range(passes):
+                self.learn.accumulate_encoding(
+                    int(y_idx[i]), p,
+                    encodings[i, p * self.lanes : (p + 1) * self.lanes],
+                )
+        for c in range(self.learn.n_classes):
+            self.learn.refresh_norm(c)
+
+        updates = 0
+        order = np.arange(len(X))
+        for _ in range(epochs):
+            rng.shuffle(order)
+            epoch_updates = 0
+            for i in order:
+                # scoring re-reads the stored encoding through the temp rows
+                for p in range(passes):
+                    self.learn.store_temp(
+                        p, encodings[i, p * self.lanes : (p + 1) * self.lanes]
+                    )
+                scores = self._score(encodings[i])
+                pred = int(np.argmax(scores))
+                truth = int(y_idx[i])
+                if pred != truth:
+                    self.learn.apply_update_from_temp(pred, sign=-1)
+                    self.learn.apply_update_from_temp(truth, sign=+1)
+                    self.learn.refresh_norm(pred)
+                    self.learn.refresh_norm(truth)
+                    epoch_updates += 1
+            updates += epoch_updates
+            if epoch_updates == 0:
+                break
+        return LearnReport(
+            cycles=self.learn.cycle, inputs=len(X), updates=updates
+        )
+
+    def infer(self, X: np.ndarray) -> np.ndarray:
+        """Classify through the trained class memories."""
+        self._require_ready()
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        preds = []
+        for x in X:
+            encoding = self._encode_all_passes(x, store_temp=False)
+            winner = int(np.argmax(self._score(encoding)))
+            preds.append(
+                winner if self.class_labels is None else self.class_labels[winner]
+            )
+        return np.asarray(preds)
+
+    # -- clustering --------------------------------------------------------------------
+
+    def cluster(self, X: np.ndarray, k: int, epochs: int = 5) -> LearnReport:
+        """Copy-centroid clustering (Section 4.2.3)."""
+        self._require_ready()
+        if not self.learn.with_copy_set:
+            raise RuntimeError("configure(with_copy_set=True) for clustering")
+        if k > self.learn.n_classes:
+            raise ValueError(f"k={k} exceeds n_C={self.learn.n_classes}")
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if len(X) < k:
+            raise ValueError(f"need at least k={k} inputs")
+        passes = self.dim // self.lanes
+
+        encodings = np.empty((len(X), self.dim), dtype=np.int64)
+        for i, x in enumerate(X):
+            encodings[i] = self._encode_all_passes(x, store_temp=False)
+        # the first k encodings seed the active centroids
+        for c in range(k):
+            for p in range(passes):
+                self.learn.accumulate_encoding(
+                    c, p, encodings[c, p * self.lanes : (p + 1) * self.lanes]
+                )
+            self.learn.refresh_norm(c)
+
+        labels = np.zeros(len(X), dtype=np.int64)
+        for epoch in range(epochs):
+            self.learn.clear_copy_set()
+            new_labels = np.empty(len(X), dtype=np.int64)
+            for i in range(len(X)):
+                for p in range(passes):
+                    self.learn.store_temp(
+                        p, encodings[i, p * self.lanes : (p + 1) * self.lanes]
+                    )
+                scores = self._score(encodings[i])[:k]
+                winner = int(np.argmax(scores))
+                new_labels[i] = winner
+                self.learn.apply_update_from_temp(winner, sign=+1, copy_set=True)
+            # empty clusters keep their previous centroid
+            counts = np.bincount(new_labels, minlength=k)
+            for c in range(k):
+                if counts[c] == 0:
+                    old = self.learn.read_class(c)
+                    for p in range(passes):
+                        self.learn._write_row(
+                            p, self.learn._slot_copy(c),
+                            old[p * self.lanes : (p + 1) * self.lanes],
+                        )
+            converged = epoch > 0 and np.array_equal(new_labels, labels)
+            labels = new_labels
+            self.learn.commit_copy_set()
+            if converged:
+                break
+        return LearnReport(
+            cycles=self.learn.cycle, inputs=len(X), updates=int(epochs),
+            labels=labels,
+        )

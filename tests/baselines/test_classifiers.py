@@ -1,0 +1,173 @@
+"""Unit tests for the ML baseline classifiers.
+
+One shared contract (fit/predict/score/profile) plus model-specific
+behaviour for each algorithm.
+"""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    DNNClassifier,
+    KNNClassifier,
+    LogisticRegression,
+    MLPClassifier,
+    RandomForestClassifier,
+    SVMClassifier,
+)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    """Linearly separable 3-class problem."""
+    rng = np.random.default_rng(10)
+    protos = np.array([[3.0, 0, 0, 0], [0, 3.0, 0, 0], [0, 0, 3.0, 0]])
+    y = rng.integers(0, 3, size=300)
+    X = protos[y] + rng.normal(scale=0.7, size=(300, 4))
+    return X[:220], y[:220], X[220:], y[220:]
+
+
+@pytest.fixture(scope="module")
+def xor_problem():
+    """Nonlinear (XOR) problem that defeats linear models."""
+    rng = np.random.default_rng(11)
+    X = rng.uniform(-1, 1, size=(400, 2))
+    y = ((X[:, 0] > 0) ^ (X[:, 1] > 0)).astype(int)
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+def make_all(seed=0):
+    return {
+        "mlp": MLPClassifier(epochs=40, seed=seed),
+        "svm": SVMClassifier(epochs=30, seed=seed),
+        "rf": RandomForestClassifier(n_estimators=15, seed=seed),
+        "knn": KNNClassifier(k=5),
+        "lr": LogisticRegression(epochs=30, seed=seed),
+        "dnn": DNNClassifier(
+            search_space=(((32,), 1e-3), ((32, 16), 1e-3)), epochs=15, seed=seed
+        ),
+    }
+
+
+@pytest.mark.parametrize("name", ["mlp", "svm", "rf", "knn", "lr", "dnn"])
+class TestClassifierContract:
+    def test_learns_separable_problem(self, name, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        model = make_all()[name]
+        model.fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.85
+
+    def test_predict_shape_and_labels(self, name, problem):
+        X_tr, y_tr, X_te, _ = problem
+        model = make_all()[name]
+        model.fit(X_tr, y_tr)
+        preds = model.predict(X_te)
+        assert preds.shape == (len(X_te),)
+        assert set(preds) <= set(y_tr)
+
+    def test_use_before_fit_raises(self, name, problem):
+        _, _, X_te, _ = problem
+        with pytest.raises(RuntimeError):
+            make_all()[name].predict(X_te)
+
+    def test_compute_profile_positive(self, name, problem):
+        X_tr, y_tr, _, _ = problem
+        model = make_all()[name]
+        model.fit(X_tr, y_tr)
+        profile = model.compute_profile(len(X_tr))
+        assert profile.train_flops > 0
+        assert profile.infer_flops > 0
+
+    def test_string_labels(self, name, problem):
+        X_tr, y_tr, X_te, y_te = problem
+        names = np.array(["ant", "bee", "cat"])
+        model = make_all()[name]
+        model.fit(X_tr, names[y_tr])
+        assert model.score(X_te, names[y_te]) > 0.85
+
+
+class TestNonlinearity:
+    def test_rbf_svm_solves_xor(self, xor_problem):
+        X_tr, y_tr, X_te, y_te = xor_problem
+        linear = SVMClassifier(kernel="linear", epochs=40, seed=1).fit(X_tr, y_tr)
+        rbf = SVMClassifier(kernel="rbf", rff_dim=256, gamma=4.0, epochs=40,
+                            seed=1).fit(X_tr, y_tr)
+        assert linear.score(X_te, y_te) < 0.75
+        assert rbf.score(X_te, y_te) > 0.8
+
+    def test_mlp_solves_xor(self, xor_problem):
+        X_tr, y_tr, X_te, y_te = xor_problem
+        model = MLPClassifier(hidden=(32,), epochs=80, seed=2).fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.8
+
+    def test_forest_solves_xor(self, xor_problem):
+        X_tr, y_tr, X_te, y_te = xor_problem
+        model = RandomForestClassifier(n_estimators=25, seed=3).fit(X_tr, y_tr)
+        assert model.score(X_te, y_te) > 0.85
+
+
+class TestRandomForestSpecifics:
+    def test_single_tree_overfits_train(self, problem):
+        X_tr, y_tr, _, _ = problem
+        from repro.baselines.decision_tree import DecisionTreeClassifier
+
+        tree = DecisionTreeClassifier(seed=0)
+        tree.fit(X_tr, y_tr, 3)
+        assert np.mean(tree.predict_idx(X_tr) == y_tr) > 0.98
+
+    def test_max_depth_limits_tree(self, problem):
+        X_tr, y_tr, _, _ = problem
+        from repro.baselines.decision_tree import DecisionTreeClassifier
+
+        tree = DecisionTreeClassifier(max_depth=2, seed=0)
+        tree.fit(X_tr, y_tr, 3)
+        assert tree.depth_ <= 2
+
+    def test_bad_estimator_count(self):
+        with pytest.raises(ValueError):
+            RandomForestClassifier(n_estimators=0)
+
+    def test_constant_features_yield_leaf(self):
+        from repro.baselines.decision_tree import DecisionTreeClassifier
+
+        X = np.ones((20, 3))
+        y = np.array([0, 1] * 10)
+        tree = DecisionTreeClassifier(seed=0)
+        tree.fit(X, y, 2)
+        assert tree.root_.is_leaf
+
+
+class TestDNNSearch:
+    def test_search_log_covers_space(self, problem):
+        X_tr, y_tr, _, _ = problem
+        model = DNNClassifier(
+            search_space=(((16,), 1e-3), ((16, 8), 1e-3)), epochs=10, seed=4
+        ).fit(X_tr, y_tr)
+        assert len(model.search_log_) == 2
+        assert model.best_config_ in [(h, lr) for h, lr, _ in model.search_log_]
+
+    def test_profile_includes_search_multiplier(self, problem):
+        X_tr, y_tr, _, _ = problem
+        model = DNNClassifier(
+            search_space=(((16,), 1e-3), ((16, 8), 1e-3)), epochs=10, seed=4
+        ).fit(X_tr, y_tr)
+        winner = model.best_.compute_profile(len(X_tr))
+        full = model.compute_profile(len(X_tr))
+        assert full.train_flops == pytest.approx(2 * winner.train_flops)
+
+
+class TestKNNSpecifics:
+    def test_k1_memorizes_train(self, problem):
+        X_tr, y_tr, _, _ = problem
+        model = KNNClassifier(k=1).fit(X_tr, y_tr)
+        assert model.score(X_tr, y_tr) == 1.0
+
+    def test_bad_k(self):
+        with pytest.raises(ValueError):
+            KNNClassifier(k=0)
+
+    def test_k_capped_at_train_size(self):
+        X = np.array([[0.0], [1.0], [2.0]])
+        y = np.array([0, 1, 1])
+        model = KNNClassifier(k=10).fit(X, y)
+        assert model.predict(np.array([[1.5]]))[0] == 1

@@ -1,0 +1,102 @@
+"""Unit tests for shared baseline utilities."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.common import (
+    AdamState,
+    ComputeProfile,
+    LabelCodec,
+    Standardizer,
+    minibatches,
+    one_hot,
+    softmax,
+    standardize,
+    train_test_split,
+)
+
+
+class TestStandardizer:
+    def test_zero_mean_unit_var(self):
+        rng = np.random.default_rng(0)
+        X = rng.normal(loc=5.0, scale=3.0, size=(500, 4))
+        Z = Standardizer().fit_transform(X)
+        assert np.allclose(Z.mean(axis=0), 0.0, atol=1e-9)
+        assert np.allclose(Z.std(axis=0), 1.0, atol=1e-9)
+
+    def test_constant_feature_safe(self):
+        X = np.ones((10, 2))
+        Z = Standardizer().fit_transform(X)
+        assert np.isfinite(Z).all()
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            Standardizer().transform(np.zeros((1, 2)))
+
+    def test_standardize_uses_train_stats(self):
+        X_train = np.array([[0.0], [2.0]])
+        X_test = np.array([[4.0]])
+        _, Z_test = standardize(X_train, X_test)
+        assert Z_test[0, 0] == pytest.approx(3.0)
+
+
+class TestHelpers:
+    def test_one_hot(self):
+        out = one_hot(np.array([0, 2, 1]), 3)
+        assert out.tolist() == [[1, 0, 0], [0, 0, 1], [0, 1, 0]]
+
+    def test_softmax_rows_sum_to_one(self):
+        z = np.random.default_rng(1).normal(size=(5, 4)) * 50
+        p = softmax(z)
+        assert np.allclose(p.sum(axis=1), 1.0)
+        assert (p >= 0).all()
+
+    def test_softmax_numerically_stable(self):
+        p = softmax(np.array([[1000.0, 1000.0]]))
+        assert np.allclose(p, 0.5)
+
+    def test_minibatches_cover_everything(self):
+        rng = np.random.default_rng(2)
+        seen = np.concatenate(list(minibatches(17, 5, rng)))
+        assert sorted(seen.tolist()) == list(range(17))
+
+    def test_train_test_split_sizes(self):
+        X = np.arange(100)[:, None].astype(float)
+        y = np.arange(100)
+        X_tr, X_te, y_tr, y_te = train_test_split(X, y, 0.25, seed=3)
+        assert len(X_te) == 25
+        assert len(X_tr) == 75
+        assert set(y_tr) | set(y_te) == set(range(100))
+
+    def test_split_fraction_validated(self):
+        with pytest.raises(ValueError):
+            train_test_split(np.zeros((4, 1)), np.zeros(4), 1.5)
+
+
+class TestLabelCodec:
+    def test_roundtrip(self):
+        codec = LabelCodec()
+        idx = codec.fit(np.array(["b", "a", "b", "c"]))
+        assert codec.n_classes == 3
+        assert codec.decode(idx).tolist() == ["b", "a", "b", "c"]
+
+    def test_use_before_fit(self):
+        with pytest.raises(RuntimeError):
+            LabelCodec().decode(np.array([0]))
+
+
+class TestAdam:
+    def test_descends_quadratic(self):
+        w = np.array([5.0])
+        adam = AdamState([w], lr=0.1)
+        for _ in range(200):
+            adam.step([w], [2.0 * w])
+        assert abs(w[0]) < 0.5
+
+
+class TestComputeProfile:
+    def test_scaled(self):
+        p = ComputeProfile(100, 10, 1000, 50)
+        s = p.scaled(2.0)
+        assert s.train_flops == 200
+        assert s.infer_bytes == 100

@@ -1,0 +1,69 @@
+"""Unit tests for the K-means baseline."""
+
+import numpy as np
+import pytest
+
+from repro.baselines.kmeans import KMeans
+from repro.eval.metrics import normalized_mutual_information
+
+
+@pytest.fixture
+def blobs():
+    rng = np.random.default_rng(8)
+    centers = np.array([[0, 0], [6, 0], [0, 6]], dtype=float)
+    y = rng.integers(0, 3, size=240)
+    X = centers[y] + rng.normal(scale=0.5, size=(240, 2))
+    return X, y
+
+
+class TestKMeans:
+    def test_recovers_blobs(self, blobs):
+        X, y = blobs
+        km = KMeans(k=3, seed=1).fit(X)
+        assert normalized_mutual_information(y, km.labels_) > 0.9
+
+    def test_inertia_decreases_with_k(self, blobs):
+        X, _ = blobs
+        i2 = KMeans(k=2, seed=1).fit(X).inertia_
+        i4 = KMeans(k=4, seed=1).fit(X).inertia_
+        assert i4 < i2
+
+    def test_predict_consistent_with_labels(self, blobs):
+        X, _ = blobs
+        km = KMeans(k=3, seed=2).fit(X)
+        assert np.array_equal(km.predict(X), km.labels_)
+
+    def test_fit_predict(self, blobs):
+        X, _ = blobs
+        km = KMeans(k=3, seed=2)
+        assert np.array_equal(km.fit_predict(X), km.labels_)
+
+    def test_centroid_shape(self, blobs):
+        X, _ = blobs
+        km = KMeans(k=3, seed=1).fit(X)
+        assert km.centroids_.shape == (3, 2)
+
+    def test_deterministic_per_seed(self, blobs):
+        X, _ = blobs
+        a = KMeans(k=3, seed=5).fit(X)
+        b = KMeans(k=3, seed=5).fit(X)
+        assert np.array_equal(a.labels_, b.labels_)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(k=5).fit(np.zeros((3, 2)))
+
+    def test_bad_k_rejected(self):
+        with pytest.raises(ValueError):
+            KMeans(k=0)
+
+    def test_predict_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            KMeans(k=2).predict(np.zeros((1, 2)))
+
+    def test_compute_profile(self, blobs):
+        X, _ = blobs
+        km = KMeans(k=3, seed=1).fit(X)
+        profile = km.compute_profile(len(X), X.shape[1])
+        assert profile.train_flops > 0
+        assert km.iterations_ >= 1

@@ -1,0 +1,46 @@
+"""Shared fixtures: small deterministic problems the whole suite reuses."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+
+TEST_DIM = 256
+TEST_LEVELS = 16
+
+
+@pytest.fixture(scope="session")
+def rng():
+    return np.random.default_rng(1234)
+
+
+@pytest.fixture(scope="session")
+def toy_problem():
+    """A small, clearly learnable 3-class problem: (X_train, y_train, X_test, y_test)."""
+    gen = np.random.default_rng(7)
+    n_classes, d = 3, 24
+    protos = gen.normal(scale=1.5, size=(n_classes, d))
+    y = gen.integers(0, n_classes, size=240)
+    X = protos[y] + gen.normal(scale=0.6, size=(240, d))
+    return X[:180], y[:180], X[180:], y[180:]
+
+
+@pytest.fixture(scope="session")
+def fitted_generic_classifier(toy_problem):
+    """A trained GENERIC classifier on the toy problem (session-scoped)."""
+    X_train, y_train, _, _ = toy_problem
+    enc = GenericEncoder(dim=TEST_DIM, num_levels=TEST_LEVELS, seed=3)
+    clf = HDClassifier(enc, epochs=5, seed=3)
+    clf.fit(X_train, y_train)
+    return clf
+
+
+@pytest.fixture(scope="session")
+def tiny_dataset():
+    """A tiny registry dataset shared by dataset-dependent tests."""
+    from repro.datasets import load_dataset
+
+    return load_dataset("CARDIO", "tiny")

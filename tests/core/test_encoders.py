@@ -1,0 +1,194 @@
+"""Unit tests for the five HDC encoders."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import (
+    ENCODERS,
+    GenericEncoder,
+    LevelIdEncoder,
+    NgramEncoder,
+    PAPER_ORDER,
+    PermutationEncoder,
+    RandomProjectionEncoder,
+    make_encoder,
+)
+
+DIM = 256
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(21)
+    return rng.normal(size=(20, 12))
+
+
+@pytest.mark.parametrize("name", PAPER_ORDER)
+class TestEncoderContract:
+    """Behaviour every encoder must share."""
+
+    def test_fit_then_encode_shapes(self, name, data):
+        enc = make_encoder(name, dim=DIM, seed=1)
+        enc.fit(data)
+        single = enc.encode(data[0])
+        batch = enc.encode_batch(data)
+        assert single.shape == (DIM,)
+        assert batch.shape == (len(data), DIM)
+        assert batch.dtype == np.int32
+
+    def test_encoding_is_deterministic(self, name, data):
+        enc = make_encoder(name, dim=DIM, seed=1)
+        enc.fit(data)
+        assert np.array_equal(enc.encode_batch(data), enc.encode_batch(data))
+
+    def test_single_equals_batch_row(self, name, data):
+        enc = make_encoder(name, dim=DIM, seed=1)
+        enc.fit(data)
+        batch = enc.encode_batch(data)
+        assert np.array_equal(enc.encode(data[3]), batch[3])
+
+    def test_chunked_encoding_matches_unchunked(self, name, data):
+        enc = make_encoder(name, dim=DIM, seed=1)
+        enc.fit(data)
+        assert np.array_equal(
+            enc.encode_batch(data, chunk=3), enc.encode_batch(data, chunk=100)
+        )
+
+    def test_same_seed_same_tables(self, name, data):
+        a = make_encoder(name, dim=DIM, seed=4)
+        b = make_encoder(name, dim=DIM, seed=4)
+        a.fit(data)
+        b.fit(data)
+        assert np.array_equal(a.encode(data[0]), b.encode(data[0]))
+
+    def test_different_seed_different_encoding(self, name, data):
+        a = make_encoder(name, dim=DIM, seed=4)
+        b = make_encoder(name, dim=DIM, seed=5)
+        a.fit(data)
+        b.fit(data)
+        assert not np.array_equal(a.encode(data[0]), b.encode(data[0]))
+
+    def test_encode_before_fit_raises(self, name, data):
+        enc = make_encoder(name, dim=DIM, seed=1)
+        with pytest.raises(RuntimeError):
+            enc.encode(data[0])
+
+    def test_feature_count_mismatch_raises(self, name, data):
+        enc = make_encoder(name, dim=DIM, seed=1)
+        enc.fit(data)
+        with pytest.raises(ValueError):
+            enc.encode_batch(np.zeros((2, 5)))
+
+    def test_similar_inputs_encode_similarly(self, name, data):
+        enc = make_encoder(name, dim=2048, seed=1)
+        enc.fit(data)
+        x = data[0]
+        near = x + 0.01 * np.abs(x).max()
+        far = -x[::-1]
+        h = enc.encode(x).astype(float)
+        h_near = enc.encode(near).astype(float)
+        h_far = enc.encode(far).astype(float)
+
+        def cos(a, b):
+            return a @ b / (np.linalg.norm(a) * np.linalg.norm(b) + 1e-12)
+
+        assert cos(h, h_near) > cos(h, h_far)
+
+    def test_op_profile_positive(self, name, data):
+        enc = make_encoder(name, dim=DIM, seed=1)
+        enc.fit(data)
+        profile = enc.op_profile()
+        assert profile.total_ops() > 0
+        assert profile.mem_bytes > 0
+
+
+class TestRegistry:
+    def test_known_names(self):
+        assert set(PAPER_ORDER) == set(ENCODERS)
+
+    def test_unknown_name_raises(self):
+        with pytest.raises(ValueError, match="unknown encoder"):
+            make_encoder("fourier")
+
+    def test_kwargs_forwarded(self):
+        enc = make_encoder("generic", dim=128, window=4, seed=2)
+        assert isinstance(enc, GenericEncoder)
+        assert enc.window == 4
+
+
+class TestGenericEncoder:
+    def test_window_longer_than_input_rejected(self, data):
+        enc = GenericEncoder(dim=DIM, window=20)
+        with pytest.raises(ValueError):
+            enc.fit(data)  # 12 features < window 20
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ValueError):
+            GenericEncoder(dim=DIM, window=0)
+
+    def test_n_windows(self, data):
+        enc = GenericEncoder(dim=DIM, window=3).fit(data)
+        assert enc.n_windows == 12 - 3 + 1
+
+    def test_window_1_no_ids_equals_level_bundle(self, data):
+        """With n=1 and ids off, GENERIC degenerates to bundling levels."""
+        enc = GenericEncoder(dim=DIM, window=1, use_ids=False, seed=3).fit(data)
+        bins = enc.quantizer.transform(data[:1])
+        expected = enc.levels[bins[0]].sum(axis=0, dtype=np.int32)
+        assert np.array_equal(enc.encode(data[0]), expected)
+
+    def test_ids_change_encoding(self, data):
+        with_ids = GenericEncoder(dim=DIM, seed=3, use_ids=True).fit(data)
+        without = GenericEncoder(dim=DIM, seed=3, use_ids=False).fit(data)
+        assert not np.array_equal(with_ids.encode(data[0]), without.encode(data[0]))
+
+    def test_ngram_is_generic_without_ids(self, data):
+        ngram = NgramEncoder(dim=DIM, seed=3).fit(data)
+        generic = GenericEncoder(dim=DIM, seed=3, use_ids=False).fit(data)
+        assert np.array_equal(
+            ngram.encode_batch(data), generic.encode_batch(data)
+        )
+
+    def test_permutation_order_matters_inside_window(self):
+        """'abc' and 'bca' windows must encode differently (Section 3.1)."""
+        rng = np.random.default_rng(0)
+        base = rng.normal(size=(4, 6))
+        enc = GenericEncoder(dim=2048, window=3, use_ids=False, seed=1).fit(base)
+        x1 = base[0].copy()
+        x2 = np.roll(base[0], 1)  # same multiset of values, rotated order
+        h1 = enc.encode(x1).astype(float)
+        h2 = enc.encode(x2).astype(float)
+        assert not np.array_equal(h1, h2)
+
+    def test_encoding_magnitude_bounded_by_windows(self, data):
+        enc = GenericEncoder(dim=DIM, seed=1).fit(data)
+        h = enc.encode(data[0])
+        assert np.abs(h).max() <= enc.n_windows
+
+
+class TestRandomProjection:
+    def test_quantize_toggle(self, data):
+        q = RandomProjectionEncoder(dim=DIM, seed=1, quantize=True).fit(data)
+        r = RandomProjectionEncoder(dim=DIM, seed=1, quantize=False).fit(data)
+        assert not np.array_equal(q.encode(data[0]), r.encode(data[0]))
+
+    def test_projection_is_linear_in_bins(self, data):
+        enc = RandomProjectionEncoder(dim=DIM, seed=1).fit(data)
+        bins = enc.quantizer.transform(data[:1]).astype(np.float64)
+        expected = np.rint(bins @ enc.ids.all().astype(np.float64)).astype(np.int32)
+        assert np.array_equal(enc.encode_batch(data[:1]), expected)
+
+
+class TestLevelIdAndPermutation:
+    def test_level_id_uses_one_id_per_feature(self, data):
+        enc = LevelIdEncoder(dim=DIM, seed=1).fit(data)
+        assert enc.ids.all().shape == (12, DIM)
+
+    def test_permutation_shift_structure(self, data):
+        """Feature m contributes rho^m of its level."""
+        enc = PermutationEncoder(dim=DIM, seed=1).fit(data)
+        bins = enc.quantizer.transform(data[:1])[0]
+        expected = np.zeros(DIM, dtype=np.int32)
+        for m, b in enumerate(bins):
+            expected += np.roll(enc.levels.vectors[b].astype(np.int32), m)
+        assert np.array_equal(enc.encode(data[0]), expected)

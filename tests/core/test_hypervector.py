@@ -1,0 +1,132 @@
+"""Unit tests for the primitive hypervector operations."""
+
+import numpy as np
+import pytest
+
+from repro.core import hypervector as hv
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(0)
+
+
+class TestRandomBipolar:
+    def test_values_are_bipolar(self, rng):
+        v = hv.random_bipolar(rng, 1000)
+        assert set(np.unique(v)) <= {-1, 1}
+        assert v.dtype == np.int8
+
+    def test_batch_shape(self, rng):
+        batch = hv.random_bipolar(rng, 64, size=10)
+        assert batch.shape == (10, 64)
+
+    def test_roughly_balanced(self, rng):
+        v = hv.random_bipolar(rng, 10000)
+        assert abs(int(v.sum())) < 400  # ~4 sigma
+
+    def test_rejects_bad_dim(self, rng):
+        with pytest.raises(ValueError):
+            hv.random_bipolar(rng, 0)
+
+
+class TestBindPermute:
+    def test_bind_is_self_inverse(self, rng):
+        a = hv.random_bipolar(rng, 512)
+        b = hv.random_bipolar(rng, 512)
+        assert np.array_equal(hv.bind(hv.bind(a, b), b), a)
+
+    def test_bind_preserves_bipolarity(self, rng):
+        a = hv.random_bipolar(rng, 128)
+        b = hv.random_bipolar(rng, 128)
+        assert set(np.unique(hv.bind(a, b))) <= {-1, 1}
+
+    def test_bound_vector_is_dissimilar_to_inputs(self, rng):
+        a = hv.random_bipolar(rng, 4096)
+        b = hv.random_bipolar(rng, 4096)
+        assert abs(hv.cosine(hv.bind(a, b), a)) < 0.1
+
+    def test_permute_by_zero_is_identity(self, rng):
+        a = hv.random_bipolar(rng, 64)
+        assert hv.permute(a, 0) is a
+
+    def test_permute_roundtrip(self, rng):
+        a = hv.random_bipolar(rng, 64)
+        assert np.array_equal(hv.permute(hv.permute(a, 5), -5), a)
+
+    def test_permute_decorrelates(self, rng):
+        a = hv.random_bipolar(rng, 4096)
+        assert abs(hv.cosine(hv.permute(a, 1), a)) < 0.1
+
+    def test_permute_batch_last_axis(self, rng):
+        batch = hv.random_bipolar(rng, 16, size=4)
+        rolled = hv.permute(batch, 3)
+        assert np.array_equal(rolled[2], np.roll(batch[2], 3))
+
+
+class TestBundle:
+    def test_bundle_sums_elementwise(self, rng):
+        vs = [hv.random_bipolar(rng, 32) for _ in range(5)]
+        out = hv.bundle(vs)
+        assert out.dtype == np.int32
+        assert np.array_equal(out, np.sum(vs, axis=0))
+
+    def test_bundle_single_vector(self, rng):
+        v = hv.random_bipolar(rng, 32)
+        assert np.array_equal(hv.bundle([v]), v.astype(np.int32))
+
+    def test_bundle_majority_is_similar_to_members(self, rng):
+        vs = [hv.random_bipolar(rng, 4096) for _ in range(9)]
+        out = hv.bundle(vs)
+        assert hv.cosine(out, vs[0]) > 0.15
+
+
+class TestSignQuantize:
+    def test_deterministic_tie_break(self):
+        out = hv.sign_quantize(np.array([3, -2, 0, 5]))
+        assert np.array_equal(out, [1, -1, 1, 1])
+
+    def test_random_tie_break_stays_bipolar(self, rng):
+        out = hv.sign_quantize(np.zeros(1000, dtype=np.int32), rng=rng)
+        assert set(np.unique(out)) <= {-1, 1}
+        assert abs(int(out.sum())) < 200
+
+
+class TestConversions:
+    def test_binary_bipolar_roundtrip(self, rng):
+        v = hv.random_bipolar(rng, 256)
+        assert np.array_equal(hv.to_bipolar(hv.to_binary(v)), v)
+
+    def test_mapping_convention(self):
+        # +1 <-> 0, -1 <-> 1 (XOR identity is the all-zero binary vector)
+        assert hv.to_binary(np.array([1, -1], dtype=np.int8)).tolist() == [0, 1]
+        assert hv.to_bipolar(np.array([0, 1], dtype=np.uint8)).tolist() == [1, -1]
+
+    def test_xor_equals_bipolar_product(self, rng):
+        a = hv.random_bipolar(rng, 128)
+        b = hv.random_bipolar(rng, 128)
+        xor = hv.to_binary(a) ^ hv.to_binary(b)
+        assert np.array_equal(hv.to_bipolar(xor), hv.bind(a, b))
+
+
+class TestSimilarities:
+    def test_cosine_of_identical(self, rng):
+        a = hv.random_bipolar(rng, 512)
+        assert hv.cosine(a, a) == pytest.approx(1.0)
+
+    def test_cosine_of_negation(self, rng):
+        a = hv.random_bipolar(rng, 512)
+        assert hv.cosine(a, -a) == pytest.approx(-1.0)
+
+    def test_cosine_zero_vector(self):
+        assert hv.cosine(np.zeros(8), np.ones(8)) == 0.0
+
+    def test_dot_uses_wide_accumulator(self):
+        a = np.full(100000, 127, dtype=np.int8)
+        assert hv.dot(a, a) == 100000 * 127 * 127
+
+    def test_hamming_counts_disagreements(self):
+        a = np.array([1, -1, 1, -1], dtype=np.int8)
+        b = np.array([1, 1, 1, 1], dtype=np.int8)
+        assert hv.hamming(a, b) == 2
+        assert hv.normalized_hamming(a, b) == pytest.approx(0.5)

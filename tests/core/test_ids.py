@@ -1,0 +1,86 @@
+"""Unit tests for id tables and the seed-permutation generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.ids import IdTable, SeedIdGenerator, identity_ids
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(9)
+
+
+class TestIdTable:
+    def test_shape_and_values(self, rng):
+        table = IdTable(rng, count=10, dim=128)
+        assert table.all().shape == (10, 128)
+        assert set(np.unique(table.all())) <= {-1, 1}
+
+    def test_indexing(self, rng):
+        table = IdTable(rng, count=5, dim=32)
+        assert np.array_equal(table[2], table.all()[2])
+        assert len(table) == 5
+
+    def test_ids_mutually_quasi_orthogonal(self, rng):
+        table = IdTable(rng, count=20, dim=4096)
+        ids = table.all().astype(np.int32)
+        gram = ids @ ids.T / 4096
+        np.fill_diagonal(gram, 0)
+        assert np.abs(gram).max() < 0.1
+
+    def test_storage_bits(self, rng):
+        table = IdTable(rng, count=1024, dim=4096)
+        assert table.storage_bits() == 1024 * 4096  # the naive 512 KB
+
+    def test_rejects_zero_count(self, rng):
+        with pytest.raises(ValueError):
+            IdTable(rng, count=0, dim=16)
+
+
+class TestSeedIdGenerator:
+    def test_id_k_is_rolled_seed(self, rng):
+        gen = SeedIdGenerator(rng, dim=64)
+        assert np.array_equal(gen[3], np.roll(gen.seed, 3))
+
+    def test_table_matches_indexing(self, rng):
+        gen = SeedIdGenerator(rng, dim=64)
+        table = gen.table(10)
+        for k in range(10):
+            assert np.array_equal(table[k], gen[k])
+
+    def test_permutation_preserves_orthogonality(self, rng):
+        gen = SeedIdGenerator(rng, dim=4096)
+        assert gen.orthogonality(64) < 0.1
+
+    def test_compression_is_1024x_at_paper_geometry(self, rng):
+        gen = SeedIdGenerator(rng, dim=4096)
+        naive = 1024 * 4096  # 1K features x 4K dims
+        assert naive // gen.storage_bits() == 1024
+
+    def test_negative_index_rejected(self, rng):
+        gen = SeedIdGenerator(rng, dim=16)
+        with pytest.raises(IndexError):
+            gen[-1]
+
+    def test_table_rejects_zero(self, rng):
+        with pytest.raises(ValueError):
+            SeedIdGenerator(rng, dim=16).table(0)
+
+    def test_shift_wraps_past_dim(self, rng):
+        gen = SeedIdGenerator(rng, dim=8)
+        assert np.array_equal(gen[8], gen.seed)
+        assert np.array_equal(gen.table(10)[9], gen[9])
+
+
+class TestIdentityIds:
+    def test_all_ones(self):
+        ids = identity_ids(4, 16)
+        assert ids.shape == (4, 16)
+        assert (ids == 1).all()
+
+    def test_binding_with_identity_is_noop(self, rng):
+        from repro.core.hypervector import bind, random_bipolar
+
+        v = random_bipolar(rng, 16)
+        assert np.array_equal(bind(v, identity_ids(1, 16)[0]), v)

@@ -1,0 +1,103 @@
+"""Unit tests for level hypervectors and the quantizer."""
+
+import numpy as np
+import pytest
+
+from repro.core.levels import LevelTable, Quantizer
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(42)
+
+
+class TestLevelTable:
+    def test_shape_and_dtype(self, rng):
+        table = LevelTable(rng, num_levels=16, dim=512)
+        assert table.vectors.shape == (16, 512)
+        assert table.vectors.dtype == np.int8
+        assert len(table) == 16
+
+    def test_entries_are_bipolar(self, rng):
+        table = LevelTable(rng, num_levels=8, dim=256)
+        assert set(np.unique(table.vectors)) <= {-1, 1}
+
+    def test_adjacent_levels_are_similar(self, rng):
+        table = LevelTable(rng, num_levels=64, dim=4096)
+        profile = table.similarity_profile()
+        # adjacent levels flip ~ dim/(2*(Q-1)) positions -> cosine ~ 1 - 1/63
+        assert profile[1] > 0.95
+
+    def test_extreme_levels_are_orthogonal(self, rng):
+        table = LevelTable(rng, num_levels=64, dim=4096)
+        profile = table.similarity_profile()
+        # Fig 2a: L_min . L_max ~ 0
+        assert abs(profile[-1]) < 0.05
+
+    def test_similarity_decays_monotonically(self, rng):
+        table = LevelTable(rng, num_levels=32, dim=2048)
+        profile = table.similarity_profile()
+        diffs = np.diff(profile)
+        assert (diffs <= 1e-9).all()
+
+    def test_similarity_decay_is_linear(self, rng):
+        table = LevelTable(rng, num_levels=64, dim=4096)
+        profile = table.similarity_profile()
+        expected = 1.0 - np.arange(64) / 63.0
+        assert np.abs(profile - expected).max() < 0.05
+
+    def test_lookup_by_bin_array(self, rng):
+        table = LevelTable(rng, num_levels=8, dim=64)
+        bins = np.array([[0, 7], [3, 3]])
+        out = table[bins]
+        assert out.shape == (2, 2, 64)
+        assert np.array_equal(out[0, 0], table.vectors[0])
+
+    def test_rejects_degenerate_configs(self, rng):
+        with pytest.raises(ValueError):
+            LevelTable(rng, num_levels=1, dim=64)
+        with pytest.raises(ValueError):
+            LevelTable(rng, num_levels=128, dim=64)
+
+
+class TestQuantizer:
+    def test_bins_span_range(self):
+        q = Quantizer(num_levels=4)
+        X = np.array([[0.0, 1.0, 2.0, 3.0]])
+        bins = q.fit_transform(X)
+        assert bins.min() == 0
+        assert bins.max() == 3
+
+    def test_clipping_out_of_range(self):
+        q = Quantizer(num_levels=8)
+        q.fit(np.array([[0.0, 1.0]]))
+        bins = q.transform(np.array([[-5.0, 10.0]]))
+        assert bins.tolist() == [[0, 7]]
+
+    def test_constant_feature_is_safe(self):
+        q = Quantizer(num_levels=8)
+        bins = q.fit_transform(np.full((5, 3), 2.5))
+        assert (bins >= 0).all() and (bins < 8).all()
+
+    def test_per_feature_ranges(self):
+        q = Quantizer(num_levels=4, per_feature=True)
+        X = np.array([[0.0, 100.0], [1.0, 200.0]])
+        bins = q.fit_transform(X)
+        # each column quantized against its own range
+        assert bins[0].tolist() == [0, 0]
+        assert bins[1].tolist() == [3, 3]
+
+    def test_transform_before_fit_raises(self):
+        with pytest.raises(RuntimeError):
+            Quantizer().transform(np.zeros((1, 2)))
+
+    def test_fit_rejects_non_matrix(self):
+        with pytest.raises(ValueError):
+            Quantizer().fit(np.zeros(5))
+
+    def test_bins_are_monotone_in_value(self):
+        q = Quantizer(num_levels=16)
+        X = np.linspace(0, 1, 50)[None, :]
+        q.fit(X)
+        bins = q.transform(X)[0]
+        assert (np.diff(bins) >= 0).all()

@@ -1,0 +1,82 @@
+"""Unit tests for config-image export/import and persistence."""
+
+import numpy as np
+import pytest
+
+from repro.core import model_io
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder, LevelIdEncoder
+
+
+class TestExportImport:
+    def test_roundtrip_predictions_match(self, fitted_generic_classifier, toy_problem):
+        _, _, X_test, _ = toy_problem
+        clf = fitted_generic_classifier
+        image = model_io.export_model(clf)
+        restored = model_io.import_model(image)
+        assert np.array_equal(restored.predict(X_test), clf.predict(X_test))
+
+    def test_image_carries_geometry(self, fitted_generic_classifier):
+        clf = fitted_generic_classifier
+        image = model_io.export_model(clf)
+        assert image.dim == clf.encoder.dim
+        assert image.n_classes == clf.n_classes
+        assert image.level_table.shape == (clf.encoder.num_levels, clf.encoder.dim)
+
+    def test_unfitted_classifier_rejected(self):
+        clf = HDClassifier(GenericEncoder(dim=256))
+        with pytest.raises(RuntimeError):
+            model_io.export_model(clf)
+
+    def test_non_generic_encoder_rejected(self, toy_problem):
+        X_train, y_train, _, _ = toy_problem
+        clf = HDClassifier(LevelIdEncoder(dim=256, seed=1), epochs=1, seed=1)
+        clf.fit(X_train, y_train)
+        with pytest.raises(TypeError):
+            model_io.export_model(clf)
+
+    def test_no_ids_image(self, toy_problem):
+        X_train, y_train, X_test, _ = toy_problem
+        clf = HDClassifier(
+            GenericEncoder(dim=256, seed=2, use_ids=False), epochs=1, seed=2
+        )
+        clf.fit(X_train, y_train)
+        image = model_io.export_model(clf)
+        assert image.seed_id is None
+        restored = model_io.import_model(image)
+        assert np.array_equal(restored.predict(X_test), clf.predict(X_test))
+
+
+class TestSaveLoad:
+    def test_file_roundtrip(self, fitted_generic_classifier, toy_problem, tmp_path):
+        _, _, X_test, _ = toy_problem
+        clf = fitted_generic_classifier
+        image = model_io.export_model(clf)
+        path = tmp_path / "model.npz"
+        model_io.save_image(image, path)
+        loaded = model_io.load_image(path)
+        assert loaded.dim == image.dim
+        assert np.array_equal(loaded.class_matrix, image.class_matrix)
+        assert np.array_equal(loaded.level_table, image.level_table)
+        restored = model_io.import_model(loaded)
+        assert np.array_equal(restored.predict(X_test), clf.predict(X_test))
+
+    def test_version_check(self, fitted_generic_classifier, tmp_path):
+        image = model_io.export_model(fitted_generic_classifier)
+        path = tmp_path / "model.npz"
+        model_io.save_image(image, path)
+        # corrupt the version
+        import json
+
+        import numpy as np_mod
+
+        with np_mod.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        header = json.loads(bytes(arrays["header"].tobytes()).decode())
+        header["format_version"] = 999
+        arrays["header"] = np_mod.frombuffer(
+            json.dumps(header).encode(), dtype=np_mod.uint8
+        )
+        np_mod.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            model_io.load_image(path)

@@ -1,0 +1,63 @@
+"""Unit tests for the blocked sub-norm table (Section 4.3.3)."""
+
+import numpy as np
+import pytest
+
+from repro.core.norms import SubNormTable
+
+
+@pytest.fixture
+def table_and_classes():
+    rng = np.random.default_rng(5)
+    classes = rng.normal(scale=10, size=(4, 512))
+    table = SubNormTable(4, 512, block=128)
+    table.recompute(classes)
+    return table, classes
+
+
+class TestSubNormTable:
+    def test_full_norm_matches_numpy(self, table_and_classes):
+        table, classes = table_and_classes
+        expected = (classes**2).sum(axis=1)
+        assert np.allclose(table.full_norm2(), expected)
+
+    def test_prefix_norm_matches_numpy(self, table_and_classes):
+        table, classes = table_and_classes
+        for dim in (128, 256, 384, 512):
+            expected = (classes[:, :dim] ** 2).sum(axis=1)
+            assert np.allclose(table.norm2(dim), expected)
+
+    def test_update_single_class(self, table_and_classes):
+        table, classes = table_and_classes
+        classes[2] *= 3.0
+        table.update_class(2, classes[2])
+        assert np.allclose(table.full_norm2()[2], (classes[2] ** 2).sum())
+        # untouched classes unchanged
+        assert np.allclose(table.full_norm2()[0], (classes[0] ** 2).sum())
+
+    def test_non_multiple_dim_rejected(self, table_and_classes):
+        table, _ = table_and_classes
+        with pytest.raises(ValueError):
+            table.norm2(100)
+
+    def test_out_of_range_dim_rejected(self, table_and_classes):
+        table, _ = table_and_classes
+        with pytest.raises(ValueError):
+            table.norm2(0)
+        with pytest.raises(ValueError):
+            table.norm2(640)
+
+    def test_dim_must_divide_into_blocks(self):
+        with pytest.raises(ValueError):
+            SubNormTable(2, 100, block=128)
+
+    def test_recompute_shape_checked(self, table_and_classes):
+        table, _ = table_and_classes
+        with pytest.raises(ValueError):
+            table.recompute(np.zeros((3, 512)))
+
+    def test_storage_matches_paper_2kb(self):
+        # 32 classes x (4096/128) blocks x 2 bytes ~ 2 KB in the paper;
+        # we store 4-byte words -> 4 KB, same order
+        table = SubNormTable(32, 4096, block=128)
+        assert table.storage_bytes(word_bytes=2) == 2048

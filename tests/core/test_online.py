@@ -1,0 +1,89 @@
+"""Unit tests for the adaptive (OnlineHD-style) retraining extension."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import GenericEncoder
+from repro.core.online import AdaptiveHDClassifier
+
+DIM = 256
+
+
+class TestAdaptiveClassifier:
+    def test_learns_toy_problem(self, toy_problem):
+        X_train, y_train, X_test, y_test = toy_problem
+        clf = AdaptiveHDClassifier(GenericEncoder(dim=DIM, seed=1), epochs=5, seed=1)
+        clf.fit(X_train, y_train)
+        assert clf.score(X_test, y_test) > 0.8
+
+    def test_matches_or_beats_plain_on_hard_problem(self):
+        """Weighted updates shouldn't be worse on an overlapping problem."""
+        from repro.core.classifier import HDClassifier
+
+        rng = np.random.default_rng(2)
+        protos = rng.normal(scale=0.8, size=(4, 30))
+        y = rng.integers(0, 4, size=400)
+        X = protos[y] + rng.normal(scale=0.9, size=(400, 30))
+        Xtr, ytr, Xte, yte = X[:300], y[:300], X[300:], y[300:]
+        plain = HDClassifier(GenericEncoder(dim=1024, seed=3), epochs=8, seed=3)
+        adaptive = AdaptiveHDClassifier(
+            GenericEncoder(dim=1024, seed=3), epochs=8, seed=3
+        )
+        plain.fit(Xtr, ytr)
+        adaptive.fit(Xtr, ytr)
+        assert adaptive.score(Xte, yte) >= plain.score(Xte, yte) - 0.05
+
+    def test_lr_validated(self):
+        with pytest.raises(ValueError):
+            AdaptiveHDClassifier(GenericEncoder(dim=DIM), lr=0.0)
+
+    def test_norms_stay_consistent(self, toy_problem):
+        X_train, y_train, _, _ = toy_problem
+        clf = AdaptiveHDClassifier(GenericEncoder(dim=DIM, seed=4), epochs=4, seed=4)
+        clf.fit(X_train, y_train)
+        assert np.allclose(clf.norms_.full_norm2(), (clf.model_**2).sum(axis=1))
+
+    def test_update_on_correct_keeps_training(self, toy_problem):
+        X_train, y_train, _, _ = toy_problem
+        clf = AdaptiveHDClassifier(
+            GenericEncoder(dim=DIM, seed=5), epochs=6, seed=5,
+            update_on_correct=True,
+        )
+        clf.fit(X_train, y_train)
+        # no early stop when reinforcement is on
+        assert clf.report_.epochs_run == 6
+
+
+class TestPartialFit:
+    def test_streaming_adaptation_to_drift(self):
+        """partial_fit recovers accuracy after the class semantics rotate."""
+        rng = np.random.default_rng(6)
+        protos = rng.normal(scale=1.5, size=(3, 24))
+        y_a = rng.integers(0, 3, 300)
+        X_a = protos[y_a] + rng.normal(scale=0.5, size=(300, 24))
+        # drift: each label's prototype becomes the next one's (rotation)
+        rotated = protos[(np.arange(3) + 1) % 3]
+        y_b = rng.integers(0, 3, 300)
+        X_b = rotated[y_b] + rng.normal(scale=0.5, size=(300, 24))
+
+        clf = AdaptiveHDClassifier(GenericEncoder(dim=1024, seed=6), epochs=5, seed=6)
+        clf.fit(X_a, y_a)
+        before = clf.score(X_b[200:], y_b[200:])
+        assert before < 0.4  # the old model is now wrong
+        for _ in range(3):
+            clf.partial_fit(X_b[:200], y_b[:200])
+        after = clf.score(X_b[200:], y_b[200:])
+        assert after > before + 0.3
+
+    def test_unknown_labels_rejected(self, toy_problem):
+        X_train, y_train, _, _ = toy_problem
+        clf = AdaptiveHDClassifier(GenericEncoder(dim=DIM, seed=7), epochs=1, seed=7)
+        clf.fit(X_train, y_train)
+        with pytest.raises(ValueError, match="labels not present"):
+            clf.partial_fit(X_train[:2], np.array([99, 99]))
+
+    def test_partial_fit_before_fit_rejected(self, toy_problem):
+        X_train, y_train, _, _ = toy_problem
+        clf = AdaptiveHDClassifier(GenericEncoder(dim=DIM))
+        with pytest.raises(RuntimeError):
+            clf.partial_fit(X_train, y_train)

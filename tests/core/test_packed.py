@@ -1,0 +1,93 @@
+"""Unit tests for the bit-packed binary HDC engine."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.core.hypervector import to_binary
+from repro.core.packed import (
+    PackedModel,
+    pack_bits,
+    packed_hamming,
+    popcount,
+    unpack_bits,
+)
+
+
+class TestPacking:
+    def test_roundtrip(self):
+        rng = np.random.default_rng(0)
+        bits = rng.integers(0, 2, size=(5, 200), dtype=np.uint8)
+        assert np.array_equal(unpack_bits(pack_bits(bits), 200), bits)
+
+    def test_word_count(self):
+        bits = np.zeros((3, 130), dtype=np.uint8)
+        assert pack_bits(bits).shape == (3, 3)  # ceil(130/64)
+
+    def test_exact_multiple_of_64(self):
+        bits = np.ones((2, 128), dtype=np.uint8)
+        words = pack_bits(bits)
+        assert words.shape == (2, 2)
+        assert (words == np.uint64(0xFFFFFFFFFFFFFFFF)).all()
+
+    def test_popcount(self):
+        words = np.array([[0, 0xFF, 0xFFFFFFFFFFFFFFFF]], dtype=np.uint64)
+        assert popcount(words)[0] == 8 + 64
+
+    def test_packed_hamming_matches_bitwise(self):
+        rng = np.random.default_rng(1)
+        a_bits = rng.integers(0, 2, size=256, dtype=np.uint8)
+        b_bits = rng.integers(0, 2, size=256, dtype=np.uint8)
+        expected = int((a_bits != b_bits).sum())
+        got = packed_hamming(pack_bits(a_bits[None]), pack_bits(b_bits[None]))
+        assert got[0] == expected
+
+    def test_hamming_broadcast_shape(self):
+        rng = np.random.default_rng(2)
+        q = pack_bits(rng.integers(0, 2, size=(4, 128), dtype=np.uint8))
+        c = pack_bits(rng.integers(0, 2, size=(3, 128), dtype=np.uint8))
+        d = packed_hamming(q[:, None, :], c[None, :, :])
+        assert d.shape == (4, 3)
+
+
+class TestPackedModel:
+    @pytest.fixture(scope="class")
+    def trained(self, toy_problem):
+        X_train, y_train, _, _ = toy_problem
+        enc = GenericEncoder(dim=512, num_levels=16, seed=6)
+        return HDClassifier(enc, epochs=4, seed=6).fit(X_train, y_train)
+
+    def test_matches_one_bit_full_precision_ranking(self, trained, toy_problem):
+        """Min-Hamming on packed signs == argmax cosine on the sign model."""
+        _, _, X_test, _ = toy_problem
+        packed = PackedModel.from_classifier(trained)
+        sign_model = trained.quantized_model(1)
+        encodings = trained.encoder.encode_batch(X_test).astype(np.float64)
+        query_signs = np.where(encodings >= 0, 1.0, -1.0)
+        # cosine on +/-1 vectors reduces to the dot product
+        dots = query_signs @ sign_model.T
+        expected = trained.classes_[np.argmax(dots, axis=1)]
+        assert np.array_equal(packed.predict(X_test), expected)
+
+    def test_accuracy_close_to_full_precision(self, trained, toy_problem):
+        _, _, X_test, y_test = toy_problem
+        packed = PackedModel.from_classifier(trained)
+        full = trained.score(X_test, y_test)
+        assert packed.score(X_test, y_test) > full - 0.15
+
+    def test_model_footprint_16x_smaller(self, trained):
+        packed = PackedModel.from_classifier(trained)
+        assert packed.compression_vs_16bit() == pytest.approx(16.0)
+        assert packed.model_bytes() == 3 * (512 // 64) * 8
+
+    def test_unfitted_classifier_rejected(self):
+        clf = HDClassifier(GenericEncoder(dim=128))
+        with pytest.raises(RuntimeError):
+            PackedModel.from_classifier(clf)
+
+    def test_packed_words_match_sign_bits(self, trained):
+        packed = PackedModel.from_classifier(trained)
+        signs = trained.quantized_model(1).astype(np.int8)
+        expected = pack_bits(to_binary(signs))
+        assert np.array_equal(packed.class_words, expected)

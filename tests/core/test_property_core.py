@@ -1,0 +1,101 @@
+"""Property-based tests (hypothesis) on the core HDC invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import hypervector as hv
+from repro.core.levels import LevelTable, Quantizer
+from repro.core.norms import SubNormTable
+
+DIMS = st.integers(min_value=8, max_value=256)
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(dim=DIMS, seed=SEEDS)
+@settings(max_examples=30, deadline=None)
+def test_bind_self_inverse_property(dim, seed):
+    rng = np.random.default_rng(seed)
+    a = hv.random_bipolar(rng, dim)
+    b = hv.random_bipolar(rng, dim)
+    assert np.array_equal(hv.bind(hv.bind(a, b), b), a)
+
+
+@given(dim=DIMS, seed=SEEDS, shift=st.integers(min_value=-500, max_value=500))
+@settings(max_examples=30, deadline=None)
+def test_permute_preserves_multiset(dim, seed, shift):
+    rng = np.random.default_rng(seed)
+    a = hv.random_bipolar(rng, dim)
+    rolled = hv.permute(a, shift)
+    assert sorted(rolled.tolist()) == sorted(a.tolist())
+    assert int(rolled.sum()) == int(a.sum())
+
+
+@given(dim=DIMS, seed=SEEDS, n=st.integers(min_value=1, max_value=12))
+@settings(max_examples=30, deadline=None)
+def test_bundle_commutative(dim, seed, n):
+    rng = np.random.default_rng(seed)
+    vs = [hv.random_bipolar(rng, dim) for _ in range(n)]
+    forward = hv.bundle(vs)
+    backward = hv.bundle(list(reversed(vs)))
+    assert np.array_equal(forward, backward)
+
+
+@given(dim=DIMS, seed=SEEDS)
+@settings(max_examples=30, deadline=None)
+def test_binary_bipolar_roundtrip_property(dim, seed):
+    rng = np.random.default_rng(seed)
+    v = hv.random_bipolar(rng, dim)
+    assert np.array_equal(hv.to_bipolar(hv.to_binary(v)), v)
+
+
+@given(
+    seed=SEEDS,
+    num_levels=st.integers(min_value=2, max_value=32),
+)
+@settings(max_examples=20, deadline=None)
+def test_level_similarity_monotone_property(seed, num_levels):
+    rng = np.random.default_rng(seed)
+    table = LevelTable(rng, num_levels=num_levels, dim=512)
+    profile = table.similarity_profile()
+    assert (np.diff(profile) <= 1e-9).all()
+    assert profile[0] == 1.0
+
+
+@given(
+    seed=SEEDS,
+    num_levels=st.integers(min_value=2, max_value=64),
+    values=st.lists(
+        st.floats(min_value=-1e6, max_value=1e6, allow_nan=False),
+        min_size=2,
+        max_size=20,
+    ),
+)
+@settings(max_examples=40, deadline=None)
+def test_quantizer_bins_always_in_range(seed, num_levels, values):
+    X = np.asarray(values, dtype=np.float64)[None, :]
+    q = Quantizer(num_levels=num_levels)
+    q.fit(X)
+    probe = np.asarray(values[::-1], dtype=np.float64)[None, :]
+    bins = q.transform(probe * 2.0)  # even out-of-range inputs
+    assert (bins >= 0).all()
+    assert (bins < num_levels).all()
+
+
+@given(
+    seed=SEEDS,
+    n_classes=st.integers(min_value=1, max_value=8),
+    blocks=st.integers(min_value=1, max_value=8),
+)
+@settings(max_examples=30, deadline=None)
+def test_subnorm_prefix_consistency(seed, n_classes, blocks):
+    rng = np.random.default_rng(seed)
+    block = 32
+    dim = blocks * block
+    classes = rng.normal(size=(n_classes, dim))
+    table = SubNormTable(n_classes, dim, block=block)
+    table.recompute(classes)
+    for b in range(1, blocks + 1):
+        d = b * block
+        assert np.allclose(table.norm2(d), (classes[:, :d] ** 2).sum(axis=1))
+    assert np.allclose(table.full_norm2(), table.norm2(dim))

@@ -1,0 +1,99 @@
+"""Property-based tests on the encoder family."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoders import (
+    GenericEncoder,
+    NgramEncoder,
+    PAPER_ORDER,
+    RandomProjectionEncoder,
+    make_encoder,
+)
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+def _data(seed: int, n: int, d: int) -> np.ndarray:
+    return np.random.default_rng(seed).normal(size=(n, d))
+
+
+@given(
+    seed=SEEDS,
+    name=st.sampled_from(PAPER_ORDER),
+    d=st.integers(min_value=4, max_value=24),
+    chunk=st.integers(min_value=1, max_value=7),
+)
+@settings(max_examples=25, deadline=None)
+def test_chunking_never_changes_encodings(seed, name, d, chunk):
+    X = _data(seed, 9, d)
+    enc = make_encoder(name, dim=64, num_levels=8, seed=seed % 100)
+    enc.fit(X)
+    assert np.array_equal(
+        enc.encode_batch(X, chunk=chunk), enc.encode_batch(X, chunk=100)
+    )
+
+
+@given(seed=SEEDS, d=st.integers(min_value=4, max_value=32),
+       window=st.integers(min_value=1, max_value=4))
+@settings(max_examples=25, deadline=None)
+def test_generic_magnitude_bounded_by_window_count(seed, d, window):
+    if window > d:
+        window = d
+    X = _data(seed, 5, d)
+    enc = GenericEncoder(dim=64, num_levels=8, seed=seed % 100, window=window)
+    enc.fit(X)
+    H = enc.encode_batch(X)
+    assert np.abs(H).max() <= d - window + 1
+
+
+@given(seed=SEEDS, d=st.integers(min_value=4, max_value=24))
+@settings(max_examples=25, deadline=None)
+def test_ngram_always_equals_generic_without_ids(seed, d):
+    X = _data(seed, 6, d)
+    a = NgramEncoder(dim=64, num_levels=8, seed=seed % 100)
+    b = GenericEncoder(dim=64, num_levels=8, seed=seed % 100, use_ids=False)
+    a.fit(X)
+    b.fit(X)
+    assert np.array_equal(a.encode_batch(X), b.encode_batch(X))
+
+
+@given(seed=SEEDS, d=st.integers(min_value=3, max_value=16))
+@settings(max_examples=25, deadline=None)
+def test_rp_is_additive_in_bins(seed, d):
+    """The raw projection (pre-rounding) is linear in the bin vector."""
+    X = _data(seed, 4, d)
+    enc = RandomProjectionEncoder(dim=64, num_levels=8, seed=seed % 100)
+    enc.fit(X)
+    bins = enc.quantizer.transform(X).astype(np.float64)
+    ids = enc.ids.all().astype(np.float64)
+    expected = np.rint(bins @ ids).astype(np.int32)
+    assert np.array_equal(enc.encode_batch(X), expected)
+
+
+@given(seed=SEEDS, name=st.sampled_from(PAPER_ORDER))
+@settings(max_examples=20, deadline=None)
+def test_identical_rows_encode_identically(seed, name):
+    x = np.random.default_rng(seed).normal(size=12)
+    X = np.vstack([x, x, x])
+    enc = make_encoder(name, dim=64, num_levels=8, seed=seed % 100)
+    enc.fit(X)
+    H = enc.encode_batch(X)
+    assert np.array_equal(H[0], H[1])
+    assert np.array_equal(H[1], H[2])
+
+
+@given(seed=SEEDS)
+@settings(max_examples=15, deadline=None)
+def test_encoding_invariant_to_other_rows_in_fit(seed):
+    """Fitting on a superset (same min/max) must not change encodings."""
+    rng = np.random.default_rng(seed)
+    X = rng.normal(size=(8, 10))
+    # append rows inside the existing range so the quantizer is unchanged
+    inside = X.min() + (X.max() - X.min()) * rng.random((4, 10))
+    enc_a = GenericEncoder(dim=64, num_levels=8, seed=3)
+    enc_b = GenericEncoder(dim=64, num_levels=8, seed=3)
+    enc_a.fit(X)
+    enc_b.fit(np.vstack([X, inside]))
+    assert np.array_equal(enc_a.encode(X[0]), enc_b.encode(X[0]))

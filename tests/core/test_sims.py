@@ -1,0 +1,96 @@
+"""Unit tests for the similarity metrics."""
+
+import numpy as np
+import pytest
+
+from repro.core import sims
+
+
+@pytest.fixture
+def setup():
+    rng = np.random.default_rng(11)
+    queries = rng.integers(-20, 21, size=(6, 256)).astype(np.float64)
+    classes = rng.integers(-50, 51, size=(4, 256)).astype(np.float64)
+    return queries, classes
+
+
+class TestDotCosine:
+    def test_dot_shapes(self, setup):
+        q, c = setup
+        assert sims.dot_scores(q, c).shape == (6, 4)
+
+    def test_dot_single_query(self, setup):
+        _, c = setup
+        assert sims.dot_scores(c[0], c).shape == (1, 4)
+
+    def test_cosine_bounded(self, setup):
+        q, c = setup
+        scores = sims.cosine_scores(q, c)
+        assert (np.abs(scores) <= 1.0 + 1e-12).all()
+
+    def test_cosine_self_similarity(self, setup):
+        _, c = setup
+        scores = sims.cosine_scores(c, c)
+        assert np.allclose(np.diag(scores), 1.0)
+
+    def test_cosine_zero_class_scores_zero(self, setup):
+        q, c = setup
+        c = c.copy()
+        c[1] = 0.0
+        scores = sims.cosine_scores(q, c)
+        assert np.allclose(scores[:, 1], 0.0)
+
+
+class TestHardwareMetric:
+    def test_same_argmax_as_cosine_for_positive_dots(self, setup):
+        q, c = setup
+        # shift classes so dots are positive (the common trained regime)
+        c = c + 100.0
+        q = q + 100.0
+        cos_pred = np.argmax(sims.cosine_scores(q, c), axis=1)
+        hw_pred = np.argmax(sims.hardware_scores(q, c), axis=1)
+        assert np.array_equal(cos_pred, hw_pred)
+
+    def test_sign_preserved(self):
+        q = np.array([[1.0, 1.0]])
+        classes = np.array([[1.0, 1.0], [-1.0, -1.0]])
+        scores = sims.hardware_scores(q, classes)
+        assert scores[0, 0] > 0 > scores[0, 1]
+
+    def test_norm_override(self, setup):
+        q, c = setup
+        fake_norm2 = np.ones(4)
+        scores = sims.hardware_scores(q, c, norm2=fake_norm2)
+        dots = sims.dot_scores(q, c)
+        assert np.allclose(scores, np.sign(dots) * dots * dots)
+
+    def test_custom_divider_is_used(self, setup):
+        q, c = setup
+        calls = []
+
+        def divider(num, den):
+            calls.append(num.shape)
+            return num / den
+
+        sims.hardware_scores(q, c, divider=divider)
+        assert calls
+
+    def test_zero_norm_class_neutralized(self, setup):
+        q, c = setup
+        c = c.copy()
+        c[2] = 0.0
+        scores = sims.hardware_scores(q, c)
+        assert np.allclose(scores[:, 2], 0.0)
+
+
+class TestScoreDispatch:
+    def test_metric_names(self, setup):
+        q, c = setup
+        for metric in sims.METRICS:
+            out = sims.score(q, c, metric=metric)
+            assert out.shape == (6, 4)
+
+    def test_unknown_metric_raises(self, setup):
+        q, c = setup
+        with pytest.raises(ValueError, match="unknown metric"):
+            sims.score(q, c, metric="euclidean")

@@ -1,0 +1,164 @@
+"""Unit tests for the dataset container, generators and registry."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import (
+    CLASSIFICATION_DATASETS,
+    CLUSTER_DATASETS,
+    Dataset,
+    load_dataset,
+    make_cluster_dataset,
+)
+from repro.datasets.registry import load_suite
+from repro.datasets.synthetic import (
+    make_markov_dataset,
+    make_motif_dataset,
+    make_prototype_dataset,
+    make_tabular_dataset,
+)
+
+
+class TestDatasetContainer:
+    def test_describe(self, tiny_dataset):
+        text = tiny_dataset.describe()
+        assert "CARDIO" in text
+        assert "classes=3" in text
+
+    def test_shape_validation(self):
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((3, 2)), np.zeros(2), np.zeros((1, 2)), np.zeros(1))
+        with pytest.raises(ValueError):
+            Dataset("x", np.zeros((3, 2)), np.zeros(3), np.zeros((1, 3)), np.zeros(1))
+
+    def test_counts(self, tiny_dataset):
+        assert tiny_dataset.n_train == len(tiny_dataset.X_train)
+        assert tiny_dataset.n_test == len(tiny_dataset.X_test)
+        assert tiny_dataset.n_classes == 3
+
+
+class TestGenerators:
+    def test_prototype_shapes_and_determinism(self):
+        X1, y1 = make_prototype_dataset(4, 64, 50, seed=1)
+        X2, y2 = make_prototype_dataset(4, 64, 50, seed=1)
+        assert X1.shape == (50, 64)
+        assert np.array_equal(X1, X2)
+        assert np.array_equal(y1, y2)
+
+    def test_prototype_classes_cover_range(self):
+        _, y = make_prototype_dataset(5, 64, 300, seed=2)
+        assert set(np.unique(y)) == set(range(5))
+
+    def test_motif_zero_mean_columns(self):
+        """The anti-RP property: per-position means are ~equal across classes."""
+        X, y = make_motif_dataset(2, 128, 3000, seed=3, motifs_per_sample=4)
+        mean0 = X[y == 0].mean(axis=0)
+        mean1 = X[y == 1].mean(axis=0)
+        assert np.abs(mean0 - mean1).max() < 0.35
+
+    def test_motif_anchored_reuses_positions(self):
+        X, y = make_motif_dataset(
+            3, 64, 60, seed=4, anchored=True, motifs_per_sample=3
+        )
+        assert X.shape == (60, 64)
+
+    def test_markov_rows_are_centered(self):
+        X, _ = make_markov_dataset(3, 50, 20, seed=5)
+        assert np.abs(X.mean(axis=1)).max() < 1e-9
+
+    def test_markov_alphabet_bounded(self):
+        X, _ = make_markov_dataset(3, 50, 20, seed=5, alphabet_size=8)
+        # each centered row spans at most the alphabet range
+        row_span = X.max(axis=1) - X.min(axis=1)
+        assert (row_span <= 8).all()
+
+    def test_tabular_binary_mode(self):
+        X, _ = make_tabular_dataset(2, 30, 40, seed=6, binary=True)
+        assert set(np.unique(X)) <= {0.0, 1.0}
+
+    def test_tabular_pair_interactions_are_mean_free(self):
+        X, y = make_tabular_dataset(
+            2, 20, 4000, seed=7, separation=0.0, pair_interaction=2.0,
+            informative_fraction=0.0,
+        )
+        # marginal means carry no signal ...
+        gap = np.abs(X[y == 0].mean(axis=0) - X[y == 1].mean(axis=0))
+        assert gap.max() < 0.3
+        # ... but adjacent-pair products do, for at least some pairs (the
+        # per-class pair signs are random, so not every pair disagrees)
+        diffs = []
+        for p in range(10):
+            prod = X[:, 2 * p] * X[:, 2 * p + 1]
+            diffs.append(abs(prod[y == 0].mean() - prod[y == 1].mean()))
+        assert max(diffs) > 1.0
+
+
+class TestRegistry:
+    def test_eleven_datasets(self):
+        assert len(CLASSIFICATION_DATASETS) == 11
+
+    @pytest.mark.parametrize("name", sorted(CLASSIFICATION_DATASETS))
+    def test_tiny_profile_loads(self, name):
+        ds = load_dataset(name, "tiny")
+        assert ds.n_train > 0
+        assert ds.n_test > 0
+        assert ds.n_classes == CLASSIFICATION_DATASETS[name].n_classes
+
+    def test_profiles_scale_sizes(self):
+        tiny = load_dataset("MNIST", "tiny")
+        bench = load_dataset("MNIST", "bench")
+        assert bench.n_train > tiny.n_train
+        assert bench.n_features >= tiny.n_features
+
+    def test_deterministic(self):
+        a = load_dataset("EEG", "tiny")
+        b = load_dataset("EEG", "tiny")
+        assert np.array_equal(a.X_train, b.X_train)
+
+    def test_order_free_datasets_disable_ids(self):
+        assert not load_dataset("LANG", "tiny").use_position_ids
+        assert not load_dataset("EEG", "tiny").use_position_ids
+        assert load_dataset("MNIST", "tiny").use_position_ids
+
+    def test_unknown_name(self):
+        with pytest.raises(ValueError, match="unknown dataset"):
+            load_dataset("CIFAR", "tiny")
+
+    def test_unknown_profile(self):
+        with pytest.raises(ValueError, match="unknown profile"):
+            load_dataset("MNIST", "huge")
+
+    def test_load_suite(self):
+        suite = load_suite("tiny")
+        assert set(suite) == set(CLASSIFICATION_DATASETS)
+
+
+class TestClusterDatasets:
+    def test_five_benchmarks(self):
+        assert set(CLUSTER_DATASETS) == {
+            "Hepta", "Tetra", "TwoDiamonds", "WingNut", "Iris"
+        }
+
+    @pytest.mark.parametrize("name", sorted(CLUSTER_DATASETS))
+    def test_loads_and_k_matches_truth(self, name):
+        X, y, k = make_cluster_dataset(name, seed=1, scale=0.2)
+        assert len(X) == len(y)
+        assert len(np.unique(y)) == k
+
+    def test_arrival_order_is_mixed(self):
+        """First k samples must not all share a label (HDC centroid seeding)."""
+        for name in CLUSTER_DATASETS:
+            _, y, k = make_cluster_dataset(name, seed=1, scale=0.3)
+            assert len(set(y[: max(8, 2 * k)].tolist())) > 1
+
+    def test_hepta_separable(self):
+        X, y, k = make_cluster_dataset("Hepta", seed=2)
+        from repro.baselines import KMeans
+        from repro.eval.metrics import normalized_mutual_information
+
+        km = KMeans(k=k, seed=2).fit(X)
+        assert normalized_mutual_information(y, km.labels_) > 0.95
+
+    def test_unknown_cluster_dataset(self):
+        with pytest.raises(ValueError, match="unknown clustering dataset"):
+            make_cluster_dataset("Moons")

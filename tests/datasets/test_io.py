@@ -1,0 +1,47 @@
+"""Unit tests for dataset persistence."""
+
+import numpy as np
+import pytest
+
+from repro.datasets import io as dsio
+from repro.datasets import load_dataset
+
+
+class TestSaveLoad:
+    def test_roundtrip(self, tmp_path, tiny_dataset):
+        path = tmp_path / "cardio.npz"
+        dsio.save(tiny_dataset, path)
+        restored = dsio.load(path)
+        assert restored.name == tiny_dataset.name
+        assert restored.domain == tiny_dataset.domain
+        assert restored.use_position_ids == tiny_dataset.use_position_ids
+        assert np.array_equal(restored.X_train, tiny_dataset.X_train)
+        assert np.array_equal(restored.y_test, tiny_dataset.y_test)
+
+    def test_order_free_flag_survives(self, tmp_path):
+        ds = load_dataset("LANG", "tiny")
+        path = tmp_path / "lang.npz"
+        dsio.save(ds, path)
+        assert not dsio.load(path).use_position_ids
+
+    def test_version_check(self, tmp_path, tiny_dataset):
+        import json
+
+        path = tmp_path / "x.npz"
+        dsio.save(tiny_dataset, path)
+        with np.load(path, allow_pickle=False) as data:
+            arrays = {k: data[k] for k in data.files}
+        header = json.loads(bytes(arrays["header"].tobytes()).decode())
+        header["format_version"] = 99
+        arrays["header"] = np.frombuffer(
+            json.dumps(header).encode(), dtype=np.uint8
+        )
+        np.savez_compressed(path, **arrays)
+        with pytest.raises(ValueError, match="version"):
+            dsio.load(path)
+
+    def test_export_suite(self, tmp_path):
+        paths = dsio.export_suite(tmp_path, profile="tiny")
+        assert len(paths) == 11
+        sample = dsio.load(paths[0])
+        assert sample.n_train > 0

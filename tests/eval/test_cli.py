@@ -1,0 +1,48 @@
+"""Unit tests for the experiment CLI."""
+
+import json
+
+import pytest
+
+from repro.eval import cli
+
+
+class TestParser:
+    def test_known_experiments(self):
+        parser = cli.build_parser()
+        args = parser.parse_args(["table2"])
+        assert args.experiment == "table2"
+        assert args.profile == "bench"
+
+    def test_all_keyword(self):
+        args = cli.build_parser().parse_args(["all", "--profile", "tiny"])
+        assert args.experiment == "all"
+        assert args.profile == "tiny"
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SystemExit):
+            cli.build_parser().parse_args(["fig99"])
+
+    def test_runner_names_match_choices(self):
+        runners = cli._runners()
+        assert "table1" in runners
+        assert "fig9" in runners
+        assert "ablation-gating" in runners
+
+
+class TestRunOne:
+    def test_runs_and_writes_json(self, tmp_path, capsys):
+        result = cli.run_one("ablation-gating", "tiny", json_dir=tmp_path)
+        out = capsys.readouterr().out
+        assert "Ablation A2" in out
+        payload = json.loads((tmp_path / "ablation-gating.json").read_text())
+        assert payload["experiment"] == "Ablation A2"
+        assert result.all_claims_hold
+
+    def test_main_exit_codes(self, capsys):
+        assert cli.main(["ablation-gating", "--profile", "tiny"]) == 0
+        capsys.readouterr()
+
+    def test_strict_mode_passes_when_claims_hold(self, capsys):
+        assert cli.main(["ablation-gating", "--profile", "tiny", "--strict"]) == 0
+        capsys.readouterr()

@@ -1,0 +1,121 @@
+"""Unit tests for metrics, tables and the result container."""
+
+import numpy as np
+import pytest
+
+from repro.eval.harness import ExperimentResult
+from repro.eval.metrics import accuracy, geometric_mean, normalized_mutual_information
+from repro.eval.tables import dict_table, format_table
+
+
+class TestAccuracy:
+    def test_basic(self):
+        assert accuracy([1, 2, 3], np.array([1, 2, 0])) == pytest.approx(2 / 3)
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            accuracy(np.zeros(3), np.zeros(4))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            accuracy(np.array([]), np.array([]))
+
+
+class TestNMI:
+    def test_identical_partitions(self):
+        y = np.array([0, 0, 1, 1, 2, 2])
+        assert normalized_mutual_information(y, y) == pytest.approx(1.0)
+
+    def test_relabeled_partitions(self):
+        a = np.array([0, 0, 1, 1])
+        b = np.array([5, 5, 2, 2])
+        assert normalized_mutual_information(a, b) == pytest.approx(1.0)
+
+    def test_independent_partitions_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 4, 5000)
+        b = rng.integers(0, 4, 5000)
+        assert normalized_mutual_information(a, b) < 0.02
+
+    def test_string_labels(self):
+        a = ["x", "x", "y", "y"]
+        b = [1, 1, 2, 2]
+        assert normalized_mutual_information(np.array(a), np.array(b)) == pytest.approx(1.0)
+
+    def test_single_cluster_each(self):
+        assert normalized_mutual_information(np.zeros(5), np.zeros(5)) == 1.0
+
+    def test_partial_agreement_in_range(self):
+        a = np.array([0, 0, 0, 1, 1, 1])
+        b = np.array([0, 0, 1, 1, 1, 1])
+        nmi = normalized_mutual_information(a, b)
+        assert 0.0 < nmi < 1.0
+
+    def test_shape_mismatch(self):
+        with pytest.raises(ValueError):
+            normalized_mutual_information(np.zeros(3), np.zeros(4))
+
+
+class TestGeometricMean:
+    def test_known_value(self):
+        assert geometric_mean([1, 100]) == pytest.approx(10.0)
+
+    def test_requires_positive(self):
+        with pytest.raises(ValueError):
+            geometric_mean([1.0, 0.0])
+
+    def test_requires_values(self):
+        with pytest.raises(ValueError):
+            geometric_mean([])
+
+
+class TestTables:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "bb"], [[1.0, 2.0], [3.0, 4.0]])
+        lines = text.splitlines()
+        assert "a" in lines[0] and "bb" in lines[0]
+        assert len(lines) == 4
+
+    def test_title_rendered(self):
+        text = format_table(["x"], [[1]], title="My Table")
+        assert text.startswith("My Table")
+
+    def test_dict_table(self):
+        text = dict_table({"row1": {"c": 0.5}}, title="T")
+        assert "row1" in text
+        assert "0.500" in text
+
+    def test_dict_table_empty_rejected(self):
+        with pytest.raises(ValueError):
+            dict_table({})
+
+
+class TestExperimentResult:
+    def make(self, claims):
+        return ExperimentResult(
+            experiment="X", description="d", headers=["a"], rows=[[1.0]],
+            claims=claims,
+        )
+
+    def test_render_contains_claims(self):
+        text = self.make({"it works": True}).render()
+        assert "[ok] it works" in text
+
+    def test_assert_claims_passes(self):
+        self.make({"fine": True}).assert_claims()
+
+    def test_assert_claims_raises(self):
+        with pytest.raises(AssertionError, match="broken"):
+            self.make({"broken": False}).assert_claims()
+
+    def test_all_claims_hold(self):
+        assert self.make({"a": True}).all_claims_hold
+        assert not self.make({"a": True, "b": False}).all_claims_hold
+
+    def test_to_json_roundtrip(self):
+        import json
+
+        result = self.make({"a": True})
+        data = json.loads(result.to_json())
+        assert data["experiment"] == "X"
+        assert data["claims"]["a"] is True

@@ -1,0 +1,75 @@
+"""Unit tests for the experiment modules' helper functions (tiny scale)."""
+
+from repro.eval.experiments import fig5, fig6, table1, table2
+
+
+class TestTable1Helpers:
+    def test_evaluate_dataset_columns(self):
+        row = table1.evaluate_dataset(
+            "PAGE", profile="tiny", dim=256, epochs=2, include_ml=False
+        )
+        assert set(row) == set(table1.HDC_COLUMNS)
+        assert all(0.0 <= v <= 1.0 for v in row.values())
+
+    def test_run_without_ml_skips_ml_columns(self):
+        result = table1.run(
+            profile="tiny", dim=256, epochs=1, datasets=["PAGE"],
+            include_ml=False,
+        )
+        assert "mlp" not in result.data["means"]
+        assert "GENERIC mean beats the best classic-ML mean" not in result.claims
+
+    def test_run_headers_match_columns(self):
+        result = table1.run(
+            profile="tiny", dim=256, epochs=1, datasets=["PAGE"],
+            include_ml=False,
+        )
+        assert result.headers[0] == "dataset"
+        assert list(result.headers[1:]) == list(table1.HDC_COLUMNS)
+
+
+class TestFig5Helpers:
+    def test_sweep_returns_both_policies(self):
+        curves = fig5.sweep_dataset(
+            "EEG", profile="tiny", dim=512, dims=[128, 512], epochs=1
+        )
+        assert set(curves) == {"constant", "updated"}
+        assert set(curves["updated"]) == {128, 512}
+
+    def test_default_dims_are_sane(self):
+        curves = fig5.sweep_dataset("EEG", profile="tiny", dim=512, epochs=1)
+        assert all(d >= 128 for d in curves["updated"])
+        assert max(curves["updated"]) == 512
+
+
+class TestFig6Helpers:
+    def test_sweep_shape(self):
+        out = fig6.sweep_dataset(
+            "FACE", profile="tiny", dim=256, bitwidths=(8, 1),
+            error_rates=(0.0, 0.05), epochs=1, trials=1,
+        )
+        assert set(out) == {8, 1}
+        assert set(out[8]) == {0.0, 0.05}
+
+    def test_trials_average_is_deterministic(self):
+        kwargs = dict(profile="tiny", dim=256, bitwidths=(4,),
+                      error_rates=(0.02,), epochs=1, trials=2)
+        a = fig6.sweep_dataset("FACE", **kwargs)
+        b = fig6.sweep_dataset("FACE", **kwargs)
+        assert a == b
+
+
+class TestTable2Helpers:
+    def test_evaluate_dataset_keys(self):
+        row = table2.evaluate_dataset("Hepta", dim=256, epochs=3, scale=0.2)
+        assert set(row) == {"kmeans", "hdc"}
+        assert 0.0 <= row["hdc"] <= 1.0
+
+
+class TestSummary:
+    def test_headline_claims_hold(self):
+        from repro.eval.experiments import summary
+
+        result = summary.run()
+        result.assert_claims()
+        assert result.data["area_mm2"] == 0.30

@@ -1,0 +1,69 @@
+"""Unit tests for the text figure renderers."""
+
+import pytest
+
+from repro.eval.figures import bar_chart, line_series
+
+
+class TestBarChart:
+    def test_contains_all_entries(self):
+        text = bar_chart({"a": 1.0, "b": 100.0}, title="T")
+        assert text.startswith("T")
+        assert "a" in text and "b" in text
+
+    def test_log_scaling_orders_bars(self):
+        text = bar_chart({"small": 1.0, "big": 1e6})
+        small_bar = next(l for l in text.splitlines() if l.startswith("small"))
+        big_bar = next(l for l in text.splitlines() if l.startswith("big"))
+        assert big_bar.count("#") > small_bar.count("#")
+
+    def test_baseline_ratios(self):
+        text = bar_chart({"x": 2.0, "base": 1.0}, baseline="base", log=False)
+        assert "(2x)" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            bar_chart({})
+
+    def test_rejects_nonpositive_log(self):
+        with pytest.raises(ValueError):
+            bar_chart({"a": 0.0})
+
+    def test_linear_mode_allows_zero(self):
+        text = bar_chart({"a": 0.0, "b": 5.0}, log=False)
+        assert "a" in text
+
+    def test_unit_annotation(self):
+        text = bar_chart({"a": 3.0}, log=False, unit=" uJ")
+        assert "uJ" in text
+
+
+class TestLineSeries:
+    def test_renders_each_series(self):
+        text = line_series(
+            {"up": {0: 0.0, 1: 1.0}, "down": {0: 1.0, 1: 0.0}}, title="S"
+        )
+        assert text.startswith("S")
+        assert "up" in text and "down" in text
+
+    def test_axis_summary_line(self):
+        text = line_series({"s": {0: 0.2, 2: 0.8}})
+        assert "x: 0" in text
+        assert "y: 0.2" in text
+
+    def test_explicit_y_range(self):
+        text = line_series({"s": {0: 0.5}}, y_range=(0.0, 1.0))
+        assert "y: 0 .. 1" in text
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            line_series({})
+
+    def test_monotone_series_monotone_glyphs(self):
+        text = line_series({"s": {0: 0.0, 1: 0.25, 2: 0.5, 3: 0.75, 4: 1.0}},
+                           width=10)
+        row = next(l for l in text.splitlines() if l.startswith("s"))
+        glyphs = row.split("|")[1]
+        order = " .:-=+*#%@"
+        levels = [order.index(g) for g in glyphs]
+        assert levels == sorted(levels)

@@ -1,0 +1,38 @@
+"""Unit tests for the markdown report generator."""
+
+import pytest
+
+from repro.eval import reporting
+
+
+class TestGenerateReport:
+    def test_single_section(self):
+        text = reporting.generate_report(
+            profile="tiny", sections=["ablation-gating"]
+        )
+        assert "# GENERIC reproduction" in text
+        assert "Ablation A2" in text
+        assert "Shape-claim summary" in text
+        assert "- [x] Ablation A2 — power gating" in text
+
+    def test_unknown_selection_rejected(self):
+        with pytest.raises(ValueError):
+            reporting.generate_report(profile="tiny", sections=["nope"])
+
+    def test_plan_keys_exist_in_cli(self):
+        from repro.eval.cli import _runners
+
+        runners = _runners()
+        for _, key in reporting.REPORT_PLAN:
+            assert key in runners
+
+    def test_main_writes_file(self, tmp_path, capsys):
+        out = tmp_path / "report.md"
+        code = reporting.main([
+            "--profile", "tiny", "--out", str(out),
+            "--sections", "ablation-banks",
+        ])
+        assert code == 0
+        assert out.exists()
+        assert "Ablation A6" in out.read_text()
+        capsys.readouterr()

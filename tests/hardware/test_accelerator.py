@@ -1,0 +1,212 @@
+"""Unit tests for the top-level accelerator model."""
+
+import numpy as np
+import pytest
+
+from repro.core import model_io
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.hardware.accelerator import GenericAccelerator
+from repro.hardware.spec import AppSpec, Mode
+
+DIM = 256
+
+
+@pytest.fixture
+def loaded_accelerator(fitted_generic_classifier):
+    acc = GenericAccelerator()
+    image = model_io.export_model(fitted_generic_classifier)
+    acc.load_image(image)
+    return acc
+
+
+class TestProgramming:
+    def test_configure_validates(self):
+        acc = GenericAccelerator()
+        with pytest.raises(ValueError):
+            acc.configure(AppSpec(dim=100, n_features=10))
+
+    def test_use_before_configure(self):
+        acc = GenericAccelerator()
+        with pytest.raises(RuntimeError):
+            acc.infer(np.zeros((1, 4)))
+
+    def test_use_before_tables(self):
+        acc = GenericAccelerator()
+        acc.configure(AppSpec(dim=DIM, n_features=10, n_classes=2))
+        with pytest.raises(RuntimeError):
+            acc.infer(np.zeros((1, 10)))
+
+    def test_load_image_sets_spec(self, fitted_generic_classifier):
+        acc = GenericAccelerator()
+        spec = acc.load_image(model_io.export_model(fitted_generic_classifier))
+        assert spec.dim == fitted_generic_classifier.encoder.dim
+        assert spec.n_classes == fitted_generic_classifier.n_classes
+
+    def test_too_many_levels_rejected(self, fitted_generic_classifier):
+        acc = GenericAccelerator()
+        clf = fitted_generic_classifier
+        acc.configure(AppSpec(dim=DIM, n_features=24, n_classes=3))
+        big_table = np.ones((200, DIM), dtype=np.int8)
+        with pytest.raises(ValueError, match="levels"):
+            acc.load_tables(big_table, None, np.asarray(0.0), np.asarray(1.0))
+
+
+class TestInference:
+    def test_matches_software_with_exact_divider(
+        self, loaded_accelerator, fitted_generic_classifier, toy_problem
+    ):
+        _, _, X_test, _ = toy_problem
+        report = loaded_accelerator.infer(X_test, exact_divider=True)
+        sw = fitted_generic_classifier.predict(X_test)
+        assert np.array_equal(report.predictions, sw)
+
+    def test_mitchell_agrees_mostly(
+        self, loaded_accelerator, fitted_generic_classifier, toy_problem
+    ):
+        _, _, X_test, _ = toy_problem
+        hw = loaded_accelerator.infer(X_test).predictions
+        sw = fitted_generic_classifier.predict(X_test)
+        assert np.mean(hw == sw) > 0.9
+
+    def test_report_counts(self, loaded_accelerator, toy_problem):
+        _, _, X_test, _ = toy_problem
+        report = loaded_accelerator.infer(X_test[:5])
+        assert report.n_inputs == 5
+        assert report.counters.inputs_processed == 5
+        assert report.cycles > 0
+        assert report.energy_j > 0
+        assert report.time_s == report.cycles / loaded_accelerator.params.clock_hz
+
+    def test_energy_scales_with_inputs(self, loaded_accelerator, toy_problem):
+        _, _, X_test, _ = toy_problem
+        one = loaded_accelerator.infer(X_test[:1])
+        ten = loaded_accelerator.infer(X_test[:10])
+        assert ten.energy_j == pytest.approx(10 * one.energy_j, rel=0.01)
+        assert ten.energy_per_input_j == pytest.approx(one.energy_per_input_j, rel=0.01)
+
+
+class TestDimensionReductionAndVos:
+    def test_reduce_dimensions_cuts_energy(self, loaded_accelerator, toy_problem):
+        _, _, X_test, _ = toy_problem
+        full = loaded_accelerator.infer(X_test[:8])
+        loaded_accelerator.reduce_dimensions(128)
+        reduced = loaded_accelerator.infer(X_test[:8])
+        assert reduced.energy_per_input_j < full.energy_per_input_j
+
+    def test_reduce_dimensions_validated(self, loaded_accelerator):
+        with pytest.raises(ValueError):
+            loaded_accelerator.reduce_dimensions(100)
+        with pytest.raises(ValueError):
+            loaded_accelerator.reduce_dimensions(DIM * 2)
+
+    def test_vos_cuts_energy(self, loaded_accelerator, toy_problem):
+        _, _, X_test, _ = toy_problem
+        plain = loaded_accelerator.infer(X_test[:8])
+        loaded_accelerator.set_voltage_overscaling(0.05)
+        scaled = loaded_accelerator.infer(X_test[:8])
+        assert scaled.energy_per_input_j < plain.energy_per_input_j
+
+    def test_vos_off_at_zero(self, loaded_accelerator):
+        point = loaded_accelerator.set_voltage_overscaling(0.0)
+        assert loaded_accelerator.vos is None
+        assert point.static_saving == 1.0
+
+
+class TestOnDeviceTraining:
+    def test_trains_to_usable_accuracy(self, toy_problem):
+        X_train, y_train, X_test, y_test = toy_problem
+        enc = GenericEncoder(dim=DIM, num_levels=16, seed=3)
+        enc.fit(X_train)
+        acc = GenericAccelerator()
+        acc.configure(AppSpec(dim=DIM, n_features=X_train.shape[1], n_classes=3,
+                              mode=Mode.TRAIN))
+        acc.load_tables(enc.levels.vectors, enc.id_generator.seed,
+                        enc.quantizer.lo, enc.quantizer.hi)
+        train_report = acc.train(X_train, y_train, epochs=5)
+        # every input is initialized + retrained at least once
+        assert train_report.counters.inputs_processed >= len(X_train)
+        infer = acc.infer(X_test, exact_divider=True)
+        assert np.mean(infer.predictions == y_test) > 0.75
+
+    def test_matches_software_training(self, toy_problem):
+        """On-device training equals HDClassifier given the same order."""
+        X_train, y_train, X_test, _ = toy_problem
+        enc = GenericEncoder(dim=DIM, num_levels=16, seed=3)
+        clf = HDClassifier(enc, epochs=3, seed=11, shuffle=True,
+                           metric="hardware")
+        clf.fit(X_train, y_train)
+
+        enc2 = GenericEncoder(dim=DIM, num_levels=16, seed=3)
+        enc2.fit(X_train)
+        acc = GenericAccelerator()
+        acc.configure(AppSpec(dim=DIM, n_features=X_train.shape[1], n_classes=3))
+        acc.load_tables(enc2.levels.vectors, enc2.id_generator.seed,
+                        enc2.quantizer.lo, enc2.quantizer.hi)
+        acc.train(X_train, y_train, epochs=3, seed=11)
+        # same shuffling seed, same per-sample rule -> same class matrix up
+        # to the divider used during retraining predictions
+        agree = np.mean(
+            acc.infer(X_test, exact_divider=True).predictions
+            == clf.predict(X_test)
+        )
+        assert agree > 0.9
+
+    def test_too_many_labels_rejected(self, toy_problem):
+        X_train, _, _, _ = toy_problem
+        acc = GenericAccelerator()
+        acc.configure(AppSpec(dim=DIM, n_features=X_train.shape[1], n_classes=2))
+        enc = GenericEncoder(dim=DIM, num_levels=16, seed=3).fit(X_train)
+        acc.load_tables(enc.levels.vectors, enc.id_generator.seed,
+                        enc.quantizer.lo, enc.quantizer.hi)
+        with pytest.raises(ValueError):
+            acc.train(X_train, np.arange(len(X_train)) % 3, epochs=1)
+
+
+class TestClustering:
+    def test_clusters_blobs(self):
+        rng = np.random.default_rng(6)
+        centers = np.array([[0.0] * 8, [5.0] * 8])
+        y = rng.integers(0, 2, size=60)
+        X = centers[y] + rng.normal(scale=0.4, size=(60, 8))
+        acc = GenericAccelerator()
+        acc.configure(AppSpec(dim=DIM, n_features=8, n_classes=2,
+                              mode=Mode.CLUSTER))
+        enc = GenericEncoder(dim=DIM, num_levels=16, seed=3).fit(X)
+        acc.load_tables(enc.levels.vectors, enc.id_generator.seed,
+                        enc.quantizer.lo, enc.quantizer.hi)
+        report = acc.cluster(X, k=2, epochs=8)
+        from repro.eval.metrics import normalized_mutual_information
+
+        assert normalized_mutual_information(y, report.predictions) > 0.7
+        assert report.counters.model_updates > 0
+
+    def test_k_exceeding_classes_rejected(self, loaded_accelerator, toy_problem):
+        X_train, _, _, _ = toy_problem
+        with pytest.raises(ValueError):
+            loaded_accelerator.cluster(X_train, k=10)
+
+
+class TestCapacityTrade:
+    """Section 4.1: trade D_hv against n_C -- 8K dims for <= 16 classes."""
+
+    def test_8k_dimensions_with_few_classes(self):
+        rng = np.random.default_rng(51)
+        protos = rng.normal(scale=1.5, size=(4, 12))
+        y = rng.integers(0, 4, size=80)
+        X = protos[y] + rng.normal(scale=0.5, size=(80, 12))
+
+        enc = GenericEncoder(dim=8192, num_levels=16, seed=8)
+        clf = HDClassifier(enc, epochs=2, seed=8).fit(X, y)
+        acc = GenericAccelerator()
+        spec = acc.load_image(model_io.export_model(clf))
+        assert spec.dim == 8192
+        report = acc.infer(X[:10], exact_divider=True)
+        assert np.array_equal(report.predictions, clf.predict(X[:10]))
+
+    def test_8k_dimensions_with_32_classes_rejected(self):
+        from repro.hardware.spec import AppSpec
+
+        acc = GenericAccelerator()
+        with pytest.raises(ValueError, match="capacity"):
+            acc.configure(AppSpec(dim=8192, n_features=12, n_classes=32))

@@ -1,0 +1,97 @@
+"""The architecture is parametric: non-default geometries must work.
+
+The paper ships one configuration (m=16, 4 banks, 4K x 32); a flexible
+generator would let an SoC team re-size it.  These tests run the whole
+train/deploy/infer flow at alternative lane counts, bank counts and
+capacities, and check the analytical models stay consistent.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core import model_io
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.hardware import controller
+from repro.hardware.accelerator import GenericAccelerator
+from repro.hardware.energy import EnergyModel
+from repro.hardware.params import DEFAULT_PARAMS, ArchParams
+from repro.hardware.power_gating import plan_for_spec
+from repro.hardware.spec import AppSpec
+
+
+def params_with(**kw) -> ArchParams:
+    return dataclasses.replace(DEFAULT_PARAMS, **kw)
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(23)
+    protos = rng.normal(scale=1.5, size=(3, 16))
+    y = rng.integers(0, 3, size=90)
+    X = protos[y] + rng.normal(scale=0.5, size=(90, 16))
+    return X, y
+
+
+@pytest.mark.parametrize("lanes", [8, 16, 32])
+class TestLaneCounts:
+    def test_end_to_end_at_lane_count(self, lanes, problem):
+        X, y = problem
+        params = params_with(lanes=lanes)
+        params.validate()
+        enc = GenericEncoder(dim=256, num_levels=16, seed=5)
+        clf = HDClassifier(enc, epochs=3, seed=5).fit(X, y)
+        acc = GenericAccelerator(params)
+        acc.load_image(model_io.export_model(clf))
+        preds = acc.infer(X[:15], exact_divider=True).predictions
+        assert np.array_equal(preds, clf.predict(X[:15]))
+
+    def test_cycles_scale_inversely_with_lanes(self, lanes, problem):
+        spec = AppSpec(dim=256, n_features=16, n_classes=3)
+        base_cycles, _ = controller.inference(spec, params_with(lanes=8))
+        cycles, _ = controller.inference(spec, params_with(lanes=lanes))
+        assert cycles <= base_cycles
+
+
+@pytest.mark.parametrize("banks", [1, 2, 8])
+class TestBankCounts:
+    def test_gating_plan_valid(self, banks):
+        params = params_with(class_banks=banks)
+        params.validate()
+        spec = AppSpec(dim=1024, n_features=64, n_classes=4).validate(params)
+        plan = plan_for_spec(spec, params)
+        assert 1 <= plan.banks_active <= banks
+        assert 0.0 <= plan.leakage_saving < 1.0
+
+    def test_energy_model_builds(self, banks):
+        model = EnergyModel(params_with(class_banks=banks))
+        assert model.total_static_w() > 0
+
+
+class TestCapacityVariants:
+    def test_larger_class_memory_accepts_more_classes(self):
+        params = params_with(class_mem_rows=16384)
+        params.validate()
+        # 8K dims x 32 classes now fits
+        AppSpec(dim=8192, n_features=64, n_classes=32).validate(params)
+
+    def test_smaller_memory_rejects_default_spec(self):
+        params = params_with(class_mem_rows=2048, class_banks=4)
+        params.validate()
+        with pytest.raises(ValueError, match="capacity"):
+            AppSpec(dim=4096, n_features=64, n_classes=32).validate(params)
+
+    def test_faster_clock_shortens_runs(self, problem):
+        X, y = problem
+        enc = GenericEncoder(dim=256, num_levels=16, seed=5)
+        clf = HDClassifier(enc, epochs=2, seed=5).fit(X, y)
+        image = model_io.export_model(clf)
+        slow = GenericAccelerator(params_with(clock_hz=100e6))
+        fast = GenericAccelerator(params_with(clock_hz=1e9))
+        slow.load_image(image)
+        fast.load_image(image)
+        t_slow = slow.infer(X[:5]).time_s
+        t_fast = fast.infer(X[:5]).time_s
+        assert t_fast == pytest.approx(t_slow / 10)

@@ -1,0 +1,105 @@
+"""Unit tests for the controller cycle model."""
+
+import pytest
+
+from repro.hardware import controller
+from repro.hardware.params import DEFAULT_PARAMS
+from repro.hardware.spec import AppSpec
+
+
+@pytest.fixture
+def spec():
+    return AppSpec(dim=1024, n_features=100, n_classes=8).validate()
+
+
+class TestCycleFormulas:
+    def test_load_input_is_serial(self, spec):
+        cycles, c = controller.load_input(spec, DEFAULT_PARAMS)
+        assert cycles == spec.n_features
+        assert c.feature_writes == spec.n_features
+
+    def test_pass_dominated_by_features(self, spec):
+        cycles, c = controller.encode_pass(spec, DEFAULT_PARAMS, with_search=True)
+        assert cycles == spec.n_features + DEFAULT_PARAMS.pass_overhead_cycles
+        assert c.level_reads == spec.n_features
+        assert c.class_reads == spec.n_classes * DEFAULT_PARAMS.lanes
+
+    def test_pass_without_search_touches_no_classes(self, spec):
+        _, c = controller.encode_pass(spec, DEFAULT_PARAMS, with_search=False)
+        assert c.class_reads == 0
+        assert c.score_reads == 0
+
+    def test_search_bound_pass_when_many_classes(self):
+        spec = AppSpec(dim=1024, n_features=10, n_classes=32).validate()
+        cycles, _ = controller.encode_pass(spec, DEFAULT_PARAMS, with_search=True)
+        assert cycles == 32 + DEFAULT_PARAMS.pass_overhead_cycles
+
+    def test_inference_scales_with_dim(self, spec):
+        c1, _ = controller.inference(spec, DEFAULT_PARAMS)
+        c2, _ = controller.inference(spec.with_dim(2048), DEFAULT_PARAMS)
+        assert c2 > c1
+        # doubling dims roughly doubles the pass count
+        assert c2 / c1 == pytest.approx(2.0, rel=0.2)
+
+    def test_inference_counts_one_input(self, spec):
+        _, c = controller.inference(spec, DEFAULT_PARAMS)
+        assert c.inputs_processed == 1
+
+    def test_no_seed_reads_when_ids_disabled(self):
+        spec = AppSpec(dim=1024, n_features=100, n_classes=8, use_ids=False).validate()
+        _, c = controller.encode_pass(spec, DEFAULT_PARAMS, with_search=True)
+        assert c.seed_reads == 0
+
+    def test_train_init_writes_classes(self, spec):
+        _, c = controller.train_init(spec, DEFAULT_PARAMS)
+        passes = spec.dim // DEFAULT_PARAMS.lanes
+        assert c.class_writes == passes * DEFAULT_PARAMS.lanes  # one row per pass
+
+    def test_retrain_miss_costs_more_than_hit(self, spec):
+        hit_cycles, hit = controller.retrain_sample(spec, DEFAULT_PARAMS, False)
+        miss_cycles, miss = controller.retrain_sample(spec, DEFAULT_PARAMS, True)
+        assert miss_cycles > hit_cycles
+        assert miss.model_updates == 1
+        assert hit.model_updates == 0
+        # the paper: each class update costs 3 x D_hv / m extra cycles
+        passes = spec.dim // DEFAULT_PARAMS.lanes
+        assert miss_cycles - hit_cycles == 2 * 3 * passes
+
+    def test_cluster_sample_updates_copy(self, spec):
+        cycles, c = controller.cluster_sample(spec, DEFAULT_PARAMS)
+        infer_cycles, _ = controller.inference(spec, DEFAULT_PARAMS)
+        assert cycles > infer_cycles
+        assert c.model_updates == 1
+
+    def test_finalize_reads_blocked_norms(self, spec):
+        _, c = controller.finalize_scores(spec, DEFAULT_PARAMS)
+        blocks = spec.dim // DEFAULT_PARAMS.norm_block
+        assert c.norm2_reads == spec.n_classes * blocks
+
+
+class TestCounters:
+    def test_add_accumulates(self):
+        from repro.hardware.counters import Counters
+
+        a = Counters(cycles=5, class_reads=2)
+        b = Counters(cycles=3, level_reads=7)
+        a.add(b)
+        assert a.cycles == 8
+        assert a.class_reads == 2
+        assert a.level_reads == 7
+
+    def test_copy_is_independent(self):
+        from repro.hardware.counters import Counters
+
+        a = Counters(cycles=5)
+        b = a.copy()
+        b.cycles = 99
+        assert a.cycles == 5
+
+    def test_as_dict_roundtrip(self):
+        from repro.hardware.counters import Counters
+
+        a = Counters(cycles=4, norm2_reads=2)
+        d = a.as_dict()
+        assert d["cycles"] == 4
+        assert Counters(**d).norm2_reads == 2

@@ -1,0 +1,107 @@
+"""Unit tests for the calibrated energy/area model."""
+
+import pytest
+
+from repro.hardware import controller
+from repro.hardware.counters import Counters
+from repro.hardware.energy import (
+    AREA_FRACTIONS,
+    DYNAMIC_FRACTIONS,
+    STATIC_FRACTIONS,
+    TOTAL_AREA_MM2,
+    TYPICAL_DYNAMIC_W,
+    WORST_STATIC_W,
+    EnergyModel,
+)
+from repro.hardware.params import DEFAULT_PARAMS
+from repro.hardware.power_gating import plan_for_spec
+from repro.hardware.spec import AppSpec
+from repro.hardware.voltage import operating_point
+
+
+@pytest.fixture(scope="module")
+def model():
+    return EnergyModel(DEFAULT_PARAMS)
+
+
+@pytest.fixture(scope="module")
+def reference_counters():
+    spec = AppSpec(**EnergyModel.REFERENCE_SPEC).validate()
+    total = Counters()
+    for _ in range(10):
+        _, c = controller.inference(spec, DEFAULT_PARAMS)
+        total.add(c)
+    return total
+
+
+class TestFractions:
+    def test_fractions_sum_to_one(self):
+        for fr in (AREA_FRACTIONS, STATIC_FRACTIONS, DYNAMIC_FRACTIONS):
+            assert sum(fr.values()) == pytest.approx(1.0)
+
+    def test_class_memory_dominates(self):
+        assert AREA_FRACTIONS["class_mem"] > 0.8
+        assert STATIC_FRACTIONS["class_mem"] > 0.8
+        assert DYNAMIC_FRACTIONS["class_mem"] > 0.7
+
+
+class TestArea:
+    def test_total_area_anchor(self, model):
+        assert sum(model.area_mm2().values()) == pytest.approx(TOTAL_AREA_MM2)
+
+    def test_component_keys(self, model):
+        assert set(model.area_mm2()) == set(AREA_FRACTIONS)
+
+
+class TestStaticPower:
+    def test_worst_case_anchor(self, model):
+        assert model.total_static_w() == pytest.approx(WORST_STATIC_W)
+
+    def test_gating_reduces_class_leakage(self, model):
+        spec = AppSpec(dim=1024, n_features=100, n_classes=4).validate()
+        plan = plan_for_spec(spec, DEFAULT_PARAMS)
+        gated = model.total_static_w(gating=plan)
+        assert gated < model.total_static_w()
+
+    def test_vos_reduces_class_leakage(self, model):
+        vos = operating_point(0.05)
+        assert model.total_static_w(vos=vos) < model.total_static_w()
+
+    def test_gating_and_vos_compose(self, model):
+        spec = AppSpec(dim=1024, n_features=100, n_classes=4).validate()
+        plan = plan_for_spec(spec, DEFAULT_PARAMS)
+        vos = operating_point(0.05)
+        both = model.total_static_w(gating=plan, vos=vos)
+        assert both < model.total_static_w(gating=plan)
+        assert both < model.total_static_w(vos=vos)
+
+
+class TestDynamicEnergy:
+    def test_reference_hits_dynamic_anchor(self, model, reference_counters):
+        report = model.report(reference_counters)
+        assert report.dynamic_w == pytest.approx(TYPICAL_DYNAMIC_W, rel=0.05)
+
+    def test_reference_breakdown_matches_fig7(self, model, reference_counters):
+        dyn = model.dynamic_energy_j(reference_counters)
+        total = sum(dyn.values())
+        for comp, frac in DYNAMIC_FRACTIONS.items():
+            assert dyn[comp] / total == pytest.approx(frac, abs=0.02)
+
+    def test_reduced_bitwidth_cuts_class_energy(self, model, reference_counters):
+        full = model.dynamic_energy_j(reference_counters, bitwidth=16)
+        quarter = model.dynamic_energy_j(reference_counters, bitwidth=4)
+        assert quarter["class_mem"] < full["class_mem"]
+        assert quarter["level_mem"] == full["level_mem"]
+
+    def test_vos_cuts_class_energy(self, model, reference_counters):
+        vos = operating_point(0.05)
+        scaled = model.dynamic_energy_j(reference_counters, vos=vos)
+        plain = model.dynamic_energy_j(reference_counters)
+        assert scaled["class_mem"] < plain["class_mem"]
+
+    def test_report_totals(self, model, reference_counters):
+        report = model.report(reference_counters)
+        assert report.total_j == pytest.approx(
+            report.static_j + report.dynamic_j
+        )
+        assert report.time_s > 0

@@ -1,0 +1,69 @@
+"""Unit tests for the SRAM models."""
+
+import pytest
+
+from repro.hardware.memory import Sram, build_memories
+from repro.hardware.params import DEFAULT_PARAMS
+
+
+class TestSram:
+    def test_geometry(self):
+        s = Sram("x", rows=1024, width_bits=16, banks=4)
+        assert s.bits == 1024 * 16
+        assert s.bytes == 2048
+        assert s.rows_per_bank == 256
+
+    def test_counters(self):
+        s = Sram("x", rows=8, width_bits=8)
+        s.count_reads(3)
+        s.count_writes()
+        assert (s.reads, s.writes) == (3, 1)
+        s.reset_counters()
+        assert (s.reads, s.writes) == (0, 0)
+
+    def test_banks_for_rows_prefix(self):
+        s = Sram("x", rows=100, width_bits=8, banks=4)
+        assert s.banks_for_rows(0) == 0
+        assert s.banks_for_rows(1) == 1
+        assert s.banks_for_rows(25) == 1
+        assert s.banks_for_rows(26) == 2
+        assert s.banks_for_rows(100) == 4
+
+    def test_banks_for_rows_overflow(self):
+        s = Sram("x", rows=100, width_bits=8, banks=4)
+        with pytest.raises(ValueError):
+            s.banks_for_rows(101)
+
+    def test_invalid_geometry(self):
+        with pytest.raises(ValueError):
+            Sram("x", rows=0, width_bits=8)
+        with pytest.raises(ValueError):
+            Sram("x", rows=10, width_bits=8, banks=3)
+
+
+class TestMemorySet:
+    def test_paper_sizes(self):
+        mems = build_memories(DEFAULT_PARAMS)
+        # level memory 32 KB
+        assert mems.level.bytes == 32 * 1024
+        # class memories: 16 x 16 KB = 256 KB
+        assert mems.classes.bytes == 256 * 1024
+        # feature memory 1024 x 8b = 1 KB
+        assert mems.feature.bytes == 1024
+        # seed id: one 4 Kbit row
+        assert mems.seed_id.bits == 4096
+
+    def test_reset_all(self):
+        mems = build_memories(DEFAULT_PARAMS)
+        mems.level.count_reads(5)
+        mems.reset_counters()
+        assert mems.level.reads == 0
+
+    def test_all_keys(self):
+        mems = build_memories(DEFAULT_PARAMS)
+        assert set(mems.all()) == {
+            "level", "feature", "seed_id", "classes", "norm2", "score"
+        }
+
+    def test_total_bits_positive(self):
+        assert build_memories(DEFAULT_PARAMS).total_bits() > 0

@@ -1,0 +1,103 @@
+"""Unit tests for the Mitchell approximate divider."""
+
+import numpy as np
+
+from repro.hardware.mitchell import (
+    MAX_RELATIVE_ERROR,
+    mitchell_divide,
+    mitchell_exp2,
+    mitchell_log2,
+)
+
+
+class TestLog2:
+    def test_exact_at_powers_of_two(self):
+        x = np.array([1.0, 2.0, 4.0, 1024.0])
+        assert np.allclose(mitchell_log2(x), [0, 1, 2, 10])
+
+    def test_error_bounded(self):
+        x = np.linspace(1.0, 1e6, 10000)
+        approx = mitchell_log2(x)
+        exact = np.log2(x)
+        assert np.abs(approx - exact).max() < 0.09  # known bound ~0.086
+
+    def test_zero_maps_to_minus_inf(self):
+        assert mitchell_log2(np.array([0.0]))[0] == -np.inf
+
+    def test_monotone(self):
+        x = np.linspace(0.5, 100, 5000)
+        approx = mitchell_log2(x)
+        assert (np.diff(approx) >= -1e-12).all()
+
+
+class TestExp2:
+    def test_exact_at_integers(self):
+        y = np.array([0.0, 1.0, 3.0, -2.0])
+        assert np.allclose(mitchell_exp2(y), [1, 2, 8, 0.25])
+
+    def test_roundtrip_near_identity(self):
+        x = np.linspace(1.0, 1e4, 2000)
+        roundtrip = mitchell_exp2(mitchell_log2(x))
+        rel = np.abs(roundtrip - x) / x
+        assert rel.max() < 2 * MAX_RELATIVE_ERROR
+
+
+class TestCorrectedVariant:
+    def test_corrected_log_error_under_1_percent(self):
+        x = np.linspace(1.0, 1e6, 10000)
+        err = np.abs(mitchell_log2(x, correct=True) - np.log2(x))
+        assert err.max() < 0.01
+
+    def test_corrected_divide_error_shrinks(self):
+        rng = np.random.default_rng(3)
+        num = rng.uniform(1.0, 1e8, size=5000)
+        den = rng.uniform(1.0, 1e8, size=5000)
+        plain = np.abs(mitchell_divide(num, den) - num / den) / (num / den)
+        corrected = np.abs(
+            mitchell_divide(num, den, correct=True) - num / den
+        ) / (num / den)
+        assert corrected.max() < 0.03
+        assert corrected.max() < plain.max()
+
+    def test_corrected_exact_at_powers_of_two(self):
+        x = np.array([1.0, 2.0, 8.0, 4096.0])
+        assert np.allclose(mitchell_log2(x, correct=True), [0, 1, 3, 12])
+
+    def test_corrected_exp_roundtrip(self):
+        x = np.linspace(1.0, 1e4, 2000)
+        roundtrip = mitchell_exp2(mitchell_log2(x, correct=True), correct=True)
+        rel = np.abs(roundtrip - x) / x
+        assert rel.max() < 0.03
+
+
+class TestDivide:
+    def test_relative_error_within_bound(self):
+        rng = np.random.default_rng(0)
+        num = rng.uniform(1.0, 1e8, size=5000)
+        den = rng.uniform(1.0, 1e8, size=5000)
+        approx = mitchell_divide(num, den)
+        rel = np.abs(approx - num / den) / (num / den)
+        assert rel.max() < 2 * MAX_RELATIVE_ERROR
+
+    def test_zero_numerator(self):
+        assert mitchell_divide(np.array([0.0]), np.array([5.0]))[0] == 0.0
+
+    def test_infinite_denominator(self):
+        assert mitchell_divide(np.array([5.0]), np.array([np.inf]))[0] == 0.0
+
+    def test_broadcasting(self):
+        num = np.ones((3, 4))
+        den = np.full(4, 2.0)
+        out = mitchell_divide(num, den)
+        assert out.shape == (3, 4)
+        assert np.allclose(out, 0.5)
+
+    def test_preserves_ranking_with_margin(self):
+        """Scores whose ratio exceeds the error bound keep their order."""
+        rng = np.random.default_rng(1)
+        a = rng.uniform(1.0, 1e6, size=1000)
+        b = a * 1.5  # 50% apart >> 11% error
+        den = rng.uniform(1.0, 1e3, size=1000)
+        qa = mitchell_divide(a, den)
+        qb = mitchell_divide(b, den)
+        assert (qb > qa).all()

@@ -1,0 +1,105 @@
+"""Unit tests for the multi-application manager."""
+
+import numpy as np
+import pytest
+
+from repro.core import model_io
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.datasets import load_dataset
+from repro.hardware.multiplex import AppManager
+
+
+@pytest.fixture(scope="module")
+def two_apps():
+    apps = {}
+    for name in ("PAGE", "CARDIO"):
+        ds = load_dataset(name, "tiny")
+        enc = GenericEncoder(dim=256, num_levels=16, seed=7)
+        clf = HDClassifier(enc, epochs=3, seed=7).fit(ds.X_train, ds.y_train)
+        apps[name] = (model_io.export_model(clf), ds)
+    return apps
+
+
+@pytest.fixture
+def manager(two_apps):
+    mgr = AppManager()
+    for name, (image, _) in two_apps.items():
+        mgr.register(name, image)
+    return mgr
+
+
+class TestRegistration:
+    def test_register_builds_bitstream(self, manager):
+        assert manager.apps["PAGE"].stream_bytes > 1000
+
+    def test_duplicate_rejected(self, manager, two_apps):
+        image, _ = two_apps["PAGE"]
+        with pytest.raises(ValueError, match="already"):
+            manager.register("PAGE", image)
+
+    def test_unregister(self, manager):
+        manager.unregister("PAGE")
+        assert "PAGE" not in manager.apps
+        with pytest.raises(KeyError):
+            manager.unregister("PAGE")
+
+    def test_bad_baud_rejected(self):
+        with pytest.raises(ValueError):
+            AppManager(config_baud_bits_per_s=0)
+
+
+class TestSwapping:
+    def test_first_activation_costs_a_swap(self, manager):
+        record = manager.activate("PAGE")
+        assert record is not None
+        assert record.time_s > 0
+        assert record.energy_j > 0
+
+    def test_reactivation_is_free(self, manager):
+        manager.activate("PAGE")
+        assert manager.activate("PAGE") is None
+        assert len(manager.swap_log) == 1
+
+    def test_alternating_apps_swap_each_time(self, manager):
+        manager.activate("PAGE")
+        manager.activate("CARDIO")
+        manager.activate("PAGE")
+        assert len(manager.swap_log) == 3
+        assert manager.total_swap_time_s() > 0
+
+    def test_unknown_app(self, manager):
+        with pytest.raises(KeyError):
+            manager.activate("MNIST")
+
+
+class TestServing:
+    def test_inference_routing_matches_direct(self, manager, two_apps):
+        from repro.hardware.accelerator import GenericAccelerator
+
+        image, ds = two_apps["CARDIO"]
+        direct = GenericAccelerator()
+        direct.load_image(image)
+        expected = direct.infer(ds.X_test[:10]).predictions
+
+        report = manager.infer("CARDIO", ds.X_test[:10])
+        assert np.array_equal(report.predictions, expected)
+
+    def test_statistics_accumulate(self, manager, two_apps):
+        _, page = two_apps["PAGE"]
+        _, cardio = two_apps["CARDIO"]
+        manager.infer("PAGE", page.X_test[:5])
+        manager.infer("CARDIO", cardio.X_test[:7])
+        manager.infer("PAGE", page.X_test[:5])
+        summary = manager.summary()
+        assert summary["PAGE"]["inferences"] == 10
+        assert summary["CARDIO"]["inferences"] == 7
+        assert summary["PAGE"]["swaps"] == 2
+        assert summary["PAGE"]["energy_j"] > 0
+
+    def test_swap_energy_is_small_vs_serving_bursts(self, manager, two_apps):
+        """Reprogramming costs less than a sizeable inference burst."""
+        _, ds = two_apps["PAGE"]
+        report = manager.infer("PAGE", ds.X_test)
+        swap = manager.swap_log[0]
+        assert swap.energy_j < report.energy_j

@@ -1,0 +1,97 @@
+"""Unit tests for architecture parameters and the application spec."""
+
+import pytest
+
+from repro.hardware.params import DEFAULT_PARAMS, ArchParams
+from repro.hardware.spec import AppSpec, Mode
+
+
+class TestArchParams:
+    def test_paper_geometry(self):
+        p = DEFAULT_PARAMS
+        assert p.lanes == 16
+        assert p.max_dim == 4096
+        assert p.max_classes == 32
+        # class capacity: D_hv x n_C words = 4K x 32
+        assert p.class_capacity_words == 4096 * 32
+        # level memory: 64 levels x 4K bits = 32 KB
+        assert p.level_mem_bits == 64 * 4096
+
+    def test_id_compression_factor(self):
+        p = DEFAULT_PARAMS
+        assert p.uncompressed_id_mem_bits // p.id_mem_bits == 1024
+
+    def test_validate_accepts_defaults(self):
+        DEFAULT_PARAMS.validate()
+
+    def test_validate_rejects_bad_lanes(self):
+        with pytest.raises(ValueError):
+            ArchParams(max_dim=100, lanes=16).validate()
+
+    def test_validate_rejects_bad_banks(self):
+        with pytest.raises(ValueError):
+            ArchParams(class_mem_rows=100, class_banks=3).validate()
+
+    def test_rows_per_bank(self):
+        assert DEFAULT_PARAMS.rows_per_bank == 8192 // 4
+
+    def test_frozen(self):
+        with pytest.raises(Exception):
+            DEFAULT_PARAMS.lanes = 8  # type: ignore[misc]
+
+
+class TestAppSpec:
+    def good(self, **kw):
+        base = dict(dim=2048, n_features=100, n_classes=10)
+        base.update(kw)
+        return AppSpec(**base)
+
+    def test_valid_spec(self):
+        self.good().validate()
+
+    def test_dim_must_be_lane_multiple(self):
+        with pytest.raises(ValueError):
+            self.good(dim=1000).validate()
+
+    def test_dim_must_be_block_multiple(self):
+        with pytest.raises(ValueError):
+            self.good(dim=64 * 3).validate()  # 192: lane-multiple, not 128
+
+    def test_feature_limit(self):
+        with pytest.raises(ValueError):
+            self.good(n_features=2000).validate()
+
+    def test_window_in_range(self):
+        with pytest.raises(ValueError):
+            self.good(window=0).validate()
+        with pytest.raises(ValueError):
+            self.good(window=101).validate()
+
+    def test_class_limit(self):
+        with pytest.raises(ValueError):
+            self.good(n_classes=33).validate()
+
+    def test_capacity_tradeoff(self):
+        # 8K dims x 16 classes fits; 8K x 32 does not (Section 4.1)
+        AppSpec(dim=8192, n_features=100, n_classes=16).validate()
+        with pytest.raises(ValueError, match="capacity"):
+            AppSpec(dim=8192, n_features=100, n_classes=32).validate()
+
+    def test_bitwidth_whitelist(self):
+        with pytest.raises(ValueError):
+            self.good(bitwidth=3).validate()
+
+    def test_n_windows(self):
+        assert self.good(window=3).n_windows == 98
+
+    def test_with_dim(self):
+        reduced = self.good().with_dim(512)
+        assert reduced.dim == 512
+        assert reduced.n_features == 100
+
+    def test_with_mode(self):
+        assert self.good().with_mode(Mode.TRAIN).mode is Mode.TRAIN
+
+    def test_class_rows_used(self):
+        spec = self.good(dim=2048, n_classes=10)
+        assert spec.class_rows_used() == (2048 // 16) * 10

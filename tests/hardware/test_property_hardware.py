@@ -1,0 +1,67 @@
+"""Property-based tests on hardware-model invariants."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.hardware import controller
+from repro.hardware.faults import inject_bitflips, quantize_to_bits
+from repro.hardware.mitchell import mitchell_divide
+from repro.hardware.params import DEFAULT_PARAMS
+from repro.hardware.spec import AppSpec
+
+SEEDS = st.integers(min_value=0, max_value=2**31 - 1)
+
+
+@given(
+    num=st.floats(min_value=1e-3, max_value=1e12),
+    den=st.floats(min_value=1e-3, max_value=1e12),
+)
+@settings(max_examples=100, deadline=None)
+def test_mitchell_division_relative_error_property(num, den):
+    approx = float(mitchell_divide(np.array([num]), np.array([den]))[0])
+    exact = num / den
+    assert abs(approx - exact) / exact < 0.25
+
+
+@given(
+    dim_units=st.integers(min_value=1, max_value=32),
+    d=st.integers(min_value=4, max_value=512),
+    n_c=st.integers(min_value=1, max_value=32),
+)
+@settings(max_examples=60, deadline=None)
+def test_cycle_model_positive_and_monotone_in_dim(dim_units, d, n_c):
+    dim = dim_units * 128
+    spec = AppSpec(dim=dim, n_features=d, n_classes=n_c,
+                   window=min(3, d)).validate(DEFAULT_PARAMS)
+    cycles, counters = controller.inference(spec, DEFAULT_PARAMS)
+    assert cycles > 0
+    assert counters.class_reads > 0
+    if dim + 128 <= DEFAULT_PARAMS.max_dim * 2 and (dim + 128) * n_c <= DEFAULT_PARAMS.class_capacity_words:
+        bigger = spec.with_dim(dim + 128)
+        more_cycles, _ = controller.inference(bigger, DEFAULT_PARAMS)
+        assert more_cycles >= cycles
+
+
+@given(seed=SEEDS, bits=st.sampled_from([2, 4, 8]), rate=st.floats(0, 0.3))
+@settings(max_examples=50, deadline=None)
+def test_bitflip_range_invariant(seed, bits, rate):
+    rng = np.random.default_rng(seed)
+    model = rng.normal(scale=30, size=(3, 64))
+    q = quantize_to_bits(model, bits)
+    corrupted = inject_bitflips(q, bits, rate, rng)
+    qmax = 2 ** (bits - 1)
+    assert corrupted.min() >= -qmax
+    assert corrupted.max() <= qmax - 1
+
+
+@given(seed=SEEDS, bits=st.sampled_from([1, 2, 4, 8, 16]))
+@settings(max_examples=40, deadline=None)
+def test_quantization_preserves_sign_of_large_entries(seed, bits):
+    rng = np.random.default_rng(seed)
+    model = rng.normal(scale=10, size=(2, 128))
+    q = quantize_to_bits(model, bits)
+    scale = np.percentile(np.abs(model), 99.0)
+    big = np.abs(model) > 0.6 * scale
+    if big.any():
+        assert (np.sign(q[big]) == np.sign(model[big])).all()

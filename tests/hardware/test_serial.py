@@ -1,0 +1,64 @@
+"""Unit tests for the serial input port and burst analysis."""
+
+import pytest
+
+from repro.hardware.serial import (
+    BurstReport,
+    InputPort,
+    burst_analysis,
+    required_baud_for_engine,
+)
+from repro.hardware.spec import AppSpec
+
+
+@pytest.fixture
+def spec():
+    return AppSpec(dim=2048, n_features=200, n_classes=10).validate()
+
+
+class TestInputPort:
+    def test_load_time(self):
+        port = InputPort(baud_bits_per_s=1e6, bits_per_element=8)
+        assert port.load_time_s(125) == pytest.approx(1e-3)
+
+    def test_element_rate(self):
+        port = InputPort(baud_bits_per_s=8e6, bits_per_element=8)
+        assert port.element_rate_per_s() == pytest.approx(1e6)
+
+    def test_rejects_empty_input(self):
+        with pytest.raises(ValueError):
+            InputPort().load_time_s(0)
+
+
+class TestBurstAnalysis:
+    def test_fast_link_is_compute_bound(self, spec):
+        report = burst_analysis(spec, InputPort(baud_bits_per_s=1e9))
+        assert report.bound == "compute"
+        assert report.engine_utilization == pytest.approx(1.0)
+        assert report.inputs_per_s > 0
+
+    def test_slow_link_is_link_bound(self, spec):
+        report = burst_analysis(spec, InputPort(baud_bits_per_s=1e4))
+        assert report.bound == "link"
+        assert report.link_utilization == pytest.approx(1.0)
+        assert report.engine_utilization < 1.0
+
+    def test_throughput_monotone_in_baud(self, spec):
+        slow = burst_analysis(spec, InputPort(baud_bits_per_s=1e5))
+        fast = burst_analysis(spec, InputPort(baud_bits_per_s=1e7))
+        assert fast.inputs_per_s >= slow.inputs_per_s
+
+    def test_required_baud_balances_pipeline(self, spec):
+        baud = required_baud_for_engine(spec)
+        report = burst_analysis(spec, InputPort(baud_bits_per_s=baud))
+        assert report.t_load_s == pytest.approx(report.t_compute_s, rel=1e-6)
+
+    def test_report_type(self, spec):
+        assert isinstance(burst_analysis(spec), BurstReport)
+
+    def test_smaller_dim_runs_faster(self, spec):
+        fast_spec = spec.with_dim(512)
+        port = InputPort(baud_bits_per_s=1e9)
+        big = burst_analysis(spec, port)
+        small = burst_analysis(fast_spec, port)
+        assert small.inputs_per_s > big.inputs_per_s

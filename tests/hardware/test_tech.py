@@ -1,0 +1,49 @@
+"""Unit tests for the technology-node scaling tables."""
+
+import pytest
+
+from repro.hardware.tech import known_nodes, scale_delay, scale_energy, scale_power
+
+
+class TestScaling:
+    def test_identity(self):
+        assert scale_energy(5.0, 45, 45) == 5.0
+        assert scale_delay(5.0, 14, 14) == 5.0
+
+    def test_energy_shrinks_with_node(self):
+        assert scale_energy(1.0, 45, 14) < 1.0
+        assert scale_energy(1.0, 14, 45) > 1.0
+
+    def test_delay_shrinks_with_node(self):
+        assert scale_delay(1.0, 45, 14) < 1.0
+
+    def test_roundtrip(self):
+        down = scale_energy(1.0, 28, 14)
+        up = scale_energy(down, 14, 28)
+        assert up == pytest.approx(1.0)
+
+    def test_monotone_across_nodes(self):
+        nodes = known_nodes()
+        energies = [scale_energy(1.0, 45, n) for n in nodes]
+        # larger node -> larger energy
+        assert energies == sorted(energies)
+
+    def test_interpolated_node(self):
+        # 20 nm is not in the table; must land between 22 and 14
+        e22 = scale_energy(1.0, 45, 22)
+        e14 = scale_energy(1.0, 45, 14)
+        e20 = scale_energy(1.0, 45, 20)
+        assert e14 < e20 < e22
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            scale_energy(1.0, 45, 3)
+
+    def test_power_is_energy_over_delay(self):
+        e = scale_energy(1.0, 28, 14)
+        d = scale_delay(1.0, 28, 14)
+        assert scale_power(1.0, 28, 14) == pytest.approx(e / d)
+
+    def test_28nm_to_14nm_is_meaningful(self):
+        # the paper's Datta scaling step: energy roughly halves or better
+        assert scale_energy(1.0, 28, 14) < 0.7

@@ -1,0 +1,158 @@
+"""Unit tests for the encoder and search units."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import GenericEncoder
+from repro.hardware.encoder_unit import EncoderUnit
+from repro.hardware.search_unit import SearchUnit
+
+DIM = 256
+
+
+@pytest.fixture
+def data():
+    rng = np.random.default_rng(13)
+    return rng.normal(size=(10, 20))
+
+
+@pytest.fixture
+def sw_encoder(data):
+    enc = GenericEncoder(dim=DIM, num_levels=16, seed=2)
+    enc.fit(data)
+    return enc
+
+
+def make_unit(sw_encoder, use_ids=True):
+    seed = sw_encoder.id_generator.seed if use_ids else None
+    return EncoderUnit(
+        sw_encoder.levels.vectors,
+        seed,
+        sw_encoder.window,
+        np.asarray(sw_encoder.quantizer.lo),
+        np.asarray(sw_encoder.quantizer.hi),
+    )
+
+
+class TestEncoderUnit:
+    def test_bit_exact_with_software_encoder(self, data, sw_encoder):
+        unit = make_unit(sw_encoder)
+        for x in data:
+            assert np.array_equal(unit.encode(x), sw_encoder.encode(x))
+
+    def test_quantizer_matches(self, data, sw_encoder):
+        unit = make_unit(sw_encoder)
+        assert np.array_equal(
+            unit.quantize(data[0]), sw_encoder.quantizer.transform(data[:1])[0]
+        )
+
+    def test_dim_reduction_is_prefix(self, data, sw_encoder):
+        unit = make_unit(sw_encoder)
+        full = unit.encode(data[0])
+        reduced = unit.encode(data[0], dim=128)
+        assert np.array_equal(reduced, full[:128])
+
+    def test_identity_ids_when_disabled(self, data, sw_encoder):
+        unit = make_unit(sw_encoder, use_ids=False)
+        ids = unit.ids_for(5)
+        assert (ids == 1).all()
+
+    def test_rejects_batch_input(self, data, sw_encoder):
+        unit = make_unit(sw_encoder)
+        with pytest.raises(ValueError):
+            unit.encode(data)
+
+    def test_rejects_short_input(self, sw_encoder):
+        unit = make_unit(sw_encoder)
+        with pytest.raises(ValueError):
+            unit.encode(np.zeros(2))
+
+    def test_rejects_bad_reduction(self, data, sw_encoder):
+        unit = make_unit(sw_encoder)
+        with pytest.raises(ValueError):
+            unit.encode(data[0], dim=DIM + 1)
+
+    def test_seed_length_checked(self, sw_encoder):
+        with pytest.raises(ValueError):
+            EncoderUnit(
+                sw_encoder.levels.vectors,
+                np.ones(8, dtype=np.int8),
+                3,
+                np.asarray(0.0),
+                np.asarray(1.0),
+            )
+
+
+class TestSearchUnit:
+    @pytest.fixture
+    def loaded(self):
+        rng = np.random.default_rng(17)
+        unit = SearchUnit(n_classes=4, dim=DIM, norm_block=128)
+        matrix = rng.integers(-40, 41, size=(4, DIM)).astype(np.float64)
+        unit.load_classes(matrix)
+        return unit, matrix
+
+    def test_predict_matches_exact_cosine_ranking(self, loaded):
+        unit, matrix = loaded
+        rng = np.random.default_rng(18)
+        for _ in range(20):
+            q = rng.integers(-20, 21, size=DIM).astype(np.float64)
+            dots = matrix @ q
+            norms = np.linalg.norm(matrix, axis=1)
+            expected = int(np.argmax(dots / norms))
+            got = unit.predict(q, exact_divider=True)
+            assert got == expected
+
+    def test_mitchell_divider_mostly_agrees(self, loaded):
+        unit, _ = loaded
+        rng = np.random.default_rng(19)
+        agree = 0
+        for _ in range(50):
+            q = rng.integers(-20, 21, size=DIM).astype(np.float64)
+            agree += unit.predict(q) == unit.predict(q, exact_divider=True)
+        assert agree >= 45
+
+    def test_accumulate_updates_norms(self, loaded):
+        unit, matrix = loaded
+        enc = np.ones(DIM)
+        unit.accumulate(1, enc)
+        assert np.allclose(
+            unit.norms.full_norm2()[1], ((matrix[1] + 1.0) ** 2).sum()
+        )
+
+    def test_accumulate_negative(self, loaded):
+        unit, matrix = loaded
+        enc = np.ones(DIM)
+        unit.accumulate(2, enc, sign=-1)
+        assert np.allclose(unit.classes[2], matrix[2] - 1.0)
+
+    def test_bitwidth_requantizes(self):
+        rng = np.random.default_rng(20)
+        unit = SearchUnit(n_classes=2, dim=DIM)
+        matrix = rng.normal(scale=100, size=(2, DIM))
+        unit.load_classes(matrix, bitwidth=4)
+        assert np.abs(unit.classes).max() <= 7
+
+    def test_dim_reduced_scores(self, loaded):
+        unit, matrix = loaded
+        q = np.ones(DIM)
+        scores = unit.scores(q, dim=128)
+        dots = matrix[:, :128] @ q[:128]
+        assert np.array_equal(np.argsort(np.sign(dots) * dots * dots /
+                                         (matrix[:, :128] ** 2).sum(axis=1)),
+                              np.argsort(unit.scores(q, dim=128,
+                                                     exact_divider=True)))
+
+    def test_overwrite_for_fault_injection(self, loaded):
+        unit, _ = loaded
+        unit.overwrite(np.zeros((4, DIM)))
+        assert (unit.norms.full_norm2() == 0).all()
+
+    def test_shape_checks(self):
+        unit = SearchUnit(n_classes=2, dim=DIM)
+        with pytest.raises(ValueError):
+            unit.load_classes(np.zeros((3, DIM)))
+        with pytest.raises(IndexError):
+            unit.accumulate(5, np.zeros(DIM))
+        with pytest.raises(ValueError):
+            unit.scores(np.zeros(64))

@@ -1,0 +1,176 @@
+"""Unit tests for voltage over-scaling and bit-flip fault injection."""
+
+import numpy as np
+import pytest
+
+from repro.hardware.faults import corrupt_model, inject_bitflips, quantize_to_bits
+from repro.hardware.voltage import (
+    MAX_ERROR_RATE,
+    NOMINAL_VDD,
+    error_rate_for_voltage,
+    operating_point,
+)
+
+
+class TestVoltageModel:
+    def test_zero_error_is_nominal(self):
+        p = operating_point(0.0)
+        assert p.vdd == NOMINAL_VDD
+        assert p.static_saving == 1.0
+        assert p.dynamic_saving == 1.0
+
+    def test_savings_monotone_in_error(self):
+        rates = np.linspace(0, MAX_ERROR_RATE, 20)
+        statics = [operating_point(r).static_saving for r in rates]
+        dyns = [operating_point(r).dynamic_saving for r in rates]
+        assert statics == sorted(statics)
+        assert dyns == sorted(dyns)
+
+    def test_voltage_decreases_with_error(self):
+        assert operating_point(0.08).vdd < operating_point(0.01).vdd
+
+    def test_max_error_reaches_7x_static(self):
+        assert operating_point(MAX_ERROR_RATE).static_saving == pytest.approx(7.0)
+
+    def test_factors_are_reciprocals(self):
+        p = operating_point(0.05)
+        assert p.static_factor == pytest.approx(1.0 / p.static_saving)
+        assert p.dynamic_factor == pytest.approx(1.0 / p.dynamic_saving)
+
+    def test_out_of_range_rejected(self):
+        with pytest.raises(ValueError):
+            operating_point(0.5)
+        with pytest.raises(ValueError):
+            operating_point(-0.01)
+
+    def test_inverse_map_roundtrip(self):
+        for rate in (0.0, 0.01, 0.05, 0.10):
+            vdd = operating_point(rate).vdd
+            assert error_rate_for_voltage(vdd) == pytest.approx(rate, abs=1e-9)
+
+    def test_inverse_map_range_checked(self):
+        with pytest.raises(ValueError):
+            error_rate_for_voltage(1.2)
+
+
+class TestQuantization:
+    def test_range_respected(self):
+        rng = np.random.default_rng(0)
+        model = rng.normal(scale=100, size=(4, 256))
+        for bits in (2, 4, 8, 16):
+            q = quantize_to_bits(model, bits)
+            qmax = 2 ** (bits - 1) - 1
+            assert np.abs(q).max() <= qmax
+
+    def test_one_bit_is_sign(self):
+        model = np.array([[3.0, -0.5, 0.0]])
+        assert quantize_to_bits(model, 1).tolist() == [[1, -1, 1]]
+
+    def test_outliers_saturate_not_collapse(self):
+        """A single huge outlier must not zero out the rest (robust scale)."""
+        model = np.concatenate([np.full(999, 10.0), [1e6]])[None, :]
+        q = quantize_to_bits(model, 4)
+        # the bulk keeps resolution
+        assert np.abs(q[0][:999]).min() > 0
+
+    def test_zero_model(self):
+        assert (quantize_to_bits(np.zeros((2, 8)), 8) == 0).all()
+
+    def test_bad_bits(self):
+        with pytest.raises(ValueError):
+            quantize_to_bits(np.zeros((1, 4)), 0)
+
+
+class TestFaultInjection:
+    def test_zero_rate_is_identity(self):
+        rng = np.random.default_rng(1)
+        q = quantize_to_bits(rng.normal(size=(4, 64)), 8)
+        assert np.array_equal(inject_bitflips(q, 8, 0.0, rng), q)
+
+    def test_flip_rate_statistics(self):
+        rng = np.random.default_rng(2)
+        q = np.zeros((100, 100), dtype=np.int64)
+        corrupted = inject_bitflips(q, 8, 0.05, rng)
+        # expected fraction of changed words: 1 - (1-p)^8 ~ 0.337
+        changed = np.mean(corrupted != 0)
+        assert 0.25 < changed < 0.42
+
+    def test_values_stay_in_twos_complement_range(self):
+        rng = np.random.default_rng(3)
+        q = quantize_to_bits(rng.normal(size=(8, 128)), 4)
+        corrupted = inject_bitflips(q, 4, 0.2, rng)
+        assert corrupted.min() >= -8
+        assert corrupted.max() <= 7
+
+    def test_one_bit_flip_is_sign_flip(self):
+        rng = np.random.default_rng(4)
+        q = np.ones((10, 100), dtype=np.int64)
+        corrupted = inject_bitflips(q, 1, 0.5, rng)
+        assert set(np.unique(corrupted)) <= {-1, 1}
+        assert 0.3 < np.mean(corrupted == -1) < 0.7
+
+    def test_rate_range_checked(self):
+        with pytest.raises(ValueError):
+            inject_bitflips(np.zeros((1, 4), dtype=np.int64), 8, 1.5,
+                            np.random.default_rng(0))
+
+    def test_corrupt_model_pipeline(self):
+        rng = np.random.default_rng(5)
+        model = rng.normal(scale=50, size=(3, 256))
+        out = corrupt_model(model, 8, 0.02, rng)
+        assert out.shape == model.shape
+        assert out.dtype == np.float64
+
+    def test_flips_are_deterministic_per_seed(self):
+        q = quantize_to_bits(np.random.default_rng(6).normal(size=(4, 64)), 8)
+        a = inject_bitflips(q, 8, 0.1, np.random.default_rng(42))
+        b = inject_bitflips(q, 8, 0.1, np.random.default_rng(42))
+        assert np.array_equal(a, b)
+
+
+class TestEndToEndFaultInjection:
+    """Failure injection beyond the class memory: the encoder's level
+    table is also SRAM; flipping its bits should degrade gracefully
+    because each level contributes one of thousands of bundled bits."""
+
+    def test_level_table_bitflips_degrade_gracefully(self, toy_problem=None):
+        import numpy as np
+
+        from repro.core.classifier import HDClassifier
+        from repro.core.encoders import GenericEncoder
+        from repro.core.hypervector import to_binary, to_bipolar
+
+        rng = np.random.default_rng(3)
+        protos = rng.normal(scale=1.5, size=(3, 20))
+        y = rng.integers(0, 3, size=150)
+        X = protos[y] + rng.normal(scale=0.5, size=(150, 20))
+        enc = GenericEncoder(dim=512, num_levels=16, seed=4)
+        clf = HDClassifier(enc, epochs=3, seed=4).fit(X[:100], y[:100])
+        clean = clf.score(X[100:], y[100:])
+
+        # flip 2% of the level-table bits and re-encode the queries
+        bits = to_binary(enc.levels.vectors)
+        flips = rng.random(bits.shape) < 0.02
+        enc.levels.vectors = to_bipolar(bits ^ flips)
+        faulty = clf.score(X[100:], y[100:])
+        assert faulty > clean - 0.2
+        assert clean > 0.8
+
+    def test_massive_level_corruption_destroys_accuracy(self):
+        import numpy as np
+
+        from repro.core.classifier import HDClassifier
+        from repro.core.encoders import GenericEncoder
+        from repro.core.hypervector import to_binary, to_bipolar
+
+        rng = np.random.default_rng(5)
+        protos = rng.normal(scale=1.5, size=(3, 20))
+        y = rng.integers(0, 3, size=150)
+        X = protos[y] + rng.normal(scale=0.5, size=(150, 20))
+        enc = GenericEncoder(dim=512, num_levels=16, seed=4)
+        clf = HDClassifier(enc, epochs=3, seed=4).fit(X[:100], y[:100])
+
+        bits = to_binary(enc.levels.vectors)
+        flips = rng.random(bits.shape) < 0.5  # total scramble
+        enc.levels.vectors = to_bipolar(bits ^ flips)
+        assert clf.score(X[100:], y[100:]) < 0.7  # sanity: faults do matter

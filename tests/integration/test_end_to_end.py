@@ -1,0 +1,176 @@
+"""Integration tests spanning the full stack.
+
+These cover the paths a user of the library actually takes: train in
+software, export, run on the simulated ASIC; train on-device; cluster
+end to end; and the smallest version of each experiment module.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import model_io
+from repro.core.classifier import HDClassifier
+from repro.core.clustering import HDCluster
+from repro.core.encoders import GenericEncoder, make_encoder
+from repro.datasets import load_dataset, make_cluster_dataset
+from repro.eval.metrics import normalized_mutual_information
+from repro.hardware.accelerator import GenericAccelerator
+
+DIM = 256
+
+
+class TestSoftwareHardwareEquivalence:
+    """The simulator is functionally faithful to the library."""
+
+    @pytest.mark.parametrize("use_ids", [True, False])
+    def test_encoding_bit_exact(self, use_ids):
+        ds = load_dataset("CARDIO", "tiny")
+        enc = GenericEncoder(dim=DIM, seed=7, use_ids=use_ids)
+        clf = HDClassifier(enc, epochs=1, seed=7).fit(ds.X_train, ds.y_train)
+        acc = GenericAccelerator()
+        acc.load_image(model_io.export_model(clf))
+        for x in ds.X_test[:10]:
+            assert np.array_equal(acc.encoder.encode(x), enc.encode(x))
+
+    def test_offline_train_deploy_predict(self):
+        ds = load_dataset("PAGE", "tiny")
+        enc = GenericEncoder(dim=DIM, seed=7)
+        clf = HDClassifier(enc, epochs=5, seed=7).fit(ds.X_train, ds.y_train)
+        acc = GenericAccelerator()
+        acc.load_image(model_io.export_model(clf))
+        report = acc.infer(ds.X_test, exact_divider=True)
+        assert np.array_equal(report.predictions, clf.predict(ds.X_test))
+
+    def test_deploy_via_file(self, tmp_path):
+        ds = load_dataset("PAGE", "tiny")
+        enc = GenericEncoder(dim=DIM, seed=7)
+        clf = HDClassifier(enc, epochs=2, seed=7).fit(ds.X_train, ds.y_train)
+        path = tmp_path / "page.npz"
+        model_io.save_image(model_io.export_model(clf), path)
+        acc = GenericAccelerator()
+        acc.load_image(model_io.load_image(path))
+        report = acc.infer(ds.X_test[:20], exact_divider=True)
+        assert np.array_equal(report.predictions, clf.predict(ds.X_test[:20]))
+
+    def test_low_power_configuration_degrades_gracefully(self):
+        ds = load_dataset("MNIST", "tiny")
+        enc = GenericEncoder(dim=1024, seed=7)
+        clf = HDClassifier(enc, epochs=4, seed=7).fit(ds.X_train, ds.y_train)
+        acc = GenericAccelerator()
+        acc.load_image(model_io.export_model(clf), bitwidth=4)
+        full_energy = acc.infer(ds.X_test[:16]).energy_per_input_j
+        baseline_acc = np.mean(
+            acc.infer(ds.X_test, exact_divider=True).predictions == ds.y_test
+        )
+        acc.reduce_dimensions(256)
+        acc.set_voltage_overscaling(0.02)
+        lp = acc.infer(ds.X_test, exact_divider=True)
+        lp_acc = np.mean(lp.predictions == ds.y_test)
+        assert lp.energy_per_input_j < full_energy / 2
+        assert lp_acc > baseline_acc - 0.25
+
+
+class TestEndToEndLearning:
+    def test_generic_beats_weak_encoders_on_their_failure_modes(self):
+        """The Table 1 mechanisms, in miniature."""
+        lang = load_dataset("LANG", "tiny")
+        rp = HDClassifier(make_encoder("rp", dim=512, seed=1), epochs=4, seed=1)
+        rp.fit(lang.X_train, lang.y_train)
+        gen = HDClassifier(
+            make_encoder("generic", dim=512, seed=1, use_ids=False),
+            epochs=4, seed=1,
+        )
+        gen.fit(lang.X_train, lang.y_train)
+        assert gen.score(lang.X_test, lang.y_test) > rp.score(
+            lang.X_test, lang.y_test
+        ) + 0.3
+
+    def test_on_device_training_pipeline(self):
+        ds = load_dataset("PAGE", "tiny")
+        enc = GenericEncoder(dim=DIM, seed=9)
+        enc.fit(ds.X_train)
+        acc = GenericAccelerator()
+        from repro.hardware.spec import AppSpec, Mode
+
+        acc.configure(
+            AppSpec(dim=DIM, n_features=ds.n_features,
+                    n_classes=ds.n_classes, mode=Mode.TRAIN)
+        )
+        acc.load_tables(enc.levels.vectors, enc.id_generator.seed,
+                        enc.quantizer.lo, enc.quantizer.hi)
+        train = acc.train(ds.X_train, ds.y_train, epochs=4)
+        infer = acc.infer(ds.X_test, exact_divider=True)
+        assert np.mean(infer.predictions == ds.y_test) > 0.7
+        assert train.energy_j > infer.energy_j  # training is the bigger job
+
+    def test_software_and_hardware_clustering_agree(self):
+        X, y, k = make_cluster_dataset("Hepta", seed=3, scale=0.3)
+        sw = HDCluster(GenericEncoder(dim=512, seed=2), k=k, epochs=8, seed=2)
+        sw.fit(X)
+        sw_nmi = normalized_mutual_information(y, sw.labels_)
+
+        from repro.hardware.spec import AppSpec, Mode
+
+        acc = GenericAccelerator()
+        acc.configure(AppSpec(dim=512, n_features=X.shape[1],
+                              window=3, n_classes=max(2, k), mode=Mode.CLUSTER))
+        enc = GenericEncoder(dim=512, seed=2).fit(X)
+        acc.load_tables(enc.levels.vectors, enc.id_generator.seed,
+                        enc.quantizer.lo, enc.quantizer.hi)
+        hw = acc.cluster(X, k=k, epochs=8)
+        hw_nmi = normalized_mutual_information(y, hw.predictions)
+        assert sw_nmi > 0.7
+        assert hw_nmi > 0.7
+
+
+class TestExperimentModulesSmoke:
+    """Each experiment module runs end to end at the smallest scale."""
+
+    def test_table1_subset(self):
+        from repro.eval.experiments import table1
+
+        result = table1.run(
+            profile="tiny", dim=256, epochs=2, datasets=["PAGE"],
+            include_ml=False,
+        )
+        assert "PAGE" in result.data["table"]
+        assert len(result.rows) == 3  # dataset + Mean + STDV
+
+    def test_table2_subset(self):
+        from repro.eval.experiments import table2
+
+        result = table2.run(dim=256, epochs=4, scale=0.2, datasets=["Hepta"])
+        assert result.data["table"]["Hepta"]["hdc"] > 0.5
+
+    def test_fig5_subset(self):
+        from repro.eval.experiments import fig5
+
+        result = fig5.run(profile="tiny", dim=512, epochs=2, datasets=["EEG"])
+        assert "EEG" in result.data["curves"]
+
+    def test_fig6_subset(self):
+        from repro.eval.experiments import fig6
+
+        result = fig6.run(
+            profile="tiny", dim=256, epochs=2, datasets=["FACE"],
+            bitwidths=(8, 1), error_rates=(0.0, 0.05), trials=1,
+        )
+        assert result.data["curves"]["FACE"][8][0.0] > 0.5
+
+    def test_fig7_full(self):
+        from repro.eval.experiments import fig7
+
+        result = fig7.run(profile="tiny")
+        result.assert_claims()
+
+    def test_fig10_subset(self):
+        from repro.eval.experiments import fig10
+
+        result = fig10.run(dim=256, scale=0.15, datasets=["Hepta"])
+        assert result.data["per_dataset"]["Hepta"]["generic_j"] > 0
+
+    def test_ablation_power_gating(self):
+        from repro.eval.experiments import ablations
+
+        result = ablations.run_power_gating(profile="tiny")
+        result.assert_claims()

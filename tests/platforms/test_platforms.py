@@ -1,0 +1,137 @@
+"""Unit tests for the device models and workload builders."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import GenericEncoder, LevelIdEncoder
+from repro.platforms import (
+    DESKTOP_CPU,
+    EDGE_GPU,
+    PUBLISHED_ACCELERATORS,
+    RASPBERRY_PI,
+    Workload,
+    hdc_clustering_workload,
+    hdc_inference_workload,
+    hdc_training_workload,
+    ml_inference_workload,
+    ml_training_workload,
+)
+from repro.platforms.published import generic_lp_reference_energy_14nm
+
+
+@pytest.fixture(scope="module")
+def encoder():
+    rng = np.random.default_rng(0)
+    enc = GenericEncoder(dim=512, seed=1)
+    enc.fit(rng.normal(size=(10, 40)))
+    return enc
+
+
+class TestWorkload:
+    def test_addition(self):
+        a = Workload(flops=1, bitops=2, bytes_moved=3, sync_points=1)
+        b = Workload(flops=10, bitops=20, bytes_moved=30)
+        c = a + b
+        assert (c.flops, c.bitops, c.bytes_moved, c.sync_points) == (11, 22, 33, 1)
+
+    def test_scaling(self):
+        w = Workload(flops=4, bitops=8, bytes_moved=16, sync_points=2).scaled(0.5)
+        assert (w.flops, w.bitops, w.bytes_moved, w.sync_points) == (2, 4, 8, 1)
+
+
+class TestDeviceModels:
+    def test_energy_positive(self, encoder):
+        w = hdc_inference_workload(encoder, n_classes=4)
+        for dev in (RASPBERRY_PI, DESKTOP_CPU, EDGE_GPU):
+            assert dev.energy_j(w) > 0
+            assert dev.latency_s(w) > 0
+
+    def test_egpu_cheapest_for_hdc(self, encoder):
+        """The paper's Section 3.3 finding."""
+        w = hdc_inference_workload(encoder, n_classes=4)
+        e = {d.name: d.energy_j(w) for d in (RASPBERRY_PI, DESKTOP_CPU, EDGE_GPU)}
+        assert e["eGPU"] < e["CPU"] < e["Raspberry Pi"]
+
+    def test_bit_packing_matters(self):
+        """A bitop-heavy workload benefits much more on the eGPU."""
+        bit_heavy = Workload(bitops=1e9)
+        flop_heavy = Workload(flops=1e9)
+        ratio_bits = RASPBERRY_PI.energy_j(bit_heavy) / EDGE_GPU.energy_j(bit_heavy)
+        ratio_flops = RASPBERRY_PI.energy_j(flop_heavy) / EDGE_GPU.energy_j(flop_heavy)
+        assert ratio_bits > ratio_flops
+
+    def test_sync_points_add_latency(self):
+        w0 = Workload(flops=1e6)
+        w1 = Workload(flops=1e6, sync_points=100)
+        assert EDGE_GPU.latency_s(w1) > EDGE_GPU.latency_s(w0)
+        assert EDGE_GPU.energy_j(w1) > EDGE_GPU.energy_j(w0)
+
+    def test_report_keys(self, encoder):
+        w = hdc_inference_workload(encoder, n_classes=4)
+        report = DESKTOP_CPU.report(w)
+        assert set(report) == {"device", "energy_j", "latency_s"}
+
+
+class TestWorkloadBuilders:
+    def test_inference_scales_with_classes(self, encoder):
+        w2 = hdc_inference_workload(encoder, n_classes=2)
+        w32 = hdc_inference_workload(encoder, n_classes=32)
+        assert w32.flops > w2.flops
+
+    def test_training_exceeds_inference(self, encoder):
+        infer = hdc_inference_workload(encoder, n_classes=4)
+        train = hdc_training_workload(encoder, 4, n_train=100, epochs=5)
+        assert train.flops > 100 * infer.flops * 0.5
+
+    def test_training_sync_points(self, encoder):
+        train = hdc_training_workload(encoder, 4, n_train=100, epochs=5)
+        assert train.sync_points == 500
+
+    def test_clustering_workload(self, encoder):
+        w = hdc_clustering_workload(encoder, k=3, n_samples=50, epochs=4)
+        assert w.flops > 0
+        assert "cluster" in w.label
+
+    def test_generic_costs_more_than_level_id(self):
+        """Fig. 3: window processing makes GENERIC pricier on devices."""
+        rng = np.random.default_rng(1)
+        X = rng.normal(size=(10, 60))
+        g = GenericEncoder(dim=512, seed=1)
+        li = LevelIdEncoder(dim=512, seed=1)
+        g.fit(X)
+        li.fit(X)
+        wg = hdc_inference_workload(g, 4)
+        wl = hdc_inference_workload(li, 4)
+        assert wg.bitops > wl.bitops
+
+    def test_ml_builders(self):
+        from repro.baselines.common import ComputeProfile
+
+        p = ComputeProfile(1000, 10, 5000, 50)
+        assert ml_inference_workload(p).flops == 10
+        assert ml_training_workload(p).flops == 1000
+
+
+class TestPublished:
+    def test_registry_contents(self):
+        assert "tiny-hd-date21" in PUBLISHED_ACCELERATORS
+        assert "datta-jetcas19" in PUBLISHED_ACCELERATORS
+
+    def test_paper_ratios_at_14nm(self):
+        lp = generic_lp_reference_energy_14nm()
+        tiny = PUBLISHED_ACCELERATORS["tiny-hd-date21"].energy_at_node(14)
+        datta = PUBLISHED_ACCELERATORS["datta-jetcas19"].energy_at_node(14)
+        assert tiny / lp == pytest.approx(4.1, rel=1e-6)
+        assert datta / lp == pytest.approx(15.7, rel=1e-6)
+
+    def test_native_energy_larger_than_14nm(self):
+        for acc in PUBLISHED_ACCELERATORS.values():
+            assert acc.energy_per_input_j > acc.energy_at_node(14)
+
+    def test_training_support_flags(self):
+        assert PUBLISHED_ACCELERATORS["datta-jetcas19"].supports_training
+        assert not PUBLISHED_ACCELERATORS["tiny-hd-date21"].supports_training
+
+    def test_lp_reference_in_sane_range(self):
+        lp = generic_lp_reference_energy_14nm()
+        assert 1e-10 < lp < 1e-6  # sub-uJ per input

@@ -1,0 +1,59 @@
+"""Property-based invariants of the device cost models."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.platforms import DESKTOP_CPU, EDGE_GPU, RASPBERRY_PI, Workload
+
+DEVICES = (RASPBERRY_PI, DESKTOP_CPU, EDGE_GPU)
+
+counts = st.floats(min_value=0.0, max_value=1e12, allow_nan=False)
+
+
+@given(flops=counts, bitops=counts, bytes_=counts, syncs=st.floats(0, 1e6))
+@settings(max_examples=60, deadline=None)
+def test_energy_and_latency_nonnegative(flops, bitops, bytes_, syncs):
+    w = Workload(flops=flops, bitops=bitops, bytes_moved=bytes_, sync_points=syncs)
+    for dev in DEVICES:
+        assert dev.energy_j(w) >= 0.0
+        assert dev.latency_s(w) >= 0.0
+
+
+@given(flops=counts, extra=st.floats(min_value=1.0, max_value=1e10))
+@settings(max_examples=60, deadline=None)
+def test_more_work_never_costs_less(flops, extra):
+    base = Workload(flops=flops, bitops=flops / 2, bytes_moved=flops / 4)
+    bigger = Workload(
+        flops=flops + extra, bitops=flops / 2 + extra, bytes_moved=flops / 4 + extra
+    )
+    for dev in DEVICES:
+        assert dev.energy_j(bigger) >= dev.energy_j(base)
+        assert dev.latency_s(bigger) >= dev.latency_s(base)
+
+
+@given(flops=counts, factor=st.floats(min_value=0.0, max_value=100.0))
+@settings(max_examples=60, deadline=None)
+def test_scaling_is_linear(flops, factor):
+    w = Workload(flops=flops, bitops=flops, bytes_moved=flops, sync_points=3.0)
+    s = w.scaled(factor)
+    assert s.flops == flops * factor
+    assert s.bitops == flops * factor
+    assert s.bytes_moved == flops * factor
+    assert s.sync_points == 3.0 * factor
+
+
+@given(a=counts, b=counts)
+@settings(max_examples=40, deadline=None)
+def test_workload_addition_adds_fields(a, b):
+    total = Workload(flops=a) + Workload(flops=b, bitops=b)
+    assert total.flops == a + b
+    assert total.bitops == b
+
+
+@given(bitops=st.floats(min_value=1e6, max_value=1e12))
+@settings(max_examples=40, deadline=None)
+def test_packing_hierarchy_on_bit_workloads(bitops):
+    """For pure bit-level work the eGPU always beats the CPU, which
+    always beats the Pi (the Section 3.3 ordering)."""
+    w = Workload(bitops=bitops)
+    assert EDGE_GPU.energy_j(w) < DESKTOP_CPU.energy_j(w) < RASPBERRY_PI.energy_j(w)

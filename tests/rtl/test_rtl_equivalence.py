@@ -1,0 +1,141 @@
+"""Cross-validation: the RTL twin against the functional models.
+
+These are the Modelsim-style checks of the paper's flow: the clocked
+pipeline must compute exactly what the algorithm specifies.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import model_io
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.hardware import controller
+from repro.hardware.accelerator import GenericAccelerator
+from repro.hardware.params import ArchParams
+from repro.hardware.spec import AppSpec
+from repro.rtl import GenericRTL
+
+DIM = 128
+LANES = 16
+
+
+@pytest.fixture(scope="module")
+def small_problem():
+    rng = np.random.default_rng(31)
+    protos = rng.normal(scale=1.5, size=(3, 12))
+    y = rng.integers(0, 3, size=90)
+    X = protos[y] + rng.normal(scale=0.5, size=(90, 12))
+    return X, y
+
+
+@pytest.fixture(scope="module", params=[True, False], ids=["ids", "no-ids"])
+def rtl_and_reference(request, small_problem):
+    X, y = small_problem
+    enc = GenericEncoder(dim=DIM, num_levels=8, seed=13, window=3,
+                         use_ids=request.param)
+    clf = HDClassifier(enc, epochs=3, seed=13, norm_block=64)
+    clf.fit(X, y)
+    image = model_io.export_model(clf)
+    rtl = GenericRTL(lanes=LANES, norm_block=64).load_image(image)
+    return rtl, clf, image, X, y
+
+
+class TestEncodingEquivalence:
+    def test_bit_exact_with_software(self, rtl_and_reference):
+        rtl, clf, _, X, _ = rtl_and_reference
+        for x in X[:8]:
+            result = rtl.infer_one(x)
+            expected = clf.encoder.encode(x)
+            assert np.array_equal(result.encoding, expected)
+
+    def test_every_pass_contributes_m_dims(self, rtl_and_reference):
+        rtl, _, _, X, _ = rtl_and_reference
+        result = rtl.infer_one(X[0])
+        assert len(result.pass_cycles) == DIM // LANES
+
+
+class TestPredictionEquivalence:
+    def test_matches_functional_accelerator(self, rtl_and_reference):
+        rtl, clf, image, X, _ = rtl_and_reference
+        acc = GenericAccelerator()
+        acc.load_image(image)
+        functional = acc.infer(X[:12]).predictions
+        structural = [rtl.infer_one(x).prediction for x in X[:12]]
+        assert np.array_equal(np.asarray(structural), functional)
+
+    def test_scores_match_search_unit(self, rtl_and_reference):
+        rtl, clf, image, X, _ = rtl_and_reference
+        acc = GenericAccelerator()
+        acc.load_image(image)
+        x = X[0]
+        rtl_result = rtl.infer_one(x)
+        encoding = acc.encoder.encode(x).astype(np.float64)
+        functional_scores = acc.search.scores(encoding)
+        assert np.allclose(rtl_result.scores, functional_scores, rtol=1e-9)
+
+
+class TestCycleAgreement:
+    def test_cycles_track_analytical_model(self, rtl_and_reference):
+        """The closed-form controller model predicts the RTL cycle count
+        within a small factor (pipeline-fill bookkeeping differs)."""
+        rtl, clf, image, X, _ = rtl_and_reference
+        params = ArchParams(lanes=LANES, norm_block=64)
+        spec = AppSpec(
+            dim=DIM, n_features=X.shape[1], window=3,
+            n_classes=3, use_ids=image.use_ids,
+        )
+        analytical, _ = controller.inference(spec, params)
+        measured = rtl.infer_one(X[0]).cycles
+        assert 0.5 < measured / analytical < 2.0
+
+    def test_cycles_scale_with_dim(self, small_problem):
+        X, y = small_problem
+        cycles = {}
+        for dim in (64, 128):
+            enc = GenericEncoder(dim=dim, num_levels=8, seed=13)
+            clf = HDClassifier(enc, epochs=1, seed=13, norm_block=64)
+            clf.fit(X, y)
+            rtl = GenericRTL(lanes=LANES, norm_block=64).load_image(
+                model_io.export_model(clf)
+            )
+            cycles[dim] = rtl.infer_one(X[0]).cycles
+        assert cycles[128] > cycles[64]
+
+
+class TestSramTraffic:
+    def test_class_memory_reads_match_structure(self, rtl_and_reference):
+        """Every pass reads n_C rows from each of the m class memories."""
+        rtl, _, _, X, _ = rtl_and_reference
+        for mem in rtl.search.class_mems:
+            mem.reset_counters()
+        rtl.infer_one(X[0])
+        passes = DIM // LANES
+        for mem in rtl.search.class_mems:
+            assert mem.reads == passes * 3  # n_C = 3 rows per pass
+
+    def test_seed_reads_once_per_m_windows(self, small_problem):
+        X, y = small_problem
+        enc = GenericEncoder(dim=DIM, num_levels=8, seed=13, use_ids=True)
+        clf = HDClassifier(enc, epochs=1, seed=13, norm_block=64)
+        clf.fit(X, y)
+        rtl = GenericRTL(lanes=LANES, norm_block=64).load_image(
+            model_io.export_model(clf)
+        )
+        rtl.encoder.seed_reads = 0
+        rtl.infer_one(X[0])
+        n_windows = X.shape[1] - 3 + 1
+        passes = DIM // LANES
+        expected = passes * -(-n_windows // LANES)
+        assert rtl.encoder.seed_reads == expected
+
+
+class TestProgrammingErrors:
+    def test_use_before_load(self):
+        with pytest.raises(RuntimeError):
+            GenericRTL().infer_one(np.zeros(4))
+
+    def test_dim_lane_mismatch(self, rtl_and_reference):
+        _, _, image, _, _ = rtl_and_reference
+        with pytest.raises(ValueError):
+            GenericRTL(lanes=48).load_image(image)

@@ -1,0 +1,174 @@
+"""RTL training/clustering: cross-validation against the functional model."""
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import GenericEncoder
+from repro.eval.metrics import normalized_mutual_information
+from repro.hardware.accelerator import GenericAccelerator
+from repro.hardware.spec import AppSpec, Mode
+from repro.rtl.train_top import GenericRTLTrainer
+from repro.rtl.trace import Trace
+
+DIM = 128
+LANES = 16
+
+
+@pytest.fixture(scope="module")
+def problem():
+    rng = np.random.default_rng(41)
+    protos = rng.normal(scale=1.6, size=(3, 10))
+    y = rng.integers(0, 3, size=60)
+    X = protos[y] + rng.normal(scale=0.5, size=(60, 10))
+    return X, y
+
+
+@pytest.fixture(scope="module")
+def tables(problem):
+    X, _ = problem
+    enc = GenericEncoder(dim=DIM, num_levels=8, seed=17)
+    enc.fit(X)
+    return enc
+
+
+def make_trainer(tables, n_classes=3, with_copy=False, trace=None):
+    trainer = GenericRTLTrainer(lanes=LANES, norm_block=64, trace=trace)
+    trainer.configure(
+        dim=DIM,
+        n_features=tables.n_features,
+        n_classes=n_classes,
+        level_table=tables.levels.vectors,
+        seed_id=tables.id_generator.seed,
+        lo=tables.quantizer.lo,
+        hi=tables.quantizer.hi,
+        with_copy_set=with_copy,
+    )
+    return trainer
+
+
+class TestRTLTraining:
+    def test_matches_functional_accelerator_model(self, problem, tables):
+        """Same order, same rule -> identical class matrices."""
+        X, y = problem
+        trainer = make_trainer(tables)
+        trainer.train(X, y, epochs=3, seed=11)
+
+        acc = GenericAccelerator()
+        acc.configure(AppSpec(dim=DIM, n_features=X.shape[1], n_classes=3,
+                              mode=Mode.TRAIN))
+        acc.load_tables(tables.levels.vectors, tables.id_generator.seed,
+                        tables.quantizer.lo, tables.quantizer.hi)
+        acc.train(X, y, epochs=3, seed=11)
+
+        for c in range(3):
+            rtl_class = trainer.learn.read_class(c)
+            assert np.array_equal(rtl_class, acc.search.classes[c].astype(np.int64))
+
+    def test_predictions_match_functional(self, problem, tables):
+        X, y = problem
+        trainer = make_trainer(tables)
+        trainer.train(X, y, epochs=3, seed=11)
+
+        acc = GenericAccelerator()
+        acc.configure(AppSpec(dim=DIM, n_features=X.shape[1], n_classes=3))
+        acc.load_tables(tables.levels.vectors, tables.id_generator.seed,
+                        tables.quantizer.lo, tables.quantizer.hi)
+        acc.train(X, y, epochs=3, seed=11)
+
+        rtl_preds = trainer.infer(X[:20])
+        func_preds = acc.infer(X[:20]).predictions
+        assert np.array_equal(rtl_preds, func_preds)
+
+    def test_learns_the_problem(self, problem, tables):
+        X, y = problem
+        trainer = make_trainer(tables)
+        report = trainer.train(X, y, epochs=4, seed=2)
+        assert report.inputs == len(X)
+        preds = trainer.infer(X)
+        assert np.mean(preds == y) > 0.85
+
+    def test_label_capacity_checked(self, problem, tables):
+        X, _ = problem
+        trainer = make_trainer(tables, n_classes=2)
+        with pytest.raises(ValueError):
+            trainer.train(X, np.arange(len(X)) % 3, epochs=1)
+
+    def test_use_before_configure(self):
+        with pytest.raises(RuntimeError):
+            GenericRTLTrainer().train(np.zeros((2, 4)), [0, 1])
+
+    def test_trace_records_learning_events(self, problem, tables):
+        X, y = problem
+        trace = Trace()
+        trainer = make_trainer(tables, trace=trace)
+        trainer.train(X[:20], y[:20], epochs=2, seed=3)
+        assert trace.count("class_rmw") > 0
+        assert trace.count("norm_refresh") >= 3
+        rendered = trace.render(width=60)
+        assert "class_rmw" in rendered
+
+
+class TestRTLClustering:
+    def test_clusters_blobs(self, tables):
+        rng = np.random.default_rng(5)
+        centers = np.array([[0.0] * 10, [5.0] * 10])
+        y = rng.integers(0, 2, size=40)
+        X = centers[y] + rng.normal(scale=0.4, size=(40, 10))
+        # refit tables on this data's range
+        enc = GenericEncoder(dim=DIM, num_levels=8, seed=17)
+        enc.fit(X)
+        trainer = make_trainer(enc, n_classes=2, with_copy=True)
+        report = trainer.cluster(X, k=2, epochs=6)
+        assert normalized_mutual_information(y, report.labels) > 0.7
+
+    def test_requires_copy_set(self, problem, tables):
+        X, _ = problem
+        trainer = make_trainer(tables, with_copy=False)
+        with pytest.raises(RuntimeError, match="copy"):
+            trainer.cluster(X, k=2)
+
+    def test_k_bounds_checked(self, problem, tables):
+        X, _ = problem
+        trainer = make_trainer(tables, n_classes=3, with_copy=True)
+        with pytest.raises(ValueError):
+            trainer.cluster(X, k=5)
+        with pytest.raises(ValueError):
+            trainer.cluster(X[:1], k=3)
+
+
+class TestLearnUnitPrimitives:
+    def test_row_budget_includes_temp_and_copy(self):
+        from repro.rtl.learn import RTLLearnUnit
+
+        unit = RTLLearnUnit(dim=64, lanes=16, n_classes=3, with_copy_set=True,
+                            norm_block=64)
+        # 3 active + 3 copy + 1 temp slots per pass, 4 passes
+        assert unit.class_mems[0].rows == 4 * 7
+
+    def test_update_from_temp_applies_sign(self):
+        from repro.rtl.learn import RTLLearnUnit
+
+        unit = RTLLearnUnit(dim=32, lanes=16, n_classes=2, norm_block=32)
+        enc = np.arange(32, dtype=np.int64)
+        for p in range(2):
+            unit.store_temp(p, enc[p * 16 : (p + 1) * 16])
+        unit.apply_update_from_temp(0, sign=-1)
+        assert np.array_equal(unit.read_class(0), -enc)
+
+    def test_norm_refresh_matches_numpy(self):
+        from repro.rtl.learn import RTLLearnUnit
+
+        unit = RTLLearnUnit(dim=64, lanes=16, n_classes=2, norm_block=32)
+        enc = np.arange(64, dtype=np.int64) - 32
+        for p in range(4):
+            unit.store_temp(p, enc[p * 16 : (p + 1) * 16])
+        unit.apply_update_from_temp(1, sign=+1)
+        unit.refresh_norm(1)
+        assert unit.norms()[1] == float((enc * enc).sum())
+
+    def test_copy_slot_requires_copy_set(self):
+        from repro.rtl.learn import RTLLearnUnit
+
+        unit = RTLLearnUnit(dim=32, lanes=16, n_classes=2, norm_block=32)
+        with pytest.raises(RuntimeError):
+            unit.apply_update_from_temp(0, sign=1, copy_set=True)

@@ -1,0 +1,102 @@
+"""Unit tests for the RTL primitives."""
+
+import numpy as np
+import pytest
+
+from repro.rtl.signals import Register, RegisterFile, clock_edge
+from repro.rtl.sram import SyncSRAM
+
+
+class TestRegister:
+    def test_two_phase_update(self):
+        r = Register("r", 0)
+        r.set_next(5)
+        assert r.value == 0  # not visible before the edge
+        r.tick()
+        assert r.value == 5
+
+    def test_tick_without_schedule_is_noop(self):
+        r = Register("r", 3)
+        r.tick()
+        assert r.value == 3
+
+    def test_reset(self):
+        r = Register("r", 7)
+        r.set_next(1)
+        r.tick()
+        r.reset()
+        assert r.value == 7
+
+    def test_array_values_are_copied(self):
+        arr = np.array([1, 2, 3])
+        r = Register("r", arr)
+        arr[0] = 99
+        assert r.value[0] == 1
+        r.set_next(arr)
+        arr[1] = 98
+        r.tick()
+        assert r.value[1] == 2
+
+    def test_register_file_ticks_all(self):
+        rf = RegisterFile()
+        a = rf.new("a", 0)
+        b = rf.new("b", 0)
+        a.set_next(1)
+        b.set_next(2)
+        clock_edge(rf)
+        assert (a.value, b.value) == (1, 2)
+
+
+class TestSyncSRAM:
+    def test_read_latency_one_cycle(self):
+        mem = SyncSRAM("m", rows=4, width=2)
+        mem.load(np.array([[1, 2], [3, 4], [5, 6], [7, 8]]))
+        mem.issue_read(2)
+        mem.tick()
+        assert mem.read_data.tolist() == [5, 6]
+
+    def test_write_commits_at_edge(self):
+        mem = SyncSRAM("m", rows=2, width=1)
+        mem.issue_write(1, np.array([9]))
+        assert mem.data[1, 0] == 0
+        mem.tick()
+        assert mem.data[1, 0] == 9
+
+    def test_single_port_conflict(self):
+        mem = SyncSRAM("m", rows=2, width=1)
+        mem.issue_read(0)
+        with pytest.raises(RuntimeError):
+            mem.issue_write(1, np.array([1]))
+        mem.tick()
+        mem.issue_write(1, np.array([1]))
+        with pytest.raises(RuntimeError):
+            mem.issue_read(0)
+
+    def test_access_counters(self):
+        mem = SyncSRAM("m", rows=2, width=1)
+        mem.issue_write(0, np.array([1]))
+        mem.tick()
+        mem.issue_read(0)
+        mem.tick()
+        assert (mem.reads, mem.writes) == (1, 1)
+        mem.reset_counters()
+        assert (mem.reads, mem.writes) == (0, 0)
+
+    def test_bounds_checked(self):
+        mem = SyncSRAM("m", rows=2, width=1)
+        with pytest.raises(IndexError):
+            mem.issue_read(5)
+        with pytest.raises(IndexError):
+            mem.issue_write(-1, np.array([0]))
+
+    def test_read_before_any_read_raises(self):
+        mem = SyncSRAM("m", rows=2, width=1)
+        with pytest.raises(RuntimeError):
+            _ = mem.read_data
+
+    def test_load_shape_checked(self):
+        mem = SyncSRAM("m", rows=2, width=2)
+        with pytest.raises(ValueError):
+            mem.load(np.zeros((3, 2)))
+        with pytest.raises(ValueError):
+            mem.load(np.zeros((2, 3)))

@@ -1,0 +1,62 @@
+"""Unit tests for the RTL trace recorder."""
+
+from repro.rtl.trace import Trace, TraceEvent
+
+
+class TestTrace:
+    def test_record_and_query(self):
+        t = Trace()
+        t.record(0, "a")
+        t.record(3, "b", value=7)
+        t.record(5, "a")
+        assert t.count("a") == 2
+        assert t.count("b") == 1
+        assert t.of("b")[0].value == 7
+        assert t.last_cycle() == 5
+
+    def test_signal_order_is_first_seen(self):
+        t = Trace()
+        t.record(1, "z")
+        t.record(2, "a")
+        assert t.signals() == ["z", "a"]
+
+    def test_disabled_trace_records_nothing(self):
+        t = Trace(enabled=False)
+        t.record(0, "a")
+        assert t.events == []
+
+    def test_between_slices_by_cycle(self):
+        t = Trace()
+        for c in range(10):
+            t.record(c, "s")
+        sliced = t.between(3, 6)
+        assert [e.cycle for e in sliced.events] == [3, 4, 5]
+
+    def test_render_empty(self):
+        assert Trace().render() == "(empty trace)"
+
+    def test_render_shows_marks(self):
+        t = Trace()
+        t.record(0, "sig")
+        t.record(9, "sig")
+        out = t.render(width=10)
+        row = next(l for l in out.splitlines() if l.startswith("sig"))
+        assert row.count("#") == 2
+        assert "cycles 0..9" in out
+
+    def test_render_compresses_long_traces(self):
+        t = Trace()
+        for c in range(0, 1000, 10):
+            t.record(c, "s")
+        out = t.render(width=50)
+        row = next(l for l in out.splitlines() if l.startswith("s "))
+        assert len(row.split("|")[1]) == 50
+
+    def test_events_are_immutable(self):
+        e = TraceEvent(1, "x", 2)
+        try:
+            e.cycle = 5
+            raised = False
+        except Exception:
+            raised = True
+        assert raised
