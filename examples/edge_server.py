@@ -1,0 +1,133 @@
+"""Edge serving: micro-batching, hot swap, and load-driven dim shedding.
+
+The paper ships a learning engine; a gateway deploying it still needs a
+*service* around the model: something that coalesces concurrent sensor
+requests into batches, survives a model retrain without downtime, and
+degrades gracefully when a traffic spike outruns the hardware.
+:mod:`repro.serve` provides exactly that, and its overload valve is the
+paper's own Section 4.3.3 mechanism -- on-demand dimension reduction
+with exact per-128-dim sub-norms -- driven by live queue depth instead
+of a static spec.
+
+This example trains a model on a synthetic workload, registers it,
+fires concurrent traffic from many client threads (calm, then a spike),
+hot-swaps in a retrained bit-packed model, and prints the metrics
+summary the server kept the whole time.
+
+Run with::
+
+    python examples/edge_server.py
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+
+import numpy as np
+
+from repro import GenericEncoder, HDClassifier, PackedModel
+from repro.serve import InferenceServer, ServeConfig
+
+
+def make_problem(seed: int = 7, n_features: int = 24, n_classes: int = 4):
+    rng = np.random.default_rng(seed)
+    protos = rng.normal(scale=1.5, size=(n_classes, n_features))
+    y = rng.integers(0, n_classes, size=400)
+    X = protos[y] + rng.normal(scale=0.6, size=(400, n_features))
+    return X[:300], y[:300], X[300:], y[300:]
+
+
+def fire_clients(server, X, n_clients: int, requests_each: int,
+                 pace: float = 0.0):
+    """Concurrent client threads hammering ``submit``; returns predictions.
+
+    ``pace`` sleeps between a client's submissions -- 0 means each
+    client fires as fast as it can (a spike).
+    """
+    results = [None] * n_clients
+
+    def client(idx):
+        futures = []
+        for i in range(requests_each):
+            futures.append(server.submit("activity", X[(idx + i) % len(X)]))
+            if pace:
+                time.sleep(pace)
+        results[idx] = [f.result(timeout=30.0) for f in futures]
+
+    threads = [threading.Thread(target=client, args=(i,))
+               for i in range(n_clients)]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    return [p for client_preds in results for p in client_preds]
+
+
+def main() -> None:
+    X_train, y_train, X_live, _ = make_problem()
+
+    print("== train ==")
+    enc = GenericEncoder(dim=2048, num_levels=16, seed=7)
+    clf = HDClassifier(enc, epochs=5, seed=7).fit(X_train, y_train)
+    print(f"trained: dim={enc.dim}, classes={clf.n_classes}, "
+          f"train acc={clf.report_.final_train_accuracy:.3f}")
+
+    server = InferenceServer(ServeConfig(
+        max_batch=8,
+        n_workers=1,          # a modest edge node
+        queue_high=8,         # shed early so the spike is visible
+        queue_low=1,
+        shed_cooldown=0.005,
+    ))
+    server.register("activity", clf)
+
+    with server:
+        print("\n== calm traffic (4 clients x 20 requests, paced) ==")
+        calm = fire_clients(server, X_live, n_clients=4, requests_each=20,
+                            pace=0.01)
+        calm_dims = sorted({p.dim for p in calm})
+        print(f"served {len(calm)} requests at dims {calm_dims}, "
+              f"shed level now {server.policy.level}")
+
+        print("\n== traffic spike (32 clients x 25 requests) ==")
+        spike = fire_clients(server, X_live, n_clients=32, requests_each=25)
+        spike_dims = sorted({p.dim for p in spike})
+        shed = sum(1 for p in spike if p.dim < enc.dim)
+        print(f"served {len(spike)} requests at dims {spike_dims}; "
+              f"{shed} predictions shed below {enc.dim} dims "
+              f"(max level seen {server.policy.max_level_seen})")
+
+        print("\n== hot swap: retrained + bit-packed model, no downtime ==")
+        packed = PackedModel.from_classifier(clf)
+        dep = server.register("activity", packed)
+        swapped = fire_clients(server, X_live, n_clients=2, requests_each=10)
+        print(f"deployment now kind={dep.kind} v{dep.version}; "
+              f"served {len(swapped)} requests from the packed model "
+              f"({packed.model_bytes() / 1024:.1f} KB, "
+              f"{packed.compression_vs_16bit():.0f}x smaller)")
+
+        server.wait_idle()
+        stats = server.stats()
+
+    print("\n== metrics summary ==")
+    h = stats["histograms"]
+    for stage in ("queue_wait", "encode", "search", "total"):
+        s = h[stage]
+        print(f"  {stage:<10} p50 {s['p50_s'] * 1e3:7.3f} ms   "
+              f"p95 {s['p95_s'] * 1e3:7.3f} ms   (n={s['count']})")
+    print(f"  batch size p95: {h['batch_size']['p95_s']:.0f} "
+          f"(max {h['batch_size']['max_s']:.0f})")
+    c = stats["counters"]
+    print(f"  served {c['served']}, rejected {c.get('rejected', 0)}, "
+          f"shed predictions {c.get('shed_predictions', 0)}")
+    print(f"  shed events {stats['policy']['shed_events']}, "
+          f"recoveries {stats['policy']['recover_events']}, "
+          f"max level {stats['policy']['max_level_seen']}")
+    print("\nUnder the spike the server dropped dimensions in 128-dim steps "
+          "(exact SubNormTable prefix norms, Section 4.3.3) instead of "
+          "letting the queue -- and tail latency -- grow without bound.")
+
+
+if __name__ == "__main__":
+    main()

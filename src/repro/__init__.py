@@ -16,10 +16,15 @@ The package splits the paper's system into four layers:
   the evaluation substrate: synthetic stand-ins for the paper's
   benchmarks, device energy models, and one experiment module per table
   and figure.
+- :mod:`repro.serve` -- a micro-batching inference service over trained
+  models with load-shedding via the paper's on-demand dimension
+  reduction (imported lazily; see :class:`repro.serve.InferenceServer`).
 """
 
 from repro.core.classifier import HDClassifier
 from repro.core.clustering import HDCluster
+from repro.core.online import AdaptiveHDClassifier
+from repro.core.packed import PackedModel
 from repro.core.encoders import (
     GenericEncoder,
     LevelIdEncoder,
@@ -32,10 +37,12 @@ from repro.hardware.accelerator import GenericAccelerator
 from repro.version import __version__
 
 __all__ = [
+    "AdaptiveHDClassifier",
     "GenericAccelerator",
     "GenericEncoder",
     "HDClassifier",
     "HDCluster",
+    "PackedModel",
     "LevelIdEncoder",
     "NgramEncoder",
     "PermutationEncoder",

@@ -87,23 +87,66 @@ class PackedModel:
 
     # -- inference --------------------------------------------------------------
 
-    def _encode_packed(self, X: np.ndarray) -> np.ndarray:
+    def encode_packed(self, X: np.ndarray) -> np.ndarray:
+        """Encode raw inputs to sign-quantized packed query words.
+
+        Exposed separately from :meth:`predict` so batch servers (see
+        :mod:`repro.serve`) can time and schedule the encode and search
+        stages independently.
+        """
         encodings = self.encoder.encode_batch(np.atleast_2d(X))
         signs = np.where(encodings >= 0, 1, -1).astype(np.int8)
         return pack_bits(to_binary(signs))
 
-    def hamming_to_classes(self, query_words: np.ndarray) -> np.ndarray:
-        """(N, n_classes) Hamming distances of packed queries to classes."""
-        q = np.atleast_2d(query_words)
-        return packed_hamming(q[:, None, :], self.class_words[None, :, :])
+    # backwards-compatible private alias
+    _encode_packed = encode_packed
 
-    def predict(self, X: np.ndarray) -> np.ndarray:
-        """Classify by minimum Hamming distance (max binary cosine)."""
-        distances = self.hamming_to_classes(self._encode_packed(X))
+    def _words_for_dim(self, dim: Optional[int]) -> Optional[int]:
+        """Word count covering a reduced prefix of ``dim`` dimensions."""
+        if dim is None or dim == self.dim:
+            return None
+        if dim % _WORD != 0:
+            raise ValueError(
+                f"reduced dim {dim} must be a multiple of {_WORD} for packed search"
+            )
+        if not 0 < dim <= self.dim:
+            raise ValueError(f"reduced dim {dim} out of range (0, {self.dim}]")
+        return dim // _WORD
+
+    def hamming_to_classes(
+        self, query_words: np.ndarray, dim: Optional[int] = None
+    ) -> np.ndarray:
+        """(N, n_classes) Hamming distances of packed queries to classes.
+
+        With ``dim`` set, only the first ``dim`` dimensions (a whole
+        number of 64-bit words) participate -- the packed counterpart of
+        the paper's on-demand dimension reduction.  Binary prefix norms
+        are exact by construction (every surviving dimension contributes
+        exactly one bit), so reduced-dimension rankings need no
+        correction table.
+        """
+        q = np.atleast_2d(query_words)
+        words = self._words_for_dim(dim)
+        if words is None:
+            return packed_hamming(q[:, None, :], self.class_words[None, :, :])
+        return packed_hamming(
+            q[:, None, :words], self.class_words[None, :, :words]
+        )
+
+    def predict_packed(
+        self, query_words: np.ndarray, dim: Optional[int] = None
+    ) -> np.ndarray:
+        """Classify pre-packed queries by minimum (prefix) Hamming distance."""
+        distances = self.hamming_to_classes(query_words, dim=dim)
         return self.class_labels[np.argmin(distances, axis=1)]
 
-    def score(self, X: np.ndarray, y: np.ndarray) -> float:
-        return float(np.mean(self.predict(X) == np.asarray(y)))
+    def predict(self, X: np.ndarray, dim: Optional[int] = None) -> np.ndarray:
+        """Classify by minimum Hamming distance (max binary cosine)."""
+        return self.predict_packed(self.encode_packed(X), dim=dim)
+
+    def score(self, X: np.ndarray, y: np.ndarray,
+              dim: Optional[int] = None) -> float:
+        return float(np.mean(self.predict(X, dim=dim) == np.asarray(y)))
 
     # -- footprint ---------------------------------------------------------------
 

@@ -1,0 +1,65 @@
+"""Micro-batching: coalesce queued requests into inference batches.
+
+Batched encode + packed search amortizes per-call overhead (NumPy
+dispatch here; kernel launches on the paper's eGPU -- its 20 us sync
+latency in :mod:`repro.platforms.egpu` is exactly why HDC serving wants
+batches).  The batcher implements the classic two-knob policy:
+
+- ``max_batch``: never return more than this many requests at once;
+- ``max_wait``: after the *first* request of a batch arrives, wait at
+  most this long for followers before dispatching.
+
+Under light load batches are mostly singletons dispatched immediately
+(the first request never waits for ``max_wait`` unless followers might
+still arrive); under heavy load batches fill to ``max_batch`` without
+waiting at all, so throughput rises exactly when it is needed.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import List, Optional
+
+from repro.serve.queue import Request, RequestQueue
+
+
+class MicroBatcher:
+    """Pulls coalesced batches off a :class:`RequestQueue`."""
+
+    def __init__(self, queue: RequestQueue, max_batch: int = 32,
+                 max_wait: float = 0.002):
+        if max_batch <= 0:
+            raise ValueError(f"max_batch must be positive, got {max_batch}")
+        if max_wait < 0:
+            raise ValueError(f"max_wait must be >= 0, got {max_wait}")
+        self.queue = queue
+        self.max_batch = max_batch
+        self.max_wait = max_wait
+
+    def next_batch(self, timeout: Optional[float] = None) -> List[Request]:
+        """Blocking: one batch of 1..max_batch requests, or ``[]``.
+
+        ``timeout`` bounds the wait for the *first* request (so worker
+        loops can poll their stop flag); ``max_wait`` then bounds the
+        linger for followers.  Returns ``[]`` on timeout or when the
+        queue is closed and drained.
+        """
+        first = self.queue.get(timeout=timeout)
+        if first is None:
+            return []
+        batch = [first]
+        deadline = time.monotonic() + self.max_wait
+        while len(batch) < self.max_batch:
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                # linger expired -- grab whatever is already queued, no wait
+                nxt = self.queue.get(timeout=0)
+                if nxt is None:
+                    break
+                batch.append(nxt)
+                continue
+            nxt = self.queue.get(timeout=remaining)
+            if nxt is None:
+                break
+            batch.append(nxt)
+        return batch

@@ -1,0 +1,106 @@
+"""Bounded, closable request queue for the serving layer.
+
+The queue is the admission-control point of the service: it is bounded
+(a full queue rejects rather than buffers unboundedly, the first line
+of load shedding) and closable (shutdown wakes every blocked consumer
+instead of leaking worker threads).
+
+A :class:`Request` carries the raw feature vector, the target model
+name, a ``concurrent.futures.Future`` the caller waits on, and its
+enqueue timestamp so queue-wait latency is measurable per request.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from concurrent.futures import Future
+from dataclasses import dataclass, field
+from typing import Deque, Optional
+
+import numpy as np
+
+
+class QueueFull(RuntimeError):
+    """Raised on ``put`` when the queue is at capacity (request rejected)."""
+
+
+class QueueClosed(RuntimeError):
+    """Raised on ``put`` after the queue has been closed."""
+
+
+@dataclass
+class Request:
+    """One in-flight prediction request."""
+
+    x: np.ndarray
+    model: str
+    future: Future = field(default_factory=Future)
+    enqueue_t: float = field(default_factory=time.monotonic)
+
+
+class RequestQueue:
+    """Thread-safe bounded FIFO of :class:`Request` objects."""
+
+    def __init__(self, maxsize: int = 1024):
+        if maxsize <= 0:
+            raise ValueError(f"maxsize must be positive, got {maxsize}")
+        self.maxsize = maxsize
+        self._items: Deque[Request] = deque()
+        self._cond = threading.Condition()
+        self._closed = False
+
+    def put(self, request: Request) -> None:
+        """Enqueue or fail fast -- callers must handle :class:`QueueFull`."""
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("queue is closed")
+            if len(self._items) >= self.maxsize:
+                raise QueueFull(
+                    f"queue at capacity ({self.maxsize}); request rejected"
+                )
+            self._items.append(request)
+            self._cond.notify()
+
+    def get(self, timeout: Optional[float] = None) -> Optional[Request]:
+        """Dequeue one request; ``None`` on timeout or when closed+drained."""
+        deadline = None if timeout is None else time.monotonic() + timeout
+        with self._cond:
+            while not self._items:
+                if self._closed:
+                    return None
+                if deadline is None:
+                    self._cond.wait()
+                else:
+                    remaining = deadline - time.monotonic()
+                    if remaining <= 0 or not self._cond.wait(remaining):
+                        if not self._items:
+                            return None
+            return self._items.popleft()
+
+    def depth(self) -> int:
+        with self._cond:
+            return len(self._items)
+
+    def __len__(self) -> int:
+        return self.depth()
+
+    @property
+    def closed(self) -> bool:
+        with self._cond:
+            return self._closed
+
+    def close(self) -> None:
+        """Stop admitting work and wake every blocked consumer."""
+        with self._cond:
+            self._closed = True
+            self._cond.notify_all()
+
+    def drain(self) -> list:
+        """Remove and return everything queued (used at shutdown to fail
+        still-pending futures instead of dropping them silently)."""
+        with self._cond:
+            items = list(self._items)
+            self._items.clear()
+            return items

@@ -1,0 +1,165 @@
+"""Named model deployments with hot swap.
+
+:class:`Deployment` adapts the repo's two user-facing inference engines
+-- full-precision :class:`~repro.core.classifier.HDClassifier` (and its
+:class:`~repro.core.online.AdaptiveHDClassifier` subclass) and the
+bit-packed :class:`~repro.core.packed.PackedModel` -- to one batched,
+two-stage interface the workers drive:
+
+- ``encode(X)``   -> stage-1 representation (float encodings / packed words)
+- ``search(E, dim)`` -> labels, optionally over a reduced 128-multiple
+  prefix of the dimensions.
+
+For the full-precision path, reduced-dimension search goes through
+``HDClassifier.predict_encoded(dim=...)`` and therefore uses the exact
+per-128-dim prefix norms of the :class:`~repro.core.norms.SubNormTable`
+(paper Section 4.3.3) -- never the stale full-length norms.  For the
+packed path, prefix Hamming distance is used; binary prefix norms are
+exact by construction.
+
+:class:`ModelRegistry` maps names to deployments and supports hot swap:
+re-registering a name atomically replaces the deployment and bumps its
+version, so a freshly retrained model takes over between batches with
+no downtime (in-flight batches finish on the old deployment).
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Dict, List, Optional, Union
+
+import numpy as np
+
+from repro.core.classifier import HDClassifier
+from repro.core.norms import DEFAULT_BLOCK
+from repro.core.packed import PackedModel
+
+Model = Union[HDClassifier, PackedModel]
+
+
+class Deployment:
+    """A servable model: batched two-stage inference + shed-dim mapping."""
+
+    def __init__(self, name: str, model: Model, version: int = 1,
+                 min_dim: Optional[int] = None):
+        self.name = name
+        self.model = model
+        self.version = version
+
+        if isinstance(model, PackedModel):
+            self.kind = "packed"
+            self.dim = model.dim
+            self.block = DEFAULT_BLOCK
+        elif isinstance(model, HDClassifier):
+            if model.model_ is None:
+                raise ValueError(
+                    f"model for deployment {name!r} is not fitted"
+                )
+            self.kind = "classifier"
+            self.dim = model.encoder.dim
+            self.block = model.norm_block
+        else:
+            raise TypeError(
+                f"cannot deploy {type(model).__name__}; expected "
+                "HDClassifier or PackedModel"
+            )
+
+        if min_dim is None:
+            # default floor: shed down to a quarter of the dimensions,
+            # the deepest reduction Fig. 5 shows staying usable
+            min_dim = max(self.block, (self.dim // 4 // self.block) * self.block)
+        if min_dim % self.block or not 0 < min_dim <= self.dim:
+            raise ValueError(
+                f"min_dim={min_dim} must be a positive multiple of "
+                f"block={self.block} and <= dim={self.dim}"
+            )
+        self.min_dim = min_dim
+
+    # -- shed-level mapping -------------------------------------------------
+
+    def dim_for_level(self, level: int) -> int:
+        """Serving dimensionality at shed ``level`` (128-dim steps).
+
+        Level 0 is the full model; each level drops one ``block`` of
+        dimensions, floored at ``min_dim``.
+        """
+        reduced = self.dim - max(0, int(level)) * self.block
+        return max(self.min_dim, min(self.dim, reduced))
+
+    @property
+    def max_level(self) -> int:
+        """Deepest meaningful shed level for this deployment."""
+        return (self.dim - self.min_dim) // self.block
+
+    # -- batched two-stage inference ---------------------------------------
+
+    def encode(self, X: np.ndarray) -> np.ndarray:
+        """Stage 1: raw features -> model-native query representation."""
+        X = np.atleast_2d(np.asarray(X, dtype=np.float64))
+        if self.kind == "packed":
+            return self.model.encode_packed(X)
+        return self.model.encoder.encode_batch(X).astype(np.float64)
+
+    def search(self, encoded: np.ndarray,
+               dim: Optional[int] = None) -> np.ndarray:
+        """Stage 2: associative search over (optionally) reduced dims."""
+        if dim is not None and dim >= self.dim:
+            dim = None
+        if self.kind == "packed":
+            return self.model.predict_packed(encoded, dim=dim)
+        return self.model.predict_encoded(encoded, dim=dim)
+
+    def predict(self, X: np.ndarray, dim: Optional[int] = None) -> np.ndarray:
+        """Both stages in one call (the non-serving reference path)."""
+        return self.search(self.encode(X), dim=dim)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"Deployment(name={self.name!r}, kind={self.kind}, "
+            f"dim={self.dim}, version={self.version})"
+        )
+
+
+class ModelRegistry:
+    """Thread-safe name -> :class:`Deployment` map with versioned swap."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._deployments: Dict[str, Deployment] = {}
+
+    def register(self, name: str, model: Model,
+                 min_dim: Optional[int] = None) -> Deployment:
+        """Deploy ``model`` under ``name``; replaces (hot-swaps) any
+        existing deployment and bumps the version."""
+        with self._lock:
+            previous = self._deployments.get(name)
+            version = previous.version + 1 if previous else 1
+            dep = Deployment(name, model, version=version, min_dim=min_dim)
+            self._deployments[name] = dep
+            return dep
+
+    def get(self, name: str) -> Deployment:
+        with self._lock:
+            try:
+                return self._deployments[name]
+            except KeyError:
+                raise KeyError(
+                    f"no deployment named {name!r}; registered: "
+                    f"{sorted(self._deployments)}"
+                ) from None
+
+    def unregister(self, name: str) -> None:
+        with self._lock:
+            self._deployments.pop(name, None)
+
+    def names(self) -> List[str]:
+        with self._lock:
+            return sorted(self._deployments)
+
+    def __contains__(self, name: str) -> bool:
+        with self._lock:
+            return name in self._deployments
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._deployments)

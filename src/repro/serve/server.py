@@ -1,0 +1,194 @@
+"""The inference service façade: config, submission API, lifecycle.
+
+:class:`InferenceServer` wires the pieces together::
+
+    submit() --> RequestQueue --> MicroBatcher --> WorkerPool --> Future
+                     |                                  |
+                 (bounded:                     ModelRegistry (hot swap)
+                  rejects when full)           LoadShedPolicy (dim shed)
+                                               MetricsHub   (telemetry)
+
+Usage::
+
+    server = InferenceServer(ServeConfig(max_batch=64, n_workers=2))
+    server.register("mnist", trained_classifier)
+    with server:
+        fut = server.submit("mnist", x)          # async
+        pred = fut.result()                       # Prediction(label=..., dim=...)
+        label = server.predict("mnist", x)        # sync convenience
+    print(server.stats())
+
+At full dimensionality the served predictions are bit-identical to
+calling the underlying model directly; under overload the policy sheds
+dimensions in 128-dim steps and predictions keep using the exact
+:class:`~repro.core.norms.SubNormTable` prefix norms.
+"""
+
+from __future__ import annotations
+
+import time
+from concurrent.futures import Future
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import MetricsHub
+from repro.serve.policy import LoadShedPolicy
+from repro.serve.queue import QueueClosed, QueueFull, Request, RequestQueue
+from repro.serve.registry import Deployment, Model, ModelRegistry
+from repro.serve.workers import Prediction, WorkerPool
+
+
+@dataclass
+class ServeConfig:
+    """All serving knobs in one place (defaults favor small test rigs)."""
+
+    max_batch: int = 32          # micro-batch size cap
+    max_wait: float = 0.002      # linger (s) after the first request of a batch
+    n_workers: int = 2
+    queue_size: int = 1024       # admission bound; beyond it -> QueueFull
+    # -- load shedding ------------------------------------------------------
+    max_shed_level: int = 24     # each level drops 128 dims (clamped per model)
+    queue_high: int = 32         # shed when depth reaches this
+    queue_low: int = 2           # recover only at/below this (hysteresis)
+    p95_target: Optional[float] = None   # optional latency SLO in seconds
+    shed_cooldown: float = 0.05  # min seconds between level changes
+    latency_window: int = 256    # recent samples for the policy's p95
+
+
+class InferenceServer:
+    """Micro-batching, load-shedding prediction service over HDC models."""
+
+    def __init__(self, config: Optional[ServeConfig] = None):
+        self.config = config or ServeConfig()
+        c = self.config
+        self.metrics = MetricsHub()
+        self.registry = ModelRegistry()
+        self.policy = LoadShedPolicy(
+            max_level=c.max_shed_level,
+            queue_high=c.queue_high,
+            queue_low=c.queue_low,
+            p95_target=c.p95_target,
+            cooldown=c.shed_cooldown,
+            window=c.latency_window,
+        )
+        self.queue = RequestQueue(maxsize=c.queue_size)
+        self.batcher = MicroBatcher(
+            self.queue, max_batch=c.max_batch, max_wait=c.max_wait
+        )
+        self.workers = WorkerPool(
+            self.batcher, self.registry, self.policy, self.metrics,
+            n_workers=c.n_workers,
+        )
+        self._started = False
+
+    # -- deployments --------------------------------------------------------
+
+    def register(self, name: str, model: Model,
+                 min_dim: Optional[int] = None) -> Deployment:
+        """Deploy (or hot-swap) ``model`` under ``name``."""
+        return self.registry.register(name, model, min_dim=min_dim)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> "InferenceServer":
+        if self._started:
+            raise RuntimeError("server already started")
+        self._started = True
+        self.workers.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop admitting work, drain workers, fail leftover futures."""
+        if not self._started:
+            return
+        self.queue.close()
+        self.workers.stop(timeout=timeout)
+        for req in self.queue.drain():
+            if not req.future.done():
+                req.future.set_exception(
+                    QueueClosed("server stopped before request was served")
+                )
+        self._started = False
+
+    def __enter__(self) -> "InferenceServer":
+        return self if self._started else self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- request API --------------------------------------------------------
+
+    def submit(self, model: str, x: np.ndarray) -> "Future[Prediction]":
+        """Enqueue one prediction; returns a future of :class:`Prediction`.
+
+        Raises :class:`~repro.serve.queue.QueueFull` when the bounded
+        queue rejects the request (counted in the ``rejected`` metric).
+        """
+        if not self._started:
+            raise RuntimeError("InferenceServer.submit() before start()")
+        if model not in self.registry:
+            raise KeyError(
+                f"no deployment named {model!r}; registered: "
+                f"{self.registry.names()}"
+            )
+        req = Request(x=np.asarray(x, dtype=np.float64), model=model)
+        try:
+            self.queue.put(req)
+        except QueueFull:
+            self.metrics.counter("rejected").inc()
+            raise
+        self.metrics.counter("submitted").inc()
+        return req.future
+
+    def predict(self, model: str, x: np.ndarray,
+                timeout: Optional[float] = None) -> object:
+        """Synchronous single prediction; returns the label only."""
+        return self.submit(model, x).result(timeout=timeout).label
+
+    def predict_many(
+        self, model: str, X: Sequence[np.ndarray],
+        timeout: Optional[float] = None,
+    ) -> List[Prediction]:
+        """Submit a whole batch and gather the resolved predictions."""
+        futures = [self.submit(model, x) for x in np.atleast_2d(np.asarray(X))]
+        return [f.result(timeout=timeout) for f in futures]
+
+    # -- introspection ------------------------------------------------------
+
+    def stats(self) -> Dict:
+        """JSON-serializable snapshot: metrics + policy + queue state."""
+        snap = self.metrics.snapshot()
+        snap["queue"] = {"depth": self.queue.depth(),
+                         "maxsize": self.queue.maxsize}
+        snap["policy"] = {
+            "level": self.policy.level,
+            "max_level_seen": self.policy.max_level_seen,
+            "shed_events": self.policy.shed_events,
+            "recover_events": self.policy.recover_events,
+            "recent_p95_s": self.policy.recent_p95(),
+        }
+        snap["deployments"] = {
+            name: {
+                "kind": dep.kind,
+                "dim": dep.dim,
+                "min_dim": dep.min_dim,
+                "version": dep.version,
+                "serving_dim": dep.dim_for_level(self.policy.level),
+            }
+            for name, dep in ((n, self.registry.get(n))
+                              for n in self.registry.names())
+        }
+        return snap
+
+    def wait_idle(self, timeout: float = 10.0,
+                  poll: float = 0.005) -> bool:
+        """Block until the queue is empty (best effort); True if drained."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            if self.queue.depth() == 0:
+                return True
+            time.sleep(poll)
+        return self.queue.depth() == 0

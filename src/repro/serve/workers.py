@@ -1,0 +1,153 @@
+"""Worker pool: batched encode + search, stage timing, future resolution.
+
+Each worker loops: pull a micro-batch, group it by target model, run
+the deployment's two inference stages on the coalesced feature matrix,
+resolve every request's future with a :class:`Prediction`, then let the
+shed policy observe the post-batch queue depth.
+
+Per-stage latency histograms (``queue_wait``, ``encode``, ``search``,
+``total``) land in the shared :class:`~repro.serve.metrics.MetricsHub`;
+the ``shed_level`` gauge mirrors the policy so a snapshot shows the
+degradation state at a glance.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.metrics import MetricsHub
+from repro.serve.policy import LoadShedPolicy
+from repro.serve.queue import Request
+from repro.serve.registry import ModelRegistry
+
+
+@dataclass
+class Prediction:
+    """What a resolved request future holds."""
+
+    label: object
+    model: str
+    version: int
+    dim: int
+    shed_level: int
+    latency: float
+
+
+class WorkerPool:
+    """N threads draining one batcher into the registry's deployments."""
+
+    def __init__(
+        self,
+        batcher: MicroBatcher,
+        registry: ModelRegistry,
+        policy: LoadShedPolicy,
+        metrics: MetricsHub,
+        n_workers: int = 2,
+        poll_interval: float = 0.05,
+    ):
+        if n_workers <= 0:
+            raise ValueError(f"n_workers must be positive, got {n_workers}")
+        self.batcher = batcher
+        self.registry = registry
+        self.policy = policy
+        self.metrics = metrics
+        self.n_workers = n_workers
+        self.poll_interval = poll_interval
+        self._threads: List[threading.Thread] = []
+        self._stop = threading.Event()
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def start(self) -> None:
+        if self._threads:
+            raise RuntimeError("worker pool already started")
+        self._stop.clear()
+        for i in range(self.n_workers):
+            t = threading.Thread(
+                target=self._run, name=f"serve-worker-{i}", daemon=True
+            )
+            t.start()
+            self._threads.append(t)
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        self._stop.set()
+        for t in self._threads:
+            t.join(timeout=timeout)
+        self._threads = []
+
+    @property
+    def running(self) -> bool:
+        return any(t.is_alive() for t in self._threads)
+
+    # -- the serving loop ---------------------------------------------------
+
+    def _run(self) -> None:
+        while True:
+            batch = self.batcher.next_batch(timeout=self.poll_interval)
+            if not batch:
+                if self._stop.is_set() or self.batcher.queue.closed:
+                    return
+                continue
+            self._serve_batch(batch)
+            # adapt from the load this batch left behind
+            level = self.policy.observe(self.batcher.queue.depth())
+            self.metrics.gauge("shed_level").set(level)
+            self.metrics.gauge("queue_depth").set(self.batcher.queue.depth())
+
+    def _serve_batch(self, batch: List[Request]) -> None:
+        self.metrics.histogram("batch_size").record(len(batch))
+        by_model = {}
+        for req in batch:
+            by_model.setdefault(req.model, []).append(req)
+        for model_name, requests in by_model.items():
+            self._serve_group(model_name, requests)
+
+    def _serve_group(self, model_name: str, requests: List[Request]) -> None:
+        t_start = time.monotonic()
+        for req in requests:
+            self.metrics.histogram("queue_wait").record(
+                t_start - req.enqueue_t
+            )
+        try:
+            dep = self.registry.get(model_name)
+            level = self.policy.level
+            dim = dep.dim_for_level(level)
+            X = np.stack([np.asarray(r.x, dtype=np.float64) for r in requests])
+
+            t0 = time.monotonic()
+            encoded = dep.encode(X)
+            t1 = time.monotonic()
+            labels = dep.search(encoded, dim=dim)
+            t2 = time.monotonic()
+        except BaseException as exc:  # resolve futures, never kill the worker
+            for req in requests:
+                if not req.future.cancelled():
+                    req.future.set_exception(exc)
+            self.metrics.counter("errors").inc(len(requests))
+            return
+
+        self.metrics.histogram("encode").record(t1 - t0)
+        self.metrics.histogram("search").record(t2 - t1)
+        if dim < dep.dim:
+            self.metrics.counter("shed_predictions").inc(len(requests))
+        done = time.monotonic()
+        for req, label in zip(requests, labels):
+            latency = done - req.enqueue_t
+            self.metrics.histogram("total").record(latency)
+            self.policy.record_latency(latency)
+            if not req.future.cancelled():
+                req.future.set_result(Prediction(
+                    label=label,
+                    model=dep.name,
+                    version=dep.version,
+                    dim=dim,
+                    shed_level=level,
+                    latency=latency,
+                ))
+        self.metrics.counter("served").inc(len(requests))

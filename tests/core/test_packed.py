@@ -91,3 +91,77 @@ class TestPackedModel:
         signs = trained.quantized_model(1).astype(np.int8)
         expected = pack_bits(to_binary(signs))
         assert np.array_equal(packed.class_words, expected)
+
+
+class TestEdgeCases:
+    """D not a multiple of 64, single-vs-batch agreement, cosine identity."""
+
+    @pytest.fixture(scope="class")
+    def trained(self, toy_problem):
+        X_train, y_train, _, _ = toy_problem
+        enc = GenericEncoder(dim=512, num_levels=16, seed=6)
+        return HDClassifier(enc, epochs=4, seed=6).fit(X_train, y_train)
+
+    @staticmethod
+    def _random_packed(rng, n_classes, dim):
+        """A PackedModel over random class bits, no encoder needed."""
+        class_bits = rng.integers(0, 2, size=(n_classes, dim), dtype=np.uint8)
+        model = PackedModel(None, pack_bits(class_bits),
+                            np.arange(n_classes), dim)
+        return model, class_bits
+
+    def test_dim_not_multiple_of_64(self):
+        """D=200 pads to 4 words; padding must never affect distances."""
+        rng = np.random.default_rng(3)
+        model, class_bits = self._random_packed(rng, n_classes=5, dim=200)
+        assert model.class_words.shape == (5, 4)  # ceil(200/64)
+        q_bits = rng.integers(0, 2, size=(7, 200), dtype=np.uint8)
+        dists = model.hamming_to_classes(pack_bits(q_bits))
+        expected = (q_bits[:, None, :] != class_bits[None, :, :]).sum(axis=2)
+        assert np.array_equal(dists, expected)
+
+    def test_single_vs_batched_queries_agree(self, trained, toy_problem):
+        _, _, X_test, _ = toy_problem
+        packed = PackedModel.from_classifier(trained)
+        batched = packed.predict(X_test)
+        singles = np.array([packed.predict(x[None, :])[0] for x in X_test])
+        assert np.array_equal(batched, singles)
+
+    def test_cosine_hamming_identity_on_random_models(self):
+        """The documented ranking identity: cos = 1 - 2*hamming/D exactly."""
+        rng = np.random.default_rng(9)
+        dim = 320
+        model, class_bits = self._random_packed(rng, n_classes=6, dim=dim)
+        q_bits = rng.integers(0, 2, size=(11, dim), dtype=np.uint8)
+        hamming = model.hamming_to_classes(pack_bits(q_bits))
+
+        q_signs = q_bits.astype(np.float64) * 2 - 1
+        c_signs = class_bits.astype(np.float64) * 2 - 1
+        cos = (q_signs @ c_signs.T) / dim  # unit-norm-free binary cosine
+        assert np.allclose(cos, 1.0 - 2.0 * hamming / dim)
+        # and therefore the rankings coincide
+        assert np.array_equal(np.argmax(cos, axis=1),
+                              np.argmin(hamming, axis=1))
+
+    def test_reduced_dim_prefix_hamming(self):
+        rng = np.random.default_rng(5)
+        model, class_bits = self._random_packed(rng, n_classes=4, dim=256)
+        q_bits = rng.integers(0, 2, size=(3, 256), dtype=np.uint8)
+        words = pack_bits(q_bits)
+        dists = model.hamming_to_classes(words, dim=128)
+        expected = (q_bits[:, None, :128] != class_bits[None, :, :128]).sum(axis=2)
+        assert np.array_equal(dists, expected)
+        preds = model.predict_packed(words, dim=128)
+        assert np.array_equal(preds, np.argmin(expected, axis=1))
+
+    def test_reduced_dim_validation(self):
+        rng = np.random.default_rng(6)
+        model, _ = self._random_packed(rng, n_classes=2, dim=256)
+        words = pack_bits(rng.integers(0, 2, size=(1, 256), dtype=np.uint8))
+        with pytest.raises(ValueError):
+            model.hamming_to_classes(words, dim=100)  # not a word multiple
+        with pytest.raises(ValueError):
+            model.hamming_to_classes(words, dim=512)  # beyond the model
+        # full dim (or None) short-circuits the prefix path
+        full = model.hamming_to_classes(words, dim=256)
+        assert np.array_equal(full, model.hamming_to_classes(words))

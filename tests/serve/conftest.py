@@ -1,0 +1,31 @@
+"""Fixtures for the serving-layer tests: small trained deployments."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.core.packed import PackedModel
+
+SERVE_DIM = 512  # 4 x 128-dim blocks -> three shed levels before the floor
+
+
+@pytest.fixture(scope="session")
+def serve_classifier(toy_problem):
+    """A 512-dim classifier so shedding has room: levels 0..3 -> 512..128."""
+    X_train, y_train, _, _ = toy_problem
+    enc = GenericEncoder(dim=SERVE_DIM, num_levels=16, seed=11)
+    return HDClassifier(enc, epochs=4, seed=11).fit(X_train, y_train)
+
+
+@pytest.fixture(scope="session")
+def serve_packed(serve_classifier):
+    return PackedModel.from_classifier(serve_classifier)
+
+
+@pytest.fixture(scope="session")
+def serve_queries(toy_problem):
+    _, _, X_test, _ = toy_problem
+    return np.asarray(X_test, dtype=np.float64)

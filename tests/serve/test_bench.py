@@ -1,0 +1,87 @@
+"""Tests for the open-loop Poisson traffic harness."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.serve.bench import main, make_workload, run_bench, train_model
+from repro.serve.server import InferenceServer, ServeConfig
+
+
+class TestWorkload:
+    def test_workload_is_deterministic(self):
+        a = make_workload(seed=3)
+        b = make_workload(seed=3)
+        for x, y in zip(a, b):
+            assert np.array_equal(x, y)
+
+    def test_trained_model_is_usable(self):
+        model = train_model(dim=256, seed=3)
+        _, _, queries = make_workload(seed=3)
+        assert len(model.predict(queries[:8])) == 8
+
+    def test_packed_variant(self):
+        model = train_model(dim=256, packed=True, seed=3)
+        assert model.class_words.shape[1] == 256 // 64
+
+
+class TestRunBench:
+    @pytest.fixture(scope="class")
+    def report(self):
+        return run_bench(
+            rates=[400.0, 2000.0],
+            n_requests=60,
+            dim=256,
+            config=ServeConfig(max_batch=8, n_workers=1),
+            seed=3,
+        )
+
+    def test_one_point_per_rate(self, report):
+        assert [p["offered_rate_rps"] for p in report["load_points"]] == [
+            400.0, 2000.0
+        ]
+
+    def test_accounting_adds_up(self, report):
+        for p in report["load_points"]:
+            assert p["completed"] + p["rejected"] + p["errors"] == 60
+            assert p["errors"] == 0
+
+    def test_latency_percentiles_present_and_ordered(self, report):
+        for p in report["load_points"]:
+            lat = p["latency_ms"]
+            assert lat["p50"] <= lat["p95"] <= lat["p99"] <= lat["max"]
+            assert lat["p50"] > 0
+
+    def test_report_is_json_serializable(self, report):
+        parsed = json.loads(json.dumps(report))
+        assert parsed["harness"] == "repro.serve.bench"
+        assert parsed["model"] == {"kind": "classifier", "dim": 256}
+
+    def test_throughput_positive(self, report):
+        for p in report["load_points"]:
+            assert p["achieved_throughput_rps"] > 0
+
+
+class TestCli:
+    def test_main_writes_json(self, tmp_path, capsys):
+        out = tmp_path / "bench.json"
+        rc = main([
+            "--rates", "500", "--requests", "40", "--dim", "256",
+            "--workers", "1", "--out", str(out),
+        ])
+        assert rc == 0
+        report = json.loads(out.read_text())
+        assert len(report["load_points"]) == 1
+        assert report["load_points"][0]["n_requests"] == 40
+        assert "p95" in capsys.readouterr().out
+
+    def test_bad_rate_rejected(self):
+        model = train_model(dim=256, seed=3)
+        server = InferenceServer()
+        server.register("default", model)
+        _, _, queries = make_workload(seed=3)
+        from repro.serve.bench import run_load_point
+        with server:
+            with pytest.raises(ValueError):
+                run_load_point(server, queries, rate=0, n_requests=1)

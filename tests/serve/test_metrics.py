@@ -1,0 +1,116 @@
+"""Unit tests for the serving metrics primitives."""
+
+import json
+import threading
+
+import pytest
+
+from repro.serve.metrics import (
+    Counter,
+    Gauge,
+    LatencyHistogram,
+    MetricsHub,
+    SlidingWindow,
+)
+
+
+class TestCounterGauge:
+    def test_counter_increments(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_counter_thread_safety(self):
+        c = Counter()
+        threads = [threading.Thread(target=lambda: [c.inc() for _ in range(1000)])
+                   for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert c.value == 8000
+
+    def test_gauge_tracks_max(self):
+        g = Gauge()
+        g.set(3)
+        g.set(7)
+        g.set(2)
+        assert g.value == 2
+        assert g.max == 7
+
+
+class TestLatencyHistogram:
+    def test_empty(self):
+        h = LatencyHistogram()
+        assert h.count == 0
+        assert h.percentile(95) == 0.0
+        assert h.mean == 0.0
+
+    def test_percentiles_bracket_samples(self):
+        h = LatencyHistogram()
+        for ms in (1, 2, 3, 4, 100):
+            h.record(ms / 1e3)
+        # log buckets are approximate: p50 within one growth factor of 3 ms
+        assert 2e-3 <= h.percentile(50) <= 3e-3 * 1.35
+        # the max lands exactly (overflow tracked as max)
+        assert h.percentile(100) == pytest.approx(0.1)
+        assert h.count == 5
+        assert h.mean == pytest.approx(0.022)
+
+    def test_negative_clamped(self):
+        h = LatencyHistogram()
+        h.record(-1.0)
+        assert h.percentile(50) >= 0.0
+
+    def test_bad_percentile_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyHistogram().percentile(101)
+
+    def test_snapshot_keys(self):
+        h = LatencyHistogram()
+        h.record(0.01)
+        snap = h.snapshot()
+        assert set(snap) == {"count", "mean_s", "p50_s", "p95_s", "p99_s",
+                             "min_s", "max_s"}
+
+
+class TestSlidingWindow:
+    def test_empty_is_none(self):
+        assert SlidingWindow(4).percentile(95) is None
+
+    def test_exact_percentile(self):
+        w = SlidingWindow(100)
+        for v in range(1, 101):
+            w.record(v)
+        assert w.percentile(95) == 95
+        assert w.percentile(50) == 50
+
+    def test_window_evicts_old(self):
+        w = SlidingWindow(4)
+        for v in (100, 100, 1, 1, 1, 1):
+            w.record(v)
+        assert w.percentile(95) == 1
+
+    def test_bad_size(self):
+        with pytest.raises(ValueError):
+            SlidingWindow(0)
+
+
+class TestMetricsHub:
+    def test_get_or_create_is_stable(self):
+        hub = MetricsHub()
+        assert hub.counter("a") is hub.counter("a")
+        assert hub.gauge("g") is hub.gauge("g")
+        assert hub.histogram("h") is hub.histogram("h")
+
+    def test_snapshot_is_json_serializable(self):
+        hub = MetricsHub()
+        hub.counter("served").inc(3)
+        hub.gauge("depth").set(2)
+        hub.histogram("total").record(0.004)
+        snap = hub.snapshot()
+        parsed = json.loads(json.dumps(snap))
+        assert parsed["counters"]["served"] == 3
+        assert parsed["gauges"]["depth"]["max"] == 2
+        assert parsed["histograms"]["total"]["count"] == 1

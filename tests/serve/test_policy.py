@@ -1,0 +1,115 @@
+"""Unit tests for the load-shedding policy (fake clock throughout)."""
+
+import pytest
+
+from repro.serve.policy import LoadShedPolicy
+
+
+class FakeClock:
+    def __init__(self):
+        self.t = 0.0
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+def make_policy(**kw):
+    clock = FakeClock()
+    defaults = dict(max_level=4, queue_high=8, queue_low=1,
+                    cooldown=1.0, time_fn=clock)
+    defaults.update(kw)
+    return LoadShedPolicy(**defaults), clock
+
+
+class TestShedding:
+    def test_starts_at_zero(self):
+        policy, _ = make_policy()
+        assert policy.level == 0
+
+    def test_deep_queue_sheds_one_step(self):
+        policy, clock = make_policy()
+        clock.advance(10)
+        assert policy.observe(queue_depth=20) == 1
+        assert policy.shed_events == 1
+        assert policy.max_level_seen == 1
+
+    def test_cooldown_limits_rate(self):
+        policy, clock = make_policy(cooldown=1.0)
+        clock.advance(10)
+        policy.observe(queue_depth=20)
+        # still overloaded, but inside the cooldown window
+        assert policy.observe(queue_depth=20) == 1
+        clock.advance(1.5)
+        assert policy.observe(queue_depth=20) == 2
+
+    def test_clamps_at_max_level(self):
+        policy, clock = make_policy(max_level=2)
+        for _ in range(5):
+            clock.advance(2)
+            policy.observe(queue_depth=20)
+        assert policy.level == 2
+
+    def test_p95_target_triggers_shed(self):
+        policy, clock = make_policy(p95_target=0.010)
+        for _ in range(20):
+            policy.record_latency(0.050)
+        clock.advance(10)
+        assert policy.observe(queue_depth=0) == 1
+
+
+class TestRecovery:
+    def test_calm_queue_recovers(self):
+        policy, clock = make_policy()
+        clock.advance(2)
+        policy.observe(queue_depth=20)
+        clock.advance(2)
+        assert policy.observe(queue_depth=0) == 0
+        assert policy.recover_events == 1
+
+    def test_hysteresis_between_thresholds_holds_level(self):
+        policy, clock = make_policy(queue_high=8, queue_low=1)
+        clock.advance(2)
+        policy.observe(queue_depth=20)
+        clock.advance(2)
+        # depth 4 is neither overloaded (>=8) nor calm (<=1): hold
+        assert policy.observe(queue_depth=4) == 1
+
+    def test_latency_blocks_recovery_until_comfortable(self):
+        policy, clock = make_policy(p95_target=0.010, recover_fraction=0.5,
+                                    window=32)
+        clock.advance(2)
+        policy.observe(queue_depth=20)
+        for _ in range(32):
+            policy.record_latency(0.008)  # under target, above 0.5*target
+        clock.advance(2)
+        assert policy.observe(queue_depth=0) == 1
+        for _ in range(32):  # fills the window with comfortable samples
+            policy.record_latency(0.001)
+        clock.advance(2)
+        assert policy.observe(queue_depth=0) == 0
+
+    def test_never_below_zero(self):
+        policy, clock = make_policy()
+        clock.advance(2)
+        assert policy.observe(queue_depth=0) == 0
+
+
+class TestForceAndValidation:
+    def test_force_level(self):
+        policy, _ = make_policy()
+        policy.force_level(3)
+        assert policy.level == 3
+        assert policy.max_level_seen == 3
+        with pytest.raises(ValueError):
+            policy.force_level(99)
+
+    def test_bad_config_rejected(self):
+        with pytest.raises(ValueError):
+            LoadShedPolicy(max_level=-1)
+        with pytest.raises(ValueError):
+            LoadShedPolicy(queue_high=1, queue_low=5)
+        with pytest.raises(ValueError):
+            LoadShedPolicy(recover_fraction=0.0)

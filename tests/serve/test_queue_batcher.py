@@ -1,0 +1,118 @@
+"""Unit tests for the bounded request queue and the micro-batcher."""
+
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro.serve.batcher import MicroBatcher
+from repro.serve.queue import QueueClosed, QueueFull, Request, RequestQueue
+
+
+def _req(i=0):
+    return Request(x=np.asarray([float(i)]), model="m")
+
+
+class TestRequestQueue:
+    def test_fifo(self):
+        q = RequestQueue(maxsize=4)
+        for i in range(3):
+            q.put(_req(i))
+        assert [q.get(timeout=0).x[0] for _ in range(3)] == [0.0, 1.0, 2.0]
+
+    def test_full_rejects(self):
+        q = RequestQueue(maxsize=2)
+        q.put(_req())
+        q.put(_req())
+        with pytest.raises(QueueFull):
+            q.put(_req())
+        assert q.depth() == 2
+
+    def test_closed_rejects_put(self):
+        q = RequestQueue(maxsize=2)
+        q.close()
+        with pytest.raises(QueueClosed):
+            q.put(_req())
+
+    def test_get_timeout_returns_none(self):
+        q = RequestQueue(maxsize=2)
+        t0 = time.monotonic()
+        assert q.get(timeout=0.02) is None
+        assert time.monotonic() - t0 < 1.0
+
+    def test_close_wakes_blocked_consumer(self):
+        q = RequestQueue(maxsize=2)
+        got = []
+
+        def consume():
+            got.append(q.get(timeout=5.0))
+
+        t = threading.Thread(target=consume)
+        t.start()
+        time.sleep(0.05)
+        q.close()
+        t.join(timeout=2.0)
+        assert not t.is_alive()
+        assert got == [None]
+
+    def test_drain_empties(self):
+        q = RequestQueue(maxsize=4)
+        q.put(_req(1))
+        q.put(_req(2))
+        drained = q.drain()
+        assert len(drained) == 2
+        assert q.depth() == 0
+
+    def test_bad_maxsize(self):
+        with pytest.raises(ValueError):
+            RequestQueue(maxsize=0)
+
+
+class TestMicroBatcher:
+    def test_coalesces_up_to_max_batch(self):
+        q = RequestQueue(maxsize=16)
+        for i in range(10):
+            q.put(_req(i))
+        b = MicroBatcher(q, max_batch=4, max_wait=0.0)
+        batch = b.next_batch(timeout=0.1)
+        assert len(batch) == 4
+        assert [r.x[0] for r in batch] == [0.0, 1.0, 2.0, 3.0]
+        assert q.depth() == 6
+
+    def test_empty_on_timeout(self):
+        q = RequestQueue(maxsize=4)
+        b = MicroBatcher(q, max_batch=4, max_wait=0.001)
+        assert b.next_batch(timeout=0.02) == []
+
+    def test_linger_collects_late_arrivals(self):
+        q = RequestQueue(maxsize=8)
+        b = MicroBatcher(q, max_batch=8, max_wait=0.25)
+
+        def late_producer():
+            time.sleep(0.03)
+            q.put(_req(2))
+
+        q.put(_req(1))
+        t = threading.Thread(target=late_producer)
+        t.start()
+        batch = b.next_batch(timeout=0.5)
+        t.join()
+        assert len(batch) == 2
+
+    def test_dispatches_before_linger_when_full(self):
+        q = RequestQueue(maxsize=8)
+        for i in range(3):
+            q.put(_req(i))
+        b = MicroBatcher(q, max_batch=3, max_wait=10.0)
+        t0 = time.monotonic()
+        batch = b.next_batch(timeout=0.1)
+        assert len(batch) == 3
+        assert time.monotonic() - t0 < 5.0  # did not sleep out the linger
+
+    def test_bad_params(self):
+        q = RequestQueue(maxsize=2)
+        with pytest.raises(ValueError):
+            MicroBatcher(q, max_batch=0)
+        with pytest.raises(ValueError):
+            MicroBatcher(q, max_wait=-1.0)

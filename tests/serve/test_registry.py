@@ -1,0 +1,99 @@
+"""Unit tests for deployments and the hot-swappable model registry."""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.serve.registry import Deployment, ModelRegistry
+
+
+class TestDeployment:
+    def test_classifier_metadata(self, serve_classifier):
+        dep = Deployment("m", serve_classifier)
+        assert dep.kind == "classifier"
+        assert dep.dim == 512
+        assert dep.block == 128
+        assert dep.min_dim == 128
+        assert dep.max_level == 3
+
+    def test_packed_metadata(self, serve_packed):
+        dep = Deployment("m", serve_packed)
+        assert dep.kind == "packed"
+        assert dep.dim == 512
+        assert dep.block == 128
+
+    def test_dim_for_level_steps_and_clamps(self, serve_classifier):
+        dep = Deployment("m", serve_classifier)
+        assert [dep.dim_for_level(k) for k in range(6)] == [
+            512, 384, 256, 128, 128, 128
+        ]
+        assert dep.dim_for_level(-3) == 512
+
+    def test_predict_matches_model_both_kinds(
+        self, serve_classifier, serve_packed, serve_queries
+    ):
+        for model in (serve_classifier, serve_packed):
+            dep = Deployment("m", model)
+            assert np.array_equal(
+                dep.predict(serve_queries), model.predict(serve_queries)
+            )
+
+    def test_reduced_dim_matches_model(self, serve_classifier, serve_queries):
+        dep = Deployment("m", serve_classifier)
+        assert np.array_equal(
+            dep.predict(serve_queries, dim=256),
+            serve_classifier.predict(serve_queries, dim=256),
+        )
+
+    def test_search_treats_full_dim_as_none(self, serve_packed, serve_queries):
+        dep = Deployment("m", serve_packed)
+        words = dep.encode(serve_queries)
+        assert np.array_equal(
+            dep.search(words, dim=512), dep.search(words, dim=None)
+        )
+
+    def test_unfitted_classifier_rejected(self):
+        with pytest.raises(ValueError):
+            Deployment("m", HDClassifier(GenericEncoder(dim=256)))
+
+    def test_wrong_type_rejected(self):
+        with pytest.raises(TypeError):
+            Deployment("m", object())
+
+    def test_bad_min_dim_rejected(self, serve_classifier):
+        with pytest.raises(ValueError):
+            Deployment("m", serve_classifier, min_dim=100)  # not a block multiple
+        with pytest.raises(ValueError):
+            Deployment("m", serve_classifier, min_dim=1024)  # > dim
+
+
+class TestModelRegistry:
+    def test_register_and_get(self, serve_classifier):
+        reg = ModelRegistry()
+        dep = reg.register("a", serve_classifier)
+        assert reg.get("a") is dep
+        assert dep.version == 1
+        assert "a" in reg
+        assert reg.names() == ["a"]
+
+    def test_hot_swap_bumps_version(self, serve_classifier, serve_packed):
+        reg = ModelRegistry()
+        reg.register("a", serve_classifier)
+        dep2 = reg.register("a", serve_packed)
+        assert dep2.version == 2
+        assert reg.get("a").kind == "packed"
+        assert len(reg) == 1
+
+    def test_unknown_name_lists_registered(self, serve_classifier):
+        reg = ModelRegistry()
+        reg.register("a", serve_classifier)
+        with pytest.raises(KeyError, match="'a'"):
+            reg.get("missing")
+
+    def test_unregister(self, serve_classifier):
+        reg = ModelRegistry()
+        reg.register("a", serve_classifier)
+        reg.unregister("a")
+        assert "a" not in reg
+        reg.unregister("a")  # idempotent
