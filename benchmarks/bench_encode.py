@@ -1,0 +1,157 @@
+"""Encoding-kernel benchmark: reference vs. bit-packed engine.
+
+Unlike the ``bench_fig*`` files this regenerates no paper artifact -- it
+tracks the hot path the serving stack lives on.  For each
+``encoder x dim x window`` point it times batch encoding on the default
+synthetic workload with both engines, verifies they are bit-identical,
+and writes samples/sec plus peak traced memory to ``BENCH_encode.json``
+so later PRs can diff the perf trajectory.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_encode.py            # full grid
+    PYTHONPATH=src python benchmarks/bench_encode.py --quick    # CI smoke
+    PYTHONPATH=src python benchmarks/bench_encode.py --quick --check
+
+``--check`` exits non-zero if any point lost bit-identity or the packed
+engine failed to beat the reference engine (``--min-speedup``, default
+1.0); CI runs the quick grid with it so a kernel regression fails the
+build.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import resource
+import sys
+import time
+import tracemalloc
+
+import numpy as np
+
+from repro.core.encoders import GenericEncoder, NgramEncoder
+
+OUT_PATH = pathlib.Path("BENCH_encode.json")
+
+#: the default synthetic workload: n_features chosen odd so dim % 64
+#: padding and window overhang paths are exercised, not just the fast lane
+FULL_GRID = [
+    # (encoder, dim, window, n_samples, n_features)
+    ("generic", 1024, 3, 256, 617),
+    ("generic", 4096, 3, 256, 617),
+    ("generic", 4096, 5, 256, 617),
+    ("ngram", 4096, 3, 256, 617),
+]
+
+QUICK_GRID = [
+    ("generic", 1024, 3, 96, 128),
+]
+
+ENCODER_CLASSES = {"generic": GenericEncoder, "ngram": NgramEncoder}
+
+
+def _make_encoder(name: str, dim: int, window: int, engine: str):
+    cls = ENCODER_CLASSES[name]
+    return cls(dim=dim, num_levels=64, seed=1, window=window, engine=engine)
+
+
+def _time_encode(encoder, X, repeats: int):
+    """Best-of-``repeats`` wall time and peak traced bytes for one run."""
+    encoder.encode_batch(X[: max(1, len(X) // 8)])  # warm tables + caches
+    best = float("inf")
+    out = None
+    tracemalloc.start()
+    for _ in range(repeats):
+        tracemalloc.reset_peak()
+        t0 = time.perf_counter()
+        out = encoder.encode_batch(X)
+        best = min(best, time.perf_counter() - t0)
+        _, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return best, peak, out
+
+
+def run_grid(grid, repeats: int = 3, seed: int = 7):
+    rng = np.random.default_rng(seed)
+    results = []
+    for name, dim, window, n_samples, n_features in grid:
+        X = rng.normal(size=(n_samples, n_features))
+        point = {
+            "encoder": name,
+            "dim": dim,
+            "window": window,
+            "n_samples": n_samples,
+            "n_features": n_features,
+        }
+        outputs = {}
+        for engine in ("reference", "packed"):
+            enc = _make_encoder(name, dim, window, engine).fit(X)
+            seconds, peak, out = _time_encode(enc, X, repeats)
+            outputs[engine] = out
+            point[engine] = {
+                "seconds": round(seconds, 6),
+                "samples_per_sec": round(n_samples / seconds, 1),
+                "peak_traced_mb": round(peak / 2**20, 2),
+            }
+        point["speedup"] = round(
+            point["reference"]["seconds"] / point["packed"]["seconds"], 2
+        )
+        point["identical"] = bool(
+            np.array_equal(outputs["reference"], outputs["packed"])
+        )
+        results.append(point)
+        print(
+            f"{name:8s} dim={dim:5d} n={window}  "
+            f"ref {point['reference']['samples_per_sec']:9.1f}/s  "
+            f"packed {point['packed']['samples_per_sec']:9.1f}/s  "
+            f"speedup {point['speedup']:5.2f}x  "
+            f"identical={point['identical']}"
+        )
+    return results
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke grid (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail if packed is slower or not bit-identical")
+    parser.add_argument("--min-speedup", type=float, default=1.0,
+                        help="--check threshold (default 1.0)")
+    parser.add_argument("--repeats", type=int, default=3)
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    grid = QUICK_GRID if args.quick else FULL_GRID
+    results = run_grid(grid, repeats=args.repeats)
+    report = {
+        "workload": "synthetic normal(0,1), num_levels=64, seed fixed",
+        "profile": "quick" if args.quick else "full",
+        "numpy": np.__version__,
+        "ru_maxrss_mb": round(
+            resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
+        ),
+        "results": results,
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+
+    if args.check:
+        bad = [
+            r for r in results
+            if not r["identical"] or r["speedup"] < args.min_speedup
+        ]
+        for r in bad:
+            print(
+                f"CHECK FAILED: {r['encoder']} dim={r['dim']} n={r['window']} "
+                f"speedup={r['speedup']} identical={r['identical']}",
+                file=sys.stderr,
+            )
+        return 1 if bad else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -24,9 +24,19 @@ from repro.core.hypervector import (
 )
 from repro.core.levels import LevelTable, Quantizer
 from repro.core.ids import IdTable, SeedIdGenerator
+from repro.core.kernels import (
+    GenericPackedKernel,
+    bit_slice_counts,
+    pack_bits,
+    packed_hamming,
+    popcount,
+    popcount_words,
+    unpack_bits,
+)
 
 __all__ = [
     "AdaptiveHDClassifier",
+    "GenericPackedKernel",
     "PackedModel",
     "HDClassifier",
     "HDCluster",
@@ -34,6 +44,12 @@ __all__ = [
     "LevelTable",
     "Quantizer",
     "SeedIdGenerator",
+    "bit_slice_counts",
+    "pack_bits",
+    "packed_hamming",
+    "popcount",
+    "popcount_words",
+    "unpack_bits",
     "bind",
     "bundle",
     "cosine",

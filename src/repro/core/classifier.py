@@ -61,6 +61,14 @@ class HDClassifier:
         Seed for the shuffling generator.
     norm_block:
         Granularity of the sub-norm table (128 in the ASIC).
+    engine:
+        Encoding engine override (``"reference"``/``"packed"``/``"auto"``)
+        applied to the encoder when it supports one; ``None`` keeps the
+        encoder's own setting.
+    encode_jobs:
+        Thread-pool width for batch encoding in :meth:`fit`/:meth:`predict`
+        (``None`` = serial, ``-1`` = all cores).  Results are identical
+        for any value.
     """
 
     def __init__(
@@ -71,6 +79,8 @@ class HDClassifier:
         shuffle: bool = True,
         seed: int = 0,
         norm_block: int = DEFAULT_BLOCK,
+        engine: Optional[str] = None,
+        encode_jobs: Optional[int] = None,
     ):
         self.encoder = encoder
         self.epochs = epochs
@@ -78,6 +88,13 @@ class HDClassifier:
         self.shuffle = shuffle
         self.rng = np.random.default_rng(seed)
         self.norm_block = norm_block
+        if engine is not None:
+            if not hasattr(encoder, "engine"):
+                raise ValueError(
+                    f"{type(encoder).__name__} has no selectable engine"
+                )
+            encoder.engine = engine
+        self.encode_jobs = encode_jobs
 
         self.classes_: Optional[np.ndarray] = None
         self.model_: Optional[np.ndarray] = None
@@ -94,7 +111,9 @@ class HDClassifier:
             raise ValueError(f"X has {len(X)} rows but y has {len(y)} labels")
         if not self.encoder.fitted:
             self.encoder.fit(X)
-        encodings = self.encoder.encode_batch(X).astype(np.float64)
+        encodings = self.encoder.encode_batch(
+            X, n_jobs=self.encode_jobs
+        ).astype(np.float64)
         self.classes_, y_idx = np.unique(y, return_inverse=True)
         n_classes = len(self.classes_)
 
@@ -196,7 +215,9 @@ class HDClassifier:
         constant_norms: bool = False,
     ) -> np.ndarray:
         """Encode and classify raw inputs."""
-        encodings = self.encoder.encode_batch(np.asarray(X, dtype=np.float64))
+        encodings = self.encoder.encode_batch(
+            np.asarray(X, dtype=np.float64), n_jobs=self.encode_jobs
+        )
         return self.predict_encoded(encodings, dim=dim, constant_norms=constant_norms)
 
     def score(
@@ -241,6 +262,7 @@ class HDClassifier:
             metric=self.metric,
             shuffle=self.shuffle,
             norm_block=self.norm_block,
+            encode_jobs=self.encode_jobs,
         )
         clone.classes_ = self.classes_
         clone.model_ = np.asarray(model, dtype=np.float64)

@@ -4,8 +4,10 @@ Every encoder maps a raw feature vector ``x`` (length ``d``) to an
 encoded hypervector of length ``dim``.  Encoders are *fit* on training
 data (to learn the quantization range and allocate level/id tables) and
 then encode single inputs or batches.  Batch encoding is chunked so the
-intermediate ``(batch, d, dim)`` level lookups stay within a bounded
-memory footprint.
+encode intermediates stay within a bounded memory footprint -- each
+encoder reports its own per-sample cost via ``_chunk_cost`` -- and can
+fan chunks out over a thread pool (``n_jobs``), since the NumPy kernels
+release the GIL.
 
 Encoders also report an :class:`OpProfile` -- the operation counts the
 platform models in :mod:`repro.platforms` use to estimate energy and
@@ -14,7 +16,9 @@ latency on conventional devices (Fig. 3 of the paper).
 
 from __future__ import annotations
 
+import os
 from abc import ABC, abstractmethod
+from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Optional
 
@@ -24,7 +28,16 @@ from repro.core.levels import LevelTable, Quantizer
 
 DEFAULT_DIM = 4096
 DEFAULT_LEVELS = 64
-_CHUNK_BUDGET = 64 * 1024 * 1024  # int8 elements allowed per chunk buffer
+_CHUNK_BUDGET = 64 * 1024 * 1024  # bytes of encode intermediates per chunk
+
+
+def _resolve_jobs(n_jobs: Optional[int]) -> int:
+    """Normalize an ``n_jobs`` request: None/0/1 -> serial, <0 -> all cores."""
+    if n_jobs is None or n_jobs == 0 or n_jobs == 1:
+        return 1
+    if n_jobs < 0:
+        return os.cpu_count() or 1
+    return int(n_jobs)
 
 
 @dataclass
@@ -100,8 +113,22 @@ class Encoder(ABC):
             raise ValueError(f"encode() takes a single input, got shape {x.shape}")
         return self.encode_batch(x[None, :])[0]
 
-    def encode_batch(self, X: np.ndarray, chunk: Optional[int] = None) -> np.ndarray:
-        """Encode a batch of inputs; returns an ``(N, dim)`` int32 matrix."""
+    def encode_batch(
+        self,
+        X: np.ndarray,
+        chunk: Optional[int] = None,
+        n_jobs: Optional[int] = None,
+    ) -> np.ndarray:
+        """Encode a batch of inputs; returns an ``(N, dim)`` int32 matrix.
+
+        The batch is split into chunks sized from the encoder's own
+        :meth:`_chunk_cost` estimate (bytes of intermediates per sample)
+        so the working set stays near the 64 MiB budget.  With
+        ``n_jobs`` set (``-1`` = all cores), chunks fan out over a
+        thread pool -- the NumPy kernels release the GIL, and every
+        chunk writes a disjoint slice of the preallocated output, so the
+        result is identical for any worker count.
+        """
         self._check_fitted()
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         if X.shape[1] != self.n_features:
@@ -110,13 +137,39 @@ class Encoder(ABC):
                 f"{self.n_features}"
             )
         if chunk is None:
-            per_sample = max(1, self.n_features * self.dim)
-            chunk = max(1, min(len(X), _CHUNK_BUDGET // per_sample))
+            chunk = self._auto_chunk(len(X))
         out = np.empty((len(X), self.dim), dtype=np.int32)
-        for start in range(0, len(X), chunk):
-            stop = min(start + chunk, len(X))
-            out[start:stop] = self._encode_chunk(X[start:stop])
+        spans = [
+            (start, min(start + chunk, len(X)))
+            for start in range(0, len(X), chunk)
+        ]
+        jobs = min(_resolve_jobs(n_jobs), len(spans))
+        if jobs > 1:
+            def _run(span):
+                start, stop = span
+                out[start:stop] = self._encode_chunk(X[start:stop])
+
+            with ThreadPoolExecutor(max_workers=jobs) as pool:
+                # list() so every future is awaited and errors propagate
+                list(pool.map(_run, spans))
+        else:
+            for start, stop in spans:
+                out[start:stop] = self._encode_chunk(X[start:stop])
         return out
+
+    def _auto_chunk(self, n: int) -> int:
+        """Chunk size keeping per-chunk intermediates within the budget."""
+        return max(1, min(n, _CHUNK_BUDGET // max(1, self._chunk_cost())))
+
+    def _chunk_cost(self) -> int:
+        """Approximate bytes of encode intermediates per input sample.
+
+        The default charges the ``(chunk, d, dim)`` int8 level lookup;
+        encoders with bigger working sets (windowed encoders allocate
+        ``n_windows``-scale products per offset) must override this so
+        :meth:`encode_batch` does not overshoot the chunk budget.
+        """
+        return int(self.n_features) * self.dim
 
     @abstractmethod
     def _encode_chunk(self, X: np.ndarray) -> np.ndarray:

@@ -12,6 +12,19 @@ and all bound window hypervectors are bundled:
 Setting the ids to the binding identity (``use_ids=False``) skips global
 binding, which the paper does for order-free applications such as
 language identification.  ``n = 3`` is the paper's default.
+
+Two engines implement the construction, selectable via ``engine``:
+
+- ``"reference"`` -- the direct bipolar-domain translation of Eq. 1:
+  ``(N, n_windows, D)`` int8 level lookups, ``np.roll`` per offset,
+  int8 multiplies.  Kept as the readable ground truth.
+- ``"packed"`` -- the bit-domain kernel of
+  :class:`~repro.core.kernels.GenericPackedKernel`: levels packed to
+  uint64 words once at fit (with per-offset permuted copies), windows
+  folded by word-wise XOR, bundling by bit-slice accumulation.
+  Bit-identical to the reference and roughly an order of magnitude
+  faster (Section 3.3's eGPU data-packing trick in software).
+- ``"auto"`` (default) resolves to ``"packed"``.
 """
 
 from __future__ import annotations
@@ -20,6 +33,9 @@ import numpy as np
 
 from repro.core.encoders.base import DEFAULT_DIM, DEFAULT_LEVELS, Encoder, OpProfile
 from repro.core.ids import SeedIdGenerator, identity_ids
+from repro.core.kernels import GenericPackedKernel
+
+ENGINES = ("auto", "reference", "packed")
 
 
 class GenericEncoder(Encoder):
@@ -35,6 +51,7 @@ class GenericEncoder(Encoder):
         window: int = 3,
         use_ids: bool = True,
         level_scheme: str = "linear",
+        engine: str = "auto",
     ):
         super().__init__(
             dim=dim, num_levels=num_levels, seed=seed, level_scheme=level_scheme
@@ -43,8 +60,57 @@ class GenericEncoder(Encoder):
             raise ValueError(f"window length must be >= 1, got {window}")
         self.window = window
         self.use_ids = use_ids
+        self.engine = engine
         self.id_generator: SeedIdGenerator | None = None
         self._ids: np.ndarray | None = None
+
+    # -- engine selection -------------------------------------------------
+
+    @property
+    def engine(self) -> str:
+        return self._engine
+
+    @engine.setter
+    def engine(self, value: str) -> None:
+        if value not in ENGINES:
+            raise ValueError(
+                f"unknown encode engine {value!r}; choose from {ENGINES}"
+            )
+        self._engine = value
+        self._kernel: GenericPackedKernel | None = None
+
+    def _resolved_engine(self) -> str:
+        return "reference" if self._engine == "reference" else "packed"
+
+    def _build_kernel(self) -> GenericPackedKernel:
+        kernel = GenericPackedKernel(
+            levels=self.levels.vectors,
+            ids=self._ids if self.use_ids else None,
+            window=self.window,
+            dim=self.dim,
+        )
+        self._kernel = kernel
+        self._kernel_sources = (self.levels.vectors, self._ids)
+        return kernel
+
+    def _current_kernel(self) -> GenericPackedKernel:
+        """The packed kernel, rebuilt if the source tables were swapped.
+
+        Fault injection and :mod:`repro.core.model_io` rebind
+        ``levels.vectors`` / ``_ids`` on fitted encoders; an identity
+        check keeps the packed tables in sync.  (In-place mutation of a
+        table is not detected -- swap the array, or use the reference
+        engine, when experimenting that way.)
+        """
+        if (
+            self._kernel is None
+            or self._kernel_sources[0] is not self.levels.vectors
+            or self._kernel_sources[1] is not self._ids
+        ):
+            return self._build_kernel()
+        return self._kernel
+
+    # -- fitting ----------------------------------------------------------
 
     def _allocate(self, X: np.ndarray) -> None:
         if self.n_features < self.window:
@@ -57,13 +123,24 @@ class GenericEncoder(Encoder):
             self._ids = self.id_generator.table(n_windows)
         else:
             self._ids = identity_ids(n_windows, self.dim)
+        self._kernel = None
+        if self._resolved_engine() == "packed":
+            self._build_kernel()
 
     @property
     def n_windows(self) -> int:
         self._check_fitted()
         return self.n_features - self.window + 1
 
+    # -- encoding ---------------------------------------------------------
+
     def _encode_chunk(self, X: np.ndarray) -> np.ndarray:
+        if self._resolved_engine() == "packed":
+            kernel = self._current_kernel()
+            return kernel.encode_bins(self.quantizer.transform(X))
+        return self._encode_chunk_reference(X)
+
+    def _encode_chunk_reference(self, X: np.ndarray) -> np.ndarray:
         bins = self.quantizer.transform(X)
         n_win = self.n_windows
         prod = np.ones((len(X), n_win, self.dim), dtype=np.int8)
@@ -75,11 +152,25 @@ class GenericEncoder(Encoder):
         bound = prod * self._ids[None, :, :]
         return bound.sum(axis=1, dtype=np.int32)
 
+    # -- cost reporting ---------------------------------------------------
+
+    def _chunk_cost(self) -> int:
+        w = self.n_windows
+        if self._resolved_engine() == "packed":
+            # fold words + one gather temp, plus the int32 count rows
+            words = (self.dim + 63) // 64
+            return 2 * w * words * 8 + 4 * self.dim
+        # level gather, its rolled copy, the running product, and the
+        # bound result all materialize at (n_windows, dim) int8 scale
+        return w * self.dim * (self.window + 1)
+
     def _op_profile(self) -> OpProfile:
         w = self.n_windows
-        # per window: (n-1) XORs to fold the permuted levels, 1 XOR for the
-        # id binding, and one accumulation into the bundle.
-        xors = w * self.window * self.dim
+        # per window: (n-1) XORs fold the permuted levels, plus 1 XOR for
+        # the id binding when ids are bound, and one accumulation into
+        # the bundle.
+        per_window = (self.window - 1) + (1 if self.use_ids else 0)
+        xors = w * per_window * self.dim
         adds = w * self.dim
         mem = (self.n_features + w * self.window) * self.dim // 8
         return OpProfile(
@@ -108,7 +199,13 @@ class NgramEncoder(GenericEncoder):
         num_levels: int = DEFAULT_LEVELS,
         seed: int = 0,
         window: int = 3,
+        engine: str = "auto",
     ):
         super().__init__(
-            dim=dim, num_levels=num_levels, seed=seed, window=window, use_ids=False
+            dim=dim,
+            num_levels=num_levels,
+            seed=seed,
+            window=window,
+            use_ids=False,
+            engine=engine,
         )

@@ -41,6 +41,8 @@ class AdaptiveHDClassifier(HDClassifier):
         shuffle: bool = True,
         seed: int = 0,
         norm_block: int = 128,
+        engine=None,
+        encode_jobs=None,
     ):
         super().__init__(
             encoder,
@@ -49,6 +51,8 @@ class AdaptiveHDClassifier(HDClassifier):
             shuffle=shuffle,
             seed=seed,
             norm_block=norm_block,
+            engine=engine,
+            encode_jobs=encode_jobs,
         )
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")

@@ -5,7 +5,11 @@ win over the Raspberry Pi "by data packing (for parallel XOR) and
 memory reuse".  This module is that software path: hypervectors are
 packed 64 dimensions per ``uint64`` word, binding is a word-wise XOR,
 and similarity is a popcount -- the representation any software
-deployment of a *1-bit* GENERIC model would actually use.
+deployment of a *1-bit* GENERIC model would actually use.  The bit
+primitives live in :mod:`repro.core.kernels` (re-exported here for
+compatibility); popcount uses ``np.bitwise_count`` when NumPy provides
+it, with a byte-LUT fallback, instead of the old 8x-memory
+``np.unpackbits`` expansion.
 
 :class:`PackedModel` converts a trained
 :class:`~repro.core.classifier.HDClassifier` into sign-quantized packed
@@ -24,66 +28,54 @@ import numpy as np
 from repro.core.classifier import HDClassifier
 from repro.core.encoders.base import Encoder
 from repro.core.hypervector import sign_quantize, to_binary
+from repro.core.kernels import (  # noqa: F401  (re-exported public API)
+    pack_bits,
+    packed_hamming,
+    popcount,
+    popcount_words,
+    unpack_bits,
+)
 
 _WORD = 64
-
-
-def pack_bits(bits: np.ndarray) -> np.ndarray:
-    """Pack a {0,1} array (..., D) into (..., ceil(D/64)) uint64 words."""
-    bits = np.asarray(bits, dtype=np.uint8)
-    d = bits.shape[-1]
-    pad = (-d) % _WORD
-    if pad:
-        bits = np.concatenate(
-            [bits, np.zeros((*bits.shape[:-1], pad), dtype=np.uint8)], axis=-1
-        )
-    bytes_ = np.packbits(bits, axis=-1, bitorder="little")
-    return bytes_.view(np.uint64).reshape(*bits.shape[:-1], -1)
-
-
-def unpack_bits(words: np.ndarray, dim: int) -> np.ndarray:
-    """Inverse of :func:`pack_bits`, truncated to ``dim`` bits."""
-    words = np.asarray(words, dtype=np.uint64)
-    bytes_ = words.view(np.uint8)
-    bits = np.unpackbits(bytes_, axis=-1, bitorder="little")
-    return bits[..., :dim]
-
-
-def popcount(words: np.ndarray) -> np.ndarray:
-    """Per-row popcount of packed words (sum over the last axis)."""
-    bytes_ = np.asarray(words, dtype=np.uint64).view(np.uint8)
-    return np.unpackbits(bytes_, axis=-1).sum(axis=-1).astype(np.int64)
-
-
-def packed_hamming(a: np.ndarray, b: np.ndarray) -> np.ndarray:
-    """Hamming distance between packed rows: popcount(a XOR b).
-
-    Broadcasting follows NumPy: (N, W) vs (C, 1, W)-style layouts work.
-    """
-    return popcount(np.bitwise_xor(a, b))
 
 
 class PackedModel:
     """Sign-quantized, bit-packed HDC classifier for binary deployment."""
 
     def __init__(self, encoder: Encoder, class_words: np.ndarray,
-                 class_labels: np.ndarray, dim: int):
+                 class_labels: np.ndarray, dim: int,
+                 encode_jobs: Optional[int] = None):
         self.encoder = encoder
         self.class_words = np.asarray(class_words, dtype=np.uint64)
         self.class_labels = np.asarray(class_labels)
         self.dim = dim
+        self.encode_jobs = encode_jobs
 
     @classmethod
     def from_classifier(cls, clf: HDClassifier,
-                        rng: Optional[np.random.Generator] = None) -> "PackedModel":
-        """Sign-quantize and pack a trained classifier's class matrix."""
+                        rng: Optional[np.random.Generator] = None,
+                        engine: Optional[str] = None,
+                        encode_jobs: Optional[int] = None) -> "PackedModel":
+        """Sign-quantize and pack a trained classifier's class matrix.
+
+        ``engine`` selects the query-encoding path when the encoder
+        supports one (see :class:`~repro.core.encoders.generic.GenericEncoder`);
+        ``encode_jobs`` fans query encoding out over a thread pool.
+        """
         if clf.model_ is None:
             raise RuntimeError("PackedModel needs a fitted classifier")
+        if engine is not None:
+            if not hasattr(clf.encoder, "engine"):
+                raise ValueError(
+                    f"{type(clf.encoder).__name__} has no selectable engine"
+                )
+            clf.encoder.engine = engine
         signs = np.vstack([
             sign_quantize(row, rng=rng) for row in clf.model_
         ])
         words = pack_bits(to_binary(signs))
-        return cls(clf.encoder, words, clf.classes_, clf.encoder.dim)
+        return cls(clf.encoder, words, clf.classes_, clf.encoder.dim,
+                   encode_jobs=encode_jobs)
 
     # -- inference --------------------------------------------------------------
 
@@ -94,7 +86,9 @@ class PackedModel:
         :mod:`repro.serve`) can time and schedule the encode and search
         stages independently.
         """
-        encodings = self.encoder.encode_batch(np.atleast_2d(X))
+        encodings = self.encoder.encode_batch(
+            np.atleast_2d(X), n_jobs=self.encode_jobs
+        )
         signs = np.where(encodings >= 0, 1, -1).astype(np.int8)
         return pack_bits(to_binary(signs))
 

@@ -38,13 +38,31 @@ Model = Union[HDClassifier, PackedModel]
 
 
 class Deployment:
-    """A servable model: batched two-stage inference + shed-dim mapping."""
+    """A servable model: batched two-stage inference + shed-dim mapping.
+
+    ``engine`` selects the encoding path when the model's encoder
+    supports one (``"reference"``/``"packed"``/``"auto"`` on the
+    GENERIC-family encoders); ``encode_jobs`` fans the encode stage out
+    over a thread pool.  Both default to leaving the model as-is.
+    """
 
     def __init__(self, name: str, model: Model, version: int = 1,
-                 min_dim: Optional[int] = None):
+                 min_dim: Optional[int] = None,
+                 engine: Optional[str] = None,
+                 encode_jobs: Optional[int] = None):
         self.name = name
         self.model = model
         self.version = version
+        self.encode_jobs = encode_jobs
+        if engine is not None:
+            encoder = model.encoder
+            if not hasattr(encoder, "engine"):
+                raise ValueError(
+                    f"deployment {name!r}: {type(encoder).__name__} has "
+                    "no selectable engine"
+                )
+            encoder.engine = engine
+        self.engine = engine
 
         if isinstance(model, PackedModel):
             self.kind = "packed"
@@ -97,8 +115,12 @@ class Deployment:
         """Stage 1: raw features -> model-native query representation."""
         X = np.atleast_2d(np.asarray(X, dtype=np.float64))
         if self.kind == "packed":
+            if self.encode_jobs is not None:
+                self.model.encode_jobs = self.encode_jobs
             return self.model.encode_packed(X)
-        return self.model.encoder.encode_batch(X).astype(np.float64)
+        return self.model.encoder.encode_batch(
+            X, n_jobs=self.encode_jobs
+        ).astype(np.float64)
 
     def search(self, encoded: np.ndarray,
                dim: Optional[int] = None) -> np.ndarray:
@@ -128,13 +150,16 @@ class ModelRegistry:
         self._deployments: Dict[str, Deployment] = {}
 
     def register(self, name: str, model: Model,
-                 min_dim: Optional[int] = None) -> Deployment:
+                 min_dim: Optional[int] = None,
+                 engine: Optional[str] = None,
+                 encode_jobs: Optional[int] = None) -> Deployment:
         """Deploy ``model`` under ``name``; replaces (hot-swaps) any
         existing deployment and bumps the version."""
         with self._lock:
             previous = self._deployments.get(name)
             version = previous.version + 1 if previous else 1
-            dep = Deployment(name, model, version=version, min_dim=min_dim)
+            dep = Deployment(name, model, version=version, min_dim=min_dim,
+                             engine=engine, encode_jobs=encode_jobs)
             self._deployments[name] = dep
             return dep
 

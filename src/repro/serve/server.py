@@ -49,6 +49,9 @@ class ServeConfig:
     max_wait: float = 0.002      # linger (s) after the first request of a batch
     n_workers: int = 2
     queue_size: int = 1024       # admission bound; beyond it -> QueueFull
+    # -- encode stage -------------------------------------------------------
+    engine: Optional[str] = None   # "reference"|"packed"|"auto" where supported
+    encode_jobs: Optional[int] = None  # thread fan-out inside the encode stage
     # -- load shedding ------------------------------------------------------
     max_shed_level: int = 24     # each level drops 128 dims (clamped per model)
     queue_high: int = 32         # shed when depth reaches this
@@ -87,9 +90,20 @@ class InferenceServer:
     # -- deployments --------------------------------------------------------
 
     def register(self, name: str, model: Model,
-                 min_dim: Optional[int] = None) -> Deployment:
-        """Deploy (or hot-swap) ``model`` under ``name``."""
-        return self.registry.register(name, model, min_dim=min_dim)
+                 min_dim: Optional[int] = None,
+                 engine: Optional[str] = None,
+                 encode_jobs: Optional[int] = None) -> Deployment:
+        """Deploy (or hot-swap) ``model`` under ``name``.
+
+        ``engine``/``encode_jobs`` override the config-wide encode-stage
+        settings for this deployment (see :class:`ServeConfig`).
+        """
+        return self.registry.register(
+            name, model, min_dim=min_dim,
+            engine=engine if engine is not None else self.config.engine,
+            encode_jobs=(encode_jobs if encode_jobs is not None
+                         else self.config.encode_jobs),
+        )
 
     # -- lifecycle ----------------------------------------------------------
 

@@ -5,6 +5,12 @@ the deployment's two inference stages on the coalesced feature matrix,
 resolve every request's future with a :class:`Prediction`, then let the
 shed policy observe the post-batch queue depth.
 
+The encode stage runs whatever engine the deployment selected
+(``ServeConfig.engine`` / ``register(engine=...)``): with the GENERIC
+encoders that defaults to the bit-packed XOR kernel of
+:mod:`repro.core.kernels`, so the worker threads spend their time in
+GIL-releasing NumPy word ops rather than int8 multiplies.
+
 Per-stage latency histograms (``queue_wait``, ``encode``, ``search``,
 ``total``) land in the shared :class:`~repro.serve.metrics.MetricsHub`;
 the ``shed_level`` gauge mirrors the policy so a snapshot shows the

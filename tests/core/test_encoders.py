@@ -165,6 +165,26 @@ class TestGenericEncoder:
         h = enc.encode(data[0])
         assert np.abs(h).max() <= enc.n_windows
 
+    def test_op_profile_xor_count_matches_construction(self, data):
+        """Folding n permuted levels takes (n-1) XORs, +1 for the id bind."""
+        for window in (1, 3, 5):
+            enc = GenericEncoder(dim=DIM, window=window, use_ids=True).fit(data)
+            w = enc.n_windows
+            assert enc.op_profile().xor_ops == w * window * DIM  # (n-1)+1 = n
+
+    def test_op_profile_no_id_xor_without_ids(self, data):
+        """use_ids=False must not charge the id-binding XOR."""
+        for window in (1, 3):
+            enc = GenericEncoder(
+                dim=DIM, window=window, use_ids=False
+            ).fit(data)
+            w = enc.n_windows
+            assert enc.op_profile().xor_ops == w * (window - 1) * DIM
+        # degenerate case: one-element windows without ids need no XOR at all
+        enc1 = GenericEncoder(dim=DIM, window=1, use_ids=False).fit(data)
+        assert enc1.op_profile().xor_ops == 0
+        assert enc1.op_profile().add_ops > 0
+
 
 class TestRandomProjection:
     def test_quantize_toggle(self, data):

@@ -35,6 +35,22 @@ class TestPacking:
         words = np.array([[0, 0xFF, 0xFFFFFFFFFFFFFFFF]], dtype=np.uint64)
         assert popcount(words)[0] == 8 + 64
 
+    def test_popcount_matches_unpackbits_reference(self):
+        """The fast path (bitwise_count / LUT) equals the old expansion."""
+        rng = np.random.default_rng(8)
+        words = rng.integers(0, 2**64, size=(6, 9), dtype=np.uint64)
+        expected = (
+            np.unpackbits(words.view(np.uint8), axis=-1)
+            .sum(axis=-1)
+            .astype(np.int64)
+        )
+        assert np.array_equal(popcount(words), expected)
+        from repro.core.kernels import _popcount_words_lut
+
+        assert np.array_equal(
+            _popcount_words_lut(words).sum(axis=-1, dtype=np.int64), expected
+        )
+
     def test_packed_hamming_matches_bitwise(self):
         rng = np.random.default_rng(1)
         a_bits = rng.integers(0, 2, size=256, dtype=np.uint8)

@@ -67,6 +67,44 @@ class TestDeployment:
         with pytest.raises(ValueError):
             Deployment("m", serve_classifier, min_dim=1024)  # > dim
 
+    @pytest.fixture
+    def restore_engine(self, serve_classifier):
+        yield
+        serve_classifier.encoder.engine = "auto"  # session-scoped fixture
+
+    def test_engine_flag_applied_to_encoder(self, serve_classifier, restore_engine):
+        Deployment("m", serve_classifier, engine="reference")
+        assert serve_classifier.encoder.engine == "reference"
+        Deployment("m", serve_classifier, engine="packed")
+        assert serve_classifier.encoder.engine == "packed"
+
+    def test_engine_choice_never_changes_predictions(
+        self, serve_classifier, serve_queries, restore_engine
+    ):
+        ref = Deployment("m", serve_classifier, engine="reference")
+        ref_out = ref.predict(serve_queries)
+        packed = Deployment("m", serve_classifier, engine="packed")
+        assert np.array_equal(packed.predict(serve_queries), ref_out)
+
+    def test_encode_jobs_never_changes_predictions(
+        self, serve_classifier, serve_queries
+    ):
+        serial = Deployment("m", serve_classifier).predict(serve_queries)
+        fanned = Deployment(
+            "m", serve_classifier, encode_jobs=3
+        ).predict(serve_queries)
+        assert np.array_equal(serial, fanned)
+
+    def test_engine_on_unsupported_encoder_rejected(self, toy_problem):
+        from repro.core.encoders import RandomProjectionEncoder
+
+        X_train, y_train, _, _ = toy_problem
+        clf = HDClassifier(
+            RandomProjectionEncoder(dim=256, seed=1), epochs=1
+        ).fit(X_train, y_train)
+        with pytest.raises(ValueError, match="no selectable engine"):
+            Deployment("m", clf, engine="packed")
+
 
 class TestModelRegistry:
     def test_register_and_get(self, serve_classifier):
