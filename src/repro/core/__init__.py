@@ -7,6 +7,12 @@ paper: classification with retraining and unsupervised clustering.
 
 from repro.core.classifier import HDClassifier
 from repro.core.clustering import HDCluster
+from repro.core.training import (
+    TRAIN_ENGINES,
+    TrainPlan,
+    TrainReport,
+    plan_retraining,
+)
 from repro.core.online import AdaptiveHDClassifier
 from repro.core.packed import PackedModel
 from repro.core.hypervector import (
@@ -36,6 +42,10 @@ from repro.core.kernels import (
 
 __all__ = [
     "AdaptiveHDClassifier",
+    "TRAIN_ENGINES",
+    "TrainPlan",
+    "TrainReport",
+    "plan_retraining",
     "GenericPackedKernel",
     "PackedModel",
     "HDClassifier",

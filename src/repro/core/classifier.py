@@ -20,27 +20,17 @@ full-length norms (the "Constant" curves of Fig. 5).
 
 from __future__ import annotations
 
-from dataclasses import dataclass
 from typing import Optional
 
 import numpy as np
 
+from repro.core import training
 from repro.core.encoders.base import Encoder
 from repro.core.norms import DEFAULT_BLOCK, SubNormTable
 from repro.core.sims import score as score_fn
+from repro.core.training import TRAIN_ENGINES, TrainPlan, TrainReport
 
-
-@dataclass
-class TrainReport:
-    """Bookkeeping returned by :meth:`HDClassifier.fit`."""
-
-    epochs_run: int
-    updates_per_epoch: list
-    train_accuracy_per_epoch: list
-
-    @property
-    def final_train_accuracy(self) -> float:
-        return self.train_accuracy_per_epoch[-1] if self.train_accuracy_per_epoch else 0.0
+__all__ = ["HDClassifier", "TrainReport", "TrainPlan", "TRAIN_ENGINES"]
 
 
 class HDClassifier:
@@ -69,7 +59,21 @@ class HDClassifier:
         Thread-pool width for batch encoding in :meth:`fit`/:meth:`predict`
         (``None`` = serial, ``-1`` = all cores).  Results are identical
         for any value.
+    train_engine:
+        Retraining engine: ``"reference"`` (the paper's per-sample loop),
+        ``"gram"`` (the dot-product-cached replay of
+        :mod:`repro.core.training` -- result-identical for this
+        classifier's integer ±h rule), or ``"auto"`` (gram whenever
+        exactness is provable and the cache fits ``train_memory_budget``).
+        The resolved choice is recorded on ``train_plan_`` after
+        :meth:`fit`.
+    train_memory_budget:
+        Byte cap for the gram caches (``None`` = the module default,
+        256 MiB); ``"auto"`` falls back to the reference engine beyond it.
     """
+
+    #: update rule implemented by this class (see repro.core.training)
+    train_rule = "paper"
 
     def __init__(
         self,
@@ -81,11 +85,14 @@ class HDClassifier:
         norm_block: int = DEFAULT_BLOCK,
         engine: Optional[str] = None,
         encode_jobs: Optional[int] = None,
+        train_engine: str = "auto",
+        train_memory_budget: Optional[int] = None,
     ):
         self.encoder = encoder
         self.epochs = epochs
         self.metric = metric
         self.shuffle = shuffle
+        self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.norm_block = norm_block
         if engine is not None:
@@ -94,12 +101,21 @@ class HDClassifier:
                     f"{type(encoder).__name__} has no selectable engine"
                 )
             encoder.engine = engine
+        self.engine = engine
         self.encode_jobs = encode_jobs
+        if train_engine not in TRAIN_ENGINES:
+            raise ValueError(
+                f"unknown train engine {train_engine!r}; "
+                f"choose from {TRAIN_ENGINES}"
+            )
+        self.train_engine = train_engine
+        self.train_memory_budget = train_memory_budget
 
         self.classes_: Optional[np.ndarray] = None
         self.model_: Optional[np.ndarray] = None
         self.norms_: Optional[SubNormTable] = None
         self.report_: Optional[TrainReport] = None
+        self.train_plan_: Optional[TrainPlan] = None
 
     # -- training ----------------------------------------------------------
 
@@ -111,9 +127,11 @@ class HDClassifier:
             raise ValueError(f"X has {len(X)} rows but y has {len(y)} labels")
         if not self.encoder.fitted:
             self.encoder.fit(X)
-        encodings = self.encoder.encode_batch(
-            X, n_jobs=self.encode_jobs
-        ).astype(np.float64)
+        raw = self.encoder.encode_batch(X, n_jobs=self.encode_jobs)
+        # integral encodings let the training planner skip its whole-array
+        # integer check (see training._paper_rule_exact)
+        self._encodings_integral = bool(np.issubdtype(raw.dtype, np.integer))
+        encodings = np.asarray(raw, dtype=np.float64)
         self.classes_, y_idx = np.unique(y, return_inverse=True)
         n_classes = len(self.classes_)
 
@@ -122,8 +140,11 @@ class HDClassifier:
             raise ValueError(
                 f"encoder dim {dim} must be a multiple of norm_block={self.norm_block}"
             )
-        model = np.zeros((n_classes, dim), dtype=np.float64)
-        np.add.at(model, y_idx, encodings)
+        # class init as a one-hot GEMM: one BLAS call instead of the much
+        # slower np.add.at scatter; exact for the integer encodings
+        onehot = np.zeros((len(y_idx), n_classes), dtype=np.float64)
+        onehot[np.arange(len(y_idx)), y_idx] = 1.0
+        model = onehot.T @ encodings
 
         self.model_ = model
         self.norms_ = SubNormTable(n_classes, dim, block=self.norm_block)
@@ -133,35 +154,8 @@ class HDClassifier:
         return self
 
     def _retrain(self, encodings: np.ndarray, y_idx: np.ndarray) -> TrainReport:
-        """Per-sample online retraining (Fig. 1c)."""
-        updates_per_epoch = []
-        acc_per_epoch = []
-        n = len(encodings)
-        order = np.arange(n)
-        for _ in range(self.epochs):
-            if self.shuffle:
-                self.rng.shuffle(order)
-            updates = 0
-            for i in order:
-                h = encodings[i]
-                pred = int(np.argmax(self._scores(h[None, :])[0]))
-                truth = int(y_idx[i])
-                if pred != truth:
-                    self.model_[pred] -= h
-                    self.model_[truth] += h
-                    self.norms_.update_class(pred, self.model_[pred])
-                    self.norms_.update_class(truth, self.model_[truth])
-                    updates += 1
-            updates_per_epoch.append(updates)
-            preds = np.argmax(self._scores(encodings), axis=1)
-            acc_per_epoch.append(float(np.mean(preds == y_idx)))
-            if updates == 0:
-                break
-        return TrainReport(
-            epochs_run=len(updates_per_epoch),
-            updates_per_epoch=updates_per_epoch,
-            train_accuracy_per_epoch=acc_per_epoch,
-        )
+        """Per-sample online retraining (Fig. 1c) under ``train_engine``."""
+        return training.retrain(self, encodings, y_idx)
 
     # -- inference -----------------------------------------------------------
 
@@ -200,11 +194,16 @@ class HDClassifier:
         dim: Optional[int] = None,
         constant_norms: bool = False,
     ) -> np.ndarray:
-        """Predict from pre-encoded queries (optionally dimension-reduced)."""
+        """Predict from pre-encoded queries (optionally dimension-reduced).
+
+        Float64 input is scored in place (no conversion copy); other
+        dtypes (e.g. raw int32 encodings) are upcast once.
+        """
+        encodings = np.asarray(encodings)
+        if encodings.dtype != np.float64:
+            encodings = encodings.astype(np.float64)
         scores = self._scores(
-            np.atleast_2d(np.asarray(encodings, dtype=np.float64)),
-            dim=dim,
-            constant_norms=constant_norms,
+            np.atleast_2d(encodings), dim=dim, constant_norms=constant_norms
         )
         return self.classes_[np.argmax(scores, axis=1)]
 
@@ -261,8 +260,12 @@ class HDClassifier:
             epochs=self.epochs,
             metric=self.metric,
             shuffle=self.shuffle,
+            seed=self.seed,
             norm_block=self.norm_block,
+            engine=self.engine,
             encode_jobs=self.encode_jobs,
+            train_engine=self.train_engine,
+            train_memory_budget=self.train_memory_budget,
         )
         clone.classes_ = self.classes_
         clone.model_ = np.asarray(model, dtype=np.float64)

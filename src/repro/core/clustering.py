@@ -27,6 +27,8 @@ class HDCluster:
         k: int,
         epochs: int = 10,
         seed: int = 0,
+        engine: Optional[str] = None,
+        encode_jobs: Optional[int] = None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -34,6 +36,14 @@ class HDCluster:
         self.k = k
         self.epochs = epochs
         self.rng = np.random.default_rng(seed)
+        if engine is not None:
+            if not hasattr(encoder, "engine"):
+                raise ValueError(
+                    f"{type(encoder).__name__} has no selectable engine"
+                )
+            encoder.engine = engine
+        self.engine = engine
+        self.encode_jobs = encode_jobs
 
         self.centroids_: Optional[np.ndarray] = None
         self.labels_: Optional[np.ndarray] = None
@@ -46,7 +56,9 @@ class HDCluster:
             raise ValueError(f"need at least k={self.k} samples, got {len(X)}")
         if not self.encoder.fitted:
             self.encoder.fit(X)
-        encodings = self.encoder.encode_batch(X).astype(np.float64)
+        encodings = self.encoder.encode_batch(
+            X, n_jobs=self.encode_jobs
+        ).astype(np.float64)
 
         # Paper: the first k encoded inputs are the initial centroids.
         centroids = encodings[: self.k].copy()
@@ -76,7 +88,9 @@ class HDCluster:
         """Assign new inputs to the learned centroids."""
         if self.centroids_ is None:
             raise RuntimeError("HDCluster used before fit()")
-        encodings = self.encoder.encode_batch(np.asarray(X, dtype=np.float64))
+        encodings = self.encoder.encode_batch(
+            np.asarray(X, dtype=np.float64), n_jobs=self.encode_jobs
+        )
         scores = cosine_scores(encodings.astype(np.float64), self.centroids_)
         return np.argmax(scores, axis=1)
 

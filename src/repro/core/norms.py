@@ -47,6 +47,35 @@ class SubNormTable:
         blocked = c.reshape(self.n_blocks, self.block)
         self.table[index] = (blocked * blocked).sum(axis=1)
 
+    def delta_update(
+        self,
+        index: int,
+        base_row: np.ndarray,
+        h: np.ndarray,
+        scale: float = 1.0,
+        h_block_norm2: np.ndarray = None,
+    ) -> None:
+        """Exact per-block delta for the update ``new = base + scale * h``.
+
+        Applies ``||base_blk + scale·h_blk||² - ||base_blk||²
+        = 2·scale·(base_blk · h_blk) + scale²·||h_blk||²`` to row
+        ``index``.  ``base_row`` is the class vector *before* the model
+        update; callers that update many samples against the same
+        hypervectors can pass precomputed ``||h_blk||²`` rows
+        (``h_block_norm2``) to skip the squaring.  For integer-valued
+        vectors (the paper's ±h rule) this is bit-equal to
+        :meth:`update_class` on the post-update row; for float scales it
+        agrees to rounding error.
+        """
+        base = np.asarray(base_row, dtype=np.float64).reshape(
+            self.n_blocks, self.block
+        )
+        hv = np.asarray(h, dtype=np.float64).reshape(self.n_blocks, self.block)
+        cross = np.einsum("ij,ij->i", base, hv)
+        if h_block_norm2 is None:
+            h_block_norm2 = np.einsum("ij,ij->i", hv, hv)
+        self.table[index] += 2.0 * scale * cross + (scale * scale) * h_block_norm2
+
     def norm2(self, dim: int) -> np.ndarray:
         """Squared norms over the first ``dim`` dimensions (block granular).
 

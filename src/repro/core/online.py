@@ -25,11 +25,17 @@ from __future__ import annotations
 
 import numpy as np
 
-from repro.core.classifier import HDClassifier, TrainReport
+from repro.core.classifier import HDClassifier
 
 
 class AdaptiveHDClassifier(HDClassifier):
     """HDC classifier with similarity-weighted (OnlineHD-style) updates."""
+
+    #: similarity-scaled update rule (see repro.core.training); because the
+    #: updates are continuous-valued, ``train_engine="auto"`` resolves to the
+    #: reference loop and ``"gram"`` must be requested explicitly (it agrees
+    #: to float rounding, not bit-for-bit).
+    train_rule = "adaptive"
 
     def __init__(
         self,
@@ -43,6 +49,8 @@ class AdaptiveHDClassifier(HDClassifier):
         norm_block: int = 128,
         engine=None,
         encode_jobs=None,
+        train_engine: str = "auto",
+        train_memory_budget=None,
     ):
         super().__init__(
             encoder,
@@ -53,6 +61,8 @@ class AdaptiveHDClassifier(HDClassifier):
             norm_block=norm_block,
             engine=engine,
             encode_jobs=encode_jobs,
+            train_engine=train_engine,
+            train_memory_budget=train_memory_budget,
         )
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")
@@ -65,42 +75,6 @@ class AdaptiveHDClassifier(HDClassifier):
         hn = np.linalg.norm(h)
         safe = np.where(norms * hn == 0.0, np.inf, norms * hn)
         return dots / safe
-
-    def _retrain(self, encodings: np.ndarray, y_idx: np.ndarray) -> TrainReport:
-        updates_per_epoch = []
-        acc_per_epoch = []
-        n = len(encodings)
-        order = np.arange(n)
-        for _ in range(self.epochs):
-            if self.shuffle:
-                self.rng.shuffle(order)
-            updates = 0
-            for i in order:
-                h = encodings[i]
-                sims = self._cosine_row(h)
-                pred = int(np.argmax(sims))
-                truth = int(y_idx[i])
-                if pred != truth:
-                    self.model_[truth] += self.lr * (1.0 - sims[truth]) * h
-                    self.model_[pred] -= self.lr * (1.0 - sims[pred]) * h
-                    self.norms_.update_class(truth, self.model_[truth])
-                    self.norms_.update_class(pred, self.model_[pred])
-                    updates += 1
-                elif self.update_on_correct:
-                    bump = 0.1 * self.lr * (1.0 - sims[truth])
-                    if bump > 0:
-                        self.model_[truth] += bump * h
-                        self.norms_.update_class(truth, self.model_[truth])
-            updates_per_epoch.append(updates)
-            preds = np.argmax(self._scores(encodings), axis=1)
-            acc_per_epoch.append(float(np.mean(preds == y_idx)))
-            if updates == 0 and not self.update_on_correct:
-                break
-        return TrainReport(
-            epochs_run=len(updates_per_epoch),
-            updates_per_epoch=updates_per_epoch,
-            train_accuracy_per_epoch=acc_per_epoch,
-        )
 
     def partial_fit(self, X: np.ndarray, y: np.ndarray) -> "AdaptiveHDClassifier":
         """Continue training on a new batch (streaming adaptation).

@@ -1,0 +1,594 @@
+"""Retraining engines: the reference per-sample loop and a Gram cache.
+
+The paper's retraining (Fig. 1c) is inherently sequential -- every
+sample is scored against the *current* model, and a misprediction
+mutates the model before the next sample is scored.  The reference
+engine implements exactly that, one NumPy matvec per sample.  The
+``gram`` engine computes the same sequence of predictions and updates
+from two caches instead:
+
+- ``G = encodings @ model.T`` (kept transposed as ``(n_classes, n)``):
+  scoring sample ``i`` is a read of column ``i`` -- no matvec.  When
+  class ``c`` changes by ``±h_i``, the whole row ``G[c]`` moves by
+  ``±k_i`` where ``k_i = encodings @ h_i`` is a column of the Gram
+  matrix ``K = encodings @ encodings.T``.
+- scalar squared norms per class, moved by the identity
+  ``||C ± h||² = ||C||² ± 2·(C·h) + ||h||²`` where ``C·h`` is *already
+  in the cache* (it is ``G[c, i]``), so a misprediction costs
+  ``O(n + dim)`` instead of two full ``O(dim)`` norm recomputes plus an
+  ``O(n_classes · dim)`` matvec per subsequent score.
+
+``K`` itself is memory-gated: when it fits the budget it is built once
+with one BLAS GEMM (in float32 when the values provably stay exact --
+see below); otherwise columns are computed on demand and cached while
+the budget lasts.
+
+**Why the gram engine is result-identical, not just close.**  Encoded
+hypervectors are integer-valued (window-folded XOR sums), so the model,
+every dot product, and every squared norm are integers.  IEEE-754
+float64 arithmetic on integers below 2**53 is exact regardless of
+association order, which makes the cached dots and delta-updated norms
+*bit-equal* to freshly computed ones -- the scores, arg-maxes, update
+sequence, final model, and :class:`SubNormTable` all match the
+reference engine exactly.  :func:`plan_retraining` verifies the
+integer-magnitude precondition up front (a conservative worst-case
+growth bound); ``engine="auto"`` falls back to the reference loop when
+it cannot prove exactness or when the Gram cache would not fit the
+memory budget.
+
+The adaptive (OnlineHD-style) rule of
+:class:`~repro.core.online.AdaptiveHDClassifier` scales updates by
+continuous similarities, so its cached dots drift from fresh ones at
+float rounding level; its gram engine is numerically equivalent (and
+refreshes the cache every epoch) but not guaranteed bit-identical,
+which is why ``auto`` resolves to ``reference`` for the adaptive rule.
+"""
+
+from __future__ import annotations
+
+import math
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from repro.core.sims import METRICS
+
+#: selectable training engines (mirrors the encoders' ``engine=`` flag)
+TRAIN_ENGINES = ("auto", "reference", "gram")
+
+#: default cap on Gram-cache memory (G + K + column cache), in bytes
+DEFAULT_TRAIN_BUDGET = 256 * 2**20
+
+#: integer magnitudes must stay below this for float64 ops to be exact;
+#: one bit of slack under 2**53 covers the ``2*(C·h) + ||h||²`` deltas
+_EXACT_LIMIT = 2.0**52
+
+#: float32 accumulates integers exactly below 2**24 (used for K)
+_EXACT_LIMIT_F32 = 2.0**24
+
+_EPOCH_CHUNK = 16384  # samples per epoch-end accuracy chunk
+
+#: samples per vectorized scan block in the gram engine.  The scan
+#: scores a whole block from the cache and jumps to the first
+#: misprediction, so converged epochs cost a handful of NumPy calls per
+#: block instead of one Python iteration per sample.  128 balances the
+#: per-update tail rescan (grows with the block) against per-block
+#: overhead (shrinks with it).
+_SCAN_CHUNK = 128
+
+
+@dataclass
+class TrainReport:
+    """Bookkeeping returned by :meth:`HDClassifier.fit`."""
+
+    epochs_run: int
+    updates_per_epoch: list
+    train_accuracy_per_epoch: list
+    #: wall-clock seconds spent inside the retraining engine (set by
+    #: :func:`retrain`; excludes encoding and model initialization)
+    seconds: Optional[float] = None
+
+    @property
+    def final_train_accuracy(self) -> float:
+        return self.train_accuracy_per_epoch[-1] if self.train_accuracy_per_epoch else 0.0
+
+
+@dataclass
+class TrainPlan:
+    """Resolved engine choice for one ``fit()`` (see ``clf.train_plan_``)."""
+
+    requested: str          # what the caller asked for
+    engine: str             # "reference" | "gram"
+    rule: str               # "paper" | "adaptive"
+    exact: bool             # gram proven bit-identical to reference
+    kernel: str             # "precomputed" | "columns" | "none"
+    kernel_dtype: str       # "float32" | "float64" | "-"
+    cache_bytes: int        # planned gram-cache footprint
+    budget_bytes: int
+    reason: str             # why this engine was picked
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return (
+            f"TrainPlan({self.requested!r} -> {self.engine!r}, rule={self.rule}, "
+            f"exact={self.exact}, kernel={self.kernel}, {self.reason})"
+        )
+
+
+# -- planning ---------------------------------------------------------------
+
+
+def _bound_stats(encodings: np.ndarray):
+    """Per-column L1 / max-abs bounds, without materializing ``|E|``.
+
+    Encodings are typically non-negative (XOR-popcount counts), in which
+    case three allocation-free reduction passes suffice; mixed-sign data
+    falls back to one ``np.abs`` temporary.
+    """
+    if float(encodings.min()) >= 0.0:
+        return encodings.sum(axis=0), encodings.max(axis=0)
+    abs_e = np.abs(encodings)
+    return abs_e.sum(axis=0), abs_e.max(axis=0)
+
+
+def _paper_rule_exact(
+    encodings: np.ndarray,
+    epochs: int,
+    assume_integral: bool = False,
+    stats=None,
+) -> bool:
+    """True when the gram replay of the ±h rule is provably bit-exact.
+
+    Requires integer-valued encodings whose worst-case dot products and
+    squared norms stay below 2**52.  The growth bound is conservative:
+    it assumes every sample is moved into the same class every epoch.
+    ``assume_integral`` skips the whole-array integer scan when the
+    caller has already seen an integer source dtype; ``stats`` accepts a
+    precomputed ``(col_l1, col_max)`` pair from :func:`_bound_stats`.
+    """
+    if encodings.size == 0:
+        return True
+    if not assume_integral and not np.array_equal(
+        encodings, np.trunc(encodings)
+    ):
+        return False
+    col_l1, col_max = _bound_stats(encodings) if stats is None else stats
+    growth = (1.0 + float(epochs)) * col_l1   # worst-case model magnitude
+    dot_bound = float(col_max @ growth)
+    norm_bound = float(growth @ growth)
+    return max(dot_bound, norm_bound) < _EXACT_LIMIT
+
+
+def plan_retraining(
+    encodings: np.ndarray,
+    n_classes: int,
+    epochs: int,
+    engine: str = "auto",
+    rule: str = "paper",
+    budget_bytes: Optional[int] = None,
+    assume_integral: bool = False,
+) -> TrainPlan:
+    """Pick the retraining engine and Gram-cache layout for one fit."""
+    if engine not in TRAIN_ENGINES:
+        raise ValueError(
+            f"unknown train engine {engine!r}; choose from {TRAIN_ENGINES}"
+        )
+    budget = DEFAULT_TRAIN_BUDGET if budget_bytes is None else int(budget_bytes)
+    n = len(encodings)
+
+    def reference(reason: str, exact: bool = True) -> TrainPlan:
+        return TrainPlan(engine, "reference", rule, exact, "none", "-",
+                         0, budget, reason)
+
+    if engine == "reference":
+        return reference("requested")
+    if epochs <= 0 or n == 0:
+        return reference("nothing to retrain")
+
+    stats = _bound_stats(encodings) if n else None
+    exact = rule == "paper" and _paper_rule_exact(
+        encodings, epochs, assume_integral=assume_integral, stats=stats
+    )
+    if engine == "auto":
+        if rule != "paper":
+            return reference(
+                "adaptive updates are similarity-scaled (non-integer); "
+                "gram replay is not provably bit-identical", exact=False,
+            )
+        if not exact:
+            return reference(
+                "encodings fail the integer-exactness bound for gram replay",
+                exact=False,
+            )
+
+    # gram-cache layout: G (n_classes, n) + h2 (n) always; K when it fits
+    g_bytes = n_classes * n * 8 + n * 8
+    if engine == "auto" and g_bytes > budget:
+        return reference(
+            f"dot cache ({g_bytes} B) exceeds the {budget} B budget"
+        )
+    kernel_f32 = (
+        stats is not None
+        and float(stats[1].max()) ** 2 * encodings.shape[1] < _EXACT_LIMIT_F32
+    )
+    k_dtype = "float32" if kernel_f32 else "float64"
+    k_bytes = n * n * (4 if kernel_f32 else 8)
+    if g_bytes + k_bytes <= budget:
+        kernel, cache = "precomputed", g_bytes + k_bytes
+    else:
+        kernel, cache = "columns", g_bytes  # on-demand columns, budget-gated
+    return TrainPlan(engine, "gram", rule, exact, kernel, k_dtype,
+                     cache, budget, "gram cache fits the memory budget")
+
+
+# -- shared helpers ---------------------------------------------------------
+
+
+class _ColumnProvider:
+    """Columns of the Gram matrix ``K = E @ E.T``, per the plan.
+
+    ``precomputed`` builds K with one GEMM (float32 when exact);
+    ``columns`` computes ``E @ E[i]`` on first use and caches the result
+    while the remaining memory budget allows.
+    """
+
+    def __init__(self, encodings: np.ndarray, plan: TrainPlan):
+        self._E = encodings
+        n = len(encodings)
+        self.kernel: Optional[np.ndarray] = None
+        self._cache: Dict[int, np.ndarray] = {}
+        self._capacity = 0
+        if plan.kernel == "precomputed":
+            e = encodings
+            if plan.kernel_dtype == "float32":
+                e = encodings.astype(np.float32)
+            self.kernel = e @ e.T
+        else:
+            spare = plan.budget_bytes - plan.cache_bytes
+            self._capacity = max(0, spare // (n * 8)) if n else 0
+
+    def column(self, i: int) -> np.ndarray:
+        if self.kernel is not None:
+            return self.kernel[i]
+        col = self._cache.get(i)
+        if col is None:
+            col = self._E @ self._E[i]
+            if len(self._cache) < self._capacity:
+                self._cache[i] = col
+        return col
+
+
+def _gram_scores_block(block: np.ndarray, safe: np.ndarray,
+                       sqrt_safe: np.ndarray, metric: str) -> np.ndarray:
+    """Scores for a ``(n_classes, chunk)`` slice of the dot cache.
+
+    Elementwise-identical to :meth:`HDClassifier._scores` on the same
+    dots and norms (division by the same sqrt, same hardware formula).
+    """
+    if metric == "cosine":
+        return block / sqrt_safe[:, None]
+    if metric == "dot":
+        return block
+    if metric == "hardware":
+        return np.sign(block) * ((block * block) / safe[:, None])
+    raise ValueError(f"unknown metric {metric!r}; choose from {METRICS}")
+
+
+def _gram_epoch_accuracy(gt: np.ndarray, safe: np.ndarray,
+                         sqrt_safe: np.ndarray, metric: str,
+                         y_idx: np.ndarray) -> float:
+    """Chunked epoch-end training accuracy straight from the dot cache."""
+    n = gt.shape[1]
+    correct = 0
+    for start in range(0, n, _EPOCH_CHUNK):
+        stop = min(start + _EPOCH_CHUNK, n)
+        scores = _gram_scores_block(gt[:, start:stop], safe, sqrt_safe, metric)
+        preds = np.argmax(scores, axis=0)
+        correct += int(np.count_nonzero(preds == y_idx[start:stop]))
+    return correct / n
+
+
+def _chunked_epoch_accuracy(clf, encodings: np.ndarray,
+                            y_idx: np.ndarray) -> float:
+    """Epoch-end accuracy for the reference engine, chunked to bound the
+    transient score matrix instead of materializing all ``(n, C)`` rows
+    of intermediates in one shot."""
+    n = len(encodings)
+    correct = 0
+    for start in range(0, n, _EPOCH_CHUNK):
+        stop = min(start + _EPOCH_CHUNK, n)
+        preds = np.argmax(clf._scores(encodings[start:stop]), axis=1)
+        correct += int(np.count_nonzero(preds == y_idx[start:stop]))
+    return correct / n
+
+
+def _block_norm2(encodings: np.ndarray, n_blocks: int, block: int) -> np.ndarray:
+    """Per-sample per-block squared norms ``||h_blk||²`` (shape (n, n_blocks))."""
+    blocked = encodings.reshape(len(encodings), n_blocks, block)
+    return np.einsum("ijk,ijk->ij", blocked, blocked)
+
+
+# -- reference engines ------------------------------------------------------
+
+
+def _retrain_reference_paper(clf, encodings: np.ndarray,
+                             y_idx: np.ndarray) -> TrainReport:
+    """The paper's per-sample rule (Fig. 1c), scored against the live model.
+
+    Norm maintenance uses :meth:`SubNormTable.delta_update` (exact
+    ``±2·(C_blk·h_blk) + ||h_blk||²`` per block) instead of the old
+    full-row square-and-sum, with the per-sample block norms hoisted out
+    of the loop.
+    """
+    updates_per_epoch: List[int] = []
+    acc_per_epoch: List[float] = []
+    n = len(encodings)
+    order = np.arange(n)
+    h_blk2 = None
+    if clf.epochs > 0 and n > 0:
+        h_blk2 = _block_norm2(encodings, clf.norms_.n_blocks, clf.norms_.block)
+    for _ in range(clf.epochs):
+        if clf.shuffle:
+            clf.rng.shuffle(order)
+        updates = 0
+        for i in order:
+            h = encodings[i]
+            pred = int(np.argmax(clf._scores(h[None, :])[0]))
+            truth = int(y_idx[i])
+            if pred != truth:
+                clf.norms_.delta_update(pred, clf.model_[pred], h, -1.0,
+                                        h_block_norm2=h_blk2[i])
+                clf.norms_.delta_update(truth, clf.model_[truth], h, 1.0,
+                                        h_block_norm2=h_blk2[i])
+                clf.model_[pred] -= h
+                clf.model_[truth] += h
+                updates += 1
+        updates_per_epoch.append(updates)
+        acc_per_epoch.append(_chunked_epoch_accuracy(clf, encodings, y_idx))
+        if updates == 0:
+            break
+    return TrainReport(
+        epochs_run=len(updates_per_epoch),
+        updates_per_epoch=updates_per_epoch,
+        train_accuracy_per_epoch=acc_per_epoch,
+    )
+
+
+def _retrain_reference_adaptive(clf, encodings: np.ndarray,
+                                y_idx: np.ndarray) -> TrainReport:
+    """Similarity-weighted (OnlineHD-style) per-sample rule."""
+    updates_per_epoch: List[int] = []
+    acc_per_epoch: List[float] = []
+    n = len(encodings)
+    order = np.arange(n)
+    for _ in range(clf.epochs):
+        if clf.shuffle:
+            clf.rng.shuffle(order)
+        updates = 0
+        for i in order:
+            h = encodings[i]
+            sims = clf._cosine_row(h)
+            pred = int(np.argmax(sims))
+            truth = int(y_idx[i])
+            if pred != truth:
+                clf.model_[truth] += clf.lr * (1.0 - sims[truth]) * h
+                clf.model_[pred] -= clf.lr * (1.0 - sims[pred]) * h
+                clf.norms_.update_class(truth, clf.model_[truth])
+                clf.norms_.update_class(pred, clf.model_[pred])
+                updates += 1
+            elif clf.update_on_correct:
+                bump = 0.1 * clf.lr * (1.0 - sims[truth])
+                if bump > 0:
+                    clf.model_[truth] += bump * h
+                    clf.norms_.update_class(truth, clf.model_[truth])
+        updates_per_epoch.append(updates)
+        preds = np.argmax(clf._scores(encodings), axis=1)
+        acc_per_epoch.append(float(np.mean(preds == y_idx)))
+        if updates == 0 and not clf.update_on_correct:
+            break
+    return TrainReport(
+        epochs_run=len(updates_per_epoch),
+        updates_per_epoch=updates_per_epoch,
+        train_accuracy_per_epoch=acc_per_epoch,
+    )
+
+
+# -- gram engines -----------------------------------------------------------
+
+
+def _retrain_gram_paper(clf, encodings: np.ndarray, y_idx: np.ndarray,
+                        plan: TrainPlan) -> TrainReport:
+    """Gram-cached replay of the paper's rule (result-identical).
+
+    ``gt`` is the transposed dot cache ``(n_classes, n)`` so the two
+    rows touched by an update are contiguous; scoring sample ``i`` reads
+    column ``i``.  Samples are consumed through a vectorized scan: a
+    block of upcoming samples is scored from the cache in one shot and
+    the scan jumps straight to the first misprediction (everything
+    before it was predicted correctly and mutated nothing); after the
+    update only the block's tail is rescored, because the two touched
+    ``gt`` rows and norms are stale there.  The per-column scores and
+    arg-maxes are elementwise-identical to the per-sample loop, so the
+    update sequence is exactly the reference's.
+
+    The block-granular :class:`SubNormTable` is not needed while
+    training (only full norms enter the scores), so it is rebuilt once
+    from the final model -- exactly what the reference engine's
+    per-update maintenance converges to.
+    """
+    model = clf.model_
+    n = len(encodings)
+    metric = clf.metric
+    gt = model @ encodings.T                      # exact integer dots
+    h2 = np.einsum("ij,ij->i", encodings, encodings)
+    columns = _ColumnProvider(encodings, plan)
+    norm2 = clf.norms_.full_norm2()
+    safe = np.where(norm2 <= 0.0, np.inf, norm2)
+    sqrt_safe = np.sqrt(safe)
+
+    updates_per_epoch: List[int] = []
+    acc_per_epoch: List[float] = []
+    order = np.arange(n)
+    for _ in range(clf.epochs):
+        if clf.shuffle:
+            clf.rng.shuffle(order)
+        updates = 0
+        for start in range(0, n, _SCAN_CHUNK):
+            idx = order[start:start + _SCAN_CHUNK]
+            truths = y_idx[idx]
+            m = len(idx)
+            # score the whole block once; after an update only the two
+            # touched class rows go stale and are re-derived for the tail
+            scores = _gram_scores_block(gt[:, idx], safe, sqrt_safe, metric)
+            j = 0
+            while j < m:
+                tail = scores[:, j:]
+                preds = np.argmax(tail, axis=0)
+                wrong = preds != truths[j:]
+                p = int(np.argmax(wrong))
+                if not wrong[p]:
+                    break
+                i = int(idx[j + p])
+                pred = int(preds[p])
+                truth = int(truths[j + p])
+                # norm deltas use the pre-update dots still in the cache
+                norm2[pred] += h2[i] - 2.0 * gt[pred, i]
+                norm2[truth] += h2[i] + 2.0 * gt[truth, i]
+                col = columns.column(i)
+                gt[pred] -= col
+                gt[truth] += col
+                h = encodings[i]
+                model[pred] -= h
+                model[truth] += h
+                j += p + 1
+                for c in (pred, truth):
+                    v = norm2[c]
+                    safe[c] = np.inf if v <= 0.0 else v
+                    sqrt_safe[c] = math.sqrt(safe[c]) if v > 0.0 else np.inf
+                    if j < m:
+                        scores[c, j:] = _gram_scores_block(
+                            gt[c, idx[j:]][None, :],
+                            safe[c:c + 1], sqrt_safe[c:c + 1], metric,
+                        )[0]
+                updates += 1
+        updates_per_epoch.append(updates)
+        acc_per_epoch.append(
+            _gram_epoch_accuracy(gt, safe, sqrt_safe, metric, y_idx)
+        )
+        if updates == 0:
+            break
+    clf.norms_.recompute(model)
+    return TrainReport(
+        epochs_run=len(updates_per_epoch),
+        updates_per_epoch=updates_per_epoch,
+        train_accuracy_per_epoch=acc_per_epoch,
+    )
+
+
+def _retrain_gram_adaptive(clf, encodings: np.ndarray, y_idx: np.ndarray,
+                           plan: TrainPlan) -> TrainReport:
+    """Gram-cached adaptive rule (numerically equivalent, not bit-exact).
+
+    Updates are scaled by continuous similarities, so the cached dots
+    accumulate float rounding; the cache and norms are refreshed from
+    the model at every epoch boundary to keep drift at rounding level.
+    """
+    model = clf.model_
+    n = len(encodings)
+    metric = clf.metric
+    gt = model @ encodings.T
+    h2 = np.einsum("ij,ij->i", encodings, encodings)
+    hn = np.sqrt(h2)
+    columns = _ColumnProvider(encodings, plan)
+    norm2 = clf.norms_.full_norm2()
+
+    updates_per_epoch: List[int] = []
+    acc_per_epoch: List[float] = []
+    order = np.arange(n)
+    y_list = [int(v) for v in y_idx]
+    lr = clf.lr
+    for _ in range(clf.epochs):
+        if clf.shuffle:
+            clf.rng.shuffle(order)
+        sqrt_n2 = np.sqrt(norm2)
+        updates = 0
+        for i in order.tolist():
+            g = gt[:, i]
+            denom = sqrt_n2 * hn[i]
+            sims = g / np.where(denom == 0.0, np.inf, denom)
+            pred = int(np.argmax(sims))
+            truth = y_list[i]
+            if pred != truth:
+                a_t = lr * (1.0 - sims[truth])
+                a_p = lr * (1.0 - sims[pred])
+                norm2[truth] += 2.0 * a_t * gt[truth, i] + a_t * a_t * h2[i]
+                norm2[pred] += -2.0 * a_p * gt[pred, i] + a_p * a_p * h2[i]
+                col = columns.column(i)
+                gt[truth] += a_t * col
+                gt[pred] -= a_p * col
+                h = encodings[i]
+                model[truth] += a_t * h
+                model[pred] -= a_p * h
+                sqrt_n2[truth] = np.sqrt(max(norm2[truth], 0.0))
+                sqrt_n2[pred] = np.sqrt(max(norm2[pred], 0.0))
+                updates += 1
+            elif clf.update_on_correct:
+                bump = 0.1 * lr * (1.0 - sims[truth])
+                if bump > 0:
+                    norm2[truth] += 2.0 * bump * gt[truth, i] + bump * bump * h2[i]
+                    gt[truth] += bump * columns.column(i)
+                    model[truth] += bump * encodings[i]
+                    sqrt_n2[truth] = np.sqrt(max(norm2[truth], 0.0))
+        # refresh from the model: caps float drift at one epoch's worth
+        gt = model @ encodings.T
+        norm2 = np.einsum("ij,ij->i", model, model)
+        safe = np.where(norm2 <= 0.0, np.inf, norm2)
+        sqrt_safe = np.sqrt(safe)
+        updates_per_epoch.append(updates)
+        acc_per_epoch.append(
+            _gram_epoch_accuracy(gt, safe, sqrt_safe, metric, y_idx)
+        )
+        if updates == 0 and not clf.update_on_correct:
+            break
+    clf.norms_.recompute(model)
+    return TrainReport(
+        epochs_run=len(updates_per_epoch),
+        updates_per_epoch=updates_per_epoch,
+        train_accuracy_per_epoch=acc_per_epoch,
+    )
+
+
+# -- entry point ------------------------------------------------------------
+
+
+def retrain(clf, encodings: np.ndarray, y_idx: np.ndarray) -> TrainReport:
+    """Run retraining for a fitted-init classifier under its engine flag.
+
+    Resolves ``clf.train_engine`` via :func:`plan_retraining` (recorded
+    on ``clf.train_plan_``) and dispatches on the classifier's update
+    rule (``clf.train_rule``: ``"paper"`` or ``"adaptive"``).
+    """
+    rule = getattr(clf, "train_rule", "paper")
+    t0 = time.perf_counter()
+    plan = plan_retraining(
+        encodings,
+        n_classes=clf.model_.shape[0],
+        epochs=clf.epochs,
+        engine=clf.train_engine,
+        rule=rule,
+        budget_bytes=clf.train_memory_budget,
+        assume_integral=getattr(clf, "_encodings_integral", False),
+    )
+    clf.train_plan_ = plan
+    if plan.engine == "gram":
+        if rule == "adaptive":
+            report = _retrain_gram_adaptive(clf, encodings, y_idx, plan)
+        else:
+            report = _retrain_gram_paper(clf, encodings, y_idx, plan)
+    elif rule == "adaptive":
+        report = _retrain_reference_adaptive(clf, encodings, y_idx)
+    else:
+        report = _retrain_reference_paper(clf, encodings, y_idx)
+    report.seconds = time.perf_counter() - t0
+    return report

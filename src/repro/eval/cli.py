@@ -36,25 +36,28 @@ def _runners() -> Dict[str, Callable[..., ExperimentResult]]:
     )
 
     return {
-        "summary": lambda profile: summary.run(profile=profile),
-        "table1": lambda profile: table1.run(profile=profile),
-        "table2": lambda profile: table2.run(),
-        "fig3": lambda profile: fig3.run(profile=profile),
-        "fig5": lambda profile: fig5.run(profile=profile),
-        "fig6": lambda profile: fig6.run(profile=profile),
-        "fig7": lambda profile: fig7.run(profile=profile),
-        "fig8": lambda profile: fig8.run(profile=profile),
-        "fig9": lambda profile: fig9.run(profile=profile),
-        "fig10": lambda profile: fig10.run(),
-        "ablation-ids": lambda profile: ablations.run_id_compression(profile=profile),
-        "ablation-gating": lambda profile: ablations.run_power_gating(profile=profile),
-        "ablation-window": lambda profile: ablations.run_window_sweep(profile=profile),
-        "ablation-divider": lambda profile: ablations.run_divider(profile=profile),
-        "ablation-bitwidth": lambda profile: ablations.run_bitwidth(profile=profile),
-        "ablation-banks": lambda profile: ablations.run_bank_sweep(),
-        "ablation-burst": lambda profile: ablations.run_burst_throughput(),
-        "ablation-levels": lambda profile: ablations.run_level_scheme(profile=profile),
-        "ablation-convergence": lambda profile: ablations.run_convergence(profile=profile),
+        "summary": lambda profile, jobs: summary.run(profile=profile),
+        "table1": lambda profile, jobs: table1.run(profile=profile, n_jobs=jobs),
+        "table2": lambda profile, jobs: table2.run(),
+        "fig3": lambda profile, jobs: fig3.run(profile=profile),
+        "fig5": lambda profile, jobs: fig5.run(profile=profile, n_jobs=jobs),
+        "fig6": lambda profile, jobs: fig6.run(profile=profile),
+        "fig7": lambda profile, jobs: fig7.run(profile=profile),
+        "fig8": lambda profile, jobs: fig8.run(profile=profile),
+        "fig9": lambda profile, jobs: fig9.run(profile=profile),
+        "fig10": lambda profile, jobs: fig10.run(),
+        "ablation-ids": lambda profile, jobs: ablations.run_id_compression(profile=profile),
+        "ablation-gating": lambda profile, jobs: ablations.run_power_gating(profile=profile),
+        "ablation-window": lambda profile, jobs: ablations.run_window_sweep(
+            profile=profile, n_jobs=jobs),
+        "ablation-divider": lambda profile, jobs: ablations.run_divider(profile=profile),
+        "ablation-bitwidth": lambda profile, jobs: ablations.run_bitwidth(profile=profile),
+        "ablation-banks": lambda profile, jobs: ablations.run_bank_sweep(),
+        "ablation-burst": lambda profile, jobs: ablations.run_burst_throughput(),
+        "ablation-levels": lambda profile, jobs: ablations.run_level_scheme(
+            profile=profile, n_jobs=jobs),
+        "ablation-convergence": lambda profile, jobs: ablations.run_convergence(
+            profile=profile, n_jobs=jobs),
     }
 
 
@@ -86,6 +89,13 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="exit non-zero if any shape claim fails",
     )
+    parser.add_argument(
+        "--jobs", "-j",
+        type=int,
+        default=None,
+        help="process fan-out for experiments that support it "
+             "(-1 = all cores; results are identical to serial runs)",
+    )
     return parser
 
 
@@ -93,8 +103,9 @@ def run_one(
     name: str,
     profile: str,
     json_dir: Optional[Path] = None,
+    jobs: Optional[int] = None,
 ) -> ExperimentResult:
-    result = _runners()[name](profile)
+    result = _runners()[name](profile, jobs)
     print(result.render())
     print()
     if json_dir is not None:
@@ -108,7 +119,7 @@ def main(argv: Optional[list] = None) -> int:
     names = sorted(_runners()) if args.experiment == "all" else [args.experiment]
     ok = True
     for name in names:
-        result = run_one(name, args.profile, args.json)
+        result = run_one(name, args.profile, args.json, jobs=args.jobs)
         ok = ok and result.all_claims_hold
     if args.strict and not ok:
         return 1

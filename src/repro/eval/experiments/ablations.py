@@ -22,7 +22,7 @@ from repro.core.classifier import HDClassifier
 from repro.core.encoders import GenericEncoder
 from repro.core.ids import IdTable, SeedIdGenerator
 from repro.datasets import CLASSIFICATION_DATASETS, load_dataset
-from repro.eval.harness import ExperimentResult
+from repro.eval.harness import ExperimentResult, parallel_map
 from repro.hardware.params import DEFAULT_PARAMS
 from repro.hardware.power_gating import (
     average_active_banks,
@@ -132,24 +132,30 @@ def run_power_gating(profile: str = "bench") -> ExperimentResult:
     )
 
 
+def _window_cell(task) -> float:
+    """One ``(dataset, window)`` accuracy cell (picklable for fan-out)."""
+    name, n, profile, dim, seed = task
+    ds = load_dataset(name, profile)
+    enc = GenericEncoder(dim=dim, seed=seed, window=n, use_ids=ds.use_position_ids)
+    clf = HDClassifier(enc, epochs=5, seed=seed).fit(ds.X_train, ds.y_train)
+    return clf.score(ds.X_test, ds.y_test)
+
+
 def run_window_sweep(
     profile: str = "bench",
     dim: int = DEFAULT_DIM,
     seed: int = 5,
     windows: Sequence[int] = (1, 2, 3, 4, 5),
     datasets: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """A3: mean accuracy across the suite per window length n."""
     names = list(datasets) if datasets else ["CARDIO", "EEG", "LANG", "MNIST", "UCIHAR"]
+    tasks = [(name, n, profile, dim, seed) for name in names for n in windows]
+    accs = parallel_map(_window_cell, tasks, n_jobs=n_jobs)
     table: Dict[int, Dict[str, float]] = {n: {} for n in windows}
-    for name in names:
-        ds = load_dataset(name, profile)
-        for n in windows:
-            enc = GenericEncoder(
-                dim=dim, seed=seed, window=n, use_ids=ds.use_position_ids
-            )
-            clf = HDClassifier(enc, epochs=5, seed=seed).fit(ds.X_train, ds.y_train)
-            table[n][name] = clf.score(ds.X_test, ds.y_test)
+    for (name, n, *_), acc in zip(tasks, accs):
+        table[n][name] = acc
 
     means = {n: float(np.mean(list(table[n].values()))) for n in windows}
     headers = ["n", *names, "mean"]
@@ -437,11 +443,23 @@ if __name__ == "__main__":  # pragma: no cover
         print()
 
 
+def _level_cell(task) -> float:
+    """One ``(dataset, level scheme)`` accuracy cell (picklable)."""
+    name, scheme, profile, dim, seed = task
+    ds = load_dataset(name, profile)
+    enc = GenericEncoder(
+        dim=dim, seed=seed, use_ids=ds.use_position_ids, level_scheme=scheme
+    )
+    clf = HDClassifier(enc, epochs=5, seed=seed).fit(ds.X_train, ds.y_train)
+    return clf.score(ds.X_test, ds.y_test)
+
+
 def run_level_scheme(
     profile: str = "bench",
     dim: int = DEFAULT_DIM,
     seed: int = 5,
     datasets: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """A8: distance-preserving vs random level hypervectors.
 
@@ -453,22 +471,19 @@ def run_level_scheme(
     care, or mildly prefer random levels.
     """
     names = list(datasets) if datasets else ["CARDIO", "MNIST", "UCIHAR", "LANG"]
-    rows = []
-    data = {}
-    for name in names:
-        ds = load_dataset(name, profile)
-        accs = {}
-        for scheme in ("linear", "random"):
-            enc = GenericEncoder(
-                dim=dim, seed=seed, use_ids=ds.use_position_ids,
-                level_scheme=scheme,
-            )
-            clf = HDClassifier(enc, epochs=5, seed=seed)
-            clf.fit(ds.X_train, ds.y_train)
-            accs[scheme] = clf.score(ds.X_test, ds.y_test)
-        data[name] = accs
-        rows.append([name, accs["linear"], accs["random"],
-                     accs["linear"] - accs["random"]])
+    tasks = [
+        (name, scheme, profile, dim, seed)
+        for name in names for scheme in ("linear", "random")
+    ]
+    cells = parallel_map(_level_cell, tasks, n_jobs=n_jobs)
+    data = {name: {} for name in names}
+    for (name, scheme, *_), acc in zip(tasks, cells):
+        data[name][scheme] = acc
+    rows = [
+        [name, data[name]["linear"], data[name]["random"],
+         data[name]["linear"] - data[name]["random"]]
+        for name in names
+    ]
 
     headers = ["dataset", "linear levels", "random levels", "delta"]
     numeric = [n for n in names if n != "LANG"]
@@ -492,12 +507,34 @@ def run_level_scheme(
     )
 
 
+def _convergence_task(task) -> Dict:
+    """Per-dataset convergence curve (picklable for fan-out)."""
+    name, profile, dim, seed, max_epochs = task
+    ds = load_dataset(name, profile)
+    enc = GenericEncoder(dim=dim, seed=seed, use_ids=ds.use_position_ids)
+    clf = HDClassifier(enc, epochs=max_epochs, seed=seed)
+    clf.fit(ds.X_train, ds.y_train)
+    curve = clf.report_.train_accuracy_per_epoch
+    final = curve[-1]
+    saturate = next(
+        (i + 1 for i, v in enumerate(curve) if v >= final - 0.005),
+        len(curve),
+    )
+    return {
+        "curve": curve,
+        "epochs_run": clf.report_.epochs_run,
+        "saturation_epoch": saturate,
+        "test_accuracy": clf.score(ds.X_test, ds.y_test),
+    }
+
+
 def run_convergence(
     profile: str = "bench",
     dim: int = DEFAULT_DIM,
     seed: int = 5,
     max_epochs: int = 20,
     datasets: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentResult:
     """A9: retraining convergence (Section 5.2.1's aside).
 
@@ -507,27 +544,15 @@ def run_convergence(
     final value).
     """
     names = list(datasets) if datasets else ["CARDIO", "MNIST", "UCIHAR"]
+    tasks = [(name, profile, dim, seed, max_epochs) for name in names]
+    results = parallel_map(_convergence_task, tasks, n_jobs=n_jobs)
     rows = []
     data = {}
-    for name in names:
-        ds = load_dataset(name, profile)
-        enc = GenericEncoder(dim=dim, seed=seed, use_ids=ds.use_position_ids)
-        clf = HDClassifier(enc, epochs=max_epochs, seed=seed)
-        clf.fit(ds.X_train, ds.y_train)
-        curve = clf.report_.train_accuracy_per_epoch
-        final = curve[-1]
-        saturate = next(
-            (i + 1 for i, v in enumerate(curve) if v >= final - 0.005),
-            len(curve),
-        )
-        data[name] = {
-            "curve": curve,
-            "epochs_run": clf.report_.epochs_run,
-            "saturation_epoch": saturate,
-            "test_accuracy": clf.score(ds.X_test, ds.y_test),
-        }
-        rows.append([name, clf.report_.epochs_run, saturate,
-                     round(final, 3), round(data[name]["test_accuracy"], 3)])
+    for name, entry in zip(names, results):
+        data[name] = entry
+        rows.append([name, entry["epochs_run"], entry["saturation_epoch"],
+                     round(entry["curve"][-1], 3),
+                     round(entry["test_accuracy"], 3)])
 
     headers = ["dataset", "epochs run", "saturates by", "train acc", "test acc"]
     claims = {

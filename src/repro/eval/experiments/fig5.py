@@ -25,10 +25,16 @@ import numpy as np
 from repro.core.classifier import HDClassifier
 from repro.core.encoders import GenericEncoder
 from repro.datasets import load_dataset
-from repro.eval.harness import ExperimentResult
+from repro.eval.harness import ExperimentResult, parallel_map
 
 DEFAULT_DATASETS = ("EEG", "ISOLET")
 DEFAULT_DIM = 2048
+
+
+def _sweep_task(task) -> Dict[str, Dict[int, float]]:
+    """Picklable per-dataset sweep for process fan-out."""
+    name, profile, dim, epochs, seed = task
+    return sweep_dataset(name, profile=profile, dim=dim, epochs=epochs, seed=seed)
 
 
 def sweep_dataset(
@@ -61,11 +67,12 @@ def run(
     epochs: int = 10,
     seed: int = 5,
     datasets: Sequence[str] = DEFAULT_DATASETS,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentResult:
-    curves = {
-        name: sweep_dataset(name, profile=profile, dim=dim, epochs=epochs, seed=seed)
-        for name in datasets
-    }
+    tasks = [(name, profile, dim, epochs, seed) for name in datasets]
+    curves = dict(
+        zip(datasets, parallel_map(_sweep_task, tasks, n_jobs=n_jobs))
+    )
     headers = ["dataset", "policy", *[
         str(d) for d in sorted(next(iter(curves.values()))["updated"])
     ]]

@@ -18,6 +18,7 @@ Shape claims asserted against the paper:
 
 from __future__ import annotations
 
+from functools import lru_cache
 from typing import Dict, Optional, Sequence
 
 import numpy as np
@@ -31,7 +32,7 @@ from repro.baselines import (
 from repro.core.classifier import HDClassifier
 from repro.core.encoders import PAPER_ORDER, make_encoder
 from repro.datasets import CLASSIFICATION_DATASETS, load_dataset
-from repro.eval.harness import ExperimentResult
+from repro.eval.harness import ExperimentResult, parallel_map
 
 HDC_COLUMNS = PAPER_ORDER  # ("rp", "level-id", "ngram", "permute", "generic")
 ML_COLUMNS = ("mlp", "svm", "rf", "dnn")
@@ -51,6 +52,30 @@ def _make_ml(name: str, seed: int):
     raise ValueError(f"unknown ML baseline {name!r}")
 
 
+@lru_cache(maxsize=8)
+def _cached_dataset(name: str, profile: str):
+    """Per-process dataset cache so column cells share one load."""
+    return load_dataset(name, profile)
+
+
+def _evaluate_cell(task) -> float:
+    """One ``(dataset, column)`` cell -- module-level so process pools
+    can pickle it; each cell is independently seeded, so results are
+    identical whether cells run serially or fanned out."""
+    name, column, profile, dim, epochs, seed = task
+    ds = _cached_dataset(name, profile)
+    if column in HDC_COLUMNS:
+        kwargs = {"dim": dim, "seed": seed}
+        if column == "generic":
+            kwargs["use_ids"] = ds.use_position_ids
+        clf = HDClassifier(make_encoder(column, **kwargs), epochs=epochs, seed=seed)
+        clf.fit(ds.X_train, ds.y_train)
+        return clf.score(ds.X_test, ds.y_test)
+    model = _make_ml(column, seed)
+    model.fit(ds.X_train, ds.y_train)
+    return model.score(ds.X_test, ds.y_test)
+
+
 def evaluate_dataset(
     name: str,
     profile: str = "bench",
@@ -60,22 +85,11 @@ def evaluate_dataset(
     include_ml: bool = True,
 ) -> Dict[str, float]:
     """Accuracy of every column on one dataset."""
-    ds = load_dataset(name, profile)
-    row: Dict[str, float] = {}
-    for enc_name in HDC_COLUMNS:
-        kwargs = {"dim": dim, "seed": seed}
-        if enc_name == "generic":
-            kwargs["use_ids"] = ds.use_position_ids
-        encoder = make_encoder(enc_name, **kwargs)
-        clf = HDClassifier(encoder, epochs=epochs, seed=seed)
-        clf.fit(ds.X_train, ds.y_train)
-        row[enc_name] = clf.score(ds.X_test, ds.y_test)
-    if include_ml:
-        for ml_name in ML_COLUMNS:
-            model = _make_ml(ml_name, seed)
-            model.fit(ds.X_train, ds.y_train)
-            row[ml_name] = model.score(ds.X_test, ds.y_test)
-    return row
+    columns = list(HDC_COLUMNS) + (list(ML_COLUMNS) if include_ml else [])
+    return {
+        c: _evaluate_cell((name, c, profile, dim, epochs, seed))
+        for c in columns
+    }
 
 
 def run(
@@ -85,17 +99,24 @@ def run(
     seed: int = 5,
     datasets: Optional[Sequence[str]] = None,
     include_ml: bool = True,
+    n_jobs: Optional[int] = None,
 ) -> ExperimentResult:
-    """Reproduce Table 1; returns rows per dataset plus Mean/STDV rows."""
-    names = list(datasets) if datasets else list(CLASSIFICATION_DATASETS)
-    table: Dict[str, Dict[str, float]] = {}
-    for name in names:
-        table[name] = evaluate_dataset(
-            name, profile=profile, dim=dim, epochs=epochs, seed=seed,
-            include_ml=include_ml,
-        )
+    """Reproduce Table 1; returns rows per dataset plus Mean/STDV rows.
 
+    ``n_jobs`` fans the ``dataset x column`` cells out over a process
+    pool (``-1`` = all cores); the numbers are identical to the serial
+    run because every cell is independently seeded.
+    """
+    names = list(datasets) if datasets else list(CLASSIFICATION_DATASETS)
     columns = list(HDC_COLUMNS) + (list(ML_COLUMNS) if include_ml else [])
+    tasks = [
+        (name, column, profile, dim, epochs, seed)
+        for name in names for column in columns
+    ]
+    accs = parallel_map(_evaluate_cell, tasks, n_jobs=n_jobs)
+    table: Dict[str, Dict[str, float]] = {name: {} for name in names}
+    for (name, column, *_), acc in zip(tasks, accs):
+        table[name][column] = acc
     means = {c: float(np.mean([table[n][c] for n in names])) for c in columns}
     stds = {c: float(np.std([table[n][c] for n in names])) for c in columns}
 

@@ -3,10 +3,52 @@
 from __future__ import annotations
 
 import json
+import os
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Sequence
+from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.eval.tables import format_table
+
+
+def resolve_jobs(n_jobs: Optional[int] = None) -> int:
+    """Normalize an ``n_jobs`` flag: ``None``/``0`` -> 1, ``-1`` -> all cores."""
+    if not n_jobs:
+        return 1
+    n = int(n_jobs)
+    if n < 0:
+        return max(1, os.cpu_count() or 1)
+    return n
+
+
+def parallel_map(
+    fn: Callable,
+    items: Iterable,
+    n_jobs: Optional[int] = None,
+    mode: str = "process",
+) -> List:
+    """Map ``fn`` over ``items``, optionally fanned out across workers.
+
+    Results come back in input order, and every task is independent (the
+    experiment runners seed each cell separately), so the output is
+    identical for any ``n_jobs``.  ``mode="process"`` (default) uses a
+    process pool -- ``fn`` and the items must then be picklable, i.e.
+    module-level functions over plain tuples; ``mode="thread"`` suits
+    tasks that release the GIL.  Falls back to a serial map when the
+    platform refuses to spawn workers (e.g. sandboxed CI).
+    """
+    if mode not in ("process", "thread"):
+        raise ValueError(f"unknown parallel mode {mode!r}")
+    items = list(items)
+    jobs = min(resolve_jobs(n_jobs), len(items))
+    if jobs <= 1:
+        return [fn(item) for item in items]
+    pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor
+    try:
+        with pool_cls(max_workers=jobs) as pool:
+            return list(pool.map(fn, items))
+    except (OSError, PermissionError):
+        return [fn(item) for item in items]
 
 
 @dataclass

@@ -65,6 +65,7 @@ def _section_markdown(title: str, result: ExperimentResult, seconds: float) -> s
 def generate_report(
     profile: str = "bench",
     sections: Optional[Sequence[str]] = None,
+    n_jobs: Optional[int] = None,
 ) -> str:
     """Run the evaluation and return the markdown report text."""
     from repro.eval.cli import _runners
@@ -86,7 +87,7 @@ def generate_report(
     summary: Dict[str, bool] = {}
     for title, key in plan:
         start = time.monotonic()
-        result = runners[key](profile)
+        result = runners[key](profile, n_jobs)
         elapsed = time.monotonic() - start
         summary[title] = result.all_claims_hold
         parts.append(_section_markdown(title, result, elapsed))
@@ -110,8 +111,13 @@ def main(argv: Optional[list] = None) -> int:
         "--sections", nargs="*", default=None,
         help="subset of runner keys (default: everything)",
     )
+    parser.add_argument(
+        "--jobs", "-j", type=int, default=None,
+        help="process fan-out for experiments that support it (-1 = all cores)",
+    )
     args = parser.parse_args(argv)
-    report = generate_report(profile=args.profile, sections=args.sections)
+    report = generate_report(profile=args.profile, sections=args.sections,
+                             n_jobs=args.jobs)
     args.out.write_text(report)
     print(f"wrote {args.out} ({len(report.splitlines())} lines)")
     return 0

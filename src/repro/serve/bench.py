@@ -55,13 +55,15 @@ def train_model(
     seed: int = 7,
     n_features: int = 24,
     n_classes: int = 4,
+    train_engine: str = "auto",
 ):
     """Train a small GENERIC model for traffic runs; optionally bit-pack it."""
     X_train, y_train, _ = make_workload(
         n_features=n_features, n_classes=n_classes, seed=seed
     )
     enc = GenericEncoder(dim=dim, num_levels=16, seed=seed)
-    clf = HDClassifier(enc, epochs=3, seed=seed).fit(X_train, y_train)
+    clf = HDClassifier(enc, epochs=3, seed=seed, train_engine=train_engine)
+    clf.fit(X_train, y_train)
     return PackedModel.from_classifier(clf) if packed else clf
 
 
@@ -150,10 +152,12 @@ def run_bench(
 ) -> Dict:
     """One fresh server per load point; returns the full JSON report."""
     _, _, queries = make_workload(seed=seed)
-    model = train_model(dim=dim, packed=packed, seed=seed)
+    cfg = config or ServeConfig()
+    model = train_model(dim=dim, packed=packed, seed=seed,
+                        train_engine=cfg.train_engine or "auto")
     points: List[Dict] = []
     for rate in rates:
-        server = InferenceServer(config or ServeConfig())
+        server = InferenceServer(cfg)
         server.register("default", model)
         with server:
             points.append(run_load_point(
@@ -181,6 +185,9 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
     parser.add_argument("--dim", type=int, default=1024)
     parser.add_argument("--packed", action="store_true",
                         help="serve the bit-packed 1-bit model")
+    parser.add_argument("--train-engine", default="auto",
+                        choices=("auto", "reference", "gram"),
+                        help="retraining engine for the served model")
     parser.add_argument("--workers", type=int, default=2)
     parser.add_argument("--max-batch", type=int, default=32)
     parser.add_argument("--max-wait-ms", type=float, default=2.0)
@@ -201,6 +208,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         queue_high=args.queue_high,
         p95_target=(args.p95_target_ms / 1e3
                     if args.p95_target_ms is not None else None),
+        train_engine=args.train_engine,
     )
     report = run_bench(
         rates, n_requests=args.requests, dim=args.dim,

@@ -52,6 +52,8 @@ class ServeConfig:
     # -- encode stage -------------------------------------------------------
     engine: Optional[str] = None   # "reference"|"packed"|"auto" where supported
     encode_jobs: Optional[int] = None  # thread fan-out inside the encode stage
+    # -- training stage (models trained server-side, e.g. bench rigs) -------
+    train_engine: Optional[str] = None  # "reference"|"gram"|"auto"
     # -- load shedding ------------------------------------------------------
     max_shed_level: int = 24     # each level drops 128 dims (clamped per model)
     queue_high: int = 32         # shed when depth reaches this

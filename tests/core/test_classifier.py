@@ -139,6 +139,19 @@ class TestModelSurgery:
         clone = clf.with_model(clf.model_.copy())
         assert clone.score(X_test, y_test) == clf.score(X_test, y_test)
 
+    def test_with_model_preserves_configuration(self, fitted_generic_classifier):
+        clf = fitted_generic_classifier
+        clf.seed = 123
+        clf.train_engine = "gram"
+        clf.train_memory_budget = 2**20
+        clf.encode_jobs = 2
+        clone = clf.with_model(clf.model_.copy())
+        assert clone.seed == 123
+        assert clone.engine == clf.engine
+        assert clone.encode_jobs == 2
+        assert clone.train_engine == "gram"
+        assert clone.train_memory_budget == 2**20
+
 
 class TestEncoderInterplay:
     def test_prefitted_encoder_reused(self, toy_problem):

@@ -82,3 +82,30 @@ class TestHDCluster:
         clu = HDCluster(GenericEncoder(dim=DIM, seed=4), k=2, epochs=3).fit(X)
         norms = np.linalg.norm(clu.centroids_, axis=1)
         assert (norms > 0).all()
+
+
+class TestClusterEngineControls:
+    def test_encode_jobs_results_identical(self, blobs):
+        X, _ = blobs
+        serial = HDCluster(GenericEncoder(dim=DIM, seed=1), k=3, epochs=5).fit(X)
+        fanned = HDCluster(GenericEncoder(dim=DIM, seed=1), k=3, epochs=5,
+                           encode_jobs=2).fit(X)
+        assert np.array_equal(serial.labels_, fanned.labels_)
+        assert np.array_equal(serial.centroids_, fanned.centroids_)
+        assert np.array_equal(serial.predict(X[:20]), fanned.predict(X[:20]))
+
+    def test_engine_forwarded_to_encoder(self, blobs):
+        X, _ = blobs
+        enc = GenericEncoder(dim=DIM, seed=1)
+        clu = HDCluster(enc, k=3, epochs=3, engine="reference")
+        assert enc.engine == "reference"
+        ref_labels = clu.fit(X).labels_
+        enc2 = GenericEncoder(dim=DIM, seed=1)
+        packed = HDCluster(enc2, k=3, epochs=3, engine="packed").fit(X)
+        assert np.array_equal(ref_labels, packed.labels_)
+
+    def test_engine_rejected_without_support(self):
+        class Plain:
+            fitted = True
+        with pytest.raises(ValueError, match="selectable engine"):
+            HDCluster(Plain(), k=2, engine="packed")

@@ -2,6 +2,8 @@
 
 import numpy as np
 import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
 
 from repro.core.norms import SubNormTable
 
@@ -56,8 +58,65 @@ class TestSubNormTable:
         with pytest.raises(ValueError):
             table.recompute(np.zeros((3, 512)))
 
+    def test_delta_update_matches_recompute_integer_rule(self):
+        # the paper's ±h rule on integer vectors: delta must be bit-equal
+        rng = np.random.default_rng(1)
+        classes = rng.integers(-50, 50, size=(4, 512)).astype(np.float64)
+        h = rng.integers(0, 30, size=512).astype(np.float64)
+        table = SubNormTable(4, 512, block=128)
+        table.recompute(classes)
+        table.delta_update(1, classes[1], h, scale=-1.0)
+        classes[1] -= h
+        fresh = SubNormTable(4, 512, block=128)
+        fresh.recompute(classes)
+        assert np.array_equal(table.table, fresh.table)
+
     def test_storage_matches_paper_2kb(self):
         # 32 classes x (4096/128) blocks x 2 bytes ~ 2 KB in the paper;
         # we store 4-byte words -> 4 KB, same order
         table = SubNormTable(32, 4096, block=128)
         assert table.storage_bytes(word_bytes=2) == 2048
+
+
+class TestDeltaUpdateProperty:
+    """delta_update must track a full recompute for arbitrary floats."""
+
+    @given(
+        seed=st.integers(min_value=0, max_value=2**31 - 1),
+        scale=st.floats(min_value=-4.0, max_value=4.0,
+                        allow_nan=False, allow_infinity=False),
+        n_updates=st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_delta_matches_recompute(self, seed, scale, n_updates):
+        rng = np.random.default_rng(seed)
+        n_classes, dim, block = 3, 256, 64
+        classes = rng.normal(scale=5.0, size=(n_classes, dim))
+        table = SubNormTable(n_classes, dim, block=block)
+        table.recompute(classes)
+        for _ in range(n_updates):
+            idx = int(rng.integers(0, n_classes))
+            h = rng.normal(scale=3.0, size=dim)
+            table.delta_update(idx, classes[idx], h, scale=scale)
+            classes[idx] += scale * h
+        fresh = SubNormTable(n_classes, dim, block=block)
+        fresh.recompute(classes)
+        np.testing.assert_allclose(table.table, fresh.table,
+                                   rtol=1e-9, atol=1e-9)
+
+    @given(seed=st.integers(min_value=0, max_value=2**31 - 1))
+    @settings(max_examples=25, deadline=None)
+    def test_precomputed_h_norms_equivalent(self, seed):
+        rng = np.random.default_rng(seed)
+        dim, block = 256, 128
+        classes = rng.integers(-20, 20, size=(2, dim)).astype(np.float64)
+        h = rng.integers(0, 15, size=dim).astype(np.float64)
+        hb = h.reshape(dim // block, block)
+        h_blk2 = np.einsum("ij,ij->i", hb, hb)
+        with_pre = SubNormTable(2, dim, block=block)
+        with_pre.recompute(classes)
+        without = SubNormTable(2, dim, block=block)
+        without.recompute(classes)
+        with_pre.delta_update(0, classes[0], h, 1.0, h_block_norm2=h_blk2)
+        without.delta_update(0, classes[0], h, 1.0)
+        assert np.array_equal(with_pre.table, without.table)

@@ -1,0 +1,161 @@
+"""Tests for the retraining engines (repro.core.training).
+
+The load-bearing property: the ``gram`` engine must be **result
+identical** to the sequential reference loop for the paper's ±h rule --
+same model matrix, same sub-norm table, same per-epoch update counts
+and accuracies -- across metrics, shuffle settings and encoders.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import training
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.core.online import AdaptiveHDClassifier
+from repro.core.training import (
+    DEFAULT_TRAIN_BUDGET,
+    TRAIN_ENGINES,
+    TrainPlan,
+    plan_retraining,
+)
+
+
+def _workload(n=160, n_features=8, n_classes=5, noise=0.3, seed=3):
+    """Gaussian clusters with flipped labels so retraining keeps firing."""
+    rng = np.random.default_rng(seed)
+    centers = rng.normal(size=(n_classes, n_features)) * 2.0
+    y = rng.integers(0, n_classes, size=n)
+    X = centers[y] + rng.normal(size=(n, n_features))
+    flip = rng.random(n) < noise
+    y[flip] = rng.integers(0, n_classes, size=int(flip.sum()))
+    return X, y
+
+
+def _fit(engine, metric="cosine", shuffle=True, use_ids=True,
+         cls=HDClassifier, epochs=6, dim=256, **kwargs):
+    X, y = _workload()
+    enc = GenericEncoder(dim=dim, num_levels=16, seed=2, use_ids=use_ids)
+    clf = cls(enc, epochs=epochs, metric=metric, shuffle=shuffle, seed=9,
+              train_engine=engine, **kwargs)
+    clf.fit(X, y)
+    return clf
+
+
+def _assert_identical(ref, gram):
+    assert np.array_equal(ref.model_, gram.model_)
+    assert np.array_equal(ref.norms_.table, gram.norms_.table)
+    assert ref.report_.epochs_run == gram.report_.epochs_run
+    assert ref.report_.updates_per_epoch == gram.report_.updates_per_epoch
+    assert (ref.report_.train_accuracy_per_epoch
+            == gram.report_.train_accuracy_per_epoch)
+
+
+class TestGramIdentity:
+    @pytest.mark.parametrize("metric", ["cosine", "dot", "hardware"])
+    @pytest.mark.parametrize("shuffle", [True, False])
+    def test_identical_across_metrics_and_shuffle(self, metric, shuffle):
+        ref = _fit("reference", metric=metric, shuffle=shuffle)
+        gram = _fit("gram", metric=metric, shuffle=shuffle)
+        assert sum(ref.report_.updates_per_epoch) > 0  # non-trivial run
+        _assert_identical(ref, gram)
+
+    def test_identical_without_position_ids(self):
+        _assert_identical(_fit("reference", use_ids=False),
+                          _fit("gram", use_ids=False))
+
+    def test_auto_resolves_to_gram_and_matches(self):
+        auto = _fit("auto")
+        assert auto.train_plan_.engine == "gram"
+        assert auto.train_plan_.exact
+        _assert_identical(_fit("reference"), auto)
+
+    def test_same_predictions(self):
+        X, _ = _workload(seed=11)
+        ref, gram = _fit("reference"), _fit("gram")
+        assert np.array_equal(ref.predict(X), gram.predict(X))
+
+    def test_column_kernel_matches_precomputed(self):
+        # budget large enough for G but not for K -> on-demand columns
+        ref = _fit("reference")
+        n, n_classes = 160, len(ref.classes_)
+        tight = n_classes * n * 8 + n * 8 + 4 * n * 8
+        gram = _fit("gram", train_memory_budget=tight)
+        assert gram.train_plan_.kernel == "columns"
+        _assert_identical(ref, gram)
+
+
+class TestAdaptiveEngine:
+    def test_auto_uses_reference_for_adaptive_rule(self):
+        clf = _fit("auto", cls=AdaptiveHDClassifier)
+        assert clf.train_plan_.engine == "reference"
+        assert not clf.train_plan_.exact
+
+    def test_explicit_gram_agrees_to_rounding(self):
+        ref = _fit("reference", cls=AdaptiveHDClassifier)
+        gram = _fit("gram", cls=AdaptiveHDClassifier)
+        assert gram.train_plan_.engine == "gram"
+        assert ref.report_.updates_per_epoch == gram.report_.updates_per_epoch
+        np.testing.assert_allclose(ref.model_, gram.model_, rtol=1e-9)
+        np.testing.assert_allclose(ref.norms_.table, gram.norms_.table,
+                                   rtol=1e-9)
+
+
+class TestPlanning:
+    def test_invalid_engine_rejected(self):
+        enc = GenericEncoder(dim=128, num_levels=4, seed=0)
+        with pytest.raises(ValueError, match="train engine"):
+            HDClassifier(enc, train_engine="turbo")
+        with pytest.raises(ValueError, match="train engine"):
+            plan_retraining(np.ones((4, 8)), 2, 1, engine="turbo")
+
+    def test_reference_requested_is_honored(self):
+        plan = plan_retraining(np.ones((4, 8)), 2, 1, engine="reference")
+        assert plan.engine == "reference" and plan.reason == "requested"
+
+    def test_zero_epochs_falls_back(self):
+        plan = plan_retraining(np.ones((4, 8)), 2, 0, engine="auto")
+        assert plan.engine == "reference"
+
+    def test_non_integer_encodings_fall_back(self):
+        rng = np.random.default_rng(0)
+        plan = plan_retraining(rng.normal(size=(16, 32)), 3, 5, engine="auto")
+        assert plan.engine == "reference" and not plan.exact
+
+    def test_budget_fallback(self):
+        enc = np.ones((64, 32))
+        plan = plan_retraining(enc, 4, 5, engine="auto", budget_bytes=1024)
+        assert plan.engine == "reference"
+        assert "budget" in plan.reason
+
+    def test_budget_fallback_through_classifier(self):
+        clf = _fit("auto", train_memory_budget=64)
+        assert clf.train_plan_.engine == "reference"
+
+    def test_default_budget_and_plan_shape(self):
+        enc = np.full((32, 64), 3.0)
+        plan = plan_retraining(enc, 4, 5, engine="auto")
+        assert isinstance(plan, TrainPlan)
+        assert plan.budget_bytes == DEFAULT_TRAIN_BUDGET
+        assert plan.engine == "gram" and plan.kernel == "precomputed"
+        assert plan.kernel_dtype == "float32"  # small ints: f32 is exact
+        assert plan.cache_bytes <= plan.budget_bytes
+
+    def test_huge_magnitudes_not_proven_exact(self):
+        enc = np.full((8, 16), 2.0**40)
+        plan = plan_retraining(enc, 2, 20, engine="auto")
+        assert plan.engine == "reference" and not plan.exact
+
+    def test_engines_tuple_is_public(self):
+        assert TRAIN_ENGINES == ("auto", "reference", "gram")
+
+
+class TestReport:
+    def test_retrain_seconds_recorded(self):
+        clf = _fit("gram")
+        assert clf.report_.seconds is not None
+        assert clf.report_.seconds >= 0.0
+
+    def test_training_module_reexported(self):
+        from repro.core import TRAIN_ENGINES as exported
+        assert exported is training.TRAIN_ENGINES
