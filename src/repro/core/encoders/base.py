@@ -25,6 +25,7 @@ from typing import Dict, Optional
 import numpy as np
 
 from repro.core.levels import LevelTable, Quantizer
+from repro.obs import trace as obs_trace
 
 DEFAULT_DIM = 4096
 DEFAULT_LEVELS = 64
@@ -144,17 +145,30 @@ class Encoder(ABC):
             for start in range(0, len(X), chunk)
         ]
         jobs = min(_resolve_jobs(n_jobs), len(spans))
-        if jobs > 1:
-            def _run(span):
-                start, stop = span
-                out[start:stop] = self._encode_chunk(X[start:stop])
+        with obs_trace.span(
+            "encode", encoder=self.name, engine=self._engine_label(),
+            samples=len(X), dim=self.dim, jobs=jobs,
+        ) as sp:
+            if jobs > 1:
+                def _run(span):
+                    start, stop = span
+                    out[start:stop] = self._encode_chunk(X[start:stop])
 
-            with ThreadPoolExecutor(max_workers=jobs) as pool:
-                # list() so every future is awaited and errors propagate
-                list(pool.map(_run, spans))
-        else:
-            for start, stop in spans:
-                out[start:stop] = self._encode_chunk(X[start:stop])
+                with ThreadPoolExecutor(max_workers=jobs) as pool:
+                    # list() so every future is awaited and errors propagate
+                    list(pool.map(_run, spans))
+            else:
+                for start, stop in spans:
+                    out[start:stop] = self._encode_chunk(X[start:stop])
+            if sp.recording:
+                # logical (engine-independent) per-sample ops x batch size
+                profile = self._op_profile()
+                sp.add_ops(
+                    xor_ops=profile.xor_ops * len(X),
+                    add_ops=profile.add_ops * len(X),
+                    mul_ops=profile.mul_ops * len(X),
+                    mem_bytes=profile.mem_bytes * len(X),
+                )
         return out
 
     def _auto_chunk(self, n: int) -> int:
@@ -174,6 +188,10 @@ class Encoder(ABC):
     @abstractmethod
     def _encode_chunk(self, X: np.ndarray) -> np.ndarray:
         """Encode a small batch; subclasses implement the actual math."""
+
+    def _engine_label(self) -> str:
+        """Engine tag attached to encode spans (overridden where selectable)."""
+        return "reference"
 
     # -- cost reporting ----------------------------------------------------
 

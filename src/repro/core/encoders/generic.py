@@ -82,6 +82,9 @@ class GenericEncoder(Encoder):
     def _resolved_engine(self) -> str:
         return "reference" if self._engine == "reference" else "packed"
 
+    def _engine_label(self) -> str:
+        return self._resolved_engine()
+
     def _build_kernel(self) -> GenericPackedKernel:
         kernel = GenericPackedKernel(
             levels=self.levels.vectors,
@@ -165,6 +168,14 @@ class GenericEncoder(Encoder):
         return w * self.dim * (self.window + 1)
 
     def _op_profile(self) -> OpProfile:
+        """Logical per-sample op counts, identical for both engines.
+
+        The packed engine executes word ops (64 dims per uint64 XOR),
+        but the *logical* work -- what the device and energy models
+        charge -- is per dimension; :meth:`GenericPackedKernel.op_counts`
+        reports the same logical totals alongside its word counts, and
+        the cross-engine test pins the two views together.
+        """
         w = self.n_windows
         # per window: (n-1) XORs fold the permuted levels, plus 1 XOR for
         # the id binding when ids are bound, and one accumulation into

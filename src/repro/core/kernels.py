@@ -205,6 +205,30 @@ class GenericPackedKernel:
             total += self.id_words.nbytes
         return total
 
+    def op_counts(self, n_features: int, n_samples: int = 1) -> dict:
+        """Logical and word-level op counts for encoding ``n_samples``.
+
+        ``word_xor_ops`` is what the kernel physically executes (one
+        uint64 XOR folds 64 dimensions, padding included);
+        ``xor_ops``/``add_ops`` are the *logical* per-dimension counts
+        -- the currency of :class:`~repro.core.encoders.base.OpProfile`
+        and the op/energy models -- so the packed engine reports the
+        same work as the reference engine, not 64x less.
+        """
+        n_win = n_features - self.window + 1
+        if n_win < 1:
+            raise ValueError(
+                f"window={self.window} longer than input ({n_features} features)"
+            )
+        folds = (self.window - 1) + (1 if self.id_words is not None else 0)
+        return {
+            "xor_ops": n_samples * n_win * folds * self.dim,
+            "add_ops": n_samples * n_win * self.dim,
+            "word_xor_ops": n_samples * n_win * folds * self.words,
+            "windows": n_win,
+            "words": self.words,
+        }
+
     def encode_bins(self, bins: np.ndarray) -> np.ndarray:
         """Encode quantized inputs ``(N, n_features)`` to int32 counts.
 

@@ -54,6 +54,7 @@ from typing import Dict, List, Optional
 import numpy as np
 
 from repro.core.sims import METRICS
+from repro.obs import trace as obs_trace
 
 #: selectable training engines (mirrors the encoders' ``engine=`` flag)
 TRAIN_ENGINES = ("auto", "reference", "gram")
@@ -309,6 +310,39 @@ def _block_norm2(encodings: np.ndarray, n_blocks: int, block: int) -> np.ndarray
     return np.einsum("ijk,ijk->ij", blocked, blocked)
 
 
+class _EpochTracer:
+    """Per-epoch ``train.epoch`` spans for the engine loops.
+
+    The epoch loops are the retraining hot path, so instead of a context
+    manager per iteration the engines call :meth:`mark` once per epoch
+    boundary; everything is a no-op while tracing is disabled.
+    """
+
+    __slots__ = ("engine", "rule", "epoch", "_t0", "_enabled")
+
+    def __init__(self, engine: str, rule: str):
+        self._enabled = obs_trace.tracing_enabled()
+        self.engine = engine
+        self.rule = rule
+        self.epoch = 0
+        self._t0 = time.perf_counter() if self._enabled else 0.0
+
+    def mark(self, updates: int, accuracy: float) -> None:
+        if not self._enabled:
+            return
+        now = time.perf_counter()
+        obs_trace.emit_span(
+            "train.epoch", now - self._t0,
+            attrs={
+                "engine": self.engine, "rule": self.rule,
+                "epoch": self.epoch, "updates": updates,
+                "train_accuracy": accuracy,
+            },
+        )
+        self.epoch += 1
+        self._t0 = now
+
+
 # -- reference engines ------------------------------------------------------
 
 
@@ -325,6 +359,7 @@ def _retrain_reference_paper(clf, encodings: np.ndarray,
     acc_per_epoch: List[float] = []
     n = len(encodings)
     order = np.arange(n)
+    tracer = _EpochTracer("reference", "paper")
     h_blk2 = None
     if clf.epochs > 0 and n > 0:
         h_blk2 = _block_norm2(encodings, clf.norms_.n_blocks, clf.norms_.block)
@@ -346,6 +381,7 @@ def _retrain_reference_paper(clf, encodings: np.ndarray,
                 updates += 1
         updates_per_epoch.append(updates)
         acc_per_epoch.append(_chunked_epoch_accuracy(clf, encodings, y_idx))
+        tracer.mark(updates, acc_per_epoch[-1])
         if updates == 0:
             break
     return TrainReport(
@@ -362,6 +398,7 @@ def _retrain_reference_adaptive(clf, encodings: np.ndarray,
     acc_per_epoch: List[float] = []
     n = len(encodings)
     order = np.arange(n)
+    tracer = _EpochTracer("reference", "adaptive")
     for _ in range(clf.epochs):
         if clf.shuffle:
             clf.rng.shuffle(order)
@@ -385,6 +422,7 @@ def _retrain_reference_adaptive(clf, encodings: np.ndarray,
         updates_per_epoch.append(updates)
         preds = np.argmax(clf._scores(encodings), axis=1)
         acc_per_epoch.append(float(np.mean(preds == y_idx)))
+        tracer.mark(updates, acc_per_epoch[-1])
         if updates == 0 and not clf.update_on_correct:
             break
     return TrainReport(
@@ -430,6 +468,7 @@ def _retrain_gram_paper(clf, encodings: np.ndarray, y_idx: np.ndarray,
     updates_per_epoch: List[int] = []
     acc_per_epoch: List[float] = []
     order = np.arange(n)
+    tracer = _EpochTracer("gram", "paper")
     for _ in range(clf.epochs):
         if clf.shuffle:
             clf.rng.shuffle(order)
@@ -476,6 +515,7 @@ def _retrain_gram_paper(clf, encodings: np.ndarray, y_idx: np.ndarray,
         acc_per_epoch.append(
             _gram_epoch_accuracy(gt, safe, sqrt_safe, metric, y_idx)
         )
+        tracer.mark(updates, acc_per_epoch[-1])
         if updates == 0:
             break
     clf.norms_.recompute(model)
@@ -506,6 +546,7 @@ def _retrain_gram_adaptive(clf, encodings: np.ndarray, y_idx: np.ndarray,
     updates_per_epoch: List[int] = []
     acc_per_epoch: List[float] = []
     order = np.arange(n)
+    tracer = _EpochTracer("gram", "adaptive")
     y_list = [int(v) for v in y_idx]
     lr = clf.lr
     for _ in range(clf.epochs):
@@ -549,6 +590,7 @@ def _retrain_gram_adaptive(clf, encodings: np.ndarray, y_idx: np.ndarray,
         acc_per_epoch.append(
             _gram_epoch_accuracy(gt, safe, sqrt_safe, metric, y_idx)
         )
+        tracer.mark(updates, acc_per_epoch[-1])
         if updates == 0 and not clf.update_on_correct:
             break
     clf.norms_.recompute(model)
@@ -581,14 +623,32 @@ def retrain(clf, encodings: np.ndarray, y_idx: np.ndarray) -> TrainReport:
         assume_integral=getattr(clf, "_encodings_integral", False),
     )
     clf.train_plan_ = plan
-    if plan.engine == "gram":
-        if rule == "adaptive":
-            report = _retrain_gram_adaptive(clf, encodings, y_idx, plan)
+    n, dim = encodings.shape if encodings.ndim == 2 else (len(encodings), 0)
+    n_classes = clf.model_.shape[0]
+    with obs_trace.span(
+        "train", engine=plan.engine, rule=rule, samples=n,
+        n_classes=n_classes, dim=dim, epochs=clf.epochs,
+    ) as sp:
+        if plan.engine == "gram":
+            if rule == "adaptive":
+                report = _retrain_gram_adaptive(clf, encodings, y_idx, plan)
+            else:
+                report = _retrain_gram_paper(clf, encodings, y_idx, plan)
+        elif rule == "adaptive":
+            report = _retrain_reference_adaptive(clf, encodings, y_idx)
         else:
-            report = _retrain_gram_paper(clf, encodings, y_idx, plan)
-    elif rule == "adaptive":
-        report = _retrain_reference_adaptive(clf, encodings, y_idx)
-    else:
-        report = _retrain_reference_paper(clf, encodings, y_idx)
+            report = _retrain_reference_paper(clf, encodings, y_idx)
+        if sp.recording:
+            # logical work, engine-independent: every sample is scored
+            # against every class each epoch (dim MACs per pair), and a
+            # misprediction moves two class rows plus their norm deltas
+            total_updates = int(sum(report.updates_per_epoch))
+            score_macs = report.epochs_run * n * n_classes * dim
+            sp.set(epochs_run=report.epochs_run, updates=total_updates)
+            sp.add_ops(
+                mul_ops=score_macs,
+                add_ops=score_macs + total_updates * 4 * dim,
+                mem_bytes=report.epochs_run * (n + n_classes) * dim * 8,
+            )
     report.seconds = time.perf_counter() - t0
     return report

@@ -96,6 +96,14 @@ def build_parser() -> argparse.ArgumentParser:
         help="process fan-out for experiments that support it "
              "(-1 = all cores; results are identical to serial runs)",
     )
+    parser.add_argument(
+        "--trace",
+        type=Path,
+        default=None,
+        metavar="OUT.jsonl",
+        help="record repro.obs spans (encode/train/eval stages) to a "
+             "JSONL trace; summarize with 'python -m repro.obs report'",
+    )
     return parser
 
 
@@ -117,10 +125,29 @@ def run_one(
 def main(argv: Optional[list] = None) -> int:
     args = build_parser().parse_args(argv)
     names = sorted(_runners()) if args.experiment == "all" else [args.experiment]
+    from repro.obs import trace as obs_trace
+
+    sink = None
+    if args.trace is not None:
+        from repro.obs.export import JsonlSink
+
+        sink = JsonlSink(args.trace)
+        obs_trace.enable_tracing(sink)
     ok = True
-    for name in names:
-        result = run_one(name, args.profile, args.json, jobs=args.jobs)
-        ok = ok and result.all_claims_hold
+    try:
+        for name in names:
+            with obs_trace.span("experiment", experiment=name,
+                                profile=args.profile):
+                result = run_one(name, args.profile, args.json,
+                                 jobs=args.jobs)
+            ok = ok and result.all_claims_hold
+    finally:
+        if sink is not None:
+            obs_trace.disable_tracing()
+            obs_trace.remove_sink(sink)
+            sink.close()
+            print(f"trace: {sink.emitted} spans -> {args.trace}")
+            print(f"       summarize: python -m repro.obs report {args.trace}")
     if args.strict and not ok:
         return 1
     return 0

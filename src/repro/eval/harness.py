@@ -9,6 +9,29 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.eval.tables import format_table
+from repro.obs import trace as obs_trace
+
+
+class _TracedJob:
+    """Picklable wrapper adding an ``eval.job`` span per mapped item.
+
+    Only installed when tracing is enabled in the submitting process, so
+    the untraced ``parallel_map`` path is byte-identical to before.  In
+    ``mode="process"`` the workers start with tracing disabled, so the
+    wrapper no-ops there and the parent records only the outer
+    ``eval.map`` span -- spans never cross the process boundary.
+    """
+
+    __slots__ = ("fn", "task")
+
+    def __init__(self, fn: Callable, task: str):
+        self.fn = fn
+        self.task = task
+
+    def __call__(self, indexed_item):
+        index, item = indexed_item
+        with obs_trace.span("eval.job", task=self.task, index=index):
+            return self.fn(item)
 
 
 def resolve_jobs(n_jobs: Optional[int] = None) -> int:
@@ -41,6 +64,21 @@ def parallel_map(
         raise ValueError(f"unknown parallel mode {mode!r}")
     items = list(items)
     jobs = min(resolve_jobs(n_jobs), len(items))
+    if obs_trace.tracing_enabled():
+        task = getattr(fn, "__name__", type(fn).__name__)
+        traced = _TracedJob(fn, task)
+        with obs_trace.span(
+            "eval.map", task=task, items=len(items), jobs=jobs, mode=mode,
+        ):
+            if jobs <= 1:
+                return [traced(pair) for pair in enumerate(items)]
+            pool_cls = (ProcessPoolExecutor if mode == "process"
+                        else ThreadPoolExecutor)
+            try:
+                with pool_cls(max_workers=jobs) as pool:
+                    return list(pool.map(traced, enumerate(items)))
+            except (OSError, PermissionError):
+                return [traced(pair) for pair in enumerate(items)]
     if jobs <= 1:
         return [fn(item) for item in items]
     pool_cls = ProcessPoolExecutor if mode == "process" else ThreadPoolExecutor

@@ -1,0 +1,99 @@
+"""repro.obs -- unified tracing, metrics and op/energy accounting.
+
+One observability layer across the whole stack:
+
+- :mod:`repro.obs.registry` -- process-global (and instantiable)
+  registry of counter/gauge/histogram families with labels; the serve
+  layer's MetricsHub delegates here.
+- :mod:`repro.obs.trace` -- nestable spans (``with span("encode",
+  engine="packed"):`` or ``@traced``) recording wall time, logical op
+  counts and bytes moved; near-zero overhead while disabled (the
+  default -- see ``benchmarks/bench_obs.py``).
+- :mod:`repro.obs.export` -- JSONL trace sink, in-memory collector,
+  Prometheus text exposition (+ optional HTTP endpoint).
+- :mod:`repro.obs.energy` -- folds traced op counts through the
+  paper-calibrated :mod:`repro.hardware.energy` model so a traced run
+  emits a per-stage ASIC energy estimate.
+- ``python -m repro.obs report trace.jsonl`` -- console per-stage
+  summary (time, ops, energy).
+
+Quickstart::
+
+    from repro import obs
+    sink = obs.JsonlSink("trace.jsonl")
+    obs.enable_tracing(sink)
+    clf.fit(X, y)                    # encode/train spans land in the sink
+    obs.disable_tracing(); sink.close()
+    # then: python -m repro.obs report trace.jsonl
+"""
+
+from repro.obs.export import (
+    CollectorSink,
+    JsonlSink,
+    PrometheusEndpoint,
+    load_trace,
+    render_prometheus,
+    serve_prometheus,
+    summarize,
+)
+from repro.obs.registry import (
+    REGISTRY,
+    Counter,
+    Gauge,
+    Histogram,
+    Registry,
+    get_registry,
+)
+from repro.obs.trace import (
+    Span,
+    add_sink,
+    current_span,
+    disable_tracing,
+    enable_tracing,
+    remove_sink,
+    span,
+    traced,
+    tracing_enabled,
+)
+
+__all__ = [
+    "CollectorSink",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "JsonlSink",
+    "PrometheusEndpoint",
+    "REGISTRY",
+    "Registry",
+    "Span",
+    "add_sink",
+    "current_span",
+    "disable_tracing",
+    "enable_tracing",
+    "get_registry",
+    "load_trace",
+    "remove_sink",
+    "render_prometheus",
+    "serve_prometheus",
+    "span",
+    "summarize",
+    "traced",
+    "tracing_enabled",
+    # lazy: OpEnergyBridge, trace_report, render_trace_report
+    "OpEnergyBridge",
+    "trace_report",
+    "render_trace_report",
+]
+
+
+def __getattr__(name):
+    # the energy bridge and report pull in repro.hardware / repro.eval;
+    # load them on first use so `import repro.core` (which imports
+    # repro.obs.trace for instrumentation) stays lightweight.
+    if name == "OpEnergyBridge":
+        from repro.obs.energy import OpEnergyBridge
+        return OpEnergyBridge
+    if name in ("trace_report", "render_trace_report"):
+        from repro.obs import report
+        return getattr(report, name)
+    raise AttributeError(f"module 'repro.obs' has no attribute {name!r}")

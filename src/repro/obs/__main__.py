@@ -1,0 +1,8 @@
+"""``python -m repro.obs`` -- observability CLI (see repro.obs.report)."""
+
+import sys
+
+from repro.obs.report import main
+
+if __name__ == "__main__":
+    sys.exit(main())

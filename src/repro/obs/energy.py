@@ -1,0 +1,115 @@
+"""Bridge from traced logical op counts to the paper's energy model.
+
+The spans recorded by :mod:`repro.obs.trace` carry *logical* operation
+counts -- XOR ops, adds, multiplies and bytes moved, the currencies of
+:class:`repro.core.encoders.base.OpProfile`.  The GENERIC energy model
+(:mod:`repro.hardware.energy`) charges *hardware* events: datapath
+cycles, level/class-memory word reads.  This module folds one into the
+other so a traced software run emits a paper-style per-stage energy
+estimate, closing the loop between what the software executed and what
+the Section 5.1 silicon would have spent doing it.
+
+Mapping (documented assumptions, all first-order):
+
+- every logical op (XOR / add / mul) occupies one of the ``m`` datapath
+  lanes for one cycle, so ``cycles = total_ops / m`` and each op costs
+  ``e_datapath_cycle / m``;
+- bytes moved are charged at the level-memory rate: one level-row read
+  (``max_dim`` bits) per ``max_dim/8`` bytes -- the dominant on-chip
+  traffic during encoding;
+- adds in *search*-flavored stages consume one class-memory word each
+  (the dot-product pipeline reads a 16-bit class word per MAC), so
+  stages named in :data:`CLASS_MEM_STAGES` charge ``e_class_word``
+  per add instead of the level rate for their traffic;
+- static power is the worst-case anchor scaled over the *estimated ASIC
+  time* (cycles / clock), not host wall time -- the host's nanoseconds
+  say nothing about the accelerator's leakage.
+
+These estimates are intentionally coarse (the cycle-accurate path is
+:mod:`repro.hardware.controller`); their value is that they move with
+the measured op counts of an actual run, per stage, with zero extra
+configuration.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Mapping, Optional
+
+from repro.hardware.energy import EnergyModel, WORST_STATIC_W
+from repro.hardware.params import DEFAULT_PARAMS, ArchParams
+
+__all__ = ["OpEnergyBridge", "CLASS_MEM_STAGES"]
+
+#: span names whose adds stream class-memory words (similarity search)
+CLASS_MEM_STAGES = ("search", "serve.search", "score")
+
+
+class OpEnergyBridge:
+    """Convert per-stage logical op totals into energy estimates."""
+
+    def __init__(self, params: ArchParams = DEFAULT_PARAMS,
+                 model: Optional[EnergyModel] = None):
+        self.params = params
+        self.model = model or EnergyModel(params)
+        # one lane-op: the datapath cycle energy split across the m lanes
+        self.e_op_j = self.model.e_datapath_cycle / params.lanes
+        # level-memory traffic: one row read moves max_dim bits
+        self.e_byte_j = self.model.e_level_read / (params.max_dim / 8.0)
+        self.e_class_word_j = self.model.e_class_word
+
+    # -- one stage ----------------------------------------------------------
+
+    def estimate(
+        self,
+        *,
+        xor_ops: int = 0,
+        add_ops: int = 0,
+        mul_ops: int = 0,
+        mem_bytes: int = 0,
+        stage: str = "",
+    ) -> Dict[str, float]:
+        """Energy estimate for one stage's op totals (values in J / s)."""
+        total_ops = int(xor_ops) + int(add_ops) + int(mul_ops)
+        cycles = total_ops / self.params.lanes
+        asic_s = cycles / self.params.clock_hz
+        datapath_j = total_ops * self.e_op_j
+        if stage in CLASS_MEM_STAGES:
+            mem_j = add_ops * self.e_class_word_j
+        else:
+            mem_j = mem_bytes * self.e_byte_j
+        static_j = WORST_STATIC_W * asic_s
+        dynamic_j = datapath_j + mem_j
+        return {
+            "ops": float(total_ops),
+            "est_cycles": cycles,
+            "asic_time_s": asic_s,
+            "datapath_j": datapath_j,
+            "memory_j": mem_j,
+            "static_j": static_j,
+            "dynamic_j": dynamic_j,
+            "total_j": dynamic_j + static_j,
+        }
+
+    # -- a whole trace summary ----------------------------------------------
+
+    def estimate_stages(
+        self, stages: Mapping[str, Mapping[str, float]],
+        skip: Iterable[str] = (),
+    ) -> Dict[str, Dict[str, float]]:
+        """Estimates for a :func:`repro.obs.export.summarize` aggregate.
+
+        Stages without any recorded op counts get a zero-energy row (the
+        span measured wall time only); ``skip`` drops stages entirely.
+        """
+        out: Dict[str, Dict[str, float]] = {}
+        for name, agg in stages.items():
+            if name in skip:
+                continue
+            out[name] = self.estimate(
+                xor_ops=int(agg.get("xor_ops", 0)),
+                add_ops=int(agg.get("add_ops", 0)),
+                mul_ops=int(agg.get("mul_ops", 0)),
+                mem_bytes=int(agg.get("mem_bytes", 0)),
+                stage=name,
+            )
+        return out

@@ -1,0 +1,105 @@
+"""Console summary of a JSONL trace: per-stage time, ops, energy.
+
+``python -m repro.obs report trace.jsonl`` renders one row per span
+name -- wall time, span count, logical op totals, and the ASIC energy
+estimate from the :class:`~repro.obs.energy.OpEnergyBridge` -- the
+paper-style breakdown a traced ``table1`` or serve run boils down to.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.eval.tables import format_table
+from repro.obs.export import load_trace, summarize
+
+__all__ = ["trace_report", "render_trace_report", "main"]
+
+
+def _fmt_count(n: float) -> str:
+    n = float(n)
+    for scale, suffix in ((1e12, "T"), (1e9, "G"), (1e6, "M"), (1e3, "k")):
+        if abs(n) >= scale:
+            return f"{n / scale:.2f}{suffix}"
+    return f"{n:.0f}"
+
+
+def trace_report(
+    path: Union[str, Path], energy: bool = True
+) -> Dict[str, Dict]:
+    """Aggregate a trace file; optionally fold in energy estimates."""
+    stages = summarize(load_trace(path))
+    if energy and stages:
+        from repro.obs.energy import OpEnergyBridge
+
+        estimates = OpEnergyBridge().estimate_stages(stages)
+        for name, est in estimates.items():
+            stages[name]["energy"] = est
+    return stages
+
+
+def render_trace_report(path: Union[str, Path], energy: bool = True) -> str:
+    """Human-readable per-stage table for a JSONL trace."""
+    stages = trace_report(path, energy=energy)
+    if not stages:
+        return f"trace {path}: no spans recorded"
+    headers = ["stage", "spans", "wall_s", "xor_ops", "add_ops",
+               "mul_ops", "mem_MB"]
+    if energy:
+        headers += ["asic_ms", "dyn_uJ", "total_uJ"]
+    rows: List[List] = []
+    for name in sorted(stages, key=lambda n: -stages[n]["wall_s"]):
+        agg = stages[name]
+        row: List = [
+            name,
+            agg["spans"],
+            f"{agg['wall_s']:.4f}",
+            _fmt_count(agg["xor_ops"]),
+            _fmt_count(agg["add_ops"]),
+            _fmt_count(agg["mul_ops"]),
+            f"{agg['mem_bytes'] / 2**20:.2f}",
+        ]
+        if energy:
+            est = agg.get("energy", {})
+            row += [
+                f"{est.get('asic_time_s', 0.0) * 1e3:.3f}",
+                f"{est.get('dynamic_j', 0.0) * 1e6:.3f}",
+                f"{est.get('total_j', 0.0) * 1e6:.3f}",
+            ]
+        rows.append(row)
+    title = f"repro.obs report -- {path}"
+    return format_table(headers, rows, title=title)
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point (see :mod:`repro.obs.__main__`)."""
+    import argparse
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Observability tooling for the GENERIC reproduction.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+    rep = sub.add_parser(
+        "report", help="summarize a JSONL trace per stage"
+    )
+    rep.add_argument("trace", type=Path, help="trace file (JSONL spans)")
+    rep.add_argument("--no-energy", action="store_true",
+                     help="skip the ASIC energy estimate columns")
+    rep.add_argument("--json", action="store_true",
+                     help="emit the aggregate as JSON instead of a table")
+    args = parser.parse_args(argv)
+
+    if args.command == "report":
+        if not args.trace.exists():
+            parser.error(f"trace file not found: {args.trace}")
+        if args.json:
+            print(json.dumps(
+                trace_report(args.trace, energy=not args.no_energy),
+                indent=2, default=float,
+            ))
+        else:
+            print(render_trace_report(args.trace, energy=not args.no_energy))
+    return 0

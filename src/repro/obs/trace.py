@@ -1,0 +1,271 @@
+"""Nestable spans with op/byte accounting and near-zero disabled cost.
+
+Tracing is **off by default**.  Every instrumented hot path calls
+``trace.span(...)``; while disabled this returns a shared no-op object
+whose ``__enter__``/``__exit__``/``add_ops`` do nothing, so the cost of
+shipping instrumentation is one module-attribute call and a branch --
+:mod:`benchmarks.bench_obs` pins it below 2% on the encode and retrain
+hot paths.
+
+When enabled (:func:`enable_tracing`), each span records wall time, the
+logical operation counts attached via :meth:`Span.add_ops` (XOR / add /
+mul ops and bytes moved -- the same currencies as
+:class:`repro.core.encoders.base.OpProfile`), and arbitrary attributes.
+Finished spans are dispatched to the registered sinks (e.g. the JSONL
+sink of :mod:`repro.obs.export`) and aggregated into the process-global
+:data:`~repro.obs.registry.REGISTRY` as ``span_seconds`` /
+``span_ops_total`` / ``span_bytes_total`` families, which
+``render_prometheus`` then exposes.
+
+Span nesting is tracked per thread: a span opened inside another span
+records its parent's dotted path, so the report tool can distinguish
+``train/train.epoch`` from a bare ``train.epoch``.  Worker threads and
+forked eval processes start with an empty stack (and child processes
+start with tracing disabled -- spans never cross the process boundary).
+
+Usage::
+
+    with span("encode", engine="packed", samples=256) as sp:
+        out = kernel.encode_bins(bins)
+        if sp.recording:
+            sp.add_ops(xor_ops=..., add_ops=..., mem_bytes=...)
+
+    @traced("policy.tick")
+    def observe(...): ...
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import Callable, Dict, List, Optional
+
+from repro.obs import registry as _registry
+
+__all__ = [
+    "Span",
+    "span",
+    "emit_span",
+    "traced",
+    "current_span",
+    "enable_tracing",
+    "disable_tracing",
+    "tracing_enabled",
+    "add_sink",
+    "remove_sink",
+    "reset",
+]
+
+_enabled = False
+_sinks: List[object] = []
+_state = threading.local()  # per-thread span stack
+
+
+# -- the disabled path -------------------------------------------------------
+
+
+class _NoopSpan:
+    """Shared, stateless stand-in returned while tracing is disabled."""
+
+    __slots__ = ()
+    recording = False
+
+    def __enter__(self) -> "_NoopSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def add_ops(self, **counts) -> None:
+        pass
+
+    def set(self, **attrs) -> None:
+        pass
+
+
+_NOOP = _NoopSpan()
+
+
+# -- live spans --------------------------------------------------------------
+
+
+class Span:
+    """One timed, op-accounted region of work."""
+
+    __slots__ = ("name", "attrs", "path", "ops", "t0", "seconds")
+    recording = True
+
+    def __init__(self, name: str, attrs: Dict):
+        self.name = name
+        self.attrs = attrs
+        self.path = name
+        self.ops: Dict[str, int] = {}
+        self.t0 = 0.0
+        self.seconds = 0.0
+
+    def add_ops(self, *, xor_ops: int = 0, add_ops: int = 0,
+                mul_ops: int = 0, mem_bytes: int = 0, **extra) -> None:
+        """Accumulate logical operation counts onto this span."""
+        for key, val in (("xor_ops", xor_ops), ("add_ops", add_ops),
+                         ("mul_ops", mul_ops), ("mem_bytes", mem_bytes)):
+            if val:
+                self.ops[key] = self.ops.get(key, 0) + int(val)
+        for key, val in extra.items():
+            self.ops[key] = self.ops.get(key, 0) + int(val)
+
+    def set(self, **attrs) -> None:
+        """Attach or overwrite span attributes."""
+        self.attrs.update(attrs)
+
+    def __enter__(self) -> "Span":
+        stack = getattr(_state, "stack", None)
+        if stack is None:
+            stack = _state.stack = []
+        if stack:
+            self.path = stack[-1].path + "/" + self.name
+        stack.append(self)
+        self.t0 = time.perf_counter()
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.seconds = time.perf_counter() - self.t0
+        stack = getattr(_state, "stack", None)
+        if stack and stack[-1] is self:
+            stack.pop()
+        _finish(self, error=exc_type is not None)
+        return False
+
+
+def _finish(sp: Span, error: bool) -> None:
+    record = {
+        "name": sp.name,
+        "path": sp.path,
+        "seconds": sp.seconds,
+        "thread": threading.current_thread().name,
+    }
+    if sp.attrs:
+        record["attrs"] = sp.attrs
+    if sp.ops:
+        record["ops"] = sp.ops
+    if error:
+        record["error"] = True
+    reg = _registry.REGISTRY
+    reg.histogram(
+        "span_seconds", help="wall time of traced spans", labels=("name",)
+    ).labels(name=sp.name).record(sp.seconds)
+    if sp.ops:
+        ops_fam = reg.counter(
+            "span_ops_total", help="logical ops recorded by traced spans",
+            labels=("name", "op"),
+        )
+        for op in ("xor_ops", "add_ops", "mul_ops"):
+            if sp.ops.get(op):
+                ops_fam.labels(name=sp.name, op=op).inc(sp.ops[op])
+        if sp.ops.get("mem_bytes"):
+            reg.counter(
+                "span_bytes_total", help="bytes moved by traced spans",
+                labels=("name",),
+            ).labels(name=sp.name).inc(sp.ops["mem_bytes"])
+    for sink in list(_sinks):
+        try:
+            sink.emit(record)
+        except Exception:
+            # a broken sink must never take down the traced workload
+            pass
+
+
+# -- public API --------------------------------------------------------------
+
+
+def span(name: str, **attrs):
+    """Open a span named ``name``; no-op unless tracing is enabled."""
+    if not _enabled:
+        return _NOOP
+    return Span(name, attrs)
+
+
+def emit_span(name: str, seconds: float,
+              attrs: Optional[Dict] = None,
+              ops: Optional[Dict[str, int]] = None) -> None:
+    """Record an already-timed region as a finished span.
+
+    For loop-structured hot paths (retraining epochs) where wrapping the
+    body in a context manager would force awkward restructuring: the
+    caller measures ``seconds`` itself and emits one span per iteration.
+    No-op while tracing is disabled.
+    """
+    if not _enabled:
+        return
+    sp = Span(name, dict(attrs) if attrs else {})
+    stack = getattr(_state, "stack", None)
+    if stack:
+        sp.path = stack[-1].path + "/" + name
+    sp.seconds = float(seconds)
+    if ops:
+        sp.ops = {k: int(v) for k, v in ops.items() if v}
+    _finish(sp, error=False)
+
+
+def traced(name: Optional[str] = None, **attrs) -> Callable:
+    """Decorator form: trace every call of the wrapped function."""
+
+    def decorate(fn: Callable) -> Callable:
+        span_name = name or fn.__qualname__
+
+        def wrapper(*args, **kwargs):
+            if not _enabled:
+                return fn(*args, **kwargs)
+            with Span(span_name, dict(attrs)):
+                return fn(*args, **kwargs)
+
+        wrapper.__name__ = fn.__name__
+        wrapper.__qualname__ = fn.__qualname__
+        wrapper.__doc__ = fn.__doc__
+        wrapper.__wrapped__ = fn
+        return wrapper
+
+    return decorate
+
+
+def current_span():
+    """The innermost live span of this thread, or ``None``."""
+    stack = getattr(_state, "stack", None)
+    return stack[-1] if stack else None
+
+
+def tracing_enabled() -> bool:
+    return _enabled
+
+
+def enable_tracing(*sinks: object) -> None:
+    """Turn tracing on, optionally registering sinks (``.emit(dict)``)."""
+    global _enabled
+    for sink in sinks:
+        if sink not in _sinks:
+            _sinks.append(sink)
+    _enabled = True
+
+
+def disable_tracing() -> None:
+    """Turn tracing off (sinks stay registered until removed)."""
+    global _enabled
+    _enabled = False
+
+
+def add_sink(sink: object) -> None:
+    if sink not in _sinks:
+        _sinks.append(sink)
+
+
+def remove_sink(sink: object) -> None:
+    if sink in _sinks:
+        _sinks.remove(sink)
+
+
+def reset() -> None:
+    """Disable tracing and drop every sink (test isolation helper)."""
+    global _enabled
+    _enabled = False
+    del _sinks[:]
+    if getattr(_state, "stack", None):
+        _state.stack = []

@@ -1,18 +1,29 @@
-"""Lightweight serving metrics: histograms, counters, gauges.
+"""Serving metrics, now backed by the shared :mod:`repro.obs` registry.
 
-The serving layer needs just enough instrumentation to (a) drive the
-load-shedding policy (recent latency percentiles, queue depth) and
-(b) emit a human/machine-readable report from the bench harness --
-without pulling in an external metrics dependency.
+Historically this module owned its own counter/gauge/histogram
+implementations; PR 4 moved those into :mod:`repro.obs.registry` so the
+whole repo shares one thread-safe metrics layer, and this module became
+the serving-flavored façade over it.  The public API is unchanged --
+:class:`Counter`, :class:`Gauge`, :class:`LatencyHistogram`,
+:class:`SlidingWindow` and :class:`MetricsHub` keep their names,
+methods and snapshot schema -- but every instrument is an
+:mod:`repro.obs` instrument, so a hub can be rendered in the Prometheus
+text format (:meth:`MetricsHub.render_prometheus`) or mounted on an
+HTTP endpoint by the server.
 
-:class:`LatencyHistogram` uses fixed log-spaced buckets (1 us .. ~100 s,
-~24 buckets per decade of range at the chosen growth factor), so
-``record`` is O(log buckets) and percentile queries never retain raw
-samples.  :class:`SlidingWindow` keeps the last ``N`` raw samples for
-the policy's *recent* p95 -- a histogram over the whole run would react
-far too slowly to a load spike.
+Each :class:`MetricsHub` wraps its **own**
+:class:`~repro.obs.registry.Registry` by default (servers run
+concurrently in tests and benches; their metrics must not mix), but a
+shared registry -- e.g. the process-global
+:data:`repro.obs.registry.REGISTRY` -- can be injected.
 
-All classes are thread-safe; workers record from multiple threads.
+:class:`SlidingWindow` keeps the last ``N`` raw samples for the shed
+policy's *recent* p95 -- a whole-run histogram would react far too
+slowly to a load spike -- and stays a policy-local structure rather
+than a registry metric.
+
+All classes are thread-safe; workers record from multiple threads (the
+``inc``/``record`` fast paths hold one uncontended per-instrument lock).
 """
 
 from __future__ import annotations
@@ -22,120 +33,29 @@ import threading
 from collections import deque
 from typing import Dict, List, Optional
 
+from repro.obs.registry import Counter, Gauge, Histogram, Registry
 
-class Counter:
-    """Monotonically increasing event counter."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._value = 0
-
-    def inc(self, n: int = 1) -> None:
-        with self._lock:
-            self._value += n
-
-    @property
-    def value(self) -> int:
-        with self._lock:
-            return self._value
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "SlidingWindow",
+    "MetricsHub",
+]
 
 
-class Gauge:
-    """A point-in-time value (queue depth, shed level); tracks its max."""
-
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._value = 0.0
-        self._max = 0.0
-
-    def set(self, value: float) -> None:
-        with self._lock:
-            self._value = float(value)
-            if value > self._max:
-                self._max = float(value)
-
-    @property
-    def value(self) -> float:
-        with self._lock:
-            return self._value
-
-    @property
-    def max(self) -> float:
-        with self._lock:
-            return self._max
-
-
-class LatencyHistogram:
+class LatencyHistogram(Histogram):
     """Log-bucketed latency histogram over seconds.
 
-    Buckets grow geometrically from ``least`` by ``growth`` per bucket;
-    values above the top bucket land in a final overflow bucket whose
-    reported bound is the largest recorded value.
+    The shared :class:`~repro.obs.registry.Histogram` with the serving
+    defaults spelled out: buckets grow geometrically from 1 us by 1.35x
+    (~24 buckets per decade), values above the top bucket land in an
+    overflow bucket whose reported bound is the largest recorded value.
     """
 
     def __init__(self, least: float = 1e-6, growth: float = 1.35,
                  buckets: int = 64) -> None:
-        self._lock = threading.Lock()
-        self._bounds = [least * growth ** i for i in range(buckets)]
-        self._counts = [0] * (buckets + 1)
-        self._count = 0
-        self._sum = 0.0
-        self._min = math.inf
-        self._max = 0.0
-
-    def record(self, seconds: float) -> None:
-        s = max(0.0, float(seconds))
-        with self._lock:
-            lo, hi = 0, len(self._bounds)
-            while lo < hi:  # first bucket whose bound >= s
-                mid = (lo + hi) // 2
-                if self._bounds[mid] >= s:
-                    hi = mid
-                else:
-                    lo = mid + 1
-            self._counts[lo] += 1
-            self._count += 1
-            self._sum += s
-            self._min = min(self._min, s)
-            self._max = max(self._max, s)
-
-    @property
-    def count(self) -> int:
-        with self._lock:
-            return self._count
-
-    @property
-    def mean(self) -> float:
-        with self._lock:
-            return self._sum / self._count if self._count else 0.0
-
-    def percentile(self, p: float) -> float:
-        """Approximate ``p``-th percentile (0..100) from bucket bounds."""
-        if not 0 <= p <= 100:
-            raise ValueError(f"percentile must be in [0, 100], got {p}")
-        with self._lock:
-            if self._count == 0:
-                return 0.0
-            rank = p / 100.0 * self._count
-            seen = 0.0
-            for i, c in enumerate(self._counts):
-                seen += c
-                if seen >= rank and c:
-                    upper = (self._bounds[i] if i < len(self._bounds)
-                             else self._max)
-                    return min(upper, self._max)
-            return self._max
-
-    def snapshot(self) -> Dict[str, float]:
-        return {
-            "count": self.count,
-            "mean_s": self.mean,
-            "p50_s": self.percentile(50),
-            "p95_s": self.percentile(95),
-            "p99_s": self.percentile(99),
-            "min_s": 0.0 if self.count == 0 else self._min,
-            "max_s": self._max,
-        }
+        super().__init__(least=least, growth=growth, buckets=buckets)
 
 
 class SlidingWindow:
@@ -166,35 +86,31 @@ class SlidingWindow:
 
 
 class MetricsHub:
-    """Named registry of counters, gauges and histograms."""
+    """Named registry of counters, gauges and histograms.
 
-    def __init__(self) -> None:
-        self._lock = threading.Lock()
-        self._counters: Dict[str, Counter] = {}
-        self._gauges: Dict[str, Gauge] = {}
-        self._histograms: Dict[str, LatencyHistogram] = {}
+    A thin serving façade over a :class:`repro.obs.registry.Registry`:
+    ``counter``/``gauge``/``histogram`` get-or-create the (unlabeled)
+    instrument of that name, exactly as before the refactor.
+    """
+
+    def __init__(self, registry: Optional[Registry] = None) -> None:
+        self.registry = registry if registry is not None else Registry(
+            namespace="serve"
+        )
 
     def counter(self, name: str) -> Counter:
-        with self._lock:
-            return self._counters.setdefault(name, Counter())
+        return self.registry.counter(name).labels()
 
     def gauge(self, name: str) -> Gauge:
-        with self._lock:
-            return self._gauges.setdefault(name, Gauge())
+        return self.registry.gauge(name).labels()
 
-    def histogram(self, name: str) -> LatencyHistogram:
-        with self._lock:
-            return self._histograms.setdefault(name, LatencyHistogram())
+    def histogram(self, name: str) -> Histogram:
+        return self.registry.histogram(name).labels()
 
     def snapshot(self) -> Dict[str, Dict]:
         """Plain-dict dump of every metric (JSON-serializable)."""
-        with self._lock:
-            counters = dict(self._counters)
-            gauges = dict(self._gauges)
-            histograms = dict(self._histograms)
-        return {
-            "counters": {k: v.value for k, v in counters.items()},
-            "gauges": {k: {"value": v.value, "max": v.max}
-                       for k, v in gauges.items()},
-            "histograms": {k: v.snapshot() for k, v in histograms.items()},
-        }
+        return self.registry.snapshot()
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-format exposition of this hub's registry."""
+        return self.registry.render_prometheus()

@@ -88,6 +88,7 @@ class InferenceServer:
             n_workers=c.n_workers,
         )
         self._started = False
+        self._metrics_endpoint = None
 
     # -- deployments --------------------------------------------------------
 
@@ -118,6 +119,9 @@ class InferenceServer:
 
     def stop(self, timeout: Optional[float] = 5.0) -> None:
         """Stop admitting work, drain workers, fail leftover futures."""
+        if self._metrics_endpoint is not None:
+            self._metrics_endpoint.close()
+            self._metrics_endpoint = None
         if not self._started:
             return
         self.queue.close()
@@ -198,6 +202,31 @@ class InferenceServer:
                               for n in self.registry.names())
         }
         return snap
+
+    def render_prometheus(self) -> str:
+        """Prometheus text-format exposition of the serving metrics.
+
+        Queue depth and shed level appear as the ``queue_depth`` /
+        ``shed_level`` gauges the workers maintain.
+        """
+        return self.metrics.render_prometheus()
+
+    def start_metrics_endpoint(self, host: str = "127.0.0.1",
+                               port: int = 0):
+        """Expose :meth:`render_prometheus` on an HTTP ``/metrics`` route.
+
+        Returns the live :class:`~repro.obs.export.PrometheusEndpoint`
+        (its ``url``/``port`` tell you where it bound; ``port=0`` picks
+        a free one).  Closed automatically by :meth:`stop`.
+        """
+        if self._metrics_endpoint is not None:
+            raise RuntimeError("metrics endpoint already started")
+        from repro.obs.export import PrometheusEndpoint
+
+        self._metrics_endpoint = PrometheusEndpoint(
+            self.metrics.registry, host=host, port=port
+        )
+        return self._metrics_endpoint
 
     def wait_idle(self, timeout: float = 10.0,
                   poll: float = 0.005) -> bool:

@@ -26,6 +26,7 @@ from typing import List, Optional
 
 import numpy as np
 
+from repro.obs import trace as obs_trace
 from repro.serve.batcher import MicroBatcher
 from repro.serve.metrics import MetricsHub
 from repro.serve.policy import LoadShedPolicy
@@ -127,9 +128,26 @@ class WorkerPool:
             X = np.stack([np.asarray(r.x, dtype=np.float64) for r in requests])
 
             t0 = time.monotonic()
-            encoded = dep.encode(X)
+            with obs_trace.span(
+                "serve.encode", model=model_name, batch=len(requests)
+            ):
+                encoded = dep.encode(X)
             t1 = time.monotonic()
-            labels = dep.search(encoded, dim=dim)
+            with obs_trace.span(
+                "serve.search", model=model_name, batch=len(requests),
+                dim=dim,
+            ) as sp:
+                labels = dep.search(encoded, dim=dim)
+                if sp.recording:
+                    # similarity against every class over the served
+                    # prefix: one MAC per (request, class, dimension)
+                    if dep.kind == "packed":
+                        n_classes = len(dep.model.class_words)
+                    else:
+                        n_classes = dep.model.n_classes
+                    macs = len(requests) * n_classes * dim
+                    sp.add_ops(add_ops=macs, mul_ops=macs,
+                               mem_bytes=n_classes * dim * 8)
             t2 = time.monotonic()
         except BaseException as exc:  # resolve futures, never kill the worker
             for req in requests:

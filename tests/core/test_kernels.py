@@ -245,3 +245,71 @@ class TestRestoredModelPath:
         restored = model_io.import_model(image)
         assert restored.encoder.engine == "auto"
         assert np.array_equal(restored.predict(X_test), clf.predict(X_test))
+
+
+class TestCrossEngineOpAccounting:
+    """The two engines must agree on *logical* op counts.
+
+    The packed kernel executes 64 dimensions per uint64 XOR, but the
+    device/energy models charge per-dimension logical work; if the
+    packed engine reported word ops, every traced packed run would look
+    ~64x cheaper than the identical reference run.
+    """
+
+    @pytest.mark.parametrize("use_ids", [True, False])
+    def test_op_profile_identical_across_engines(self, use_ids):
+        X = _data(7, 6, 10)
+        ref, pk = _pair(128, 3, use_ids)
+        ref.fit(X)
+        pk.fit(X)
+        assert ref.op_profile() == pk.op_profile()
+
+    @pytest.mark.parametrize("use_ids", [True, False])
+    def test_kernel_reports_logical_not_word_ops(self, use_ids):
+        X = _data(9, 4, 12)
+        _, pk = _pair(128, 2, use_ids)
+        pk.fit(X)
+        profile = pk.op_profile()
+        counts = pk._current_kernel().op_counts(n_features=12, n_samples=1)
+        assert counts["xor_ops"] == profile.xor_ops
+        assert counts["add_ops"] == profile.add_ops
+        # the physical word count is dim/64-fold smaller -- never what
+        # gets reported as the logical total
+        assert counts["word_xor_ops"] * 64 == counts["xor_ops"]
+        assert counts["word_xor_ops"] < counts["xor_ops"]
+
+    def test_op_counts_scale_with_samples(self):
+        X = _data(2, 4, 10)
+        _, pk = _pair(64, 2, True)
+        pk.fit(X)
+        kernel = pk._current_kernel()
+        one = kernel.op_counts(n_features=10, n_samples=1)
+        many = kernel.op_counts(n_features=10, n_samples=5)
+        assert many["xor_ops"] == 5 * one["xor_ops"]
+        assert many["add_ops"] == 5 * one["add_ops"]
+
+    def test_window_longer_than_input_rejected(self):
+        k = GenericPackedKernel(np.ones((4, 64), np.int8), None, 3, 64)
+        with pytest.raises(ValueError, match="window"):
+            k.op_counts(n_features=2)
+
+    def test_traced_spans_agree_across_engines(self):
+        """End to end: identical encode spans from both engines."""
+        from repro.obs import trace as obs_trace
+        from repro.obs.export import CollectorSink
+
+        X = _data(13, 8, 10)
+        ref, pk = _pair(128, 3, True)
+        ref.fit(X)
+        pk.fit(X)
+        sink = CollectorSink()
+        obs_trace.enable_tracing(sink)
+        try:
+            ref.encode_batch(X)
+            pk.encode_batch(X)
+        finally:
+            obs_trace.reset()
+        ref_rec, pk_rec = sink.spans
+        assert ref_rec["attrs"]["engine"] == "reference"
+        assert pk_rec["attrs"]["engine"] == "packed"
+        assert ref_rec["ops"] == pk_rec["ops"]

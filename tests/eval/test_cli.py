@@ -46,3 +46,33 @@ class TestRunOne:
     def test_strict_mode_passes_when_claims_hold(self, capsys):
         assert cli.main(["ablation-gating", "--profile", "tiny", "--strict"]) == 0
         capsys.readouterr()
+
+
+class TestTraceFlag:
+    def test_trace_writes_jsonl_and_prints_hint(self, tmp_path, capsys):
+        from repro.obs import trace as obs_trace
+        from repro.obs.export import load_trace
+
+        out = tmp_path / "run.jsonl"
+        try:
+            assert cli.main(["ablation-gating", "--profile", "tiny",
+                             "--trace", str(out)]) == 0
+        finally:
+            obs_trace.reset()
+        stdout = capsys.readouterr().out
+        assert "repro.obs report" in stdout
+        spans = load_trace(out)
+        names = {s["name"] for s in spans}
+        assert "experiment" in names
+        exp = next(s for s in spans if s["name"] == "experiment")
+        assert exp["attrs"] == {"experiment": "ablation-gating",
+                                "profile": "tiny"}
+        # tracing is torn down after the run
+        assert not obs_trace.tracing_enabled()
+
+    def test_untraced_run_writes_nothing(self, tmp_path, capsys):
+        from repro.obs import trace as obs_trace
+
+        assert cli.main(["ablation-gating", "--profile", "tiny"]) == 0
+        assert not obs_trace.tracing_enabled()
+        assert "repro.obs report" not in capsys.readouterr().out

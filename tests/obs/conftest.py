@@ -1,0 +1,40 @@
+"""Shared isolation for the observability tests.
+
+Tracing state and the process-global registry are module-level
+singletons; every test in this package gets them reset on both sides so
+traced tests cannot leak spans or aggregate families into each other
+(or into the rest of the suite).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
+
+
+@pytest.fixture(autouse=True)
+def _obs_isolation():
+    obs_trace.reset()
+    obs_registry.REGISTRY.clear()
+    yield
+    obs_trace.reset()
+    obs_registry.REGISTRY.clear()
+
+
+@pytest.fixture(scope="session")
+def serve_classifier(toy_problem):
+    """A small trained deployment for the serve-span wiring test."""
+    X_train, y_train, _, _ = toy_problem
+    enc = GenericEncoder(dim=256, num_levels=16, seed=11)
+    return HDClassifier(enc, epochs=3, seed=11).fit(X_train, y_train)
+
+
+@pytest.fixture(scope="session")
+def serve_queries(toy_problem):
+    _, _, X_test, _ = toy_problem
+    return np.asarray(X_test, dtype=np.float64)

@@ -1,0 +1,82 @@
+"""Tests for the op-count -> energy bridge (repro.obs.energy)."""
+
+import pytest
+
+from repro.hardware.energy import EnergyModel, WORST_STATIC_W
+from repro.hardware.params import DEFAULT_PARAMS
+from repro.obs.energy import CLASS_MEM_STAGES, OpEnergyBridge
+
+
+@pytest.fixture(scope="module")
+def bridge():
+    return OpEnergyBridge()
+
+
+class TestEstimate:
+    def test_zero_ops_zero_energy(self, bridge):
+        est = bridge.estimate()
+        assert est["ops"] == 0
+        assert est["total_j"] == 0.0
+        assert est["asic_time_s"] == 0.0
+
+    def test_cycles_follow_lane_count(self, bridge):
+        lanes = DEFAULT_PARAMS.lanes
+        est = bridge.estimate(xor_ops=lanes * 1000)
+        assert est["est_cycles"] == pytest.approx(1000)
+        assert est["asic_time_s"] == pytest.approx(
+            1000 / DEFAULT_PARAMS.clock_hz)
+
+    def test_datapath_energy_linear_in_ops(self, bridge):
+        e1 = bridge.estimate(xor_ops=1000)["datapath_j"]
+        e2 = bridge.estimate(xor_ops=2000)["datapath_j"]
+        assert e2 == pytest.approx(2 * e1)
+        # op flavor doesn't matter for the datapath charge
+        assert bridge.estimate(add_ops=1000)["datapath_j"] == pytest.approx(e1)
+
+    def test_memory_charged_at_level_rate(self, bridge):
+        model = EnergyModel(DEFAULT_PARAMS)
+        bytes_per_row = DEFAULT_PARAMS.max_dim / 8.0
+        est = bridge.estimate(mem_bytes=int(bytes_per_row) * 10,
+                              stage="encode")
+        assert est["memory_j"] == pytest.approx(10 * model.e_level_read)
+
+    def test_search_stages_charge_class_memory(self, bridge):
+        for stage in CLASS_MEM_STAGES:
+            est = bridge.estimate(add_ops=100, mem_bytes=999, stage=stage)
+            assert est["memory_j"] == pytest.approx(
+                100 * bridge.e_class_word_j)
+
+    def test_static_scales_with_asic_time_not_host_time(self, bridge):
+        est = bridge.estimate(xor_ops=10**6)
+        assert est["static_j"] == pytest.approx(
+            WORST_STATIC_W * est["asic_time_s"])
+
+    def test_totals_consistent(self, bridge):
+        est = bridge.estimate(xor_ops=500, add_ops=200, mul_ops=100,
+                              mem_bytes=4096)
+        assert est["ops"] == 800
+        assert est["dynamic_j"] == pytest.approx(
+            est["datapath_j"] + est["memory_j"])
+        assert est["total_j"] == pytest.approx(
+            est["dynamic_j"] + est["static_j"])
+
+
+class TestEstimateStages:
+    def test_folds_a_summary(self, bridge):
+        stages = {
+            "encode": {"spans": 2, "wall_s": 0.1, "errors": 0,
+                       "xor_ops": 1000, "add_ops": 100, "mul_ops": 0,
+                       "mem_bytes": 256},
+            "search": {"spans": 1, "wall_s": 0.05, "errors": 0,
+                       "xor_ops": 0, "add_ops": 500, "mul_ops": 500,
+                       "mem_bytes": 0},
+            "idle": {"spans": 1, "wall_s": 1.0, "errors": 0,
+                     "xor_ops": 0, "add_ops": 0, "mul_ops": 0,
+                     "mem_bytes": 0},
+        }
+        out = bridge.estimate_stages(stages, skip=("idle",))
+        assert set(out) == {"encode", "search"}
+        assert out["encode"]["total_j"] > 0
+        # search stage charged class-memory words for its adds
+        assert out["search"]["memory_j"] == pytest.approx(
+            500 * bridge.e_class_word_j)

@@ -1,0 +1,87 @@
+"""Tests for exporters: summarize, Prometheus text + HTTP endpoint."""
+
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.obs.export import (
+    CollectorSink,
+    PrometheusEndpoint,
+    render_prometheus,
+    summarize,
+)
+from repro.obs.registry import REGISTRY, Registry
+
+
+class TestSummarize:
+    def test_aggregates_by_name(self):
+        spans = [
+            {"name": "encode", "seconds": 0.1,
+             "ops": {"xor_ops": 10, "mem_bytes": 4}},
+            {"name": "encode", "seconds": 0.2, "ops": {"xor_ops": 5}},
+            {"name": "train", "seconds": 1.0, "error": True},
+        ]
+        stages = summarize(spans)
+        assert set(stages) == {"encode", "train"}
+        enc = stages["encode"]
+        assert enc["spans"] == 2
+        assert enc["wall_s"] == pytest.approx(0.3)
+        assert enc["xor_ops"] == 15
+        assert enc["mem_bytes"] == 4
+        assert enc["add_ops"] == enc["mul_ops"] == 0
+        assert stages["train"]["errors"] == 1
+
+    def test_empty(self):
+        assert summarize([]) == {}
+
+
+class TestRenderHelper:
+    def test_defaults_to_global_registry(self):
+        REGISTRY.counter("something").inc()
+        assert "something 1" in render_prometheus()
+
+    def test_explicit_registry(self):
+        reg = Registry(namespace="t")
+        reg.counter("c").inc(2)
+        assert "t_c 2" in render_prometheus(reg)
+
+
+class TestPrometheusEndpoint:
+    def test_serves_metrics_over_http(self):
+        reg = Registry(namespace="serve")
+        reg.counter("served").inc(9)
+        endpoint = PrometheusEndpoint(reg, port=0)
+        try:
+            with urllib.request.urlopen(endpoint.url, timeout=5) as resp:
+                assert resp.status == 200
+                assert "text/plain" in resp.headers["Content-Type"]
+                body = resp.read().decode()
+            assert "serve_served 9" in body
+            # metrics are live, not a boot-time snapshot
+            reg.counter("served").inc()
+            with urllib.request.urlopen(endpoint.url, timeout=5) as resp:
+                assert "serve_served 10" in resp.read().decode()
+        finally:
+            endpoint.close()
+
+    def test_unknown_route_404(self):
+        endpoint = PrometheusEndpoint(Registry(), port=0)
+        try:
+            url = endpoint.url.replace("/metrics", "/nope")
+            with pytest.raises(urllib.error.HTTPError) as err:
+                urllib.request.urlopen(url, timeout=5)
+            assert err.value.code == 404
+        finally:
+            endpoint.close()
+
+
+class TestCollectorSink:
+    def test_maxlen_bounds_storage_not_count(self):
+        sink = CollectorSink(maxlen=2)
+        for i in range(5):
+            sink.emit({"name": str(i)})
+        assert sink.emitted == 5
+        assert len(sink.spans) == 2
+        sink.clear()
+        assert sink.emitted == 0 and sink.spans == []

@@ -1,0 +1,209 @@
+"""Tests for the shared metric registry (repro.obs.registry)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs.registry import (
+    Counter,
+    CounterFamily,
+    Gauge,
+    Histogram,
+    Registry,
+)
+
+
+class TestInstruments:
+    def test_counter(self):
+        c = Counter()
+        c.inc()
+        c.inc(4)
+        assert c.value == 5
+
+    def test_gauge_tracks_max(self):
+        g = Gauge()
+        g.set(3)
+        g.set(1)
+        g.inc(0.5)
+        assert g.value == 1.5
+        assert g.max == 3.0
+
+    def test_histogram_percentiles_bracket_samples(self):
+        h = Histogram()
+        for v in (0.001, 0.002, 0.004, 0.008):
+            h.record(v)
+        assert h.count == 4
+        assert h.sum == pytest.approx(0.015)
+        assert 0.001 <= h.percentile(50) <= 0.008
+        assert h.percentile(100) == pytest.approx(0.008, rel=0.4)
+
+    def test_histogram_snapshot_schema(self):
+        h = Histogram()
+        h.record(0.5)
+        snap = h.snapshot()
+        assert set(snap) == {
+            "count", "mean_s", "p50_s", "p95_s", "p99_s", "min_s", "max_s"
+        }
+        assert snap["count"] == 1
+        assert snap["max_s"] == 0.5
+
+    def test_histogram_overflow_reports_true_max(self):
+        h = Histogram(least=1e-6, growth=1.35, buckets=8)  # top bound ~8e-6
+        h.record(123.0)
+        assert h.percentile(99) == pytest.approx(123.0)
+
+
+class TestFamilies:
+    def test_labels_keep_separate_series(self):
+        fam = CounterFamily("encoded", label_names=("engine",))
+        fam.labels(engine="packed").inc(3)
+        fam.labels(engine="reference").inc()
+        assert fam.labels(engine="packed").value == 3
+        assert fam.labels(engine="reference").value == 1
+
+    def test_label_mismatch_rejected(self):
+        fam = CounterFamily("encoded", label_names=("engine",))
+        with pytest.raises(ValueError):
+            fam.labels(wrong="x")
+        with pytest.raises(ValueError):
+            fam.labels()
+
+    def test_unlabeled_family_proxies_instrument_api(self):
+        fam = CounterFamily("served")
+        fam.inc(2)  # proxy straight to the default child
+        assert fam.value == 2
+        assert fam.default.value == 2
+
+    def test_default_raises_for_labeled_family(self):
+        fam = CounterFamily("encoded", label_names=("engine",))
+        with pytest.raises(ValueError):
+            fam.default
+
+
+class TestRegistry:
+    def test_get_or_create_is_stable(self):
+        reg = Registry()
+        assert reg.counter("a") is reg.counter("a")
+        assert reg.gauge("g") is reg.gauge("g")
+        assert reg.histogram("h") is reg.histogram("h")
+
+    def test_kind_collision_rejected(self):
+        reg = Registry()
+        reg.counter("x")
+        with pytest.raises(ValueError, match="already registered"):
+            reg.gauge("x")
+
+    def test_label_collision_rejected(self):
+        reg = Registry()
+        reg.counter("x", labels=("engine",))
+        with pytest.raises(ValueError, match="labels"):
+            reg.counter("x", labels=("other",))
+
+    def test_snapshot_schema_and_json(self):
+        reg = Registry()
+        reg.counter("served").inc(7)
+        reg.gauge("depth").set(3)
+        reg.histogram("lat").record(0.01)
+        reg.counter("enc", labels=("engine",)).labels(engine="packed").inc()
+        snap = reg.snapshot()
+        assert set(snap) == {"counters", "gauges", "histograms"}
+        assert snap["counters"]["served"] == 7
+        assert snap["counters"]["enc{engine=packed}"] == 1
+        assert snap["gauges"]["depth"] == {"value": 3.0, "max": 3.0}
+        assert snap["histograms"]["lat"]["count"] == 1
+        json.dumps(snap)  # must round-trip
+
+    def test_clear(self):
+        reg = Registry()
+        reg.counter("a").inc()
+        reg.clear()
+        assert reg.families() == []
+
+
+class TestPrometheusRender:
+    def test_counter_gauge_lines(self):
+        reg = Registry(namespace="serve")
+        reg.counter("served", help="requests served").inc(5)
+        reg.gauge("queue_depth").set(2)
+        text = reg.render_prometheus()
+        assert "# HELP serve_served requests served" in text
+        assert "# TYPE serve_served counter" in text
+        assert "serve_served 5" in text
+        assert "serve_queue_depth 2.0" in text
+        assert text.endswith("\n")
+
+    def test_labels_and_escaping(self):
+        reg = Registry()
+        reg.counter("enc", labels=("engine",)).labels(engine='pa"cked').inc()
+        text = reg.render_prometheus()
+        assert 'enc{engine="pa\\"cked"} 1' in text
+
+    def test_histogram_renders_as_summary(self):
+        reg = Registry()
+        h = reg.histogram("lat").labels()
+        for v in (0.001, 0.002, 0.003):
+            h.record(v)
+        text = reg.render_prometheus()
+        assert "# TYPE lat summary" in text
+        assert 'lat{quantile="0.5"}' in text
+        assert "lat_sum" in text
+        assert "lat_count 3" in text
+
+    def test_bad_metric_names_sanitized(self):
+        reg = Registry()
+        reg.counter("1weird-name").inc()
+        text = reg.render_prometheus()
+        assert "_1weird_name 1" in text
+
+
+class TestThreadHammer:
+    """Regression: inc/record are read-modify-writes; 8 writers, no loss."""
+
+    N_THREADS = 8
+    N_OPS = 2500
+
+    def _hammer(self, op):
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def work():
+            barrier.wait()
+            for _ in range(self.N_OPS):
+                op()
+
+        threads = [threading.Thread(target=work) for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_hammer_loses_nothing(self):
+        c = Counter()
+        self._hammer(lambda: c.inc())
+        assert c.value == self.N_THREADS * self.N_OPS
+
+    def test_histogram_hammer_loses_nothing(self):
+        h = Histogram()
+        self._hammer(lambda: h.record(0.001))
+        assert h.count == self.N_THREADS * self.N_OPS
+        assert h.sum == pytest.approx(self.N_THREADS * self.N_OPS * 0.001)
+
+    def test_labeled_family_hammer(self):
+        fam = CounterFamily("c", label_names=("t",))
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def work(i):
+            barrier.wait()
+            for _ in range(self.N_OPS):
+                fam.labels(t=str(i % 2)).inc()
+
+        threads = [
+            threading.Thread(target=work, args=(i,))
+            for i in range(self.N_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        total = sum(child.value for _, child in fam.children())
+        assert total == self.N_THREADS * self.N_OPS

@@ -1,0 +1,78 @@
+"""Tests for the trace report and the ``python -m repro.obs`` CLI."""
+
+import json
+
+import pytest
+
+from repro.obs.report import main, render_trace_report, trace_report
+
+
+@pytest.fixture
+def trace_file(tmp_path):
+    spans = [
+        {"name": "encode", "seconds": 0.12,
+         "attrs": {"engine": "packed"},
+         "ops": {"xor_ops": 4_000_000, "add_ops": 1_000_000,
+                 "mem_bytes": 2**21}},
+        {"name": "encode", "seconds": 0.08,
+         "ops": {"xor_ops": 1_000_000}},
+        {"name": "train", "seconds": 0.90,
+         "ops": {"mul_ops": 3_000_000, "add_ops": 3_000_000}},
+        {"name": "train.epoch", "seconds": 0.30},
+    ]
+    path = tmp_path / "trace.jsonl"
+    path.write_text("\n".join(json.dumps(s) for s in spans) + "\n")
+    return path
+
+
+class TestTraceReport:
+    def test_aggregate_with_energy(self, trace_file):
+        stages = trace_report(trace_file)
+        assert stages["encode"]["spans"] == 2
+        assert stages["encode"]["xor_ops"] == 5_000_000
+        assert stages["encode"]["energy"]["total_j"] > 0
+        # wall-time-only stages still get a (zero-energy) estimate row
+        assert stages["train.epoch"]["energy"]["total_j"] == 0.0
+
+    def test_no_energy(self, trace_file):
+        stages = trace_report(trace_file, energy=False)
+        assert "energy" not in stages["encode"]
+
+    def test_render_sorted_by_wall_time(self, trace_file):
+        text = render_trace_report(trace_file)
+        assert "stage" in text and "total_uJ" in text
+        lines = text.splitlines()
+        train_row = next(i for i, l in enumerate(lines) if "train " in l or l.strip().startswith("train"))
+        encode_row = next(i for i, l in enumerate(lines) if "encode" in l)
+        assert train_row < encode_row  # train has the larger wall_s
+        assert "5.00M" in text  # human-scaled op counts
+
+    def test_render_empty_trace(self, tmp_path):
+        empty = tmp_path / "empty.jsonl"
+        empty.write_text("")
+        assert "no spans recorded" in render_trace_report(empty)
+
+
+class TestCli:
+    def test_report_table(self, trace_file, capsys):
+        assert main(["report", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "repro.obs report" in out
+        assert "encode" in out and "train" in out
+
+    def test_report_json(self, trace_file, capsys):
+        assert main(["report", "--json", str(trace_file)]) == 0
+        stages = json.loads(capsys.readouterr().out)
+        assert stages["encode"]["spans"] == 2
+        assert "energy" in stages["encode"]
+
+    def test_report_no_energy(self, trace_file, capsys):
+        assert main(["report", "--no-energy", "--json",
+                     str(trace_file)]) == 0
+        stages = json.loads(capsys.readouterr().out)
+        assert "energy" not in stages["encode"]
+
+    def test_missing_file_errors(self, tmp_path, capsys):
+        with pytest.raises(SystemExit):
+            main(["report", str(tmp_path / "nope.jsonl")])
+        assert "not found" in capsys.readouterr().err

@@ -1,0 +1,181 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import json
+import threading
+
+import pytest
+
+from repro.obs import registry as obs_registry
+from repro.obs import trace as obs_trace
+from repro.obs.export import CollectorSink, JsonlSink, load_trace
+
+
+class TestDisabledPath:
+    def test_span_is_shared_noop(self):
+        a = obs_trace.span("encode", engine="packed")
+        b = obs_trace.span("train")
+        assert a is b  # one stateless singleton, nothing allocated
+        assert a.recording is False
+
+    def test_noop_span_absorbs_everything(self):
+        with obs_trace.span("x") as sp:
+            sp.add_ops(xor_ops=5, custom=2)
+            sp.set(foo=1)
+        assert obs_registry.REGISTRY.families() == []
+
+    def test_emit_span_noop_when_disabled(self):
+        obs_trace.emit_span("train.epoch", 0.5, ops={"add_ops": 10})
+        assert obs_registry.REGISTRY.families() == []
+
+    def test_traced_decorator_passthrough(self):
+        calls = []
+
+        @obs_trace.traced("f")
+        def f(x):
+            calls.append(x)
+            return x + 1
+
+        assert f(1) == 2
+        assert calls == [1]
+        assert obs_registry.REGISTRY.families() == []
+
+
+class TestEnabledPath:
+    def test_span_records_time_ops_attrs(self):
+        sink = CollectorSink()
+        obs_trace.enable_tracing(sink)
+        with obs_trace.span("encode", engine="packed", samples=4) as sp:
+            assert sp.recording
+            sp.add_ops(xor_ops=100, add_ops=50, mem_bytes=64)
+            sp.set(dim=512)
+        (rec,) = sink.spans
+        assert rec["name"] == "encode"
+        assert rec["seconds"] >= 0.0
+        assert rec["attrs"] == {"engine": "packed", "samples": 4, "dim": 512}
+        assert rec["ops"] == {"xor_ops": 100, "add_ops": 50, "mem_bytes": 64}
+        assert "error" not in rec
+
+    def test_nesting_records_parent_path(self):
+        sink = CollectorSink()
+        obs_trace.enable_tracing(sink)
+        with obs_trace.span("train"):
+            with obs_trace.span("train.epoch"):
+                assert obs_trace.current_span().path == "train/train.epoch"
+        paths = [rec["path"] for rec in sink.spans]
+        assert paths == ["train/train.epoch", "train"]  # inner finishes first
+        assert obs_trace.current_span() is None
+
+    def test_error_flag_set_and_exception_propagates(self):
+        sink = CollectorSink()
+        obs_trace.enable_tracing(sink)
+        with pytest.raises(RuntimeError):
+            with obs_trace.span("boom"):
+                raise RuntimeError("no")
+        assert sink.spans[0]["error"] is True
+
+    def test_emit_span_inherits_live_parent(self):
+        sink = CollectorSink()
+        obs_trace.enable_tracing(sink)
+        with obs_trace.span("train"):
+            obs_trace.emit_span(
+                "train.epoch", 0.25,
+                attrs={"epoch": 0}, ops={"add_ops": 10, "mul_ops": 0},
+            )
+        epoch = sink.spans[0]
+        assert epoch["path"] == "train/train.epoch"
+        assert epoch["seconds"] == 0.25
+        assert epoch["ops"] == {"add_ops": 10}  # zero entries dropped
+
+    def test_registry_aggregation(self):
+        obs_trace.enable_tracing()
+        with obs_trace.span("encode") as sp:
+            sp.add_ops(xor_ops=7, mem_bytes=32)
+        with obs_trace.span("encode") as sp:
+            sp.add_ops(xor_ops=3)
+        reg = obs_registry.REGISTRY
+        hist = reg.histogram("span_seconds", labels=("name",)).labels(
+            name="encode")
+        assert hist.count == 2
+        ops = reg.counter("span_ops_total", labels=("name", "op"))
+        assert ops.labels(name="encode", op="xor_ops").value == 10
+        assert reg.counter("span_bytes_total", labels=("name",)).labels(
+            name="encode").value == 32
+
+    def test_traced_decorator_records(self):
+        sink = CollectorSink()
+        obs_trace.enable_tracing(sink)
+
+        @obs_trace.traced("policy.tick", kind="test")
+        def tick():
+            return 42
+
+        assert tick() == 42
+        assert sink.spans[0]["name"] == "policy.tick"
+        assert sink.spans[0]["attrs"] == {"kind": "test"}
+
+    def test_broken_sink_does_not_break_workload(self):
+        class Broken:
+            def emit(self, record):
+                raise IOError("disk full")
+
+        good = CollectorSink()
+        obs_trace.enable_tracing(Broken(), good)
+        with obs_trace.span("x"):
+            pass
+        assert good.emitted == 1
+
+    def test_threads_have_independent_stacks(self):
+        sink = CollectorSink()
+        obs_trace.enable_tracing(sink)
+        seen = {}
+
+        def work():
+            with obs_trace.span("worker"):
+                seen["path"] = obs_trace.current_span().path
+
+        with obs_trace.span("outer"):
+            t = threading.Thread(target=work)
+            t.start()
+            t.join()
+        # the worker thread's stack is empty: no "outer/" prefix
+        assert seen["path"] == "worker"
+
+
+class TestJsonlRoundTrip:
+    def test_sink_writes_loadable_lines(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        sink = JsonlSink(path)
+        obs_trace.enable_tracing(sink)
+        with obs_trace.span("encode", engine="packed") as sp:
+            sp.add_ops(xor_ops=5)
+        with obs_trace.span("train"):
+            pass
+        obs_trace.disable_tracing()
+        sink.close()
+        assert sink.emitted == 2
+        spans = load_trace(path)
+        assert [s["name"] for s in spans] == ["encode", "train"]
+        assert spans[0]["ops"] == {"xor_ops": 5}
+        # each line is standalone JSON
+        lines = path.read_text().strip().splitlines()
+        assert all(json.loads(line) for line in lines)
+
+
+class TestLifecycle:
+    def test_enable_disable_reset(self):
+        assert not obs_trace.tracing_enabled()
+        sink = CollectorSink()
+        obs_trace.enable_tracing(sink)
+        assert obs_trace.tracing_enabled()
+        obs_trace.disable_tracing()
+        assert not obs_trace.tracing_enabled()
+        # sink stays registered across disable, dropped by reset
+        obs_trace.enable_tracing()
+        with obs_trace.span("x"):
+            pass
+        assert sink.emitted == 1
+        obs_trace.reset()
+        obs_trace.enable_tracing()
+        with obs_trace.span("y"):
+            pass
+        assert sink.emitted == 1

@@ -1,0 +1,135 @@
+"""Integration: the hot paths actually emit spans with op counts.
+
+These tests exercise the *wiring* -- encoders, the retraining engine,
+the serve pipeline and the eval harness all call into
+:mod:`repro.obs.trace` -- rather than the tracer itself (covered in
+``test_trace.py``).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.eval.harness import parallel_map
+from repro.obs import trace as obs_trace
+from repro.obs.export import CollectorSink, summarize
+
+
+@pytest.fixture
+def sink():
+    s = CollectorSink()
+    obs_trace.enable_tracing(s)
+    yield s
+    obs_trace.reset()
+
+
+def _named(sink, name):
+    return [rec for rec in sink.spans if rec["name"] == name]
+
+
+class TestEncodeSpans:
+    def test_encode_batch_emits_span_with_op_profile(self, sink):
+        X = np.random.default_rng(0).normal(size=(8, 10))
+        enc = GenericEncoder(dim=128, num_levels=8, seed=1,
+                             engine="reference").fit(X)
+        enc.encode_batch(X)
+        (rec,) = _named(sink, "encode")
+        assert rec["attrs"]["engine"] == "reference"
+        assert rec["attrs"]["samples"] == 8
+        assert rec["attrs"]["dim"] == 128
+        profile = enc.op_profile()
+        assert rec["ops"]["xor_ops"] == profile.xor_ops * 8
+        assert rec["ops"]["mem_bytes"] == profile.mem_bytes * 8
+
+    def test_engine_label_reflects_resolved_engine(self, sink):
+        X = np.random.default_rng(0).normal(size=(4, 10))
+        enc = GenericEncoder(dim=128, num_levels=8, seed=1,
+                             engine="packed").fit(X)
+        enc.encode_batch(X)
+        (rec,) = _named(sink, "encode")
+        assert rec["attrs"]["engine"] == "packed"
+
+    def test_untraced_encode_emits_nothing(self):
+        X = np.random.default_rng(0).normal(size=(4, 10))
+        enc = GenericEncoder(dim=128, num_levels=8, seed=1).fit(X)
+        enc.encode_batch(X)  # tracing disabled by the conftest fixture
+
+
+class TestTrainSpans:
+    def test_fit_emits_train_and_epoch_spans(self, sink, toy_problem):
+        X_train, y_train, _, _ = toy_problem
+        enc = GenericEncoder(dim=128, num_levels=8, seed=3)
+        clf = HDClassifier(enc, epochs=3, seed=3).fit(X_train, y_train)
+        (train,) = _named(sink, "train")
+        assert train["attrs"]["engine"] in ("reference", "gram")
+        assert train["attrs"]["epochs_run"] == clf.report_.epochs_run
+        assert train["ops"]["mul_ops"] > 0  # similarity scoring MACs
+        epochs = _named(sink, "train.epoch")
+        assert len(epochs) == clf.report_.epochs_run
+        assert all(e["path"] == "train/train.epoch" for e in epochs)
+        assert [e["attrs"]["epoch"] for e in epochs] == list(
+            range(len(epochs)))
+
+
+class TestServeSpans:
+    def test_serve_pipeline_emits_encode_and_search(self, sink,
+                                                    serve_classifier,
+                                                    serve_queries):
+        from repro.serve.server import InferenceServer, ServeConfig
+
+        server = InferenceServer(ServeConfig(n_workers=1))
+        server.register("m", serve_classifier)
+        with server:
+            for x in serve_queries[:4]:
+                server.predict("m", x)
+        stages = summarize(sink.spans)
+        assert stages["serve.encode"]["spans"] >= 1
+        search = stages["serve.search"]
+        assert search["spans"] >= 1
+        assert search["add_ops"] > 0 and search["mul_ops"] > 0
+
+
+class TestEvalSpans:
+    def test_parallel_map_wraps_jobs(self, sink):
+        out = parallel_map(_double, [1, 2, 3], n_jobs=1)
+        assert out == [2, 4, 6]
+        (outer,) = _named(sink, "eval.map")
+        assert outer["attrs"]["items"] == 3
+        assert outer["attrs"]["task"] == "_double"
+        jobs = _named(sink, "eval.job")
+        assert len(jobs) == 3
+        assert all(j["path"] == "eval.map/eval.job" for j in jobs)
+        assert sorted(j["attrs"]["index"] for j in jobs) == [0, 1, 2]
+
+    def test_parallel_map_threaded_jobs_traced(self, sink):
+        out = parallel_map(_double, list(range(6)), n_jobs=2, mode="thread")
+        assert out == [0, 2, 4, 6, 8, 10]
+        assert len(_named(sink, "eval.job")) == 6
+
+    def test_untraced_map_identical(self):
+        assert parallel_map(_double, [3, 4], n_jobs=1) == [6, 8]
+
+
+def _double(x):
+    return 2 * x
+
+
+class TestTracedTable1:
+    def test_tiny_run_produces_reportable_trace(self, sink, tmp_path):
+        from repro.eval.experiments import table1
+        from repro.obs.export import JsonlSink
+        from repro.obs.report import render_trace_report
+
+        jsonl = JsonlSink(tmp_path / "t1.jsonl")
+        obs_trace.add_sink(jsonl)
+        result = table1.run(profile="tiny", datasets=["ISOLET"],
+                            include_ml=False)
+        obs_trace.disable_tracing()
+        jsonl.close()
+        assert result.rows
+        stages = summarize(sink.spans)
+        assert "encode" in stages and "train" in stages
+        assert stages["encode"]["xor_ops"] > 0
+        report = render_trace_report(jsonl.path)
+        assert "encode" in report and "total_uJ" in report

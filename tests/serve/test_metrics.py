@@ -114,3 +114,75 @@ class TestMetricsHub:
         assert parsed["counters"]["served"] == 3
         assert parsed["gauges"]["depth"]["max"] == 2
         assert parsed["histograms"]["total"]["count"] == 1
+
+
+class TestThreadHammerRegression:
+    """8 writers hammering inc/record must lose nothing.
+
+    ``Counter.inc``/``Histogram.record`` are read-modify-writes; before
+    the locked fast path, concurrent workers could drop counts.  Mirrors
+    the obs-layer hammer (the serve instruments ARE the obs instruments
+    since the registry unification) from the serving-facade side.
+    """
+
+    N_THREADS = 8
+    N_OPS = 2500
+
+    def _run(self, work):
+        barrier = threading.Barrier(self.N_THREADS)
+
+        def target():
+            barrier.wait()
+            work()
+
+        threads = [threading.Thread(target=target)
+                   for _ in range(self.N_THREADS)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+
+    def test_counter_hammer(self):
+        c = Counter()
+        self._run(lambda: [c.inc() for _ in range(self.N_OPS)])
+        assert c.value == self.N_THREADS * self.N_OPS
+
+    def test_histogram_hammer(self):
+        h = LatencyHistogram()
+        self._run(lambda: [h.record(0.002) for _ in range(self.N_OPS)])
+        assert h.count == self.N_THREADS * self.N_OPS
+        assert h.sum == pytest.approx(self.N_THREADS * self.N_OPS * 0.002)
+
+    def test_hub_instruments_hammer(self):
+        hub = MetricsHub()
+
+        def work():
+            for _ in range(self.N_OPS):
+                hub.counter("served").inc()
+                hub.histogram("total").record(0.001)
+
+        self._run(work)
+        snap = hub.snapshot()
+        assert snap["counters"]["served"] == self.N_THREADS * self.N_OPS
+        assert snap["histograms"]["total"]["count"] == (
+            self.N_THREADS * self.N_OPS)
+
+
+class TestHubRegistryIntegration:
+    def test_private_registries_do_not_mix(self):
+        a, b = MetricsHub(), MetricsHub()
+        a.counter("served").inc(5)
+        assert b.snapshot()["counters"].get("served") is None
+
+    def test_injected_registry_is_used(self):
+        from repro.obs.registry import Registry
+
+        reg = Registry(namespace="serve")
+        hub = MetricsHub(registry=reg)
+        hub.counter("served").inc(2)
+        assert reg.snapshot()["counters"]["served"] == 2
+
+    def test_render_prometheus_namespaced(self):
+        hub = MetricsHub()
+        hub.counter("served").inc()
+        assert "serve_served 1" in hub.render_prometheus()

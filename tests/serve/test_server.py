@@ -186,3 +186,70 @@ class TestAdmissionAndLifecycle:
         assert "queue_wait" in stats["histograms"]
         assert "encode" in stats["histograms"]
         assert "search" in stats["histograms"]
+
+
+class TestStatsSchema:
+    """The stats() snapshot is a public contract (dashboards parse it)."""
+
+    TOP_KEYS = {"counters", "gauges", "histograms", "queue", "policy",
+                "deployments"}
+
+    def test_schema_after_quick_bench_run(self, serve_classifier,
+                                          serve_queries):
+        """A bench-quick-style burst populates every snapshot section."""
+        server = InferenceServer(ServeConfig(max_batch=8, n_workers=2))
+        server.register("m", serve_classifier)
+        with server:
+            for x in serve_queries[:24]:
+                server.predict("m", x)
+            server.wait_idle(timeout=10.0)
+            stats = server.stats()
+        assert set(stats) == self.TOP_KEYS
+        # stable sub-schemas
+        assert set(stats["queue"]) == {"depth", "maxsize"}
+        assert set(stats["policy"]) == {
+            "level", "max_level_seen", "shed_events", "recover_events",
+            "recent_p95_s",
+        }
+        assert set(stats["deployments"]["m"]) == {
+            "kind", "dim", "min_dim", "version", "serving_dim",
+        }
+        # the workers maintain these gauges on every batch
+        assert stats["gauges"]["shed_level"] == {"value": 0.0, "max": 0.0}
+        assert stats["gauges"]["queue_depth"]["value"] >= 0.0
+        assert stats["counters"]["served"] == 24
+        for hist in ("batch_size", "queue_wait", "encode", "search", "total"):
+            snap = stats["histograms"][hist]
+            assert set(snap) == {
+                "count", "mean_s", "p50_s", "p95_s", "p99_s", "min_s",
+                "max_s",
+            }
+            assert snap["count"] > 0
+        # round-trips to JSON without a custom encoder
+        assert json.loads(json.dumps(stats)) == stats
+
+    def test_prometheus_exposition(self, server, serve_queries):
+        server.predict_many("full", serve_queries[:4])
+        text = server.render_prometheus()
+        assert "# TYPE serve_served counter" in text
+        assert "serve_queue_depth" in text
+        assert 'serve_total{quantile="0.95"}' in text
+
+    def test_metrics_endpoint_lifecycle(self, serve_classifier,
+                                        serve_queries):
+        import urllib.error
+        import urllib.request
+
+        server = InferenceServer(ServeConfig(n_workers=1))
+        server.register("m", serve_classifier)
+        with server:
+            endpoint = server.start_metrics_endpoint(port=0)
+            with pytest.raises(RuntimeError):
+                server.start_metrics_endpoint()
+            server.predict("m", serve_queries[0])
+            with urllib.request.urlopen(endpoint.url, timeout=5) as resp:
+                body = resp.read().decode()
+            assert "serve_served 1" in body
+        # stop() closed the endpoint; the port no longer accepts requests
+        with pytest.raises((ConnectionError, urllib.error.URLError, OSError)):
+            urllib.request.urlopen(endpoint.url, timeout=1)
