@@ -7,6 +7,7 @@ paper: classification with retraining and unsupervised clustering.
 
 from repro.core.classifier import HDClassifier
 from repro.core.clustering import HDCluster
+from repro.core.config import ComputeConfig
 from repro.core.training import (
     TRAIN_ENGINES,
     TrainPlan,
@@ -42,6 +43,7 @@ from repro.core.kernels import (
 
 __all__ = [
     "AdaptiveHDClassifier",
+    "ComputeConfig",
     "TRAIN_ENGINES",
     "TrainPlan",
     "TrainReport",

@@ -25,12 +25,25 @@ from typing import Optional
 import numpy as np
 
 from repro.core import training
+from repro.core.config import UNSET, ComputeConfig
 from repro.core.encoders.base import Encoder
 from repro.core.norms import DEFAULT_BLOCK, SubNormTable
 from repro.core.sims import score as score_fn
 from repro.core.training import TRAIN_ENGINES, TrainPlan, TrainReport
 
 __all__ = ["HDClassifier", "TrainReport", "TrainPlan", "TRAIN_ENGINES"]
+
+
+def apply_engine(encoder: Encoder, engine: Optional[str],
+                 owner: str = "model") -> None:
+    """Apply an encoding-engine override to ``encoder`` (no-op on None)."""
+    if engine is None:
+        return
+    if not hasattr(encoder, "engine"):
+        raise ValueError(
+            f"{owner}: {type(encoder).__name__} has no selectable engine"
+        )
+    encoder.engine = engine
 
 
 class HDClassifier:
@@ -51,25 +64,32 @@ class HDClassifier:
         Seed for the shuffling generator.
     norm_block:
         Granularity of the sub-norm table (128 in the ASIC).
+    config:
+        A :class:`~repro.core.config.ComputeConfig` bundling the four
+        compute knobs (``engine``, ``encode_jobs``, ``train_engine``,
+        ``train_memory_budget``).  The per-knob kwargs below remain as
+        deprecated aliases and override matching ``config`` fields.
     engine:
-        Encoding engine override (``"reference"``/``"packed"``/``"auto"``)
-        applied to the encoder when it supports one; ``None`` keeps the
-        encoder's own setting.
+        *Deprecated alias* for ``config.engine``: encoding engine
+        override (``"reference"``/``"packed"``/``"auto"``) applied to
+        the encoder when it supports one; ``None`` keeps the encoder's
+        own setting.
     encode_jobs:
-        Thread-pool width for batch encoding in :meth:`fit`/:meth:`predict`
-        (``None`` = serial, ``-1`` = all cores).  Results are identical
-        for any value.
+        *Deprecated alias* for ``config.encode_jobs``: thread-pool width
+        for batch encoding in :meth:`fit`/:meth:`predict` (``None`` =
+        serial, ``-1`` = all cores).  Results are identical for any value.
     train_engine:
-        Retraining engine: ``"reference"`` (the paper's per-sample loop),
-        ``"gram"`` (the dot-product-cached replay of
-        :mod:`repro.core.training` -- result-identical for this
-        classifier's integer ±h rule), or ``"auto"`` (gram whenever
-        exactness is provable and the cache fits ``train_memory_budget``).
-        The resolved choice is recorded on ``train_plan_`` after
-        :meth:`fit`.
+        *Deprecated alias* for ``config.train_engine``: ``"reference"``
+        (the paper's per-sample loop), ``"gram"`` (the
+        dot-product-cached replay of :mod:`repro.core.training` --
+        result-identical for this classifier's integer ±h rule), or
+        ``"auto"`` (gram whenever exactness is provable and the cache
+        fits the memory budget).  The resolved choice is recorded on
+        ``train_plan_`` after :meth:`fit`.
     train_memory_budget:
-        Byte cap for the gram caches (``None`` = the module default,
-        256 MiB); ``"auto"`` falls back to the reference engine beyond it.
+        *Deprecated alias* for ``config.train_memory_budget``: byte cap
+        for the gram caches (``None`` = the module default, 256 MiB);
+        ``"auto"`` falls back to the reference engine beyond it.
     """
 
     #: update rule implemented by this class (see repro.core.training)
@@ -83,10 +103,11 @@ class HDClassifier:
         shuffle: bool = True,
         seed: int = 0,
         norm_block: int = DEFAULT_BLOCK,
-        engine: Optional[str] = None,
-        encode_jobs: Optional[int] = None,
-        train_engine: str = "auto",
-        train_memory_budget: Optional[int] = None,
+        engine=UNSET,
+        encode_jobs=UNSET,
+        train_engine=UNSET,
+        train_memory_budget=UNSET,
+        config: Optional[ComputeConfig] = None,
     ):
         self.encoder = encoder
         self.epochs = epochs
@@ -95,27 +116,63 @@ class HDClassifier:
         self.seed = seed
         self.rng = np.random.default_rng(seed)
         self.norm_block = norm_block
-        if engine is not None:
-            if not hasattr(encoder, "engine"):
-                raise ValueError(
-                    f"{type(encoder).__name__} has no selectable engine"
-                )
-            encoder.engine = engine
-        self.engine = engine
-        self.encode_jobs = encode_jobs
-        if train_engine not in TRAIN_ENGINES:
+        self.config = ComputeConfig.from_kwargs(
+            config,
+            engine=engine,
+            encode_jobs=encode_jobs,
+            train_engine=train_engine,
+            train_memory_budget=train_memory_budget,
+            owner=type(self).__name__,
+        )
+        apply_engine(encoder, self.config.engine, owner=type(self).__name__)
+        if self.config.train_engine not in TRAIN_ENGINES:
             raise ValueError(
-                f"unknown train engine {train_engine!r}; "
+                f"unknown train engine {self.config.train_engine!r}; "
                 f"choose from {TRAIN_ENGINES}"
             )
-        self.train_engine = train_engine
-        self.train_memory_budget = train_memory_budget
 
         self.classes_: Optional[np.ndarray] = None
         self.model_: Optional[np.ndarray] = None
         self.norms_: Optional[SubNormTable] = None
         self.report_: Optional[TrainReport] = None
         self.train_plan_: Optional[TrainPlan] = None
+
+    # -- compute-config compatibility surface -------------------------------
+    # The four historical per-knob attributes stay readable/writable but
+    # are views over ``self.config`` (one source of truth; pickling the
+    # instance round-trips the config with it).
+
+    @property
+    def engine(self) -> Optional[str]:
+        return self.config.engine
+
+    @engine.setter
+    def engine(self, value: Optional[str]) -> None:
+        self.config.engine = value
+
+    @property
+    def encode_jobs(self) -> Optional[int]:
+        return self.config.encode_jobs
+
+    @encode_jobs.setter
+    def encode_jobs(self, value: Optional[int]) -> None:
+        self.config.encode_jobs = value
+
+    @property
+    def train_engine(self) -> str:
+        return self.config.train_engine
+
+    @train_engine.setter
+    def train_engine(self, value: str) -> None:
+        self.config.train_engine = value
+
+    @property
+    def train_memory_budget(self) -> Optional[int]:
+        return self.config.train_memory_budget
+
+    @train_memory_budget.setter
+    def train_memory_budget(self, value: Optional[int]) -> None:
+        self.config.train_memory_budget = value
 
     # -- training ----------------------------------------------------------
 
@@ -262,10 +319,7 @@ class HDClassifier:
             shuffle=self.shuffle,
             seed=self.seed,
             norm_block=self.norm_block,
-            engine=self.engine,
-            encode_jobs=self.encode_jobs,
-            train_engine=self.train_engine,
-            train_memory_budget=self.train_memory_budget,
+            config=self.config,
         )
         clone.classes_ = self.classes_
         clone.model_ = np.asarray(model, dtype=np.float64)

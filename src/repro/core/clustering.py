@@ -14,12 +14,19 @@ from typing import Optional
 
 import numpy as np
 
+from repro.core.classifier import apply_engine
+from repro.core.config import UNSET, ComputeConfig
 from repro.core.encoders.base import Encoder
 from repro.core.sims import cosine_scores
 
 
 class HDCluster:
-    """K-centroid clustering in hyperspace."""
+    """K-centroid clustering in hyperspace.
+
+    ``config`` bundles the compute knobs
+    (:class:`~repro.core.config.ComputeConfig`); ``engine`` /
+    ``encode_jobs`` remain as deprecated aliases.
+    """
 
     def __init__(
         self,
@@ -27,8 +34,9 @@ class HDCluster:
         k: int,
         epochs: int = 10,
         seed: int = 0,
-        engine: Optional[str] = None,
-        encode_jobs: Optional[int] = None,
+        engine=UNSET,
+        encode_jobs=UNSET,
+        config: Optional[ComputeConfig] = None,
     ):
         if k < 1:
             raise ValueError(f"k must be >= 1, got {k}")
@@ -36,18 +44,32 @@ class HDCluster:
         self.k = k
         self.epochs = epochs
         self.rng = np.random.default_rng(seed)
-        if engine is not None:
-            if not hasattr(encoder, "engine"):
-                raise ValueError(
-                    f"{type(encoder).__name__} has no selectable engine"
-                )
-            encoder.engine = engine
-        self.engine = engine
-        self.encode_jobs = encode_jobs
+        self.config = ComputeConfig.from_kwargs(
+            config, engine=engine, encode_jobs=encode_jobs,
+            owner=type(self).__name__,
+        )
+        apply_engine(encoder, self.config.engine, owner=type(self).__name__)
 
         self.centroids_: Optional[np.ndarray] = None
         self.labels_: Optional[np.ndarray] = None
         self.epochs_run_: int = 0
+
+    # legacy per-knob attributes, views over ``self.config``
+    @property
+    def engine(self) -> Optional[str]:
+        return self.config.engine
+
+    @engine.setter
+    def engine(self, value: Optional[str]) -> None:
+        self.config.engine = value
+
+    @property
+    def encode_jobs(self) -> Optional[int]:
+        return self.config.encode_jobs
+
+    @encode_jobs.setter
+    def encode_jobs(self, value: Optional[int]) -> None:
+        self.config.encode_jobs = value
 
     def fit(self, X: np.ndarray) -> "HDCluster":
         """Cluster the rows of ``X``; sets ``labels_`` and ``centroids_``."""

@@ -26,6 +26,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.core.classifier import HDClassifier
+from repro.core.config import UNSET, ComputeConfig
 
 
 class AdaptiveHDClassifier(HDClassifier):
@@ -47,10 +48,11 @@ class AdaptiveHDClassifier(HDClassifier):
         shuffle: bool = True,
         seed: int = 0,
         norm_block: int = 128,
-        engine=None,
-        encode_jobs=None,
-        train_engine: str = "auto",
-        train_memory_budget=None,
+        engine=UNSET,
+        encode_jobs=UNSET,
+        train_engine=UNSET,
+        train_memory_budget=UNSET,
+        config: "ComputeConfig" = None,
     ):
         super().__init__(
             encoder,
@@ -63,6 +65,7 @@ class AdaptiveHDClassifier(HDClassifier):
             encode_jobs=encode_jobs,
             train_engine=train_engine,
             train_memory_budget=train_memory_budget,
+            config=config,
         )
         if lr <= 0:
             raise ValueError(f"learning rate must be positive, got {lr}")

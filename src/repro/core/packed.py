@@ -25,7 +25,8 @@ from typing import Optional
 
 import numpy as np
 
-from repro.core.classifier import HDClassifier
+from repro.core.classifier import HDClassifier, apply_engine
+from repro.core.config import UNSET, ComputeConfig
 from repro.core.encoders.base import Encoder
 from repro.core.hypervector import sign_quantize, to_binary
 from repro.core.kernels import (  # noqa: F401  (re-exported public API)
@@ -44,38 +45,65 @@ class PackedModel:
 
     def __init__(self, encoder: Encoder, class_words: np.ndarray,
                  class_labels: np.ndarray, dim: int,
-                 encode_jobs: Optional[int] = None):
+                 encode_jobs=UNSET,
+                 config: Optional[ComputeConfig] = None):
         self.encoder = encoder
         self.class_words = np.asarray(class_words, dtype=np.uint64)
         self.class_labels = np.asarray(class_labels)
         self.dim = dim
-        self.encode_jobs = encode_jobs
+        self.config = ComputeConfig.from_kwargs(
+            config, encode_jobs=encode_jobs, owner=type(self).__name__,
+        )
+
+    # legacy attribute, a view over ``self.config``
+    @property
+    def encode_jobs(self) -> Optional[int]:
+        return self.config.encode_jobs
+
+    @encode_jobs.setter
+    def encode_jobs(self, value: Optional[int]) -> None:
+        self.config.encode_jobs = value
 
     @classmethod
     def from_classifier(cls, clf: HDClassifier,
                         rng: Optional[np.random.Generator] = None,
-                        engine: Optional[str] = None,
-                        encode_jobs: Optional[int] = None) -> "PackedModel":
+                        engine=UNSET,
+                        encode_jobs=UNSET,
+                        config: Optional[ComputeConfig] = None
+                        ) -> "PackedModel":
         """Sign-quantize and pack a trained classifier's class matrix.
 
-        ``engine`` selects the query-encoding path when the encoder
-        supports one (see :class:`~repro.core.encoders.generic.GenericEncoder`);
-        ``encode_jobs`` fans query encoding out over a thread pool.
+        ``config.engine`` selects the query-encoding path when the
+        encoder supports one (see
+        :class:`~repro.core.encoders.generic.GenericEncoder`);
+        ``config.encode_jobs`` fans query encoding out over a thread
+        pool.  ``engine``/``encode_jobs`` remain as deprecated aliases.
         """
         if clf.model_ is None:
             raise RuntimeError("PackedModel needs a fitted classifier")
-        if engine is not None:
-            if not hasattr(clf.encoder, "engine"):
-                raise ValueError(
-                    f"{type(clf.encoder).__name__} has no selectable engine"
-                )
-            clf.encoder.engine = engine
+        merged = ComputeConfig.from_kwargs(
+            config, engine=engine, encode_jobs=encode_jobs,
+            owner="PackedModel.from_classifier",
+        )
+        apply_engine(clf.encoder, merged.engine,
+                     owner="PackedModel.from_classifier")
         signs = np.vstack([
             sign_quantize(row, rng=rng) for row in clf.model_
         ])
         words = pack_bits(to_binary(signs))
         return cls(clf.encoder, words, clf.classes_, clf.encoder.dim,
-                   encode_jobs=encode_jobs)
+                   config=merged)
+
+    def with_words(self, class_words: np.ndarray) -> "PackedModel":
+        """A shallow clone scored against substituted class words.
+
+        The packed counterpart of
+        :meth:`~repro.core.classifier.HDClassifier.with_model`: encoder,
+        labels and config are shared, only the class memory differs.
+        Used by fault injection (VOS bit flips on the packed memory).
+        """
+        return PackedModel(self.encoder, class_words, self.class_labels,
+                           self.dim, config=self.config.replace())
 
     # -- inference --------------------------------------------------------------
 

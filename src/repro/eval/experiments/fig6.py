@@ -24,8 +24,11 @@ from repro.core.classifier import HDClassifier
 from repro.core.encoders import GenericEncoder
 from repro.datasets import load_dataset
 from repro.eval.harness import ExperimentResult
-from repro.hardware.faults import inject_bitflips, quantize_to_bits
-from repro.hardware.voltage import operating_point
+from repro.hardware.faultspec import (
+    FaultSpec,
+    operating_point,
+    quantize_to_bits,
+)
 
 DEFAULT_DATASETS = ("ISOLET", "FACE")
 DEFAULT_BITWIDTHS = (8, 4, 2, 1)
@@ -55,10 +58,11 @@ def sweep_dataset(
         quantized = quantize_to_bits(clf.model_, bw)
         out[bw] = {}
         for rate in error_rates:
+            spec = FaultSpec(error_rate=rate, bits=bw, target="class")
             accs = []
             for t in range(trials):
                 rng = np.random.default_rng(seed * 1000 + t)
-                corrupted = inject_bitflips(quantized, bw, rate, rng)
+                corrupted = spec.corrupt_quantized(quantized, rng)
                 faulty = clf.with_model(corrupted.astype(np.float64))
                 preds = faulty.predict_encoded(encodings)
                 accs.append(float(np.mean(preds == ds.y_test)))

@@ -11,6 +11,7 @@ calibrated to the paper's reported 14 nm figures; see
 
 from repro.hardware.accelerator import GenericAccelerator, RunReport
 from repro.hardware.energy import EnergyModel
+from repro.hardware.faultspec import FaultSpec
 from repro.hardware.multiplex import AppManager
 from repro.hardware.params import ArchParams
 from repro.hardware.serial import InputPort, burst_analysis
@@ -21,6 +22,7 @@ __all__ = [
     "AppSpec",
     "ArchParams",
     "EnergyModel",
+    "FaultSpec",
     "GenericAccelerator",
     "InputPort",
     "Mode",

@@ -13,6 +13,16 @@ from __future__ import annotations
 import numpy as np
 
 
+def __getattr__(name):  # pragma: no cover - thin re-export
+    # The unified fault model lives in repro.hardware.faultspec (which
+    # builds on this module); re-export it lazily to avoid the cycle.
+    if name == "FaultSpec":
+        from repro.hardware.faultspec import FaultSpec
+
+        return FaultSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
+
 def quantize_to_bits(model: np.ndarray, bits: int) -> np.ndarray:
     """Symmetric linear quantization of class values to ``bits``-bit ints.
 

@@ -1,0 +1,170 @@
+"""One fault model for the hardware sim and the serving chaos harness.
+
+PR 1-4 growth left two disjoint fault surfaces: the bit-flip machinery
+of :mod:`repro.hardware.faults` (quantize + independent per-bit flips,
+Fig. 6 left axes) and the voltage over-scaling table of
+:mod:`repro.hardware.voltage` (error rate <-> vdd <-> power saving,
+Fig. 6 right axes).  :class:`FaultSpec` is the single description both
+consumers share -- the Fig. 6 experiment sweeps it over the simulated
+class memory, and :class:`repro.serve.resilience.ChaosPolicy` injects
+it into a live :class:`~repro.serve.server.InferenceServer` -- so
+"what fault is being injected" is one value, not two conventions.
+
+Both legacy modules are re-exported here; new code should import from
+this module::
+
+    from repro.hardware.faultspec import FaultSpec, operating_point
+
+A spec is frozen (hashable, usable as a dict key in sweep reports) and
+holds:
+
+- ``error_rate`` -- independent per-bit flip probability;
+- ``bits``      -- stored word width of the target memory;
+- ``target``    -- which memory: ``"class"`` (associative search),
+  ``"level"`` or ``"id"`` (encoder tables);
+- ``vdd``      -- optional VOS supply point; when given without an
+  explicit ``error_rate`` the rate is derived from the voltage model.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+import numpy as np
+
+# re-exported: the two legacy fault surfaces now route through here
+from repro.hardware.faults import (  # noqa: F401
+    corrupt_model,
+    inject_bitflips,
+    quantize_to_bits,
+)
+from repro.hardware.voltage import (  # noqa: F401
+    MAX_ERROR_RATE,
+    NOMINAL_VDD,
+    VoltagePoint,
+    error_rate_for_voltage,
+    operating_point,
+)
+
+__all__ = [
+    "FaultSpec",
+    "FAULT_TARGETS",
+    # legacy re-exports
+    "corrupt_model",
+    "inject_bitflips",
+    "quantize_to_bits",
+    "MAX_ERROR_RATE",
+    "NOMINAL_VDD",
+    "VoltagePoint",
+    "error_rate_for_voltage",
+    "operating_point",
+]
+
+FAULT_TARGETS = ("class", "level", "id")
+
+
+@dataclass(frozen=True)
+class FaultSpec:
+    """A single memory-fault description (rate, width, target, voltage)."""
+
+    error_rate: float = 0.0
+    bits: int = 8
+    target: str = "class"
+    vdd: Optional[float] = field(default=None)
+
+    def __post_init__(self) -> None:
+        if self.target not in FAULT_TARGETS:
+            raise ValueError(
+                f"unknown fault target {self.target!r}; "
+                f"choose from {FAULT_TARGETS}"
+            )
+        if self.bits < 1:
+            raise ValueError(f"bit-width must be >= 1, got {self.bits}")
+        if not 0.0 <= self.error_rate <= 1.0:
+            raise ValueError(
+                f"error rate must be in [0, 1], got {self.error_rate}"
+            )
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def from_voltage(cls, vdd: float, bits: int = 8,
+                     target: str = "class") -> "FaultSpec":
+        """Spec for running the target memory at supply ``vdd``.
+
+        The bit-error rate is the voltage model's inverse map
+        (:func:`~repro.hardware.voltage.error_rate_for_voltage`).
+        """
+        return cls(error_rate=error_rate_for_voltage(vdd), bits=bits,
+                   target=target, vdd=vdd)
+
+    # -- the VOS side --------------------------------------------------------
+
+    @property
+    def voltage_point(self) -> Optional[VoltagePoint]:
+        """The VOS operating point, or ``None`` outside the modeled range.
+
+        When the spec was built :meth:`from_voltage` this inverts back to
+        (approximately) the requested ``vdd``; otherwise it is the supply
+        at which SRAM would exhibit this spec's error rate.
+        """
+        if self.error_rate > MAX_ERROR_RATE:
+            return None
+        return operating_point(self.error_rate)
+
+    # -- the bit-flip side ---------------------------------------------------
+
+    @property
+    def active(self) -> bool:
+        return self.error_rate > 0.0
+
+    def corrupt_matrix(self, matrix: np.ndarray,
+                       rng: np.random.Generator) -> np.ndarray:
+        """Quantize ``matrix`` to ``bits`` and flip stored bits.
+
+        Exactly the legacy :func:`~repro.hardware.faults.corrupt_model`
+        pipeline (same rng stream), returned as floats for scoring.
+        """
+        return corrupt_model(matrix, self.bits, self.error_rate, rng)
+
+    def corrupt_quantized(self, quantized: np.ndarray,
+                          rng: np.random.Generator) -> np.ndarray:
+        """Flip bits of an already-quantized integer matrix."""
+        return inject_bitflips(quantized, self.bits, self.error_rate, rng)
+
+    def corrupt_words(self, words: np.ndarray,
+                      rng: np.random.Generator) -> np.ndarray:
+        """Flip bits of a packed uint64 hypervector memory.
+
+        The 1-bit binary analogue of :meth:`corrupt_matrix`: every one
+        of the 64 stored bits per word flips independently with
+        ``error_rate`` (``bits`` does not apply -- packed models store
+        one bit per dimension).
+        """
+        words = np.asarray(words, dtype=np.uint64)
+        if self.error_rate == 0.0:
+            return words.copy()
+        flip = np.zeros(words.shape, dtype=np.uint64)
+        for b in range(64):
+            hits = rng.random(words.shape) < self.error_rate
+            flip |= hits.astype(np.uint64) << np.uint64(b)
+        return words ^ flip
+
+    def corrupt_classifier(self, clf, rng: np.random.Generator):
+        """A ``with_model`` clone of ``clf`` scored on faulted memory."""
+        return clf.with_model(self.corrupt_matrix(clf.model_, rng))
+
+    def describe(self) -> dict:
+        """JSON-serializable summary (used by reports and benches)."""
+        point = self.voltage_point
+        return {
+            "error_rate": self.error_rate,
+            "bits": self.bits,
+            "target": self.target,
+            "vdd": point.vdd if point is not None else self.vdd,
+            "static_saving": (point.static_saving
+                              if point is not None else None),
+            "dynamic_saving": (point.dynamic_saving
+                               if point is not None else None),
+        }

@@ -20,6 +20,16 @@ import numpy as np
 
 NOMINAL_VDD = 0.90
 
+
+def __getattr__(name):  # pragma: no cover - thin re-export
+    # The unified fault model lives in repro.hardware.faultspec (which
+    # builds on this module); re-export it lazily to avoid the cycle.
+    if name == "FaultSpec":
+        from repro.hardware.faultspec import FaultSpec
+
+        return FaultSpec
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 # (bit error rate, vdd, static power saving x, dynamic power saving x)
 _ANCHORS = np.array(
     [

@@ -14,11 +14,23 @@ Entry points:
 - :class:`InferenceServer` / :class:`ServeConfig` -- the service façade;
 - :class:`ModelRegistry` / :class:`Deployment` -- named model versions;
 - :class:`LoadShedPolicy` -- the queue-depth/p95 shed controller;
+- :mod:`repro.serve.resilience` -- circuit breakers, deadline/retry
+  handling, graceful-degradation tiers and the :class:`ChaosPolicy`
+  fault-injection harness;
 - :mod:`repro.serve.bench` (``python -m repro.serve.bench``) -- the
   open-loop Poisson traffic harness.
 """
 
 from repro.serve.batcher import MicroBatcher
+from repro.serve.errors import (
+    Backpressure,
+    DeadlineExceeded,
+    InjectedFault,
+    RetriesExhausted,
+    ServeError,
+    WorkerError,
+    WorkerKilled,
+)
 from repro.serve.metrics import (
     Counter,
     Gauge,
@@ -29,14 +41,31 @@ from repro.serve.metrics import (
 from repro.serve.policy import LoadShedPolicy
 from repro.serve.queue import QueueClosed, QueueFull, Request, RequestQueue
 from repro.serve.registry import Deployment, ModelRegistry
+from repro.serve.resilience import (
+    BreakerConfig,
+    ChaosPolicy,
+    CircuitBreaker,
+    DegradationLadder,
+    DegradeConfig,
+    RetryPolicy,
+    RetryScheduler,
+)
 from repro.serve.server import InferenceServer, ServeConfig
 from repro.serve.workers import Prediction, WorkerPool
 
 __all__ = [
+    "Backpressure",
+    "BreakerConfig",
+    "ChaosPolicy",
+    "CircuitBreaker",
     "Counter",
+    "DeadlineExceeded",
+    "DegradationLadder",
+    "DegradeConfig",
     "Deployment",
     "Gauge",
     "InferenceServer",
+    "InjectedFault",
     "LatencyHistogram",
     "LoadShedPolicy",
     "MetricsHub",
@@ -47,7 +76,13 @@ __all__ = [
     "QueueFull",
     "Request",
     "RequestQueue",
+    "RetriesExhausted",
+    "RetryPolicy",
+    "RetryScheduler",
     "ServeConfig",
+    "ServeError",
     "SlidingWindow",
+    "WorkerError",
+    "WorkerKilled",
     "WorkerPool",
 ]

@@ -18,16 +18,27 @@ waiting at all, so throughput rises exactly when it is needed.
 from __future__ import annotations
 
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from repro.serve.queue import Request, RequestQueue
 
 
 class MicroBatcher:
-    """Pulls coalesced batches off a :class:`RequestQueue`."""
+    """Pulls coalesced batches off a :class:`RequestQueue`.
+
+    With deadlines in play (``ServeConfig.default_deadline`` /
+    ``submit(timeout=...)``), requests whose deadline has already passed
+    are **shed at dispatch** rather than batched: serving them would
+    burn worker time on an answer nobody is waiting for -- the queueing
+    pathology deadline propagation exists to stop.  Each expired request
+    goes to the ``on_expired`` callback (the server resolves its future
+    with :class:`~repro.serve.errors.DeadlineExceeded` and counts it)
+    and does not occupy a batch slot.
+    """
 
     def __init__(self, queue: RequestQueue, max_batch: int = 32,
-                 max_wait: float = 0.002):
+                 max_wait: float = 0.002,
+                 on_expired: Optional[Callable[[Request], None]] = None):
         if max_batch <= 0:
             raise ValueError(f"max_batch must be positive, got {max_batch}")
         if max_wait < 0:
@@ -35,19 +46,30 @@ class MicroBatcher:
         self.queue = queue
         self.max_batch = max_batch
         self.max_wait = max_wait
+        self.on_expired = on_expired
+
+    def _admit(self, request: Request, batch: List[Request]) -> None:
+        """Append to the batch, or shed if the deadline already passed."""
+        if request.expired():
+            if self.on_expired is not None:
+                self.on_expired(request)
+            return
+        batch.append(request)
 
     def next_batch(self, timeout: Optional[float] = None) -> List[Request]:
-        """Blocking: one batch of 1..max_batch requests, or ``[]``.
+        """Blocking: one batch of 1..max_batch live requests, or ``[]``.
 
         ``timeout`` bounds the wait for the *first* request (so worker
         loops can poll their stop flag); ``max_wait`` then bounds the
-        linger for followers.  Returns ``[]`` on timeout or when the
-        queue is closed and drained.
+        linger for followers.  Returns ``[]`` on timeout, when the
+        queue is closed and drained, or when everything pulled had
+        already expired.
         """
         first = self.queue.get(timeout=timeout)
         if first is None:
             return []
-        batch = [first]
+        batch: List[Request] = []
+        self._admit(first, batch)
         deadline = time.monotonic() + self.max_wait
         while len(batch) < self.max_batch:
             remaining = deadline - time.monotonic()
@@ -56,10 +78,10 @@ class MicroBatcher:
                 nxt = self.queue.get(timeout=0)
                 if nxt is None:
                     break
-                batch.append(nxt)
+                self._admit(nxt, batch)
                 continue
             nxt = self.queue.get(timeout=remaining)
             if nxt is None:
                 break
-            batch.append(nxt)
+            self._admit(nxt, batch)
         return batch

@@ -18,6 +18,7 @@ what ``benchmarks/bench_serve.py`` and the tests do).
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import json
 import sys
 import time
@@ -26,6 +27,7 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.classifier import HDClassifier
+from repro.core.config import ComputeConfig
 from repro.core.encoders import GenericEncoder
 from repro.core.packed import PackedModel
 from repro.serve.queue import QueueFull
@@ -62,7 +64,8 @@ def train_model(
         n_features=n_features, n_classes=n_classes, seed=seed
     )
     enc = GenericEncoder(dim=dim, num_levels=16, seed=seed)
-    clf = HDClassifier(enc, epochs=3, seed=seed, train_engine=train_engine)
+    clf = HDClassifier(enc, epochs=3, seed=seed,
+                       config=ComputeConfig(train_engine=train_engine))
     clf.fit(X_train, y_train)
     return PackedModel.from_classifier(clf) if packed else clf
 
@@ -154,7 +157,7 @@ def run_bench(
     _, _, queries = make_workload(seed=seed)
     cfg = config or ServeConfig()
     model = train_model(dim=dim, packed=packed, seed=seed,
-                        train_engine=cfg.train_engine or "auto")
+                        train_engine=cfg.config.train_engine or "auto")
     points: List[Dict] = []
     for rate in rates:
         server = InferenceServer(cfg)
@@ -168,7 +171,7 @@ def run_bench(
     return {
         "harness": "repro.serve.bench",
         "model": {"kind": "packed" if packed else "classifier", "dim": dim},
-        "config": vars(config) if config else vars(ServeConfig()),
+        "config": dataclasses.asdict(cfg),
         "load_points": points,
     }
 
@@ -208,7 +211,7 @@ def main(argv: Optional[Sequence[str]] = None) -> int:
         queue_high=args.queue_high,
         p95_target=(args.p95_target_ms / 1e3
                     if args.p95_target_ms is not None else None),
-        train_engine=args.train_engine,
+        config=ComputeConfig(train_engine=args.train_engine),
     )
     report = run_bench(
         rates, n_requests=args.requests, dim=args.dim,

@@ -6,8 +6,14 @@ of load shedding) and closable (shutdown wakes every blocked consumer
 instead of leaking worker threads).
 
 A :class:`Request` carries the raw feature vector, the target model
-name, a ``concurrent.futures.Future`` the caller waits on, and its
-enqueue timestamp so queue-wait latency is measurable per request.
+name, a ``concurrent.futures.Future`` the caller waits on, its
+enqueue timestamp so queue-wait latency is measurable per request, and
+(since the resilience PR) an optional absolute **deadline** plus an
+**attempts** counter: expired requests are shed instead of served
+(:meth:`Request.expired`), and retryable worker failures re-enter the
+queue through :meth:`RequestQueue.put_retry`, which bypasses the
+admission bound -- a request that was already admitted must not lose
+its slot to fresh arrivals while it backs off.
 """
 
 from __future__ import annotations
@@ -38,6 +44,22 @@ class Request:
     model: str
     future: Future = field(default_factory=Future)
     enqueue_t: float = field(default_factory=time.monotonic)
+    #: absolute time.monotonic() deadline; None = no deadline
+    deadline: Optional[float] = None
+    #: serving attempts already burned (retries bump this)
+    attempts: int = 0
+
+    def expired(self, now: Optional[float] = None) -> bool:
+        """True once the deadline has passed (always False without one)."""
+        if self.deadline is None:
+            return False
+        return (time.monotonic() if now is None else now) >= self.deadline
+
+    def remaining(self, now: Optional[float] = None) -> float:
+        """Seconds of budget left (``inf`` without a deadline)."""
+        if self.deadline is None:
+            return float("inf")
+        return self.deadline - (time.monotonic() if now is None else now)
 
 
 class RequestQueue:
@@ -60,6 +82,20 @@ class RequestQueue:
                 raise QueueFull(
                     f"queue at capacity ({self.maxsize}); request rejected"
                 )
+            self._items.append(request)
+            self._cond.notify()
+
+    def put_retry(self, request: Request) -> None:
+        """Re-admit an already-admitted request (retry path).
+
+        Bypasses ``maxsize`` -- the request held a slot before its
+        worker failed, so bouncing it off a momentarily full queue would
+        turn a retryable fault into a spurious rejection.  Still raises
+        :class:`QueueClosed` after shutdown.
+        """
+        with self._cond:
+            if self._closed:
+                raise QueueClosed("queue is closed")
             self._items.append(request)
             self._cond.notify()
 

@@ -31,6 +31,7 @@ from typing import Dict, List, Optional, Union
 import numpy as np
 
 from repro.core.classifier import HDClassifier
+from repro.core.config import ComputeConfig
 from repro.core.norms import DEFAULT_BLOCK
 from repro.core.packed import PackedModel
 
@@ -40,20 +41,31 @@ Model = Union[HDClassifier, PackedModel]
 class Deployment:
     """A servable model: batched two-stage inference + shed-dim mapping.
 
-    ``engine`` selects the encoding path when the model's encoder
-    supports one (``"reference"``/``"packed"``/``"auto"`` on the
-    GENERIC-family encoders); ``encode_jobs`` fans the encode stage out
-    over a thread pool.  Both default to leaving the model as-is.
+    ``config`` (a :class:`~repro.core.config.ComputeConfig`) carries the
+    compute knobs: ``config.engine`` selects the encoding path when the
+    model's encoder supports one (``"reference"``/``"packed"``/``"auto"``
+    on the GENERIC-family encoders); ``config.encode_jobs`` fans the
+    encode stage out over a thread pool.  The ``engine``/``encode_jobs``
+    kwargs override matching config fields.  Everything defaults to
+    leaving the model as-is.
     """
 
     def __init__(self, name: str, model: Model, version: int = 1,
                  min_dim: Optional[int] = None,
                  engine: Optional[str] = None,
-                 encode_jobs: Optional[int] = None):
+                 encode_jobs: Optional[int] = None,
+                 config: Optional[ComputeConfig] = None):
         self.name = name
         self.model = model
         self.version = version
-        self.encode_jobs = encode_jobs
+        self.config = (config.replace() if config is not None
+                       else ComputeConfig())
+        if engine is not None:
+            self.config.engine = engine
+        if encode_jobs is not None:
+            self.config.encode_jobs = encode_jobs
+        self.encode_jobs = self.config.encode_jobs
+        engine = self.config.engine
         if engine is not None:
             encoder = model.encoder
             if not hasattr(encoder, "engine"):
@@ -63,6 +75,8 @@ class Deployment:
                 )
             encoder.engine = engine
         self.engine = engine
+        # engine the degradation ladder saved before a fallback (tier 1)
+        self._engine_before_fallback: Optional[str] = None
 
         if isinstance(model, PackedModel):
             self.kind = "packed"
@@ -123,17 +137,68 @@ class Deployment:
         ).astype(np.float64)
 
     def search(self, encoded: np.ndarray,
-               dim: Optional[int] = None) -> np.ndarray:
-        """Stage 2: associative search over (optionally) reduced dims."""
+               dim: Optional[int] = None,
+               fault=None,
+               rng: Optional[np.random.Generator] = None) -> np.ndarray:
+        """Stage 2: associative search over (optionally) reduced dims.
+
+        With ``fault`` (a :class:`~repro.hardware.faultspec.FaultSpec`)
+        and ``rng``, the search runs against a freshly corrupted copy of
+        the class memory -- one faulty read of the VOS-scaled SRAM --
+        while the deployment's own model stays pristine.
+        """
         if dim is not None and dim >= self.dim:
             dim = None
+        model = self.model
+        if fault is not None and fault.active:
+            if rng is None:
+                raise ValueError("fault injection needs an rng")
+            if self.kind == "packed":
+                model = model.with_words(
+                    fault.corrupt_words(model.class_words, rng)
+                )
+            else:
+                model = fault.corrupt_classifier(model, rng)
         if self.kind == "packed":
-            return self.model.predict_packed(encoded, dim=dim)
-        return self.model.predict_encoded(encoded, dim=dim)
+            return model.predict_packed(encoded, dim=dim)
+        return model.predict_encoded(encoded, dim=dim)
 
     def predict(self, X: np.ndarray, dim: Optional[int] = None) -> np.ndarray:
         """Both stages in one call (the non-serving reference path)."""
         return self.search(self.encode(X), dim=dim)
+
+    # -- degradation hooks (tier 1 of the ladder) ---------------------------
+
+    def fallback_engine(self, engine: str = "reference") -> bool:
+        """Drop to a simpler encode engine (degradation tier 1).
+
+        Returns True when an engine switch actually happened; no-op for
+        encoders without a selectable engine or when already fallen
+        back.  The previous engine is saved for :meth:`restore_engine`.
+        """
+        encoder = getattr(self.model, "encoder", None)
+        if encoder is None or not hasattr(encoder, "engine"):
+            return False
+        if self._engine_before_fallback is not None:
+            return False
+        current = encoder.engine
+        if current == engine:
+            return False
+        self._engine_before_fallback = current
+        encoder.engine = engine
+        return True
+
+    def restore_engine(self) -> bool:
+        """Undo :meth:`fallback_engine` (recovery from tier 1)."""
+        if self._engine_before_fallback is None:
+            return False
+        self.model.encoder.engine = self._engine_before_fallback
+        self._engine_before_fallback = None
+        return True
+
+    @property
+    def degraded(self) -> bool:
+        return self._engine_before_fallback is not None
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -152,14 +217,16 @@ class ModelRegistry:
     def register(self, name: str, model: Model,
                  min_dim: Optional[int] = None,
                  engine: Optional[str] = None,
-                 encode_jobs: Optional[int] = None) -> Deployment:
+                 encode_jobs: Optional[int] = None,
+                 config: Optional[ComputeConfig] = None) -> Deployment:
         """Deploy ``model`` under ``name``; replaces (hot-swaps) any
         existing deployment and bumps the version."""
         with self._lock:
             previous = self._deployments.get(name)
             version = previous.version + 1 if previous else 1
             dep = Deployment(name, model, version=version, min_dim=min_dim,
-                             engine=engine, encode_jobs=encode_jobs)
+                             engine=engine, encode_jobs=encode_jobs,
+                             config=config)
             self._deployments[name] = dep
             return dep
 

@@ -1,0 +1,153 @@
+"""Chaos harness: seeded fault injection into a running server.
+
+:class:`ChaosPolicy` is the falsifiable half of the resilience story:
+it injects the failure modes the paper argues HDC shrugs off --
+transient worker faults, latency spikes, outright worker deaths, and
+VOS-style class-memory bit flips (via the unified
+:class:`~repro.hardware.faultspec.FaultSpec`) -- so the bench can
+*measure* availability and accuracy under faults instead of asserting
+them.  Attach one to a server::
+
+    chaos = ChaosPolicy(fault_rate=0.2,
+                        fault=FaultSpec(error_rate=1e-4, bits=8))
+    server = InferenceServer(config, chaos=chaos)
+
+Worker threads consult the policy per batch group:
+
+- :meth:`on_group` may raise :class:`~repro.serve.errors.InjectedFault`
+  (retryable -- exercises retry/backoff and the circuit breaker),
+  raise :class:`~repro.serve.errors.WorkerKilled` (unwinds the worker
+  thread -- exercises future cleanup and supervisor respawn), or sleep
+  (exercises deadline shedding and latency-keyed breaking);
+- :meth:`memory_fault` hands out the bit-flip spec plus a child rng, so
+  the search stage runs against independently corrupted class memory.
+
+Draws come from one seeded generator under a lock, so a chaos scenario
+is reproducible request-for-request given a single worker and
+statistically stable for any worker count.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.hardware.faultspec import FaultSpec
+from repro.serve.errors import InjectedFault, WorkerKilled
+
+__all__ = ["ChaosPolicy"]
+
+
+@dataclass
+class ChaosPolicy:
+    """What to break, how often, and with what seed."""
+
+    #: probability an injected (retryable) exception replaces a batch group
+    fault_rate: float = 0.0
+    #: probability of an artificial stall before serving a batch group
+    latency_rate: float = 0.0
+    #: stall duration (seconds) when ``latency_rate`` fires
+    latency: float = 0.01
+    #: probability the worker thread is killed before serving a group
+    kill_rate: float = 0.0
+    #: memory bit-flip spec applied to the search stage (None = no flips)
+    fault: Optional[FaultSpec] = None
+    #: restrict injection to these worker ids (None = all workers)
+    target_workers: Optional[Sequence[int]] = None
+    #: cap on total injected kills (None = unbounded)
+    max_kills: Optional[int] = None
+    seed: int = 0
+
+    _lock: threading.Lock = field(default_factory=threading.Lock,
+                                  repr=False, compare=False)
+
+    def __post_init__(self) -> None:
+        for name in ("fault_rate", "latency_rate", "kill_rate"):
+            rate = getattr(self, name)
+            if not 0.0 <= rate <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {rate}")
+        if self.latency < 0:
+            raise ValueError(f"latency must be >= 0, got {self.latency}")
+        self._rng = np.random.default_rng(self.seed)
+        self._targets = (None if self.target_workers is None
+                         else frozenset(int(w) for w in self.target_workers))
+        self.injected_faults = 0
+        self.injected_delays = 0
+        self.injected_kills = 0
+        self.bitflip_injections = 0
+
+    # -- dice ----------------------------------------------------------------
+
+    def _hit(self, rate: float) -> bool:
+        if rate <= 0.0:
+            return False
+        with self._lock:
+            return bool(self._rng.random() < rate)
+
+    def targets(self, worker_id: int) -> bool:
+        return self._targets is None or worker_id in self._targets
+
+    # -- injection points ----------------------------------------------------
+
+    def on_group(self, worker_id: int, model: str) -> None:
+        """Called by a worker before serving one batch group.
+
+        May sleep (latency), raise :class:`InjectedFault` (transient,
+        retryable) or raise :class:`WorkerKilled` (thread death).
+        """
+        if not self.targets(worker_id):
+            return
+        if self._hit(self.kill_rate):
+            with self._lock:
+                exhausted = (self.max_kills is not None
+                             and self.injected_kills >= self.max_kills)
+                if not exhausted:
+                    self.injected_kills += 1
+            if not exhausted:
+                raise WorkerKilled(worker_id)
+        if self._hit(self.latency_rate):
+            with self._lock:
+                self.injected_delays += 1
+            time.sleep(self.latency)
+        if self._hit(self.fault_rate):
+            with self._lock:
+                self.injected_faults += 1
+            raise InjectedFault(
+                f"chaos-injected fault serving {model!r}",
+                model=model, worker=worker_id,
+            )
+
+    def memory_fault(
+        self, worker_id: int,
+    ) -> Optional[Tuple[FaultSpec, np.random.Generator]]:
+        """The bit-flip spec + a fresh child rng for one search call.
+
+        Returns ``None`` when no memory faults are configured or the
+        worker is out of scope; otherwise every call yields an
+        independent (but seeded) corruption draw, modeling a fresh
+        faulty read of the over-scaled class memory.
+        """
+        if self.fault is None or not self.fault.active:
+            return None
+        if not self.targets(worker_id):
+            return None
+        with self._lock:
+            self.bitflip_injections += 1
+            child_seed = int(self._rng.integers(0, 2 ** 63))
+        return self.fault, np.random.default_rng(child_seed)
+
+    # -- reporting -----------------------------------------------------------
+
+    def stats(self) -> dict:
+        with self._lock:
+            return {
+                "injected_faults": self.injected_faults,
+                "injected_delays": self.injected_delays,
+                "injected_kills": self.injected_kills,
+                "bitflip_injections": self.bitflip_injections,
+                "fault": self.fault.describe() if self.fault else None,
+            }

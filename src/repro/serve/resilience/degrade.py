@@ -1,0 +1,201 @@
+"""Graceful-degradation tiers driven by breaker state.
+
+When workers start failing, the server should not fall off a cliff --
+it should shed *quality* first and *availability* last, exactly the
+trade the paper makes in hardware (approximate first, reject never...
+until there is no approximation left).  The ladder has four tiers:
+
+====  =================  ==================================================
+tier  name               effect
+====  =================  ==================================================
+0     normal             full service
+1     engine_fallback    deployments drop the bit-packed encode kernel and
+                         run the reference engine (fewer moving parts;
+                         isolates kernel-level faults)
+2     dim_shed           the existing LoadShedPolicy is forced to at least
+                         ``shed_floor_level`` (128-dim steps, exact
+                         SubNormTable prefix norms -- Section 4.3.3)
+3     backpressure       new submissions are rejected with
+                         :class:`~repro.serve.errors.Backpressure`
+====  =================  ==================================================
+
+Escalation: whenever at least ``open_fraction`` of the pool's breakers
+are open, the ladder climbs one tier (rate-limited by ``cooldown``).
+Recovery: after every breaker has been closed for ``recover_after``
+seconds, it steps back down one tier at a time, undoing each effect in
+reverse order.  Tier changes land in the ``degradation_tier`` histogram
+and the ``degradation_tier`` gauge of the server's metrics hub.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Sequence
+
+from repro.serve.resilience.breaker import OPEN, CircuitBreaker
+
+__all__ = ["DegradeConfig", "DegradationLadder", "DEGRADATION_TIERS"]
+
+DEGRADATION_TIERS = ("normal", "engine_fallback", "dim_shed", "backpressure")
+
+
+@dataclass
+class DegradeConfig:
+    """Escalation/recovery thresholds for the ladder."""
+
+    enabled: bool = True
+    #: fraction of breakers open at/above which the ladder escalates
+    open_fraction: float = 0.5
+    #: shed level forced (at minimum) at tier 2 -- 128 dims per level
+    shed_floor_level: int = 4
+    #: engine deployments fall back to at tier 1
+    fallback_engine: str = "reference"
+    #: min seconds between tier changes
+    cooldown: float = 0.25
+    #: seconds of all-breakers-closed before stepping one tier down
+    recover_after: float = 1.0
+
+    def __post_init__(self) -> None:
+        if not 0 < self.open_fraction <= 1:
+            raise ValueError(
+                f"open_fraction must be in (0, 1], got {self.open_fraction}"
+            )
+        if self.shed_floor_level < 0:
+            raise ValueError(
+                f"shed_floor_level must be >= 0, got {self.shed_floor_level}"
+            )
+
+
+class DegradationLadder:
+    """Breaker states in, degradation side effects out."""
+
+    def __init__(self, registry, policy, metrics=None,
+                 config: Optional[DegradeConfig] = None,
+                 time_fn: Callable[[], float] = time.monotonic):
+        self.registry = registry
+        self.policy = policy
+        self.metrics = metrics
+        self.config = config or DegradeConfig()
+        self._time = time_fn
+        self._lock = threading.Lock()
+        self._tier = 0
+        self._last_change = -float("inf")
+        self._all_closed_since: Optional[float] = None
+        self.escalations = 0
+        self.recoveries = 0
+
+    # -- state ---------------------------------------------------------------
+
+    @property
+    def tier(self) -> int:
+        with self._lock:
+            return self._tier
+
+    @property
+    def tier_name(self) -> str:
+        return DEGRADATION_TIERS[self.tier]
+
+    @property
+    def rejecting(self) -> bool:
+        """True at tier 3: submissions should bounce with Backpressure."""
+        with self._lock:
+            return self._tier >= 3
+
+    # -- the control loop entry point ---------------------------------------
+
+    def observe(self, breakers: Sequence[CircuitBreaker]) -> int:
+        """Update the tier from current breaker states; returns the tier."""
+        if not self.config.enabled or not breakers:
+            return self.tier
+        n_open = sum(1 for b in breakers if b.state == OPEN)
+        frac = n_open / len(breakers)
+        now = self._time()
+        with self._lock:
+            if n_open == 0:
+                if self._all_closed_since is None:
+                    self._all_closed_since = now
+            else:
+                self._all_closed_since = None
+
+            new_tier = self._tier
+            if (frac >= self.config.open_fraction
+                    and self._tier < len(DEGRADATION_TIERS) - 1
+                    and now - self._last_change >= self.config.cooldown):
+                new_tier = self._tier + 1
+            elif (self._tier > 0
+                  and self._all_closed_since is not None
+                  and now - self._all_closed_since >= self.config.recover_after
+                  and now - self._last_change >= self.config.cooldown):
+                new_tier = self._tier - 1
+
+            if new_tier == self._tier:
+                return self._tier
+            escalating = new_tier > self._tier
+            old, self._tier = self._tier, new_tier
+            self._last_change = now
+            if escalating:
+                self.escalations += 1
+            else:
+                self.recoveries += 1
+        self._apply(old, new_tier)
+        return new_tier
+
+    def force_tier(self, tier: int) -> None:
+        """Pin the ladder (tests, manual degradation drills)."""
+        if not 0 <= tier < len(DEGRADATION_TIERS):
+            raise ValueError(
+                f"tier {tier} out of range [0, {len(DEGRADATION_TIERS) - 1}]"
+            )
+        with self._lock:
+            old, self._tier = self._tier, tier
+            self._last_change = self._time()
+        if tier != old:
+            self._apply(old, tier)
+
+    # -- side effects --------------------------------------------------------
+
+    def _apply(self, old: int, new: int) -> None:
+        if new > old:
+            for tier in range(old + 1, new + 1):
+                self._escalate_to(tier)
+        else:
+            for tier in range(old, new, -1):
+                self._de_escalate_from(tier)
+        if self.metrics is not None:
+            self.metrics.gauge("degradation_tier").set(new)
+            self.metrics.histogram("degradation_tier_changes").record(new)
+
+    def _escalate_to(self, tier: int) -> None:
+        if tier == 1:
+            for name in self.registry.names():
+                try:
+                    self.registry.get(name).fallback_engine(
+                        self.config.fallback_engine
+                    )
+                except KeyError:  # hot-unregistered mid-walk
+                    continue
+        elif tier == 2:
+            floor = min(self.config.shed_floor_level, self.policy.max_level)
+            if self.policy.level < floor:
+                self.policy.force_level(floor)
+        # tier 3 is pure state: submit() checks ``rejecting``
+
+    def _de_escalate_from(self, tier: int) -> None:
+        if tier == 1:
+            for name in self.registry.names():
+                try:
+                    self.registry.get(name).restore_engine()
+                except KeyError:
+                    continue
+        # leaving tier 2: the LoadShedPolicy recovers level on its own
+        # hysteresis; leaving tier 3 simply stops rejecting
+
+    def stats(self) -> dict:
+        return {
+            "tier": self.tier,
+            "tier_name": self.tier_name,
+            "escalations": self.escalations,
+            "recoveries": self.recoveries,
+        }

@@ -1,0 +1,173 @@
+"""Deadline-aware retry with exponential backoff.
+
+A retryable worker failure (injected fault, killed worker, transient
+model error) should not surface to the caller if the request's deadline
+still has room: the request re-enters the queue after an exponential
+backoff and another worker picks it up.  :class:`RetryPolicy` is the
+pure decision ("retry this, after this long?"); :class:`RetryScheduler`
+is the mechanism -- one timer thread holding a heap of (due-time,
+request) pairs that re-admits each request through
+:meth:`~repro.serve.queue.RequestQueue.put_retry` when its backoff
+elapses.
+
+Ordering property (pinned by the tests): backoff delays are
+non-decreasing in the attempt number and a retry is only scheduled when
+``delay < remaining deadline budget``, so a retried request can never
+be *scheduled* to fire after its own deadline.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import threading
+from dataclasses import dataclass
+from typing import Callable, List, Optional, Tuple
+
+from repro.serve.errors import ServeError
+from repro.serve.queue import QueueClosed, Request, RequestQueue
+
+__all__ = ["RetryPolicy", "RetryScheduler"]
+
+
+@dataclass
+class RetryPolicy:
+    """How many times to retry and how long to back off."""
+
+    #: retries allowed after the first attempt (0 = fail fast)
+    max_retries: int = 2
+    #: backoff before the first retry (seconds)
+    backoff: float = 0.002
+    #: multiplier applied per further attempt (exponential)
+    backoff_factor: float = 2.0
+    #: ceiling on any single backoff (seconds)
+    max_backoff: float = 0.25
+
+    def __post_init__(self) -> None:
+        if self.max_retries < 0:
+            raise ValueError(
+                f"max_retries must be >= 0, got {self.max_retries}"
+            )
+        if self.backoff < 0 or self.max_backoff < 0:
+            raise ValueError("backoff values must be >= 0")
+        if self.backoff_factor < 1.0:
+            raise ValueError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor}"
+            )
+
+    def delay_for(self, attempt: int) -> float:
+        """Backoff before retry number ``attempt`` (1-based).
+
+        ``backoff * factor**(attempt-1)``, capped at ``max_backoff`` --
+        non-decreasing in ``attempt`` by construction.
+        """
+        if attempt < 1:
+            raise ValueError(f"attempt must be >= 1, got {attempt}")
+        return min(self.max_backoff,
+                   self.backoff * self.backoff_factor ** (attempt - 1))
+
+    def should_retry(self, request: Request, exc: BaseException,
+                     now: Optional[float] = None) -> bool:
+        """Retry ``request`` after ``exc``?  (Budget- and kind-aware.)
+
+        ``request.attempts`` counts retries already burned, so the
+        *next* retry would be number ``attempts + 1``.  Requires a
+        retryable failure, attempts left, and enough deadline budget
+        that the backoff itself fits before expiry.
+        """
+        if not getattr(exc, "retryable", False):
+            return False
+        if request.attempts >= self.max_retries:
+            return False
+        return request.remaining(now) > self.delay_for(request.attempts + 1)
+
+
+class RetryScheduler:
+    """One timer thread re-admitting backed-off requests to the queue."""
+
+    def __init__(self, queue: RequestQueue,
+                 on_requeue: Optional[Callable[[Request], None]] = None):
+        self.queue = queue
+        self.on_requeue = on_requeue
+        self._cond = threading.Condition()
+        self._heap: List[Tuple[float, int, Request]] = []
+        self._seq = itertools.count()
+        self._stopping = False
+        self._thread: Optional[threading.Thread] = None
+        self.scheduled = 0
+        self.requeued = 0
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def start(self) -> "RetryScheduler":
+        if self._thread is not None:
+            raise RuntimeError("retry scheduler already started")
+        self._stopping = False
+        self._thread = threading.Thread(
+            target=self._run, name="serve-retry-scheduler", daemon=True
+        )
+        self._thread.start()
+        return self
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None:
+        """Stop the timer and fail any still-pending retries."""
+        with self._cond:
+            self._stopping = True
+            pending = [req for _, _, req in self._heap]
+            self._heap.clear()
+            self._cond.notify_all()
+        thread, self._thread = self._thread, None
+        if thread is not None:
+            thread.join(timeout=timeout)
+        for req in pending:
+            if not req.future.done():
+                req.future.set_exception(ServeError(
+                    "server stopped while request awaited retry",
+                    model=req.model, attempts=req.attempts,
+                ))
+
+    # -- scheduling ----------------------------------------------------------
+
+    def schedule(self, request: Request, delay: float,
+                 now: float) -> None:
+        """Re-admit ``request`` to the queue after ``delay`` seconds."""
+        with self._cond:
+            if self._stopping:
+                raise QueueClosed("retry scheduler is stopping")
+            heapq.heappush(self._heap,
+                           (now + max(0.0, delay), next(self._seq), request))
+            self.scheduled += 1
+            self._cond.notify()
+
+    def pending(self) -> int:
+        with self._cond:
+            return len(self._heap)
+
+    # -- the timer loop ------------------------------------------------------
+
+    def _run(self) -> None:
+        import time as _time
+
+        while True:
+            with self._cond:
+                while not self._heap and not self._stopping:
+                    self._cond.wait()
+                if self._stopping:
+                    return
+                due, _, request = self._heap[0]
+                wait = due - _time.monotonic()
+                if wait > 0:
+                    self._cond.wait(wait)
+                    continue
+                heapq.heappop(self._heap)
+            try:
+                self.queue.put_retry(request)
+                self.requeued += 1
+                if self.on_requeue is not None:
+                    self.on_requeue(request)
+            except QueueClosed:
+                if not request.future.done():
+                    request.future.set_exception(ServeError(
+                        "server stopped while request awaited retry",
+                        model=request.model, attempts=request.attempts,
+                    ))

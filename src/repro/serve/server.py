@@ -3,42 +3,62 @@
 :class:`InferenceServer` wires the pieces together::
 
     submit() --> RequestQueue --> MicroBatcher --> WorkerPool --> Future
-                     |                                  |
-                 (bounded:                     ModelRegistry (hot swap)
-                  rejects when full)           LoadShedPolicy (dim shed)
-                                               MetricsHub   (telemetry)
+                     |                 |                |
+                 (bounded:      (sheds expired   ModelRegistry (hot swap)
+                  rejects        requests)       LoadShedPolicy (dim shed)
+                  when full)         ^           MetricsHub   (telemetry)
+                     |               |           CircuitBreaker (per worker)
+                 RetryScheduler -----+           DegradationLadder
+                 (backed-off retries re-enter)   ChaosPolicy  (fault inj.)
 
 Usage::
 
     server = InferenceServer(ServeConfig(max_batch=64, n_workers=2))
     server.register("mnist", trained_classifier)
     with server:
-        fut = server.submit("mnist", x)          # async
-        pred = fut.result()                       # Prediction(label=..., dim=...)
-        label = server.predict("mnist", x)        # sync convenience
+        fut = server.submit("mnist", x, deadline=0.05)   # async, 50 ms budget
+        pred = fut.result()                   # Prediction(label=..., dim=...)
+        label = server.predict("mnist", x)    # sync convenience
     print(server.stats())
 
 At full dimensionality the served predictions are bit-identical to
 calling the underlying model directly; under overload the policy sheds
 dimensions in 128-dim steps and predictions keep using the exact
 :class:`~repro.core.norms.SubNormTable` prefix norms.
+
+Resilience semantics (see :mod:`repro.serve.resilience`): per-request
+deadlines propagate through the queue and batcher to the workers;
+retryable worker failures re-enter the queue with exponential backoff
+while the deadline budget allows; each worker's circuit breaker opens
+on sustained errors/latency and the :class:`~repro.serve.resilience.
+degrade.DegradationLadder` converts pool-wide breaker state into the
+paper's graceful-degradation knobs (engine fallback, forced dimension
+shedding, and finally :class:`~repro.serve.errors.Backpressure`).
 """
 
 from __future__ import annotations
 
 import time
+import warnings
 from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
+from repro.core.config import ComputeConfig
 from repro.serve.batcher import MicroBatcher
+from repro.serve.errors import Backpressure
 from repro.serve.metrics import MetricsHub
 from repro.serve.policy import LoadShedPolicy
 from repro.serve.queue import QueueClosed, QueueFull, Request, RequestQueue
 from repro.serve.registry import Deployment, Model, ModelRegistry
+from repro.serve.resilience.breaker import BreakerConfig
+from repro.serve.resilience.degrade import DegradationLadder, DegradeConfig
+from repro.serve.resilience.retry import RetryPolicy, RetryScheduler
 from repro.serve.workers import Prediction, WorkerPool
+
+_LEGACY_COMPUTE_KWARGS = ("engine", "encode_jobs", "train_engine")
 
 
 @dataclass
@@ -49,11 +69,14 @@ class ServeConfig:
     max_wait: float = 0.002      # linger (s) after the first request of a batch
     n_workers: int = 2
     queue_size: int = 1024       # admission bound; beyond it -> QueueFull
-    # -- encode stage -------------------------------------------------------
-    engine: Optional[str] = None   # "reference"|"packed"|"auto" where supported
-    encode_jobs: Optional[int] = None  # thread fan-out inside the encode stage
-    # -- training stage (models trained server-side, e.g. bench rigs) -------
-    train_engine: Optional[str] = None  # "reference"|"gram"|"auto"
+    # -- compute stage ------------------------------------------------------
+    #: consolidated compute knobs (engine / encode_jobs / train_engine /
+    #: train_memory_budget); the deprecated ``engine``/``encode_jobs``/
+    #: ``train_engine`` kwargs below fold into it with a warning
+    config: Optional[ComputeConfig] = None
+    engine: Optional[str] = None        # DEPRECATED: use config=
+    encode_jobs: Optional[int] = None   # DEPRECATED: use config=
+    train_engine: Optional[str] = None  # DEPRECATED: use config=
     # -- load shedding ------------------------------------------------------
     max_shed_level: int = 24     # each level drops 128 dims (clamped per model)
     queue_high: int = 32         # shed when depth reaches this
@@ -61,14 +84,53 @@ class ServeConfig:
     p95_target: Optional[float] = None   # optional latency SLO in seconds
     shed_cooldown: float = 0.05  # min seconds between level changes
     latency_window: int = 256    # recent samples for the policy's p95
+    # -- deadlines & retries ------------------------------------------------
+    default_deadline: Optional[float] = None  # per-request budget (seconds)
+    max_retries: int = 2         # retryable-failure re-attempts per request
+    retry_backoff: float = 0.002        # first backoff (seconds)
+    retry_backoff_factor: float = 2.0   # exponential growth per attempt
+    retry_max_backoff: float = 0.25     # backoff ceiling (seconds)
+    # -- circuit breaking & degradation -------------------------------------
+    breaker: Optional[BreakerConfig] = None   # None -> BreakerConfig()
+    degrade: Optional[DegradeConfig] = None   # None -> DegradeConfig()
+
+    def __post_init__(self) -> None:
+        compute = (self.config.replace() if self.config is not None
+                   else ComputeConfig())
+        legacy = {k: getattr(self, k) for k in _LEGACY_COMPUTE_KWARGS
+                  if getattr(self, k) is not None}
+        if legacy:
+            warnings.warn(
+                f"ServeConfig: the {', '.join(sorted(legacy))} keyword(s) "
+                "are deprecated; pass config=ComputeConfig(...) instead",
+                DeprecationWarning, stacklevel=3,
+            )
+            for k, v in legacy.items():
+                setattr(compute, k, v)
+        self.config = compute
+        # mirror so legacy attribute reads keep working; ``config`` is
+        # the source of truth everywhere inside the server
+        self.engine = compute.engine
+        self.encode_jobs = compute.encode_jobs
+        self.train_engine = compute.train_engine
+        if self.breaker is None:
+            self.breaker = BreakerConfig()
+        if self.degrade is None:
+            self.degrade = DegradeConfig()
 
 
 class InferenceServer:
-    """Micro-batching, load-shedding prediction service over HDC models."""
+    """Micro-batching, load-shedding, fault-tolerant HDC prediction service.
 
-    def __init__(self, config: Optional[ServeConfig] = None):
+    ``chaos`` (a :class:`~repro.serve.resilience.chaos.ChaosPolicy`)
+    attaches the fault-injection harness; production servers leave it
+    ``None`` and pay only a few no-op checks per batch.
+    """
+
+    def __init__(self, config: Optional[ServeConfig] = None, chaos=None):
         self.config = config or ServeConfig()
         c = self.config
+        self.chaos = chaos
         self.metrics = MetricsHub()
         self.registry = ModelRegistry()
         self.policy = LoadShedPolicy(
@@ -83,10 +145,29 @@ class InferenceServer:
         self.batcher = MicroBatcher(
             self.queue, max_batch=c.max_batch, max_wait=c.max_wait
         )
+        self.ladder = DegradationLadder(
+            self.registry, self.policy, metrics=self.metrics,
+            config=c.degrade,
+        )
+        self.retry_policy = RetryPolicy(
+            max_retries=c.max_retries,
+            backoff=c.retry_backoff,
+            backoff_factor=c.retry_backoff_factor,
+            max_backoff=c.retry_max_backoff,
+        )
+        self.scheduler = RetryScheduler(self.queue)
         self.workers = WorkerPool(
             self.batcher, self.registry, self.policy, self.metrics,
             n_workers=c.n_workers,
+            chaos=chaos,
+            breaker_config=c.breaker,
+            retry_policy=self.retry_policy,
+            retry_scheduler=self.scheduler,
+            ladder=self.ladder,
         )
+        # the batcher sheds expired requests straight into the pool's
+        # DeadlineExceeded path instead of batching them
+        self.batcher.on_expired = self.workers.expire_request
         self._started = False
         self._metrics_endpoint = None
 
@@ -98,14 +179,13 @@ class InferenceServer:
                  encode_jobs: Optional[int] = None) -> Deployment:
         """Deploy (or hot-swap) ``model`` under ``name``.
 
-        ``engine``/``encode_jobs`` override the config-wide encode-stage
-        settings for this deployment (see :class:`ServeConfig`).
+        The server's :class:`~repro.core.config.ComputeConfig` seeds the
+        deployment; ``engine``/``encode_jobs`` override it per model.
         """
         return self.registry.register(
             name, model, min_dim=min_dim,
-            engine=engine if engine is not None else self.config.engine,
-            encode_jobs=(encode_jobs if encode_jobs is not None
-                         else self.config.encode_jobs),
+            engine=engine, encode_jobs=encode_jobs,
+            config=self.config.config,
         )
 
     # -- lifecycle ----------------------------------------------------------
@@ -114,6 +194,7 @@ class InferenceServer:
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
+        self.scheduler.start()
         self.workers.start()
         return self
 
@@ -126,6 +207,7 @@ class InferenceServer:
             return
         self.queue.close()
         self.workers.stop(timeout=timeout)
+        self.scheduler.stop(timeout=timeout)
         for req in self.queue.drain():
             if not req.future.done():
                 req.future.set_exception(
@@ -141,11 +223,19 @@ class InferenceServer:
 
     # -- request API --------------------------------------------------------
 
-    def submit(self, model: str, x: np.ndarray) -> "Future[Prediction]":
+    def submit(self, model: str, x: np.ndarray,
+               deadline: Optional[float] = None) -> "Future[Prediction]":
         """Enqueue one prediction; returns a future of :class:`Prediction`.
 
+        ``deadline`` is a per-request latency budget in seconds
+        (defaults to ``ServeConfig.default_deadline``); once it expires
+        the request is shed with
+        :class:`~repro.serve.errors.DeadlineExceeded` instead of served.
+
         Raises :class:`~repro.serve.queue.QueueFull` when the bounded
-        queue rejects the request (counted in the ``rejected`` metric).
+        queue rejects the request (counted in the ``rejected`` metric)
+        and its subclass :class:`~repro.serve.errors.Backpressure` when
+        the degradation ladder has reached its rejecting tier.
         """
         if not self._started:
             raise RuntimeError("InferenceServer.submit() before start()")
@@ -154,7 +244,19 @@ class InferenceServer:
                 f"no deployment named {model!r}; registered: "
                 f"{self.registry.names()}"
             )
-        req = Request(x=np.asarray(x, dtype=np.float64), model=model)
+        if self.ladder.rejecting:
+            self.metrics.counter("degraded_rejections").inc()
+            raise Backpressure(
+                "server is at degradation tier "
+                f"{self.ladder.tier} ({self.ladder.tier_name}); "
+                "request rejected"
+            )
+        if deadline is None:
+            deadline = self.config.default_deadline
+        abs_deadline = (None if deadline is None
+                        else time.monotonic() + deadline)
+        req = Request(x=np.asarray(x, dtype=np.float64), model=model,
+                      deadline=abs_deadline)
         try:
             self.queue.put(req)
         except QueueFull:
@@ -164,16 +266,21 @@ class InferenceServer:
         return req.future
 
     def predict(self, model: str, x: np.ndarray,
-                timeout: Optional[float] = None) -> object:
+                timeout: Optional[float] = None,
+                deadline: Optional[float] = None) -> object:
         """Synchronous single prediction; returns the label only."""
-        return self.submit(model, x).result(timeout=timeout).label
+        return self.submit(model, x, deadline=deadline).result(
+            timeout=timeout
+        ).label
 
     def predict_many(
         self, model: str, X: Sequence[np.ndarray],
         timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
     ) -> List[Prediction]:
         """Submit a whole batch and gather the resolved predictions."""
-        futures = [self.submit(model, x) for x in np.atleast_2d(np.asarray(X))]
+        futures = [self.submit(model, x, deadline=deadline)
+                   for x in np.atleast_2d(np.asarray(X))]
         return [f.result(timeout=timeout) for f in futures]
 
     # -- introspection ------------------------------------------------------
@@ -197,17 +304,30 @@ class InferenceServer:
                 "min_dim": dep.min_dim,
                 "version": dep.version,
                 "serving_dim": dep.dim_for_level(self.policy.level),
+                "degraded": dep.degraded,
             }
             for name, dep in ((n, self.registry.get(n))
                               for n in self.registry.names())
+        }
+        snap["resilience"] = {
+            "breakers": [b.stats() for b in self.workers.breakers],
+            "ladder": self.ladder.stats(),
+            "retry": {
+                "scheduled": self.scheduler.scheduled,
+                "requeued": self.scheduler.requeued,
+                "pending": self.scheduler.pending(),
+            },
+            "worker_restarts": self.workers.worker_restarts,
+            "chaos": self.chaos.stats() if self.chaos is not None else None,
         }
         return snap
 
     def render_prometheus(self) -> str:
         """Prometheus text-format exposition of the serving metrics.
 
-        Queue depth and shed level appear as the ``queue_depth`` /
-        ``shed_level`` gauges the workers maintain.
+        Queue depth, shed level and per-worker breaker state appear as
+        the ``queue_depth`` / ``shed_level`` / ``breaker_state`` gauges
+        the workers and supervisor maintain.
         """
         return self.metrics.render_prometheus()
 
@@ -230,10 +350,10 @@ class InferenceServer:
 
     def wait_idle(self, timeout: float = 10.0,
                   poll: float = 0.005) -> bool:
-        """Block until the queue is empty (best effort); True if drained."""
+        """Block until the queue and retry heap are empty (best effort)."""
         deadline = time.monotonic() + timeout
         while time.monotonic() < deadline:
-            if self.queue.depth() == 0:
+            if self.queue.depth() == 0 and self.scheduler.pending() == 0:
                 return True
             time.sleep(poll)
-        return self.queue.depth() == 0
+        return self.queue.depth() == 0 and self.scheduler.pending() == 0

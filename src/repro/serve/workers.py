@@ -1,15 +1,34 @@
-"""Worker pool: batched encode + search, stage timing, future resolution.
+"""Worker pool: batched encode + search, resilience, future resolution.
 
-Each worker loops: pull a micro-batch, group it by target model, run
-the deployment's two inference stages on the coalesced feature matrix,
-resolve every request's future with a :class:`Prediction`, then let the
-shed policy observe the post-batch queue depth.
+Each worker loops: consult its circuit breaker, pull a micro-batch,
+group it by target model, run the deployment's two inference stages on
+the coalesced feature matrix, resolve every request's future with a
+:class:`Prediction`, then let the shed policy observe the post-batch
+queue depth.
 
 The encode stage runs whatever engine the deployment selected
-(``ServeConfig.engine`` / ``register(engine=...)``): with the GENERIC
-encoders that defaults to the bit-packed XOR kernel of
+(``ServeConfig.config.engine`` / ``register(engine=...)``): with the
+GENERIC encoders that defaults to the bit-packed XOR kernel of
 :mod:`repro.core.kernels`, so the worker threads spend their time in
 GIL-releasing NumPy word ops rather than int8 multiplies.
+
+Resilience wiring (the fault path, all optional):
+
+- every worker owns a :class:`~repro.serve.resilience.breaker.
+  CircuitBreaker`; an open breaker makes that worker sit out while the
+  rest of the pool drains the shared queue;
+- a :class:`~repro.serve.resilience.chaos.ChaosPolicy` may inject
+  transient faults, latency, worker kills and VOS-style class-memory
+  bit flips (:meth:`Deployment.search` then scores against a corrupted
+  clone);
+- failures resolve futures with structured
+  :class:`~repro.serve.errors.ServeError` subclasses -- retryable ones
+  re-enter the queue through the :class:`~repro.serve.resilience.retry.
+  RetryScheduler` when the deadline budget allows;
+- expired requests are shed (``DeadlineExceeded``) instead of served;
+- a supervisor thread respawns killed workers, exports per-worker
+  ``breaker_state`` gauges and drives the
+  :class:`~repro.serve.resilience.degrade.DegradationLadder`.
 
 Per-stage latency histograms (``queue_wait``, ``encode``, ``search``,
 ``total``) land in the shared :class:`~repro.serve.metrics.MetricsHub`;
@@ -22,16 +41,24 @@ from __future__ import annotations
 import threading
 import time
 from dataclasses import dataclass
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 import numpy as np
 
 from repro.obs import trace as obs_trace
 from repro.serve.batcher import MicroBatcher
+from repro.serve.errors import (
+    DeadlineExceeded,
+    RetriesExhausted,
+    ServeError,
+    WorkerError,
+    WorkerKilled,
+)
 from repro.serve.metrics import MetricsHub
 from repro.serve.policy import LoadShedPolicy
-from repro.serve.queue import Request
+from repro.serve.queue import QueueClosed, Request
 from repro.serve.registry import ModelRegistry
+from repro.serve.resilience.breaker import BreakerConfig, CircuitBreaker
 
 
 @dataclass
@@ -44,6 +71,8 @@ class Prediction:
     dim: int
     shed_level: int
     latency: float
+    #: retries burned before this answer (0 = served first try)
+    attempts: int = 0
 
 
 class WorkerPool:
@@ -57,6 +86,11 @@ class WorkerPool:
         metrics: MetricsHub,
         n_workers: int = 2,
         poll_interval: float = 0.05,
+        chaos=None,
+        breaker_config: Optional[BreakerConfig] = None,
+        retry_policy=None,
+        retry_scheduler=None,
+        ladder=None,
     ):
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
@@ -66,62 +100,155 @@ class WorkerPool:
         self.metrics = metrics
         self.n_workers = n_workers
         self.poll_interval = poll_interval
-        self._threads: List[threading.Thread] = []
+        self.chaos = chaos
+        self.retry_policy = retry_policy
+        self.scheduler = retry_scheduler
+        self.ladder = ladder
+        self.breakers = [
+            CircuitBreaker(breaker_config, name=f"worker-{i}")
+            for i in range(n_workers)
+        ]
+        self._breaker_gauge = metrics.registry.gauge(
+            "breaker_state",
+            help="0=closed 1=half-open 2=open, per worker",
+            labels=("worker",),
+        )
+        self._threads: Dict[int, threading.Thread] = {}
+        self._thread_lock = threading.Lock()
+        self._supervisor: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        self.worker_restarts = 0
 
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> None:
-        if self._threads:
-            raise RuntimeError("worker pool already started")
-        self._stop.clear()
-        for i in range(self.n_workers):
-            t = threading.Thread(
-                target=self._run, name=f"serve-worker-{i}", daemon=True
-            )
-            t.start()
-            self._threads.append(t)
+        with self._thread_lock:
+            if self._threads:
+                raise RuntimeError("worker pool already started")
+            self._stop.clear()
+            for i in range(self.n_workers):
+                self._threads[i] = self._spawn(i)
+        self._supervisor = threading.Thread(
+            target=self._supervise, name="serve-supervisor", daemon=True
+        )
+        self._supervisor.start()
+
+    def _spawn(self, worker_id: int) -> threading.Thread:
+        t = threading.Thread(
+            target=self._run, args=(worker_id,),
+            name=f"serve-worker-{worker_id}", daemon=True,
+        )
+        t.start()
+        return t
 
     def stop(self, timeout: Optional[float] = 5.0) -> None:
         self._stop.set()
-        for t in self._threads:
+        supervisor, self._supervisor = self._supervisor, None
+        if supervisor is not None:
+            supervisor.join(timeout=timeout)
+        with self._thread_lock:
+            threads = list(self._threads.values())
+            self._threads = {}
+        for t in threads:
             t.join(timeout=timeout)
-        self._threads = []
 
     @property
     def running(self) -> bool:
-        return any(t.is_alive() for t in self._threads)
+        with self._thread_lock:
+            return any(t.is_alive() for t in self._threads.values())
+
+    # -- supervision --------------------------------------------------------
+
+    def _supervise(self) -> None:
+        """Respawn dead workers, export breaker gauges, drive the ladder."""
+        while not self._stop.wait(self.poll_interval):
+            if self.batcher.queue.closed:
+                return
+            with self._thread_lock:
+                if self._stop.is_set():
+                    return
+                for i, t in list(self._threads.items()):
+                    if not t.is_alive():
+                        self.worker_restarts += 1
+                        self.metrics.counter("worker_restarts").inc()
+                        self._threads[i] = self._spawn(i)
+            for i, breaker in enumerate(self.breakers):
+                self._breaker_gauge.labels(worker=str(i)).set(
+                    breaker.state_code
+                )
+            if self.ladder is not None:
+                self.ladder.observe(self.breakers)
 
     # -- the serving loop ---------------------------------------------------
 
-    def _run(self) -> None:
+    def _run(self, worker_id: int = 0) -> None:
+        breaker = self.breakers[worker_id]
         while True:
+            if not breaker.allow():
+                # open breaker: sit out, let the rest of the pool drain
+                if self._stop.is_set() or self.batcher.queue.closed:
+                    return
+                time.sleep(self.poll_interval)
+                continue
             batch = self.batcher.next_batch(timeout=self.poll_interval)
             if not batch:
                 if self._stop.is_set() or self.batcher.queue.closed:
                     return
                 continue
-            self._serve_batch(batch)
+            try:
+                self._serve_batch(worker_id, batch)
+            except WorkerKilled:
+                # the thread dies like a crashed worker would; the
+                # supervisor respawns a replacement
+                self.metrics.counter("worker_kills").inc()
+                return
             # adapt from the load this batch left behind
             level = self.policy.observe(self.batcher.queue.depth())
             self.metrics.gauge("shed_level").set(level)
             self.metrics.gauge("queue_depth").set(self.batcher.queue.depth())
 
-    def _serve_batch(self, batch: List[Request]) -> None:
+    def _serve_batch(self, worker_id: int, batch: List[Request]) -> None:
         self.metrics.histogram("batch_size").record(len(batch))
-        by_model = {}
+        by_model: Dict[str, List[Request]] = {}
         for req in batch:
             by_model.setdefault(req.model, []).append(req)
-        for model_name, requests in by_model.items():
-            self._serve_group(model_name, requests)
+        try:
+            for model_name, requests in by_model.items():
+                self._serve_group(worker_id, model_name, requests)
+        except WorkerKilled as kill:
+            # the worker is going down mid-batch: every request it was
+            # still holding must be retried or failed, never left as a
+            # hung future
+            err = WorkerError(
+                f"worker {worker_id} died mid-batch",
+                worker=worker_id, retryable=True, cause=kill,
+            )
+            for requests in by_model.values():
+                for req in requests:
+                    if not req.future.done():
+                        self._fail_or_retry(req, err)
+            raise
 
-    def _serve_group(self, model_name: str, requests: List[Request]) -> None:
+    def _serve_group(self, worker_id: int, model_name: str,
+                     requests: List[Request]) -> None:
+        breaker = self.breakers[worker_id]
         t_start = time.monotonic()
+        live: List[Request] = []
         for req in requests:
+            if req.expired(t_start):
+                self.expire_request(req)
+                continue
             self.metrics.histogram("queue_wait").record(
                 t_start - req.enqueue_t
             )
+            live.append(req)
+        if not live:
+            return
+        requests = live
         try:
+            if self.chaos is not None:
+                # may sleep, raise InjectedFault, or raise WorkerKilled
+                self.chaos.on_group(worker_id, model_name)
             dep = self.registry.get(model_name)
             level = self.policy.level
             dim = dep.dim_for_level(level)
@@ -133,11 +260,17 @@ class WorkerPool:
             ):
                 encoded = dep.encode(X)
             t1 = time.monotonic()
+            fault_draw = (self.chaos.memory_fault(worker_id)
+                          if self.chaos is not None else None)
             with obs_trace.span(
                 "serve.search", model=model_name, batch=len(requests),
                 dim=dim,
             ) as sp:
-                labels = dep.search(encoded, dim=dim)
+                if fault_draw is not None:
+                    spec, rng = fault_draw
+                    labels = dep.search(encoded, dim=dim, fault=spec, rng=rng)
+                else:
+                    labels = dep.search(encoded, dim=dim)
                 if sp.recording:
                     # similarity against every class over the served
                     # prefix: one MAC per (request, class, dimension)
@@ -149,13 +282,17 @@ class WorkerPool:
                     sp.add_ops(add_ops=macs, mul_ops=macs,
                                mem_bytes=n_classes * dim * 8)
             t2 = time.monotonic()
-        except BaseException as exc:  # resolve futures, never kill the worker
+        except Exception as exc:
+            # structured failure: record on the breaker, then retry or
+            # fail every future -- never leave one unresolved
+            err = self._wrap_error(worker_id, model_name, exc)
+            breaker.record_failure(time.monotonic() - t_start)
             for req in requests:
-                if not req.future.cancelled():
-                    req.future.set_exception(exc)
-            self.metrics.counter("errors").inc(len(requests))
+                if not req.future.done():
+                    self._fail_or_retry(req, err)
             return
 
+        breaker.record_success(t2 - t_start)
         self.metrics.histogram("encode").record(t1 - t0)
         self.metrics.histogram("search").record(t2 - t1)
         if dim < dep.dim:
@@ -173,5 +310,60 @@ class WorkerPool:
                     dim=dim,
                     shed_level=level,
                     latency=latency,
+                    attempts=req.attempts,
                 ))
         self.metrics.counter("served").inc(len(requests))
+
+    # -- failure disposition -------------------------------------------------
+
+    def expire_request(self, request: Request) -> None:
+        """Shed one expired request (also the batcher's on_expired hook)."""
+        self.metrics.counter("deadline_expired").inc()
+        if not request.future.done():
+            request.future.set_exception(DeadlineExceeded(
+                f"deadline expired before {request.model!r} could serve "
+                f"the request (after {request.attempts} retries)",
+                model=request.model, attempts=request.attempts,
+            ))
+
+    def _wrap_error(self, worker_id: int, model: str,
+                    exc: BaseException) -> ServeError:
+        """Normalize whatever escaped the serve path into a ServeError."""
+        if isinstance(exc, ServeError):
+            if exc.worker is None:
+                exc.worker = worker_id
+            if exc.model is None:
+                exc.model = model
+            return exc
+        # unknown model exceptions are treated as deterministic
+        # (re-running the same batch would fail the same way)
+        return WorkerError(
+            f"{type(exc).__name__} while serving {model!r}: {exc}",
+            model=model, worker=worker_id, retryable=False, cause=exc,
+        )
+
+    def _fail_or_retry(self, request: Request, err: ServeError) -> None:
+        """Schedule a deadline-aware retry, or resolve the future failed."""
+        now = time.monotonic()
+        if (self.retry_policy is not None and self.scheduler is not None
+                and self.retry_policy.should_retry(request, err, now)):
+            request.attempts += 1
+            delay = self.retry_policy.delay_for(request.attempts)
+            try:
+                self.scheduler.schedule(request, delay, now)
+                self.metrics.counter("retries").inc()
+                return
+            except QueueClosed:
+                pass  # shutting down: fall through to a failed future
+        self.metrics.counter("errors").inc()
+        if request.future.done():
+            return
+        final: ServeError = err
+        if request.attempts > 0 and getattr(err, "retryable", False):
+            final = RetriesExhausted(
+                f"gave up on {request.model!r} after "
+                f"{request.attempts + 1} attempts",
+                model=request.model, worker=err.worker,
+                attempts=request.attempts + 1, cause=err,
+            )
+        request.future.set_exception(final)

@@ -1,0 +1,175 @@
+"""ComputeConfig: the consolidated compute-knob API and its legacy shims."""
+
+from __future__ import annotations
+
+import pickle
+import warnings
+
+import numpy as np
+import pytest
+
+from repro.core import ComputeConfig
+from repro.core.classifier import HDClassifier
+from repro.core.clustering import HDCluster
+from repro.core.config import UNSET
+from repro.core.encoders import GenericEncoder
+from repro.core.online import AdaptiveHDClassifier
+from repro.core.packed import PackedModel
+
+
+class TestComputeConfig:
+    def test_defaults(self):
+        cfg = ComputeConfig()
+        assert cfg.engine is None
+        assert cfg.encode_jobs is None
+        assert cfg.train_engine == "auto"
+        assert cfg.train_memory_budget is None
+
+    def test_replace_is_a_copy(self):
+        cfg = ComputeConfig(engine="packed")
+        clone = cfg.replace(encode_jobs=2)
+        assert clone.engine == "packed" and clone.encode_jobs == 2
+        assert cfg.encode_jobs is None  # original untouched
+        clone.engine = "reference"
+        assert cfg.engine == "packed"
+
+    def test_dict_round_trip(self):
+        cfg = ComputeConfig(engine="reference", encode_jobs=3,
+                            train_engine="gram", train_memory_budget=1 << 20)
+        assert ComputeConfig.from_dict(cfg.to_dict()) == cfg
+
+    def test_pickle_round_trip(self):
+        cfg = ComputeConfig(engine="packed", train_engine="gram")
+        assert pickle.loads(pickle.dumps(cfg)) == cfg
+
+    def test_unset_sentinel_is_singleton_through_pickle(self):
+        assert pickle.loads(pickle.dumps(UNSET)) is UNSET
+
+    def test_from_kwargs_merges_and_warns(self):
+        base = ComputeConfig(engine="packed")
+        with pytest.warns(DeprecationWarning, match="encode_jobs"):
+            out = ComputeConfig.from_kwargs(base, encode_jobs=4, owner="X")
+        assert out.engine == "packed" and out.encode_jobs == 4
+        assert base.encode_jobs is None  # input config never mutated
+
+    def test_from_kwargs_no_legacy_no_warning(self):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            out = ComputeConfig.from_kwargs(ComputeConfig(engine="reference"))
+        assert out.engine == "reference"
+
+
+@pytest.fixture()
+def encoder():
+    return GenericEncoder(dim=256, num_levels=8, seed=0)
+
+
+class TestLegacyKwargShims:
+    """Every user-facing class accepts config= and warns on old kwargs."""
+
+    def test_classifier_warns_on_legacy_kwargs(self, encoder):
+        with pytest.warns(DeprecationWarning, match="train_engine"):
+            clf = HDClassifier(encoder, train_engine="gram")
+        assert clf.train_engine == "gram"
+        assert clf.config.train_engine == "gram"
+
+    def test_classifier_accepts_config_silently(self, encoder):
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            clf = HDClassifier(
+                encoder, config=ComputeConfig(train_engine="gram",
+                                              encode_jobs=2),
+            )
+        assert clf.train_engine == "gram" and clf.encode_jobs == 2
+
+    def test_classifier_properties_write_through(self, encoder):
+        clf = HDClassifier(encoder)
+        clf.train_engine = "reference"
+        clf.encode_jobs = 2
+        assert clf.config.train_engine == "reference"
+        assert clf.config.encode_jobs == 2
+
+    def test_adaptive_classifier_forwards(self, encoder):
+        with pytest.warns(DeprecationWarning, match="encode_jobs"):
+            clf = AdaptiveHDClassifier(encoder, encode_jobs=2)
+        assert clf.config.encode_jobs == 2
+
+    def test_cluster_forwards(self, encoder):
+        with pytest.warns(DeprecationWarning, match="encode_jobs"):
+            clu = HDCluster(encoder, k=3, encode_jobs=2)
+        assert clu.config.encode_jobs == 2
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            clu = HDCluster(encoder, k=3, config=ComputeConfig(encode_jobs=1))
+        assert clu.encode_jobs == 1
+
+    def test_config_is_copied_on_ingestion(self, encoder):
+        shared = ComputeConfig(encode_jobs=2)
+        clf = HDClassifier(encoder, config=shared)
+        shared.encode_jobs = 8
+        assert clf.encode_jobs == 2
+
+
+class TestRoundTrips:
+    """config= must survive with_model, pickling and packing."""
+
+    def test_with_model_carries_config(self, toy_problem, encoder):
+        X, y, _, _ = toy_problem
+        clf = HDClassifier(
+            encoder, epochs=2,
+            config=ComputeConfig(train_engine="gram", encode_jobs=2),
+        ).fit(X, y)
+        clone = clf.with_model(clf.model_ + 1.0)
+        assert clone.config == clf.config
+        assert clone.config is not clf.config  # independent copies
+
+    def test_pickle_carries_config(self, toy_problem, encoder):
+        X, y, _, _ = toy_problem
+        clf = HDClassifier(
+            encoder, epochs=2, config=ComputeConfig(train_engine="gram"),
+        ).fit(X, y)
+        thawed = pickle.loads(pickle.dumps(clf))
+        assert thawed.config == clf.config
+        assert np.array_equal(thawed.predict(X), clf.predict(X))
+
+    def test_packed_from_classifier_merges_config(self, toy_problem, encoder):
+        X, y, _, _ = toy_problem
+        clf = HDClassifier(encoder, epochs=2).fit(X, y)
+        packed = PackedModel.from_classifier(
+            clf, config=ComputeConfig(encode_jobs=2)
+        )
+        assert packed.config.encode_jobs == 2
+        with pytest.warns(DeprecationWarning, match="encode_jobs"):
+            packed = PackedModel.from_classifier(clf, encode_jobs=3)
+        assert packed.encode_jobs == 3
+
+    def test_packed_with_words_carries_config(self, toy_problem, encoder):
+        X, y, _, _ = toy_problem
+        clf = HDClassifier(encoder, epochs=2).fit(X, y)
+        packed = PackedModel.from_classifier(
+            clf, config=ComputeConfig(encode_jobs=2)
+        )
+        clone = packed.with_words(packed.class_words ^ np.uint64(1))
+        assert clone.config == packed.config
+        assert clone.config is not packed.config
+
+
+class TestServeConfigIntegration:
+    def test_serve_config_folds_legacy_kwargs(self):
+        from repro.serve import ServeConfig
+
+        with pytest.warns(DeprecationWarning, match="train_engine"):
+            cfg = ServeConfig(train_engine="gram", engine="packed")
+        assert cfg.config.train_engine == "gram"
+        assert cfg.config.engine == "packed"
+        # mirrored legacy attributes keep reading correctly
+        assert cfg.train_engine == "gram" and cfg.engine == "packed"
+
+    def test_serve_config_accepts_compute_config(self):
+        from repro.serve import ServeConfig
+
+        with warnings.catch_warnings():
+            warnings.simplefilter("error", DeprecationWarning)
+            cfg = ServeConfig(config=ComputeConfig(engine="reference"))
+        assert cfg.config.engine == "reference"
+        assert cfg.engine == "reference"

@@ -1,0 +1,135 @@
+"""FaultSpec: the unified fault description over faults.py + voltage.py."""
+
+from __future__ import annotations
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.hardware.faults import corrupt_model, inject_bitflips, quantize_to_bits
+from repro.hardware.faultspec import FAULT_TARGETS, FaultSpec
+from repro.hardware.voltage import (
+    MAX_ERROR_RATE,
+    error_rate_for_voltage,
+    operating_point,
+)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError, match="target"):
+            FaultSpec(target="dram")
+        with pytest.raises(ValueError, match="bit-width"):
+            FaultSpec(bits=0)
+        with pytest.raises(ValueError, match="error rate"):
+            FaultSpec(error_rate=1.5)
+
+    def test_frozen_and_hashable(self):
+        spec = FaultSpec(error_rate=0.01)
+        with pytest.raises(Exception):
+            spec.error_rate = 0.5
+        assert {spec: 1}[FaultSpec(error_rate=0.01)] == 1
+
+    def test_targets_are_the_three_generic_memories(self):
+        assert FAULT_TARGETS == ("class", "level", "id")
+
+    def test_active(self):
+        assert not FaultSpec().active
+        assert FaultSpec(error_rate=1e-4).active
+
+
+class TestVoltageSide:
+    def test_from_voltage_inverts_the_voltage_model(self):
+        spec = FaultSpec.from_voltage(0.85)
+        assert spec.error_rate == pytest.approx(error_rate_for_voltage(0.85))
+        assert spec.vdd == 0.85
+        point = spec.voltage_point
+        assert point is not None
+        assert point.vdd == pytest.approx(0.85, abs=5e-3)
+
+    def test_voltage_point_matches_operating_point(self):
+        spec = FaultSpec(error_rate=1e-4)
+        assert spec.voltage_point == operating_point(1e-4)
+
+    def test_voltage_point_none_beyond_modeled_range(self):
+        assert FaultSpec(error_rate=2 * MAX_ERROR_RATE).voltage_point is None
+
+    def test_describe_is_json_serializable(self):
+        for spec in (FaultSpec(error_rate=1e-3), FaultSpec(error_rate=0.5)):
+            d = spec.describe()
+            assert json.loads(json.dumps(d)) == d
+            assert d["error_rate"] == spec.error_rate
+
+
+class TestBitflipSide:
+    def test_corrupt_matrix_matches_legacy_corrupt_model(self):
+        rng = np.random.default_rng(0)
+        matrix = rng.normal(size=(4, 256))
+        spec = FaultSpec(error_rate=0.01, bits=8)
+        got = spec.corrupt_matrix(matrix, np.random.default_rng(42))
+        want = corrupt_model(matrix, 8, 0.01, np.random.default_rng(42))
+        np.testing.assert_array_equal(got, want)
+
+    def test_corrupt_quantized_matches_legacy_inject_bitflips(self):
+        rng = np.random.default_rng(1)
+        q = quantize_to_bits(rng.normal(size=(3, 128)), 8)
+        spec = FaultSpec(error_rate=0.02, bits=8)
+        got = spec.corrupt_quantized(q, np.random.default_rng(9))
+        want = inject_bitflips(q, 8, 0.02, np.random.default_rng(9))
+        np.testing.assert_array_equal(got, want)
+
+    def test_corrupt_words_zero_rate_is_copy(self):
+        words = np.arange(8, dtype=np.uint64)
+        out = FaultSpec().corrupt_words(words, np.random.default_rng(0))
+        np.testing.assert_array_equal(out, words)
+        assert out is not words
+
+    def test_corrupt_words_flip_fraction_tracks_rate(self):
+        rng = np.random.default_rng(3)
+        words = np.zeros(2048, dtype=np.uint64)
+        spec = FaultSpec(error_rate=0.01)
+        flipped = spec.corrupt_words(words, rng)
+        n_bits = int(np.bitwise_count(flipped).sum())
+        total = words.size * 64
+        assert n_bits / total == pytest.approx(0.01, rel=0.2)
+
+    def test_corrupt_words_deterministic_given_seed(self):
+        words = np.arange(64, dtype=np.uint64)
+        spec = FaultSpec(error_rate=0.05)
+        a = spec.corrupt_words(words, np.random.default_rng(5))
+        b = spec.corrupt_words(words, np.random.default_rng(5))
+        np.testing.assert_array_equal(a, b)
+
+    def test_corrupt_classifier_clones(self, fitted_generic_classifier,
+                                       toy_problem):
+        clf = fitted_generic_classifier
+        before = clf.model_.copy()
+        spec = FaultSpec(error_rate=0.05, bits=8)
+        faulty = spec.corrupt_classifier(clf, np.random.default_rng(2))
+        np.testing.assert_array_equal(clf.model_, before)  # original pristine
+        assert faulty is not clf
+        assert not np.array_equal(faulty.model_, before)
+        # at a mild rate the clone still mostly agrees (paper Fig. 6)
+        _, _, X_test, _ = toy_problem
+        agree = np.mean(faulty.predict(X_test) == clf.predict(X_test))
+        assert agree >= 0.8
+
+
+class TestReExports:
+    """Both legacy modules expose FaultSpec so old imports keep working."""
+
+    def test_faults_module(self):
+        from repro.hardware import faults
+
+        assert faults.FaultSpec is FaultSpec
+
+    def test_voltage_module(self):
+        from repro.hardware import voltage
+
+        assert voltage.FaultSpec is FaultSpec
+
+    def test_hardware_package(self):
+        import repro.hardware as hw
+
+        assert hw.FaultSpec is FaultSpec

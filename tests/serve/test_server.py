@@ -192,7 +192,7 @@ class TestStatsSchema:
     """The stats() snapshot is a public contract (dashboards parse it)."""
 
     TOP_KEYS = {"counters", "gauges", "histograms", "queue", "policy",
-                "deployments"}
+                "deployments", "resilience"}
 
     def test_schema_after_quick_bench_run(self, serve_classifier,
                                           serve_queries):
@@ -212,8 +212,15 @@ class TestStatsSchema:
             "recent_p95_s",
         }
         assert set(stats["deployments"]["m"]) == {
-            "kind", "dim", "min_dim", "version", "serving_dim",
+            "kind", "dim", "min_dim", "version", "serving_dim", "degraded",
         }
+        assert set(stats["resilience"]) == {
+            "breakers", "ladder", "retry", "worker_restarts", "chaos",
+        }
+        assert [b["state"] for b in stats["resilience"]["breakers"]] == [
+            "closed", "closed",
+        ]
+        assert stats["resilience"]["chaos"] is None
         # the workers maintain these gauges on every batch
         assert stats["gauges"]["shed_level"] == {"value": 0.0, "max": 0.0}
         assert stats["gauges"]["queue_depth"]["value"] >= 0.0
