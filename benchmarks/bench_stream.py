@@ -1,0 +1,293 @@
+"""Streaming gate: accuracy under drift, exactness, and swap safety.
+
+Runs the same synthetic covariate-drift stream (class prototypes morph
+mid-stream, see :func:`repro.datasets.make_drift_stream`) through the
+serving stack twice:
+
+- **static** -- the model trained on the pre-drift head serves the
+  whole stream unchanged (the deploy-and-forget baseline);
+- **stream** -- a :class:`repro.stream.StreamLoop` watches margins,
+  retrains on the replay window when drift fires, and hot-swaps the
+  retrained version into the live server while requests are in flight.
+
+``--check`` (CI) enforces the streaming contract:
+
+- chunked streaming encoding is bit-identical to one-shot
+  ``encode_batch`` for a frozen level table (several chunk sizes);
+- the loop hot-swaps at least one retrained model version;
+- the loop recovers at least half of the accuracy the static model
+  loses after the drift completes, and beats the static model by at
+  least 5 points on the post-drift tail;
+- no served request is dropped or left hanging, swap or no swap;
+- the p99 of requests served while a swap landed stays within a small
+  multiple of the undisturbed p99 (swaps must not stall serving).
+
+Results land in ``BENCH_stream.json``.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_stream.py            # full
+    PYTHONPATH=src python benchmarks/bench_stream.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+
+import numpy as np
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.datasets import make_drift_stream
+from repro.serve import InferenceServer, ServeConfig
+from repro.stream import DriftConfig, StreamConfig, StreamLoop, StreamingEncoder
+
+OUT_PATH = pathlib.Path("BENCH_stream.json")
+
+
+def make_workload(dim: int, n_samples: int, pretrain: int, seed: int):
+    """Drift stream + a classifier trained on its pre-drift head."""
+    X, y, phase = make_drift_stream(
+        n_classes=4, n_features=32, n_samples=n_samples, seed=seed,
+        drift_start=0.4, drift_end=0.6, drift_magnitude=1.0, noise=0.4,
+    )
+    enc = GenericEncoder(dim=dim, num_levels=16, seed=seed)
+    clf = HDClassifier(enc, epochs=4, seed=seed)
+    clf.fit(X[:pretrain], y[:pretrain])
+    return clf, X, y, phase
+
+
+def check_bit_identity(clf, X, chunk_sizes=(1, 17, 64, 256)) -> dict:
+    """Chunked streaming output vs one-shot encode_batch (frozen range)."""
+    block = X[:min(400, len(X))]
+    reference = clf.encoder.encode_batch(block)
+    results = {}
+    for chunk in chunk_sizes:
+        streamed = StreamingEncoder(clf.encoder, chunk_size=chunk).encode(block)
+        results[str(chunk)] = bool(np.array_equal(streamed, reference))
+    return {"chunk_sizes": results, "ok": all(results.values())}
+
+
+def run_scenario(name: str, clf, X, y, phase, pretrain: int, chunk: int,
+                 use_loop: bool):
+    """Serve the post-pretrain stream chunk by chunk; score prequentially.
+
+    Every chunk is submitted to the live server (latency + swap-safety
+    measurement); with ``use_loop`` the same chunk then feeds the stream
+    loop, whose background retrains land *while the next chunks are
+    being served*.  ``wait_idle`` between chunks keeps retrain timing
+    deterministic enough for a CI gate without serializing the swap out
+    of the serving path.
+    """
+    server = InferenceServer(ServeConfig(n_workers=2, max_batch=32))
+    loop = None
+    if use_loop:
+        loop = StreamLoop(server, clf, StreamConfig(
+            model_name="bench", chunk_size=chunk,
+            replay_capacity=6 * chunk,
+            drift=DriftConfig(window=2 * chunk, warmup=2 * chunk,
+                              cooldown=2 * chunk, margin_drop=0.3),
+        ))
+    else:
+        server.register("bench", clf)
+
+    chunks = []
+    dropped = hung = 0
+    t0 = time.monotonic()
+    with server:
+        if loop is not None:
+            loop.start()
+        try:
+            for start in range(pretrain, len(X), chunk):
+                Xc, yc = X[start:start + chunk], y[start:start + chunk]
+                version_before = server.registry.get("bench").version
+                futures = [server.submit("bench", x) for x in Xc]
+                if loop is not None:
+                    # may fire a retrain that swaps mid-gather
+                    loop.process(Xc, yc)
+                preds, latencies = [], []
+                for fut in futures:
+                    try:
+                        p = fut.result(timeout=30.0)
+                        preds.append(p.label)
+                        latencies.append(p.latency)
+                    except TimeoutError:
+                        hung += 1
+                        preds.append(None)
+                    except Exception:
+                        dropped += 1
+                        preds.append(None)
+                if loop is not None:
+                    loop.wait_idle(timeout=60.0)
+                version_after = server.registry.get("bench").version
+                chunks.append({
+                    "start": start,
+                    "phase": float(phase[start:start + chunk].mean()),
+                    "accuracy": float(np.mean(
+                        [p == t for p, t in zip(preds, yc)])),
+                    "latency_s": latencies,
+                    "swap": version_after != version_before,
+                })
+        finally:
+            if loop is not None:
+                loop.stop()
+        final_version = server.registry.get("bench").version
+    wall_s = time.monotonic() - t0
+
+    post = [c for c in chunks if c["phase"] >= 1.0]
+    pre = [c for c in chunks if c["phase"] <= 0.0]
+    all_lat = np.asarray([l for c in chunks for l in c["latency_s"]])
+    swap_lat = np.asarray([l for c in chunks if c["swap"]
+                           for l in c["latency_s"]])
+    calm_lat = np.asarray([l for c in chunks if not c["swap"]
+                           for l in c["latency_s"]])
+
+    def p99(arr):
+        return (round(float(np.percentile(arr, 99) * 1e3), 3)
+                if arr.size else None)
+
+    report = {
+        "scenario": name,
+        "chunks": len(chunks),
+        "requests": int(all_lat.size + dropped + hung),
+        "dropped": dropped,
+        "hung": hung,
+        "swaps": sum(c["swap"] for c in chunks),
+        "model_versions": final_version,
+        "retrain_swaps": loop.swaps if loop is not None else 0,
+        "drift_events": len(loop.detector.events) if loop is not None else 0,
+        "accuracy": {
+            "pre_drift": round(float(np.mean(
+                [c["accuracy"] for c in pre])), 4) if pre else None,
+            "post_drift": round(float(np.mean(
+                [c["accuracy"] for c in post])), 4) if post else None,
+            "by_chunk": [round(c["accuracy"], 4) for c in chunks],
+        },
+        "latency_ms": {
+            "p50": round(float(np.percentile(all_lat, 50) * 1e3), 3),
+            "p99": p99(all_lat),
+            "p99_during_swap": p99(swap_lat),
+            "p99_calm": p99(calm_lat),
+        },
+        "wall_s": round(wall_s, 3),
+    }
+    print(
+        f"{name:7s}  post-drift acc "
+        f"{report['accuracy']['post_drift']:.3f}  "
+        f"swaps {report['swaps']}  p99 {report['latency_ms']['p99']:.1f}ms"
+        + (f"  (during swap {report['latency_ms']['p99_during_swap']:.1f}ms)"
+           if swap_lat.size else "")
+        + f"  dropped {dropped}  hung {hung}"
+    )
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke workload (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the streaming contract is violated")
+    parser.add_argument("--min-recovery", type=float, default=0.5,
+                        help="--check floor on recovered accuracy fraction")
+    parser.add_argument("--min-gain", type=float, default=0.05,
+                        help="--check floor on stream-vs-static accuracy gain")
+    parser.add_argument("--swap-p99-factor", type=float, default=5.0,
+                        help="--check cap on p99(during swap)/p99(calm)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    dim = 512 if args.quick else 1024
+    n_samples = 2400 if args.quick else 4800
+    pretrain = 600 if args.quick else 1200
+    chunk = 50 if args.quick else 100
+
+    clf, X, y, phase = make_workload(dim, n_samples, pretrain, args.seed)
+    identity = check_bit_identity(clf, X)
+    print(f"bit-identity (chunked == one-shot): {identity['ok']}")
+
+    static = run_scenario("static", clf, X, y, phase, pretrain, chunk,
+                          use_loop=False)
+    stream = run_scenario("stream", clf, X, y, phase, pretrain, chunk,
+                          use_loop=True)
+
+    pre_acc = static["accuracy"]["pre_drift"]
+    static_post = static["accuracy"]["post_drift"]
+    stream_post = stream["accuracy"]["post_drift"]
+    lost = max(1e-9, pre_acc - static_post)
+    recovery = (stream_post - static_post) / lost
+
+    report = {
+        "harness": "benchmarks.bench_stream",
+        "profile": "quick" if args.quick else "full",
+        "dim": dim,
+        "n_samples": n_samples,
+        "pretrain": pretrain,
+        "chunk": chunk,
+        "gates": {
+            "min_recovery": args.min_recovery,
+            "min_gain": args.min_gain,
+            "swap_p99_factor": args.swap_p99_factor,
+        },
+        "bit_identity": identity,
+        "summary": {
+            "pre_drift_accuracy": pre_acc,
+            "static_post_drift": static_post,
+            "stream_post_drift": stream_post,
+            "recovery_ratio": round(recovery, 4),
+        },
+        "numpy": np.__version__,
+        "scenarios": [static, stream],
+    }
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    print(f"wrote {args.out}")
+    print(f"recovery ratio {recovery:.2f} "
+          f"(static {static_post:.3f} -> stream {stream_post:.3f}, "
+          f"pre-drift {pre_acc:.3f})")
+
+    if args.check:
+        problems = []
+        if not identity["ok"]:
+            problems.append(
+                f"streaming encode lost bit-identity: "
+                f"{identity['chunk_sizes']}"
+            )
+        if stream["retrain_swaps"] < 1:
+            problems.append("stream loop never hot-swapped a retrained model")
+        if recovery < args.min_recovery:
+            problems.append(
+                f"recovered only {recovery:.2f} of lost accuracy "
+                f"(< {args.min_recovery})"
+            )
+        if stream_post < static_post + args.min_gain:
+            problems.append(
+                f"stream post-drift {stream_post:.3f} not >= static "
+                f"{static_post:.3f} + {args.min_gain}"
+            )
+        for scenario in (static, stream):
+            if scenario["dropped"] or scenario["hung"]:
+                problems.append(
+                    f"{scenario['scenario']}: {scenario['dropped']} dropped, "
+                    f"{scenario['hung']} hung requests"
+                )
+        p99_swap = stream["latency_ms"]["p99_during_swap"]
+        p99_calm = stream["latency_ms"]["p99_calm"]
+        if p99_swap is not None and p99_calm:
+            if p99_swap > args.swap_p99_factor * p99_calm:
+                problems.append(
+                    f"p99 during swap {p99_swap:.1f}ms > "
+                    f"{args.swap_p99_factor}x calm p99 {p99_calm:.1f}ms"
+                )
+        for p in problems:
+            print(f"CHECK FAILED: {p}", file=sys.stderr)
+        return 1 if problems else 0
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

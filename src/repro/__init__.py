@@ -19,6 +19,9 @@ The package splits the paper's system into four layers:
 - :mod:`repro.serve` -- a micro-batching inference service over trained
   models with load-shedding via the paper's on-demand dimension
   reduction (imported lazily; see :class:`repro.serve.InferenceServer`).
+- :mod:`repro.stream` -- streaming encoding, drift detection, and a
+  train-while-serving loop that hot-swaps retrained models into the
+  server (imported lazily; see :class:`repro.stream.StreamLoop`).
 """
 
 from repro.core.classifier import HDClassifier

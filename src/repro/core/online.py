@@ -27,6 +27,7 @@ import numpy as np
 
 from repro.core.classifier import HDClassifier
 from repro.core.config import UNSET, ComputeConfig
+from repro.obs import trace as obs_trace
 
 
 class AdaptiveHDClassifier(HDClassifier):
@@ -92,16 +93,38 @@ class AdaptiveHDClassifier(HDClassifier):
         unknown = set(np.unique(y)) - set(self.classes_.tolist())
         if unknown:
             raise ValueError(f"labels not present at fit time: {sorted(unknown)}")
-        encodings = self.encoder.encode_batch(X).astype(np.float64)
+        # same encode path as fit()/predict(): the ComputeConfig engine
+        # selection and thread fan-out apply to streaming batches too
+        encodings = self.encoder.encode_batch(
+            X, n_jobs=self.encode_jobs
+        ).astype(np.float64)
         y_idx = np.searchsorted(self.classes_, y)
-        for i in range(len(X)):
-            h = encodings[i]
-            sims = self._cosine_row(h)
-            pred = int(np.argmax(sims))
-            truth = int(y_idx[i])
-            if pred != truth:
-                self.model_[truth] += self.lr * (1.0 - sims[truth]) * h
-                self.model_[pred] -= self.lr * (1.0 - sims[pred]) * h
-                self.norms_.update_class(truth, self.model_[truth])
-                self.norms_.update_class(pred, self.model_[pred])
+        n, dim = len(X), self.encoder.dim
+        n_classes = len(self.classes_)
+        with obs_trace.span(
+            "train.partial_fit", engine="reference", rule=self.train_rule,
+            samples=n, n_classes=n_classes, dim=dim, epochs=1,
+        ) as sp:
+            updates = 0
+            for i in range(len(X)):
+                h = encodings[i]
+                sims = self._cosine_row(h)
+                pred = int(np.argmax(sims))
+                truth = int(y_idx[i])
+                if pred != truth:
+                    self.model_[truth] += self.lr * (1.0 - sims[truth]) * h
+                    self.model_[pred] -= self.lr * (1.0 - sims[pred]) * h
+                    self.norms_.update_class(truth, self.model_[truth])
+                    self.norms_.update_class(pred, self.model_[pred])
+                    updates += 1
+            if sp.recording:
+                sp.set(updates=updates)
+                # scoring: one MAC per (sample, class, dim); each update
+                # touches two class rows twice (scale + add, norms)
+                score_macs = n * n_classes * dim
+                sp.add_ops(
+                    mul_ops=score_macs,
+                    add_ops=score_macs + updates * 4 * dim,
+                    mem_bytes=(n + n_classes) * dim * 8,
+                )
         return self

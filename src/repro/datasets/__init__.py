@@ -17,6 +17,7 @@ from repro.datasets.registry import (
     DatasetSpec,
     load_dataset,
 )
+from repro.datasets.synthetic import make_drift_stream
 
 __all__ = [
     "CLASSIFICATION_DATASETS",
@@ -25,4 +26,5 @@ __all__ = [
     "DatasetSpec",
     "load_dataset",
     "make_cluster_dataset",
+    "make_drift_stream",
 ]

@@ -268,3 +268,63 @@ def make_tabular_dataset(
     if binary:
         X = (X > np.median(X)).astype(np.float64)
     return X, y
+
+
+# ---------------------------------------------------------------------------
+# drift stream (covariate drift via prototype morphing)
+# ---------------------------------------------------------------------------
+
+def make_drift_stream(
+    n_classes: int,
+    n_features: int,
+    n_samples: int,
+    seed: int,
+    drift_start: float = 0.4,
+    drift_end: float = 0.6,
+    drift_magnitude: float = 1.0,
+    noise: float = 0.4,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """An ordered sample stream whose class prototypes morph mid-stream.
+
+    Covariate drift for the streaming experiments: every class ``c`` has
+    a pre-drift prototype ``P0[c]`` and a post-drift prototype ``P1[c]``
+    (an independent draw, mixed in with weight ``drift_magnitude``).
+    Samples are emitted in stream order; between fractions
+    ``drift_start`` and ``drift_end`` of the stream the active prototype
+    interpolates linearly from ``P0`` to ``P1`` (a gradual regime
+    change), before/after it is pure ``P0``/``P1``.  Class labels stay
+    balanced and i.i.d. throughout -- only ``P(x | y)`` moves, which is
+    exactly the failure mode a frozen model cannot see in its label
+    stream but a margin-based drift detector can.
+
+    ``drift_magnitude=1`` replaces the prototypes entirely (a model
+    frozen pre-drift decays to chance); smaller values mix old and new.
+
+    Returns ``(X, y, phase)`` where ``phase[i]`` in ``[0, 1]`` is the
+    interpolation weight each sample was drawn at (0 = old regime,
+    1 = new) -- handy for slicing accuracy-by-regime in the benchmark.
+    """
+    if not 0.0 <= drift_start <= drift_end <= 1.0:
+        raise ValueError(
+            f"need 0 <= drift_start <= drift_end <= 1, got "
+            f"({drift_start}, {drift_end})"
+        )
+    rng = np.random.default_rng(seed)
+    p0 = np.stack([_smooth(rng, n_features) for _ in range(n_classes)])
+    p1_raw = np.stack([_smooth(rng, n_features) for _ in range(n_classes)])
+    p1 = (1.0 - drift_magnitude) * p0 + drift_magnitude * p1_raw
+    # normalize both regimes to comparable energy so drift changes the
+    # *shape* of the classes, not the overall signal scale
+    for p in (p0, p1):
+        p /= np.abs(p).max() or 1.0
+
+    y = rng.integers(0, n_classes, size=n_samples)
+    pos = np.arange(n_samples) / max(1, n_samples - 1)
+    if drift_end > drift_start:
+        phase = np.clip((pos - drift_start) / (drift_end - drift_start),
+                        0.0, 1.0)
+    else:  # abrupt drift at the shared boundary
+        phase = (pos >= drift_start).astype(np.float64)
+    prototypes = (1.0 - phase)[:, None] * p0[y] + phase[:, None] * p1[y]
+    X = prototypes + rng.normal(scale=noise, size=(n_samples, n_features))
+    return X, y, phase

@@ -17,15 +17,28 @@ per-128-dim prefix norms of the :class:`~repro.core.norms.SubNormTable`
 packed path, prefix Hamming distance is used; binary prefix norms are
 exact by construction.
 
-:class:`ModelRegistry` maps names to deployments and supports hot swap:
-re-registering a name atomically replaces the deployment and bumps its
-version, so a freshly retrained model takes over between batches with
-no downtime (in-flight batches finish on the old deployment).
+:class:`ModelRegistry` maps names to deployments and supports hot swap
+two ways: re-registering a name replaces the deployment wholesale
+(fresh state), while :meth:`ModelRegistry.swap` installs a new model
+*version* that inherits the old deployment's serving state -- min_dim,
+compute config, the degradation ladder's engine-fallback bookkeeping --
+and can optionally drain the old version (block until its in-flight
+batches finish; new batches already land on the new version).  Workers
+bracket their use of a deployment with :meth:`Deployment.serving`, so a
+drain is precise rather than a sleep.
+
+Deployments can also carry a ``dim_order`` -- a permutation applied to
+query encodings before search, matched by a column-permuted class
+matrix.  This is the hook for DistHD-style dimension regeneration
+(:mod:`repro.stream.regen`): with both sides permuted identically,
+full-dimension results are unchanged while prefix (shed) searches keep
+the most informative dimensions.
 """
 
 from __future__ import annotations
 
 import threading
+from contextlib import contextmanager
 from typing import Dict, List, Optional, Union
 
 import numpy as np
@@ -54,7 +67,8 @@ class Deployment:
                  min_dim: Optional[int] = None,
                  engine: Optional[str] = None,
                  encode_jobs: Optional[int] = None,
-                 config: Optional[ComputeConfig] = None):
+                 config: Optional[ComputeConfig] = None,
+                 dim_order: Optional[np.ndarray] = None):
         self.name = name
         self.model = model
         self.version = version
@@ -107,6 +121,52 @@ class Deployment:
             )
         self.min_dim = min_dim
 
+        if dim_order is not None:
+            if self.kind != "classifier":
+                raise ValueError(
+                    f"deployment {name!r}: dim_order regeneration needs a "
+                    "classifier deployment (packed words bake the layout in)"
+                )
+            dim_order = np.asarray(dim_order, dtype=np.int64)
+            if (dim_order.shape != (self.dim,)
+                    or not np.array_equal(np.sort(dim_order),
+                                          np.arange(self.dim))):
+                raise ValueError(
+                    f"dim_order must be a permutation of range({self.dim})"
+                )
+        self.dim_order = dim_order
+
+        # in-flight accounting so swap() can drain the old version
+        self._inflight = 0
+        self._inflight_lock = threading.Lock()
+        self._drained = threading.Event()
+        self._drained.set()
+
+    # -- in-flight tracking (drained hot swap) ------------------------------
+
+    @contextmanager
+    def serving(self):
+        """Bracket one batch's use of this deployment (workers call this)."""
+        with self._inflight_lock:
+            self._inflight += 1
+            self._drained.clear()
+        try:
+            yield self
+        finally:
+            with self._inflight_lock:
+                self._inflight -= 1
+                if self._inflight <= 0:
+                    self._drained.set()
+
+    @property
+    def inflight(self) -> int:
+        with self._inflight_lock:
+            return self._inflight
+
+    def wait_drained(self, timeout: Optional[float] = None) -> bool:
+        """Block until no batch is being served on this deployment."""
+        return self._drained.wait(timeout)
+
     # -- shed-level mapping -------------------------------------------------
 
     def dim_for_level(self, level: int) -> int:
@@ -132,9 +192,14 @@ class Deployment:
             if self.encode_jobs is not None:
                 self.model.encode_jobs = self.encode_jobs
             return self.model.encode_packed(X)
-        return self.model.encoder.encode_batch(
+        encoded = self.model.encoder.encode_batch(
             X, n_jobs=self.encode_jobs
         ).astype(np.float64)
+        if self.dim_order is not None:
+            # regenerated layout: queries permute to match the permuted
+            # class matrix, so prefix searches keep informative dims
+            encoded = encoded[:, self.dim_order]
+        return encoded
 
     def search(self, encoded: np.ndarray,
                dim: Optional[int] = None,
@@ -213,14 +278,18 @@ class ModelRegistry:
     def __init__(self) -> None:
         self._lock = threading.Lock()
         self._deployments: Dict[str, Deployment] = {}
+        self.swaps = 0
 
     def register(self, name: str, model: Model,
                  min_dim: Optional[int] = None,
                  engine: Optional[str] = None,
                  encode_jobs: Optional[int] = None,
                  config: Optional[ComputeConfig] = None) -> Deployment:
-        """Deploy ``model`` under ``name``; replaces (hot-swaps) any
-        existing deployment and bumps the version."""
+        """Deploy ``model`` under ``name``; replaces any existing
+        deployment wholesale (fresh serving state) and bumps the
+        version.  For mid-flight model *updates* prefer :meth:`swap`,
+        which inherits the old deployment's serving state and can drain
+        the outgoing version."""
         with self._lock:
             previous = self._deployments.get(name)
             version = previous.version + 1 if previous else 1
@@ -229,6 +298,64 @@ class ModelRegistry:
                              config=config)
             self._deployments[name] = dep
             return dep
+
+    def swap(self, name: str, model: Model,
+             dim_order: Optional[np.ndarray] = None,
+             drain: bool = False,
+             drain_timeout: Optional[float] = 5.0) -> Deployment:
+        """Atomically install ``model`` as the next version of ``name``.
+
+        Unlike :meth:`register`, the deployment must already exist and
+        the new version inherits its serving state: ``min_dim`` (when
+        the dimensionality is unchanged), the compute config, and the
+        degradation ladder's engine-fallback bookkeeping, so a hot swap
+        in the middle of a degraded period does not silently undo the
+        ladder's tier-1 effect.  The version is bumped under the
+        registry lock -- concurrent :meth:`get` sees either the old or
+        the new deployment, never a torn mix, and versions are strictly
+        monotonic per name.
+
+        ``dim_order`` installs (or, left ``None``, clears) a
+        regenerated dimension layout for the new version -- pass the
+        composed permutation from :mod:`repro.stream.regen`.
+
+        With ``drain=True`` the call additionally blocks (up to
+        ``drain_timeout`` seconds) until batches in flight on the *old*
+        version finish; new batches already land on the new version, so
+        a drain only waits for the tail, it never pauses serving.
+        Returns the new deployment.
+        """
+        with self._lock:
+            try:
+                old = self._deployments[name]
+            except KeyError:
+                raise KeyError(
+                    f"swap: no deployment named {name!r}; register it "
+                    "first"
+                ) from None
+            new_dim = (model.dim if isinstance(model, PackedModel)
+                       else model.encoder.dim)
+            min_dim = old.min_dim if new_dim == old.dim else None
+            dep = Deployment(name, model, version=old.version + 1,
+                             min_dim=min_dim, config=old.config,
+                             dim_order=dim_order)
+            if old._engine_before_fallback is not None:
+                # the ladder degraded the old version to a simpler
+                # engine; keep the new version on the same tier so
+                # recovery (restore_engine) stays symmetric
+                encoder = getattr(dep.model, "encoder", None)
+                if encoder is not None and hasattr(encoder, "engine"):
+                    dep._engine_before_fallback = old._engine_before_fallback
+                    fallen = getattr(
+                        getattr(old.model, "encoder", None), "engine", None
+                    )
+                    if fallen is not None:
+                        encoder.engine = fallen
+            self._deployments[name] = dep
+            self.swaps += 1
+        if drain:
+            old.wait_drained(drain_timeout)
+        return dep
 
     def get(self, name: str) -> Deployment:
         with self._lock:

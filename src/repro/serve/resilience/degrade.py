@@ -85,6 +85,18 @@ class DegradationLadder:
         self._all_closed_since: Optional[float] = None
         self.escalations = 0
         self.recoveries = 0
+        self._dim_shed_hooks: list = []
+
+    def add_dim_shed_hook(self, hook: Callable[[int], None]) -> None:
+        """Run ``hook(shed_floor_level)`` whenever tier 2 is entered.
+
+        Recovery steps (e.g. dimension regeneration from
+        :mod:`repro.stream.regen`) register here so shedding quality
+        triggers re-materializing the most informative dimensions into
+        the served prefix.  Hook exceptions are swallowed: degradation
+        must never be blocked by its own recovery machinery.
+        """
+        self._dim_shed_hooks.append(hook)
 
     # -- state ---------------------------------------------------------------
 
@@ -180,6 +192,11 @@ class DegradationLadder:
             floor = min(self.config.shed_floor_level, self.policy.max_level)
             if self.policy.level < floor:
                 self.policy.force_level(floor)
+            for hook in self._dim_shed_hooks:
+                try:
+                    hook(floor)
+                except Exception:
+                    pass
         # tier 3 is pure state: submit() checks ``rejecting``
 
     def _de_escalate_from(self, tier: int) -> None:

@@ -188,6 +188,30 @@ class InferenceServer:
             config=self.config.config,
         )
 
+    def swap(self, name: str, model: Model,
+             dim_order: Optional[np.ndarray] = None,
+             drain: bool = True,
+             drain_timeout: float = 5.0) -> Deployment:
+        """Hot-swap deployment ``name`` to a new model version.
+
+        Thin wrapper over :meth:`ModelRegistry.swap` that also updates
+        the serving metrics: bumps the ``model_swaps`` counter and sets
+        the per-model ``model_version`` gauge.  ``drain=True`` (the
+        default) blocks until batches in flight on the *old* version
+        finish -- new batches already pick up the new version the moment
+        the registry entry flips.
+        """
+        dep = self.registry.swap(
+            name, model, dim_order=dim_order,
+            drain=drain, drain_timeout=drain_timeout,
+        )
+        self.metrics.counter("model_swaps").inc()
+        self.metrics.registry.gauge(
+            "model_version", help="deployed model version",
+            labels=("model",),
+        ).labels(model=name).set(dep.version)
+        return dep
+
     # -- lifecycle ----------------------------------------------------------
 
     def start(self) -> "InferenceServer":

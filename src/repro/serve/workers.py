@@ -250,38 +250,44 @@ class WorkerPool:
                 # may sleep, raise InjectedFault, or raise WorkerKilled
                 self.chaos.on_group(worker_id, model_name)
             dep = self.registry.get(model_name)
-            level = self.policy.level
-            dim = dep.dim_for_level(level)
-            X = np.stack([np.asarray(r.x, dtype=np.float64) for r in requests])
+            # serving() brackets the batch so ModelRegistry.swap can
+            # drain this (possibly outgoing) version precisely
+            with dep.serving():
+                level = self.policy.level
+                dim = dep.dim_for_level(level)
+                X = np.stack(
+                    [np.asarray(r.x, dtype=np.float64) for r in requests]
+                )
 
-            t0 = time.monotonic()
-            with obs_trace.span(
-                "serve.encode", model=model_name, batch=len(requests)
-            ):
-                encoded = dep.encode(X)
-            t1 = time.monotonic()
-            fault_draw = (self.chaos.memory_fault(worker_id)
-                          if self.chaos is not None else None)
-            with obs_trace.span(
-                "serve.search", model=model_name, batch=len(requests),
-                dim=dim,
-            ) as sp:
-                if fault_draw is not None:
-                    spec, rng = fault_draw
-                    labels = dep.search(encoded, dim=dim, fault=spec, rng=rng)
-                else:
-                    labels = dep.search(encoded, dim=dim)
-                if sp.recording:
-                    # similarity against every class over the served
-                    # prefix: one MAC per (request, class, dimension)
-                    if dep.kind == "packed":
-                        n_classes = len(dep.model.class_words)
+                t0 = time.monotonic()
+                with obs_trace.span(
+                    "serve.encode", model=model_name, batch=len(requests)
+                ):
+                    encoded = dep.encode(X)
+                t1 = time.monotonic()
+                fault_draw = (self.chaos.memory_fault(worker_id)
+                              if self.chaos is not None else None)
+                with obs_trace.span(
+                    "serve.search", model=model_name, batch=len(requests),
+                    dim=dim,
+                ) as sp:
+                    if fault_draw is not None:
+                        spec, rng = fault_draw
+                        labels = dep.search(encoded, dim=dim, fault=spec,
+                                            rng=rng)
                     else:
-                        n_classes = dep.model.n_classes
-                    macs = len(requests) * n_classes * dim
-                    sp.add_ops(add_ops=macs, mul_ops=macs,
-                               mem_bytes=n_classes * dim * 8)
-            t2 = time.monotonic()
+                        labels = dep.search(encoded, dim=dim)
+                    if sp.recording:
+                        # similarity against every class over the served
+                        # prefix: one MAC per (request, class, dimension)
+                        if dep.kind == "packed":
+                            n_classes = len(dep.model.class_words)
+                        else:
+                            n_classes = dep.model.n_classes
+                        macs = len(requests) * n_classes * dim
+                        sp.add_ops(add_ops=macs, mul_ops=macs,
+                                   mem_bytes=n_classes * dim * 8)
+                t2 = time.monotonic()
         except Exception as exc:
             # structured failure: record on the breaker, then retry or
             # fail every future -- never leave one unresolved

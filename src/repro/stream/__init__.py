@@ -1,0 +1,54 @@
+"""Streaming encoding, drift detection, and train-while-serving.
+
+``repro.stream`` turns the batch-trained GENERIC pipeline into a
+continuous learner:
+
+- :mod:`~repro.stream.encoder` -- bounded-memory chunked encoding over
+  unbounded streams (bit-identical to one-shot ``encode_batch`` when
+  the quantizer range is frozen);
+- :mod:`~repro.stream.drift` -- sliding-window margin/error/prior drift
+  detection with EWMA baselines;
+- :mod:`~repro.stream.trainer` -- a background thread replaying the
+  recent window through the Gram-cached retraining engine and
+  hot-swapping the result into the serving registry;
+- :mod:`~repro.stream.regen` -- DistHD-style dimension regeneration for
+  the load-shed prefix;
+- :mod:`~repro.stream.loop` -- the orchestrator wiring all of the above
+  to an :class:`~repro.serve.server.InferenceServer`.
+"""
+
+from repro.stream.drift import (
+    TRIGGERS,
+    DriftConfig,
+    DriftDetector,
+    DriftEvent,
+)
+from repro.stream.encoder import RangeReservoir, StreamingEncoder
+from repro.stream.loop import StreamConfig, StreamLoop
+from repro.stream.regen import (
+    RegenPlan,
+    apply_plan,
+    dimension_scores,
+    plan_regeneration,
+    regenerate_deployment,
+)
+from repro.stream.trainer import RETRAIN_INITS, BackgroundTrainer, ReplayBuffer
+
+__all__ = [
+    "TRIGGERS",
+    "RETRAIN_INITS",
+    "DriftConfig",
+    "DriftDetector",
+    "DriftEvent",
+    "RangeReservoir",
+    "StreamingEncoder",
+    "StreamConfig",
+    "StreamLoop",
+    "RegenPlan",
+    "dimension_scores",
+    "plan_regeneration",
+    "apply_plan",
+    "regenerate_deployment",
+    "BackgroundTrainer",
+    "ReplayBuffer",
+]

@@ -1,0 +1,160 @@
+"""DistHD-style dimension regeneration for the dim-shed degradation tier.
+
+The serving stack sheds load by searching a 128-multiple *prefix* of
+the dimensions (Section 4.3.3), which silently assumes every dimension
+carries the same amount of class information.  DistHD (Wang et al.)
+shows that is false for trained models -- dimension quality is uneven --
+and that a learner-aware score can identify the dimensions worth
+keeping.  This module applies that idea to the shed tier: score every
+dimension by its class-separability contribution, then *re-materialize*
+the informative shed dimensions by permuting the dimension order so the
+highest-scoring dimensions occupy the served prefix.
+
+The trick that makes this exact: a permutation applied to **both** the
+query encodings and the class-hypervector columns leaves every dot
+product and norm unchanged, so full-dimension predictions are
+bit-identical to the unpermuted model, while a prefix search now keeps
+the most informative dimensions instead of an arbitrary first block.
+The permuted model's :class:`~repro.core.norms.SubNormTable` is
+recomputed at its new layout, so the shed tier's exact prefix norms
+keep working untouched.
+
+Scoring: class rows are L2-normalized (the cosine view the search uses)
+and each dimension is scored by its variance across classes --
+dimensions on which the classes agree contribute nothing to the
+arg-max; dimensions with large cross-class spread decide it.
+
+The serving integration (:func:`regenerate_deployment`) goes through
+:meth:`~repro.serve.registry.ModelRegistry.swap`, so the permuted view
+lands atomically as a new model version and in-flight batches finish on
+the old, self-consistent deployment.  The stream loop registers
+:func:`regenerate_deployment` as a recovery hook on the degradation
+ladder's ``dim_shed`` tier and also fires it when the load-shed policy
+holds a reduced level.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+from repro.core.classifier import HDClassifier
+
+__all__ = [
+    "RegenPlan",
+    "dimension_scores",
+    "plan_regeneration",
+    "apply_plan",
+    "regenerate_deployment",
+]
+
+
+def dimension_scores(model: np.ndarray) -> np.ndarray:
+    """Per-dimension class-separability contribution.
+
+    Rows are L2-normalized so a large class doesn't dominate, then each
+    dimension's score is the variance of its normalized values across
+    classes.  Shape ``(dim,)``, all non-negative.
+    """
+    m = np.asarray(model, dtype=np.float64)
+    if m.ndim != 2 or m.shape[0] < 2:
+        raise ValueError(
+            f"need a (n_classes >= 2, dim) class matrix, got {m.shape}"
+        )
+    norms = np.linalg.norm(m, axis=1, keepdims=True)
+    normalized = m / np.where(norms == 0.0, 1.0, norms)
+    return normalized.var(axis=0)
+
+
+@dataclass
+class RegenPlan:
+    """A dimension re-ordering and its expected effect."""
+
+    #: permutation: position ``j`` of the new layout holds old dimension
+    #: ``order[j]`` (apply as ``x[:, order]`` to queries and model alike)
+    order: np.ndarray
+    #: per-dimension separability scores (original layout)
+    scores: np.ndarray
+    #: the prefix length the plan was optimized for
+    serving_dim: int
+    #: fraction of total score mass inside the prefix, before / after
+    prefix_mass_before: float
+    prefix_mass_after: float
+
+    @property
+    def gain(self) -> float:
+        """Score mass the prefix gained by re-materializing dimensions."""
+        return self.prefix_mass_after - self.prefix_mass_before
+
+    @property
+    def moved(self) -> int:
+        """Dimensions whose position changed."""
+        return int(np.count_nonzero(self.order != np.arange(len(self.order))))
+
+
+def plan_regeneration(model: np.ndarray, serving_dim: int) -> RegenPlan:
+    """Order dimensions so the most separating ones fill ``serving_dim``.
+
+    A stable descending sort on the separability scores: the served
+    prefix ends up holding the top-``serving_dim`` scored dimensions,
+    which is optimal for any prefix length <= ``serving_dim`` as well.
+    """
+    scores = dimension_scores(model)
+    dim = len(scores)
+    if not 0 < serving_dim <= dim:
+        raise ValueError(
+            f"serving_dim {serving_dim} out of range (0, {dim}]"
+        )
+    order = np.argsort(-scores, kind="stable")
+    total = float(scores.sum()) or 1.0
+    before = float(scores[:serving_dim].sum()) / total
+    after = float(scores[order[:serving_dim]].sum()) / total
+    return RegenPlan(
+        order=order,
+        scores=scores,
+        serving_dim=serving_dim,
+        prefix_mass_before=before,
+        prefix_mass_after=after,
+    )
+
+
+def apply_plan(clf: HDClassifier, plan: RegenPlan) -> HDClassifier:
+    """Clone ``clf`` with its class-matrix columns in plan order.
+
+    The clone shares the encoder (queries still come out in the
+    original layout -- the serving deployment applies ``plan.order`` to
+    them); its :class:`SubNormTable` is rebuilt for the new layout.
+    """
+    return clf.with_model(clf.model_[:, plan.order])
+
+
+def regenerate_deployment(registry, name: str,
+                          serving_dim: Optional[int] = None,
+                          drain: bool = False):
+    """Swap deployment ``name`` for a regenerated (re-ordered) view.
+
+    ``serving_dim`` defaults to the deployment's shed floor
+    (``min_dim``) so the reordering helps at every shed level.  Works on
+    classifier deployments only (packed models bake the layout into
+    their words); repeated calls compose: the plan is computed on the
+    deployment's *current* view and the query permutation passed to
+    ``swap`` is the composition of the old and new orders.
+
+    Returns ``(deployment, plan)``.
+    """
+    dep = registry.get(name)
+    if dep.kind != "classifier":
+        raise ValueError(
+            f"deployment {name!r} is {dep.kind}; regeneration needs a "
+            "classifier deployment"
+        )
+    serving_dim = dep.min_dim if serving_dim is None else int(serving_dim)
+    plan = plan_regeneration(dep.model.model_, serving_dim)
+    composed = (plan.order if dep.dim_order is None
+                else dep.dim_order[plan.order])
+    regenerated = apply_plan(dep.model, plan)
+    new_dep = registry.swap(name, regenerated, dim_order=composed,
+                            drain=drain)
+    return new_dep, plan

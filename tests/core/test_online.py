@@ -87,3 +87,47 @@ class TestPartialFit:
         clf = AdaptiveHDClassifier(GenericEncoder(dim=DIM))
         with pytest.raises(RuntimeError):
             clf.partial_fit(X_train, y_train)
+
+    def test_encode_jobs_does_not_change_the_updates(self, toy_problem):
+        """partial_fit encodes through encode_batch: fan-out is exact."""
+        from repro.core.config import ComputeConfig
+
+        X_train, y_train, _, _ = toy_problem
+        models = []
+        for jobs in (None, 3):
+            clf = AdaptiveHDClassifier(
+                GenericEncoder(dim=DIM, seed=8), epochs=1, seed=8,
+                config=ComputeConfig(encode_jobs=jobs),
+            )
+            clf.fit(X_train[:60], y_train[:60])
+            clf.partial_fit(X_train[60:], y_train[60:])
+            models.append(clf.model_.copy())
+        assert np.array_equal(models[0], models[1])
+
+    def test_partial_fit_emits_train_span(self, toy_problem):
+        from repro.obs import trace as obs_trace
+        from repro.obs.export import CollectorSink
+
+        X_train, y_train, _, _ = toy_problem
+        clf = AdaptiveHDClassifier(GenericEncoder(dim=DIM, seed=9),
+                                   epochs=1, seed=9)
+        clf.fit(X_train, y_train)
+        sink = CollectorSink()
+        obs_trace.enable_tracing(sink)
+        try:
+            clf.partial_fit(X_train[:40], y_train[:40])
+        finally:
+            obs_trace.reset()
+        spans = [s for s in sink.spans if s["name"] == "train.partial_fit"]
+        assert len(spans) == 1
+        attrs = spans[0]["attrs"]
+        assert attrs["rule"] == "adaptive"
+        assert attrs["engine"] == "reference"
+        assert attrs["samples"] == 40
+        assert attrs["dim"] == DIM
+        assert attrs["epochs"] == 1
+        assert 0 <= attrs["updates"] <= 40
+        ops = spans[0]["ops"]
+        score_macs = 40 * len(clf.classes_) * DIM
+        assert ops["mul_ops"] == score_macs
+        assert ops["add_ops"] == score_macs + attrs["updates"] * 4 * DIM

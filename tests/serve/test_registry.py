@@ -1,5 +1,8 @@
 """Unit tests for deployments and the hot-swappable model registry."""
 
+import threading
+import time
+
 import numpy as np
 import pytest
 
@@ -135,3 +138,147 @@ class TestModelRegistry:
         reg.unregister("a")
         assert "a" not in reg
         reg.unregister("a")  # idempotent
+
+
+class TestSwap:
+    def test_swap_bumps_version_and_preserves_limits(self, serve_classifier):
+        reg = ModelRegistry()
+        reg.register("a", serve_classifier, min_dim=256)
+        clone = serve_classifier.with_model(serve_classifier.model_.copy())
+        dep = reg.swap("a", clone)
+        assert dep.version == 2
+        assert dep.min_dim == 256
+        assert reg.get("a") is dep
+        assert reg.swaps == 1
+
+    def test_swap_unknown_name_rejected(self, serve_classifier):
+        reg = ModelRegistry()
+        with pytest.raises(KeyError, match="register it first"):
+            reg.swap("missing", serve_classifier)
+
+    def test_swap_with_dim_order_permutes_queries(self, serve_classifier,
+                                                  serve_queries):
+        reg = ModelRegistry()
+        reg.register("a", serve_classifier)
+        before = reg.get("a").predict(serve_queries)
+        order = np.random.default_rng(0).permutation(512)
+        permuted = serve_classifier.with_model(
+            serve_classifier.model_[:, order])
+        dep = reg.swap("a", permuted, dim_order=order)
+        assert np.array_equal(dep.predict(serve_queries), before)
+
+    def test_bad_dim_order_rejected(self, serve_classifier):
+        with pytest.raises(ValueError, match="permutation"):
+            Deployment("a", serve_classifier, dim_order=np.zeros(512, int))
+        with pytest.raises(ValueError, match="permutation"):
+            Deployment("a", serve_classifier, dim_order=np.arange(100))
+
+    def test_dim_order_on_packed_rejected(self, serve_packed):
+        with pytest.raises(ValueError):
+            Deployment("a", serve_packed, dim_order=np.arange(512))
+
+    def test_engine_fallback_state_survives_swap(self, serve_classifier):
+        reg = ModelRegistry()
+        dep = reg.register("a", serve_classifier)
+        dep.fallback_engine("reference")
+        clone = serve_classifier.with_model(serve_classifier.model_.copy())
+        try:
+            new = reg.swap("a", clone)
+            # still degraded, and restore undoes it on the new deployment
+            assert new.degraded
+            assert clone.encoder.engine == "reference"
+            new.restore_engine()
+            assert not new.degraded
+        finally:
+            serve_classifier.encoder.engine = "auto"
+
+    def test_serving_tracks_inflight_and_drain(self, serve_classifier):
+        dep = Deployment("a", serve_classifier)
+        assert dep.inflight == 0
+        assert dep.wait_drained(timeout=0.1)
+        with dep.serving():
+            assert dep.inflight == 1
+            assert not dep.wait_drained(timeout=0.01)
+        assert dep.inflight == 0
+        assert dep.wait_drained(timeout=0.1)
+
+    def test_swap_with_drain_waits_for_old_version(self, serve_classifier):
+        reg = ModelRegistry()
+        old = reg.register("a", serve_classifier)
+        clone = serve_classifier.with_model(serve_classifier.model_.copy())
+        entered = threading.Event()
+        release = threading.Event()
+
+        def worker():
+            with old.serving():
+                entered.set()
+                release.wait(5.0)
+
+        t = threading.Thread(target=worker)
+        t.start()
+        assert entered.wait(5.0)
+        done = []
+        swapper = threading.Thread(
+            target=lambda: done.append(
+                reg.swap("a", clone, drain=True, drain_timeout=10.0))
+        )
+        swapper.start()
+        # the new version is visible immediately, drain only blocks return
+        deadline = time.monotonic() + 5.0
+        while reg.get("a").version != 2 and time.monotonic() < deadline:
+            time.sleep(0.005)
+        assert reg.get("a").version == 2
+        assert swapper.is_alive()  # still draining the old version
+        release.set()
+        swapper.join(5.0)
+        t.join(5.0)
+        assert not swapper.is_alive()
+        assert done and done[0].version == 2
+
+    def test_concurrent_get_and_swap_no_torn_reads(self, serve_classifier):
+        """Hammer: readers always see an internally consistent deployment."""
+        reg = ModelRegistry()
+        reg.register("a", serve_classifier)
+        stop = threading.Event()
+        failures = []
+        versions_seen = []
+
+        def swapper():
+            marker = 0
+            while not stop.is_set():
+                marker += 1
+                clone = serve_classifier.with_model(
+                    serve_classifier.model_.copy())
+                clone._marker = marker
+                dep = reg.swap("a", clone)
+                dep._expected_marker = marker
+
+        def reader():
+            last = 0
+            while not stop.is_set():
+                dep = reg.get("a")
+                with dep.serving():
+                    # consistency: the deployment's model matches the
+                    # marker stamped when that exact version was swapped
+                    marker = getattr(dep.model, "_marker", None)
+                    expected = getattr(dep, "_expected_marker", None)
+                    if marker is not None and expected is not None \
+                            and marker != expected:
+                        failures.append((marker, expected))
+                    if dep.version < last:
+                        failures.append(("version went backwards",
+                                         dep.version, last))
+                    last = dep.version
+            versions_seen.append(last)
+
+        threads = [threading.Thread(target=swapper)] + [
+            threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        time.sleep(0.5)
+        stop.set()
+        for t in threads:
+            t.join(5.0)
+        assert failures == []
+        assert reg.swaps > 0
+        assert max(versions_seen) <= reg.get("a").version

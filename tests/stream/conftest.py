@@ -1,0 +1,31 @@
+"""Fixtures for the streaming tests: a drifting stream and a model
+trained on its pre-drift head."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.datasets import make_drift_stream
+
+STREAM_DIM = 512
+PRETRAIN = 600  # samples of the pre-drift head used for the initial fit
+
+
+@pytest.fixture(scope="session")
+def drift_stream():
+    """(X, y, phase): 4 classes, prototypes fully replaced mid-stream."""
+    return make_drift_stream(
+        n_classes=4, n_features=32, n_samples=2400, seed=0,
+        drift_start=0.4, drift_end=0.6, drift_magnitude=1.0, noise=0.4,
+    )
+
+
+@pytest.fixture(scope="session")
+def stream_classifier(drift_stream):
+    """Trained on the pre-drift head only; collapses post-drift."""
+    X, y, _ = drift_stream
+    enc = GenericEncoder(dim=STREAM_DIM, num_levels=16, seed=3)
+    return HDClassifier(enc, epochs=4, seed=3).fit(X[:PRETRAIN], y[:PRETRAIN])

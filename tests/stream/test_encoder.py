@@ -1,0 +1,156 @@
+"""Streaming encoder: bounded memory, chunking, bit-identity."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.encoders import GenericEncoder
+from repro.stream import RangeReservoir, StreamingEncoder
+
+
+class TestRangeReservoir:
+    def test_exact_min_max(self, rng):
+        res = RangeReservoir(size=64, seed=0)
+        v = rng.normal(size=5000)
+        res.offer(v)
+        assert res.range() == (float(v.min()), float(v.max()))
+
+    def test_memory_stays_bounded(self, rng):
+        res = RangeReservoir(size=32, seed=0)
+        for _ in range(50):
+            res.offer(rng.normal(size=1000))
+        assert res.filled == 32
+        assert res.seen == 50_000
+
+    def test_quantile_range_inside_extremes(self, rng):
+        res = RangeReservoir(size=2048, seed=1)
+        res.offer(rng.normal(size=20_000))
+        lo, hi = res.range(quantile=0.05)
+        full_lo, full_hi = res.range()
+        assert full_lo < lo < hi < full_hi
+
+    def test_reservoir_tracks_distribution(self):
+        # after a long uniform stream, reservoir quantiles approximate it
+        gen = np.random.default_rng(2)
+        res = RangeReservoir(size=2048, seed=2)
+        for _ in range(20):
+            res.offer(gen.uniform(0.0, 10.0, size=5000))
+        lo, hi = res.range(quantile=0.1)
+        assert lo == pytest.approx(1.0, abs=0.35)
+        assert hi == pytest.approx(9.0, abs=0.35)
+
+    def test_empty_rejected(self):
+        with pytest.raises(RuntimeError):
+            RangeReservoir(size=8).range()
+        with pytest.raises(ValueError):
+            RangeReservoir(size=1)
+
+
+class TestStreamingEncoder:
+    @pytest.fixture
+    def fitted(self, drift_stream):
+        X, _, _ = drift_stream
+        enc = GenericEncoder(dim=256, num_levels=16, seed=5)
+        enc.fit(X[:200])
+        return enc, X
+
+    def test_push_buffers_until_chunk(self, fitted):
+        enc, X = fitted
+        se = StreamingEncoder(enc, chunk_size=16)
+        for i in range(15):
+            assert se.push(X[i]) is None
+        out = se.push(X[15])
+        assert out is not None and len(out) == 16
+        assert se.buffered == 0
+
+    def test_push_flush_concat_is_bit_identical(self, fitted):
+        enc, X = fitted
+        block = X[:100]
+        se = StreamingEncoder(enc, chunk_size=17)
+        parts = [se.push(row) for row in block]
+        parts.append(se.flush())
+        streamed = np.concatenate([p for p in parts if p is not None])
+        assert np.array_equal(streamed, enc.encode_batch(block))
+
+    def test_encode_matches_one_shot(self, fitted):
+        enc, X = fitted
+        for chunk in (1, 7, 64, 1000):
+            se = StreamingEncoder(enc, chunk_size=chunk)
+            assert np.array_equal(se.encode(X[:150]), enc.encode_batch(X[:150]))
+
+    def test_encode_stream_generator(self, fitted):
+        enc, X = fitted
+        se = StreamingEncoder(enc, chunk_size=32)
+        chunks = list(se.encode_stream(iter(X[:100])))
+        assert [len(c) for c in chunks] == [32, 32, 32, 4]
+        assert np.array_equal(np.concatenate(chunks), enc.encode_batch(X[:100]))
+
+    def test_warmup_fits_unfitted_encoder(self, drift_stream):
+        X, _, _ = drift_stream
+        enc = GenericEncoder(dim=256, num_levels=16, seed=6)
+        se = StreamingEncoder(enc, chunk_size=8, warmup=40)
+        out = None
+        for i, row in enumerate(X):
+            out = se.push(row)
+            if out is not None:
+                break
+        assert enc.fitted
+        assert i == 39 and len(out) == 40  # warmup buffer became chunk one
+
+    def test_encode_unfitted_needs_warmup_rows(self, drift_stream):
+        X, _, _ = drift_stream
+        enc = GenericEncoder(dim=256, num_levels=16, seed=6)
+        se = StreamingEncoder(enc, chunk_size=8, warmup=64)
+        with pytest.raises(RuntimeError, match="warmup"):
+            se.encode(X[:10])
+        se.encode(X[:64])  # enough rows: fits then encodes
+        assert enc.fitted
+
+    def test_adapt_range_refits_on_scale_shift(self, fitted):
+        enc, X = fitted
+        lo0, hi0 = float(enc.quantizer.lo), float(enc.quantizer.hi)
+        try:
+            se = StreamingEncoder(enc, chunk_size=32, adapt_range=True)
+            se.encode(X[:64] * 10.0)  # scale drift: range estimate moves
+            assert se.range_refits >= 1
+            assert float(enc.quantizer.hi) > hi0
+        finally:  # session-scoped source data; restore the quantizer
+            enc.quantizer.lo = np.asarray(lo0)
+            enc.quantizer.hi = np.asarray(hi0)
+
+    def test_frozen_range_never_refits(self, fitted):
+        enc, X = fitted
+        se = StreamingEncoder(enc, chunk_size=32, adapt_range=False)
+        se.encode(X[:64] * 10.0)
+        assert se.range_refits == 0
+
+    def test_stats_counters(self, fitted):
+        enc, X = fitted
+        se = StreamingEncoder(enc, chunk_size=10)
+        se.encode(X[:25])
+        s = se.stats()
+        assert s["samples_seen"] == 25
+        assert s["chunks_flushed"] == 3
+        assert s["buffered"] == 0
+
+    def test_bad_chunk_size(self, fitted):
+        enc, _ = fitted
+        with pytest.raises(ValueError):
+            StreamingEncoder(enc, chunk_size=0)
+
+    @settings(max_examples=25, deadline=None)
+    @given(
+        chunk=st.integers(min_value=1, max_value=40),
+        n=st.integers(min_value=1, max_value=90),
+        seed=st.integers(min_value=0, max_value=5),
+    )
+    def test_property_chunked_equals_one_shot(self, chunk, n, seed):
+        """For any chunk size, streaming output == one-shot encode_batch."""
+        gen = np.random.default_rng(seed)
+        X_fit = gen.normal(size=(64, 12))
+        X = gen.normal(size=(n, 12))
+        enc = GenericEncoder(dim=128, num_levels=8, seed=seed)
+        enc.fit(X_fit)
+        se = StreamingEncoder(enc, chunk_size=chunk)
+        assert np.array_equal(se.encode(X), enc.encode_batch(X))

@@ -1,0 +1,107 @@
+"""Dimension regeneration: scoring, exactness, serving integration."""
+
+import numpy as np
+import pytest
+
+from repro.core.packed import PackedModel
+from repro.serve.registry import ModelRegistry
+from repro.stream import (
+    apply_plan,
+    dimension_scores,
+    plan_regeneration,
+    regenerate_deployment,
+)
+
+
+class TestScoring:
+    def test_scores_shape_and_sign(self, stream_classifier):
+        s = dimension_scores(stream_classifier.model_)
+        assert s.shape == (stream_classifier.encoder.dim,)
+        assert (s >= 0).all() and s.max() > 0
+
+    def test_constant_dimension_scores_zero(self):
+        # equal-norm rows differing only in dim 2: it alone separates
+        m = np.ones((3, 4))
+        m[:, 2] = [1.0, -1.0, 1.0]
+        s = dimension_scores(m)
+        assert s[2] == s.max() > 0
+        assert s[0] == s[1] == s[3] == 0.0
+
+    def test_needs_two_classes(self):
+        with pytest.raises(ValueError):
+            dimension_scores(np.ones((1, 8)))
+
+
+class TestPlan:
+    def test_order_is_permutation_and_mass_improves(self, stream_classifier):
+        plan = plan_regeneration(stream_classifier.model_, serving_dim=128)
+        dim = stream_classifier.encoder.dim
+        assert np.array_equal(np.sort(plan.order), np.arange(dim))
+        assert plan.prefix_mass_after >= plan.prefix_mass_before
+        assert plan.gain == pytest.approx(
+            plan.prefix_mass_after - plan.prefix_mass_before)
+        # top-scored dims fill the prefix: mass after is the best possible
+        s = plan.scores
+        assert plan.prefix_mass_after == pytest.approx(
+            np.sort(s)[::-1][:128].sum() / s.sum())
+
+    def test_serving_dim_validated(self, stream_classifier):
+        with pytest.raises(ValueError):
+            plan_regeneration(stream_classifier.model_, serving_dim=0)
+        with pytest.raises(ValueError):
+            plan_regeneration(stream_classifier.model_, serving_dim=10_000)
+
+    def test_apply_plan_full_dim_predictions_identical(
+            self, stream_classifier, drift_stream):
+        X, _, _ = drift_stream
+        plan = plan_regeneration(stream_classifier.model_, serving_dim=128)
+        permuted = apply_plan(stream_classifier, plan)
+        enc = stream_classifier.encoder.encode_batch(X[:150])
+        enc = np.asarray(enc, dtype=np.float64)
+        assert np.array_equal(
+            stream_classifier.predict_encoded(enc),
+            permuted.predict_encoded(enc[:, plan.order]),
+        )
+
+    def test_norms_rebuilt_for_new_layout(self, stream_classifier):
+        plan = plan_regeneration(stream_classifier.model_, serving_dim=128)
+        permuted = apply_plan(stream_classifier, plan)
+        assert np.allclose(permuted.norms_.full_norm2(),
+                           (permuted.model_ ** 2).sum(axis=1))
+
+
+class TestServingIntegration:
+    def test_regenerate_swaps_a_new_version(self, stream_classifier,
+                                            drift_stream):
+        X, y, _ = drift_stream
+        reg = ModelRegistry()
+        reg.register("m", stream_classifier, min_dim=128)
+        before_full = reg.get("m").predict(X[:200])
+        dep, plan = regenerate_deployment(reg, "m")
+        assert dep.version == 2
+        assert dep.dim_order is not None
+        # full-dim predictions are bit-identical through the deployment
+        assert np.array_equal(dep.predict(X[:200]), before_full)
+        # the regenerated prefix is at least as accurate as the naive one
+        naive = np.mean(stream_classifier.predict(X[:600], dim=128) == y[:600])
+        regen = np.mean(dep.predict(X[:600], dim=128) == y[:600])
+        assert regen >= naive
+
+    def test_repeated_regeneration_composes(self, stream_classifier,
+                                            drift_stream):
+        X, _, _ = drift_stream
+        reg = ModelRegistry()
+        reg.register("m", stream_classifier, min_dim=128)
+        before = reg.get("m").predict(X[:100])
+        regenerate_deployment(reg, "m", serving_dim=128)
+        dep, _ = regenerate_deployment(reg, "m", serving_dim=256)
+        assert dep.version == 3
+        dim = stream_classifier.encoder.dim
+        assert np.array_equal(np.sort(dep.dim_order), np.arange(dim))
+        assert np.array_equal(dep.predict(X[:100]), before)
+
+    def test_packed_deployment_rejected(self, stream_classifier):
+        reg = ModelRegistry()
+        reg.register("m", PackedModel.from_classifier(stream_classifier))
+        with pytest.raises(ValueError, match="classifier"):
+            regenerate_deployment(reg, "m")
