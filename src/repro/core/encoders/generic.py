@@ -82,6 +82,22 @@ class GenericEncoder(Encoder):
     def _resolved_engine(self) -> str:
         return "reference" if self._engine == "reference" else "packed"
 
+    def __getstate__(self):
+        """Pickle without the packed kernel.
+
+        The kernel's uint64 tables are derived data (rebuilt on demand
+        by :meth:`_current_kernel`), and ``_kernel_sources`` holds raw
+        references to the level/id arrays -- carrying either through a
+        pickle would duplicate megabytes of tables or, worse, alias
+        arrays the unpickled copy no longer owns (e.g. shared-memory
+        views, see :meth:`PackedModel.to_shared
+        <repro.core.packed.PackedModel.to_shared>`).
+        """
+        state = self.__dict__.copy()
+        state["_kernel"] = None
+        state.pop("_kernel_sources", None)
+        return state
+
     def _engine_label(self) -> str:
         return self._resolved_engine()
 

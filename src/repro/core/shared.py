@@ -1,0 +1,307 @@
+"""Zero-copy model images in POSIX shared memory.
+
+The process-sharded serving layer (:mod:`repro.serve.sharded`) moves
+inference workers out of the GIL into separate processes.  Naively that
+means every worker unpickles its own copy of the model -- for a packed
+GENERIC model the big payloads are the ``rho^j(levels)`` uint64 kernel
+tables, the packed class words and the level/id tables, and N workers
+paying N copies is exactly the copy-on-write bloat the paper's "memory
+reuse" trick exists to avoid.  Instead the parent publishes the arrays
+**once** into a :mod:`multiprocessing.shared_memory` segment and every
+worker maps them back as read-only NumPy views: no per-worker pickle of
+the tables, no write faults, one physical copy of the model for the
+whole fleet.
+
+Two pieces:
+
+- :class:`SharedImageSpec` -- a small picklable description of one
+  published segment (array table + a caller-supplied ``meta`` blob,
+  typically the pickled model skeleton with its big arrays stripped).
+  This is what travels to worker processes.
+- :class:`SharedModelArena` -- the one place segment lifecycle lives.
+  Publishers :meth:`~SharedModelArena.publish` arrays and eventually
+  :meth:`~SharedModelArena.unlink`; consumers
+  :meth:`~SharedModelArena.attach` and :meth:`~SharedModelArena.detach`.
+  The arena is a context manager and registers an ``atexit`` hook, so
+  tests and benches cannot leak ``/dev/shm`` segments even on abnormal
+  exits.
+
+The epoch-based hot-swap protocol of the sharded server builds directly
+on this: a new model version is a *new* segment (fresh
+:class:`SharedImageSpec` with a bumped ``epoch``); workers attach the
+new image, ack, and only then does the publisher unlink the old one.
+"""
+
+from __future__ import annotations
+
+import atexit
+import os
+import pickle
+import threading
+import weakref
+from dataclasses import dataclass, field
+from multiprocessing import shared_memory
+from typing import Dict, Optional, Tuple
+
+import numpy as np
+
+__all__ = ["SharedArraySpec", "SharedImageSpec", "SharedModelArena"]
+
+#: byte alignment of each array inside a segment (cache-line friendly)
+_ALIGN = 64
+
+#: distinguishes arenas within one process so two publishers with the
+#: same prefix (e.g. two servers in one test process) never collide
+_ARENA_IDS = iter(range(1, 1 << 62))
+
+
+def _aligned(offset: int) -> int:
+    return (offset + _ALIGN - 1) // _ALIGN * _ALIGN
+
+
+@dataclass(frozen=True)
+class SharedArraySpec:
+    """Where one array lives inside a shared segment."""
+
+    key: str
+    dtype: str
+    shape: Tuple[int, ...]
+    offset: int
+    nbytes: int
+
+
+@dataclass(frozen=True)
+class SharedImageSpec:
+    """A picklable handle to one published model image.
+
+    ``meta`` is an opaque caller payload -- :meth:`PackedModel.to_shared
+    <repro.core.packed.PackedModel.to_shared>` stores the pickled model
+    skeleton there.  ``epoch`` orders successive images of the same
+    logical model for the sharded server's swap protocol.
+    """
+
+    segment: str
+    size: int
+    arrays: Tuple[SharedArraySpec, ...]
+    meta: bytes = b""
+    epoch: int = 0
+
+    def array_table(self) -> Dict[str, SharedArraySpec]:
+        return {spec.key: spec for spec in self.arrays}
+
+    @property
+    def payload_bytes(self) -> int:
+        """Bytes of array data in the image (excluding alignment pad)."""
+        return sum(spec.nbytes for spec in self.arrays)
+
+
+def _attach_untracked(name: str) -> shared_memory.SharedMemory:
+    """Attach to a segment without resource-tracker registration.
+
+    On POSIX, CPython < 3.13 registers *every* ``SharedMemory`` --
+    including plain attaches -- with the resource tracker, which then
+    unlinks the segment when the registering process exits.  A worker
+    that merely mapped the model must never destroy it for everyone
+    else (and N workers unregistering the same name floods the tracker
+    with KeyErrors), so consumer attaches suppress registration
+    entirely: lifecycle belongs to the publishing arena.
+    """
+    try:  # pragma: no cover - depends on interpreter internals
+        from multiprocessing import resource_tracker
+
+        orig = resource_tracker.register
+        resource_tracker.register = lambda *a, **k: None
+    except Exception:
+        return shared_memory.SharedMemory(name=name)
+    try:
+        return shared_memory.SharedMemory(name=name)
+    finally:
+        resource_tracker.register = orig
+
+
+class SharedModelArena:
+    """Owns the lifecycle of shared-memory model segments.
+
+    One arena per role: the sharded server holds a *publisher* arena
+    (``publish`` / ``unlink``), each worker process holds a *consumer*
+    arena (``attach`` / ``detach``).  Either way, ``close_all`` -- run
+    by ``__exit__`` and by an ``atexit`` hook -- releases every mapping
+    and unlinks every segment this arena created, so no code path can
+    strand a ``/dev/shm`` entry.
+    """
+
+    def __init__(self, prefix: str = "repro"):
+        self.prefix = f"{prefix}_{os.getpid()}a{next(_ARENA_IDS)}"
+        self._lock = threading.Lock()
+        self._owned: Dict[str, shared_memory.SharedMemory] = {}
+        self._attached: Dict[str, shared_memory.SharedMemory] = {}
+        self._serial = 0
+        # a weakref-based atexit hook: the arena stays collectable, but
+        # a live arena at interpreter exit always cleans up after itself
+        self._atexit = _arena_atexit(weakref.ref(self))
+        atexit.register(self._atexit)
+
+    # -- publisher side ------------------------------------------------------
+
+    def publish(self, arrays: Dict[str, np.ndarray], meta: bytes = b"",
+                epoch: int = 0, name: Optional[str] = None) -> SharedImageSpec:
+        """Copy ``arrays`` into one fresh segment; returns its spec.
+
+        This is the single physical copy the whole worker fleet shares.
+        Arrays are laid out back to back at 64-byte alignment; ``meta``
+        rides along in the spec (not the segment) so a spec alone is
+        enough to reconstruct a model in another process.
+        """
+        specs = []
+        offset = 0
+        for key, arr in arrays.items():
+            arr = np.ascontiguousarray(arr)
+            offset = _aligned(offset)
+            specs.append(SharedArraySpec(
+                key=key, dtype=arr.dtype.str, shape=tuple(arr.shape),
+                offset=offset, nbytes=arr.nbytes,
+            ))
+            offset += arr.nbytes
+        size = max(1, offset)
+        with self._lock:
+            self._serial += 1
+            seg_name = name or f"{self.prefix}_{self._serial}"
+        shm = shared_memory.SharedMemory(name=seg_name, create=True, size=size)
+        for spec, (key, arr) in zip(specs, arrays.items()):
+            view = np.frombuffer(
+                shm.buf, dtype=np.dtype(spec.dtype),
+                count=int(np.prod(spec.shape, dtype=np.int64)),
+                offset=spec.offset,
+            ).reshape(spec.shape)
+            view[...] = np.ascontiguousarray(arr)
+            del view  # drop the exported buffer before any future close()
+        with self._lock:
+            self._owned[seg_name] = shm
+        return SharedImageSpec(segment=seg_name, size=size,
+                               arrays=tuple(specs), meta=meta, epoch=epoch)
+
+    def unlink(self, segment: str) -> None:
+        """Destroy a segment this arena published (idempotent)."""
+        with self._lock:
+            shm = self._owned.pop(segment, None)
+        if shm is None:
+            return
+        _close_quietly(shm, unlink=True)
+
+    # -- consumer side -------------------------------------------------------
+
+    def attach(self, spec: SharedImageSpec,
+               writable: bool = False) -> Dict[str, np.ndarray]:
+        """Map a published image; returns ``{key: ndarray view}``.
+
+        The views are zero-copy windows onto the shared segment and
+        default to read-only -- a worker that accidentally writes the
+        model image raises instead of silently corrupting every other
+        worker's model.  The mapping stays valid until
+        :meth:`detach`/:meth:`close_all` (keep the arena alive as long
+        as the views are in use).
+        """
+        with self._lock:
+            shm = self._attached.get(spec.segment)
+        if shm is None:
+            shm = _attach_untracked(spec.segment)
+            with self._lock:
+                shm = self._attached.setdefault(spec.segment, shm)
+        views: Dict[str, np.ndarray] = {}
+        for aspec in spec.arrays:
+            view = np.frombuffer(
+                shm.buf, dtype=np.dtype(aspec.dtype),
+                count=int(np.prod(aspec.shape, dtype=np.int64)),
+                offset=aspec.offset,
+            ).reshape(aspec.shape)
+            if not writable:
+                view.flags.writeable = False
+            views[aspec.key] = view
+        return views
+
+    def detach(self, segment: str) -> None:
+        """Release this process's mapping of ``segment`` (idempotent).
+
+        Callers must drop their array views first; with live views the
+        close is deferred to garbage collection instead of raising.
+        """
+        with self._lock:
+            shm = self._attached.pop(segment, None)
+        if shm is not None:
+            _close_quietly(shm, unlink=False)
+
+    # -- lifecycle -----------------------------------------------------------
+
+    def owned(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._owned)
+
+    def attached(self) -> Tuple[str, ...]:
+        with self._lock:
+            return tuple(self._attached)
+
+    def close_all(self) -> None:
+        """Detach every mapping and unlink every owned segment."""
+        with self._lock:
+            attached = list(self._attached.values())
+            owned = list(self._owned.values())
+            self._attached.clear()
+            self._owned.clear()
+        for shm in attached:
+            _close_quietly(shm, unlink=False)
+        for shm in owned:
+            _close_quietly(shm, unlink=True)
+
+    def __enter__(self) -> "SharedModelArena":
+        return self
+
+    def __exit__(self, *exc) -> None:
+        self.close_all()
+
+    def __del__(self):  # pragma: no cover - GC timing dependent
+        try:
+            self.close_all()
+        except Exception:
+            pass
+
+
+def _close_quietly(shm: shared_memory.SharedMemory, unlink: bool) -> None:
+    try:
+        shm.close()
+    except BufferError:
+        # live numpy views still export the buffer; the mapping dies
+        # with the process (unlink below still works -- POSIX keeps the
+        # segment until the last mapping goes away).  Neuter close() so
+        # SharedMemory.__del__ does not spray "Exception ignored"
+        # BufferErrors at interpreter shutdown.
+        shm.close = lambda: None  # type: ignore[method-assign]
+    if unlink:
+        try:
+            shm.unlink()
+        except FileNotFoundError:
+            pass
+        except Exception:  # pragma: no cover - platform specific
+            pass
+
+
+def _arena_atexit(ref: "weakref.ref[SharedModelArena]"):
+    """An atexit callable that does not pin the arena in memory."""
+
+    def _cleanup() -> None:
+        arena = ref()
+        if arena is not None:
+            try:
+                arena.close_all()
+            except Exception:  # pragma: no cover - exit-time best effort
+                pass
+
+    return _cleanup
+
+
+def dump_meta(obj: object) -> bytes:
+    """Pickle a model skeleton for :attr:`SharedImageSpec.meta`."""
+    return pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+
+
+def load_meta(blob: bytes) -> object:
+    return pickle.loads(blob)

@@ -68,6 +68,16 @@ class Counter:
         with self._lock:
             return self._value
 
+    def state(self) -> Dict[str, float]:
+        """Serializable full state (see :meth:`Registry.state`)."""
+        with self._lock:
+            return {"value": self._value}
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        """Replace this instrument's state with a serialized one."""
+        with self._lock:
+            self._value = int(state["value"])
+
 
 class Gauge:
     """A point-in-time value (queue depth, shed level); tracks its max."""
@@ -101,6 +111,15 @@ class Gauge:
     def max(self) -> float:
         with self._lock:
             return self._max
+
+    def state(self) -> Dict[str, float]:
+        with self._lock:
+            return {"value": self._value, "max": self._max}
+
+    def load_state(self, state: Dict[str, float]) -> None:
+        with self._lock:
+            self._value = float(state["value"])
+            self._max = float(state.get("max", self._value))
 
 
 class Histogram:
@@ -181,6 +200,28 @@ class Histogram:
             "min_s": 0.0 if self.count == 0 else self._min,
             "max_s": self._max,
         }
+
+    def state(self) -> Dict[str, object]:
+        """Full bucket state, enough to reconstruct the histogram."""
+        with self._lock:
+            return {
+                "bounds": list(self._bounds),
+                "counts": list(self._counts),
+                "count": self._count,
+                "sum": self._sum,
+                "min": None if self._count == 0 else self._min,
+                "max": self._max,
+            }
+
+    def load_state(self, state: Dict[str, object]) -> None:
+        with self._lock:
+            self._bounds = [float(b) for b in state["bounds"]]
+            self._counts = [int(c) for c in state["counts"]]
+            self._count = int(state["count"])
+            self._sum = float(state["sum"])
+            mn = state.get("min")
+            self._min = math.inf if mn is None else float(mn)
+            self._max = float(state["max"])
 
 
 # -- families ----------------------------------------------------------------
@@ -362,6 +403,61 @@ class Registry:
                 else:
                     section[cname] = child.snapshot()
         return out
+
+    # -- cross-process aggregation -------------------------------------------
+
+    def state(self) -> Dict[str, object]:
+        """Full serializable state of every family and child.
+
+        Unlike :meth:`snapshot` (a human/JSON summary), ``state``
+        round-trips exactly: histogram bucket counts travel whole, so a
+        parent process can :meth:`absorb_state` a worker's registry and
+        still answer percentile queries.  Used by the sharded serving
+        layer, where each worker process keeps a local registry and the
+        parent periodically pulls and re-labels it.
+        """
+        fams = []
+        for fam in self.families():
+            children = [
+                {"labels": list(key), "state": child.state()}
+                for key, child in fam.children()
+            ]
+            fams.append({
+                "name": fam.name, "kind": fam.kind, "help": fam.help,
+                "label_names": list(fam.label_names), "children": children,
+            })
+        return {"namespace": self.namespace, "families": fams}
+
+    def absorb_state(self, state: Dict[str, object],
+                     extra_labels: Optional[Dict[str, str]] = None) -> None:
+        """Merge another registry's :meth:`state` into this one.
+
+        ``extra_labels`` (e.g. ``{"shard": "2"}``) are appended as
+        label dimensions, keeping each source process's series
+        distinct.  Semantics are **replacement**, not accumulation: a
+        child series from the source overwrites the same-labeled child
+        here, so absorbing successive snapshots from a live worker is
+        idempotent and never double-counts.
+        """
+        extra = {k: str(v) for k, v in (extra_labels or {}).items()}
+        extra_names = tuple(extra)
+        extra_values = tuple(extra.values())
+        cls_by_kind = {"counter": CounterFamily, "gauge": GaugeFamily,
+                       "histogram": HistogramFamily}
+        for fstate in state.get("families", []):
+            cls = cls_by_kind[fstate["kind"]]
+            label_names = tuple(fstate.get("label_names", ())) + extra_names
+            fam = self._get_or_create(
+                cls, fstate["name"], fstate.get("help", ""), label_names
+            )
+            for cstate in fstate.get("children", []):
+                key = tuple(str(v) for v in cstate["labels"]) + extra_values
+                with fam._lock:
+                    child = fam._children.get(key)
+                    if child is None:
+                        child = fam._child_cls(**fam._child_kwargs)
+                        fam._children[key] = child
+                child.load_state(cstate["state"])
 
     def render_prometheus(self) -> str:
         """Prometheus text-format exposition of every family.

@@ -51,6 +51,7 @@ from repro.serve.resilience import (
     RetryScheduler,
 )
 from repro.serve.server import InferenceServer, ServeConfig
+from repro.serve.sharded import ShardedServeConfig, ShardedServer, ShardRouter
 from repro.serve.workers import Prediction, WorkerPool
 
 __all__ = [
@@ -81,6 +82,9 @@ __all__ = [
     "RetryScheduler",
     "ServeConfig",
     "ServeError",
+    "ShardRouter",
+    "ShardedServeConfig",
+    "ShardedServer",
     "SlidingWindow",
     "WorkerError",
     "WorkerKilled",

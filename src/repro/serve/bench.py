@@ -20,6 +20,7 @@ from __future__ import annotations
 import argparse
 import dataclasses
 import json
+import os
 import sys
 import time
 from typing import Dict, List, Optional, Sequence
@@ -70,6 +71,38 @@ def train_model(
     return PackedModel.from_classifier(clf) if packed else clf
 
 
+def worker_utilization(server, span_s: float) -> Dict:
+    """Per-worker busy fraction over a ``span_s`` window (duck-typed).
+
+    Works against both serving backends: the thread
+    :class:`~repro.serve.server.InferenceServer` exposes
+    ``workers.worker_utilization()``; the process
+    :class:`~repro.serve.sharded.ShardedServer` ships per-shard
+    ``busy_seconds``/``served`` in its worker stats.  Utilization is
+    busy-time divided by the measurement span, so 1.0 means a worker
+    never sat idle during the load point.
+    """
+    busy: List[float] = []
+    served: List[int] = []
+    pool = getattr(server, "workers", None)
+    if pool is not None and hasattr(pool, "worker_utilization"):
+        util = pool.worker_utilization()
+        busy = list(util.get("busy_seconds", []))
+        served = list(util.get("served", []))
+    elif hasattr(server, "shard_stats"):
+        for _, payload in sorted(server.shard_stats().items()):
+            busy.append(float(payload.get("busy_seconds", 0.0)))
+            served.append(int(payload.get("served", 0)))
+    if not busy:
+        return {}
+    span = max(span_s, 1e-9)
+    return {
+        "busy_seconds": [round(b, 6) for b in busy],
+        "served": served,
+        "utilization": [round(b / span, 4) for b in busy],
+    }
+
+
 def run_load_point(
     server: InferenceServer,
     queries: np.ndarray,
@@ -118,6 +151,7 @@ def run_load_point(
 
     lat = np.asarray(latencies) if latencies else np.asarray([0.0])
     completed = len(latencies)
+    span = max(t_done - t_start, 1e-9)
     return {
         "offered_rate_rps": rate,
         "n_requests": n_requests,
@@ -125,7 +159,9 @@ def run_load_point(
         "rejected": rejected,
         "errors": errors,
         "late_submissions": late,
-        "achieved_throughput_rps": completed / max(t_done - t_start, 1e-9),
+        "achieved_throughput_rps": completed / span,
+        "rps_per_core": completed / span / max(os.cpu_count() or 1, 1),
+        "workers": worker_utilization(server, span),
         "offered_span_s": offered_span,
         "latency_ms": {
             "mean": float(lat.mean() * 1e3),

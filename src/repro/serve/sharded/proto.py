@@ -1,0 +1,87 @@
+"""Wire protocol between the sharded server and its worker processes.
+
+Messages are plain tuples (cheap to pickle through ``mp.Queue``) whose
+first element is one of the kind constants below.  Everything that
+crosses the boundary is either a scalar, a NumPy array, or a picklable
+spec (:class:`~repro.core.shared.SharedImageSpec`,
+:class:`~repro.hardware.faultspec.FaultSpec`) -- never a live model:
+models travel as shared-memory image specs and are mapped zero-copy on
+the other side.
+
+Ordering is the protocol's backbone: each shard has its own FIFO task
+queue fed by the parent, and a worker answers strictly in the order it
+receives.  That is what makes the epoch swap safe -- by the time a
+shard acks a :data:`SWAP`, every batch the parent enqueued *before* the
+swap has already been answered, so once all shards ack, nothing can
+still be reading the old segment and the parent may unlink it.
+
+Parent -> worker::
+
+    (DEPLOY, name, image_spec)                install/replace a model
+    (SWAP, name, image_spec, ack_seq)         flip to a new epoch, ack
+    (PREDICT, seq, name, X, dim, fault_draw)  full encode+search batch
+    (ENCODE, seq, name, X)                    encode stage only
+    (SEARCH, seq, name, query_words, dim, k)  top-k over the shard's rows
+    (ENGINE, name, engine_or_None)            degradation tier-1 toggle
+    (STATS, seq)                              metrics/RSS snapshot
+    (STOP,)                                   exit the worker loop
+
+Worker -> parent (one shared result queue)::
+
+    (shard_id, OK, seq, payload)      payload depends on request kind
+    (shard_id, ERR, seq, err_dict)    structured ServeError.to_dict()
+    (shard_id, ACK, ack_seq, name)    swap acknowledged
+    (shard_id, STATS_R, seq, stats)   registry state + process gauges
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+# parent -> worker kinds
+DEPLOY = "deploy"
+SWAP = "swap"
+PREDICT = "predict"
+ENCODE = "encode"
+SEARCH = "search"
+ENGINE = "engine"
+STATS = "stats"
+STOP = "stop"
+
+# worker -> parent kinds
+OK = "ok"
+ERR = "err"
+ACK = "ack"
+STATS_R = "stats_r"
+
+
+@dataclass
+class PendingBatch:
+    """Parent-side state of one dispatched batch.
+
+    ``requests`` are the live :class:`~repro.serve.queue.Request`
+    objects whose futures this batch resolves.  For partition mode the
+    batch goes through two phases (encode on one shard, then a top-k
+    broadcast) and ``await_shards`` / ``partials`` track the scatter;
+    replica mode resolves in one hop.  ``dead`` marks a batch that was
+    already failed/retried (e.g. its shard crashed) so straggling
+    responses for the same seq are dropped instead of double-resolving.
+    """
+
+    seq: int
+    model: str
+    requests: List[object]
+    dim: int
+    shed_level: int
+    #: deployment version at dispatch time -- FIFO queues guarantee a
+    #: pre-swap batch is served by the pre-swap model, so this (not the
+    #: resolve-time registry version) is what the prediction must carry
+    version: int = 0
+    shard: Optional[int] = None          # replica mode / encode phase
+    t_dispatch: float = 0.0
+    phase: str = PREDICT                 # PREDICT | ENCODE | SEARCH
+    query_words: Optional[object] = None
+    await_shards: Tuple[int, ...] = ()
+    partials: Dict[int, object] = field(default_factory=dict)
+    dead: bool = False

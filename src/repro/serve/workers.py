@@ -73,6 +73,8 @@ class Prediction:
     latency: float
     #: retries burned before this answer (0 = served first try)
     attempts: int = 0
+    #: shard process that served the request (None on the thread server)
+    shard: Optional[int] = None
 
 
 class WorkerPool:
@@ -118,6 +120,11 @@ class WorkerPool:
         self._supervisor: Optional[threading.Thread] = None
         self._stop = threading.Event()
         self.worker_restarts = 0
+        # per-worker utilization accounting (busy seconds / batches
+        # served), so the bench can report how evenly load spreads
+        self._util_lock = threading.Lock()
+        self._busy_seconds = [0.0] * n_workers
+        self._served_by_worker = [0] * n_workers
 
     # -- lifecycle ----------------------------------------------------------
 
@@ -207,7 +214,23 @@ class WorkerPool:
             self.metrics.gauge("shed_level").set(level)
             self.metrics.gauge("queue_depth").set(self.batcher.queue.depth())
 
+    def worker_utilization(self) -> Dict[str, List[float]]:
+        """Per-worker busy time and served-request counts (snapshot)."""
+        with self._util_lock:
+            return {"busy_seconds": list(self._busy_seconds),
+                    "served": list(self._served_by_worker)}
+
     def _serve_batch(self, worker_id: int, batch: List[Request]) -> None:
+        t_batch = time.monotonic()
+        try:
+            self._serve_batch_inner(worker_id, batch)
+        finally:
+            with self._util_lock:
+                self._busy_seconds[worker_id] += time.monotonic() - t_batch
+                self._served_by_worker[worker_id] += len(batch)
+
+    def _serve_batch_inner(self, worker_id: int,
+                           batch: List[Request]) -> None:
         self.metrics.histogram("batch_size").record(len(batch))
         by_model: Dict[str, List[Request]] = {}
         for req in batch:

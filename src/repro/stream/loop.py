@@ -26,6 +26,15 @@ Telemetry: ``stream_drift_score`` and ``stream_model_version`` gauges,
 ``stream_chunks`` / ``stream_regens`` counters on the server's metrics
 hub, plus the ``stream.chunk`` / ``stream.retrain`` / ``stream.swap``
 trace spans emitted by the components.
+
+The loop is duck-typed over the serving backend: a
+:class:`~repro.serve.sharded.ShardedServer` works as a drop-in
+``server`` (same ``registry`` / ``swap(drain=...)`` / ``metrics`` /
+``ladder`` surface).  Sharded deployments are always bit-packed, so a
+retrain swap rides the epoch-based shared-memory protocol (publish new
+segment, all-shard ack, unlink old), and dimension regeneration --
+which needs the classifier-kind float view -- correctly no-ops via the
+``dep.kind != "classifier"`` guard.
 """
 
 from __future__ import annotations
@@ -92,9 +101,10 @@ class StreamLoop:
     Parameters
     ----------
     server:
-        A (started or not) :class:`InferenceServer`.  The loop registers
+        A (started or not) :class:`InferenceServer` or
+        :class:`~repro.serve.sharded.ShardedServer`.  The loop registers
         ``clf`` under ``config.model_name`` if no such deployment
-        exists.
+        exists (a sharded server packs it on registration).
     clf:
         Fitted :class:`HDClassifier`; becomes the loop's *base* model.
         Retrained versions rebind this reference on every swap.

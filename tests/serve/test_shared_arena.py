@@ -1,0 +1,87 @@
+"""SharedModelArena lifecycle: publish, attach, detach, never leak."""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.core.shared import SharedModelArena
+
+pytestmark = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"),
+    reason="POSIX shared memory not available",
+)
+
+
+def _segments(prefix: str):
+    return [f for f in os.listdir("/dev/shm") if f.startswith(prefix)]
+
+
+def test_publish_attach_round_trip():
+    a = np.arange(12, dtype=np.uint64).reshape(3, 4)
+    b = np.linspace(0, 1, 7, dtype=np.float64)
+    with SharedModelArena(prefix="t_arena1") as arena:
+        spec = arena.publish({"a": a, "b": b}, meta=b"hello", epoch=3)
+        assert spec.epoch == 3
+        assert spec.meta == b"hello"
+        assert spec.payload_bytes == a.nbytes + b.nbytes
+        views = arena.attach(spec)
+        np.testing.assert_array_equal(views["a"], a)
+        np.testing.assert_array_equal(views["b"], b)
+        # 64-byte alignment of every array
+        for aspec in spec.arrays:
+            assert aspec.offset % 64 == 0
+    assert not _segments("t_arena1")
+
+
+def test_attached_views_are_read_only():
+    with SharedModelArena(prefix="t_arena2") as arena:
+        spec = arena.publish({"a": np.ones(4, dtype=np.uint64)})
+        views = arena.attach(spec)
+        with pytest.raises(ValueError):
+            views["a"][0] = 2
+        writable = arena.attach(spec, writable=True)
+        writable["a"][0] = 2
+        assert arena.attach(spec)["a"][0] == 2  # one mapping per segment
+
+
+def test_unlink_and_detach_idempotent():
+    arena = SharedModelArena(prefix="t_arena3")
+    spec = arena.publish({"a": np.zeros(2, dtype=np.uint64)})
+    assert spec.segment in arena.owned()
+    arena.unlink(spec.segment)
+    arena.unlink(spec.segment)  # no-op
+    arena.detach(spec.segment)  # never attached: no-op
+    assert not _segments("t_arena3")
+    arena.close_all()
+
+
+def test_consumer_detach_does_not_destroy_segment():
+    publisher = SharedModelArena(prefix="t_arena4")
+    consumer = SharedModelArena(prefix="t_arena4c")
+    try:
+        spec = publisher.publish({"a": np.arange(8, dtype=np.uint64)})
+        views = consumer.attach(spec)
+        np.testing.assert_array_equal(views["a"], np.arange(8))
+        del views
+        consumer.detach(spec.segment)
+        # the publisher's segment must survive a consumer detach
+        assert _segments("t_arena4")
+        again = consumer.attach(spec)
+        np.testing.assert_array_equal(again["a"], np.arange(8))
+    finally:
+        del again
+        consumer.close_all()
+        publisher.close_all()
+    assert not _segments("t_arena4")
+
+
+def test_close_all_with_live_views_defers_but_unlinks():
+    arena = SharedModelArena(prefix="t_arena5")
+    spec = arena.publish({"a": np.arange(4, dtype=np.uint64)})
+    view = arena.attach(spec)["a"]
+    arena.close_all()  # view still alive: close defers, unlink proceeds
+    assert not _segments("t_arena5")
+    assert int(view[3]) == 3  # mapping stays valid until the view dies
