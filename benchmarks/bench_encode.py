@@ -7,16 +7,32 @@ synthetic workload with both engines, verifies they are bit-identical,
 and writes samples/sec plus peak traced memory to ``BENCH_encode.json``
 so later PRs can diff the perf trajectory.
 
+Since the planner refactor each point also carries a ``planner``
+profile: the planner-lowered packed path is timed against the retained
+pre-IR monolith (:meth:`GenericPackedKernel._encode_bins_monolith`)
+and must stay bit-identical to it.  When the optional numba backend is
+importable, a ``numba`` profile per point times the JIT path against
+the reference engine.  A top-level ``approx`` profile trains a small
+prototype classifier and measures the accuracy cost and encode-time
+gain of multifold approximate encoding at 50% folds -- the degradation
+ladder's ``approx`` tier.
+
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_encode.py            # full grid
     PYTHONPATH=src python benchmarks/bench_encode.py --quick    # CI smoke
     PYTHONPATH=src python benchmarks/bench_encode.py --quick --check
 
-``--check`` exits non-zero if any point lost bit-identity or the packed
-engine failed to beat the reference engine (``--min-speedup``, default
-1.0); CI runs the quick grid with it so a kernel regression fails the
-build.
+``--check`` exits non-zero if any point lost bit-identity (engine pair
+or planner vs. monolith), the packed engine failed to beat the
+reference engine (``--min-speedup``, default 1.0), the planned path
+regressed against the monolith at ``dim >= 4096``
+(``--min-planner-ratio``, default 1.0; smaller dims are report-only --
+the fold slab is bandwidth-noise dominated there), numba ran slower
+than ``--min-numba-speedup`` x reference (only when numba is present),
+or approximate encoding cost more than ``--max-approx-drop`` accuracy
+points (default 2.0) or failed to reduce encode time.  CI runs the
+quick grid with it so a kernel regression fails the build.
 """
 
 from __future__ import annotations
@@ -42,12 +58,19 @@ FULL_GRID = [
     ("generic", 1024, 3, 256, 617),
     ("generic", 4096, 3, 256, 617),
     ("generic", 4096, 5, 256, 617),
+    ("generic", 8192, 3, 256, 617),
     ("ngram", 4096, 3, 256, 617),
 ]
 
 QUICK_GRID = [
     ("generic", 1024, 3, 96, 128),
+    # a dim >= 4096 point so the planner no-regression gate runs in CI
+    ("generic", 4096, 3, 96, 128),
 ]
+
+#: dims below this are exempt from the planner no-regression gate: the
+#: fold slab fits in cache and timings are allocator/bandwidth noise
+PLANNER_GATE_MIN_DIM = 4096
 
 ENCODER_CLASSES = {"generic": GenericEncoder, "ngram": NgramEncoder}
 
@@ -73,9 +96,63 @@ def _time_encode(encoder, X, repeats: int):
     return best, peak, out
 
 
+def _planner_profile(encoder, X, packed_out, repeats):
+    """Planned packed path vs. the retained PR 2 monolith baseline.
+
+    Both sides are re-timed here *without* tracemalloc -- the engine
+    timings above run under allocation tracing, which taxes the planned
+    path's span bookkeeping unevenly and would skew the ratio.
+    """
+    plan = encoder.encode_plan()
+    kernel = encoder._current_kernel()
+    # interleave the two sides so memory-bandwidth drift on the host
+    # hits both equally instead of biasing whichever ran later
+    encoder.encode_batch(X[: max(1, len(X) // 8)])
+    mono_out = kernel._encode_bins_monolith(encoder.quantizer.transform(X))
+    planned_seconds = mono_seconds = float("inf")
+    for _ in range(max(3, repeats)):
+        t0 = time.perf_counter()
+        encoder.encode_batch(X)
+        planned_seconds = min(planned_seconds, time.perf_counter() - t0)
+        t0 = time.perf_counter()
+        mono_out = kernel._encode_bins_monolith(
+            encoder.quantizer.transform(X)
+        )
+        mono_seconds = min(mono_seconds, time.perf_counter() - t0)
+    return {
+        "backend": plan.backend_name,
+        "fuse_pairs": bool(plan.fuse_pairs),
+        "window_block": int(plan.window_block),
+        "chunk_samples": int(plan.chunk_samples),
+        "planned_seconds": round(planned_seconds, 6),
+        "monolith_seconds": round(mono_seconds, 6),
+        "planned_vs_monolith": round(mono_seconds / planned_seconds, 2),
+        "identical_to_monolith": bool(np.array_equal(packed_out, mono_out)),
+    }
+
+
+def _numba_available() -> bool:
+    from repro.core.ir import BACKENDS
+
+    return "numba-jit" in BACKENDS
+
+
+def _numba_profile(name, dim, window, X, ref_seconds, ref_out, repeats):
+    """Optional JIT backend timing (present only when numba imports)."""
+    enc = _make_encoder(name, dim, window, "numba").fit(X)
+    seconds, peak, out = _time_encode(enc, X, repeats)
+    return {
+        "seconds": round(seconds, 6),
+        "samples_per_sec": round(len(X) / seconds, 1),
+        "speedup_vs_reference": round(ref_seconds / seconds, 2),
+        "identical": bool(np.array_equal(ref_out, out)),
+    }
+
+
 def run_grid(grid, repeats: int = 3, seed: int = 7):
     rng = np.random.default_rng(seed)
     results = []
+    numba_present = _numba_available()
     for name, dim, window, n_samples, n_features in grid:
         X = rng.normal(size=(n_samples, n_features))
         point = {
@@ -86,10 +163,12 @@ def run_grid(grid, repeats: int = 3, seed: int = 7):
             "n_features": n_features,
         }
         outputs = {}
+        encoders = {}
         for engine in ("reference", "packed"):
             enc = _make_encoder(name, dim, window, engine).fit(X)
             seconds, peak, out = _time_encode(enc, X, repeats)
             outputs[engine] = out
+            encoders[engine] = enc
             point[engine] = {
                 "seconds": round(seconds, 6),
                 "samples_per_sec": round(n_samples / seconds, 1),
@@ -101,15 +180,78 @@ def run_grid(grid, repeats: int = 3, seed: int = 7):
         point["identical"] = bool(
             np.array_equal(outputs["reference"], outputs["packed"])
         )
+        point["planner"] = _planner_profile(
+            encoders["packed"], X, outputs["packed"], repeats,
+        )
+        if numba_present:
+            point["numba"] = _numba_profile(
+                name, dim, window, X, point["reference"]["seconds"],
+                outputs["reference"], repeats,
+            )
         results.append(point)
+        numba_note = (
+            f"  numba {point['numba']['speedup_vs_reference']:.2f}x-ref"
+            if numba_present else ""
+        )
         print(
             f"{name:8s} dim={dim:5d} n={window}  "
             f"ref {point['reference']['samples_per_sec']:9.1f}/s  "
             f"packed {point['packed']['samples_per_sec']:9.1f}/s  "
             f"speedup {point['speedup']:5.2f}x  "
-            f"identical={point['identical']}"
+            f"plan/mono {point['planner']['planned_vs_monolith']:5.2f}x  "
+            f"identical={point['identical']}{numba_note}"
         )
     return results
+
+
+def run_approx_profile(quick: bool, fraction: float = 0.5, seed: int = 11,
+                       repeats: int = 3):
+    """Accuracy cost and encode-time gain of 50%-fold approximation.
+
+    Trains a small prototype-dataset classifier with exact encoding,
+    then re-scores the held-out split with ``approx_folds`` set to
+    ``fraction`` of the windows -- exactly what the degradation
+    ladder's ``approx`` tier does to a live deployment.
+    """
+    from repro.core.classifier import HDClassifier
+    from repro.datasets.synthetic import make_prototype_dataset
+
+    if quick:
+        n_train, n_test, dim, epochs = 240, 120, 1024, 5
+    else:
+        n_train, n_test, dim, epochs = 480, 240, 2048, 10
+    X, y = make_prototype_dataset(
+        n_classes=6, n_features=256, n_samples=n_train + n_test, seed=seed,
+    )
+    X_tr, y_tr = X[:n_train], y[:n_train]
+    X_te, y_te = X[n_train:], y[n_train:]
+
+    enc = _make_encoder("generic", dim, 3, "packed")
+    clf = HDClassifier(enc, epochs=epochs, seed=0).fit(X_tr, y_tr)
+    acc_exact = float(clf.score(X_te, y_te))
+    t_exact, _, _ = _time_encode(enc, X_te, repeats)
+
+    folds = max(1, int(round(fraction * enc.n_windows)))
+    enc.approx_folds = folds
+    try:
+        acc_approx = float(clf.score(X_te, y_te))
+        t_approx, _, _ = _time_encode(enc, X_te, repeats)
+        bound = enc.encode_plan().error_bound
+    finally:
+        enc.approx_folds = None
+    return {
+        "fraction": fraction,
+        "folds": folds,
+        "n_windows": enc.n_windows,
+        "dim": dim,
+        "accuracy_exact": round(acc_exact, 4),
+        "accuracy_approx": round(acc_approx, 4),
+        "drop_pts": round((acc_exact - acc_approx) * 100, 2),
+        "encode_seconds_exact": round(t_exact, 6),
+        "encode_seconds_approx": round(t_approx, 6),
+        "encode_time_ratio": round(t_approx / t_exact, 3),
+        "error_bound": bound,
+    }
 
 
 def main(argv=None) -> int:
@@ -120,36 +262,89 @@ def main(argv=None) -> int:
                         help="fail if packed is slower or not bit-identical")
     parser.add_argument("--min-speedup", type=float, default=1.0,
                         help="--check threshold (default 1.0)")
+    parser.add_argument("--min-planner-ratio", type=float, default=1.0,
+                        help="--check floor for planned/monolith at "
+                             f"dim >= {PLANNER_GATE_MIN_DIM} (default 1.0)")
+    parser.add_argument("--min-numba-speedup", type=float, default=1.5,
+                        help="--check floor for numba vs reference when "
+                             "numba is installed (default 1.5)")
+    parser.add_argument("--max-approx-drop", type=float, default=2.0,
+                        help="--check ceiling for the 50%%-fold accuracy "
+                             "drop in points (default 2.0)")
     parser.add_argument("--repeats", type=int, default=3)
     parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
     args = parser.parse_args(argv)
 
     grid = QUICK_GRID if args.quick else FULL_GRID
     results = run_grid(grid, repeats=args.repeats)
+    approx = run_approx_profile(args.quick, repeats=args.repeats)
+    print(
+        f"approx@{approx['fraction']:.0%}: "
+        f"acc {approx['accuracy_exact']:.4f} -> {approx['accuracy_approx']:.4f} "
+        f"(drop {approx['drop_pts']:+.2f} pts)  "
+        f"encode time x{approx['encode_time_ratio']:.2f}"
+    )
     report = {
         "workload": "synthetic normal(0,1), num_levels=64, seed fixed",
         "profile": "quick" if args.quick else "full",
         "numpy": np.__version__,
+        "numba_backend": _numba_available(),
         "ru_maxrss_mb": round(
             resource.getrusage(resource.RUSAGE_SELF).ru_maxrss / 1024, 1
         ),
         "results": results,
+        "approx": approx,
     }
-    args.out.write_text(json.dumps(report, indent=2) + "\n")
+    args.out.write_text(json.dumps(report, indent=2, default=float) + "\n")
     print(f"wrote {args.out}")
 
     if args.check:
-        bad = [
-            r for r in results
-            if not r["identical"] or r["speedup"] < args.min_speedup
-        ]
-        for r in bad:
-            print(
-                f"CHECK FAILED: {r['encoder']} dim={r['dim']} n={r['window']} "
-                f"speedup={r['speedup']} identical={r['identical']}",
-                file=sys.stderr,
+        failures = []
+        for r in results:
+            tag = f"{r['encoder']} dim={r['dim']} n={r['window']}"
+            if not r["identical"]:
+                failures.append(f"{tag}: engines not bit-identical")
+            if r["speedup"] < args.min_speedup:
+                failures.append(
+                    f"{tag}: packed speedup {r['speedup']} "
+                    f"< {args.min_speedup}"
+                )
+            plan = r["planner"]
+            if not plan["identical_to_monolith"]:
+                failures.append(
+                    f"{tag}: planned path not bit-identical to monolith"
+                )
+            if (r["dim"] >= PLANNER_GATE_MIN_DIM
+                    and plan["planned_vs_monolith"] < args.min_planner_ratio):
+                failures.append(
+                    f"{tag}: planned/monolith {plan['planned_vs_monolith']} "
+                    f"< {args.min_planner_ratio}"
+                )
+            numba = r.get("numba")
+            if numba is not None:
+                if not numba["identical"]:
+                    failures.append(
+                        f"{tag}: numba not bit-identical to reference"
+                    )
+                if numba["speedup_vs_reference"] < args.min_numba_speedup:
+                    failures.append(
+                        f"{tag}: numba speedup "
+                        f"{numba['speedup_vs_reference']} "
+                        f"< {args.min_numba_speedup}"
+                    )
+        if approx["drop_pts"] > args.max_approx_drop:
+            failures.append(
+                f"approx: accuracy drop {approx['drop_pts']} pts "
+                f"> {args.max_approx_drop}"
             )
-        return 1 if bad else 0
+        if approx["encode_time_ratio"] >= 1.0:
+            failures.append(
+                f"approx: encode time ratio {approx['encode_time_ratio']} "
+                "did not improve on exact encoding"
+            )
+        for msg in failures:
+            print(f"CHECK FAILED: {msg}", file=sys.stderr)
+        return 1 if failures else 0
     return 0
 
 

@@ -17,7 +17,11 @@ whether any future was left hanging.
 - the chaos run's completed p99 stays inside the request deadline
   (shed-on-expiry bounds the tail instead of letting queues collapse);
 - accuracy under 1e-4 bit flips degrades <= 2 points vs the clean run
-  (the Fig. 6 claim, measured end-to-end through the server).
+  (the Fig. 6 claim, measured end-to-end through the server);
+- the degradation ladder's ``approx`` tier (tier 2: 50%-fold multifold
+  approximate encoding), exercised as its own fault-free scenario, must
+  actually engage on the deployment and cost no success rate and at
+  most the same accuracy budget.
 
 Results land in ``BENCH_resilience.json``.
 
@@ -72,8 +76,15 @@ def make_workload(dim: int, n_queries: int, seed: int):
     return clf, queries, y_q
 
 
-def run_scenario(name: str, clf, queries, y_true, chaos, seed: int):
-    """Serve every query once; report success/latency/accuracy/stats."""
+def run_scenario(name: str, clf, queries, y_true, chaos, seed: int,
+                 force_tier=None):
+    """Serve every query once; report success/latency/accuracy/stats.
+
+    ``force_tier`` pins the degradation ladder at that tier for the
+    whole run -- the ``approx`` scenario uses it to measure what the
+    multifold-approximation tier costs a caller (it must cost nothing
+    in success rate and at most noise in accuracy).
+    """
     config = ServeConfig(
         n_workers=2, max_batch=16, max_retries=4,
         default_deadline=DEADLINE_S,
@@ -83,7 +94,11 @@ def run_scenario(name: str, clf, queries, y_true, chaos, seed: int):
     t0 = time.monotonic()
     failures = {"deadline": 0, "rejected": 0, "other": 0}
     latencies, correct = [], 0
+    approx_engaged = False
     with server:
+        if force_tier is not None:
+            server.ladder.force_tier(force_tier)
+            approx_engaged = server.registry.get("bench").approx_degraded
         futures = []
         for x in queries:
             try:
@@ -105,6 +120,8 @@ def run_scenario(name: str, clf, queries, y_true, chaos, seed: int):
         hung = sum(1 for fut, submitted in futures
                    if submitted and not fut.done())
         stats = server.stats()
+        if force_tier is not None:
+            server.ladder.force_tier(0)  # undo approx for later scenarios
     wall_s = time.monotonic() - t0
 
     n = len(queries)
@@ -125,6 +142,7 @@ def run_scenario(name: str, clf, queries, y_true, chaos, seed: int):
             "p99": round(float(np.percentile(lat, 99) * 1e3), 3),
             "max": round(float(lat.max() * 1e3), 3),
         },
+        "approx_engaged": approx_engaged,
         "resilience": {
             "retries": stats["counters"].get("retries", 0),
             "deadline_expired": stats["counters"].get("deadline_expired", 0),
@@ -169,6 +187,12 @@ def main(argv=None) -> int:
 
     clean = run_scenario("clean", clf, queries, y_q, chaos=None,
                          seed=args.seed)
+    # ladder tier 2: every deployment drops to 50%-fold approximate
+    # encoding -- the quality-shedding step between engine fallback and
+    # dim shedding.  Served fault-free so the gate isolates what the
+    # approximation itself costs.
+    approx = run_scenario("approx", clf, queries, y_q, chaos=None,
+                          seed=args.seed, force_tier=2)
     chaos_policy = ChaosPolicy(
         fault_rate=args.fault_rate,
         latency_rate=0.05, latency=0.01,
@@ -190,7 +214,7 @@ def main(argv=None) -> int:
             "p99_bound_s": DEADLINE_S,
         },
         "numpy": np.__version__,
-        "scenarios": [clean, chaos],
+        "scenarios": [clean, approx, chaos],
     }
     args.out.write_text(json.dumps(report, indent=2) + "\n")
     print(f"wrote {args.out}")
@@ -202,12 +226,28 @@ def main(argv=None) -> int:
                 f"chaos success {chaos['success_rate']:.3%} < "
                 f"{args.min_success:.0%}"
             )
-        for scenario in (clean, chaos):
+        for scenario in (clean, approx, chaos):
             if scenario["hung_futures"]:
                 problems.append(
                     f"{scenario['scenario']}: "
                     f"{scenario['hung_futures']} hung futures"
                 )
+        if not approx["approx_engaged"]:
+            problems.append(
+                "approx scenario: ladder tier 2 did not engage "
+                "approximate encoding on the deployment"
+            )
+        if approx["success_rate"] < args.min_success:
+            problems.append(
+                f"approx success {approx['success_rate']:.3%} < "
+                f"{args.min_success:.0%}"
+            )
+        approx_drop = clean["accuracy"] - approx["accuracy"]
+        if approx_drop > args.max_acc_drop:
+            problems.append(
+                f"approx tier cost {approx_drop:.3f} accuracy "
+                f"(budget {args.max_acc_drop})"
+            )
         if chaos["latency_ms"]["p99"] > DEADLINE_S * 1e3:
             problems.append(
                 f"chaos p99 {chaos['latency_ms']['p99']:.1f}ms exceeds the "

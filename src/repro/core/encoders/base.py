@@ -169,11 +169,31 @@ class Encoder(ABC):
                     mul_ops=profile.mul_ops * len(X),
                     mem_bytes=profile.mem_bytes * len(X),
                 )
+                extra = self._span_attrs(len(X))
+                if extra:
+                    sp.set(**extra)
         return out
 
     def _auto_chunk(self, n: int) -> int:
-        """Chunk size keeping per-chunk intermediates within the budget."""
+        """Chunk size keeping per-chunk intermediates within the budget.
+
+        Encoders lowered onto the primitive IR size chunks from the
+        planner's per-chunk cost estimate (:meth:`_planned_chunk`);
+        everything else falls back to the local :meth:`_chunk_cost`
+        heuristic against the budget.
+        """
+        planned = self._planned_chunk()
+        if planned is not None:
+            return max(1, min(n, int(planned)))
         return max(1, min(n, _CHUNK_BUDGET // max(1, self._chunk_cost())))
+
+    def _planned_chunk(self) -> Optional[int]:
+        """Hook: the planner's samples-per-chunk, or None if unplanned."""
+        return None
+
+    def _span_attrs(self, n_samples: int) -> Dict:
+        """Hook: extra attrs for the encode span (e.g. per-primitive ops)."""
+        return {}
 
     def _chunk_cost(self) -> int:
         """Approximate bytes of encode intermediates per input sample.

@@ -13,18 +13,30 @@ Setting the ids to the binding identity (``use_ids=False``) skips global
 binding, which the paper does for order-free applications such as
 language identification.  ``n = 3`` is the paper's default.
 
-Two engines implement the construction, selectable via ``engine``:
+Execution lowers onto the primitive IR of :mod:`repro.core.ir`: the
+``engine=`` request resolves through the :class:`KernelPlanner
+<repro.core.ir.planner.KernelPlanner>` to a registered backend, and the
+cached plan decides fusion, window blocking and chunk sizing:
 
-- ``"reference"`` -- the direct bipolar-domain translation of Eq. 1:
-  ``(N, n_windows, D)`` int8 level lookups, ``np.roll`` per offset,
-  int8 multiplies.  Kept as the readable ground truth.
-- ``"packed"`` -- the bit-domain kernel of
-  :class:`~repro.core.kernels.GenericPackedKernel`: levels packed to
-  uint64 words once at fit (with per-offset permuted copies), windows
-  folded by word-wise XOR, bundling by bit-slice accumulation.
-  Bit-identical to the reference and roughly an order of magnitude
-  faster (Section 3.3's eGPU data-packing trick in software).
-- ``"auto"`` (default) resolves to ``"packed"``.
+- ``"reference"`` -- the ``numpy-reference`` backend, the direct
+  bipolar-domain translation of Eq. 1 (int8 level lookups, ``np.roll``
+  per offset, int8 multiplies).  Kept as the readable ground truth.
+- ``"packed"`` -- the ``packed-uint64`` backend over
+  :class:`~repro.core.kernels.GenericPackedKernel` tables: levels
+  packed to uint64 words once at fit (with per-offset permuted
+  copies), windows folded by word-wise XOR, bundling by bit-slice
+  accumulation.  Bit-identical to the reference and roughly an order
+  of magnitude faster (Section 3.3's eGPU data-packing trick in
+  software).
+- ``"numba"`` -- the optional ``numba-jit`` backend (fully fused
+  nopython loops); only accepted when numba is installed.
+- ``"auto"`` (default) resolves to the highest-priority available
+  backend -- ``packed`` today.
+
+``approx_folds=k`` enables SHEARer-style multifold approximate
+encoding: only ``k`` evenly spaced windows are folded and bundled, the
+plan surfaces the exact-vs-approx error bound, and ``k = n_windows``
+is bit-identical to exact encoding.
 """
 
 from __future__ import annotations
@@ -33,9 +45,9 @@ import numpy as np
 
 from repro.core.encoders.base import DEFAULT_DIM, DEFAULT_LEVELS, Encoder, OpProfile
 from repro.core.ids import SeedIdGenerator, identity_ids
-from repro.core.kernels import GenericPackedKernel
+from repro.core.kernels import GenericPackedKernel, shared_packed_kernel
 
-ENGINES = ("auto", "reference", "packed")
+ENGINES = ("auto", "reference", "packed", "numba")
 
 
 class GenericEncoder(Encoder):
@@ -52,6 +64,7 @@ class GenericEncoder(Encoder):
         use_ids: bool = True,
         level_scheme: str = "linear",
         engine: str = "auto",
+        approx_folds: int | None = None,
     ):
         super().__init__(
             dim=dim, num_levels=num_levels, seed=seed, level_scheme=level_scheme
@@ -61,6 +74,7 @@ class GenericEncoder(Encoder):
         self.window = window
         self.use_ids = use_ids
         self.engine = engine
+        self.approx_folds = approx_folds
         self.id_generator: SeedIdGenerator | None = None
         self._ids: np.ndarray | None = None
 
@@ -76,11 +90,38 @@ class GenericEncoder(Encoder):
             raise ValueError(
                 f"unknown encode engine {value!r}; choose from {ENGINES}"
             )
+        if value == "numba":
+            from repro.core.ir import BACKENDS
+
+            if "numba-jit" not in BACKENDS:
+                raise ValueError(
+                    "engine 'numba' requires the optional numba dependency "
+                    "(numba-jit backend not registered)"
+                )
         self._engine = value
         self._kernel: GenericPackedKernel | None = None
+        self._plan = None
+
+    @property
+    def approx_folds(self) -> int | None:
+        """Multifold approximation level (None = exact, fold all windows)."""
+        return self._approx_folds
+
+    @approx_folds.setter
+    def approx_folds(self, value: int | None) -> None:
+        if value is not None:
+            value = int(value)
+            if value < 1:
+                raise ValueError(f"approx_folds must be >= 1, got {value}")
+        self._approx_folds = value
+        self._plan = None
 
     def _resolved_engine(self) -> str:
-        return "reference" if self._engine == "reference" else "packed"
+        """The legacy engine label the planner resolves ``engine`` to."""
+        from repro.core.ir import BACKEND_TO_ENGINE, PLANNER
+
+        backend = PLANNER.resolve_backend(self._engine)
+        return BACKEND_TO_ENGINE.get(backend, backend)
 
     def __getstate__(self):
         """Pickle without the packed kernel.
@@ -95,6 +136,7 @@ class GenericEncoder(Encoder):
         """
         state = self.__dict__.copy()
         state["_kernel"] = None
+        state["_plan"] = None
         state.pop("_kernel_sources", None)
         return state
 
@@ -102,7 +144,9 @@ class GenericEncoder(Encoder):
         return self._resolved_engine()
 
     def _build_kernel(self) -> GenericPackedKernel:
-        kernel = GenericPackedKernel(
+        # content-hash memoized: with_model clones, re-imported models
+        # and repeated fits over the same seed share one packed table set
+        kernel = shared_packed_kernel(
             levels=self.levels.vectors,
             ids=self._ids if self.use_ids else None,
             window=self.window,
@@ -143,7 +187,8 @@ class GenericEncoder(Encoder):
         else:
             self._ids = identity_ids(n_windows, self.dim)
         self._kernel = None
-        if self._resolved_engine() == "packed":
+        self._plan = None
+        if self._resolved_engine() != "reference":
             self._build_kernel()
 
     @property
@@ -151,15 +196,52 @@ class GenericEncoder(Encoder):
         self._check_fitted()
         return self.n_features - self.window + 1
 
-    # -- encoding ---------------------------------------------------------
+    # -- encoding (lowered onto the primitive IR) --------------------------
+
+    def encode_plan(self):
+        """The cached :class:`~repro.core.ir.planner.KernelPlan`.
+
+        One plan per (encoder-fit, shape-class): the planner memoizes by
+        :class:`~repro.core.ir.planner.PlanRequest` globally, and the
+        encoder pins the resolved plan locally so the hot path never
+        re-resolves.  Invalidated by engine/approx changes and refits.
+        """
+        self._check_fitted()
+        plan = self._plan
+        if plan is None:
+            from repro.core.ir import PLANNER, PlanRequest
+
+            plan = PLANNER.plan(PlanRequest(
+                n_features=int(self.n_features),
+                window=self.window,
+                dim=self.dim,
+                num_levels=self.num_levels,
+                use_ids=self.use_ids,
+                engine=self._engine,
+                approx_folds=self._approx_folds,
+            ))
+            self._plan = plan
+        return plan
+
+    def _plan_sources(self, plan):
+        from repro.core.ir import EncodeSources
+
+        if plan.backend_name == "numpy-reference":
+            return EncodeSources(levels=self.levels.vectors, ids=self._ids)
+        return EncodeSources(kernel=self._current_kernel())
 
     def _encode_chunk(self, X: np.ndarray) -> np.ndarray:
-        if self._resolved_engine() == "packed":
-            kernel = self._current_kernel()
-            return kernel.encode_bins(self.quantizer.transform(X))
-        return self._encode_chunk_reference(X)
+        plan = self.encode_plan()
+        bins = self.quantizer.transform(X)
+        return plan.execute(self._plan_sources(plan), bins)
 
     def _encode_chunk_reference(self, X: np.ndarray) -> np.ndarray:
+        """The pre-IR direct translation of Eq. 1, kept as ground truth.
+
+        Not on the hot path anymore (the ``numpy-reference`` backend
+        executes the same math through the IR); equivalence tests pin
+        the two against each other.
+        """
         bins = self.quantizer.transform(X)
         n_win = self.n_windows
         prod = np.ones((len(X), n_win, self.dim), dtype=np.int8)
@@ -174,14 +256,25 @@ class GenericEncoder(Encoder):
     # -- cost reporting ---------------------------------------------------
 
     def _chunk_cost(self) -> int:
-        w = self.n_windows
-        if self._resolved_engine() == "packed":
-            # fold words + one gather temp, plus the int32 count rows
-            words = (self.dim + 63) // 64
-            return 2 * w * words * 8 + 4 * self.dim
-        # level gather, its rolled copy, the running product, and the
-        # bound result all materialize at (n_windows, dim) int8 scale
-        return w * self.dim * (self.window + 1)
+        """Bytes of encode intermediates per sample, from the plan."""
+        return self.encode_plan().bytes_per_sample
+
+    def _planned_chunk(self) -> int:
+        """Chunk fan-out sized by the planner's per-chunk cost estimate."""
+        return self.encode_plan().chunk_samples
+
+    def _span_attrs(self, n_samples: int) -> dict:
+        plan = self.encode_plan()
+        attrs = {
+            "backend": plan.backend_name,
+            "primitives": plan.primitive_ops(n_samples),
+        }
+        if plan.error_bound is not None:
+            attrs["approx_folds"] = plan.folds
+            attrs["approx_error_bound"] = plan.error_bound[
+                "max_abs_count_error"
+            ]
+        return attrs
 
     def _op_profile(self) -> OpProfile:
         """Logical per-sample op counts, identical for both engines.
@@ -193,18 +286,24 @@ class GenericEncoder(Encoder):
         the cross-engine test pins the two views together.
         """
         w = self.n_windows
+        # multifold approximation folds only k of the w windows; the
+        # profile stays engine-independent either way
+        k = w if self._approx_folds is None else min(self._approx_folds, w)
         # per window: (n-1) XORs fold the permuted levels, plus 1 XOR for
         # the id binding when ids are bound, and one accumulation into
         # the bundle.
         per_window = (self.window - 1) + (1 if self.use_ids else 0)
-        xors = w * per_window * self.dim
-        adds = w * self.dim
-        mem = (self.n_features + w * self.window) * self.dim // 8
+        xors = k * per_window * self.dim
+        adds = k * self.dim
+        mem = (self.n_features + k * self.window) * self.dim // 8
+        notes = {"windows": w, "window_len": self.window}
+        if k != w:
+            notes["folds"] = k
         return OpProfile(
             xor_ops=xors,
             add_ops=adds,
             mem_bytes=mem,
-            notes={"windows": w, "window_len": self.window},
+            notes=notes,
         )
 
 
@@ -227,6 +326,7 @@ class NgramEncoder(GenericEncoder):
         seed: int = 0,
         window: int = 3,
         engine: str = "auto",
+        approx_folds: int | None = None,
     ):
         super().__init__(
             dim=dim,
@@ -235,4 +335,5 @@ class NgramEncoder(GenericEncoder):
             window=window,
             use_ids=False,
             engine=engine,
+            approx_folds=approx_folds,
         )

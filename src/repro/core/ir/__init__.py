@@ -1,0 +1,82 @@
+"""Primitive IR + kernel planner for the bit-domain encode pipeline.
+
+The paper's efficiency story decomposes into a handful of bit-domain
+primitives (permute, XOR-fold, bundle, popcount-search).  This package
+makes them explicit IR nodes with shape/op-cost metadata
+(:mod:`~repro.core.ir.primitives`), executes them through pluggable
+backends in a :class:`~repro.core.ir.backends.BackendRegistry`
+(``numpy-reference``, ``packed-uint64``, optional ``numba-jit``), and
+plans fusion/chunking/approximation per shape-class in a cached
+:class:`~repro.core.ir.planner.KernelPlanner`.
+
+Typical use (encoders do this internally; callers keep passing
+``engine=``)::
+
+    from repro.core.ir import plan_encode
+
+    plan = plan_encode(n_features=28, window=3, dim=4096, num_levels=64)
+    print(plan.describe())          # every planner decision, per-primitive ops
+    counts = plan.execute(sources, bins)
+"""
+
+from repro.core.ir.primitives import (
+    ENCODE_PIPELINE,
+    Bundle,
+    Pack,
+    Permute,
+    PopcountSearch,
+    Primitive,
+    ShapeCtx,
+    Unpack,
+    XorFold,
+)
+from repro.core.ir.backends import (
+    BACKENDS,
+    BACKEND_TO_ENGINE,
+    ENGINE_TO_BACKEND,
+    Backend,
+    BackendRegistry,
+    EncodeSources,
+    NumpyReferenceBackend,
+    PackedUint64Backend,
+    autodetect_optional_backends,
+)
+from repro.core.ir.planner import (
+    PLANNER,
+    KernelPlan,
+    KernelPlanner,
+    PlanRequest,
+    plan_encode,
+    select_windows,
+)
+
+#: optional JIT backends found in this environment (e.g. ``numba-jit``)
+OPTIONAL_BACKENDS = autodetect_optional_backends()
+
+__all__ = [
+    "ENCODE_PIPELINE",
+    "Primitive",
+    "ShapeCtx",
+    "Pack",
+    "Unpack",
+    "Permute",
+    "XorFold",
+    "Bundle",
+    "PopcountSearch",
+    "Backend",
+    "BackendRegistry",
+    "BACKENDS",
+    "EncodeSources",
+    "NumpyReferenceBackend",
+    "PackedUint64Backend",
+    "ENGINE_TO_BACKEND",
+    "BACKEND_TO_ENGINE",
+    "autodetect_optional_backends",
+    "OPTIONAL_BACKENDS",
+    "KernelPlan",
+    "KernelPlanner",
+    "PlanRequest",
+    "PLANNER",
+    "plan_encode",
+    "select_windows",
+]

@@ -28,6 +28,9 @@ folding degenerates to gathers plus word-wise XOR.
 
 from __future__ import annotations
 
+import hashlib
+import threading
+from collections import OrderedDict
 from typing import Optional
 
 import numpy as np
@@ -197,12 +200,43 @@ class GenericPackedKernel:
             tables[j] = pack_bits(np.roll(level_bits, j, axis=1))
         self.tables = tables
         self.id_words = None if ids is None else pack_bipolar(ids)
+        self._pair_tables: dict = {}
+
+    @property
+    def num_levels(self) -> int:
+        return self.tables.shape[1]
+
+    def pair_table(self, j: int) -> np.ndarray:
+        """Fused adjacent-offset table ``rho^j(levels) ^ rho^{j+1}(levels)``.
+
+        Shape ``(L, L, W)``: entry ``[a, b]`` is the XOR of level ``a``
+        at offset ``j`` with level ``b`` at offset ``j+1``, so one
+        gather replaces two gathers plus a full XOR pass over the fold
+        slab.  Built lazily (only when a plan enables pair fusion) and
+        cached on the kernel; XOR associativity makes the fused fold
+        bit-identical to the unfused one.
+        """
+        if not 0 <= j < self.window - 1:
+            raise ValueError(
+                f"pair offset {j} out of range for window={self.window}"
+            )
+        # kernels assembled via __new__ (shared-memory attach) skip
+        # __init__; create the lazy cache on first use
+        cache = self.__dict__.setdefault("_pair_tables", {})
+        pair = cache.get(j)
+        if pair is None:
+            pair = self.tables[j][:, None, :] ^ self.tables[j + 1][None, :, :]
+            pair.setflags(write=False)
+            cache[j] = pair
+        return pair
 
     def nbytes(self) -> int:
-        """Packed table footprint (levels x offsets + ids)."""
+        """Packed table footprint (levels x offsets + ids + pair tables)."""
         total = self.tables.nbytes
         if self.id_words is not None:
             total += self.id_words.nbytes
+        for pair in self.__dict__.get("_pair_tables", {}).values():
+            total += pair.nbytes
         return total
 
     def op_counts(self, n_features: int, n_samples: int = 1) -> dict:
@@ -229,13 +263,7 @@ class GenericPackedKernel:
             "words": self.words,
         }
 
-    def encode_bins(self, bins: np.ndarray) -> np.ndarray:
-        """Encode quantized inputs ``(N, n_features)`` to int32 counts.
-
-        Returns the same ``(N, dim)`` int32 matrix as the reference
-        encoder: per-dimension sums of the bound window hypervectors.
-        """
-        bins = np.asarray(bins)
+    def _validate_bins(self, bins: np.ndarray) -> int:
         if bins.ndim != 2:
             raise ValueError(f"expected (N, n_features) bins, got {bins.shape}")
         n_win = bins.shape[1] - self.window + 1
@@ -247,6 +275,46 @@ class GenericPackedKernel:
             raise ValueError(
                 f"kernel packed {len(self.id_words)} ids but input needs {n_win}"
             )
+        return n_win
+
+    def encode_bins(self, bins: np.ndarray, plan=None) -> np.ndarray:
+        """Encode quantized inputs ``(N, n_features)`` to int32 counts.
+
+        Returns the same ``(N, dim)`` int32 matrix as the reference
+        encoder: per-dimension sums of the bound window hypervectors.
+        Execution lowers onto the primitive IR: the planner builds (and
+        caches) a fused :class:`~repro.core.ir.planner.KernelPlan` for
+        this shape-class and the ``packed-uint64`` backend runs it;
+        callers with a plan in hand (encoders) pass it to skip the
+        cache lookup.
+        """
+        bins = np.asarray(bins)
+        n_win = self._validate_bins(bins)
+        if plan is None:
+            from repro.core.ir import plan_encode
+
+            plan = plan_encode(
+                n_features=bins.shape[1],
+                window=self.window,
+                dim=self.dim,
+                num_levels=self.num_levels,
+                use_ids=self.id_words is not None,
+                engine="packed",
+            )
+        from repro.core.ir.backends import EncodeSources
+
+        return plan.execute(EncodeSources(kernel=self), bins)
+
+    def _encode_bins_monolith(self, bins: np.ndarray) -> np.ndarray:
+        """The pre-IR single-pass body, kept as the benchmark baseline.
+
+        ``bench_encode.py --check`` gates the planned path against this
+        exact code (bit-identity and no-regression), so the PR 2
+        behaviour stays pinned even though the hot path now runs
+        through the planner.
+        """
+        bins = np.asarray(bins)
+        n_win = self._validate_bins(bins)
         # window-major layout: bundling reduces over the leading axis and
         # every gather/XOR below runs on contiguous (N, W) slabs
         bins_t = np.ascontiguousarray(bins.T)
@@ -257,3 +325,67 @@ class GenericPackedKernel:
             fold ^= self.id_words[:n_win, None, :]
         ones = bit_slice_counts(fold)
         return (n_win - 2 * ones[:, : self.dim]).astype(np.int32)
+
+
+# -- packed-table memoization -------------------------------------------------
+# Clones created through ``with_model`` / model import / process forks
+# re-fit nothing, yet each used to re-pack the full rho^j(levels) table
+# set.  Kernels are immutable after build, so identical sources (same
+# level/id content, window, dim) can share one kernel; the cache key is
+# a content hash, not object identity, so independently constructed but
+# equal tables also hit.
+
+_KERNEL_CACHE: "OrderedDict[str, GenericPackedKernel]" = OrderedDict()
+_KERNEL_CACHE_LOCK = threading.Lock()
+_KERNEL_CACHE_SIZE = 8
+
+
+def _kernel_cache_key(
+    levels: np.ndarray, ids: Optional[np.ndarray], window: int, dim: int
+) -> str:
+    h = hashlib.sha1()
+    h.update(np.ascontiguousarray(levels, dtype=np.int8).tobytes())
+    if ids is not None:
+        h.update(b"|ids|")
+        h.update(np.ascontiguousarray(ids, dtype=np.int8).tobytes())
+    h.update(f"|w={window}|d={dim}".encode())
+    return h.hexdigest()
+
+
+def shared_packed_kernel(
+    levels: np.ndarray,
+    ids: Optional[np.ndarray],
+    window: int,
+    dim: int,
+) -> GenericPackedKernel:
+    """Build-or-reuse a :class:`GenericPackedKernel` for these sources.
+
+    Keyed by level/id table *content* (sha1), so ``with_model`` clones,
+    re-imported models and repeated fits over the same seed all share
+    one packed table set instead of re-packing per instance.  Bounded
+    LRU; shared-memory kernels never enter (they attach their tables
+    directly via ``PackedModel.from_shared``).
+    """
+    key = _kernel_cache_key(levels, ids, window, dim)
+    with _KERNEL_CACHE_LOCK:
+        kernel = _KERNEL_CACHE.get(key)
+        if kernel is not None:
+            _KERNEL_CACHE.move_to_end(key)
+            return kernel
+    kernel = GenericPackedKernel(levels, ids, window, dim)
+    with _KERNEL_CACHE_LOCK:
+        cached = _KERNEL_CACHE.setdefault(key, kernel)
+        _KERNEL_CACHE.move_to_end(key)
+        while len(_KERNEL_CACHE) > _KERNEL_CACHE_SIZE:
+            _KERNEL_CACHE.popitem(last=False)
+    return cached
+
+
+def packed_kernel_cache_info() -> dict:
+    with _KERNEL_CACHE_LOCK:
+        return {"size": len(_KERNEL_CACHE), "max_size": _KERNEL_CACHE_SIZE}
+
+
+def clear_packed_kernel_cache() -> None:
+    with _KERNEL_CACHE_LOCK:
+        _KERNEL_CACHE.clear()

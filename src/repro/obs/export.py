@@ -170,6 +170,11 @@ def summarize(spans: Iterable[Dict]) -> Dict[str, Dict]:
     Nested spans keep their own rows (``train`` and ``train.epoch`` both
     appear); ``wall_s`` is the sum over spans of that name, so a
     parent's wall time already contains its children's.
+
+    Spans carrying primitive labels (a ``primitives`` attr mapping IR
+    primitive name -> logical ops, attached by planner-lowered encoders)
+    additionally aggregate into a ``primitives`` sub-dict per stage, so
+    reports can attribute work per primitive instead of per monolith.
     """
     stages: Dict[str, Dict] = {}
     for rec in spans:
@@ -187,4 +192,12 @@ def summarize(spans: Iterable[Dict]) -> Dict[str, Dict]:
         ops = rec.get("ops") or {}
         for key in OP_KEYS:
             agg[key] += int(ops.get(key, 0))
+        prims = (rec.get("attrs") or {}).get("primitives")
+        if isinstance(prims, dict):
+            pagg = agg.setdefault("primitives", {})
+            for prim, count in prims.items():
+                try:
+                    pagg[prim] = pagg.get(prim, 0) + int(count)
+                except (TypeError, ValueError):
+                    continue
     return stages

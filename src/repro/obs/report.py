@@ -45,8 +45,13 @@ def render_trace_report(path: Union[str, Path], energy: bool = True) -> str:
     stages = trace_report(path, energy=energy)
     if not stages:
         return f"trace {path}: no spans recorded"
+    # the per-primitive column only appears when some span carried
+    # primitive labels (planner-lowered encoders attach them)
+    has_primitives = any("primitives" in agg for agg in stages.values())
     headers = ["stage", "spans", "wall_s", "xor_ops", "add_ops",
                "mul_ops", "mem_MB"]
+    if has_primitives:
+        headers.append("primitives")
     if energy:
         headers += ["asic_ms", "dyn_uJ", "total_uJ"]
     rows: List[List] = []
@@ -61,6 +66,11 @@ def render_trace_report(path: Union[str, Path], energy: bool = True) -> str:
             _fmt_count(agg["mul_ops"]),
             f"{agg['mem_bytes'] / 2**20:.2f}",
         ]
+        if has_primitives:
+            prims = agg.get("primitives") or {}
+            row.append(" ".join(
+                f"{p}={_fmt_count(v)}" for p, v in prims.items() if v
+            ) or "-")
         if energy:
             est = agg.get("energy", {})
             row += [

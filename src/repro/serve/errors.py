@@ -102,7 +102,7 @@ class InjectedFault(WorkerError):
 
 
 class Backpressure(QueueFull):
-    """Submission rejected by the degradation ladder (tier 3).
+    """Submission rejected by the degradation ladder (its top tier).
 
     Subclasses :class:`~repro.serve.queue.QueueFull` so callers that
     already handle admission rejection handle degradation rejection the

@@ -50,6 +50,10 @@ from repro.core.packed import PackedModel
 
 Model = Union[HDClassifier, PackedModel]
 
+#: sentinel for "no approx fallback active" -- None is a *valid* saved
+#: approx_folds value (exact encoding), so absence needs its own marker
+_NOT_DEGRADED = object()
+
 
 class Deployment:
     """A servable model: batched two-stage inference + shed-dim mapping.
@@ -91,6 +95,8 @@ class Deployment:
         self.engine = engine
         # engine the degradation ladder saved before a fallback (tier 1)
         self._engine_before_fallback: Optional[str] = None
+        # approx_folds saved before the ladder's approx tier engaged
+        self._approx_before_fallback = _NOT_DEGRADED
 
         if isinstance(model, PackedModel):
             self.kind = "packed"
@@ -232,7 +238,7 @@ class Deployment:
         """Both stages in one call (the non-serving reference path)."""
         return self.search(self.encode(X), dim=dim)
 
-    # -- degradation hooks (tier 1 of the ladder) ---------------------------
+    # -- degradation hooks (ladder tiers 1 and 2) ---------------------------
 
     def fallback_engine(self, engine: str = "reference") -> bool:
         """Drop to a simpler encode engine (degradation tier 1).
@@ -261,9 +267,51 @@ class Deployment:
         self._engine_before_fallback = None
         return True
 
+    def fallback_approx(self, fraction: float = 0.5) -> bool:
+        """Switch to multifold approximate encoding (the approx tier).
+
+        Folds only ``fraction`` of the encoder's windows
+        (``approx_folds``, SHEARer-style evenly spaced sampling) --
+        cheaper encodes at a bounded count error, quality shed before
+        any dimension is.  Returns True when approximation actually
+        engaged; no-op for encoders without ``approx_folds`` support or
+        when already engaged.  The previous setting is saved for
+        :meth:`restore_approx`.
+        """
+        encoder = getattr(self.model, "encoder", None)
+        if encoder is None or not hasattr(encoder, "approx_folds"):
+            return False
+        if self._approx_before_fallback is not _NOT_DEGRADED:
+            return False
+        if not 0 < fraction <= 1:
+            raise ValueError(
+                f"approx fraction must be in (0, 1], got {fraction}"
+            )
+        n_windows = getattr(encoder, "n_windows", None)
+        if n_windows is None:
+            return False
+        folds = max(1, int(round(fraction * n_windows)))
+        if encoder.approx_folds is not None and encoder.approx_folds <= folds:
+            return False  # already at least this approximate
+        self._approx_before_fallback = encoder.approx_folds
+        encoder.approx_folds = folds
+        return True
+
+    def restore_approx(self) -> bool:
+        """Undo :meth:`fallback_approx` (recovery from the approx tier)."""
+        if self._approx_before_fallback is _NOT_DEGRADED:
+            return False
+        self.model.encoder.approx_folds = self._approx_before_fallback
+        self._approx_before_fallback = _NOT_DEGRADED
+        return True
+
     @property
     def degraded(self) -> bool:
         return self._engine_before_fallback is not None
+
+    @property
+    def approx_degraded(self) -> bool:
+        return self._approx_before_fallback is not _NOT_DEGRADED
 
     def __repr__(self) -> str:  # pragma: no cover - cosmetic
         return (
@@ -351,6 +399,18 @@ class ModelRegistry:
                     )
                     if fallen is not None:
                         encoder.engine = fallen
+            if old._approx_before_fallback is not _NOT_DEGRADED:
+                # same symmetry for the approx tier: the new version
+                # keeps encoding approximately until restore_approx()
+                encoder = getattr(dep.model, "encoder", None)
+                if encoder is not None and hasattr(encoder, "approx_folds"):
+                    dep._approx_before_fallback = old._approx_before_fallback
+                    degraded_folds = getattr(
+                        getattr(old.model, "encoder", None),
+                        "approx_folds", None,
+                    )
+                    if degraded_folds is not None:
+                        encoder.approx_folds = degraded_folds
             self._deployments[name] = dep
             self.swaps += 1
         if drain:

@@ -3,7 +3,7 @@
 When workers start failing, the server should not fall off a cliff --
 it should shed *quality* first and *availability* last, exactly the
 trade the paper makes in hardware (approximate first, reject never...
-until there is no approximation left).  The ladder has four tiers:
+until there is no approximation left).  The ladder has five tiers:
 
 ====  =================  ==================================================
 tier  name               effect
@@ -12,10 +12,15 @@ tier  name               effect
 1     engine_fallback    deployments drop the bit-packed encode kernel and
                          run the reference engine (fewer moving parts;
                          isolates kernel-level faults)
-2     dim_shed           the existing LoadShedPolicy is forced to at least
+2     approx             deployments switch to multifold approximate
+                         encoding: only ``approx_fraction`` of each
+                         encoder's windows are folded (SHEARer-style
+                         sampling, bounded count error) -- cheaper
+                         encodes before any dimension is shed
+3     dim_shed           the existing LoadShedPolicy is forced to at least
                          ``shed_floor_level`` (128-dim steps, exact
                          SubNormTable prefix norms -- Section 4.3.3)
-3     backpressure       new submissions are rejected with
+4     backpressure       new submissions are rejected with
                          :class:`~repro.serve.errors.Backpressure`
 ====  =================  ==================================================
 
@@ -38,7 +43,9 @@ from repro.serve.resilience.breaker import OPEN, CircuitBreaker
 
 __all__ = ["DegradeConfig", "DegradationLadder", "DEGRADATION_TIERS"]
 
-DEGRADATION_TIERS = ("normal", "engine_fallback", "dim_shed", "backpressure")
+DEGRADATION_TIERS = (
+    "normal", "engine_fallback", "approx", "dim_shed", "backpressure"
+)
 
 
 @dataclass
@@ -48,10 +55,13 @@ class DegradeConfig:
     enabled: bool = True
     #: fraction of breakers open at/above which the ladder escalates
     open_fraction: float = 0.5
-    #: shed level forced (at minimum) at tier 2 -- 128 dims per level
+    #: shed level forced (at minimum) at the dim_shed tier -- 128 dims
+    #: per level
     shed_floor_level: int = 4
     #: engine deployments fall back to at tier 1
     fallback_engine: str = "reference"
+    #: fraction of windows still folded at the approx tier (tier 2)
+    approx_fraction: float = 0.5
     #: min seconds between tier changes
     cooldown: float = 0.25
     #: seconds of all-breakers-closed before stepping one tier down
@@ -65,6 +75,10 @@ class DegradeConfig:
         if self.shed_floor_level < 0:
             raise ValueError(
                 f"shed_floor_level must be >= 0, got {self.shed_floor_level}"
+            )
+        if not 0 < self.approx_fraction <= 1:
+            raise ValueError(
+                f"approx_fraction must be in (0, 1], got {self.approx_fraction}"
             )
 
 
@@ -88,7 +102,8 @@ class DegradationLadder:
         self._dim_shed_hooks: list = []
 
     def add_dim_shed_hook(self, hook: Callable[[int], None]) -> None:
-        """Run ``hook(shed_floor_level)`` whenever tier 2 is entered.
+        """Run ``hook(shed_floor_level)`` whenever the dim_shed tier is
+        entered.
 
         Recovery steps (e.g. dimension regeneration from
         :mod:`repro.stream.regen`) register here so shedding quality
@@ -111,9 +126,9 @@ class DegradationLadder:
 
     @property
     def rejecting(self) -> bool:
-        """True at tier 3: submissions should bounce with Backpressure."""
+        """True at the top tier: submissions bounce with Backpressure."""
         with self._lock:
-            return self._tier >= 3
+            return self._tier >= len(DEGRADATION_TIERS) - 1
 
     # -- the control loop entry point ---------------------------------------
 
@@ -189,6 +204,14 @@ class DegradationLadder:
                 except KeyError:  # hot-unregistered mid-walk
                     continue
         elif tier == 2:
+            for name in self.registry.names():
+                try:
+                    self.registry.get(name).fallback_approx(
+                        self.config.approx_fraction
+                    )
+                except KeyError:
+                    continue
+        elif tier == 3:
             floor = min(self.config.shed_floor_level, self.policy.max_level)
             if self.policy.level < floor:
                 self.policy.force_level(floor)
@@ -197,7 +220,7 @@ class DegradationLadder:
                     hook(floor)
                 except Exception:
                     pass
-        # tier 3 is pure state: submit() checks ``rejecting``
+        # the top tier is pure state: submit() checks ``rejecting``
 
     def _de_escalate_from(self, tier: int) -> None:
         if tier == 1:
@@ -206,8 +229,14 @@ class DegradationLadder:
                     self.registry.get(name).restore_engine()
                 except KeyError:
                     continue
-        # leaving tier 2: the LoadShedPolicy recovers level on its own
-        # hysteresis; leaving tier 3 simply stops rejecting
+        elif tier == 2:
+            for name in self.registry.names():
+                try:
+                    self.registry.get(name).restore_approx()
+                except KeyError:
+                    continue
+        # leaving dim_shed: the LoadShedPolicy recovers level on its own
+        # hysteresis; leaving the top tier simply stops rejecting
 
     def stats(self) -> dict:
         return {

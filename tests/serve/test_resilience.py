@@ -397,13 +397,15 @@ class TestDegradationLadder:
             b.force_open()
         assert ladder.observe(breakers) == 1
         clock.advance(0.1)
-        assert ladder.observe(breakers) == 2
-        assert policy.level >= 4  # tier 2 forced the shed floor
+        assert ladder.observe(breakers) == 2  # approx encoding tier
         clock.advance(0.1)
         assert ladder.observe(breakers) == 3
+        assert policy.level >= 4  # dim_shed forced the shed floor
+        clock.advance(0.1)
+        assert ladder.observe(breakers) == 4
         assert ladder.rejecting
         clock.advance(0.1)
-        assert ladder.observe(breakers) == 3  # ceiling
+        assert ladder.observe(breakers) == 4  # ceiling
 
     def test_recovers_after_quiet_period(self):
         ladder, breakers, _, _, clock = self.make(recover_after=0.5)
@@ -431,11 +433,32 @@ class TestDegradationLadder:
         assert not dep.degraded
         assert dep.model.encoder.engine == original
 
-    def test_backpressure_raised_at_tier_three(self, serve_classifier):
+    def test_approx_fallback_and_restore(self, serve_classifier):
+        ladder, breakers, _, registry, clock = self.make(n_breakers=2)
+        registry.register("m", serve_classifier)
+        dep = registry.get("m")
+        encoder = dep.model.encoder
+        original = encoder.approx_folds
+        assert original is None
+        ladder.force_tier(2)
+        assert dep.approx_degraded
+        expected = max(1, round(0.5 * encoder.n_windows))
+        assert encoder.approx_folds == expected
+        # the plan carries the error bound for the sampled fold
+        plan = encoder.encode_plan()
+        assert plan.error_bound is not None
+        assert plan.error_bound["max_abs_count_error"] == (
+            encoder.n_windows - expected
+        )
+        ladder.force_tier(0)
+        assert not dep.approx_degraded
+        assert encoder.approx_folds is None
+
+    def test_backpressure_raised_at_top_tier(self, serve_classifier):
         server = InferenceServer(ServeConfig(n_workers=1))
         server.register("m", serve_classifier)
         with server:
-            server.ladder.force_tier(3)
+            server.ladder.force_tier(4)
             with pytest.raises(Backpressure):
                 server.submit("m", np.zeros(24))
             stats = server.stats()

@@ -105,11 +105,12 @@ class TestStreamLoop:
                                               stream_classifier):
         server, loop = loop_rig
         try:
-            server.ladder.force_tier(2)  # dim_shed tier fires the hook
+            server.ladder.force_tier(3)  # dim_shed tier fires the hook
             assert loop.regens == 1
             assert server.registry.get("m").dim_order is not None
-        finally:  # tier 1 flips the session-scoped encoder's engine
+        finally:  # lower tiers flip the session-scoped encoder's state
             stream_classifier.encoder.engine = "auto"
+            stream_classifier.encoder.approx_folds = None
 
     def test_serving_continues_across_swaps(self, loop_rig, drift_stream):
         server, loop = loop_rig
