@@ -16,19 +16,33 @@ shipping that instrumentation.  Each workload is timed three ways:
 
 ``--check`` (CI) fails if the disabled path costs more than 2% over
 bypass or the enabled path more than 5% -- the budget the tentpole
-promised.  A raw span microbenchmark (ns per disabled/enabled span) is
-reported alongside for context.  Results land in ``BENCH_obs.json``.
+promised.  Two further sections ride along:
+
+- a **flight-recorder** microbench (ns per retained span / event, ms
+  to assemble a full-ring postmortem bundle), pinning the cost of the
+  always-on rings;
+- a **sharded-serving** overhead measurement: the same request load
+  through a 2-shard process fleet with tracing off vs. fully on
+  (parent spans + worker spans shipped back over the SPANS channel).
+  ``--check`` holds the traced fleet to the same 5% budget, and
+  ``--shard-trace-out`` writes the traced run's JSONL for the CI
+  trace-schema lint.
+
+A raw span microbenchmark (ns per disabled/enabled span) is reported
+alongside for context.  Results land in ``BENCH_obs.json``.
 
 Usage::
 
     PYTHONPATH=src python benchmarks/bench_obs.py            # full
-    PYTHONPATH=src python benchmarks/bench_obs.py --quick --check
+    PYTHONPATH=src python benchmarks/bench_obs.py --quick --check \\
+        --shard-trace-out shard_trace.jsonl
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import os
 import pathlib
 import sys
 import time
@@ -38,7 +52,8 @@ import numpy as np
 import repro.obs.trace as obs_trace
 from repro.core.classifier import HDClassifier
 from repro.core.encoders import GenericEncoder
-from repro.obs.export import CollectorSink
+from repro.obs.export import CollectorSink, JsonlSink
+from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import REGISTRY
 
 OUT_PATH = pathlib.Path("BENCH_obs.json")
@@ -163,26 +178,141 @@ def _time_modes(fn, repeats: int):
     return best["bypass"], best["off"], best["on"], sink.emitted
 
 
-def _span_microbench(n: int = 20000):
-    """Raw per-span cost in nanoseconds, disabled and enabled."""
-    obs_trace.reset()
-    t0 = time.perf_counter()
-    for _ in range(n):
-        with obs_trace.span("micro") as sp:
-            if sp.recording:
-                sp.add_ops(xor_ops=1)
-    disabled_ns = (time.perf_counter() - t0) / n * 1e9
+def _span_microbench(n: int = 20000, passes: int = 5):
+    """Raw per-span cost in nanoseconds, disabled and enabled.
 
+    Best-of-``passes``: a single 20k-span sweep takes a few tens of
+    milliseconds, well inside scheduler-preemption territory, so one
+    unlucky pass would overstate the cost by 2x on a busy host.
+    """
+
+    def one_pass():
+        t0 = time.perf_counter()
+        for _ in range(n):
+            with obs_trace.span("micro") as sp:
+                if sp.recording:
+                    sp.add_ops(xor_ops=1)
+        return (time.perf_counter() - t0) / n * 1e9
+
+    obs_trace.reset()
+    disabled_ns = min(one_pass() for _ in range(passes))
     obs_trace.enable_tracing(CollectorSink(maxlen=0))
-    t0 = time.perf_counter()
-    for _ in range(n):
-        with obs_trace.span("micro") as sp:
-            if sp.recording:
-                sp.add_ops(xor_ops=1)
-    enabled_ns = (time.perf_counter() - t0) / n * 1e9
+    enabled_ns = min(one_pass() for _ in range(passes))
     obs_trace.reset()
     REGISTRY.clear()
     return round(disabled_ns, 1), round(enabled_ns, 1)
+
+
+def _recorder_microbench(n: int = 20000):
+    """Cost of the always-on flight recorder: retain a span record,
+    append an event, and assemble a bundle from full rings."""
+    rec = FlightRecorder(capacity_spans=2048, capacity_events=1024)
+    record = {"name": "serve.search", "seconds": 0.001, "pid": os.getpid(),
+              "attrs": {"shard": 0}, "ops": {"xor_ops": 64.0}}
+    t0 = time.perf_counter()
+    for _ in range(n):
+        rec.emit(record)
+    emit_ns = (time.perf_counter() - t0) / n * 1e9
+
+    t0 = time.perf_counter()
+    for i in range(n):
+        rec.record_event("breaker_transition", shard=i & 3, state="open")
+    event_ns = (time.perf_counter() - t0) / n * 1e9
+
+    # bundle assembly with both rings at capacity (the postmortem path)
+    t0 = time.perf_counter()
+    for _ in range(10):
+        rec.build_bundle("bench", trace_id=None)
+    bundle_ms = (time.perf_counter() - t0) / 10 * 1e3
+    return {
+        "emit_ns": round(emit_ns, 1),
+        "event_ns": round(event_ns, 1),
+        "bundle_ms": round(bundle_ms, 3),
+    }
+
+
+def _sharded_overhead(quick: bool, trace_out=None):
+    """Tracing-enabled overhead on the 2-shard process fleet.
+
+    Times the identical request load with tracing off and fully on
+    (root/dispatch spans in the parent, encode/search spans produced in
+    the worker processes and shipped back as SPANS records).  Rounds
+    alternate off/on inside one long-lived fleet so spawn cost and
+    drift cancel; after each toggle the supervisor gets a beat (it
+    forwards TRACE flips on its 50ms tick) plus one settle request
+    before the clock starts.  Returns None when POSIX shared memory is
+    unavailable (the fleet cannot run).
+    """
+    if not os.path.isdir("/dev/shm"):
+        return None
+    from repro.serve.sharded import ShardedServeConfig, ShardedServer
+
+    # a representative model (not a toy): per-request encode+search
+    # work in the hundreds of microseconds, the regime the 5% budget
+    # is meant for -- tracing's fixed ~10us/request cost would drown
+    # any percentage gate on a microsecond-scale workload
+    rng = np.random.default_rng(0)
+    dim = 16384
+    X = rng.normal(size=(128, 64))
+    y = rng.integers(0, 20, size=128)
+    enc = GenericEncoder(dim=dim, num_levels=16, seed=11)
+    clf = HDClassifier(enc, epochs=3, seed=1).fit(X, y)
+
+    n_req = 32 if quick else 64
+    rounds = 7 if quick else 11
+    sink = CollectorSink(maxlen=0)
+
+    def serve_batch(server, n):
+        futs = [server.submit("m", X[i % len(X)]) for i in range(n)]
+        for f in futs:
+            f.result(timeout=60.0)
+
+    def one_round(server, mode):
+        obs_trace.reset()
+        if mode == "on":
+            obs_trace.enable_tracing(sink)
+        time.sleep(0.12)          # let the TRACE toggle reach workers
+        serve_batch(server, 2)    # settle in the new mode
+        t0 = time.perf_counter()
+        serve_batch(server, n_req)
+        dt = time.perf_counter() - t0
+        obs_trace.reset()
+        return dt
+
+    server = ShardedServer(ShardedServeConfig(
+        n_shards=2, max_batch=16, max_wait=0.002, default_deadline=None,
+    ))
+    server.register("m", clf)
+    best = {"off": float("inf"), "on": float("inf")}
+    emitted_before = sink.emitted
+    with server:
+        serve_batch(server, 8)  # spawn + kernel warm-up outside the clock
+        for _ in range(rounds):
+            for mode in ("off", "on"):
+                best[mode] = min(best[mode], one_round(server, mode))
+        spans = sink.emitted - emitted_before
+        if trace_out is not None:
+            if os.path.exists(trace_out):
+                os.remove(trace_out)  # JsonlSink appends; start fresh
+            jsink = JsonlSink(trace_out)
+            obs_trace.enable_tracing(jsink)
+            time.sleep(0.12)
+            serve_batch(server, n_req)
+            time.sleep(0.12)      # drain worker SPANS into the sink
+            obs_trace.reset()
+            jsink.close()
+    REGISTRY.clear()
+    on_pct = (best["on"] / best["off"] - 1.0) * 100.0
+    return {
+        "n_shards": 2,
+        "dim": dim,
+        "n_requests": n_req,
+        "rounds": rounds,
+        "off_s": round(best["off"], 6),
+        "on_s": round(best["on"], 6),
+        "on_overhead_pct": round(on_pct, 3),
+        "spans_per_traced_round": spans // max(1, rounds),
+    }
 
 
 def run(workloads, repeats: int):
@@ -224,17 +354,46 @@ def main(argv=None) -> int:
                         help="--check budget for enabled tracing (%%)")
     parser.add_argument("--repeats", type=int, default=None)
     parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
+    parser.add_argument("--skip-sharded", action="store_true",
+                        help="skip the sharded-fleet overhead section")
+    parser.add_argument("--shard-trace-out", type=pathlib.Path, default=None,
+                        help="write the traced sharded run's span JSONL "
+                             "here (for the CI trace-schema lint)")
     args = parser.parse_args(argv)
 
     workloads = QUICK_WORKLOADS if args.quick else FULL_WORKLOADS
     # the per-mode deltas under test are fractions of a percent, so
     # best-of needs plenty of rounds to shake off scheduler noise; at a
     # few ms per round this stays cheap even for CI
-    repeats = args.repeats or (25 if args.quick else 31)
+    repeats = args.repeats or (41 if args.quick else 51)
     results = run(workloads, repeats=repeats)
     disabled_ns, enabled_ns = _span_microbench()
     print(f"raw span cost: disabled {disabled_ns:.0f}ns  "
           f"enabled {enabled_ns:.0f}ns")
+    recorder_ns = _recorder_microbench()
+    print(f"flight recorder: emit {recorder_ns['emit_ns']:.0f}ns  "
+          f"event {recorder_ns['event_ns']:.0f}ns  "
+          f"bundle {recorder_ns['bundle_ms']:.1f}ms")
+    sharded = None
+    if not args.skip_sharded:
+        sharded = _sharded_overhead(
+            args.quick,
+            trace_out=str(args.shard_trace_out)
+            if args.shard_trace_out else None,
+        )
+        if sharded is None:
+            print("sharded: skipped (no /dev/shm)")
+        else:
+            print(
+                f"sharded dim={sharded['dim']}  "
+                f"off {sharded['off_s'] * 1e3:8.2f}ms  "
+                f"on {sharded['on_overhead_pct']:+6.2f}%  "
+                f"({sharded['spans_per_traced_round']} spans/round)"
+            )
+            if args.shard_trace_out:
+                n_lines = sum(
+                    1 for _ in open(args.shard_trace_out))
+                print(f"wrote {args.shard_trace_out} ({n_lines} spans)")
 
     report = {
         "harness": "benchmarks.bench_obs",
@@ -242,6 +401,8 @@ def main(argv=None) -> int:
         "repeats": repeats,
         "budgets": {"off_pct": args.max_off_pct, "on_pct": args.max_on_pct},
         "span_ns": {"disabled": disabled_ns, "enabled": enabled_ns},
+        "recorder_ns": recorder_ns,
+        "sharded": sharded,
         "numpy": np.__version__,
         "results": results,
     }
@@ -261,7 +422,16 @@ def main(argv=None) -> int:
                 f"(budget {args.max_on_pct}%)",
                 file=sys.stderr,
             )
-        return 1 if bad else 0
+        failed = bool(bad)
+        if sharded is not None \
+                and sharded["on_overhead_pct"] > args.max_on_pct:
+            print(
+                f"CHECK FAILED: sharded on={sharded['on_overhead_pct']}% "
+                f"(budget {args.max_on_pct}%)",
+                file=sys.stderr,
+            )
+            failed = True
+        return 1 if failed else 0
     return 0
 
 

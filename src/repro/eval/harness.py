@@ -9,29 +9,90 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, Iterable, List, Optional, Sequence
 
 from repro.eval.tables import format_table
+from repro.obs import distributed as obs_distributed
 from repro.obs import trace as obs_trace
+
+
+class _Shipped:
+    """A job result plus the span records the worker produced for it."""
+
+    __slots__ = ("result", "spans")
+
+    def __init__(self, result, spans):
+        self.result = result
+        self.spans = spans
 
 
 class _TracedJob:
     """Picklable wrapper adding an ``eval.job`` span per mapped item.
 
     Only installed when tracing is enabled in the submitting process, so
-    the untraced ``parallel_map`` path is byte-identical to before.  In
-    ``mode="process"`` the workers start with tracing disabled, so the
-    wrapper no-ops there and the parent records only the outer
-    ``eval.map`` span -- spans never cross the process boundary.
+    the untraced ``parallel_map`` path is byte-identical to before.
+
+    The wrapper also fixes the old "process workers trace nothing"
+    hole: it pickles the parent's tracing state (``ship=True``) and the
+    submitting thread's :class:`~repro.obs.distributed.TraceContext`.
+    In a pool *worker* process (detected by pid) it enables tracing
+    into a local buffer, runs the job under the shipped context so the
+    ``eval.job`` span parents into the submitting trace, and returns a
+    :class:`_Shipped` carrying the finished records; the parent unwraps
+    and re-emits them (:func:`repro.obs.trace.emit_foreign`) into its
+    own sinks and registry.  Thread pools and the serial path hit the
+    in-process branch and behave exactly as before.
     """
 
-    __slots__ = ("fn", "task")
+    __slots__ = ("fn", "task", "ship", "wire_ctx", "parent_pid")
 
     def __init__(self, fn: Callable, task: str):
         self.fn = fn
         self.task = task
+        self.ship = obs_trace.tracing_enabled()
+        ctx = obs_distributed.current_context()
+        self.wire_ctx = None if ctx is None else ctx.to_wire()
+        self.parent_pid = os.getpid()
 
     def __call__(self, indexed_item):
         index, item = indexed_item
-        with obs_trace.span("eval.job", task=self.task, index=index):
-            return self.fn(item)
+        if os.getpid() == self.parent_pid or not self.ship:
+            with obs_trace.span("eval.job", task=self.task, index=index):
+                return self.fn(item)
+        # pool-worker process: trace locally, ship the records home
+        buf = []
+
+        class _Sink:
+            def emit(self, record):
+                buf.append(record)
+
+        # a fork-started worker inherits the parent's sinks (e.g. its
+        # JSONL file handle); drop them so records reach the parent
+        # exactly once, via the shipped buffer
+        obs_trace.reset()
+        sink = _Sink()
+        obs_trace.enable_tracing(sink)
+        try:
+            ctx = obs_distributed.TraceContext.from_wire(self.wire_ctx)
+            with obs_distributed.use_context(ctx):
+                with obs_trace.span("eval.job", task=self.task,
+                                    index=index):
+                    result = self.fn(item)
+        finally:
+            obs_trace.remove_sink(sink)
+        return _Shipped(result, buf)
+
+
+def _unwrap_shipped(out):
+    """Re-emit worker-shipped spans; return the bare results."""
+    results = []
+    for entry in out:
+        if isinstance(entry, _Shipped):
+            for record in entry.spans:
+                # aggregate=True: the worker's registry dies with the
+                # pool, so span_seconds/ops must fold in here
+                obs_trace.emit_foreign(record, aggregate=True)
+            results.append(entry.result)
+        else:
+            results.append(entry)
+    return results
 
 
 def resolve_jobs(n_jobs: Optional[int] = None) -> int:
@@ -76,7 +137,9 @@ def parallel_map(
                         else ThreadPoolExecutor)
             try:
                 with pool_cls(max_workers=jobs) as pool:
-                    return list(pool.map(traced, enumerate(items)))
+                    return _unwrap_shipped(
+                        list(pool.map(traced, enumerate(items)))
+                    )
             except (OSError, PermissionError):
                 return [traced(pair) for pair in enumerate(items)]
     if jobs <= 1:

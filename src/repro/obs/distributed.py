@@ -1,0 +1,165 @@
+"""Cross-process trace identity: 64-bit trace/span ids and propagation.
+
+Single-process tracing (:mod:`repro.obs.trace`) nests spans by dotted
+*path* -- enough to tell ``train/train.epoch`` from ``train.epoch`` but
+useless once a request hops threads and processes: the sharded server
+dispatches a batch from one thread, a worker *process* encodes it, and
+a collector thread resolves the futures.  This module gives every
+request a durable identity instead:
+
+- a 64-bit ``trace_id`` minted once per request (at ``submit``);
+- a 64-bit ``span_id`` per span, so children can name their parent
+  explicitly instead of relying on a thread-local stack;
+- :class:`TraceContext` -- the ``(trace_id, parent span_id)`` pair a
+  span opens under.  It travels thread-locally inside a process
+  (:func:`use_context`) and as a plain tuple across the process
+  boundary (:meth:`TraceContext.to_wire` /
+  :meth:`TraceContext.from_wire` -- two ints, free to pickle through an
+  ``mp.Queue`` next to the batch it describes).
+
+Span records carry the ids as 16-hex-digit strings (``trace_id``,
+``span_id``, ``parent_span_id``) plus the emitting ``pid``, so a JSONL
+trace merged from N processes reassembles into per-request trees: the
+report CLI's critical-path view and the flight recorder's postmortem
+bundles are both keyed on ``trace_id``.
+
+Id generation is allocation-free after the first call per thread: a
+thread-local counter added to a per-thread random 64-bit base, so
+concurrent threads and respawned workers never collide in practice
+(the ids are sampling keys, not security tokens).
+"""
+
+from __future__ import annotations
+
+import random
+import threading
+from contextlib import contextmanager
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+__all__ = [
+    "TraceContext",
+    "new_trace",
+    "new_span_id",
+    "fmt_id",
+    "parse_id",
+    "current_context",
+    "set_context",
+    "clear_context",
+    "use_context",
+]
+
+_MASK = (1 << 64) - 1
+_ids = threading.local()
+
+
+def _thread_id_state() -> "_IdState":
+    state = getattr(_ids, "state", None)
+    if state is None:
+        # SystemRandom: never inherits a forked parent's PRNG state, so
+        # eval process-pool children (fork on Linux) stay distinct
+        base = random.SystemRandom().getrandbits(64) or 1
+        state = _ids.state = _IdState(base)
+    return state
+
+
+class _IdState:
+    __slots__ = ("base", "count")
+
+    def __init__(self, base: int):
+        self.base = base
+        self.count = 0
+
+
+def new_span_id() -> int:
+    """A fresh non-zero 64-bit span id (thread-safe, allocation-free)."""
+    state = _thread_id_state()
+    state.count += 1
+    return ((state.base + state.count) & _MASK) or 1
+
+
+def new_trace_id() -> int:
+    """A fresh non-zero 64-bit trace id."""
+    return new_span_id()
+
+
+def fmt_id(value: int) -> str:
+    """Render an id the way records and bundles carry it: 16 hex digits."""
+    return f"{value & _MASK:016x}"
+
+
+def parse_id(text: str) -> int:
+    """Inverse of :func:`fmt_id` (raises ``ValueError`` on junk)."""
+    value = int(text, 16)
+    if not 0 < value <= _MASK:
+        raise ValueError(f"id out of 64-bit range: {text!r}")
+    return value
+
+
+@dataclass(frozen=True)
+class TraceContext:
+    """The identity a span opens under: trace id + parent span id."""
+
+    trace_id: int
+    span_id: int
+
+    def child(self) -> "TraceContext":
+        """A context parenting further work under a fresh span of this
+        trace (the caller owns emitting that span's record)."""
+        return TraceContext(self.trace_id, new_span_id())
+
+    # -- wire format (sharded proto messages, eval job pickles) -------------
+
+    def to_wire(self) -> Tuple[int, int]:
+        return (self.trace_id, self.span_id)
+
+    @classmethod
+    def from_wire(cls, wire) -> Optional["TraceContext"]:
+        if wire is None:
+            return None
+        trace_id, span_id = wire
+        return cls(int(trace_id), int(span_id))
+
+
+def new_trace() -> TraceContext:
+    """Mint a new trace: fresh trace id, fresh root span id.
+
+    The caller is the root span's owner -- the serving layer calls this
+    at ``submit()`` and emits the ``serve.request`` root span when the
+    request resolves, with ``span_id == ctx.span_id``.
+    """
+    return TraceContext(new_trace_id(), new_span_id())
+
+
+# -- thread-local current context --------------------------------------------
+
+_current = threading.local()
+
+
+def current_context() -> Optional[TraceContext]:
+    """The context top-level spans of this thread open under (or None)."""
+    return getattr(_current, "ctx", None)
+
+
+def set_context(ctx: Optional[TraceContext]) -> None:
+    _current.ctx = ctx
+
+
+def clear_context() -> None:
+    _current.ctx = None
+
+
+@contextmanager
+def use_context(ctx: Optional[TraceContext]):
+    """Scope ``ctx`` as this thread's current context.
+
+    ``None`` is accepted and scopes "no context" (so call sites don't
+    need a conditional around the ``with``); the previous context is
+    restored on exit either way.
+    """
+    prev = getattr(_current, "ctx", None)
+    _current.ctx = ctx
+    try:
+        yield ctx
+    finally:
+        _current.ctx = prev

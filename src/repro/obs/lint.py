@@ -1,0 +1,215 @@
+"""Trace-schema validator: ``python -m repro.obs lint trace.jsonl``.
+
+A traced run (``--trace out.jsonl`` on the eval CLI, a traced serve
+session, the obs benchmark's ``--shard-trace-out``) writes one JSON
+span record per line.  Downstream tooling -- the report aggregator,
+the critical-path attribution, external trace viewers -- assumes a
+schema this module pins down and CI enforces against a real traced
+sharded smoke run:
+
+- ``name`` (non-empty str) and ``seconds`` (finite number >= 0) are
+  required on every record;
+- ``trace_id`` / ``span_id`` / ``parent_span_id``, when present, are
+  16-hex-digit strings, and a record carrying any of them must carry
+  both ``trace_id`` and ``span_id``;
+- ``pid`` is an int, ``thread``/``path``/``error`` are strings,
+  ``attrs`` is an object, ``ops`` is an object of finite numbers;
+- within one trace, span ids are unique and every ``parent_span_id``
+  resolves to a ``span_id`` seen in the same trace (the re-parenting
+  invariant the sharded collector maintains).  ``--allow-dangling``
+  downgrades unresolved parents to warnings for partial captures;
+- every trace has exactly one root (a span without a parent).
+
+:func:`lint_trace` returns structured findings; the CLI prints them
+and exits non-zero when any error-severity finding remains.
+"""
+
+from __future__ import annotations
+
+import json
+import math
+import re
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Tuple, Union
+
+__all__ = ["Finding", "lint_records", "lint_trace", "main"]
+
+_ID_RE = re.compile(r"^[0-9a-f]{16}$")
+
+_STR_FIELDS = ("thread", "path", "error")
+_ID_FIELDS = ("trace_id", "span_id", "parent_span_id")
+
+
+class Finding:
+    """One lint finding: severity ("error" | "warning"), line, message."""
+
+    __slots__ = ("severity", "line", "message")
+
+    def __init__(self, severity: str, line: Optional[int], message: str):
+        self.severity = severity
+        self.line = line
+        self.message = message
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Finding({self.severity!r}, {self.line!r}, {self.message!r})"
+
+    def render(self) -> str:
+        where = f"line {self.line}: " if self.line is not None else ""
+        return f"{self.severity}: {where}{self.message}"
+
+
+def _err(line: Optional[int], message: str) -> Finding:
+    return Finding("error", line, message)
+
+
+def _warn(line: Optional[int], message: str) -> Finding:
+    return Finding("warning", line, message)
+
+
+def _check_record(record: Dict, line: int) -> List[Finding]:
+    out: List[Finding] = []
+    name = record.get("name")
+    if not isinstance(name, str) or not name:
+        out.append(_err(line, "missing or empty 'name'"))
+    seconds = record.get("seconds")
+    if not isinstance(seconds, (int, float)) or isinstance(seconds, bool):
+        out.append(_err(line, "missing or non-numeric 'seconds'"))
+    elif not math.isfinite(seconds) or seconds < 0:
+        out.append(_err(line, f"'seconds' out of range: {seconds}"))
+    for field in _ID_FIELDS:
+        value = record.get(field)
+        if value is None:
+            continue
+        if not isinstance(value, str) or not _ID_RE.match(value):
+            out.append(_err(
+                line, f"'{field}' is not a 16-hex-digit id: {value!r}"
+            ))
+    has_any_id = any(record.get(f) is not None for f in _ID_FIELDS)
+    if has_any_id and (record.get("trace_id") is None
+                       or record.get("span_id") is None):
+        out.append(_err(
+            line, "traced record must carry both trace_id and span_id"
+        ))
+    pid = record.get("pid")
+    if pid is not None and (not isinstance(pid, int)
+                            or isinstance(pid, bool)):
+        out.append(_err(line, f"'pid' is not an int: {pid!r}"))
+    for field in _STR_FIELDS:
+        value = record.get(field)
+        if value is not None and not isinstance(value, str):
+            out.append(_err(line, f"'{field}' is not a string: {value!r}"))
+    attrs = record.get("attrs")
+    if attrs is not None and not isinstance(attrs, dict):
+        out.append(_err(line, "'attrs' is not an object"))
+    ops = record.get("ops")
+    if ops is not None:
+        if not isinstance(ops, dict):
+            out.append(_err(line, "'ops' is not an object"))
+        else:
+            for key, value in ops.items():
+                if (not isinstance(value, (int, float))
+                        or isinstance(value, bool)
+                        or not math.isfinite(value)):
+                    out.append(_err(
+                        line, f"ops[{key!r}] is not a finite number"
+                    ))
+    return out
+
+
+def lint_records(
+    records: Iterable[Tuple[int, Dict]],
+    allow_dangling: bool = False,
+) -> List[Finding]:
+    """Lint ``(line_number, record)`` pairs; returns all findings."""
+    findings: List[Finding] = []
+    # trace_id -> {span_id: line}, [(line, parent_id)], [root lines]
+    spans_by_trace: Dict[str, Dict[str, int]] = {}
+    parents_by_trace: Dict[str, List[Tuple[int, str]]] = {}
+    roots_by_trace: Dict[str, List[int]] = {}
+    for line, record in records:
+        findings.extend(_check_record(record, line))
+        trace_id = record.get("trace_id")
+        span_id = record.get("span_id")
+        if not (isinstance(trace_id, str) and _ID_RE.match(trace_id)
+                and isinstance(span_id, str) and _ID_RE.match(span_id)):
+            continue
+        seen = spans_by_trace.setdefault(trace_id, {})
+        if span_id in seen:
+            findings.append(_err(
+                line,
+                f"duplicate span_id {span_id} in trace {trace_id} "
+                f"(first seen line {seen[span_id]})",
+            ))
+        else:
+            seen[span_id] = line
+        parent = record.get("parent_span_id")
+        if isinstance(parent, str) and _ID_RE.match(parent):
+            parents_by_trace.setdefault(trace_id, []).append((line, parent))
+        elif parent is None:
+            roots_by_trace.setdefault(trace_id, []).append(line)
+    # referential pass: parents must resolve within their trace
+    for trace_id, refs in parents_by_trace.items():
+        seen = spans_by_trace.get(trace_id, {})
+        for line, parent in refs:
+            if parent not in seen:
+                make = _warn if allow_dangling else _err
+                findings.append(make(
+                    line,
+                    f"parent_span_id {parent} not found in trace "
+                    f"{trace_id}",
+                ))
+    for trace_id, spans in spans_by_trace.items():
+        roots = roots_by_trace.get(trace_id, [])
+        if not roots:
+            make = _warn if allow_dangling else _err
+            findings.append(make(
+                None, f"trace {trace_id} has no root span"
+            ))
+        elif len(roots) > 1:
+            findings.append(_warn(
+                None,
+                f"trace {trace_id} has {len(roots)} root spans "
+                f"(lines {roots})",
+            ))
+    return findings
+
+
+def lint_trace(
+    path: Union[str, Path], allow_dangling: bool = False
+) -> List[Finding]:
+    """Lint a JSONL trace file; malformed JSON lines are errors too."""
+    pairs: List[Tuple[int, Dict]] = []
+    findings: List[Finding] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, raw in enumerate(fh, start=1):
+            raw = raw.strip()
+            if not raw:
+                continue
+            try:
+                record = json.loads(raw)
+            except ValueError:
+                findings.append(_err(lineno, "not valid JSON"))
+                continue
+            if not isinstance(record, dict):
+                findings.append(_err(lineno, "record is not an object"))
+                continue
+            pairs.append((lineno, record))
+    findings.extend(lint_records(pairs, allow_dangling=allow_dangling))
+    return findings
+
+
+def main(path: Union[str, Path], allow_dangling: bool = False,
+         quiet: bool = False) -> int:
+    """CLI body for the ``lint`` subcommand; returns the exit code."""
+    findings = lint_trace(path, allow_dangling=allow_dangling)
+    errors = [f for f in findings if f.severity == "error"]
+    if not quiet:
+        for finding in findings:
+            print(finding.render())
+        n_spans = sum(1 for _ in open(path, "r", encoding="utf-8"))
+        status = "FAIL" if errors else "OK"
+        print(
+            f"{status}: {path}: {n_spans} lines, "
+            f"{len(errors)} errors, {len(findings) - len(errors)} warnings"
+        )
+    return 1 if errors else 0

@@ -1,0 +1,266 @@
+"""Promtool-style parser/validator for Prometheus text exposition.
+
+The repo exposes metrics in the Prometheus text format
+(:meth:`~repro.obs.registry.Registry.render_prometheus`) but cannot
+depend on ``promtool`` in CI, so this module reimplements the subset of
+its ``check metrics`` pass the tests need: parse an exposition into
+metric families, then check the structural invariants a scraper relies
+on -- label syntax, histogram bucket monotonicity, ``+Inf`` bucket ==
+``_count``, ``_sum``/``_count`` presence.
+
+Used three ways:
+
+- the promtool-style conformance test (``tests/obs/test_promparse.py``)
+  parses live server expositions and asserts zero findings;
+- ``python -m repro.obs top`` scrapes an endpoint and renders the
+  parsed samples;
+- ad-hoc debugging (``parse_text`` on any scrape body).
+"""
+
+from __future__ import annotations
+
+import math
+import re
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+__all__ = ["Sample", "MetricFamily", "ParseError", "parse_text", "validate"]
+
+_METRIC_RE = re.compile(r"^[a-zA-Z_:][a-zA-Z0-9_:]*$")
+_LABEL_RE = re.compile(r"^[a-zA-Z_][a-zA-Z0-9_]*$")
+# one label pair inside the braces: name="value" with \" \\ \n escapes
+_PAIR_RE = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+_HISTOGRAM_SUFFIXES = ("_bucket", "_sum", "_count")
+
+
+class ParseError(ValueError):
+    """A line the text format does not allow (carries the line number)."""
+
+    def __init__(self, lineno: int, line: str, reason: str):
+        super().__init__(f"line {lineno}: {reason}: {line!r}")
+        self.lineno = lineno
+        self.line = line
+        self.reason = reason
+
+
+@dataclass
+class Sample:
+    """One time series sample: name + label set + value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+    def label_key(self, drop: Tuple[str, ...] = ()) -> Tuple:
+        return tuple(sorted(
+            (k, v) for k, v in self.labels.items() if k not in drop
+        ))
+
+
+@dataclass
+class MetricFamily:
+    """All samples sharing one base metric name, plus TYPE/HELP."""
+
+    name: str
+    kind: Optional[str] = None        # counter | gauge | histogram | ...
+    help: Optional[str] = None
+    samples: List[Sample] = field(default_factory=list)
+
+
+def _base_name(sample_name: str, kind: Optional[str]) -> str:
+    if kind == "histogram":
+        for suffix in _HISTOGRAM_SUFFIXES:
+            if sample_name.endswith(suffix):
+                return sample_name[: -len(suffix)]
+    return sample_name
+
+
+def _unescape(value: str) -> str:
+    return (value.replace("\\\\", "\x00").replace('\\"', '"')
+            .replace("\\n", "\n").replace("\x00", "\\"))
+
+
+def _parse_labels(body: str, lineno: int, line: str) -> Dict[str, str]:
+    labels: Dict[str, str] = {}
+    pos = 0
+    while pos < len(body):
+        match = _PAIR_RE.match(body, pos)
+        if match is None:
+            raise ParseError(lineno, line, "malformed label pair")
+        labels[match.group(1)] = _unescape(match.group(2))
+        pos = match.end()
+        if pos < len(body) and body[pos] == ",":
+            pos += 1
+    return labels
+
+
+def _parse_value(text: str, lineno: int, line: str) -> float:
+    text = text.strip()
+    if text == "+Inf":
+        return math.inf
+    if text == "-Inf":
+        return -math.inf
+    try:
+        return float(text)
+    except ValueError:
+        raise ParseError(lineno, line, "unparsable sample value") from None
+
+
+def parse_text(text: str) -> Dict[str, MetricFamily]:
+    """Parse a text exposition into ``{base_name: MetricFamily}``.
+
+    Raises :class:`ParseError` on any line that is not a comment, a
+    ``# TYPE``/``# HELP`` directive, a blank, or a well-formed sample.
+    Histogram component series (``_bucket``/``_sum``/``_count``) fold
+    into the base family declared by their ``# TYPE`` line.
+    """
+    families: Dict[str, MetricFamily] = {}
+    # metric name -> declared kind, so samples find their family even
+    # when the histogram suffix changes the sample name
+    declared: Dict[str, str] = {}
+    for lineno, raw in enumerate(text.splitlines(), start=1):
+        line = raw.strip()
+        if not line:
+            continue
+        if line.startswith("#"):
+            parts = line.split(None, 3)
+            if len(parts) >= 3 and parts[1] in ("TYPE", "HELP"):
+                name = parts[2]
+                if not _METRIC_RE.match(name):
+                    raise ParseError(lineno, raw, "bad metric name")
+                fam = families.setdefault(name, MetricFamily(name))
+                if parts[1] == "TYPE":
+                    kind = parts[3].strip() if len(parts) > 3 else ""
+                    fam.kind = kind
+                    declared[name] = kind
+                else:
+                    fam.help = parts[3] if len(parts) > 3 else ""
+            continue
+        # sample line: name[{labels}] value [timestamp]
+        brace = line.find("{")
+        if brace >= 0:
+            close = line.rfind("}")
+            if close < brace:
+                raise ParseError(lineno, raw, "unbalanced braces")
+            name = line[:brace]
+            labels = _parse_labels(line[brace + 1:close], lineno, raw)
+            rest = line[close + 1:]
+        else:
+            bits = line.split(None, 1)
+            if len(bits) != 2:
+                raise ParseError(lineno, raw, "missing sample value")
+            name, rest = bits
+            labels = {}
+        if not _METRIC_RE.match(name):
+            raise ParseError(lineno, raw, "bad metric name")
+        for label in labels:
+            if not _LABEL_RE.match(label):
+                raise ParseError(lineno, raw, "bad label name")
+        value = _parse_value(rest.split()[0] if rest.split() else "",
+                             lineno, raw)
+        base = name
+        for candidate in (_base_name(name, "histogram"), name):
+            if declared.get(candidate) == "histogram":
+                base = candidate
+                break
+        fam = families.setdefault(base, MetricFamily(base))
+        fam.samples.append(Sample(name, labels, value))
+    return families
+
+
+def validate(families: Dict[str, MetricFamily]) -> List[str]:
+    """Promtool-style lint: return a list of findings (empty = clean).
+
+    Checks, per family:
+
+    - every sample family has a ``# TYPE`` line;
+    - counter/gauge samples use the bare family name;
+    - histogram series per label set: ``le`` present and parsable on
+      every ``_bucket``, cumulative counts non-decreasing in ``le``
+      order, a ``+Inf`` bucket exists and equals ``_count``, and both
+      ``_sum`` and ``_count`` are present;
+    - counter values are finite and non-negative.
+    """
+    findings: List[str] = []
+    for base, fam in families.items():
+        if fam.kind is None:
+            findings.append(f"{base}: no # TYPE line")
+            continue
+        if fam.kind in ("counter", "gauge"):
+            for sample in fam.samples:
+                if sample.name != base:
+                    findings.append(
+                        f"{base}: unexpected series {sample.name!r} "
+                        f"for a {fam.kind}"
+                    )
+                elif fam.kind == "counter" and (
+                    sample.value < 0 or math.isnan(sample.value)
+                ):
+                    findings.append(
+                        f"{base}: counter value {sample.value} "
+                        f"(labels {sample.labels})"
+                    )
+            continue
+        if fam.kind != "histogram":
+            continue
+        # histogram: group component series by the non-le label set
+        series: Dict[Tuple, Dict] = {}
+        for sample in fam.samples:
+            key = sample.label_key(drop=("le",))
+            group = series.setdefault(
+                key, {"buckets": [], "sum": None, "count": None}
+            )
+            if sample.name == base + "_bucket":
+                le = sample.labels.get("le")
+                if le is None:
+                    findings.append(
+                        f"{base}: _bucket without le (labels "
+                        f"{sample.labels})"
+                    )
+                    continue
+                bound = math.inf if le == "+Inf" else None
+                if bound is None:
+                    try:
+                        bound = float(le)
+                    except ValueError:
+                        findings.append(f"{base}: unparsable le={le!r}")
+                        continue
+                group["buckets"].append((bound, sample.value))
+            elif sample.name == base + "_sum":
+                group["sum"] = sample.value
+            elif sample.name == base + "_count":
+                group["count"] = sample.value
+            else:
+                findings.append(
+                    f"{base}: unexpected series {sample.name!r} "
+                    f"for a histogram"
+                )
+        for key, group in series.items():
+            where = f"{base}{dict(key) if key else ''}"
+            buckets = sorted(group["buckets"])
+            if not buckets:
+                findings.append(f"{where}: histogram with no buckets")
+                continue
+            last = -1.0
+            for bound, cum in buckets:
+                if cum < last:
+                    findings.append(
+                        f"{where}: bucket counts not cumulative at "
+                        f"le={bound}"
+                    )
+                last = cum
+            if buckets[-1][0] != math.inf:
+                findings.append(f"{where}: missing le=\"+Inf\" bucket")
+            if group["count"] is None:
+                findings.append(f"{where}: missing _count")
+            elif buckets[-1][0] == math.inf and (
+                buckets[-1][1] != group["count"]
+            ):
+                findings.append(
+                    f"{where}: +Inf bucket ({buckets[-1][1]}) != _count "
+                    f"({group['count']})"
+                )
+            if group["sum"] is None:
+                findings.append(f"{where}: missing _sum")
+    return findings

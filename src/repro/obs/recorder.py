@@ -1,0 +1,188 @@
+"""Flight recorder: always-on ring of recent spans + structured events.
+
+Tracing answers "how long did each stage take" *when someone asked for
+a trace*.  The flight recorder answers the postmortem question -- "what
+was happening right before the worker died?" -- without anyone having
+asked in advance.  It is cheap enough to leave on: two bounded
+:class:`collections.deque` rings (finished span records, structured
+events), appended under a lock, no I/O until a trigger fires.
+
+The serving layers each own one recorder and feed it two ways:
+
+- as a **trace sink** (it implements ``emit(record)``), so the last
+  ~2k finished spans are always available -- including the worker-
+  process spans re-emitted through
+  :func:`repro.obs.trace.emit_foreign`;
+- through :meth:`record_event` at the resilience choke points: breaker
+  transitions, deadline expiries, worker kills/respawns, drift fires,
+  model swaps, degradation-ladder tier changes.
+
+When a trigger fires (chaos kill, breaker opening, an explicit
+``dump()``), the recorder writes one self-contained JSON **bundle**:
+trigger metadata, the event ring, the span ring, and -- when the
+trigger names a ``trace_id`` -- that trace's spans pulled to the front
+so "the affected request" is the first thing a human sees.  Bundles
+land in ``dir`` as ``flight-<trigger>-<seq>.json``; the newest
+``max_bundles`` are kept.
+
+Everything here is stdlib-only and JSON-serializable by construction:
+callers pass only str/int/float fields into events (enforced by
+stringifying anything else).
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from collections import deque
+from typing import Dict, List, Optional
+
+__all__ = ["FlightRecorder", "load_bundle"]
+
+#: bundle schema version, checked by the lint CLI
+SCHEMA = "repro.obs.flight/1"
+
+
+class FlightRecorder:
+    """Bounded in-memory ring of spans and events with JSON dump."""
+
+    def __init__(self, dir: Optional[str] = None, *,
+                 capacity_spans: int = 2048, capacity_events: int = 1024,
+                 max_bundles: int = 8, clock=time.time) -> None:
+        self.dir = dir
+        self._spans: deque = deque(maxlen=int(capacity_spans))
+        self._events: deque = deque(maxlen=int(capacity_events))
+        self._lock = threading.Lock()
+        self._clock = clock
+        self._seq = 0
+        self._max_bundles = int(max_bundles)
+        self.bundles_written = 0
+
+    # -- ingestion -----------------------------------------------------------
+
+    def emit(self, record: Dict) -> None:
+        """Trace-sink interface: retain a finished span record."""
+        with self._lock:
+            self._spans.append(record)
+
+    def record_event(self, kind: str, **fields) -> Dict:
+        """Append a structured event (breaker flip, kill, swap, ...).
+
+        Non-scalar field values are stringified so the ring is always
+        JSON-serializable; a ``t`` wall-clock timestamp is stamped here.
+        Returns the event dict (useful in tests).
+        """
+        event = {"kind": str(kind), "t": self._clock()}
+        for key, val in fields.items():
+            if val is None or isinstance(val, (str, int, float, bool)):
+                event[key] = val
+            else:
+                event[key] = str(val)
+        with self._lock:
+            self._events.append(event)
+        return event
+
+    # -- inspection ----------------------------------------------------------
+
+    def snapshot(self) -> Dict[str, int]:
+        with self._lock:
+            return {
+                "spans": len(self._spans),
+                "events": len(self._events),
+                "bundles_written": self.bundles_written,
+                "recent_events": list(self._events)[-5:],
+            }
+
+    def events(self, kind: Optional[str] = None) -> List[Dict]:
+        with self._lock:
+            evs = list(self._events)
+        if kind is not None:
+            evs = [e for e in evs if e["kind"] == kind]
+        return evs
+
+    def spans(self) -> List[Dict]:
+        with self._lock:
+            return list(self._spans)
+
+    # -- postmortem bundles --------------------------------------------------
+
+    def build_bundle(self, trigger: str, *, trace_id: Optional[str] = None,
+                     extra: Optional[Dict] = None) -> Dict:
+        """Assemble (but do not write) a postmortem bundle dict."""
+        with self._lock:
+            spans = list(self._spans)
+            events = list(self._events)
+        if trace_id is not None:
+            # the affected request's spans first, rest of the ring after
+            hit = [s for s in spans if s.get("trace_id") == trace_id]
+            miss = [s for s in spans if s.get("trace_id") != trace_id]
+            spans = hit + miss
+        bundle = {
+            "schema": SCHEMA,
+            "trigger": trigger,
+            "dumped_at": self._clock(),
+            "pid": os.getpid(),
+            "trace_id": trace_id,
+            "events": events,
+            "spans": spans,
+        }
+        if extra:
+            bundle["extra"] = extra
+        return bundle
+
+    def dump(self, trigger: str, *, trace_id: Optional[str] = None,
+             extra: Optional[Dict] = None,
+             path: Optional[str] = None) -> Optional[str]:
+        """Write a postmortem bundle; returns its path (None if nowhere
+        to write: no ``path`` given and no ``dir`` configured)."""
+        bundle = self.build_bundle(trigger, trace_id=trace_id, extra=extra)
+        if path is None:
+            if self.dir is None:
+                return None
+            os.makedirs(self.dir, exist_ok=True)
+            with self._lock:
+                self._seq += 1
+                seq = self._seq
+            safe = "".join(c if (c.isalnum() or c in "-_.") else "_"
+                           for c in trigger)
+            path = os.path.join(self.dir, f"flight-{safe}-{seq:04d}.json")
+        tmp = path + ".tmp"
+        with open(tmp, "w") as fh:
+            json.dump(bundle, fh)
+        os.replace(tmp, path)
+        self.bundles_written += 1
+        if self.dir is not None:
+            self._prune()
+        return path
+
+    def _prune(self) -> None:
+        try:
+            names = sorted(
+                n for n in os.listdir(self.dir)
+                if n.startswith("flight-") and n.endswith(".json")
+            )
+        except OSError:
+            return
+        for name in names[:-self._max_bundles] if self._max_bundles else names:
+            try:
+                os.remove(os.path.join(self.dir, name))
+            except OSError:
+                pass
+
+    def clear(self) -> None:
+        with self._lock:
+            self._spans.clear()
+            self._events.clear()
+
+
+def load_bundle(path: str) -> Dict:
+    """Read a postmortem bundle back (raises on schema mismatch)."""
+    with open(path) as fh:
+        bundle = json.load(fh)
+    if bundle.get("schema") != SCHEMA:
+        raise ValueError(
+            f"not a flight-recorder bundle (schema={bundle.get('schema')!r})"
+        )
+    return bundle

@@ -128,8 +128,12 @@ class Histogram:
     Buckets grow geometrically from ``least`` by ``growth`` per bucket
     (the defaults cover 1 us .. ~100 s at ~24 buckets per decade);
     values above the top bucket land in a final overflow bucket whose
-    reported bound is the largest recorded value.  ``record`` is
-    O(log buckets) and percentile queries never retain raw samples.
+    reported bound is the largest recorded value.  ``record`` sits
+    under every enabled span (the ``span_seconds`` aggregate), so the
+    bucket index is computed in O(1) from the geometric structure --
+    one ``math.log`` plus a float-error fix-up against the real bounds
+    -- instead of a Python-loop binary search.  Percentile queries
+    never retain raw samples.
     """
 
     def __init__(self, least: float = 1e-6, growth: float = 1.35,
@@ -141,16 +145,26 @@ class Histogram:
         self._sum = 0.0
         self._min = math.inf
         self._max = 0.0
+        self._log_least = math.log(least)
+        self._log_growth = math.log(growth)
 
     def record(self, value: float) -> None:
         s = max(0.0, float(value))
-        lo, hi = 0, len(self._bounds)
-        while lo < hi:  # first bucket whose bound >= s
-            mid = (lo + hi) // 2
-            if self._bounds[mid] >= s:
-                hi = mid
-            else:
-                lo = mid + 1
+        # first bucket whose bound >= s: log-estimate, then nudge to
+        # absorb float error (and stay correct for load_state'd bounds
+        # that only approximately follow the geometric formula)
+        bounds = self._bounds
+        n = len(bounds)
+        if s <= bounds[0]:
+            lo = 0
+        else:
+            lo = int((math.log(s) - self._log_least) / self._log_growth)
+            if lo > n - 1:
+                lo = n - 1
+            while lo > 0 and bounds[lo - 1] >= s:
+                lo -= 1
+            while lo < n and bounds[lo] < s:
+                lo += 1
         with self._lock:
             self._counts[lo] += 1
             self._count += 1
@@ -201,6 +215,30 @@ class Histogram:
             "max_s": self._max,
         }
 
+    def cumulative_buckets(self) -> List[Tuple[float, int]]:
+        """Cumulative ``(upper_bound, count)`` pairs for exposition.
+
+        Prometheus-style: counts are cumulative and the final pair has
+        bound ``math.inf`` (rendered as ``+Inf``) carrying the total
+        count.  Empty buckets that do not change the cumulative count
+        are skipped -- for a 64-bucket log histogram with a handful of
+        occupied buckets this keeps exposition near-minimal while
+        remaining valid (Prometheus only requires the ``+Inf`` bucket
+        and monotone cumulative counts).
+        """
+        with self._lock:
+            pairs: List[Tuple[float, int]] = []
+            running = 0
+            for i, c in enumerate(self._counts):
+                if c:
+                    running += c
+                    bound = (self._bounds[i] if i < len(self._bounds)
+                             else math.inf)
+                    if bound is not math.inf:
+                        pairs.append((bound, running))
+            pairs.append((math.inf, self._count))
+            return pairs
+
     def state(self) -> Dict[str, object]:
         """Full bucket state, enough to reconstruct the histogram."""
         with self._lock:
@@ -222,6 +260,15 @@ class Histogram:
             mn = state.get("min")
             self._min = math.inf if mn is None else float(mn)
             self._max = float(state["max"])
+            # re-derive the log-index estimate from the loaded bounds;
+            # record()'s fix-up loops keep it exact even if they only
+            # approximately follow a geometric progression
+            if self._bounds and self._bounds[0] > 0:
+                self._log_least = math.log(self._bounds[0])
+                if len(self._bounds) > 1 and self._bounds[1] > self._bounds[0]:
+                    self._log_growth = math.log(
+                        self._bounds[1] / self._bounds[0]
+                    )
 
 
 # -- families ----------------------------------------------------------------
@@ -333,6 +380,10 @@ class Registry:
         self.namespace = namespace
         self._lock = threading.Lock()
         self._families: Dict[str, _Family] = {}
+        #: bumped by :meth:`clear`; callers that cache family/child
+        #: lookups (the span aggregation fast path) compare this to
+        #: invalidate without re-doing the dict walk per event
+        self.generation = 0
 
     def _get_or_create(self, cls, name: str, help: str,
                        labels: Iterable[str], **child_kwargs):
@@ -376,6 +427,7 @@ class Registry:
         """Drop every family (test isolation helper)."""
         with self._lock:
             self._families.clear()
+            self.generation += 1
 
     # -- export -------------------------------------------------------------
 
@@ -462,18 +514,21 @@ class Registry:
     def render_prometheus(self) -> str:
         """Prometheus text-format exposition of every family.
 
-        Counters and gauges render directly; histograms render as
-        summaries (``_count``, ``_sum`` and ``quantile=`` series), which
-        keeps the output compact for 64-bucket log histograms.
+        Counters and gauges render directly.  Histograms render as
+        proper ``TYPE histogram`` families: cumulative ``_bucket``
+        series with ``le`` upper bounds (ending at ``le="+Inf"``) plus
+        ``_sum`` and ``_count`` -- the scrape-conformant shape
+        ``histogram_quantile()`` expects.  Empty log buckets are elided
+        (cumulative counts are unchanged by them), keeping the output
+        compact for 64-bucket histograms.
         """
         prefix = _sanitize(self.namespace) + "_" if self.namespace else ""
         lines: List[str] = []
         for fam in self.families():
             name = prefix + _sanitize(fam.name)
-            ftype = "summary" if fam.kind == "histogram" else fam.kind
             if fam.help:
                 lines.append(f"# HELP {name} {fam.help}")
-            lines.append(f"# TYPE {name} {ftype}")
+            lines.append(f"# TYPE {name} {fam.kind}")
             for key, child in fam.children():
                 pairs = [
                     f'{_sanitize(k)}="{_escape_label(v)}"'
@@ -491,9 +546,10 @@ class Registry:
                 elif fam.kind == "gauge":
                     lines.append(fmt(value=child.value))
                 else:
-                    for q in (0.5, 0.95, 0.99):
+                    for bound, cum in child.cumulative_buckets():
+                        le = "+Inf" if bound == math.inf else repr(bound)
                         lines.append(
-                            fmt(f'quantile="{q}"', child.percentile(q * 100))
+                            fmt(f'le="{le}"', cum, metric=name + "_bucket")
                         )
                     lines.append(fmt(value=child.sum, metric=name + "_sum"))
                     lines.append(fmt(value=child.count, metric=name + "_count"))

@@ -4,18 +4,37 @@
 name -- wall time, span count, logical op totals, and the ASIC energy
 estimate from the :class:`~repro.obs.energy.OpEnergyBridge` -- the
 paper-style breakdown a traced ``table1`` or serve run boils down to.
+
+When the trace carries distributed ids (a traced serving session:
+``serve.request`` roots with re-parented worker spans), the report
+additionally renders **critical-path and tail-latency attribution**:
+root-latency percentiles, which stage dominates the p99 tail (split
+per shard/engine/backend when spans carry those attrs), and the most
+common critical paths through the span tree.
+
+The module is also the ``python -m repro.obs`` entry point, hosting
+the sibling subcommands: ``lint`` (:mod:`repro.obs.lint`, the trace
+schema validator CI runs) and ``top`` (:mod:`repro.obs.top`, the live
+serving dashboard).
 """
 
 from __future__ import annotations
 
 import json
+from collections import defaultdict
 from pathlib import Path
 from typing import Dict, List, Optional, Union
 
 from repro.eval.tables import format_table
 from repro.obs.export import load_trace, summarize
 
-__all__ = ["trace_report", "render_trace_report", "main"]
+__all__ = [
+    "trace_report",
+    "render_trace_report",
+    "trace_attribution",
+    "render_attribution",
+    "main",
+]
 
 
 def _fmt_count(n: float) -> str:
@@ -38,6 +57,162 @@ def trace_report(
         for name, est in estimates.items():
             stages[name]["energy"] = est
     return stages
+
+
+def _percentile(sorted_values: List[float], pct: float) -> float:
+    if not sorted_values:
+        return 0.0
+    idx = (pct / 100.0) * (len(sorted_values) - 1)
+    lo = int(idx)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = idx - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def _stage_key(record: Dict) -> str:
+    """Span name enriched with the first routing attr it carries."""
+    key = record.get("name", "?")
+    attrs = record.get("attrs") or {}
+    for attr in ("shard", "engine", "backend", "worker"):
+        if attr in attrs:
+            return f"{key}[{attr}={attrs[attr]}]"
+    return key
+
+
+def trace_attribution(spans: List[Dict],
+                      tail_pct: float = 99.0) -> Optional[Dict]:
+    """Critical-path / tail-latency attribution over a distributed trace.
+
+    Returns ``None`` when the trace carries no distributed ids.
+    Otherwise: root-latency percentiles across traces, the per-stage
+    wall-time share inside the >= p-``tail_pct`` tail (stages split per
+    shard/engine/backend/worker attr so "search on shard 3 dominates
+    p99" is directly readable), and the most common critical paths --
+    the root-to-leaf chain following the slowest child at each level.
+    """
+    traces: Dict[str, List[Dict]] = defaultdict(list)
+    for record in spans:
+        if record.get("trace_id") and record.get("span_id"):
+            traces[record["trace_id"]].append(record)
+    if not traces:
+        return None
+    roots: Dict[str, Dict] = {}
+    for trace_id, records in traces.items():
+        root = next(
+            (r for r in records if not r.get("parent_span_id")), None
+        )
+        if root is not None:
+            roots[trace_id] = root
+    if not roots:
+        return None
+    latencies = sorted(float(r.get("seconds", 0.0)) for r in roots.values())
+    threshold = _percentile(latencies, tail_pct)
+    tail_ids = [
+        t for t, r in roots.items()
+        if float(r.get("seconds", 0.0)) >= threshold
+    ]
+    # per-stage wall time inside the tail traces
+    stages: Dict[str, Dict] = {}
+    tail_wall = sum(float(roots[t].get("seconds", 0.0)) for t in tail_ids)
+    for trace_id in tail_ids:
+        for record in traces[trace_id]:
+            if record is roots[trace_id]:
+                continue
+            key = _stage_key(record)
+            agg = stages.setdefault(key, {"wall_s": 0.0, "spans": 0})
+            agg["wall_s"] += float(record.get("seconds", 0.0))
+            agg["spans"] += 1
+    for agg in stages.values():
+        agg["share_of_tail"] = (
+            agg["wall_s"] / tail_wall if tail_wall > 0 else 0.0
+        )
+    # critical paths: follow the slowest child from each root
+    path_count: Dict[str, int] = defaultdict(int)
+    path_wall: Dict[str, float] = defaultdict(float)
+    for trace_id, root in roots.items():
+        children: Dict[str, List[Dict]] = defaultdict(list)
+        for record in traces[trace_id]:
+            parent = record.get("parent_span_id")
+            if parent:
+                children[parent].append(record)
+        node = root
+        names = [node.get("name", "?")]
+        visited = set()
+        while True:
+            span_id = node.get("span_id")
+            if not span_id or span_id in visited:
+                break
+            visited.add(span_id)
+            kids = children.get(span_id)
+            if not kids:
+                break
+            node = max(kids, key=lambda r: float(r.get("seconds", 0.0)))
+            names.append(_stage_key(node))
+        path = " > ".join(names)
+        path_count[path] += 1
+        path_wall[path] += float(root.get("seconds", 0.0))
+    paths = [
+        {
+            "path": path,
+            "count": count,
+            "mean_s": path_wall[path] / count,
+        }
+        for path, count in sorted(
+            path_count.items(), key=lambda kv: -path_wall[kv[0]]
+        )
+    ]
+    return {
+        "traces": len(traces),
+        "roots": len(roots),
+        "latency_s": {
+            "p50": _percentile(latencies, 50),
+            "p95": _percentile(latencies, 95),
+            "p99": _percentile(latencies, 99),
+            "max": latencies[-1],
+        },
+        "tail": {
+            "pct": tail_pct,
+            "threshold_s": threshold,
+            "traces": len(tail_ids),
+            "stages": stages,
+        },
+        "critical_paths": paths,
+    }
+
+
+def render_attribution(attribution: Dict, max_paths: int = 5) -> str:
+    """Human-readable attribution section (see :func:`trace_attribution`)."""
+    lat = attribution["latency_s"]
+    lines = [
+        f"distributed traces: {attribution['roots']} rooted "
+        f"/ {attribution['traces']} total",
+        f"root latency: p50 {lat['p50'] * 1e3:.3f}ms  "
+        f"p95 {lat['p95'] * 1e3:.3f}ms  p99 {lat['p99'] * 1e3:.3f}ms  "
+        f"max {lat['max'] * 1e3:.3f}ms",
+    ]
+    tail = attribution["tail"]
+    lines.append(
+        f"tail (>= p{tail['pct']:g}, {tail['threshold_s'] * 1e3:.3f}ms): "
+        f"{tail['traces']} trace(s); stage attribution:"
+    )
+    ranked = sorted(
+        tail["stages"].items(), key=lambda kv: -kv[1]["wall_s"]
+    )
+    if not ranked:
+        lines.append("  (tail traces have no child spans)")
+    for name, agg in ranked:
+        lines.append(
+            f"  {name:<40} {agg['wall_s'] * 1e3:9.3f}ms "
+            f"({agg['share_of_tail'] * 100:5.1f}% of tail) "
+            f"across {agg['spans']} span(s)"
+        )
+    lines.append("critical paths (by total wall time):")
+    for entry in attribution["critical_paths"][:max_paths]:
+        lines.append(
+            f"  {entry['count']:>5}x  {entry['mean_s'] * 1e3:9.3f}ms  "
+            f"{entry['path']}"
+        )
+    return "\n".join(lines)
 
 
 def render_trace_report(path: Union[str, Path], energy: bool = True) -> str:
@@ -80,7 +255,11 @@ def render_trace_report(path: Union[str, Path], energy: bool = True) -> str:
             ]
         rows.append(row)
     title = f"repro.obs report -- {path}"
-    return format_table(headers, rows, title=title)
+    out = format_table(headers, rows, title=title)
+    attribution = trace_attribution(load_trace(path))
+    if attribution is not None:
+        out += "\n\n" + render_attribution(attribution)
+    return out
 
 
 def main(argv: Optional[List[str]] = None) -> int:
@@ -100,6 +279,29 @@ def main(argv: Optional[List[str]] = None) -> int:
                      help="skip the ASIC energy estimate columns")
     rep.add_argument("--json", action="store_true",
                      help="emit the aggregate as JSON instead of a table")
+    lint_p = sub.add_parser(
+        "lint", help="validate a JSONL trace against the span schema"
+    )
+    lint_p.add_argument("trace", type=Path, help="trace file (JSONL spans)")
+    lint_p.add_argument(
+        "--allow-dangling", action="store_true",
+        help="downgrade unresolved parent ids to warnings "
+             "(partial captures)",
+    )
+    lint_p.add_argument("--quiet", action="store_true",
+                        help="exit code only, no per-finding output")
+    top_p = sub.add_parser(
+        "top", help="live serving dashboard (stats file or scrape URL)"
+    )
+    top_p.add_argument("--stats-json", type=Path, default=None,
+                       help="path to a periodically rewritten "
+                            "server.stats() JSON dump")
+    top_p.add_argument("--url", default=None,
+                       help="Prometheus endpoint to scrape")
+    top_p.add_argument("--interval", type=float, default=1.0,
+                       help="refresh period, seconds")
+    top_p.add_argument("--once", action="store_true",
+                       help="render a single frame and exit")
     args = parser.parse_args(argv)
 
     if args.command == "report":
@@ -112,4 +314,17 @@ def main(argv: Optional[List[str]] = None) -> int:
             ))
         else:
             print(render_trace_report(args.trace, energy=not args.no_energy))
+        return 0
+    if args.command == "lint":
+        if not args.trace.exists():
+            parser.error(f"trace file not found: {args.trace}")
+        from repro.obs.lint import main as lint_main
+
+        return lint_main(args.trace, allow_dangling=args.allow_dangling,
+                         quiet=args.quiet)
+    if args.command == "top":
+        from repro.obs.top import main as top_main
+
+        return top_main(stats_json=args.stats_json, url=args.url,
+                        interval=args.interval, once=args.once)
     return 0

@@ -1,0 +1,243 @@
+"""Declarative SLOs with multi-window error-budget burn-rate evaluation.
+
+The CI resilience gates assert fleet health offline (≥99% success,
+p99 ≤ deadline); this module is their runtime counterpart.  An
+:class:`SLObjective` declares what "good" means for a request stream --
+
+- **availability**: the fraction of requests that succeed, and/or
+- **latency**: the fraction that complete under ``latency_threshold_s``
+
+-- with a ``target`` like 0.99.  The :class:`SLOEngine` scores every
+request (:meth:`SLOEngine.record`) into a ring of coarse time buckets
+and evaluates **burn rate** per window: with an error budget of
+``1 - target``, ``burn = bad_fraction / (1 - target)``.  Burn 1.0
+means the budget is being consumed exactly at the sustainable pace;
+14.4 is the classic "page now" multi-hour budget bomb.  Evaluating the
+same stream over several windows (default 5 s and 60 s) is the
+standard multi-window trick: the short window proves the problem is
+*current*, the long window proves it is *material*.
+
+Results surface three ways:
+
+- :meth:`snapshot` feeds ``stats()["slo"]`` in both serving layers;
+- gauges (``slo_burn_rate{slo,window}``, ``slo_breaching{slo}``) land
+  in the registry passed at construction and ride the existing
+  Prometheus exposition;
+- optionally, breaches drive the
+  :class:`~repro.serve.resilience.degrade.DegradationLadder`
+  pre-emptively: when every window of an objective burns at ≥
+  ``burn_threshold``, the engine forces the configured degrade tier
+  (dim-shed / approx) and releases it once the short window recovers
+  -- degradation becomes objective-driven rather than queue-driven.
+
+Stdlib-only, thread-safe, O(windows × buckets) per evaluation.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+__all__ = ["SLObjective", "SLOEngine"]
+
+
+@dataclass(frozen=True)
+class SLObjective:
+    """One service-level objective over the request stream.
+
+    ``target`` is the good-fraction objective (0.99 = "99% of requests
+    are good").  A request is *bad* when it errors, or -- if
+    ``latency_threshold_s`` is set -- when it completes slower than the
+    threshold.  ``windows`` are the evaluation horizons in seconds;
+    ``burn_threshold`` is the burn rate at/above which (in **all**
+    windows simultaneously) the objective counts as breaching.
+    ``degrade_tier`` optionally names the ladder tier to force while
+    breaching (see DEGRADATION_TIERS; e.g. 2=approx, 3=dim_shed).
+    """
+
+    name: str
+    target: float = 0.99
+    latency_threshold_s: Optional[float] = None
+    windows: Tuple[float, ...] = (5.0, 60.0)
+    burn_threshold: float = 2.0
+    degrade_tier: Optional[int] = None
+
+    def __post_init__(self):
+        if not 0.0 < self.target < 1.0:
+            raise ValueError(f"target must be in (0, 1), got {self.target}")
+        if not self.windows:
+            raise ValueError("need at least one evaluation window")
+        if self.burn_threshold <= 0:
+            raise ValueError("burn_threshold must be positive")
+
+
+class _Ring:
+    """Time-bucketed good/bad counters covering the longest window."""
+
+    __slots__ = ("width", "n", "good", "bad", "stamp")
+
+    def __init__(self, width: float, n: int):
+        self.width = width
+        self.n = n
+        self.good = [0] * n
+        self.bad = [0] * n
+        self.stamp = [0] * n  # absolute bucket index last written
+
+    def slot(self, now: float) -> int:
+        idx = int(now / self.width)
+        pos = idx % self.n
+        if self.stamp[pos] != idx:
+            self.good[pos] = 0
+            self.bad[pos] = 0
+            self.stamp[pos] = idx
+        return pos
+
+    def totals(self, now: float, window: float) -> Tuple[int, int]:
+        """(good, bad) over the trailing ``window`` seconds."""
+        idx = int(now / self.width)
+        lo = idx - int(round(window / self.width)) + 1
+        g = b = 0
+        for pos in range(self.n):
+            if lo <= self.stamp[pos] <= idx:
+                g += self.good[pos]
+                b += self.bad[pos]
+        return g, b
+
+
+@dataclass
+class _Hold:
+    """Per-objective breach latching state."""
+
+    breaching: bool = False
+    forced: bool = False
+    breach_count: int = 0
+
+
+class SLOEngine:
+    """Scores requests against objectives; evaluates burn rates.
+
+    ``registry`` (a :class:`repro.obs.registry.Registry`) receives the
+    burn-rate gauges; ``ladder`` (optional) is driven on breach when an
+    objective declares ``degrade_tier``.  ``clock`` is injectable for
+    deterministic tests.
+    """
+
+    def __init__(self, objectives: Sequence[SLObjective], *,
+                 registry=None, ladder=None, clock=time.monotonic) -> None:
+        names = [o.name for o in objectives]
+        if len(set(names)) != len(names):
+            raise ValueError(f"duplicate objective names: {names}")
+        self.objectives: Tuple[SLObjective, ...] = tuple(objectives)
+        self._ladder = ladder
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._holds: Dict[str, _Hold] = {o.name: _Hold() for o in objectives}
+        self._rings: Dict[str, _Ring] = {}
+        for obj in self.objectives:
+            longest = max(obj.windows)
+            width = max(min(obj.windows) / 10.0, 1e-3)
+            n = int(longest / width) + 2
+            self._rings[obj.name] = _Ring(width, n)
+        self._gauge_burn = None
+        self._gauge_breach = None
+        if registry is not None:
+            self._gauge_burn = registry.gauge(
+                "slo_burn_rate",
+                help="error-budget burn rate per objective and window",
+                labels=("slo", "window"),
+            )
+            self._gauge_breach = registry.gauge(
+                "slo_breaching",
+                help="1 while the objective burns above threshold in all windows",
+                labels=("slo",),
+            )
+
+    # -- scoring -------------------------------------------------------------
+
+    def record(self, latency_s: float, ok: bool = True) -> None:
+        """Score one finished request against every objective."""
+        now = self._clock()
+        with self._lock:
+            for obj in self.objectives:
+                good = ok and (obj.latency_threshold_s is None
+                               or latency_s <= obj.latency_threshold_s)
+                ring = self._rings[obj.name]
+                pos = ring.slot(now)
+                if good:
+                    ring.good[pos] += 1
+                else:
+                    ring.bad[pos] += 1
+
+    # -- evaluation ----------------------------------------------------------
+
+    def evaluate(self) -> Dict[str, Dict]:
+        """Burn rates per objective/window; drives gauges and ladder.
+
+        Call periodically (the serve supervisors do, ~per tick).  An
+        objective *breaches* when every window's burn ≥ its
+        ``burn_threshold``; it *recovers* when the shortest window's
+        burn drops below half the threshold (hysteresis, so a forced
+        degrade tier does not flap).
+        """
+        now = self._clock()
+        out: Dict[str, Dict] = {}
+        to_force: List[Tuple[SLObjective, bool]] = []
+        with self._lock:
+            for obj in self.objectives:
+                ring = self._rings[obj.name]
+                budget = 1.0 - obj.target
+                burns: Dict[str, float] = {}
+                short_burn = None
+                all_over = True
+                for window in obj.windows:
+                    good, bad = ring.totals(now, window)
+                    total = good + bad
+                    bad_frac = (bad / total) if total else 0.0
+                    burn = bad_frac / budget
+                    burns[f"{window:g}s"] = burn
+                    if window == min(obj.windows):
+                        short_burn = burn
+                    if burn < obj.burn_threshold or total == 0:
+                        all_over = False
+                hold = self._holds[obj.name]
+                if all_over and not hold.breaching:
+                    hold.breaching = True
+                    hold.breach_count += 1
+                elif hold.breaching and short_burn is not None \
+                        and short_burn < obj.burn_threshold / 2.0:
+                    hold.breaching = False
+                out[obj.name] = {
+                    "target": obj.target,
+                    "latency_threshold_s": obj.latency_threshold_s,
+                    "burn": burns,
+                    "breaching": hold.breaching,
+                    "breach_count": hold.breach_count,
+                }
+                if obj.degrade_tier is not None and self._ladder is not None:
+                    if hold.breaching and not hold.forced:
+                        hold.forced = True
+                        to_force.append((obj, True))
+                    elif not hold.breaching and hold.forced:
+                        hold.forced = False
+                        to_force.append((obj, False))
+        if self._gauge_burn is not None:
+            for name, entry in out.items():
+                for win, burn in entry["burn"].items():
+                    self._gauge_burn.labels(slo=name, window=win).set(burn)
+                self._gauge_breach.labels(slo=name).set(
+                    1.0 if entry["breaching"] else 0.0
+                )
+        # ladder calls happen outside the lock: force_tier takes the
+        # ladder's own lock and may run dim-shed hooks
+        for obj, engage in to_force:
+            try:
+                self._ladder.force_tier(obj.degrade_tier if engage else 0)
+            except Exception:
+                pass
+        return out
+
+    def snapshot(self) -> Dict[str, Dict]:
+        """Evaluate and return the ``stats()["slo"]`` payload."""
+        return self.evaluate()

@@ -1,0 +1,217 @@
+"""``python -m repro.obs top`` -- a live terminal serving dashboard.
+
+Renders a compact, auto-refreshing view of a serving fleet's health:
+queue depth, shed level, per-stage latency percentiles, SLO burn
+rates, flight-recorder activity, and (for the sharded server) the
+per-shard process table.
+
+Two data sources, both poll-based so the dashboard needs no hooks
+inside the server process:
+
+- ``--stats-json PATH``: a file periodically rewritten with
+  ``json.dumps(server.stats())`` (the serve bench and the smoke rig
+  do this).  This is the richest view -- it has the full nested
+  snapshot.
+- ``--url URL``: a Prometheus endpoint
+  (:func:`repro.obs.export.serve_prometheus`); the dashboard scrapes
+  and renders the parsed families (:mod:`repro.obs.promparse`).
+
+``--once`` renders a single frame and exits (what the tests drive);
+without it the loop clears the screen every ``--interval`` seconds
+until interrupted.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Dict, List, Optional
+
+__all__ = ["render_dashboard", "render_prometheus_frame", "main"]
+
+_CLEAR = "\x1b[2J\x1b[H"
+
+
+def _fmt_ms(seconds: Optional[float]) -> str:
+    if seconds is None:
+        return "-"
+    return f"{seconds * 1e3:8.3f}"
+
+
+def _rule(title: str, width: int = 72) -> str:
+    pad = max(width - len(title) - 4, 0)
+    return f"-- {title} " + "-" * pad
+
+
+def _histogram_rows(hists: Dict) -> List[str]:
+    rows = []
+    for name in sorted(hists):
+        entry = hists[name]
+        # unlabeled histograms snapshot flat; labeled ones nest one
+        # snapshot per label-combination key
+        children = ({"": entry} if "count" in entry
+                    else {str(k): v for k, v in entry.items()})
+        for key, snap in sorted(children.items()):
+            if not isinstance(snap, dict) or not snap.get("count"):
+                continue
+            label = name if not key else f"{name}{key}"
+            rows.append(
+                f"  {label:<34} n={int(snap['count']):>7}  "
+                f"p50={_fmt_ms(snap.get('p50_s'))}ms  "
+                f"p95={_fmt_ms(snap.get('p95_s'))}ms  "
+                f"p99={_fmt_ms(snap.get('p99_s'))}ms"
+            )
+    return rows
+
+
+def render_dashboard(stats: Dict, width: int = 72) -> str:
+    """One dashboard frame from a ``server.stats()`` snapshot dict."""
+    lines: List[str] = []
+    queue = stats.get("queue") or {}
+    policy = stats.get("policy") or {}
+    lines.append(_rule("serving", width))
+    lines.append(
+        f"  queue {queue.get('depth', '?')}/{queue.get('maxsize', '?')}"
+        f"   shed level {policy.get('level', '?')}"
+        f"   recent p95 {_fmt_ms(policy.get('recent_p95_s'))}ms"
+    )
+    deployments = stats.get("deployments") or {}
+    for name, dep in sorted(deployments.items()):
+        lines.append(
+            f"  model {name:<16} v{dep.get('version', '?')} "
+            f"dim {dep.get('serving_dim', dep.get('dim', '?'))}"
+            f"/{dep.get('dim', '?')}"
+            + ("  DEGRADED" if dep.get("degraded") else "")
+        )
+    hist_rows = _histogram_rows(stats.get("histograms") or {})
+    if hist_rows:
+        lines.append(_rule("latency", width))
+        lines.extend(hist_rows)
+    slo = stats.get("slo")
+    lines.append(_rule("slo", width))
+    if not slo:
+        lines.append("  (no objectives configured)")
+    else:
+        for name, state in sorted(slo.items()):
+            flag = "BREACH" if state.get("breaching") else "ok"
+            burns = state.get("burn") or {}
+            burn_txt = "  ".join(
+                f"{win}:{rate:.2f}" for win, rate in sorted(
+                    burns.items(), key=lambda kv: float(kv[0].rstrip("s"))
+                )
+            )
+            lines.append(
+                f"  {name:<24} {flag:<7} burn [{burn_txt}]"
+                f"  breaches {state.get('breach_count', 0)}"
+            )
+    recorder = stats.get("recorder")
+    if recorder:
+        lines.append(_rule("flight recorder", width))
+        lines.append(
+            f"  spans {recorder.get('spans', 0)}"
+            f"   events {recorder.get('events', 0)}"
+            f"   bundles {recorder.get('bundles_written', 0)}"
+        )
+        for event in (recorder.get("recent_events") or [])[-5:]:
+            kind = event.get("kind", "?")
+            detail = " ".join(
+                f"{k}={v}" for k, v in sorted(event.items())
+                if k not in ("kind", "t")
+            )
+            lines.append(f"    {kind:<20} {detail}"[:width])
+    shards = stats.get("shards")
+    if shards:
+        lines.append(_rule("shards", width))
+        entries = (shards.values() if isinstance(shards, dict) else shards)
+        for shard in sorted(
+            (s for s in entries if isinstance(s, dict)),
+            key=lambda s: s.get("shard", 0),
+        ):
+            lines.append(
+                f"  shard {shard.get('shard', '?'):>2}"
+                f"  pid {shard.get('pid', '?')}"
+                f"  served {shard.get('served', 0):>8}"
+                f"  busy {shard.get('busy_seconds', 0.0):8.2f}s"
+                f"  rss {shard.get('rss_kb', 0) // 1024:>5}MB"
+            )
+    return "\n".join(lines)
+
+
+def render_prometheus_frame(text: str, width: int = 72) -> str:
+    """One dashboard frame from a Prometheus exposition scrape."""
+    from repro.obs.promparse import parse_text
+
+    families = parse_text(text)
+    lines: List[str] = [_rule("metrics", width)]
+    for base in sorted(families):
+        fam = families[base]
+        if fam.kind == "histogram":
+            # show _count and _sum-derived mean per label set
+            counts = {s.label_key(): s.value for s in fam.samples
+                      if s.name == base + "_count"}
+            sums = {s.label_key(): s.value for s in fam.samples
+                    if s.name == base + "_sum"}
+            for key, count in sorted(counts.items()):
+                if not count:
+                    continue
+                mean = sums.get(key, 0.0) / count
+                label = dict(key)
+                lines.append(
+                    f"  {base}{label if label else '':<30} "
+                    f"n={int(count)} mean={mean * 1e3:.3f}ms"
+                )
+        else:
+            for sample in fam.samples:
+                if not sample.value and fam.kind == "counter":
+                    continue
+                label = sample.labels or ""
+                lines.append(
+                    f"  {sample.name}{label} {sample.value:g}"
+                )
+    slo_lines = [ln for ln in lines if "slo_" in ln]
+    if slo_lines:
+        lines.append(_rule("slo", width))
+        lines.extend(f"  {ln.strip()}" for ln in slo_lines)
+    return "\n".join(lines)
+
+
+def _read_frame(stats_json: Optional[Path], url: Optional[str],
+                width: int) -> str:
+    if stats_json is not None:
+        try:
+            stats = json.loads(stats_json.read_text(encoding="utf-8"))
+        except (OSError, ValueError) as exc:
+            return f"(stats file unreadable: {exc})"
+        return render_dashboard(stats, width=width)
+    from urllib.request import urlopen
+
+    try:
+        with urlopen(url, timeout=5.0) as resp:  # noqa: S310 - local scrape
+            body = resp.read().decode("utf-8", "replace")
+    except OSError as exc:
+        return f"(scrape failed: {exc})"
+    return render_prometheus_frame(body, width=width)
+
+
+def main(stats_json: Optional[Path] = None, url: Optional[str] = None,
+         interval: float = 1.0, once: bool = False,
+         width: int = 72) -> int:
+    """CLI body for the ``top`` subcommand; returns the exit code."""
+    if (stats_json is None) == (url is None):
+        print("top: exactly one of --stats-json / --url is required")
+        return 2
+    try:
+        while True:
+            frame = _read_frame(stats_json, url, width)
+            stamp = time.strftime("%H:%M:%S")
+            header = f"repro.obs top  {stamp}  (ctrl-c to exit)"
+            if once:
+                print(header)
+                print(frame)
+                return 0
+            print(_CLEAR + header)
+            print(frame, flush=True)
+            time.sleep(interval)
+    except KeyboardInterrupt:
+        return 0

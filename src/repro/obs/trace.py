@@ -17,11 +17,29 @@ sink of :mod:`repro.obs.export`) and aggregated into the process-global
 ``span_ops_total`` / ``span_bytes_total`` families, which
 ``render_prometheus`` then exposes.
 
+The enabled path is engineered flat (the ``span_ns.enabled`` number in
+``BENCH_obs.json`` gates it in CI): finished :class:`Span` objects are
+recycled through a small per-thread free list instead of re-allocated,
+the sink list is pre-resolved into a tuple snapshot on every mutation
+(no per-span list copy), and the registry instruments spans aggregate
+into are resolved once and cached until :meth:`Registry.clear` bumps
+the registry generation.  The one observable consequence of pooling: a
+``Span`` kept past its ``with`` block may be re-initialized by the next
+span on the same thread, so read ``sp.seconds`` before opening another.
+
 Span nesting is tracked per thread: a span opened inside another span
 records its parent's dotted path, so the report tool can distinguish
-``train/train.epoch`` from a bare ``train.epoch``.  Worker threads and
-forked eval processes start with an empty stack (and child processes
-start with tracing disabled -- spans never cross the process boundary).
+``train/train.epoch`` from a bare ``train.epoch``.  On top of the
+path, spans carry **distributed identity** when a
+:class:`~repro.obs.distributed.TraceContext` is active (see
+:mod:`repro.obs.distributed`): a top-level span opened while a context
+is set adopts its ``trace_id`` and parents under its ``span_id``, and
+every identified span mints its own 64-bit ``span_id`` -- that is how a
+request's spans re-assemble across the serving fleet's threads *and*
+processes.  Worker processes start with tracing disabled unless their
+parent propagates state at spawn (the sharded server and the eval
+harness both do); their spans travel back as plain record dicts and
+re-enter the parent's sinks through :func:`emit_foreign`.
 
 Usage::
 
@@ -36,21 +54,25 @@ Usage::
 
 from __future__ import annotations
 
+import os
 import threading
 import time
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Tuple
 
+from repro.obs import distributed as _distributed
 from repro.obs import registry as _registry
 
 __all__ = [
     "Span",
     "span",
     "emit_span",
+    "emit_foreign",
     "traced",
     "current_span",
     "enable_tracing",
     "disable_tracing",
     "tracing_enabled",
+    "tracing_state",
     "add_sink",
     "remove_sink",
     "reset",
@@ -58,7 +80,13 @@ __all__ = [
 
 _enabled = False
 _sinks: List[object] = []
-_state = threading.local()  # per-thread span stack
+#: pre-resolved snapshot of ``_sinks`` -- rebuilt on every mutation so
+#: the per-span dispatch loop never copies the list
+_active: Tuple[object, ...] = ()
+_state = threading.local()  # per-thread span stack, pool, cached names
+
+#: spans kept on each thread's free list
+_POOL_MAX = 32
 
 
 # -- the disabled path -------------------------------------------------------
@@ -92,7 +120,8 @@ _NOOP = _NoopSpan()
 class Span:
     """One timed, op-accounted region of work."""
 
-    __slots__ = ("name", "attrs", "path", "ops", "t0", "seconds")
+    __slots__ = ("name", "attrs", "path", "ops", "t0", "seconds",
+                 "trace_id", "span_id", "parent_id")
     recording = True
 
     def __init__(self, name: str, attrs: Dict):
@@ -102,6 +131,21 @@ class Span:
         self.ops: Dict[str, int] = {}
         self.t0 = 0.0
         self.seconds = 0.0
+        self.trace_id: Optional[int] = None
+        self.span_id: Optional[int] = None
+        self.parent_id: Optional[int] = None
+
+    def _reinit(self, name: str, attrs: Dict) -> "Span":
+        self.name = name
+        self.attrs = attrs
+        self.path = name
+        self.ops = {}
+        self.t0 = 0.0
+        self.seconds = 0.0
+        self.trace_id = None
+        self.span_id = None
+        self.parent_id = None
+        return self
 
     def add_ops(self, *, xor_ops: int = 0, add_ops: int = 0,
                 mul_ops: int = 0, mem_bytes: int = 0, **extra) -> None:
@@ -122,7 +166,18 @@ class Span:
         if stack is None:
             stack = _state.stack = []
         if stack:
-            self.path = stack[-1].path + "/" + self.name
+            parent = stack[-1]
+            self.path = parent.path + "/" + self.name
+            if parent.trace_id is not None:
+                self.trace_id = parent.trace_id
+                self.parent_id = parent.span_id
+        else:
+            ctx = _distributed.current_context()
+            if ctx is not None:
+                self.trace_id = ctx.trace_id
+                self.parent_id = ctx.span_id
+        if self.trace_id is not None:
+            self.span_id = _distributed.new_span_id()
         stack.append(self)
         self.t0 = time.perf_counter()
         return self
@@ -133,7 +188,73 @@ class Span:
         if stack and stack[-1] is self:
             stack.pop()
         _finish(self, error=exc_type is not None)
+        pool = getattr(_state, "pool", None)
+        if pool is None:
+            pool = _state.pool = []
+        if len(pool) < _POOL_MAX:
+            pool.append(self)
         return False
+
+
+def _thread_name() -> str:
+    name = getattr(_state, "tname", None)
+    if name is None:
+        name = _state.tname = threading.current_thread().name
+    return name
+
+
+# instruments the span aggregates land in, resolved once per registry
+# generation (Registry.clear bumps it) instead of per span
+_agg = {"gen": -1, "hist": None, "ops": None, "bytes": None,
+        "hist_children": {}, "ops_children": {}, "bytes_children": {}}
+
+
+def _refresh_agg(reg) -> None:
+    _agg["gen"] = reg.generation
+    _agg["hist"] = reg.histogram(
+        "span_seconds", help="wall time of traced spans", labels=("name",)
+    )
+    _agg["ops"] = reg.counter(
+        "span_ops_total", help="logical ops recorded by traced spans",
+        labels=("name", "op"),
+    )
+    _agg["bytes"] = reg.counter(
+        "span_bytes_total", help="bytes moved by traced spans",
+        labels=("name",),
+    )
+    _agg["hist_children"] = {}
+    _agg["ops_children"] = {}
+    _agg["bytes_children"] = {}
+
+
+def _aggregate(name: str, seconds: float,
+               ops: Optional[Dict[str, int]]) -> None:
+    reg = _registry.REGISTRY
+    if _agg["gen"] != reg.generation:
+        _refresh_agg(reg)
+    child = _agg["hist_children"].get(name)
+    if child is None:
+        child = _agg["hist_children"][name] = _agg["hist"].labels(name=name)
+    child.record(seconds)
+    if ops:
+        for op in ("xor_ops", "add_ops", "mul_ops"):
+            count = ops.get(op)
+            if count:
+                key = (name, op)
+                ctr = _agg["ops_children"].get(key)
+                if ctr is None:
+                    ctr = _agg["ops_children"][key] = _agg["ops"].labels(
+                        name=name, op=op
+                    )
+                ctr.inc(count)
+        mem = ops.get("mem_bytes")
+        if mem:
+            ctr = _agg["bytes_children"].get(name)
+            if ctr is None:
+                ctr = _agg["bytes_children"][name] = _agg["bytes"].labels(
+                    name=name
+                )
+            ctr.inc(mem)
 
 
 def _finish(sp: Span, error: bool) -> None:
@@ -141,32 +262,22 @@ def _finish(sp: Span, error: bool) -> None:
         "name": sp.name,
         "path": sp.path,
         "seconds": sp.seconds,
-        "thread": threading.current_thread().name,
+        "thread": _thread_name(),
     }
+    if sp.trace_id is not None:
+        record["trace_id"] = _distributed.fmt_id(sp.trace_id)
+        record["span_id"] = _distributed.fmt_id(sp.span_id)
+        if sp.parent_id is not None:
+            record["parent_span_id"] = _distributed.fmt_id(sp.parent_id)
+        record["pid"] = os.getpid()
     if sp.attrs:
         record["attrs"] = sp.attrs
     if sp.ops:
         record["ops"] = sp.ops
     if error:
         record["error"] = True
-    reg = _registry.REGISTRY
-    reg.histogram(
-        "span_seconds", help="wall time of traced spans", labels=("name",)
-    ).labels(name=sp.name).record(sp.seconds)
-    if sp.ops:
-        ops_fam = reg.counter(
-            "span_ops_total", help="logical ops recorded by traced spans",
-            labels=("name", "op"),
-        )
-        for op in ("xor_ops", "add_ops", "mul_ops"):
-            if sp.ops.get(op):
-                ops_fam.labels(name=sp.name, op=op).inc(sp.ops[op])
-        if sp.ops.get("mem_bytes"):
-            reg.counter(
-                "span_bytes_total", help="bytes moved by traced spans",
-                labels=("name",),
-            ).labels(name=sp.name).inc(sp.ops["mem_bytes"])
-    for sink in list(_sinks):
+    _aggregate(sp.name, sp.seconds, sp.ops if sp.ops else None)
+    for sink in _active:
         try:
             sink.emit(record)
         except Exception:
@@ -181,18 +292,32 @@ def span(name: str, **attrs):
     """Open a span named ``name``; no-op unless tracing is enabled."""
     if not _enabled:
         return _NOOP
+    pool = getattr(_state, "pool", None)
+    if pool:
+        return pool.pop()._reinit(name, attrs)
     return Span(name, attrs)
 
 
 def emit_span(name: str, seconds: float,
               attrs: Optional[Dict] = None,
-              ops: Optional[Dict[str, int]] = None) -> None:
+              ops: Optional[Dict[str, int]] = None,
+              ctx=None, span_id: Optional[int] = None) -> None:
     """Record an already-timed region as a finished span.
 
     For loop-structured hot paths (retraining epochs) where wrapping the
     body in a context manager would force awkward restructuring: the
     caller measures ``seconds`` itself and emits one span per iteration.
     No-op while tracing is disabled.
+
+    ``ctx`` (a :class:`~repro.obs.distributed.TraceContext`) attaches
+    distributed identity explicitly -- the serving layer uses this for
+    spans whose open and close happen on different threads (the
+    ``serve.request`` root and the dispatcher's ``serve.dispatch``
+    bracket).  ``span_id`` pins the emitted span's own id so children
+    that already referenced it stay correctly parented; by default a
+    fresh id is minted.  When ``ctx`` is a root context
+    (``span_id == ctx.span_id``), pass ``span_id=ctx.span_id`` and the
+    span is emitted as the trace root (no parent).
     """
     if not _enabled:
         return
@@ -200,10 +325,46 @@ def emit_span(name: str, seconds: float,
     stack = getattr(_state, "stack", None)
     if stack:
         sp.path = stack[-1].path + "/" + name
+    if ctx is not None:
+        sp.trace_id = ctx.trace_id
+        if span_id is not None and span_id == ctx.span_id:
+            sp.span_id = span_id          # the root span itself
+        else:
+            sp.parent_id = ctx.span_id
+            sp.span_id = (span_id if span_id is not None
+                          else _distributed.new_span_id())
+    elif stack and stack[-1].trace_id is not None:
+        sp.trace_id = stack[-1].trace_id
+        sp.parent_id = stack[-1].span_id
+        sp.span_id = _distributed.new_span_id()
     sp.seconds = float(seconds)
     if ops:
         sp.ops = {k: int(v) for k, v in ops.items() if v}
     _finish(sp, error=False)
+
+
+def emit_foreign(record: Dict, aggregate: bool = False) -> None:
+    """Re-emit a finished span record produced by *another process*.
+
+    The sharded collector and the eval harness ship worker span records
+    (plain dicts) back to the parent; this dispatches them to the
+    parent's sinks so one ``--trace out.jsonl`` holds the whole fleet.
+    ``aggregate=True`` additionally folds the span into the local
+    registry's ``span_seconds``/``span_ops_total`` families -- used by
+    the eval harness, whose child registries are discarded; the sharded
+    server leaves it off because worker registries are absorbed
+    wholesale (with shard labels) through ``shard_stats``.
+    """
+    if not _enabled:
+        return
+    if aggregate:
+        _aggregate(record.get("name", "?"), float(record.get("seconds", 0.0)),
+                   record.get("ops") or None)
+    for sink in _active:
+        try:
+            sink.emit(record)
+        except Exception:
+            pass
 
 
 def traced(name: Optional[str] = None, **attrs) -> Callable:
@@ -215,7 +376,7 @@ def traced(name: Optional[str] = None, **attrs) -> Callable:
         def wrapper(*args, **kwargs):
             if not _enabled:
                 return fn(*args, **kwargs)
-            with Span(span_name, dict(attrs)):
+            with span(span_name, **attrs):
                 return fn(*args, **kwargs)
 
         wrapper.__name__ = fn.__name__
@@ -237,12 +398,30 @@ def tracing_enabled() -> bool:
     return _enabled
 
 
+def tracing_state() -> Dict[str, object]:
+    """Picklable description of the tracing setup, for child processes.
+
+    Spawning layers (the sharded server, the eval harness) capture this
+    in the parent and re-apply the ``enabled`` flag on the child side,
+    so ``--trace out.jsonl`` runs capture worker spans without manual
+    re-enable.  Sinks themselves are not shipped -- children buffer
+    span records and ship them back for :func:`emit_foreign`.
+    """
+    return {"enabled": _enabled}
+
+
+def _rebuild_active() -> None:
+    global _active
+    _active = tuple(_sinks)
+
+
 def enable_tracing(*sinks: object) -> None:
     """Turn tracing on, optionally registering sinks (``.emit(dict)``)."""
     global _enabled
     for sink in sinks:
         if sink not in _sinks:
             _sinks.append(sink)
+    _rebuild_active()
     _enabled = True
 
 
@@ -255,11 +434,13 @@ def disable_tracing() -> None:
 def add_sink(sink: object) -> None:
     if sink not in _sinks:
         _sinks.append(sink)
+        _rebuild_active()
 
 
 def remove_sink(sink: object) -> None:
     if sink in _sinks:
         _sinks.remove(sink)
+        _rebuild_active()
 
 
 def reset() -> None:
@@ -267,5 +448,8 @@ def reset() -> None:
     global _enabled
     _enabled = False
     del _sinks[:]
+    _rebuild_active()
+    _agg["gen"] = -1
     if getattr(_state, "stack", None):
         _state.stack = []
+    _distributed.clear_context()

@@ -48,6 +48,10 @@ class Request:
     deadline: Optional[float] = None
     #: serving attempts already burned (retries bump this)
     attempts: int = 0
+    #: distributed trace identity (repro.obs.distributed.TraceContext):
+    #: trace_id + root span_id, minted at submit() when tracing is on;
+    #: None otherwise so the untraced hot path pays nothing
+    ctx: Optional[object] = None
 
     def expired(self, now: Optional[float] = None) -> bool:
         """True once the deadline has passed (always False without one)."""

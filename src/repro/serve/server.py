@@ -47,6 +47,10 @@ from typing import Dict, List, Optional, Sequence
 import numpy as np
 
 from repro.core.config import ComputeConfig
+from repro.obs import distributed as obs_distributed
+from repro.obs import trace as obs_trace
+from repro.obs.recorder import FlightRecorder
+from repro.obs.slo import SLOEngine, SLObjective
 from repro.serve.batcher import MicroBatcher
 from repro.serve.errors import Backpressure
 from repro.serve.metrics import MetricsHub
@@ -93,6 +97,15 @@ class ServeConfig:
     # -- circuit breaking & degradation -------------------------------------
     breaker: Optional[BreakerConfig] = None   # None -> BreakerConfig()
     degrade: Optional[DegradeConfig] = None   # None -> DegradeConfig()
+    # -- observability -------------------------------------------------------
+    #: service-level objectives (repro.obs.slo.SLObjective); scored per
+    #: request, evaluated by the supervisor, surfaced in stats()["slo"]
+    #: and Prometheus, and -- when an objective names a degrade_tier --
+    #: driving the degradation ladder pre-emptively on budget burn
+    slos: Optional[Sequence[SLObjective]] = None
+    #: directory for flight-recorder postmortem bundles; None keeps the
+    #: recorder in-memory only (dump() still works with explicit paths)
+    postmortem_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
         compute = (self.config.replace() if self.config is not None
@@ -156,6 +169,10 @@ class InferenceServer:
             max_backoff=c.retry_max_backoff,
         )
         self.scheduler = RetryScheduler(self.queue)
+        self.recorder = FlightRecorder(dir=c.postmortem_dir)
+        self.slo = (SLOEngine(c.slos, registry=self.metrics.registry,
+                              ladder=self.ladder)
+                    if c.slos else None)
         self.workers = WorkerPool(
             self.batcher, self.registry, self.policy, self.metrics,
             n_workers=c.n_workers,
@@ -164,6 +181,8 @@ class InferenceServer:
             retry_policy=self.retry_policy,
             retry_scheduler=self.scheduler,
             ladder=self.ladder,
+            slo=self.slo,
+            recorder=self.recorder,
         )
         # the batcher sheds expired requests straight into the pool's
         # DeadlineExceeded path instead of batching them
@@ -218,6 +237,10 @@ class InferenceServer:
         if self._started:
             raise RuntimeError("server already started")
         self._started = True
+        # the flight recorder rides the trace-sink interface: while
+        # tracing is enabled the span ring fills for free; the event
+        # ring fills regardless
+        obs_trace.add_sink(self.recorder)
         self.scheduler.start()
         self.workers.start()
         return self
@@ -229,6 +252,7 @@ class InferenceServer:
             self._metrics_endpoint = None
         if not self._started:
             return
+        obs_trace.remove_sink(self.recorder)
         self.queue.close()
         self.workers.stop(timeout=timeout)
         self.scheduler.stop(timeout=timeout)
@@ -279,8 +303,12 @@ class InferenceServer:
             deadline = self.config.default_deadline
         abs_deadline = (None if deadline is None
                         else time.monotonic() + deadline)
+        # mint the request's distributed trace identity only while
+        # tracing is on: the untraced path stays id-allocation free
+        ctx = (obs_distributed.new_trace()
+               if obs_trace.tracing_enabled() else None)
         req = Request(x=np.asarray(x, dtype=np.float64), model=model,
-                      deadline=abs_deadline)
+                      deadline=abs_deadline, ctx=ctx)
         try:
             self.queue.put(req)
         except QueueFull:
@@ -344,6 +372,8 @@ class InferenceServer:
             "worker_restarts": self.workers.worker_restarts,
             "chaos": self.chaos.stats() if self.chaos is not None else None,
         }
+        snap["slo"] = self.slo.snapshot() if self.slo is not None else None
+        snap["recorder"] = self.recorder.snapshot()
         return snap
 
     def render_prometheus(self) -> str:

@@ -19,19 +19,34 @@ Parent -> worker::
 
     (DEPLOY, name, image_spec)                install/replace a model
     (SWAP, name, image_spec, ack_seq)         flip to a new epoch, ack
-    (PREDICT, seq, name, X, dim, fault_draw)  full encode+search batch
-    (ENCODE, seq, name, X)                    encode stage only
-    (SEARCH, seq, name, query_words, dim, k)  top-k over the shard's rows
+    (PREDICT, seq, name, X, dim, fault_draw[, ctx])  full encode+search
+    (ENCODE, seq, name, X[, ctx])             encode stage only
+    (SEARCH, seq, name, query_words, dim, k, rows[, ctx])  shard top-k
     (ENGINE, name, engine_or_None)            degradation tier-1 toggle
+    (TRACE, enabled)                          runtime tracing toggle
     (STATS, seq)                              metrics/RSS snapshot
     (STOP,)                                   exit the worker loop
 
+The optional trailing ``ctx`` on the serving kinds is a
+:meth:`~repro.obs.distributed.TraceContext.to_wire` tuple -- the
+submitting request's ``(trace_id, parent span_id)``.  A worker opens
+its ``serve.encode``/``serve.search`` spans under it, so the spans it
+ships back re-parent into the request's trace on the parent side.
+Old-style messages without the element still parse (workers unpack it
+as absent), keeping mixed-version queues harmless.
+
 Worker -> parent (one shared result queue)::
 
-    (shard_id, OK, seq, payload)      payload depends on request kind
+    (shard_id, OK, seq, payload[, records])  payload depends on request
+                                      kind; when the worker is tracing,
+                                      the batch's finished span records
+                                      piggyback as the optional fifth
+                                      element (one message, not two)
     (shard_id, ERR, seq, err_dict)    structured ServeError.to_dict()
     (shard_id, ACK, ack_seq, name)    swap acknowledged
     (shard_id, STATS_R, seq, stats)   registry state + process gauges
+    (shard_id, SPANS, seq, records)   finished span record dicts that
+                                      could not ride an OK (error paths)
 """
 
 from __future__ import annotations
@@ -46,6 +61,7 @@ PREDICT = "predict"
 ENCODE = "encode"
 SEARCH = "search"
 ENGINE = "engine"
+TRACE = "trace"
 STATS = "stats"
 STOP = "stop"
 
@@ -54,6 +70,7 @@ OK = "ok"
 ERR = "err"
 ACK = "ack"
 STATS_R = "stats_r"
+SPANS = "spans"
 
 
 @dataclass
@@ -85,3 +102,10 @@ class PendingBatch:
     await_shards: Tuple[int, ...] = ()
     partials: Dict[int, object] = field(default_factory=dict)
     dead: bool = False
+    #: the leader request's TraceContext (trace_id + root span id) when
+    #: the batch was submitted under tracing; None otherwise
+    ctx: Optional[object] = None
+    #: span id of the parent-side ``serve.dispatch`` span bracketing
+    #: this batch -- worker spans parent under it, and the span record
+    #: itself is emitted at resolve time with exactly this id
+    dispatch_span_id: Optional[int] = None

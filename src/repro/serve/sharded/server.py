@@ -53,7 +53,11 @@ import numpy as np
 from repro.core.classifier import HDClassifier
 from repro.core.packed import PackedModel
 from repro.core.shared import SharedImageSpec, SharedModelArena
+from repro.obs import distributed as obs_distributed
+from repro.obs import trace as obs_trace
+from repro.obs.recorder import FlightRecorder
 from repro.obs.registry import Registry
+from repro.obs.slo import SLOEngine
 from repro.serve.batcher import MicroBatcher
 from repro.serve.errors import (
     Backpressure,
@@ -146,6 +150,10 @@ class ShardedServer:
             max_backoff=c.retry_max_backoff,
         )
         self.scheduler = RetryScheduler(self.queue)
+        self.recorder = FlightRecorder(dir=c.postmortem_dir)
+        self.slo = (SLOEngine(c.slos, registry=self.metrics.registry,
+                              ladder=self.ladder)
+                    if c.slos else None)
         self.breakers = [
             CircuitBreaker(c.breaker, name=f"shard-{i}")
             for i in range(c.n_shards)
@@ -175,6 +183,9 @@ class ShardedServer:
         self._stop = threading.Event()
         self._started = False
         self.worker_restarts = 0
+        #: tracing state last propagated to the worker fleet; the
+        #: supervisor forwards TRACE messages when the parent's flips
+        self._trace_sent = False
 
     # -- deployments ---------------------------------------------------------
 
@@ -295,6 +306,8 @@ class ShardedServer:
         )
         self._stop.clear()
         self._started = True
+        obs_trace.add_sink(self.recorder)
+        self._trace_sent = obs_trace.tracing_enabled()
         for i in range(c.n_shards):
             self._procs[i] = self._spawn(i)
         self.scheduler.start()
@@ -311,7 +324,8 @@ class ShardedServer:
         proc = self._ctx.Process(
             target=worker_main,
             args=(shard, None, self._task_queues[shard],
-                  self._result_queue, dict(self._specs)),
+                  self._result_queue, dict(self._specs),
+                  obs_trace.tracing_enabled()),
             name=f"shard-worker-{shard}", daemon=True,
         )
         proc.start()
@@ -322,6 +336,7 @@ class ShardedServer:
         if not self._started:
             self.arena.close_all()
             return
+        obs_trace.remove_sink(self.recorder)
         self.queue.close()
         self._stop.set()
         for q in self._task_queues:
@@ -390,8 +405,10 @@ class ShardedServer:
             deadline = self.config.default_deadline
         abs_deadline = (None if deadline is None
                         else time.monotonic() + deadline)
+        ctx = (obs_distributed.new_trace()
+               if obs_trace.tracing_enabled() else None)
         req = Request(x=np.asarray(x, dtype=np.float64), model=model,
-                      deadline=abs_deadline)
+                      deadline=abs_deadline, ctx=ctx)
         try:
             self.queue.put(req)
         except QueueFull:
@@ -486,6 +503,30 @@ class ShardedServer:
                     model=model_name, worker=shard, retryable=True,
                 )
                 self.breakers[shard].record_failure()
+                leader = next(
+                    (r for r in live if r.ctx is not None), None,
+                )
+                affected = (obs_distributed.fmt_id(leader.ctx.trace_id)
+                            if leader is not None else None)
+                if leader is not None:
+                    # the affected batch's failed dispatch bracket: puts
+                    # the trace into the recorder's ring *before* the
+                    # bundle snapshot, so the postmortem leads with it
+                    obs_trace.emit_span(
+                        "serve.dispatch", time.monotonic() - now,
+                        attrs={"model": model_name, "shard": shard,
+                               "error": "worker_kill"},
+                        ctx=leader.ctx,
+                    )
+                self.recorder.record_event(
+                    "worker_kill", shard=shard, model=model_name,
+                    trace_id=affected,
+                )
+                self.recorder.dump(
+                    "worker_kill", trace_id=affected,
+                    extra={"shard": shard, "model": model_name,
+                           "batch": len(live)},
+                )
                 for req in live:
                     self._fail_or_retry(req, err)
                 return
@@ -511,6 +552,15 @@ class ShardedServer:
             shed_level=level, version=dep.version, shard=shard,
             t_dispatch=now,
         )
+        # the batch's dispatch->resolve bracket gets its own span under
+        # the leader request's trace; the worker parents its spans
+        # under that span's id, wired with the message
+        leader_ctx = next((r.ctx for r in live if r.ctx is not None), None)
+        wire_ctx = None
+        if leader_ctx is not None:
+            pending.ctx = leader_ctx
+            pending.dispatch_span_id = obs_distributed.new_span_id()
+            wire_ctx = (leader_ctx.trace_id, pending.dispatch_span_id)
         if self.config.mode == "replica":
             fault_draw = None
             if self.chaos is not None:
@@ -523,7 +573,8 @@ class ShardedServer:
                 self._pending[seq] = pending
             self.router.dispatched(shard)
             self._task_queues[shard].put(
-                (proto.PREDICT, seq, model_name, X, wire_dim, fault_draw)
+                (proto.PREDICT, seq, model_name, X, wire_dim, fault_draw,
+                 wire_ctx)
             )
         else:
             pending.phase = proto.ENCODE
@@ -531,7 +582,7 @@ class ShardedServer:
                 self._pending[seq] = pending
             self.router.dispatched(shard)
             self._task_queues[shard].put(
-                (proto.ENCODE, seq, model_name, X)
+                (proto.ENCODE, seq, model_name, X, wire_ctx)
             )
 
     # -- collector -----------------------------------------------------------
@@ -544,7 +595,7 @@ class ShardedServer:
                 if self._stop.is_set():
                     return
                 continue
-            shard_id, kind, seq, payload = msg
+            shard_id, kind, seq, payload = msg[:4]
             if kind == proto.ACK:
                 self._handle_ack(shard_id, seq)
             elif kind == proto.STATS_R:
@@ -552,7 +603,21 @@ class ShardedServer:
             elif kind == proto.ERR:
                 self._handle_error(shard_id, seq, payload)
             elif kind == proto.OK:
+                # worker span records piggyback on the OK reply (5th
+                # element); emit them before resolving the futures so a
+                # caller that joins a traced request always finds the
+                # complete tree in the sink
+                if len(msg) > 4:
+                    for record in msg[4]:
+                        obs_trace.emit_foreign(record)
                 self._handle_ok(shard_id, seq, payload)
+            elif kind == proto.SPANS:
+                # worker span records, already carrying the request's
+                # trace ids: re-emit into the parent's sinks.  The
+                # worker registry is absorbed wholesale by shard_stats,
+                # so no local aggregation (aggregate=False).
+                for record in payload:
+                    obs_trace.emit_foreign(record)
 
     def _take_pending(self, seq: int,
                       pop: bool) -> Optional[proto.PendingBatch]:
@@ -623,12 +688,16 @@ class ShardedServer:
             wire_dim = None if pending.dim >= dep.dim else pending.dim
             targets = tuple(range(self.config.n_shards))
             pending.await_shards = targets
+            wire_ctx = (
+                (pending.ctx.trace_id, pending.dispatch_span_id)
+                if pending.ctx is not None else None
+            )
             for s in targets:
                 rows = self.router.shard_rows(s)
                 self.router.dispatched(s)
                 self._task_queues[s].put((
                     proto.SEARCH, seq, pending.model, data, wire_dim,
-                    self.config.topk, (rows.start, rows.stop),
+                    self.config.topk, (rows.start, rows.stop), wire_ctx,
                 ))
         elif pkind == proto.SEARCH:
             with self._plock:
@@ -646,10 +715,20 @@ class ShardedServer:
             )
             if not complete:
                 return
+            t_merge = time.monotonic()
             dists, rows = self.router.merge(pending.partials,
                                             k=self.config.topk)
             dep = self.registry.get(pending.model)
             labels = dep.model.class_labels[rows[:, 0]]
+            if pending.ctx is not None:
+                obs_trace.emit_span(
+                    "serve.merge", time.monotonic() - t_merge,
+                    attrs={"model": pending.model,
+                           "shards": len(pending.partials)},
+                    ctx=obs_distributed.TraceContext(
+                        pending.ctx.trace_id, pending.dispatch_span_id
+                    ),
+                )
             self._resolve(pending, labels, pending.shard)
 
     def _resolve(self, pending: proto.PendingBatch, labels,
@@ -663,21 +742,44 @@ class ShardedServer:
             self.metrics.counter("shed_predictions").inc(
                 len(pending.requests)
             )
+        if pending.ctx is not None:
+            # the dispatch->resolve bracket: parent of every worker
+            # span of this batch, child of the leader request's root
+            obs_trace.emit_span(
+                "serve.dispatch", done - pending.t_dispatch,
+                attrs={"model": pending.model, "shard": shard,
+                       "mode": self.config.mode,
+                       "batch": len(pending.requests)},
+                ctx=pending.ctx, span_id=pending.dispatch_span_id,
+            )
         for req, label in zip(pending.requests, np.asarray(labels)):
             latency = done - req.enqueue_t
             self.metrics.histogram("total").record(latency)
             self.policy.record_latency(latency)
+            if self.slo is not None:
+                self.slo.record(latency, ok=True)
+            trace_id = None
+            if req.ctx is not None:
+                trace_id = obs_distributed.fmt_id(req.ctx.trace_id)
+                obs_trace.emit_span(
+                    "serve.request", latency,
+                    attrs={"model": dep.name, "shard": shard},
+                    ctx=req.ctx, span_id=req.ctx.span_id,
+                )
             if not req.future.cancelled() and not req.future.done():
                 req.future.set_result(Prediction(
                     label=label, model=dep.name, version=pending.version,
                     dim=pending.dim, shed_level=pending.shed_level,
                     latency=latency, attempts=req.attempts, shard=shard,
+                    trace_id=trace_id,
                 ))
         self.metrics.counter("served").inc(len(pending.requests))
 
     # -- supervisor ----------------------------------------------------------
 
     def _supervise_loop(self) -> None:
+        prev_codes = [b.state_code for b in self.breakers]
+        prev_tier = self.ladder.tier
         while not self._stop.wait(0.05):
             for i, proc in enumerate(self._procs):
                 if proc is None or proc.is_alive():
@@ -688,14 +790,41 @@ class ShardedServer:
                 self.worker_restarts += 1
                 self.metrics.counter("worker_restarts").inc()
                 self.breakers[i].record_failure()
+                self.recorder.record_event(
+                    "worker_respawn", shard=i,
+                    exitcode=proc.exitcode,
+                )
                 self._fail_shard_pendings(i)
                 self._procs[i] = self._spawn(i)
             for i, breaker in enumerate(self.breakers):
-                self._breaker_gauge.labels(shard=str(i)).set(
-                    breaker.state_code
-                )
+                code = breaker.state_code
+                self._breaker_gauge.labels(shard=str(i)).set(code)
+                if code != prev_codes[i]:
+                    self.recorder.record_event(
+                        "breaker_transition", shard=i,
+                        state=breaker.state, code=code,
+                    )
+                    prev_codes[i] = code
             self.ladder.observe(self.breakers)
+            if self.slo is not None:
+                self.slo.evaluate()
+            tier = self.ladder.tier
+            if tier != prev_tier:
+                self.recorder.record_event(
+                    "ladder_tier", old=prev_tier, new=tier
+                )
+                prev_tier = tier
             self._propagate_engine_state()
+            # forward the parent's tracing state so workers start/stop
+            # producing SPANS in step with enable_tracing()
+            enabled = obs_trace.tracing_enabled()
+            if enabled != self._trace_sent:
+                self._trace_sent = enabled
+                for q in self._task_queues:
+                    try:
+                        q.put((proto.TRACE, enabled))
+                    except (ValueError, OSError):
+                        pass
 
     def _fail_shard_pendings(self, shard: int) -> None:
         """Retry/fail every in-flight batch the dead shard owned."""
@@ -748,6 +877,14 @@ class ShardedServer:
         from repro.serve.errors import DeadlineExceeded
 
         self.metrics.counter("deadline_expired").inc()
+        if self.slo is not None:
+            self.slo.record(time.monotonic() - request.enqueue_t, ok=False)
+        self.recorder.record_event(
+            "deadline_expired", model=request.model,
+            attempts=request.attempts,
+            trace_id=(obs_distributed.fmt_id(request.ctx.trace_id)
+                      if request.ctx is not None else None),
+        )
         if not request.future.done():
             request.future.set_exception(DeadlineExceeded(
                 f"deadline expired before {request.model!r} could serve "
@@ -767,6 +904,8 @@ class ShardedServer:
             except QueueClosed:
                 pass
         self.metrics.counter("errors").inc()
+        if self.slo is not None:
+            self.slo.record(now - request.enqueue_t, ok=False)
         if request.future.done():
             return
         final: ServeError = err
@@ -852,6 +991,8 @@ class ShardedServer:
             "worker_restarts": self.worker_restarts,
             "chaos": self.chaos.stats() if self.chaos is not None else None,
         }
+        snap["slo"] = self.slo.snapshot() if self.slo is not None else None
+        snap["recorder"] = self.recorder.snapshot()
         snap["shards"] = self.shard_stats()
         snap["shard_metrics"] = self.shard_registry.snapshot()
         snap["router"] = {

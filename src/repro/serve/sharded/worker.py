@@ -17,7 +17,17 @@ physical copy), and drains its FIFO task queue:
   FIFO ordering means the ack certifies every pre-swap batch answered;
 - :data:`~repro.serve.sharded.proto.STATS` ships the local metrics
   registry's full state plus RSS / shared-mapping gauges so the parent
-  can aggregate per-process observability and verify zero-copy.
+  can aggregate per-process observability and verify zero-copy;
+- :data:`~repro.serve.sharded.proto.TRACE` toggles tracing at runtime
+  (the parent forwards its own tracing state so ``--trace out.jsonl``
+  sessions capture worker spans).
+
+When tracing is on, the serving kinds open ``serve.encode`` /
+``serve.search`` spans under the :class:`~repro.obs.distributed.
+TraceContext` wired in with the message, buffer the finished records
+locally, and ship them back as :data:`~repro.serve.sharded.proto.SPANS`
+messages -- the parent's collector re-emits them into its own sinks,
+already re-parented under the submitting request's trace.
 
 Workers never write the model image (the views are read-only; fault
 injection corrupts a throwaway ``with_words`` clone), and they never
@@ -35,6 +45,8 @@ import numpy as np
 
 from repro.core.packed import PackedModel
 from repro.core.shared import SharedImageSpec, SharedModelArena
+from repro.obs import distributed as obs_distributed
+from repro.obs import trace as obs_trace
 from repro.obs.registry import Registry
 from repro.serve.sharded import proto
 
@@ -172,15 +184,39 @@ def _err_payload(exc: BaseException, shard_id: int, model: str) -> Dict:
     }
 
 
+class _SpanBuffer:
+    """Trace sink buffering finished span records for SPANS shipping."""
+
+    def __init__(self) -> None:
+        self.records = []
+
+    def emit(self, record: Dict) -> None:
+        self.records.append(record)
+
+    def drain(self):
+        records, self.records = self.records, []
+        return records
+
+
 def worker_main(shard_id: int, rows: Optional[Tuple[int, int]],
                 task_queue, result_queue,
-                deployments: Dict[str, SharedImageSpec]) -> None:
-    """Run one shard worker until :data:`~proto.STOP` (or queue EOF)."""
+                deployments: Dict[str, SharedImageSpec],
+                trace_enabled: bool = False) -> None:
+    """Run one shard worker until :data:`~proto.STOP` (or queue EOF).
+
+    ``trace_enabled`` propagates the parent's tracing state across the
+    spawn: a freshly-spawned worker starts with the obs layer reset, so
+    without this flag a ``--trace`` session would silently lose every
+    worker span.  The :data:`~proto.TRACE` message toggles it later.
+    """
     state = _ShardState(shard_id, rows)
     hist = state.registry.histogram("stage_seconds", labels=("stage",))
     served_ctr = state.registry.counter("served")
     batches_ctr = state.registry.counter("batches")
     errors_ctr = state.registry.counter("errors")
+    span_buf = _SpanBuffer()
+    if trace_enabled:
+        obs_trace.enable_tracing(span_buf)
     for name, spec in deployments.items():
         state.install(name, spec)
     try:
@@ -208,6 +244,13 @@ def worker_main(shard_id: int, rows: Optional[Tuple[int, int]],
                 except KeyError:
                     pass
                 continue
+            if kind == proto.TRACE:
+                _, enabled = msg
+                if enabled:
+                    obs_trace.enable_tracing(span_buf)
+                else:
+                    obs_trace.disable_tracing()
+                continue
             if kind == proto.STATS:
                 _, seq = msg
                 result_queue.put(
@@ -221,7 +264,10 @@ def worker_main(shard_id: int, rows: Optional[Tuple[int, int]],
             try:
                 model = state.model(name)
                 if kind == proto.PREDICT:
-                    _, _, _, X, dim, fault_draw = msg
+                    _, _, _, X, dim, fault_draw, *rest = msg
+                    ctx = obs_distributed.TraceContext.from_wire(
+                        rest[0] if rest else None
+                    )
                     scored = model
                     if fault_draw is not None:
                         spec_f, child_seed = fault_draw
@@ -229,9 +275,14 @@ def worker_main(shard_id: int, rows: Optional[Tuple[int, int]],
                         scored = model.with_words(
                             spec_f.corrupt_words(model.class_words, rng)
                         )
-                    words = model.encode_packed(X)
-                    t1 = time.monotonic()
-                    labels = scored.predict_packed(words, dim=dim)
+                    with obs_distributed.use_context(ctx):
+                        with obs_trace.span("serve.encode", shard=shard_id,
+                                            model=name, batch=len(X)):
+                            words = model.encode_packed(X)
+                        t1 = time.monotonic()
+                        with obs_trace.span("serve.search", shard=shard_id,
+                                            model=name, batch=len(X)):
+                            labels = scored.predict_packed(words, dim=dim)
                     t2 = time.monotonic()
                     hist.labels(stage="encode").record(t1 - t0)
                     hist.labels(stage="search").record(t2 - t1)
@@ -239,20 +290,33 @@ def worker_main(shard_id: int, rows: Optional[Tuple[int, int]],
                     state.served += len(labels)
                     payload = (proto.PREDICT, labels)
                 elif kind == proto.ENCODE:
-                    _, _, _, X = msg
-                    words = model.encode_packed(X)
+                    _, _, _, X, *rest = msg
+                    ctx = obs_distributed.TraceContext.from_wire(
+                        rest[0] if rest else None
+                    )
+                    with obs_distributed.use_context(ctx), obs_trace.span(
+                        "serve.encode", shard=shard_id, model=name,
+                        batch=len(X),
+                    ):
+                        words = model.encode_packed(X)
                     hist.labels(stage="encode").record(
                         time.monotonic() - t0
                     )
                     payload = (proto.ENCODE, words)
                 elif kind == proto.SEARCH:
-                    _, _, _, words, dim, k, rows = msg
+                    _, _, _, words, dim, k, rows, *rest = msg
+                    ctx = obs_distributed.TraceContext.from_wire(
+                        rest[0] if rest else None
+                    )
                     if rows is None:
                         rows = state.rows
                     rows_slice = slice(*rows) if rows is not None else None
-                    dists, row_idx = model.topk_to_classes(
-                        words, k=k, dim=dim, rows=rows_slice
-                    )
+                    with obs_distributed.use_context(ctx), obs_trace.span(
+                        "serve.search", shard=shard_id, model=name,
+                    ):
+                        dists, row_idx = model.topk_to_classes(
+                            words, k=k, dim=dim, rows=rows_slice
+                        )
                     hist.labels(stage="search").record(
                         time.monotonic() - t0
                     )
@@ -265,11 +329,26 @@ def worker_main(shard_id: int, rows: Optional[Tuple[int, int]],
                     (shard_id, proto.ERR, seq,
                      _err_payload(exc, shard_id, name))
                 )
+                if span_buf.records:
+                    # spans finished before the failure still ship, on
+                    # the standalone SPANS channel (rare, cold path)
+                    result_queue.put(
+                        (shard_id, proto.SPANS, seq, span_buf.drain())
+                    )
                 continue
             finally:
                 state.busy_seconds += time.monotonic() - t0
             batches_ctr.inc()
-            result_queue.put((shard_id, proto.OK, seq, payload))
+            if span_buf.records:
+                # piggyback the batch's span records on the OK reply:
+                # one queue message instead of two halves the per-batch
+                # IPC cost of tracing, and guarantees the parent sees
+                # the worker spans before it resolves the futures
+                result_queue.put(
+                    (shard_id, proto.OK, seq, payload, span_buf.drain())
+                )
+            else:
+                result_queue.put((shard_id, proto.OK, seq, payload))
     finally:
         state.models.clear()
         state.arena.close_all()

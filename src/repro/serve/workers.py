@@ -45,6 +45,7 @@ from typing import Dict, List, Optional
 
 import numpy as np
 
+from repro.obs import distributed as obs_distributed
 from repro.obs import trace as obs_trace
 from repro.serve.batcher import MicroBatcher
 from repro.serve.errors import (
@@ -75,6 +76,9 @@ class Prediction:
     attempts: int = 0
     #: shard process that served the request (None on the thread server)
     shard: Optional[int] = None
+    #: 16-hex trace id when the request was traced (None otherwise) --
+    #: the key to find this request's spans in an exported JSONL trace
+    trace_id: Optional[str] = None
 
 
 class WorkerPool:
@@ -93,6 +97,8 @@ class WorkerPool:
         retry_policy=None,
         retry_scheduler=None,
         ladder=None,
+        slo=None,
+        recorder=None,
     ):
         if n_workers <= 0:
             raise ValueError(f"n_workers must be positive, got {n_workers}")
@@ -106,6 +112,8 @@ class WorkerPool:
         self.retry_policy = retry_policy
         self.scheduler = retry_scheduler
         self.ladder = ladder
+        self.slo = slo
+        self.recorder = recorder
         self.breakers = [
             CircuitBreaker(breaker_config, name=f"worker-{i}")
             for i in range(n_workers)
@@ -168,6 +176,8 @@ class WorkerPool:
 
     def _supervise(self) -> None:
         """Respawn dead workers, export breaker gauges, drive the ladder."""
+        prev_codes = [b.state_code for b in self.breakers]
+        prev_tier = self.ladder.tier if self.ladder is not None else 0
         while not self._stop.wait(self.poll_interval):
             if self.batcher.queue.closed:
                 return
@@ -178,13 +188,32 @@ class WorkerPool:
                     if not t.is_alive():
                         self.worker_restarts += 1
                         self.metrics.counter("worker_restarts").inc()
+                        if self.recorder is not None:
+                            self.recorder.record_event(
+                                "worker_respawn", worker=i
+                            )
                         self._threads[i] = self._spawn(i)
             for i, breaker in enumerate(self.breakers):
-                self._breaker_gauge.labels(worker=str(i)).set(
-                    breaker.state_code
-                )
+                code = breaker.state_code
+                self._breaker_gauge.labels(worker=str(i)).set(code)
+                if code != prev_codes[i]:
+                    if self.recorder is not None:
+                        self.recorder.record_event(
+                            "breaker_transition", worker=i,
+                            state=breaker.state, code=code,
+                        )
+                    prev_codes[i] = code
             if self.ladder is not None:
                 self.ladder.observe(self.breakers)
+            if self.slo is not None:
+                self.slo.evaluate()
+            if self.ladder is not None and self.recorder is not None:
+                tier = self.ladder.tier
+                if tier != prev_tier:
+                    self.recorder.record_event(
+                        "ladder_tier", old=prev_tier, new=tier
+                    )
+                    prev_tier = tier
 
     # -- the serving loop ---------------------------------------------------
 
@@ -206,7 +235,8 @@ class WorkerPool:
                 self._serve_batch(worker_id, batch)
             except WorkerKilled:
                 # the thread dies like a crashed worker would; the
-                # supervisor respawns a replacement
+                # supervisor respawns a replacement (the postmortem
+                # bundle was dumped where the batch was still in hand)
                 self.metrics.counter("worker_kills").inc()
                 return
             # adapt from the load this batch left behind
@@ -250,6 +280,21 @@ class WorkerPool:
                 for req in requests:
                     if not req.future.done():
                         self._fail_or_retry(req, err)
+            if self.recorder is not None:
+                affected = next(
+                    (obs_distributed.fmt_id(r.ctx.trace_id)
+                     for reqs in by_model.values() for r in reqs
+                     if r.ctx is not None),
+                    None,
+                )
+                self.recorder.record_event(
+                    "worker_kill", worker=worker_id, trace_id=affected
+                )
+                self.recorder.dump(
+                    "worker_kill", trace_id=affected,
+                    extra={"worker": worker_id,
+                           "batch": sum(len(r) for r in by_model.values())},
+                )
             raise
 
     def _serve_group(self, worker_id: int, model_name: str,
@@ -268,6 +313,18 @@ class WorkerPool:
         if not live:
             return
         requests = live
+        # a micro-batch coalesces many traces; its spans parent under
+        # the first traced request (the "leader") and carry the other
+        # trace ids as links so no trace is orphaned entirely
+        leader_ctx = next((r.ctx for r in requests if r.ctx is not None),
+                          None)
+        batch_attrs = {}
+        if leader_ctx is not None:
+            links = [obs_distributed.fmt_id(r.ctx.trace_id)
+                     for r in requests
+                     if r.ctx is not None and r.ctx is not leader_ctx][:16]
+            if links:
+                batch_attrs["links"] = links
         try:
             if self.chaos is not None:
                 # may sleep, raise InjectedFault, or raise WorkerKilled
@@ -275,7 +332,7 @@ class WorkerPool:
             dep = self.registry.get(model_name)
             # serving() brackets the batch so ModelRegistry.swap can
             # drain this (possibly outgoing) version precisely
-            with dep.serving():
+            with dep.serving(), obs_distributed.use_context(leader_ctx):
                 level = self.policy.level
                 dim = dep.dim_for_level(level)
                 X = np.stack(
@@ -284,7 +341,8 @@ class WorkerPool:
 
                 t0 = time.monotonic()
                 with obs_trace.span(
-                    "serve.encode", model=model_name, batch=len(requests)
+                    "serve.encode", model=model_name, batch=len(requests),
+                    **batch_attrs,
                 ):
                     encoded = dep.encode(X)
                 t1 = time.monotonic()
@@ -292,7 +350,7 @@ class WorkerPool:
                               if self.chaos is not None else None)
                 with obs_trace.span(
                     "serve.search", model=model_name, batch=len(requests),
-                    dim=dim,
+                    dim=dim, **batch_attrs,
                 ) as sp:
                     if fault_draw is not None:
                         spec, rng = fault_draw
@@ -331,6 +389,19 @@ class WorkerPool:
             latency = done - req.enqueue_t
             self.metrics.histogram("total").record(latency)
             self.policy.record_latency(latency)
+            if self.slo is not None:
+                self.slo.record(latency, ok=True)
+            trace_id = None
+            if req.ctx is not None:
+                trace_id = obs_distributed.fmt_id(req.ctx.trace_id)
+                # the trace's root span: the whole request, submit to
+                # resolve, emitted with the span id minted at submit()
+                # so every stage span already parents under it
+                obs_trace.emit_span(
+                    "serve.request", latency,
+                    attrs={"model": dep.name, "worker": worker_id},
+                    ctx=req.ctx, span_id=req.ctx.span_id,
+                )
             if not req.future.cancelled():
                 req.future.set_result(Prediction(
                     label=label,
@@ -340,6 +411,7 @@ class WorkerPool:
                     shed_level=level,
                     latency=latency,
                     attempts=req.attempts,
+                    trace_id=trace_id,
                 ))
         self.metrics.counter("served").inc(len(requests))
 
@@ -348,6 +420,15 @@ class WorkerPool:
     def expire_request(self, request: Request) -> None:
         """Shed one expired request (also the batcher's on_expired hook)."""
         self.metrics.counter("deadline_expired").inc()
+        if self.slo is not None:
+            self.slo.record(time.monotonic() - request.enqueue_t, ok=False)
+        if self.recorder is not None:
+            self.recorder.record_event(
+                "deadline_expired", model=request.model,
+                attempts=request.attempts,
+                trace_id=(obs_distributed.fmt_id(request.ctx.trace_id)
+                          if request.ctx is not None else None),
+            )
         if not request.future.done():
             request.future.set_exception(DeadlineExceeded(
                 f"deadline expired before {request.model!r} could serve "
@@ -385,6 +466,8 @@ class WorkerPool:
             except QueueClosed:
                 pass  # shutting down: fall through to a failed future
         self.metrics.counter("errors").inc()
+        if self.slo is not None:
+            self.slo.record(now - request.enqueue_t, ok=False)
         if request.future.done():
             return
         final: ServeError = err

@@ -199,6 +199,13 @@ class StreamLoop:
         self.chunks += 1
 
         requested = False
+        if event is not None:
+            recorder = getattr(self.server, "recorder", None)
+            if recorder is not None:
+                recorder.record_event(
+                    "drift_fire", reason=event.reason, score=score,
+                    model=self.cfg.model_name,
+                )
         if event is not None and len(self.buffer):
             enc, lab = self.buffer.snapshot()
             requested = self.trainer.request(enc, lab, reason=event.reason)
@@ -235,6 +242,12 @@ class StreamLoop:
             self.detector.reset_baselines()
             if sp.recording:
                 sp.set(version=dep.version)
+        recorder = getattr(self.server, "recorder", None)
+        if recorder is not None:
+            recorder.record_event(
+                "model_swap", model=self.cfg.model_name,
+                version=dep.version, reason=reason,
+            )
         self.server.metrics.gauge("stream_model_version").set(dep.version)
 
     def _maybe_regenerate(self) -> None:

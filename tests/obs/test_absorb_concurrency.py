@@ -1,0 +1,205 @@
+"""Concurrency and property tests for ``Registry.absorb_state``.
+
+The sharded server's collector absorbs worker-registry snapshots while
+serving threads hammer the same parent registry; these tests pin the
+invariants that makes safe:
+
+- absorbing is replacement per ``(labels..., shard)`` child, so
+  concurrent absorbs of the same worker's successive snapshots are
+  idempotent and never double-count;
+- counter series are monotone: as long as each worker's own counters
+  only grow between snapshots, the absorbed per-shard series (and
+  their sum) never step backwards, whatever the absorb interleaving;
+- two workers reporting under a colliding ``shard`` label collapse to
+  one series (last write wins) instead of corrupting family state.
+"""
+
+import random
+import threading
+
+from repro.obs.registry import Registry
+
+
+def worker_state(served, errors=0, stage_s=()):
+    """Build a worker-style registry snapshot with given counts."""
+    reg = Registry(namespace="serve")
+    reg.counter("served").inc(served)
+    if errors:
+        reg.counter("errors").inc(errors)
+    hist = reg.histogram("stage_seconds", labels=("stage",))
+    for value in stage_s:
+        hist.labels(stage="encode").record(value)
+    return reg.state()
+
+
+def served_by_shard(parent):
+    """{shard_label: served_count} from the parent's snapshot."""
+    state = parent.state()
+    fam = next(
+        (f for f in state["families"] if f["name"] == "served"), None
+    )
+    if fam is None:
+        return {}
+    shard_pos = fam["label_names"].index("shard")
+    return {
+        child["labels"][shard_pos]: child["state"]["value"]
+        for child in fam["children"]
+    }
+
+
+class TestEightThreadHammer:
+    def test_concurrent_absorbs_from_eight_shards(self):
+        """8 threads x 50 snapshots each: per-shard monotone, no loss."""
+        parent = Registry(namespace="serve")
+        rounds = 50
+        finals = {}
+
+        def shard_thread(shard):
+            count = 0
+            rng = random.Random(shard)
+            for _ in range(rounds):
+                count += rng.randrange(1, 10)
+                parent.absorb_state(
+                    worker_state(count, stage_s=(0.001,)),
+                    extra_labels={"shard": str(shard)},
+                )
+            finals[shard] = count
+
+        threads = [
+            threading.Thread(target=shard_thread, args=(i,))
+            for i in range(8)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        by_shard = served_by_shard(parent)
+        assert set(by_shard) == {str(i) for i in range(8)}
+        # replacement semantics: each series holds exactly the last
+        # snapshot its worker published, nothing doubled or lost
+        for shard, count in finals.items():
+            assert by_shard[str(shard)] == count
+
+    def test_absorb_races_reader_and_renderer(self):
+        """snapshot()/render_prometheus() racing absorbs never corrupt."""
+        parent = Registry(namespace="serve")
+        stop = threading.Event()
+        failures = []
+
+        def absorber(shard):
+            count = 0
+            while not stop.is_set():
+                count += 1
+                parent.absorb_state(
+                    worker_state(count, errors=count // 3,
+                                 stage_s=(0.001, 0.002)),
+                    extra_labels={"shard": str(shard)},
+                )
+
+        def reader():
+            while not stop.is_set():
+                try:
+                    parent.snapshot()
+                    text = parent.render_prometheus()
+                    assert "serve_served" in text or text == ""
+                except Exception as exc:  # noqa: BLE001 - the assertion
+                    failures.append(exc)
+                    return
+
+        threads = [threading.Thread(target=absorber, args=(i,))
+                   for i in range(4)]
+        threads += [threading.Thread(target=reader) for _ in range(4)]
+        for t in threads:
+            t.start()
+        import time
+        time.sleep(0.3)
+        stop.set()
+        for t in threads:
+            t.join(timeout=10.0)
+        assert failures == []
+
+
+class TestMonotonicityProperty:
+    def test_interleaved_snapshots_never_step_backwards(self):
+        """Property: randomly interleaved in-order worker snapshots keep
+        every per-shard served series monotone non-decreasing."""
+        rng = random.Random(1234)
+        for trial in range(20):
+            parent = Registry(namespace="serve")
+            n_shards = rng.randrange(2, 5)
+            # each worker publishes an increasing series of snapshots
+            series = {
+                shard: [0] for shard in range(n_shards)
+            }
+            for shard in range(n_shards):
+                for _ in range(rng.randrange(3, 8)):
+                    series[shard].append(
+                        series[shard][-1] + rng.randrange(0, 6)
+                    )
+            # random global interleaving that preserves per-shard order
+            queue = [
+                (shard, count)
+                for shard, counts in series.items()
+                for count in counts[1:]
+            ]
+            per_shard_positions = {s: 0 for s in series}
+            schedule = []
+            taken = {s: [c for sh, c in queue if sh == s]
+                     for s in series}
+            for _ in queue:
+                candidates = [s for s in series
+                              if per_shard_positions[s] < len(taken[s])]
+                shard = rng.choice(candidates)
+                schedule.append(
+                    (shard, taken[shard][per_shard_positions[shard]])
+                )
+                per_shard_positions[shard] += 1
+            last_seen = {str(s): 0 for s in series}
+            for shard, count in schedule:
+                parent.absorb_state(
+                    worker_state(count),
+                    extra_labels={"shard": str(shard)},
+                )
+                by_shard = served_by_shard(parent)
+                for label, value in by_shard.items():
+                    assert value >= last_seen[label], (
+                        f"trial {trial}: shard {label} went backwards "
+                        f"({last_seen[label]} -> {value})"
+                    )
+                    last_seen[label] = value
+
+
+class TestShardLabelCollisions:
+    def test_same_shard_label_replaces_not_duplicates(self):
+        parent = Registry(namespace="serve")
+        parent.absorb_state(worker_state(10),
+                            extra_labels={"shard": "0"})
+        parent.absorb_state(worker_state(25),
+                            extra_labels={"shard": "0"})
+        by_shard = served_by_shard(parent)
+        assert by_shard == {"0": 25}
+
+    def test_collision_with_different_inner_labels_stays_separate(self):
+        parent = Registry(namespace="serve")
+        reg_a = Registry(namespace="serve")
+        reg_a.counter("errors", labels=("model",)).labels(model="a").inc(1)
+        reg_b = Registry(namespace="serve")
+        reg_b.counter("errors", labels=("model",)).labels(model="b").inc(2)
+        parent.absorb_state(reg_a.state(), extra_labels={"shard": "0"})
+        parent.absorb_state(reg_b.state(), extra_labels={"shard": "0"})
+        state = parent.state()
+        fam = next(f for f in state["families"] if f["name"] == "errors")
+        keys = {tuple(c["labels"]) for c in fam["children"]}
+        assert keys == {("a", "0"), ("b", "0")}
+
+    def test_collision_exposition_stays_scrape_conformant(self):
+        from repro.obs.promparse import parse_text, validate
+
+        parent = Registry(namespace="serve")
+        for shard in ("0", "0", "1"):
+            parent.absorb_state(
+                worker_state(5, stage_s=(0.001, 0.1)),
+                extra_labels={"shard": shard},
+            )
+        findings = validate(parse_text(parent.render_prometheus()))
+        assert findings == []

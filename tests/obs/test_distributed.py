@@ -1,0 +1,95 @@
+"""Tests for distributed trace identity (repro.obs.distributed)."""
+
+import threading
+
+from repro.obs import distributed as dist
+
+
+class TestIds:
+    def test_ids_are_64_bit_and_nonzero(self):
+        for _ in range(1000):
+            value = dist.new_span_id()
+            assert 0 < value < 1 << 64
+
+    def test_ids_unique_within_thread(self):
+        ids = {dist.new_trace_id() for _ in range(10_000)}
+        assert len(ids) == 10_000
+
+    def test_ids_unique_across_threads(self):
+        out = []
+
+        def mint():
+            out.append([dist.new_span_id() for _ in range(2000)])
+
+        threads = [threading.Thread(target=mint) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        flat = [i for chunk in out for i in chunk]
+        assert len(set(flat)) == len(flat)
+
+    def test_fmt_parse_roundtrip(self):
+        value = dist.new_trace_id()
+        text = dist.fmt_id(value)
+        assert len(text) == 16 and int(text, 16) == value
+        assert dist.parse_id(text) == value
+
+    def test_fmt_masks_to_64_bits(self):
+        assert dist.fmt_id((1 << 64) + 5) == dist.fmt_id(5)
+
+
+class TestTraceContext:
+    def test_new_trace_root_span_is_trace_root(self):
+        ctx = dist.new_trace()
+        assert ctx.trace_id != ctx.span_id  # independent ids
+
+    def test_child_keeps_trace_changes_span(self):
+        ctx = dist.new_trace()
+        child = ctx.child()
+        assert child.trace_id == ctx.trace_id
+        assert child.span_id != ctx.span_id
+
+    def test_wire_roundtrip(self):
+        ctx = dist.new_trace()
+        wire = ctx.to_wire()
+        back = dist.TraceContext.from_wire(wire)
+        assert back == ctx
+
+    def test_from_wire_none(self):
+        assert dist.TraceContext.from_wire(None) is None
+
+
+class TestCurrentContext:
+    def test_default_is_none(self):
+        assert dist.current_context() is None
+
+    def test_use_context_scopes(self):
+        ctx = dist.new_trace()
+        with dist.use_context(ctx):
+            assert dist.current_context() == ctx
+        assert dist.current_context() is None
+
+    def test_use_context_none_scopes_no_context(self):
+        outer = dist.new_trace()
+        dist.set_context(outer)
+        try:
+            with dist.use_context(None):
+                assert dist.current_context() is None
+            assert dist.current_context() == outer
+        finally:
+            dist.clear_context()
+
+    def test_context_is_thread_local(self):
+        ctx = dist.new_trace()
+        seen = []
+        dist.set_context(ctx)
+        try:
+            t = threading.Thread(
+                target=lambda: seen.append(dist.current_context())
+            )
+            t.start()
+            t.join()
+        finally:
+            dist.clear_context()
+        assert seen == [None]

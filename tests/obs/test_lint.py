@@ -1,0 +1,144 @@
+"""Tests for the trace-schema validator (repro.obs.lint)."""
+
+import json
+
+from repro.obs import distributed as dist
+from repro.obs.lint import lint_records, lint_trace, main
+
+
+def write_trace(tmp_path, records):
+    path = tmp_path / "trace.jsonl"
+    path.write_text(
+        "\n".join(json.dumps(r) for r in records) + "\n"
+    )
+    return path
+
+
+def make_trace_records():
+    """A well-formed two-span distributed trace."""
+    trace = dist.fmt_id(dist.new_trace_id())
+    root = dist.fmt_id(dist.new_span_id())
+    child = dist.fmt_id(dist.new_span_id())
+    return [
+        {"name": "serve.request", "seconds": 0.01, "trace_id": trace,
+         "span_id": root, "pid": 100},
+        {"name": "serve.encode", "seconds": 0.005, "trace_id": trace,
+         "span_id": child, "parent_span_id": root, "pid": 101,
+         "attrs": {"shard": 0}, "ops": {"xor_ops": 10}},
+    ]
+
+
+def errors(findings):
+    return [f for f in findings if f.severity == "error"]
+
+
+class TestRecordSchema:
+    def test_clean_trace_has_no_findings(self):
+        assert lint_records(enumerate(make_trace_records(), 1)) == []
+
+    def test_untraced_records_need_only_name_and_seconds(self):
+        findings = lint_records([(1, {"name": "encode", "seconds": 0.1})])
+        assert findings == []
+
+    def test_missing_name(self):
+        findings = lint_records([(1, {"seconds": 0.1})])
+        assert any("name" in f.message for f in errors(findings))
+
+    def test_bad_seconds(self):
+        for seconds in (None, "fast", -1.0, float("nan"), True):
+            findings = lint_records(
+                [(1, {"name": "x", "seconds": seconds})]
+            )
+            assert errors(findings), f"seconds={seconds!r} accepted"
+
+    def test_malformed_ids(self):
+        for bad in ("xyz", "123", "A" * 16, 42):
+            findings = lint_records([(1, {
+                "name": "x", "seconds": 0.1,
+                "trace_id": bad, "span_id": "a" * 16,
+            })])
+            assert any("trace_id" in f.message for f in errors(findings))
+
+    def test_partial_ids_rejected(self):
+        findings = lint_records([(1, {
+            "name": "x", "seconds": 0.1, "span_id": "a" * 16,
+        })])
+        assert any("both trace_id and span_id" in f.message
+                   for f in errors(findings))
+
+    def test_bad_ops_values(self):
+        findings = lint_records([(1, {
+            "name": "x", "seconds": 0.1,
+            "ops": {"xor_ops": "many"},
+        })])
+        assert any("ops" in f.message for f in errors(findings))
+
+
+class TestReferentialChecks:
+    def test_dangling_parent_is_error(self):
+        records = make_trace_records()
+        records[1]["parent_span_id"] = "f" * 16
+        findings = lint_records(enumerate(records, 1))
+        assert any("not found in trace" in f.message
+                   for f in errors(findings))
+
+    def test_allow_dangling_downgrades(self):
+        records = make_trace_records()
+        records[1]["parent_span_id"] = "f" * 16
+        findings = lint_records(enumerate(records, 1),
+                                allow_dangling=True)
+        assert errors(findings) == []
+        assert any(f.severity == "warning" for f in findings)
+
+    def test_duplicate_span_id_is_error(self):
+        records = make_trace_records()
+        records[1]["span_id"] = records[0]["span_id"]
+        records[1]["parent_span_id"] = None
+        findings = lint_records(enumerate(records, 1))
+        assert any("duplicate span_id" in f.message
+                   for f in errors(findings))
+
+    def test_rootless_trace_is_error(self):
+        records = make_trace_records()[1:]  # drop the root span
+        findings = lint_records(enumerate(records, 1))
+        assert any("no root span" in f.message for f in errors(findings))
+
+    def test_parents_resolve_per_trace_not_globally(self):
+        a = make_trace_records()
+        b = make_trace_records()
+        # b's child points at a's root -- valid id, wrong trace
+        b[1]["parent_span_id"] = a[0]["span_id"]
+        findings = lint_records(enumerate(a + b, 1))
+        assert any("not found in trace" in f.message
+                   for f in errors(findings))
+
+
+class TestFileAndCli:
+    def test_lint_trace_clean_file(self, tmp_path):
+        path = write_trace(tmp_path, make_trace_records())
+        assert lint_trace(path) == []
+
+    def test_invalid_json_line_is_error(self, tmp_path):
+        path = tmp_path / "trace.jsonl"
+        path.write_text('{"name": "x", "seconds": 0.1}\nnot json\n')
+        findings = lint_trace(path)
+        assert any("not valid JSON" in f.message for f in errors(findings))
+
+    def test_cli_exit_codes(self, tmp_path, capsys):
+        good = write_trace(tmp_path, make_trace_records())
+        assert main(good) == 0
+        assert "OK" in capsys.readouterr().out
+        bad_records = make_trace_records()
+        bad_records[1]["parent_span_id"] = "f" * 16
+        bad = write_trace(tmp_path, bad_records)
+        assert main(bad) == 1
+        assert "FAIL" in capsys.readouterr().out
+        assert main(bad, allow_dangling=True) == 0
+
+    def test_module_subcommand(self, tmp_path, capsys):
+        from repro.obs.report import main as obs_main
+
+        path = write_trace(tmp_path, make_trace_records())
+        assert obs_main(["lint", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "0 errors" in out

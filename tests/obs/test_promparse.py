@@ -1,0 +1,145 @@
+"""Promtool-style conformance tests for the Prometheus exposition."""
+
+import math
+
+import pytest
+
+from repro.obs.promparse import ParseError, parse_text, validate
+from repro.obs.registry import Registry
+
+
+def build_registry():
+    reg = Registry(namespace="serve")
+    reg.counter("served", help="requests served").inc(7)
+    reg.counter("errors", labels=("model",)).labels(model="m").inc(2)
+    reg.gauge("queue_depth").set(3)
+    hist = reg.histogram("total", help="end-to-end latency")
+    for value in (0.0005, 0.002, 0.002, 0.05, 1.2):
+        hist.record(value)
+    labeled = reg.histogram("stage_seconds", labels=("stage",))
+    labeled.labels(stage="encode").record(0.01)
+    labeled.labels(stage="search").record(0.001)
+    return reg
+
+
+class TestParse:
+    def test_registry_exposition_parses_clean(self):
+        families = parse_text(build_registry().render_prometheus())
+        assert families["serve_served"].kind == "counter"
+        assert families["serve_served"].samples[0].value == 7
+        assert families["serve_total"].kind == "histogram"
+        assert families["serve_total"].help == "end-to-end latency"
+
+    def test_histogram_series_fold_into_base_family(self):
+        families = parse_text(build_registry().render_prometheus())
+        names = {s.name for s in families["serve_total"].samples}
+        assert names == {
+            "serve_total_bucket", "serve_total_sum", "serve_total_count",
+        }
+        assert "serve_total_bucket" not in families
+
+    def test_labels_parse_with_escapes(self):
+        families = parse_text(
+            '# TYPE m counter\n'
+            'm{a="x\\"y",b="line\\nbreak"} 1\n'
+        )
+        labels = families["m"].samples[0].labels
+        assert labels == {"a": 'x"y', "b": "line\nbreak"}
+
+    def test_inf_value(self):
+        families = parse_text("# TYPE g gauge\ng +Inf\n")
+        assert families["g"].samples[0].value == math.inf
+
+    @pytest.mark.parametrize("line", [
+        "no_value_here",
+        'bad{unclosed="x" 1',
+        "1bad_name 3",
+        'm{9bad="l"} 1',
+        "m not_a_number",
+    ])
+    def test_malformed_lines_raise(self, line):
+        with pytest.raises(ParseError):
+            parse_text(line + "\n")
+
+
+class TestValidate:
+    """The promtool-style checks the CI exposition gate runs."""
+
+    def test_live_registry_validates_clean(self):
+        families = parse_text(build_registry().render_prometheus())
+        assert validate(families) == []
+
+    def test_missing_type_flagged(self):
+        findings = validate(parse_text("m 1\n"))
+        assert any("no # TYPE" in f for f in findings)
+
+    def test_histogram_bucket_counts_must_be_cumulative(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            'h_bucket{le="1"} 3\n'       # decreasing: invalid
+            'h_bucket{le="+Inf"} 5\n'
+            "h_sum 1.0\nh_count 5\n"
+        )
+        findings = validate(parse_text(text))
+        assert any("not cumulative" in f for f in findings)
+
+    def test_histogram_requires_inf_bucket(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="0.1"} 5\n'
+            "h_sum 1.0\nh_count 5\n"
+        )
+        findings = validate(parse_text(text))
+        assert any("+Inf" in f for f in findings)
+
+    def test_inf_bucket_must_equal_count(self):
+        text = (
+            "# TYPE h histogram\n"
+            'h_bucket{le="+Inf"} 4\n'
+            "h_sum 1.0\nh_count 5\n"
+        )
+        findings = validate(parse_text(text))
+        assert any("_count" in f for f in findings)
+
+    def test_histogram_requires_sum_and_count(self):
+        text = "# TYPE h histogram\n" 'h_bucket{le="+Inf"} 4\n'
+        findings = validate(parse_text(text))
+        assert any("missing _sum" in f for f in findings)
+        assert any("missing _count" in f for f in findings)
+
+    def test_negative_counter_flagged(self):
+        findings = validate(parse_text("# TYPE c counter\nc -1\n"))
+        assert any("counter value" in f for f in findings)
+
+    def test_labeled_histogram_groups_checked_independently(self):
+        reg = Registry()
+        hist = reg.histogram("lat", labels=("stage",))
+        hist.labels(stage="a").record(0.1)
+        hist.labels(stage="b").record(0.2)
+        families = parse_text(reg.render_prometheus())
+        assert validate(families) == []
+        # two distinct label groups, each with its own +Inf bucket
+        infs = [s for s in families["lat"].samples
+                if s.labels.get("le") == "+Inf"]
+        assert {s.labels["stage"] for s in infs} == {"a", "b"}
+
+
+class TestEndToEndExposition:
+    def test_serve_namespace_exposition_is_scrape_conformant(self):
+        """The full promtool-style gate on a populated serve registry."""
+        families = parse_text(build_registry().render_prometheus())
+        assert validate(families) == []
+
+    def test_absorbed_worker_exposition_is_scrape_conformant(self):
+        """Shard-absorbed series keep the exposition conformant."""
+        parent = Registry(namespace="serve")
+        for shard in ("0", "1"):
+            worker = Registry(namespace="serve")
+            worker.histogram("stage_seconds", labels=("stage",)).labels(
+                stage="encode").record(0.02)
+            worker.counter("served").inc(3)
+            parent.absorb_state(worker.state(),
+                                extra_labels={"shard": shard})
+        families = parse_text(parent.render_prometheus())
+        assert validate(families) == []

@@ -1,0 +1,131 @@
+"""Tests for the flight recorder (repro.obs.recorder)."""
+
+import json
+import os
+import threading
+
+import pytest
+
+from repro.obs import trace as obs_trace
+from repro.obs.recorder import SCHEMA, FlightRecorder, load_bundle
+
+
+class TestRings:
+    def test_span_ring_is_bounded(self):
+        rec = FlightRecorder(capacity_spans=4)
+        for i in range(10):
+            rec.emit({"name": "s", "seconds": 0.0, "i": i})
+        spans = rec.spans()
+        assert len(spans) == 4
+        assert [s["i"] for s in spans] == [6, 7, 8, 9]
+
+    def test_event_ring_is_bounded(self):
+        rec = FlightRecorder(capacity_events=3)
+        for i in range(5):
+            rec.record_event("tick", i=i)
+        assert [e["i"] for e in rec.events()] == [2, 3, 4]
+
+    def test_record_event_stamps_time_and_stringifies(self):
+        rec = FlightRecorder(clock=lambda: 123.5)
+        event = rec.record_event(
+            "breaker_transition", state="open", code=2,
+            exc=ValueError("boom"),
+        )
+        assert event["t"] == 123.5
+        assert event["code"] == 2
+        assert event["exc"] == "boom"
+        json.dumps(event)  # ring stays JSON-serializable by construction
+
+    def test_events_filter_by_kind(self):
+        rec = FlightRecorder()
+        rec.record_event("a")
+        rec.record_event("b")
+        rec.record_event("a")
+        assert len(rec.events("a")) == 2
+        assert len(rec.events("b")) == 1
+
+    def test_snapshot_counts(self):
+        rec = FlightRecorder()
+        rec.emit({"name": "s", "seconds": 0.0})
+        rec.record_event("kill")
+        snap = rec.snapshot()
+        assert snap["spans"] == 1
+        assert snap["events"] == 1
+        assert snap["bundles_written"] == 0
+        assert snap["recent_events"][0]["kind"] == "kill"
+
+    def test_acts_as_trace_sink(self):
+        rec = FlightRecorder()
+        obs_trace.enable_tracing(rec)
+        with obs_trace.span("serve.request"):
+            pass
+        assert rec.spans()[0]["name"] == "serve.request"
+
+
+class TestBundles:
+    def test_bundle_pulls_affected_trace_first(self):
+        rec = FlightRecorder()
+        rec.emit({"name": "other", "trace_id": "b" * 16, "seconds": 0.0})
+        rec.emit({"name": "hit", "trace_id": "a" * 16, "seconds": 0.0})
+        bundle = rec.build_bundle("worker_kill", trace_id="a" * 16)
+        assert bundle["schema"] == SCHEMA
+        assert bundle["spans"][0]["name"] == "hit"
+        assert bundle["trace_id"] == "a" * 16
+
+    def test_dump_and_load_roundtrip(self, tmp_path):
+        rec = FlightRecorder(dir=str(tmp_path))
+        rec.record_event("worker_kill", worker=3)
+        path = rec.dump("worker_kill", extra={"batch": 7})
+        assert path is not None and os.path.exists(path)
+        assert not os.path.exists(path + ".tmp")
+        bundle = load_bundle(path)
+        assert bundle["trigger"] == "worker_kill"
+        assert bundle["extra"] == {"batch": 7}
+        assert bundle["events"][0]["worker"] == 3
+        assert rec.bundles_written == 1
+
+    def test_dump_without_dir_returns_none(self):
+        rec = FlightRecorder()
+        assert rec.dump("anything") is None
+        assert rec.bundles_written == 0
+
+    def test_dump_sanitizes_trigger_in_filename(self, tmp_path):
+        rec = FlightRecorder(dir=str(tmp_path))
+        path = rec.dump("worker kill/0")
+        assert "/0" not in os.path.basename(path)
+        assert os.path.exists(path)
+
+    def test_prune_keeps_newest(self, tmp_path):
+        rec = FlightRecorder(dir=str(tmp_path), max_bundles=3)
+        for _ in range(6):
+            rec.dump("kill")
+        names = sorted(p.name for p in tmp_path.glob("flight-*.json"))
+        assert len(names) == 3
+        assert names[-1].endswith("0006.json")
+
+    def test_load_bundle_rejects_other_json(self, tmp_path):
+        path = tmp_path / "not_a_bundle.json"
+        path.write_text(json.dumps({"schema": "something/9"}))
+        with pytest.raises(ValueError, match="schema"):
+            load_bundle(str(path))
+
+
+class TestConcurrency:
+    def test_parallel_emit_and_event_never_lose_ring_shape(self):
+        rec = FlightRecorder(capacity_spans=128, capacity_events=128)
+
+        def hammer(i):
+            for j in range(500):
+                rec.emit({"name": "s", "seconds": 0.0})
+                rec.record_event("e", i=i, j=j)
+
+        threads = [threading.Thread(target=hammer, args=(i,))
+                   for i in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(rec.spans()) == 128
+        assert len(rec.events()) == 128
+        bundle = rec.build_bundle("post")
+        json.dumps(bundle)

@@ -139,16 +139,23 @@ class TestPrometheusRender:
         text = reg.render_prometheus()
         assert 'enc{engine="pa\\"cked"} 1' in text
 
-    def test_histogram_renders_as_summary(self):
+    def test_histogram_renders_cumulative_le_buckets(self):
         reg = Registry()
         h = reg.histogram("lat").labels()
         for v in (0.001, 0.002, 0.003):
             h.record(v)
         text = reg.render_prometheus()
-        assert "# TYPE lat summary" in text
-        assert 'lat{quantile="0.5"}' in text
+        assert "# TYPE lat histogram" in text
+        assert 'lat_bucket{le="+Inf"} 3' in text
         assert "lat_sum" in text
         assert "lat_count 3" in text
+        # cumulative counts are monotone non-decreasing in le order
+        counts = [
+            int(line.rsplit(" ", 1)[1])
+            for line in text.splitlines() if line.startswith("lat_bucket")
+        ]
+        assert counts == sorted(counts)
+        assert counts[-1] == 3
 
     def test_bad_metric_names_sanitized(self):
         reg = Registry()

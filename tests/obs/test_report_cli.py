@@ -76,3 +76,83 @@ class TestCli:
         with pytest.raises(SystemExit):
             main(["report", str(tmp_path / "nope.jsonl")])
         assert "not found" in capsys.readouterr().err
+
+
+def distributed_trace():
+    """Synthetic 4-request distributed trace with one slow outlier."""
+    spans = []
+    for i in range(4):
+        trace = f"{i:016x}".replace("0", "a", 1) if i == 0 else f"{i + 1:016x}"
+        root = f"{0xbb00 + i:016x}"
+        dispatch = f"{0xcc00 + i:016x}"
+        slow = i == 3
+        root_s = 0.5 if slow else 0.01
+        spans.append({"name": "serve.request", "seconds": root_s,
+                      "trace_id": trace, "span_id": root})
+        spans.append({"name": "serve.dispatch", "seconds": root_s * 0.9,
+                      "trace_id": trace, "span_id": dispatch,
+                      "parent_span_id": root, "attrs": {"shard": i % 2}})
+        spans.append({"name": "serve.search",
+                      "seconds": root_s * 0.8 if slow else 0.001,
+                      "trace_id": trace, "span_id": f"{0xdd00 + i:016x}",
+                      "parent_span_id": dispatch,
+                      "attrs": {"shard": i % 2}})
+        spans.append({"name": "serve.encode", "seconds": 0.001,
+                      "trace_id": trace, "span_id": f"{0xee00 + i:016x}",
+                      "parent_span_id": dispatch,
+                      "attrs": {"shard": i % 2}})
+    return spans
+
+
+class TestTraceAttribution:
+    def test_untraced_spans_yield_none(self):
+        from repro.obs.report import trace_attribution
+
+        assert trace_attribution(
+            [{"name": "encode", "seconds": 0.1}]
+        ) is None
+
+    def test_percentiles_and_tail_stage_dominance(self):
+        from repro.obs.report import trace_attribution
+
+        out = trace_attribution(distributed_trace())
+        assert out["traces"] == 4 and out["roots"] == 4
+        assert out["latency_s"]["max"] == pytest.approx(0.5)
+        assert out["latency_s"]["p50"] == pytest.approx(0.01)
+        # the p99 tail is the slow request; search on shard 1 dominates
+        stages = out["tail"]["stages"]
+        top = max(stages.items(), key=lambda kv: kv[1]["wall_s"])
+        assert top[0] == "serve.dispatch[shard=1]"
+        assert stages["serve.search[shard=1]"]["share_of_tail"] > 0.5
+
+    def test_critical_path_follows_slowest_child(self):
+        from repro.obs.report import trace_attribution
+
+        out = trace_attribution(distributed_trace())
+        slow_path = next(
+            p for p in out["critical_paths"]
+            if "serve.search[shard=1]" in p["path"]
+        )
+        assert slow_path["path"] == (
+            "serve.request > serve.dispatch[shard=1] > "
+            "serve.search[shard=1]"
+        )
+        # ranked by total wall time: the slow request's path leads
+        assert out["critical_paths"][0] == slow_path
+
+    def test_render_report_includes_attribution(self, tmp_path, capsys):
+        path = tmp_path / "dist.jsonl"
+        path.write_text("\n".join(
+            json.dumps(s) for s in distributed_trace()
+        ) + "\n")
+        assert main(["report", "--no-energy", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "distributed traces: 4 rooted / 4 total" in out
+        assert "critical paths" in out
+        assert "serve.dispatch[shard=1]" in out
+
+    def test_plain_trace_report_has_no_attribution(self, trace_file,
+                                                   capsys):
+        assert main(["report", "--no-energy", str(trace_file)]) == 0
+        out = capsys.readouterr().out
+        assert "distributed traces" not in out

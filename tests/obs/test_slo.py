@@ -1,0 +1,187 @@
+"""Tests for the SLO engine (repro.obs.slo)."""
+
+import pytest
+
+from repro.obs.registry import Registry
+from repro.obs.slo import SLObjective, SLOEngine
+
+
+class FakeClock:
+    def __init__(self, t=1000.0):
+        self.t = t
+
+    def __call__(self):
+        return self.t
+
+    def advance(self, dt):
+        self.t += dt
+
+
+class FakeLadder:
+    def __init__(self):
+        self.calls = []
+
+    def force_tier(self, tier):
+        self.calls.append(tier)
+
+
+def make_engine(clock, *, registry=None, ladder=None, tier=None,
+                windows=(5.0, 60.0), threshold=0.1):
+    obj = SLObjective(
+        "latency", target=0.9, latency_threshold_s=threshold,
+        windows=windows, burn_threshold=2.0, degrade_tier=tier,
+    )
+    return obj, SLOEngine([obj], registry=registry, ladder=ladder,
+                          clock=clock)
+
+
+class TestObjectiveValidation:
+    def test_target_must_be_fraction(self):
+        with pytest.raises(ValueError, match="target"):
+            SLObjective("x", target=1.0)
+
+    def test_needs_windows(self):
+        with pytest.raises(ValueError, match="window"):
+            SLObjective("x", windows=())
+
+    def test_duplicate_names_rejected(self):
+        a = SLObjective("same")
+        b = SLObjective("same", target=0.5)
+        with pytest.raises(ValueError, match="duplicate"):
+            SLOEngine([a, b])
+
+
+class TestBurnRates:
+    def test_all_good_burns_zero(self):
+        clock = FakeClock()
+        _, eng = make_engine(clock)
+        for _ in range(50):
+            eng.record(0.01, ok=True)
+        out = eng.evaluate()["latency"]
+        assert out["burn"]["5s"] == 0.0
+        assert out["breaching"] is False
+
+    def test_burn_is_bad_fraction_over_budget(self):
+        clock = FakeClock()
+        _, eng = make_engine(clock)
+        # 20% bad against a 10% budget -> burn 2.0 in the short window
+        for i in range(50):
+            eng.record(0.01, ok=(i % 5 != 0))
+        out = eng.evaluate()["latency"]
+        assert out["burn"]["5s"] == pytest.approx(2.0)
+
+    def test_slow_requests_count_as_bad(self):
+        clock = FakeClock()
+        _, eng = make_engine(clock, threshold=0.05)
+        for _ in range(10):
+            eng.record(0.2, ok=True)  # ok but over the latency threshold
+        out = eng.evaluate()["latency"]
+        assert out["burn"]["5s"] == pytest.approx(10.0)  # 100% / 10%
+
+    def test_empty_window_burns_zero_and_never_breaches(self):
+        clock = FakeClock()
+        _, eng = make_engine(clock)
+        out = eng.evaluate()["latency"]
+        assert out["burn"]["5s"] == 0.0
+        assert out["breaching"] is False
+
+    def test_old_samples_age_out_of_short_window(self):
+        clock = FakeClock()
+        _, eng = make_engine(clock)
+        for _ in range(20):
+            eng.record(1.0, ok=False)
+        clock.advance(30.0)  # past the 5 s window, inside the 60 s one
+        out = eng.evaluate()["latency"]
+        assert out["burn"]["5s"] == 0.0
+        assert out["burn"]["60s"] > 0.0
+
+
+class TestBreachLatching:
+    def test_breach_requires_all_windows(self):
+        clock = FakeClock()
+        _, eng = make_engine(clock, windows=(5.0, 60.0))
+        # short-window spike only: 60 s window sees mostly good history
+        for _ in range(500):
+            eng.record(0.01, ok=True)
+        clock.advance(10.0)
+        for _ in range(20):
+            eng.record(1.0, ok=False)
+        out = eng.evaluate()["latency"]
+        assert out["burn"]["5s"] >= 2.0
+        assert out["burn"]["60s"] < 2.0
+        assert out["breaching"] is False
+
+    def test_breach_and_hysteresis_recovery(self):
+        clock = FakeClock()
+        _, eng = make_engine(clock)
+        for _ in range(50):
+            eng.record(1.0, ok=False)
+        out = eng.evaluate()["latency"]
+        assert out["breaching"] is True
+        assert out["breach_count"] == 1
+        # good traffic pushes the short window burn under threshold/2
+        clock.advance(6.0)
+        for _ in range(50):
+            eng.record(0.01, ok=True)
+        out = eng.evaluate()["latency"]
+        assert out["breaching"] is False
+        assert out["breach_count"] == 1  # recovery does not re-count
+
+
+class TestLadderDrive:
+    def test_breach_forces_tier_then_releases(self):
+        clock = FakeClock()
+        ladder = FakeLadder()
+        _, eng = make_engine(clock, ladder=ladder, tier=3)
+        for _ in range(50):
+            eng.record(1.0, ok=False)
+        eng.evaluate()
+        assert ladder.calls == [3]
+        clock.advance(6.0)
+        for _ in range(50):
+            eng.record(0.01, ok=True)
+        eng.evaluate()
+        assert ladder.calls == [3, 0]
+
+    def test_no_tier_means_ladder_untouched(self):
+        clock = FakeClock()
+        ladder = FakeLadder()
+        _, eng = make_engine(clock, ladder=ladder, tier=None)
+        for _ in range(50):
+            eng.record(1.0, ok=False)
+        eng.evaluate()
+        assert ladder.calls == []
+
+    def test_ladder_errors_do_not_poison_evaluate(self):
+        class Exploding:
+            def force_tier(self, tier):
+                raise RuntimeError("ladder detached")
+
+        clock = FakeClock()
+        _, eng = make_engine(clock, ladder=Exploding(), tier=2)
+        for _ in range(50):
+            eng.record(1.0, ok=False)
+        assert eng.evaluate()["latency"]["breaching"] is True
+
+
+class TestGauges:
+    def test_burn_and_breach_gauges_land_in_registry(self):
+        clock = FakeClock()
+        reg = Registry(namespace="serve")
+        _, eng = make_engine(clock, registry=reg)
+        for _ in range(50):
+            eng.record(1.0, ok=False)
+        eng.evaluate()
+        text = reg.render_prometheus()
+        assert 'serve_slo_burn_rate{slo="latency",window="5s"}' in text
+        assert 'serve_slo_breaching{slo="latency"} 1.0' in text
+
+    def test_snapshot_is_evaluate(self):
+        clock = FakeClock()
+        _, eng = make_engine(clock)
+        eng.record(0.01, ok=True)
+        snap = eng.snapshot()
+        assert set(snap) == {"latency"}
+        assert set(snap["latency"]) >= {
+            "target", "burn", "breaching", "breach_count",
+        }

@@ -1,0 +1,104 @@
+"""Tests for the live dashboard renderer (repro.obs.top)."""
+
+import json
+
+from repro.obs.registry import Registry
+from repro.obs.top import main, render_dashboard, render_prometheus_frame
+
+
+def sample_stats():
+    return {
+        "queue": {"depth": 3, "maxsize": 1024},
+        "policy": {"level": 1, "recent_p95_s": 0.004},
+        "deployments": {
+            "m": {"kind": "packed", "dim": 2048, "serving_dim": 1024,
+                  "version": 2, "degraded": True},
+        },
+        "histograms": {
+            "total": {"count": 40, "p50_s": 0.002, "p95_s": 0.004,
+                      "p99_s": 0.005},
+            "stage_seconds": {
+                "('encode',)": {"count": 40, "p50_s": 0.001,
+                                "p95_s": 0.002, "p99_s": 0.002},
+            },
+            "empty": {"count": 0},
+        },
+        "slo": {
+            "availability": {"target": 0.99, "burn": {"5s": 3.0,
+                                                      "60s": 2.5},
+                             "breaching": True, "breach_count": 2},
+        },
+        "recorder": {"spans": 57, "events": 4, "bundles_written": 1,
+                     "recent_events": [
+                         {"kind": "worker_kill", "t": 1.0, "worker": 2},
+                     ]},
+        "shards": {
+            "1": {"shard": 1, "pid": 222, "served": 16,
+                  "busy_seconds": 0.4, "rss_kb": 40960},
+            "0": {"shard": 0, "pid": 221, "served": 24,
+                  "busy_seconds": 0.5, "rss_kb": 40960},
+        },
+    }
+
+
+class TestRenderDashboard:
+    def test_sections_present(self):
+        frame = render_dashboard(sample_stats())
+        for needle in ("queue 3/1024", "shed level 1", "model m",
+                       "DEGRADED", "BREACH", "worker_kill",
+                       "bundles 1", "shard  0", "shard  1"):
+            assert needle in frame, needle
+
+    def test_histograms_show_percentiles_and_skip_empty(self):
+        frame = render_dashboard(sample_stats())
+        assert "total" in frame
+        assert "stage_seconds('encode',)" in frame
+        assert "empty" not in frame
+
+    def test_shards_sorted_by_id(self):
+        frame = render_dashboard(sample_stats())
+        assert frame.index("shard  0") < frame.index("shard  1")
+
+    def test_no_slo_configured(self):
+        stats = sample_stats()
+        stats["slo"] = None
+        assert "no objectives configured" in render_dashboard(stats)
+
+    def test_minimal_stats_dict(self):
+        # a thread-server stats() without sharding keys still renders
+        frame = render_dashboard({"queue": {"depth": 0, "maxsize": 8}})
+        assert "queue 0/8" in frame
+        assert "shard" not in frame
+
+
+class TestPrometheusFrame:
+    def test_scrape_frame(self):
+        reg = Registry(namespace="serve")
+        reg.counter("served").inc(9)
+        hist = reg.histogram("total")
+        hist.record(0.002)
+        reg.gauge("slo_burn_rate", labels=("slo", "window")).labels(
+            slo="lat", window="5s").set(1.25)
+        frame = render_prometheus_frame(reg.render_prometheus())
+        assert "serve_served 9" in frame
+        assert "n=1" in frame and "mean=2.000ms" in frame
+        assert "slo_burn_rate" in frame
+
+
+class TestCli:
+    def test_requires_exactly_one_source(self, capsys):
+        assert main() == 2
+        assert main(stats_json="x", url="y") == 2
+
+    def test_once_renders_stats_file(self, tmp_path, capsys):
+        path = tmp_path / "stats.json"
+        path.write_text(json.dumps(sample_stats()))
+        assert main(stats_json=path, once=True) == 0
+        out = capsys.readouterr().out
+        assert "repro.obs top" in out
+        assert "queue 3/1024" in out
+
+    def test_unreadable_stats_file_still_renders(self, tmp_path, capsys):
+        path = tmp_path / "missing.json"
+        assert main(stats_json=path, once=True) == 0
+        assert "unreadable" in capsys.readouterr().out

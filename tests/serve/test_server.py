@@ -192,7 +192,7 @@ class TestStatsSchema:
     """The stats() snapshot is a public contract (dashboards parse it)."""
 
     TOP_KEYS = {"counters", "gauges", "histograms", "queue", "policy",
-                "deployments", "resilience"}
+                "deployments", "resilience", "slo", "recorder"}
 
     def test_schema_after_quick_bench_run(self, serve_classifier,
                                           serve_queries):
@@ -240,7 +240,8 @@ class TestStatsSchema:
         text = server.render_prometheus()
         assert "# TYPE serve_served counter" in text
         assert "serve_queue_depth" in text
-        assert 'serve_total{quantile="0.95"}' in text
+        assert 'serve_total_bucket{le="+Inf"}' in text
+        assert "serve_total_sum" in text
 
     def test_metrics_endpoint_lifecycle(self, serve_classifier,
                                         serve_queries):
