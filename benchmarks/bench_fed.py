@@ -1,0 +1,123 @@
+"""Federated fleet gate: merge exactness, accuracy gap, serving liveness.
+
+Thin CI wrapper over :mod:`repro.fleet.bench`.  Runs the federated
+fleet (>= 256 simulated devices, per-round churn, straggler deadline,
+compressed uplink) against centralized training and writes
+``BENCH_fed.json``.
+
+``--check`` enforces the federation contract:
+
+- the lossless bootstrap merge is **bit-identical** to centralized
+  ``fit(epochs=0)`` initialization (disjoint shard cover, full-int
+  codec);
+- the deployed federated model lands within ``--max-gap`` accuracy
+  points (default 2) of the centralized baseline, despite non-IID
+  shards, churn, stragglers and sign-compressed uploads;
+- the run actually exercises fleet conditions: >= 256 devices,
+  >= 10% churn, a finite straggler deadline, and a compressed codec
+  (full-int is the lossless reference, not a bandwidth budget);
+- per-round uplink bytes are reported and every round merges at least
+  one device;
+- the live server kept serving between rounds: every submitted request
+  completed, and the model version advanced (merges really published).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_fed.py            # full
+    PYTHONPATH=src python benchmarks/bench_fed.py --quick --check
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+
+from repro.fleet.bench import OUT_PATH, bit_identity_check, run_bench
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke workload (CI)")
+    parser.add_argument("--check", action="store_true",
+                        help="fail when the federation contract is violated")
+    parser.add_argument("--max-gap", type=float, default=2.0,
+                        help="--check cap on centralized-minus-federated "
+                             "accuracy points")
+    parser.add_argument("--devices", type=int, default=256)
+    parser.add_argument("--codec", default="sign")
+    parser.add_argument("--churn", type=float, default=0.1)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    report = run_bench(
+        n_devices=args.devices,
+        rounds=5 if args.quick else 10,
+        dim=512 if args.quick else 1024,
+        n_train=2048 if args.quick else 4096,
+        codec=args.codec,
+        churn=args.churn,
+        seed=args.seed,
+    )
+    report["profile"] = "quick" if args.quick else "full"
+    report["bit_identity"] = bit_identity_check(seed=args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    s = report["summary"]
+    print(f"wrote {args.out}")
+    print(
+        f"centralized {s['centralized_accuracy']:.4f} vs federated "
+        f"{s['federated_accuracy']:.4f} (gap {s['gap_points']:+.2f} pts), "
+        f"{s['federated_bytes'] / 1e6:.2f} MB uplink, "
+        f"bit-identity {report['bit_identity']['ok']}"
+    )
+
+    if not args.check:
+        return 0
+
+    cfg = report["config"]
+    rounds = report["rounds"]
+    problems = []
+    if not report["bit_identity"]["ok"]:
+        problems.append("lossless bootstrap merge lost bit-identity with "
+                        "centralized initialization")
+    if s["gap_points"] > args.max_gap:
+        problems.append(
+            f"federated accuracy {s['federated_accuracy']:.4f} trails "
+            f"centralized {s['centralized_accuracy']:.4f} by "
+            f"{s['gap_points']:.2f} pts (> {args.max_gap})"
+        )
+    if cfg["n_devices"] < 256:
+        problems.append(f"only {cfg['n_devices']} devices (< 256)")
+    if cfg["churn"] < 0.1:
+        problems.append(f"churn {cfg['churn']} below the 10% fleet condition")
+    if cfg["deadline_s"] is None:
+        problems.append("no straggler deadline configured")
+    if cfg["codec"].split(":")[0] not in ("sign", "topk"):
+        problems.append(
+            f"codec {cfg['codec']!r} is not a compressed bandwidth budget")
+    if any(r["merged"] < 1 for r in rounds):
+        problems.append("a round merged zero devices")
+    if any("bytes_merged" not in r for r in rounds):
+        problems.append("a round is missing its bytes accounting")
+    if rounds[-1]["model_version"] < 2:
+        problems.append("model version never advanced past the bootstrap "
+                        "publish (merges not reaching the server)")
+    for point in report["live_serving"]:
+        if point["failed"]:
+            problems.append(
+                f"{point['failed']} live requests failed between rounds")
+            break
+    if not report["live_serving"]:
+        problems.append("no live serving traffic was exercised")
+
+    for p in problems:
+        print(f"CHECK FAILED: {p}", file=sys.stderr)
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

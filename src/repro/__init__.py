@@ -22,6 +22,11 @@ The package splits the paper's system into four layers:
 - :mod:`repro.stream` -- streaming encoding, drift detection, and a
   train-while-serving loop that hot-swaps retrained models into the
   server (imported lazily; see :class:`repro.stream.StreamLoop`).
+- :mod:`repro.fleet` -- a simulated federated fleet of edge devices
+  training locally and merging class hypervectors under bandwidth
+  budgets, published live through any
+  :class:`repro.serve.ServingSurface` backend (imported lazily; see
+  :class:`repro.fleet.FleetAggregator`).
 """
 
 from repro.core.classifier import HDClassifier

@@ -1,0 +1,43 @@
+"""The one deprecation shim for legacy per-class compute kwargs.
+
+Every consolidated constructor (``HDClassifier``, ``AdaptiveHDClassifier``,
+``HDCluster``, ``PackedModel``, ``ServeConfig`` and friends) accepts the
+four historical per-knob kwargs -- ``engine`` / ``encode_jobs`` /
+``train_engine`` / ``train_memory_budget`` -- as deprecated aliases for
+``config=ComputeConfig(...)``.  All of those paths funnel through
+:meth:`~repro.core.config.ComputeConfig.from_kwargs`, and
+``from_kwargs`` funnels through :func:`warn_legacy_kwargs` below -- the
+**single** ``DeprecationWarning`` site in the package, so the wording,
+category and stack-level bookkeeping live in exactly one place (and a
+``-W error::DeprecationWarning`` run points every legacy call site at
+the same shim).
+
+Removing the legacy kwargs one day means deleting this module and the
+``UNSET``-defaulted parameters that feed it; nothing else warns.
+"""
+
+from __future__ import annotations
+
+import warnings
+from typing import Iterable
+
+__all__ = ["warn_legacy_kwargs"]
+
+
+def warn_legacy_kwargs(owner: str, names: Iterable[str],
+                       stacklevel: int = 3) -> None:
+    """Emit the canonical legacy-kwarg :class:`DeprecationWarning`.
+
+    ``owner`` names the consolidated class the user called (empty string
+    for anonymous call sites); ``names`` are the legacy kwargs actually
+    passed; ``stacklevel`` is counted from *this function's caller* (a
+    caller passing its own received stacklevel through should add 1).
+    """
+    joined = ", ".join(sorted(names))
+    prefix = f"{owner}: " if owner else ""
+    warnings.warn(
+        f"{prefix}the {joined} keyword(s) are deprecated; pass "
+        f"config=ComputeConfig(...) instead",
+        DeprecationWarning,
+        stacklevel=stacklevel + 1,
+    )

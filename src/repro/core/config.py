@@ -29,9 +29,10 @@ their later mutations into each other.
 from __future__ import annotations
 
 import dataclasses
-import warnings
 from dataclasses import dataclass
 from typing import Optional
+
+from repro.core.compat import warn_legacy_kwargs
 
 __all__ = ["ComputeConfig", "UNSET"]
 
@@ -127,14 +128,9 @@ class ComputeConfig:
         passed = {k: v for k, v in legacy.items() if v is not UNSET}
         if passed:
             if warn:
-                names = ", ".join(sorted(passed))
-                prefix = f"{owner}: " if owner else ""
-                warnings.warn(
-                    f"{prefix}the {names} keyword(s) are deprecated; pass "
-                    f"config=ComputeConfig(...) instead",
-                    DeprecationWarning,
-                    stacklevel=stacklevel,
-                )
+                # the single DeprecationWarning site lives in
+                # repro.core.compat; keep this frame transparent
+                warn_legacy_kwargs(owner, passed, stacklevel=stacklevel)
             for k, v in passed.items():
                 setattr(out, k, v)
         return out

@@ -1,0 +1,337 @@
+"""Federated fleet benchmark: accuracy vs. rounds vs. communicated bytes.
+
+Simulates a fleet of edge devices (Dirichlet non-IID shards,
+heterogeneous speeds and uplinks, per-round churn, straggler deadline)
+training a GENERIC model by class-hypervector merging, served live
+through an :class:`~repro.serve.server.InferenceServer` between rounds,
+and compares it against centralized training on the pooled data:
+
+- **accuracy**: per-round held-out accuracy of the *deployed* model,
+  vs. the centralized classifier's accuracy;
+- **bytes**: cumulative uplink traffic under the chosen codec, vs. the
+  bytes centralizing the raw training data would have cost;
+- **liveness**: real requests are submitted to the running server
+  between rounds (a fleet whose serving path stalls during merges
+  fails the CI gate in ``benchmarks/bench_fed.py``).
+
+Run as a module::
+
+    PYTHONPATH=src python -m repro.fleet.bench                # full
+    PYTHONPATH=src python -m repro.fleet.bench --quick
+    PYTHONPATH=src python -m repro.fleet.bench --codec topk:256 --rounds 20
+
+Results land in ``BENCH_fed.json``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import sys
+import time
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.hardware.faultspec import FaultSpec
+from repro.platforms import RASPBERRY_PI
+from repro.serve import InferenceServer, ServeConfig
+from repro.fleet.aggregator import FleetAggregator, FleetConfig
+from repro.fleet.device import EdgeDevice
+from repro.fleet.sharding import dirichlet_shards, shard_summary
+
+OUT_PATH = pathlib.Path("BENCH_fed.json")
+
+__all__ = [
+    "bit_identity_check",
+    "build_fleet",
+    "make_fleet_workload",
+    "run_bench",
+    "main",
+]
+
+
+def make_fleet_workload(
+    n_classes: int = 8,
+    n_features: int = 32,
+    n_train: int = 4096,
+    n_eval: int = 1024,
+    noise: float = 2.2,
+    seed: int = 7,
+):
+    """Gaussian-prototype problem hard enough to leave accuracy headroom."""
+    rng = np.random.default_rng(seed)
+    protos = rng.normal(scale=1.5, size=(n_classes, n_features))
+    y = rng.integers(0, n_classes, size=n_train)
+    X = protos[y] + rng.normal(scale=noise, size=(n_train, n_features))
+    y_eval = rng.integers(0, n_classes, size=n_eval)
+    X_eval = protos[y_eval] + rng.normal(
+        scale=noise, size=(n_eval, n_features)
+    )
+    return X, y, X_eval, y_eval
+
+
+def build_fleet(
+    X: np.ndarray,
+    y: np.ndarray,
+    encoder,
+    n_devices: int,
+    alpha: float = 0.3,
+    mean_uplink_bps: float = 2e6,
+    fault_rate: float = 0.0,
+    fault_bits: int = 16,
+    seed: int = 0,
+):
+    """Non-IID shards -> heterogeneous devices (speed/uplink lognormal)."""
+    classes = np.unique(y)
+    y_idx = np.searchsorted(classes, y)
+    shards = dirichlet_shards(y, n_devices, alpha=alpha, seed=seed)
+    rng = np.random.default_rng(seed + 1)
+    faults = (FaultSpec(error_rate=fault_rate, bits=fault_bits)
+              if fault_rate > 0.0 else None)
+    devices = [
+        EdgeDevice(
+            i, X[shard], y_idx[shard], encoder,
+            device_model=RASPBERRY_PI,
+            speed=float(rng.lognormal(0.0, 0.3)),
+            uplink_bps=float(mean_uplink_bps * rng.lognormal(0.0, 0.5)),
+            faults=faults,
+            seed=seed,
+        )
+        for i, shard in enumerate(shards)
+    ]
+    return devices, classes, shard_summary(shards, y)
+
+
+def run_centralized(
+    X: np.ndarray, y: np.ndarray,
+    X_eval: np.ndarray, y_eval: np.ndarray,
+    dim: int, epochs: int, seed: int,
+) -> Dict:
+    """Pool-everything baseline: accuracy + the bytes pooling costs."""
+    enc = GenericEncoder(dim=dim, num_levels=16, seed=seed)
+    clf = HDClassifier(enc, epochs=epochs, seed=seed)
+    t0 = time.perf_counter()
+    clf.fit(X, y)
+    train_s = time.perf_counter() - t0
+    return {
+        "accuracy": round(clf.score(X_eval, y_eval), 4),
+        "epochs": epochs,
+        # shipping the raw float32 features + a label byte per sample
+        "bytes_to_cloud": int(X.size * 4 + len(y)),
+        "wall_train_s": round(train_s, 3),
+    }
+
+
+def _serve_live(server, model_name: str, X_eval, y_eval, n: int,
+                rng: np.random.Generator) -> Dict:
+    """Submit ``n`` real requests between rounds; report served quality."""
+    picks = rng.integers(0, len(X_eval), size=n)
+    futures = [server.submit(model_name, X_eval[i]) for i in picks]
+    served, failed, correct, latencies = 0, 0, 0, []
+    for i, fut in zip(picks, futures):
+        try:
+            pred = fut.result(timeout=30.0)
+        except Exception:
+            failed += 1
+            continue
+        served += 1
+        correct += int(pred.label == y_eval[i])
+        latencies.append(pred.latency)
+    return {
+        "served": served,
+        "failed": failed,
+        "accuracy": round(correct / served, 4) if served else None,
+        "p95_ms": (round(float(np.percentile(latencies, 95) * 1e3), 3)
+                   if latencies else None),
+    }
+
+
+def run_bench(
+    n_devices: int = 256,
+    rounds: int = 10,
+    dim: int = 1024,
+    codec: str = "sign",
+    churn: float = 0.1,
+    alpha: float = 0.3,
+    participation: float = 1.0,
+    local_epochs: int = 1,
+    deadline_s: Optional[float] = 5.0,
+    centralized_epochs: int = 3,
+    n_train: int = 4096,
+    n_eval: int = 1024,
+    noise: float = 2.2,
+    fault_rate: float = 0.0,
+    live_requests: int = 32,
+    seed: int = 7,
+) -> Dict:
+    """One full federated-vs-centralized comparison; returns the report."""
+    X, y, X_eval, y_eval = make_fleet_workload(
+        n_train=n_train, n_eval=n_eval, noise=noise, seed=seed,
+    )
+    centralized = run_centralized(
+        X, y, X_eval, y_eval, dim=dim, epochs=centralized_epochs, seed=seed,
+    )
+
+    enc = GenericEncoder(dim=dim, num_levels=16, seed=seed)
+    enc.fit(X)  # enrollment: level/id tables broadcast to the fleet once
+    devices, classes, shards = build_fleet(
+        X, y, enc, n_devices, alpha=alpha, fault_rate=fault_rate, seed=seed,
+    )
+
+    cfg = FleetConfig(
+        codec=codec, churn=churn, participation=participation,
+        local_epochs=local_epochs, deadline_s=deadline_s, seed=seed,
+    )
+    live_rng = np.random.default_rng(seed + 2)
+    live: List[Dict] = []
+    t0 = time.perf_counter()
+    server = InferenceServer(ServeConfig(n_workers=2, max_batch=32))
+    with server:
+        agg = FleetAggregator(
+            server, devices, classes, X_eval, y_eval, config=cfg,
+        )
+        round_reports = []
+        for _ in range(rounds):
+            report = agg.run_round()
+            round_reports.append(report.to_dict())
+            if agg.published and live_requests:
+                live.append(_serve_live(
+                    server, cfg.model_name, X_eval, y_eval,
+                    live_requests, live_rng,
+                ))
+        fleet_stats = agg.stats()
+        server.wait_idle(timeout=30.0)
+    wall_s = time.perf_counter() - t0
+
+    fed_final = round_reports[-1]["accuracy"]
+    cumulative = int(np.cumsum(
+        [r["bytes_merged"] for r in round_reports])[-1])
+    return {
+        "harness": "repro.fleet.bench",
+        "config": {
+            "n_devices": n_devices,
+            "rounds": rounds,
+            "dim": dim,
+            "codec": codec,
+            "churn": churn,
+            "alpha": alpha,
+            "participation": participation,
+            "local_epochs": local_epochs,
+            "deadline_s": deadline_s,
+            "fault_rate": fault_rate,
+            "n_train": n_train,
+            "noise": noise,
+            "seed": seed,
+        },
+        "shards": shards,
+        "centralized": centralized,
+        "rounds": round_reports,
+        "live_serving": live,
+        "fleet": fleet_stats,
+        "summary": {
+            "centralized_accuracy": centralized["accuracy"],
+            "federated_accuracy": fed_final,
+            "gap_points": round(
+                100.0 * (centralized["accuracy"] - fed_final), 2),
+            "federated_bytes": cumulative,
+            "centralized_bytes": centralized["bytes_to_cloud"],
+            "bytes_ratio": round(
+                cumulative / max(centralized["bytes_to_cloud"], 1), 3),
+            "sim_fleet_s": fleet_stats["sim_total_s"],
+            "wall_s": round(wall_s, 3),
+        },
+        "numpy": np.__version__,
+    }
+
+
+def bit_identity_check(dim: int = 256, n_devices: int = 16,
+                       seed: int = 3) -> Dict:
+    """Lossless bootstrap merge == centralized init, bit for bit.
+
+    The exactness contract behind the whole design: with the full-int
+    codec, no churn and no deadline, one bootstrap round over a
+    disjoint shard cover reproduces centralized ``fit(epochs=0)``
+    exactly (integer class sums reordered).  Used by the CI gate.
+    """
+    X, y, X_eval, y_eval = make_fleet_workload(
+        n_train=640, n_eval=64, seed=seed,
+    )
+    enc = GenericEncoder(dim=dim, num_levels=16, seed=seed)
+    central = HDClassifier(
+        GenericEncoder(dim=dim, num_levels=16, seed=seed), epochs=0, seed=0,
+    )
+    central.fit(X, y)
+    enc.fit(X)
+    devices, classes, _ = build_fleet(X, y, enc, n_devices, seed=seed)
+    server = InferenceServer(ServeConfig(n_workers=1))
+    with server:
+        agg = FleetAggregator(
+            server, devices, classes, config=FleetConfig(
+                codec="full", churn=0.0, deadline_s=None, seed=seed,
+            ),
+        )
+        agg.run_round()
+        deployed = server.registry.get(agg.cfg.model_name).model.model_
+        ok = bool(
+            np.array_equal(agg.model, central.model_)
+            and np.array_equal(deployed, central.model_)
+        )
+    return {"ok": ok, "devices": n_devices, "dim": dim}
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.fleet.bench",
+        description="Federated fleet vs. centralized training",
+    )
+    parser.add_argument("--quick", action="store_true",
+                        help="small smoke workload (CI)")
+    parser.add_argument("--devices", type=int, default=256)
+    parser.add_argument("--rounds", type=int, default=None)
+    parser.add_argument("--dim", type=int, default=None)
+    parser.add_argument("--codec", default="sign",
+                        help="uplink codec: full, sign or topk:<k>")
+    parser.add_argument("--churn", type=float, default=0.1)
+    parser.add_argument("--alpha", type=float, default=0.3)
+    parser.add_argument("--participation", type=float, default=1.0)
+    parser.add_argument("--local-epochs", type=int, default=1)
+    parser.add_argument("--deadline-s", type=float, default=5.0)
+    parser.add_argument("--fault-rate", type=float, default=0.0)
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--out", type=pathlib.Path, default=OUT_PATH)
+    args = parser.parse_args(argv)
+
+    dim = args.dim or (512 if args.quick else 1024)
+    rounds = args.rounds or (5 if args.quick else 10)
+    n_train = 2048 if args.quick else 4096
+
+    report = run_bench(
+        n_devices=args.devices, rounds=rounds, dim=dim, codec=args.codec,
+        churn=args.churn, alpha=args.alpha,
+        participation=args.participation, local_epochs=args.local_epochs,
+        deadline_s=args.deadline_s, n_train=n_train,
+        fault_rate=args.fault_rate, seed=args.seed,
+    )
+    report["profile"] = "quick" if args.quick else "full"
+    report["bit_identity"] = bit_identity_check(seed=args.seed)
+    args.out.write_text(json.dumps(report, indent=2) + "\n")
+
+    s = report["summary"]
+    print(f"wrote {args.out}")
+    print(
+        f"centralized {s['centralized_accuracy']:.4f} vs federated "
+        f"{s['federated_accuracy']:.4f} (gap {s['gap_points']:+.2f} pts) | "
+        f"{s['federated_bytes'] / 1e6:.2f} MB uplink over "
+        f"{len(report['rounds'])} rounds "
+        f"({s['bytes_ratio']:.2f}x the raw-data upload) | "
+        f"bit-identity {report['bit_identity']['ok']}"
+    )
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

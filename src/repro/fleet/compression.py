@@ -1,0 +1,213 @@
+"""Uplink codecs: what a device's model update costs on the wire.
+
+A round's upload is an integer delta matrix ``(n_classes, dim)`` --
+the difference between the device's locally-retrained class
+hypervectors and the global model it started from (the paper's ±h
+update rule only ever adds/subtracts integer encodings, so deltas are
+exactly integer-valued).  The three codecs trade bytes for fidelity:
+
+- :class:`FullIntCodec` -- int32 per dimension, lossless.  The
+  reference budget: ``4 * n_classes * dim`` bytes per upload.
+- :class:`SignCodec` -- one sign bit per dimension plus one int32
+  scale per class row (``s = round(mean |row|)``, clamped to
+  ``max |row|``).  ~32x smaller; the per-entry reconstruction error is
+  bounded by the row's max magnitude (:meth:`SignCodec.error_bound`),
+  which the lossy-merge property test checks.
+- :class:`TopKCodec` -- the ``k`` largest-magnitude entries per row,
+  transmitted exactly (int32 index + int32 value); everything else is
+  decoded as zero.  Lossless whenever a row has <= ``k`` nonzeros.
+
+:func:`corrupt_update` models an unreliable uplink: it applies a
+:class:`~repro.hardware.faultspec.FaultSpec`'s independent per-bit
+flips to the integer words actually on the wire (values for full/top-k
+payloads, sign bits for sign payloads), reusing the repo's one fault
+model instead of inventing a channel model here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.hardware.faultspec import FaultSpec, inject_bitflips
+
+__all__ = [
+    "CompressedUpdate",
+    "FullIntCodec",
+    "SignCodec",
+    "TopKCodec",
+    "UpdateCodec",
+    "corrupt_update",
+    "make_codec",
+]
+
+
+@dataclass
+class CompressedUpdate:
+    """One device's encoded upload: payload arrays + wire size."""
+
+    codec: str
+    shape: tuple
+    payload: Dict[str, np.ndarray]
+    nbytes: int
+
+
+class UpdateCodec:
+    """Encode/decode an integer delta matrix for the uplink."""
+
+    name: str = "base"
+    lossless: bool = False
+
+    def encode(self, delta: np.ndarray) -> CompressedUpdate:
+        raise NotImplementedError
+
+    def decode(self, update: CompressedUpdate) -> np.ndarray:
+        raise NotImplementedError
+
+    def describe(self) -> Dict:
+        return {"name": self.name, "lossless": self.lossless}
+
+
+class FullIntCodec(UpdateCodec):
+    """Lossless int32 transfer of the whole delta matrix."""
+
+    name = "full"
+    lossless = True
+
+    def encode(self, delta: np.ndarray) -> CompressedUpdate:
+        values = np.rint(np.asarray(delta)).astype(np.int32)
+        return CompressedUpdate(
+            codec=self.name, shape=values.shape,
+            payload={"values": values}, nbytes=4 * values.size,
+        )
+
+    def decode(self, update: CompressedUpdate) -> np.ndarray:
+        return update.payload["values"].astype(np.float64)
+
+
+class SignCodec(UpdateCodec):
+    """One bit per dimension plus a per-class integer scale.
+
+    Decoded entries are ``s_c * sign(delta)`` with
+    ``s_c = clip(round(mean |row_c| over nonzeros), 1, max |row_c|)``,
+    so every reconstructed entry differs from the original by at most
+    ``max |row_c|`` (zeros decode exactly: their sign is zero).
+    """
+
+    name = "sign"
+    lossless = False
+
+    def encode(self, delta: np.ndarray) -> CompressedUpdate:
+        values = np.rint(np.asarray(delta)).astype(np.int64)
+        mag = np.abs(values)
+        row_max = mag.max(axis=1)
+        nnz = np.count_nonzero(values, axis=1)
+        mean_mag = mag.sum(axis=1) / np.maximum(nnz, 1)
+        scales = np.clip(
+            np.rint(mean_mag), 1, np.maximum(row_max, 1)
+        ).astype(np.int32)
+        scales[nnz == 0] = 0
+        signs = np.sign(values).astype(np.int8)
+        # wire size: one bit of sign + one presence bit per dimension
+        # (zero entries must be distinguishable), plus the row scales
+        nbits = 2 * values.size
+        return CompressedUpdate(
+            codec=self.name, shape=values.shape,
+            payload={"signs": signs, "scales": scales},
+            nbytes=(nbits + 7) // 8 + 4 * len(scales),
+        )
+
+    def decode(self, update: CompressedUpdate) -> np.ndarray:
+        signs = update.payload["signs"].astype(np.float64)
+        return signs * update.payload["scales"][:, None].astype(np.float64)
+
+    @staticmethod
+    def error_bound(delta: np.ndarray) -> np.ndarray:
+        """Per-row ∞-norm bound on ``|decode(encode(delta)) - delta|``."""
+        return np.abs(np.rint(np.asarray(delta))).max(axis=1)
+
+
+class TopKCodec(UpdateCodec):
+    """Exact transfer of the ``k`` largest-magnitude entries per row."""
+
+    name = "topk"
+    lossless = False
+
+    def __init__(self, k: int):
+        if k < 1:
+            raise ValueError(f"top-k needs k >= 1, got {k}")
+        self.k = int(k)
+
+    def encode(self, delta: np.ndarray) -> CompressedUpdate:
+        values = np.rint(np.asarray(delta)).astype(np.int32)
+        k = min(self.k, values.shape[1])
+        # argpartition per row: indices of the k largest magnitudes
+        idx = np.argpartition(np.abs(values), -k, axis=1)[:, -k:]
+        kept = np.take_along_axis(values, idx, axis=1)
+        return CompressedUpdate(
+            codec=f"{self.name}:{self.k}", shape=values.shape,
+            payload={"indices": idx.astype(np.int32), "values": kept},
+            nbytes=8 * kept.size,
+        )
+
+    def decode(self, update: CompressedUpdate) -> np.ndarray:
+        out = np.zeros(update.shape, dtype=np.float64)
+        np.put_along_axis(
+            out, update.payload["indices"].astype(np.int64),
+            update.payload["values"].astype(np.float64), axis=1,
+        )
+        return out
+
+    def describe(self) -> Dict:
+        return {"name": self.name, "lossless": self.lossless, "k": self.k}
+
+
+def make_codec(spec: str) -> UpdateCodec:
+    """Codec from a CLI-style spec: ``full``, ``sign`` or ``topk:64``."""
+    name, _, arg = spec.partition(":")
+    if name == "full":
+        return FullIntCodec()
+    if name == "sign":
+        return SignCodec()
+    if name == "topk":
+        if not arg:
+            raise ValueError("topk codec needs a k, e.g. 'topk:64'")
+        return TopKCodec(int(arg))
+    raise ValueError(
+        f"unknown codec {spec!r}; choose full, sign or topk:<k>"
+    )
+
+
+def corrupt_update(
+    update: CompressedUpdate,
+    spec: Optional[FaultSpec],
+    rng: np.random.Generator,
+) -> CompressedUpdate:
+    """Flip bits of the on-wire integer words per the fault spec.
+
+    Values (full / top-k payloads) are clipped into the spec's
+    ``bits``-bit signed range first -- a real uplink would saturate the
+    word -- then take independent per-bit flips; sign payloads flip the
+    single stored sign bit (``bits=1`` semantics).  Returns a new
+    update; the input payload is never mutated.
+    """
+    if spec is None or not spec.active:
+        return update
+    payload = dict(update.payload)
+    if "values" in payload:
+        lo = -(1 << (spec.bits - 1))
+        hi = (1 << (spec.bits - 1)) - 1
+        clipped = np.clip(payload["values"], lo, hi)
+        payload["values"] = inject_bitflips(
+            clipped, spec.bits, spec.error_rate, rng
+        ).astype(np.int32)
+    if "signs" in payload:
+        signs = payload["signs"].astype(np.int64)
+        flips = rng.random(signs.shape) < spec.error_rate
+        payload["signs"] = np.where(flips, -signs, signs).astype(np.int8)
+    return CompressedUpdate(
+        codec=update.codec, shape=update.shape,
+        payload=payload, nbytes=update.nbytes,
+    )

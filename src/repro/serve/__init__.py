@@ -52,6 +52,13 @@ from repro.serve.resilience import (
 )
 from repro.serve.server import InferenceServer, ServeConfig
 from repro.serve.sharded import ShardedServeConfig, ShardedServer, ShardRouter
+from repro.serve.surface import (
+    STATS_OPTIONAL_KEYS,
+    STATS_REQUIRED_KEYS,
+    ServingSurface,
+    ServingSurfaceBase,
+    validate_stats,
+)
 from repro.serve.workers import Prediction, WorkerPool
 
 __all__ = [
@@ -80,12 +87,17 @@ __all__ = [
     "RetriesExhausted",
     "RetryPolicy",
     "RetryScheduler",
+    "STATS_OPTIONAL_KEYS",
+    "STATS_REQUIRED_KEYS",
     "ServeConfig",
     "ServeError",
+    "ServingSurface",
+    "ServingSurfaceBase",
     "ShardRouter",
     "ShardedServeConfig",
     "ShardedServer",
     "SlidingWindow",
+    "validate_stats",
     "WorkerError",
     "WorkerKilled",
     "WorkerPool",

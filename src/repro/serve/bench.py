@@ -72,27 +72,17 @@ def train_model(
 
 
 def worker_utilization(server, span_s: float) -> Dict:
-    """Per-worker busy fraction over a ``span_s`` window (duck-typed).
+    """Per-worker busy fraction over a ``span_s`` window.
 
-    Works against both serving backends: the thread
-    :class:`~repro.serve.server.InferenceServer` exposes
-    ``workers.worker_utilization()``; the process
-    :class:`~repro.serve.sharded.ShardedServer` ships per-shard
-    ``busy_seconds``/``served`` in its worker stats.  Utilization is
-    busy-time divided by the measurement span, so 1.0 means a worker
-    never sat idle during the load point.
+    ``server`` is any :class:`~repro.serve.surface.ServingSurface`
+    backend; its ``worker_utilization()`` protocol method reports
+    busy-seconds and served counts per worker (threads) or per shard
+    (processes).  Utilization is busy-time divided by the measurement
+    span, so 1.0 means a worker never sat idle during the load point.
     """
-    busy: List[float] = []
-    served: List[int] = []
-    pool = getattr(server, "workers", None)
-    if pool is not None and hasattr(pool, "worker_utilization"):
-        util = pool.worker_utilization()
-        busy = list(util.get("busy_seconds", []))
-        served = list(util.get("served", []))
-    elif hasattr(server, "shard_stats"):
-        for _, payload in sorted(server.shard_stats().items()):
-            busy.append(float(payload.get("busy_seconds", 0.0)))
-            served.append(int(payload.get("served", 0)))
+    util = server.worker_utilization()
+    busy: List[float] = [float(b) for b in util.get("busy_seconds", [])]
+    served: List[int] = [int(s) for s in util.get("served", [])]
     if not busy:
         return {}
     span = max(span_s, 1e-9)

@@ -39,28 +39,25 @@ shedding, and finally :class:`~repro.serve.errors.Backpressure`).
 from __future__ import annotations
 
 import time
-import warnings
-from concurrent.futures import Future
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 import numpy as np
 
-from repro.core.config import ComputeConfig
-from repro.obs import distributed as obs_distributed
+from repro.core.config import UNSET, ComputeConfig
 from repro.obs import trace as obs_trace
 from repro.obs.recorder import FlightRecorder
 from repro.obs.slo import SLOEngine, SLObjective
 from repro.serve.batcher import MicroBatcher
-from repro.serve.errors import Backpressure
 from repro.serve.metrics import MetricsHub
 from repro.serve.policy import LoadShedPolicy
-from repro.serve.queue import QueueClosed, QueueFull, Request, RequestQueue
+from repro.serve.queue import QueueClosed, RequestQueue
 from repro.serve.registry import Deployment, Model, ModelRegistry
 from repro.serve.resilience.breaker import BreakerConfig
 from repro.serve.resilience.degrade import DegradationLadder, DegradeConfig
 from repro.serve.resilience.retry import RetryPolicy, RetryScheduler
-from repro.serve.workers import Prediction, WorkerPool
+from repro.serve.surface import ServingSurfaceBase
+from repro.serve.workers import WorkerPool
 
 _LEGACY_COMPUTE_KWARGS = ("engine", "encode_jobs", "train_engine")
 
@@ -108,18 +105,15 @@ class ServeConfig:
     postmortem_dir: Optional[str] = None
 
     def __post_init__(self) -> None:
-        compute = (self.config.replace() if self.config is not None
-                   else ComputeConfig())
+        # legacy kwargs fold into the consolidated config through the
+        # one shim path (single DeprecationWarning site, see
+        # repro.core.compat); None here means "not passed"
         legacy = {k: getattr(self, k) for k in _LEGACY_COMPUTE_KWARGS
                   if getattr(self, k) is not None}
-        if legacy:
-            warnings.warn(
-                f"ServeConfig: the {', '.join(sorted(legacy))} keyword(s) "
-                "are deprecated; pass config=ComputeConfig(...) instead",
-                DeprecationWarning, stacklevel=3,
-            )
-            for k, v in legacy.items():
-                setattr(compute, k, v)
+        compute = ComputeConfig.from_kwargs(
+            self.config, owner=type(self).__name__, stacklevel=4,
+            **{k: legacy.get(k, UNSET) for k in _LEGACY_COMPUTE_KWARGS},
+        )
         self.config = compute
         # mirror so legacy attribute reads keep working; ``config`` is
         # the source of truth everywhere inside the server
@@ -132,8 +126,15 @@ class ServeConfig:
             self.degrade = DegradeConfig()
 
 
-class InferenceServer:
+class InferenceServer(ServingSurfaceBase):
     """Micro-batching, load-shedding, fault-tolerant HDC prediction service.
+
+    One of the two :class:`~repro.serve.surface.ServingSurface`
+    backends (the GIL-bound thread-pool one; see
+    :class:`~repro.serve.sharded.server.ShardedServer` for the
+    process-sharded one).  Request admission, the predict conveniences
+    and the ``stats()`` schema live in
+    :class:`~repro.serve.surface.ServingSurfaceBase`.
 
     ``chaos`` (a :class:`~repro.serve.resilience.chaos.ChaosPolicy`)
     attaches the fault-injection harness; production servers leave it
@@ -263,118 +264,20 @@ class InferenceServer:
                 )
         self._started = False
 
-    def __enter__(self) -> "InferenceServer":
-        return self if self._started else self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
-
-    # -- request API --------------------------------------------------------
-
-    def submit(self, model: str, x: np.ndarray,
-               deadline: Optional[float] = None) -> "Future[Prediction]":
-        """Enqueue one prediction; returns a future of :class:`Prediction`.
-
-        ``deadline`` is a per-request latency budget in seconds
-        (defaults to ``ServeConfig.default_deadline``); once it expires
-        the request is shed with
-        :class:`~repro.serve.errors.DeadlineExceeded` instead of served.
-
-        Raises :class:`~repro.serve.queue.QueueFull` when the bounded
-        queue rejects the request (counted in the ``rejected`` metric)
-        and its subclass :class:`~repro.serve.errors.Backpressure` when
-        the degradation ladder has reached its rejecting tier.
-        """
-        if not self._started:
-            raise RuntimeError("InferenceServer.submit() before start()")
-        if model not in self.registry:
-            raise KeyError(
-                f"no deployment named {model!r}; registered: "
-                f"{self.registry.names()}"
-            )
-        if self.ladder.rejecting:
-            self.metrics.counter("degraded_rejections").inc()
-            raise Backpressure(
-                "server is at degradation tier "
-                f"{self.ladder.tier} ({self.ladder.tier_name}); "
-                "request rejected"
-            )
-        if deadline is None:
-            deadline = self.config.default_deadline
-        abs_deadline = (None if deadline is None
-                        else time.monotonic() + deadline)
-        # mint the request's distributed trace identity only while
-        # tracing is on: the untraced path stays id-allocation free
-        ctx = (obs_distributed.new_trace()
-               if obs_trace.tracing_enabled() else None)
-        req = Request(x=np.asarray(x, dtype=np.float64), model=model,
-                      deadline=abs_deadline, ctx=ctx)
-        try:
-            self.queue.put(req)
-        except QueueFull:
-            self.metrics.counter("rejected").inc()
-            raise
-        self.metrics.counter("submitted").inc()
-        return req.future
-
-    def predict(self, model: str, x: np.ndarray,
-                timeout: Optional[float] = None,
-                deadline: Optional[float] = None) -> object:
-        """Synchronous single prediction; returns the label only."""
-        return self.submit(model, x, deadline=deadline).result(
-            timeout=timeout
-        ).label
-
-    def predict_many(
-        self, model: str, X: Sequence[np.ndarray],
-        timeout: Optional[float] = None,
-        deadline: Optional[float] = None,
-    ) -> List[Prediction]:
-        """Submit a whole batch and gather the resolved predictions."""
-        futures = [self.submit(model, x, deadline=deadline)
-                   for x in np.atleast_2d(np.asarray(X))]
-        return [f.result(timeout=timeout) for f in futures]
-
     # -- introspection ------------------------------------------------------
+    # submit/predict/predict_many/predict_encoded, the context manager
+    # and the stats() assembly come from ServingSurfaceBase; the hooks
+    # below feed it the thread-pool specifics.
 
-    def stats(self) -> Dict:
-        """JSON-serializable snapshot: metrics + policy + queue state."""
-        snap = self.metrics.snapshot()
-        snap["queue"] = {"depth": self.queue.depth(),
-                         "maxsize": self.queue.maxsize}
-        snap["policy"] = {
-            "level": self.policy.level,
-            "max_level_seen": self.policy.max_level_seen,
-            "shed_events": self.policy.shed_events,
-            "recover_events": self.policy.recover_events,
-            "recent_p95_s": self.policy.recent_p95(),
-        }
-        snap["deployments"] = {
-            name: {
-                "kind": dep.kind,
-                "dim": dep.dim,
-                "min_dim": dep.min_dim,
-                "version": dep.version,
-                "serving_dim": dep.dim_for_level(self.policy.level),
-                "degraded": dep.degraded,
-            }
-            for name, dep in ((n, self.registry.get(n))
-                              for n in self.registry.names())
-        }
-        snap["resilience"] = {
-            "breakers": [b.stats() for b in self.workers.breakers],
-            "ladder": self.ladder.stats(),
-            "retry": {
-                "scheduled": self.scheduler.scheduled,
-                "requeued": self.scheduler.requeued,
-                "pending": self.scheduler.pending(),
-            },
-            "worker_restarts": self.workers.worker_restarts,
-            "chaos": self.chaos.stats() if self.chaos is not None else None,
-        }
-        snap["slo"] = self.slo.snapshot() if self.slo is not None else None
-        snap["recorder"] = self.recorder.snapshot()
-        return snap
+    def _breaker_list(self):
+        return self.workers.breakers
+
+    def _restart_count(self) -> int:
+        return self.workers.worker_restarts
+
+    def worker_utilization(self) -> Dict[str, List[float]]:
+        """Per-worker busy time and served-request counts (snapshot)."""
+        return self.workers.worker_utilization()
 
     def render_prometheus(self) -> str:
         """Prometheus text-format exposition of the serving metrics.

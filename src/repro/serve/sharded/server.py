@@ -37,16 +37,13 @@ engine fallback across the process boundary via control messages.
 
 from __future__ import annotations
 
-import asyncio
 import itertools
 import multiprocessing as mp
-import os
 import queue as std_queue
 import threading
 import time
-from concurrent.futures import Future
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional
 
 import numpy as np
 
@@ -60,7 +57,6 @@ from repro.obs.registry import Registry
 from repro.obs.slo import SLOEngine
 from repro.serve.batcher import MicroBatcher
 from repro.serve.errors import (
-    Backpressure,
     RetriesExhausted,
     ServeError,
     WorkerError,
@@ -68,7 +64,7 @@ from repro.serve.errors import (
 )
 from repro.serve.metrics import MetricsHub
 from repro.serve.policy import LoadShedPolicy
-from repro.serve.queue import QueueClosed, QueueFull, Request, RequestQueue
+from repro.serve.queue import QueueClosed, Request, RequestQueue
 from repro.serve.registry import Deployment, Model, ModelRegistry
 from repro.serve.resilience.breaker import OPEN, BreakerConfig, CircuitBreaker
 from repro.serve.resilience.degrade import DegradationLadder
@@ -77,6 +73,7 @@ from repro.serve.server import ServeConfig
 from repro.serve.sharded import proto
 from repro.serve.sharded.router import ShardRouter
 from repro.serve.sharded.worker import worker_main
+from repro.serve.surface import ServingSurfaceBase
 from repro.serve.workers import Prediction
 
 __all__ = ["ShardedServeConfig", "ShardedServer"]
@@ -109,15 +106,19 @@ class ShardedServeConfig(ServeConfig):
             )
 
 
-class ShardedServer:
+class ShardedServer(ServingSurfaceBase):
     """Micro-batching HDC service over N worker *processes*.
 
-    Same call surface as :class:`~repro.serve.server.InferenceServer`
-    (plus :meth:`asubmit`/:meth:`apredict`), so
-    :class:`~repro.stream.loop.StreamLoop` and the benches drive either
-    interchangeably.  Models are always served from their bit-packed
-    form; registering an :class:`~repro.core.classifier.HDClassifier`
-    packs it first (sharded serving is the binary deployment path).
+    The second :class:`~repro.serve.surface.ServingSurface` backend:
+    the same call surface as :class:`~repro.serve.server.
+    InferenceServer` (request admission, predict conveniences and the
+    ``stats()`` schema are literally shared via
+    :class:`~repro.serve.surface.ServingSurfaceBase`), so
+    :class:`~repro.stream.loop.StreamLoop`, the benches and the fleet
+    aggregator drive either interchangeably.  Models are always served
+    from their bit-packed form; registering an
+    :class:`~repro.core.classifier.HDClassifier` packs it first
+    (sharded serving is the binary deployment path).
     """
 
     def __init__(self, config: Optional[ShardedServeConfig] = None,
@@ -372,79 +373,8 @@ class ShardedServer:
         self.arena.close_all()
         self._started = False
 
-    def __enter__(self) -> "ShardedServer":
-        return self if self._started else self.start()
-
-    def __exit__(self, *exc) -> None:
-        self.stop()
-
-    # -- request API ---------------------------------------------------------
-
-    def submit(self, model: str, x: np.ndarray,
-               deadline: Optional[float] = None) -> "Future[Prediction]":
-        """Enqueue one prediction; returns a future of :class:`Prediction`.
-
-        Admission control matches the thread server: ``Backpressure``
-        at the ladder's rejecting tier, ``QueueFull`` past the bound.
-        """
-        if not self._started:
-            raise RuntimeError("ShardedServer.submit() before start()")
-        if model not in self.registry:
-            raise KeyError(
-                f"no deployment named {model!r}; registered: "
-                f"{self.registry.names()}"
-            )
-        if self.ladder.rejecting:
-            self.metrics.counter("degraded_rejections").inc()
-            raise Backpressure(
-                "server is at degradation tier "
-                f"{self.ladder.tier} ({self.ladder.tier_name}); "
-                "request rejected"
-            )
-        if deadline is None:
-            deadline = self.config.default_deadline
-        abs_deadline = (None if deadline is None
-                        else time.monotonic() + deadline)
-        ctx = (obs_distributed.new_trace()
-               if obs_trace.tracing_enabled() else None)
-        req = Request(x=np.asarray(x, dtype=np.float64), model=model,
-                      deadline=abs_deadline, ctx=ctx)
-        try:
-            self.queue.put(req)
-        except QueueFull:
-            self.metrics.counter("rejected").inc()
-            raise
-        self.metrics.counter("submitted").inc()
-        return req.future
-
-    def asubmit(self, model: str, x: np.ndarray,
-                deadline: Optional[float] = None) -> "asyncio.Future":
-        """``await``-able submit: the same future, asyncio-wrapped.
-
-        Usable from any running event loop::
-
-            pred = await server.asubmit("m", x, deadline=0.05)
-        """
-        return asyncio.wrap_future(self.submit(model, x, deadline=deadline))
-
-    async def apredict(self, model: str, x: np.ndarray,
-                       deadline: Optional[float] = None) -> object:
-        """Async single prediction; returns the label only."""
-        return (await self.asubmit(model, x, deadline=deadline)).label
-
-    def predict(self, model: str, x: np.ndarray,
-                timeout: Optional[float] = None,
-                deadline: Optional[float] = None) -> object:
-        return self.submit(model, x, deadline=deadline).result(
-            timeout=timeout
-        ).label
-
-    def predict_many(self, model: str, X: Sequence[np.ndarray],
-                     timeout: Optional[float] = None,
-                     deadline: Optional[float] = None) -> List[Prediction]:
-        futures = [self.submit(model, x, deadline=deadline)
-                   for x in np.atleast_2d(np.asarray(X))]
-        return [f.result(timeout=timeout) for f in futures]
+    # submit/asubmit/apredict/predict/predict_many/predict_encoded and
+    # the context manager come from ServingSurfaceBase.
 
     # -- dispatcher ----------------------------------------------------------
 
@@ -951,56 +881,42 @@ class ShardedServer:
             )
         return results
 
-    def stats(self) -> Dict:
-        """JSON-serializable snapshot across the parent and all shards."""
-        snap = self.metrics.snapshot()
-        snap["queue"] = {"depth": self.queue.depth(),
-                         "maxsize": self.queue.maxsize}
-        snap["policy"] = {
-            "level": self.policy.level,
-            "max_level_seen": self.policy.max_level_seen,
-            "shed_events": self.policy.shed_events,
-            "recover_events": self.policy.recover_events,
-            "recent_p95_s": self.policy.recent_p95(),
+    # stats() itself comes from ServingSurfaceBase; the hooks below add
+    # the process-sharding specifics (schema-checked optional keys).
+
+    def _breaker_list(self):
+        return self.breakers
+
+    def _restart_count(self) -> int:
+        return self.worker_restarts
+
+    def _deployment_extra(self, name: str, dep: Deployment) -> Dict:
+        spec = self._specs.get(name)
+        return {
+            "segment": spec.segment if spec is not None else None,
+            "epoch": spec.epoch if spec is not None else None,
+            "model_bytes": dep.model.model_bytes(),
         }
-        snap["deployments"] = {
-            name: {
-                "kind": dep.kind,
-                "dim": dep.dim,
-                "min_dim": dep.min_dim,
-                "version": dep.version,
-                "serving_dim": dep.dim_for_level(self.policy.level),
-                "degraded": dep.degraded,
-                "segment": (self._specs[name].segment
-                            if name in self._specs else None),
-                "epoch": (self._specs[name].epoch
-                          if name in self._specs else None),
-                "model_bytes": dep.model.model_bytes(),
-            }
-            for name, dep in ((n, self.registry.get(n))
-                              for n in self.registry.names())
-        }
-        snap["resilience"] = {
-            "breakers": [b.stats() for b in self.breakers],
-            "ladder": self.ladder.stats(),
-            "retry": {
-                "scheduled": self.scheduler.scheduled,
-                "requeued": self.scheduler.requeued,
-                "pending": self.scheduler.pending(),
+
+    def _extra_stats(self) -> Dict:
+        return {
+            "shards": self.shard_stats(),
+            "shard_metrics": self.shard_registry.snapshot(),
+            "router": {
+                "mode": self.config.mode,
+                "n_shards": self.config.n_shards,
+                "loads": self.router.loads() if self.router else None,
             },
-            "worker_restarts": self.worker_restarts,
-            "chaos": self.chaos.stats() if self.chaos is not None else None,
         }
-        snap["slo"] = self.slo.snapshot() if self.slo is not None else None
-        snap["recorder"] = self.recorder.snapshot()
-        snap["shards"] = self.shard_stats()
-        snap["shard_metrics"] = self.shard_registry.snapshot()
-        snap["router"] = {
-            "mode": self.config.mode,
-            "n_shards": self.config.n_shards,
-            "loads": self.router.loads() if self.router else None,
-        }
-        return snap
+
+    def worker_utilization(self) -> Dict[str, List[float]]:
+        """Per-shard busy time and served counts (pulled from workers)."""
+        busy: List[float] = []
+        served: List[int] = []
+        for _, payload in sorted(self.shard_stats().items()):
+            busy.append(float(payload.get("busy_seconds", 0.0)))
+            served.append(int(payload.get("served", 0)))
+        return {"busy_seconds": busy, "served": served}
 
     def render_prometheus(self) -> str:
         """Parent metrics plus the absorbed per-shard series."""

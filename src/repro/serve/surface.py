@@ -1,0 +1,369 @@
+"""The one serving surface both server backends satisfy.
+
+Three PRs of serving growth (threaded :class:`~repro.serve.server.
+InferenceServer`, process-sharded :class:`~repro.serve.sharded.server.
+ShardedServer`, and their consumers in :mod:`repro.stream.loop`,
+:mod:`repro.serve.bench` and now :mod:`repro.fleet`) converged on the
+same call surface by copy-paste and duck-typing -- ``getattr(server,
+"workers", None)`` in the bench, ``getattr(server, "ladder", None)`` in
+the stream loop, two hand-maintained ``stats()`` assemblies that had
+already drifted (the sharded one grew ``shards``/``router`` keys the
+thread one never had).  This module makes the contract explicit:
+
+- :class:`ServingSurface` -- a :func:`typing.runtime_checkable`
+  :class:`~typing.Protocol` naming the methods and attributes a serving
+  backend must provide.  Anything that drives "a server" (StreamLoop,
+  the benches, the fleet aggregator) types against this, not against a
+  concrete class.
+- :class:`ServingSurfaceBase` -- the shared implementation both servers
+  inherit: request admission (``submit``), the synchronous and async
+  conveniences (``predict`` / ``predict_many`` / ``asubmit`` /
+  ``apredict``), the registry side-door ``predict_encoded``, the
+  context-manager lifecycle, and the canonical ``stats()`` assembly.
+- :data:`STATS_REQUIRED_KEYS` / :data:`STATS_OPTIONAL_KEYS` /
+  :func:`validate_stats` -- the ``stats()`` schema contract, enforced
+  by a shared conformance test instead of per-server snapshots.
+
+The schema: every backend's ``stats()`` carries exactly the required
+top-level keys (metric families + ``queue`` / ``policy`` /
+``deployments`` / ``resilience`` / ``slo`` / ``recorder``); a sharded
+backend may add the optional ``shards`` / ``shard_metrics`` /
+``router`` keys; nothing else is allowed at the top level.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import Future
+from typing import (
+    Dict,
+    List,
+    Optional,
+    Protocol,
+    Sequence,
+    runtime_checkable,
+)
+
+import numpy as np
+
+from repro.obs import distributed as obs_distributed
+from repro.obs import trace as obs_trace
+from repro.serve.errors import Backpressure
+from repro.serve.queue import QueueFull, Request
+from repro.serve.registry import Deployment, Model
+from repro.serve.workers import Prediction
+
+__all__ = [
+    "STATS_OPTIONAL_KEYS",
+    "STATS_REQUIRED_KEYS",
+    "ServingSurface",
+    "ServingSurfaceBase",
+    "validate_stats",
+]
+
+#: every backend's ``stats()`` must carry exactly these top-level keys
+STATS_REQUIRED_KEYS = frozenset({
+    "counters", "gauges", "histograms",          # the metrics hub families
+    "queue", "policy", "deployments",            # serving state
+    "resilience", "slo", "recorder",             # failure-handling state
+})
+
+#: a sharded backend may additionally carry these (and only these)
+STATS_OPTIONAL_KEYS = frozenset({"shards", "shard_metrics", "router"})
+
+#: per-entry schema of the nested required dicts
+_QUEUE_KEYS = frozenset({"depth", "maxsize"})
+_POLICY_KEYS = frozenset({
+    "level", "max_level_seen", "shed_events", "recover_events",
+    "recent_p95_s",
+})
+_RESILIENCE_KEYS = frozenset({
+    "breakers", "ladder", "retry", "worker_restarts", "chaos",
+})
+#: every deployment entry carries at least these (backends may add more,
+#: e.g. the sharded server's segment/epoch/model_bytes)
+_DEPLOYMENT_KEYS = frozenset({
+    "kind", "dim", "min_dim", "version", "serving_dim", "degraded",
+})
+
+
+def validate_stats(snap: Dict) -> None:
+    """Raise ``ValueError`` unless ``snap`` conforms to the stats schema.
+
+    Checked by the shared conformance test against both serving
+    backends, and usable by any consumer that wants to fail fast on a
+    foreign backend's snapshot.
+    """
+    keys = set(snap)
+    missing = STATS_REQUIRED_KEYS - keys
+    if missing:
+        raise ValueError(f"stats() missing required keys: {sorted(missing)}")
+    unknown = keys - STATS_REQUIRED_KEYS - STATS_OPTIONAL_KEYS
+    if unknown:
+        raise ValueError(f"stats() has unknown top-level keys: "
+                         f"{sorted(unknown)}")
+    if set(snap["queue"]) != _QUEUE_KEYS:
+        raise ValueError(f"stats()['queue'] keys {sorted(snap['queue'])} "
+                         f"!= {sorted(_QUEUE_KEYS)}")
+    if set(snap["policy"]) != _POLICY_KEYS:
+        raise ValueError(f"stats()['policy'] keys {sorted(snap['policy'])} "
+                         f"!= {sorted(_POLICY_KEYS)}")
+    if set(snap["resilience"]) != _RESILIENCE_KEYS:
+        raise ValueError(
+            f"stats()['resilience'] keys {sorted(snap['resilience'])} "
+            f"!= {sorted(_RESILIENCE_KEYS)}")
+    for name, dep in snap["deployments"].items():
+        short = _DEPLOYMENT_KEYS - set(dep)
+        if short:
+            raise ValueError(
+                f"stats()['deployments'][{name!r}] missing {sorted(short)}")
+
+
+@runtime_checkable
+class ServingSurface(Protocol):
+    """What it means to be a serving backend.
+
+    Satisfied structurally by :class:`~repro.serve.server.
+    InferenceServer` and :class:`~repro.serve.sharded.server.
+    ShardedServer` (enforced by the conformance test, not just by
+    ``isinstance``).  Consumers -- :class:`~repro.stream.loop.
+    StreamLoop`, :class:`~repro.fleet.aggregator.FleetAggregator`, the
+    load benches -- accept any object with this surface.
+    """
+
+    # -- collaborating state every backend exposes --------------------------
+    registry: object       # ModelRegistry mirror (get/names/swap)
+    metrics: object        # MetricsHub (counter/gauge/histogram/registry)
+    policy: object         # LoadShedPolicy (level, recent_p95)
+    ladder: object         # DegradationLadder (tier, add_dim_shed_hook)
+    recorder: object       # FlightRecorder (record_event, dump)
+    config: object         # ServeConfig-like
+
+    # -- deployments --------------------------------------------------------
+    def register(self, name: str, model: Model, **kwargs) -> Deployment: ...
+
+    def swap(self, name: str, model: Model,
+             dim_order: Optional[np.ndarray] = None,
+             drain: bool = True, **kwargs) -> Deployment: ...
+
+    # -- lifecycle ----------------------------------------------------------
+    def start(self): ...
+
+    def stop(self, timeout: Optional[float] = 5.0) -> None: ...
+
+    # -- request path -------------------------------------------------------
+    def submit(self, model: str, x: np.ndarray,
+               deadline: Optional[float] = None) -> "Future[Prediction]": ...
+
+    def predict(self, model: str, x: np.ndarray,
+                timeout: Optional[float] = None,
+                deadline: Optional[float] = None) -> object: ...
+
+    def predict_many(self, model: str, X: Sequence[np.ndarray],
+                     timeout: Optional[float] = None,
+                     deadline: Optional[float] = None) -> List[Prediction]: ...
+
+    def predict_encoded(self, model: str, encodings: np.ndarray,
+                        dim: Optional[int] = None) -> np.ndarray: ...
+
+    # -- introspection ------------------------------------------------------
+    def stats(self) -> Dict: ...
+
+    def worker_utilization(self) -> Dict[str, List[float]]: ...
+
+    def render_prometheus(self) -> str: ...
+
+    def wait_idle(self, timeout: float = 10.0,
+                  poll: float = 0.005) -> bool: ...
+
+
+class ServingSurfaceBase:
+    """Shared :class:`ServingSurface` implementation for real backends.
+
+    Subclasses provide the transport (thread pool / process shards) and
+    these hooks:
+
+    - attributes ``registry``, ``metrics``, ``policy``, ``ladder``,
+      ``queue``, ``scheduler``, ``recorder``, ``slo``, ``chaos``,
+      ``config``, ``_started``;
+    - :meth:`_breaker_list` -- the per-worker/shard circuit breakers;
+    - :meth:`_restart_count` -- workers/shards respawned so far;
+    - :meth:`_deployment_extra` -- backend-specific per-deployment
+      stats fields;
+    - :meth:`_extra_stats` -- backend-specific optional top-level keys
+      (must stay within :data:`STATS_OPTIONAL_KEYS`).
+    """
+
+    # -- request admission (shared verbatim by both backends) ---------------
+
+    def submit(self, model: str, x: np.ndarray,
+               deadline: Optional[float] = None) -> "Future[Prediction]":
+        """Enqueue one prediction; returns a future of :class:`Prediction`.
+
+        ``deadline`` is a per-request latency budget in seconds
+        (defaults to ``config.default_deadline``); once it expires the
+        request is shed with :class:`~repro.serve.errors.
+        DeadlineExceeded` instead of served.  Raises
+        :class:`~repro.serve.queue.QueueFull` when the bounded queue
+        rejects the request and its subclass :class:`~repro.serve.
+        errors.Backpressure` at the ladder's rejecting tier.
+        """
+        if not self._started:
+            raise RuntimeError(
+                f"{type(self).__name__}.submit() before start()")
+        if model not in self.registry:
+            raise KeyError(
+                f"no deployment named {model!r}; registered: "
+                f"{self.registry.names()}"
+            )
+        if self.ladder.rejecting:
+            self.metrics.counter("degraded_rejections").inc()
+            raise Backpressure(
+                "server is at degradation tier "
+                f"{self.ladder.tier} ({self.ladder.tier_name}); "
+                "request rejected"
+            )
+        if deadline is None:
+            deadline = self.config.default_deadline
+        abs_deadline = (None if deadline is None
+                        else time.monotonic() + deadline)
+        # mint the request's distributed trace identity only while
+        # tracing is on: the untraced path stays id-allocation free
+        ctx = (obs_distributed.new_trace()
+               if obs_trace.tracing_enabled() else None)
+        req = Request(x=np.asarray(x, dtype=np.float64), model=model,
+                      deadline=abs_deadline, ctx=ctx)
+        try:
+            self.queue.put(req)
+        except QueueFull:
+            self.metrics.counter("rejected").inc()
+            raise
+        self.metrics.counter("submitted").inc()
+        return req.future
+
+    def asubmit(self, model: str, x: np.ndarray,
+                deadline: Optional[float] = None) -> "asyncio.Future":
+        """``await``-able submit: the same future, asyncio-wrapped."""
+        return asyncio.wrap_future(self.submit(model, x, deadline=deadline))
+
+    async def apredict(self, model: str, x: np.ndarray,
+                       deadline: Optional[float] = None) -> object:
+        """Async single prediction; returns the label only."""
+        return (await self.asubmit(model, x, deadline=deadline)).label
+
+    def predict(self, model: str, x: np.ndarray,
+                timeout: Optional[float] = None,
+                deadline: Optional[float] = None) -> object:
+        """Synchronous single prediction; returns the label only."""
+        return self.submit(model, x, deadline=deadline).result(
+            timeout=timeout
+        ).label
+
+    def predict_many(
+        self, model: str, X: Sequence[np.ndarray],
+        timeout: Optional[float] = None,
+        deadline: Optional[float] = None,
+    ) -> List[Prediction]:
+        """Submit a whole batch and gather the resolved predictions."""
+        futures = [self.submit(model, x, deadline=deadline)
+                   for x in np.atleast_2d(np.asarray(X))]
+        return [f.result(timeout=timeout) for f in futures]
+
+    def predict_encoded(self, model: str, encodings: np.ndarray,
+                        dim: Optional[int] = None) -> np.ndarray:
+        """Search pre-encoded queries against the current model version.
+
+        The registry side-door: runs stage-2 associative search
+        directly on the caller's thread, bypassing the queue, batcher,
+        shedding and retry machinery.  ``encodings`` must be the
+        deployment's stage-1 representation (float encodings for a
+        classifier deployment, packed query words for a packed one --
+        i.e. whatever :meth:`~repro.serve.registry.Deployment.encode`
+        produces).  The call is bracketed with
+        :meth:`~repro.serve.registry.Deployment.serving`, so drained
+        hot swaps still account for it.  Used by the fleet aggregator's
+        between-round evaluation and by offline replay tooling; live
+        traffic should go through :meth:`submit`.
+        """
+        dep = self.registry.get(model)
+        with dep.serving():
+            return dep.search(np.atleast_2d(np.asarray(encodings)), dim=dim)
+
+    # -- lifecycle ----------------------------------------------------------
+
+    def __enter__(self):
+        return self if self._started else self.start()
+
+    def __exit__(self, *exc) -> None:
+        self.stop()
+
+    # -- stats assembly (the one schema) ------------------------------------
+
+    def _breaker_list(self):
+        raise NotImplementedError
+
+    def _restart_count(self) -> int:
+        raise NotImplementedError
+
+    def _deployment_extra(self, name: str, dep: Deployment) -> Dict:
+        """Backend-specific additions to one deployment's stats entry."""
+        return {}
+
+    def _extra_stats(self) -> Dict:
+        """Backend-specific optional top-level keys (see schema)."""
+        return {}
+
+    def stats(self) -> Dict:
+        """JSON-serializable snapshot conforming to the shared schema.
+
+        Top-level keys are exactly :data:`STATS_REQUIRED_KEYS` plus
+        whatever subset of :data:`STATS_OPTIONAL_KEYS` the backend's
+        :meth:`_extra_stats` contributes -- checked by
+        :func:`validate_stats` in the conformance tests.
+        """
+        snap = self.metrics.snapshot()
+        snap["queue"] = {"depth": self.queue.depth(),
+                         "maxsize": self.queue.maxsize}
+        snap["policy"] = {
+            "level": self.policy.level,
+            "max_level_seen": self.policy.max_level_seen,
+            "shed_events": self.policy.shed_events,
+            "recover_events": self.policy.recover_events,
+            "recent_p95_s": self.policy.recent_p95(),
+        }
+        snap["deployments"] = {}
+        for name in self.registry.names():
+            dep = self.registry.get(name)
+            entry = {
+                "kind": dep.kind,
+                "dim": dep.dim,
+                "min_dim": dep.min_dim,
+                "version": dep.version,
+                "serving_dim": dep.dim_for_level(self.policy.level),
+                "degraded": dep.degraded,
+            }
+            entry.update(self._deployment_extra(name, dep))
+            snap["deployments"][name] = entry
+        snap["resilience"] = {
+            "breakers": [b.stats() for b in self._breaker_list()],
+            "ladder": self.ladder.stats(),
+            "retry": {
+                "scheduled": self.scheduler.scheduled,
+                "requeued": self.scheduler.requeued,
+                "pending": self.scheduler.pending(),
+            },
+            "worker_restarts": self._restart_count(),
+            "chaos": self.chaos.stats() if self.chaos is not None else None,
+        }
+        snap["slo"] = self.slo.snapshot() if self.slo is not None else None
+        snap["recorder"] = self.recorder.snapshot()
+        extra = self._extra_stats()
+        illegal = set(extra) - STATS_OPTIONAL_KEYS
+        if illegal:
+            raise RuntimeError(
+                f"{type(self).__name__}._extra_stats() produced keys "
+                f"outside the stats schema: {sorted(illegal)}"
+            )
+        snap.update(extra)
+        return snap

@@ -27,14 +27,16 @@ Telemetry: ``stream_drift_score`` and ``stream_model_version`` gauges,
 hub, plus the ``stream.chunk`` / ``stream.retrain`` / ``stream.swap``
 trace spans emitted by the components.
 
-The loop is duck-typed over the serving backend: a
-:class:`~repro.serve.sharded.ShardedServer` works as a drop-in
-``server`` (same ``registry`` / ``swap(drain=...)`` / ``metrics`` /
-``ladder`` surface).  Sharded deployments are always bit-packed, so a
-retrain swap rides the epoch-based shared-memory protocol (publish new
-segment, all-shard ack, unlink old), and dimension regeneration --
-which needs the classifier-kind float view -- correctly no-ops via the
-``dep.kind != "classifier"`` guard.
+The loop drives any :class:`~repro.serve.surface.ServingSurface`
+backend: a :class:`~repro.serve.sharded.ShardedServer` works as a
+drop-in ``server`` (the protocol guarantees the ``registry`` /
+``swap(drain=...)`` / ``metrics`` / ``ladder`` / ``recorder`` surface
+the loop uses -- no more ``getattr`` probing).  Sharded deployments
+are always bit-packed, so a retrain swap rides the epoch-based
+shared-memory protocol (publish new segment, all-shard ack, unlink
+old), and dimension regeneration -- which needs the classifier-kind
+float view -- correctly no-ops via the ``dep.kind != "classifier"``
+guard.
 """
 
 from __future__ import annotations
@@ -46,6 +48,7 @@ import numpy as np
 
 from repro.core.classifier import HDClassifier
 from repro.obs import trace as obs_trace
+from repro.serve.surface import ServingSurface
 from repro.stream.drift import DriftConfig, DriftDetector
 from repro.stream.encoder import StreamingEncoder
 from repro.stream.regen import regenerate_deployment
@@ -101,7 +104,8 @@ class StreamLoop:
     Parameters
     ----------
     server:
-        A (started or not) :class:`InferenceServer` or
+        A (started or not) :class:`~repro.serve.surface.ServingSurface`
+        backend -- :class:`InferenceServer` or
         :class:`~repro.serve.sharded.ShardedServer`.  The loop registers
         ``clf`` under ``config.model_name`` if no such deployment
         exists (a sharded server packs it on registration).
@@ -110,7 +114,7 @@ class StreamLoop:
         Retrained versions rebind this reference on every swap.
     """
 
-    def __init__(self, server, clf: HDClassifier,
+    def __init__(self, server: "ServingSurface", clf: HDClassifier,
                  config: Optional[StreamConfig] = None):
         clf._check_fitted()
         self.server = server
@@ -139,7 +143,7 @@ class StreamLoop:
         #: model version regeneration last ran against (avoid re-permuting
         #: the same version every chunk while shed persists)
         self._regen_version: Optional[int] = None
-        if self.cfg.regen_on_shed and getattr(server, "ladder", None) is not None:
+        if self.cfg.regen_on_shed:
             server.ladder.add_dim_shed_hook(self._on_dim_shed)
 
     # -- lifecycle -----------------------------------------------------------
@@ -200,12 +204,10 @@ class StreamLoop:
 
         requested = False
         if event is not None:
-            recorder = getattr(self.server, "recorder", None)
-            if recorder is not None:
-                recorder.record_event(
-                    "drift_fire", reason=event.reason, score=score,
-                    model=self.cfg.model_name,
-                )
+            self.server.recorder.record_event(
+                "drift_fire", reason=event.reason, score=score,
+                model=self.cfg.model_name,
+            )
         if event is not None and len(self.buffer):
             enc, lab = self.buffer.snapshot()
             requested = self.trainer.request(enc, lab, reason=event.reason)
@@ -242,20 +244,18 @@ class StreamLoop:
             self.detector.reset_baselines()
             if sp.recording:
                 sp.set(version=dep.version)
-        recorder = getattr(self.server, "recorder", None)
-        if recorder is not None:
-            recorder.record_event(
-                "model_swap", model=self.cfg.model_name,
-                version=dep.version, reason=reason,
-            )
+        self.server.recorder.record_event(
+            "model_swap", model=self.cfg.model_name,
+            version=dep.version, reason=reason,
+        )
         self.server.metrics.gauge("stream_model_version").set(dep.version)
 
     def _maybe_regenerate(self) -> None:
         """Permute informative dims into the prefix while shed is held."""
         if not self.cfg.regen_on_shed:
             return
-        policy = getattr(self.server, "policy", None)
-        if policy is None or policy.level <= 0:
+        policy = self.server.policy
+        if policy.level <= 0:
             return
         dep = self.server.registry.get(self.cfg.model_name)
         if dep.version == self._regen_version or dep.kind != "classifier":

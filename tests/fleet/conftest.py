@@ -1,0 +1,31 @@
+"""Fixtures for the federated fleet tests: a small shared workload."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.encoders import GenericEncoder
+
+FLEET_DIM = 256
+
+
+@pytest.fixture(scope="session")
+def fleet_problem():
+    """A learnable 4-class problem big enough to shard 12 ways."""
+    gen = np.random.default_rng(42)
+    n_classes, d = 4, 20
+    protos = gen.normal(scale=1.5, size=(n_classes, d))
+    y = gen.integers(0, n_classes, size=480)
+    X = protos[y] + gen.normal(scale=0.8, size=(480, d))
+    y_eval = gen.integers(0, n_classes, size=120)
+    X_eval = protos[y_eval] + gen.normal(scale=0.8, size=(120, d))
+    return X, y, X_eval, y_eval
+
+
+@pytest.fixture(scope="session")
+def fleet_encoder(fleet_problem):
+    X, _, _, _ = fleet_problem
+    enc = GenericEncoder(dim=FLEET_DIM, num_levels=16, seed=5)
+    enc.fit(X)
+    return enc

@@ -1,0 +1,250 @@
+"""FleetAggregator: merge exactness, lossy bounds, round bookkeeping."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.classifier import HDClassifier
+from repro.core.encoders import GenericEncoder
+from repro.fleet import (
+    EdgeDevice,
+    FleetAggregator,
+    FleetConfig,
+    SignCodec,
+    dirichlet_shards,
+)
+from repro.hardware.faultspec import FaultSpec
+from repro.serve import InferenceServer, ServeConfig
+
+
+def _build_fleet(X, y, encoder, n_devices, alpha=0.5, seed=0, **device_kw):
+    classes = np.unique(y)
+    y_idx = np.searchsorted(classes, y)
+    shards = dirichlet_shards(y, n_devices, alpha=alpha, seed=seed)
+    devices = [
+        EdgeDevice(i, X[s], y_idx[s], encoder, seed=seed, **device_kw)
+        for i, s in enumerate(shards)
+    ]
+    return devices, classes
+
+
+def _aggregator(devices, classes, config, **kw):
+    # publishing/merging needs no started workers: the registry path is
+    # process-local, so an unstarted server keeps these tests fast
+    server = InferenceServer(ServeConfig(n_workers=1))
+    return FleetAggregator(server, devices, classes, config=config, **kw)
+
+
+# -- the ISSUE's bit-identity property ---------------------------------------
+
+@given(
+    n=st.integers(min_value=8, max_value=120),
+    n_devices=st.integers(min_value=1, max_value=8),
+    alpha=st.floats(min_value=0.1, max_value=10.0),
+    seed=st.integers(min_value=0, max_value=2**16 - 1),
+)
+@settings(max_examples=25, deadline=None)
+def test_lossless_bootstrap_merge_is_bit_identical_to_centralized(
+        n, n_devices, alpha, seed):
+    """Federated bundle over K disjoint shards == centralized fit(epochs=0)."""
+    rng = np.random.default_rng(seed)
+    n_classes = 3
+    protos = rng.normal(scale=1.5, size=(n_classes, 12))
+    y = rng.integers(0, n_classes, size=n)
+    X = protos[y] + rng.normal(scale=0.7, size=(n, 12))
+
+    central = HDClassifier(
+        GenericEncoder(dim=128, num_levels=8, seed=1), epochs=0, seed=0,
+    ).fit(X, y)
+
+    enc = GenericEncoder(dim=128, num_levels=8, seed=1)
+    enc.fit(X)
+    devices, classes = _build_fleet(X, y, enc, n_devices, alpha=alpha,
+                                    seed=seed)
+    agg = _aggregator(devices, classes, FleetConfig(
+        codec="full", churn=0.0, deadline_s=None, seed=seed,
+    ))
+    agg.run_round()
+
+    assert np.array_equal(agg.model, central.model_)
+    # the deployed model is the same array contents, via the registry
+    deployed = agg.surface.registry.get(agg.cfg.model_name).model.model_
+    assert np.array_equal(deployed, central.model_)
+
+
+@given(
+    n=st.integers(min_value=8, max_value=100),
+    n_devices=st.integers(min_value=1, max_value=6),
+    seed=st.integers(min_value=0, max_value=2**16 - 1),
+)
+@settings(max_examples=15, deadline=None)
+def test_sign_compressed_bootstrap_error_is_bounded(n, n_devices, seed):
+    """Lossy mode: per-row error <= sum of per-device sign-codec bounds."""
+    rng = np.random.default_rng(seed)
+    n_classes = 3
+    protos = rng.normal(scale=1.5, size=(n_classes, 12))
+    y = rng.integers(0, n_classes, size=n)
+    X = protos[y] + rng.normal(scale=0.7, size=(n, 12))
+
+    central = HDClassifier(
+        GenericEncoder(dim=128, num_levels=8, seed=1), epochs=0, seed=0,
+    ).fit(X, y)
+    enc = GenericEncoder(dim=128, num_levels=8, seed=1)
+    enc.fit(X)
+    devices, classes = _build_fleet(X, y, enc, n_devices, seed=seed)
+
+    agg = _aggregator(devices, classes, FleetConfig(
+        codec="sign", churn=0.0, deadline_s=None, seed=seed,
+    ))
+    agg.run_round()
+
+    bound = np.zeros(len(classes))
+    for dev in devices:
+        bound += SignCodec.error_bound(dev.local_bundle(len(classes)))
+    err = np.abs(agg.model - central.model_).max(axis=1)
+    assert np.all(err <= bound + 1e-6)
+
+
+# -- round protocol bookkeeping ----------------------------------------------
+
+class TestRounds:
+    def test_refinement_improves_or_holds_on_easy_data(
+            self, fleet_problem, fleet_encoder):
+        X, y, X_eval, y_eval = fleet_problem
+        devices, classes = _build_fleet(X, y, fleet_encoder, 8, seed=1)
+        server = InferenceServer(ServeConfig(n_workers=1))
+        with server:
+            agg = FleetAggregator(server, devices, classes, X_eval, y_eval,
+                                  config=FleetConfig(codec="full", seed=1))
+            reports = agg.run(4)
+        accs = [r.accuracy for r in reports]
+        assert all(a is not None for a in accs)
+        assert accs[-1] >= accs[0] - 0.02
+        assert accs[-1] >= 0.8  # learnable problem actually learned
+
+    def test_versions_and_metrics_advance(self, fleet_problem, fleet_encoder):
+        X, y, _, _ = fleet_problem
+        devices, classes = _build_fleet(X, y, fleet_encoder, 4, seed=2)
+        agg = _aggregator(devices, classes, FleetConfig(codec="sign", seed=2))
+        reports = agg.run(3)
+        assert [r.model_version for r in reports] == [1, 2, 3]
+        assert reports[0].bootstrap and not reports[1].bootstrap
+        hub = agg.surface.metrics
+        assert hub.counter("fleet_rounds").value == 3
+        assert hub.counter("fleet_bytes_merged").value == sum(
+            r.bytes_merged for r in reports)
+        assert len(agg.surface.recorder.events("fleet_round")) == 3
+
+    def test_impossible_deadline_drops_everyone(self, fleet_problem,
+                                                fleet_encoder):
+        X, y, _, _ = fleet_problem
+        devices, classes = _build_fleet(X, y, fleet_encoder, 4, seed=3)
+        agg = _aggregator(devices, classes, FleetConfig(
+            codec="full", deadline_s=1e-12, seed=3,
+        ))
+        report = agg.run_round()
+        assert report.stragglers == report.sampled
+        assert report.merged == 0
+        assert not np.any(agg.model)          # nothing merged
+        assert not agg.published              # nothing to serve yet
+        assert report.bytes_uploaded > 0      # wasted uplink is counted
+        assert report.bytes_merged == 0
+
+    def test_full_churn_round_is_survivable(self, fleet_problem,
+                                            fleet_encoder):
+        X, y, _, _ = fleet_problem
+        devices, classes = _build_fleet(X, y, fleet_encoder, 4, seed=4)
+        agg = _aggregator(devices, classes, FleetConfig(codec="full", seed=4))
+        agg.run_round()
+        model_before = agg.model.copy()
+        agg.cfg.churn = 0.999999  # everyone offline next round
+        report = agg.run_round()
+        assert report.sampled <= 1
+        assert np.array_equal(agg.model, model_before) or report.merged
+        agg.cfg.churn = 0.0
+        assert agg.run_round().merged == len(devices)
+
+    def test_participation_sampling(self, fleet_problem, fleet_encoder):
+        X, y, _, _ = fleet_problem
+        devices, classes = _build_fleet(X, y, fleet_encoder, 10, seed=5)
+        agg = _aggregator(devices, classes, FleetConfig(
+            codec="full", participation=0.3, seed=5,
+        ))
+        report = agg.run_round()
+        assert report.sampled == 3
+
+    def test_mean_merge_keeps_model_integral(self, fleet_problem,
+                                             fleet_encoder):
+        X, y, _, _ = fleet_problem
+        devices, classes = _build_fleet(X, y, fleet_encoder, 5, seed=6)
+        agg = _aggregator(devices, classes, FleetConfig(
+            codec="full", merge="mean", seed=6,
+        ))
+        agg.run(2)
+        np.testing.assert_array_equal(agg.model, np.rint(agg.model))
+
+    def test_uplink_faults_perturb_the_merge(self, fleet_problem,
+                                             fleet_encoder):
+        X, y, _, _ = fleet_problem
+        clean_devices, classes = _build_fleet(X, y, fleet_encoder, 6, seed=7)
+        noisy_devices, _ = _build_fleet(
+            X, y, fleet_encoder, 6, seed=7,
+            faults=FaultSpec(error_rate=1e-3, bits=16),
+        )
+        clean = _aggregator(clean_devices, classes,
+                            FleetConfig(codec="full", seed=7))
+        noisy = _aggregator(noisy_devices, classes,
+                            FleetConfig(codec="full", seed=7))
+        clean.run_round()
+        noisy.run_round()
+        # same sampling stream, corrupted uplink: the merge must differ
+        assert not np.array_equal(noisy.model, clean.model)
+        # still integer-valued and deployable
+        np.testing.assert_array_equal(noisy.model, np.rint(noisy.model))
+        assert noisy.published
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FleetConfig(participation=0.0)
+        with pytest.raises(ValueError):
+            FleetConfig(churn=1.0)
+        with pytest.raises(ValueError):
+            FleetConfig(merge="median")
+
+    def test_mismatched_dims_rejected(self, fleet_problem, fleet_encoder):
+        X, y, _, _ = fleet_problem
+        devices, classes = _build_fleet(X, y, fleet_encoder, 2, seed=8)
+        other = GenericEncoder(dim=128, num_levels=8, seed=9)
+        other.fit(X)
+        odd = EdgeDevice(99, X[:4], np.searchsorted(classes, y[:4]), other)
+        with pytest.raises(ValueError):
+            _aggregator(devices + [odd], classes, FleetConfig())
+
+
+class TestDevice:
+    def test_unfitted_encoder_rejected(self, fleet_problem):
+        X, y, _, _ = fleet_problem
+        enc = GenericEncoder(dim=128, num_levels=8, seed=0)
+        with pytest.raises(ValueError):
+            EdgeDevice(0, X[:4], y[:4], enc)
+
+    def test_costs_scale_with_speed_and_uplink(self, fleet_problem,
+                                               fleet_encoder):
+        X, y, _, _ = fleet_problem
+        classes = np.unique(y)
+        y_idx = np.searchsorted(classes, y)
+        from repro.fleet import FullIntCodec
+        codec = FullIntCodec()
+        model = np.zeros((len(classes), fleet_encoder.dim))
+        fast = EdgeDevice(0, X[:40], y_idx[:40], fleet_encoder, speed=4.0,
+                          uplink_bps=8e6)
+        slow = EdgeDevice(1, X[:40], y_idx[:40], fleet_encoder, speed=1.0,
+                          uplink_bps=1e6)
+        up_f = fast.run_round(model, classes, codec, epochs=1)
+        up_s = slow.run_round(model, classes, codec, epochs=1)
+        assert up_f.train_s < up_s.train_s
+        assert up_f.upload_s < up_s.upload_s
+        assert up_f.energy_j == pytest.approx(up_s.energy_j)

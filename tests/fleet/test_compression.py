@@ -1,0 +1,114 @@
+"""Uplink codecs: round-trip exactness, error bounds, byte accounting."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import (
+    FullIntCodec,
+    SignCodec,
+    TopKCodec,
+    corrupt_update,
+    make_codec,
+)
+from repro.hardware.faultspec import FaultSpec
+
+DELTAS = st.builds(
+    lambda seed, rows, cols, scale: np.random.default_rng(seed).integers(
+        -scale, scale + 1, size=(rows, cols)
+    ).astype(np.float64),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+    rows=st.integers(min_value=1, max_value=6),
+    cols=st.integers(min_value=1, max_value=64),
+    scale=st.integers(min_value=0, max_value=1000),
+)
+
+
+@given(delta=DELTAS)
+@settings(max_examples=60, deadline=None)
+def test_full_int_round_trips_exactly(delta):
+    codec = FullIntCodec()
+    update = codec.encode(delta)
+    np.testing.assert_array_equal(codec.decode(update), delta)
+    assert update.nbytes == 4 * delta.size
+
+
+@given(delta=DELTAS)
+@settings(max_examples=60, deadline=None)
+def test_sign_codec_error_is_bounded_per_row(delta):
+    codec = SignCodec()
+    decoded = codec.decode(codec.encode(delta))
+    err = np.abs(decoded - delta)
+    bound = SignCodec.error_bound(delta)
+    assert np.all(err.max(axis=1) <= bound + 1e-9)
+    # zero entries decode exactly (sign 0 transmits the zero)
+    np.testing.assert_array_equal(decoded[delta == 0], 0.0)
+    # sign is always preserved where the delta is nonzero
+    assert np.all(np.sign(decoded[delta != 0]) == np.sign(delta[delta != 0]))
+
+
+@given(delta=DELTAS, k=st.integers(min_value=1, max_value=80))
+@settings(max_examples=60, deadline=None)
+def test_topk_keeps_the_largest_entries_exactly(delta, k):
+    codec = TopKCodec(k)
+    decoded = codec.decode(codec.encode(delta))
+    if k >= delta.shape[1]:
+        np.testing.assert_array_equal(decoded, delta)
+        return
+    for row_in, row_out in zip(delta, decoded):
+        kept = row_out != 0
+        # kept entries are transmitted exactly
+        np.testing.assert_array_equal(row_out[kept], row_in[kept])
+        # nothing dropped is larger than the smallest kept magnitude
+        if kept.any():
+            dropped = np.abs(row_in[~kept])
+            assert (dropped.max(initial=0.0)
+                    <= np.abs(row_in[kept]).min() + 1e-9)
+
+
+def test_byte_budgets_are_ordered():
+    delta = np.random.default_rng(0).integers(
+        -50, 51, size=(8, 512)).astype(np.float64)
+    full = FullIntCodec().encode(delta).nbytes
+    sign = SignCodec().encode(delta).nbytes
+    topk = TopKCodec(32).encode(delta).nbytes
+    assert sign < topk < full
+
+
+def test_make_codec_specs():
+    assert make_codec("full").name == "full"
+    assert make_codec("sign").name == "sign"
+    assert make_codec("topk:16").k == 16
+    with pytest.raises(ValueError):
+        make_codec("topk")
+    with pytest.raises(ValueError):
+        make_codec("nope")
+
+
+def test_corrupt_update_flips_values_without_mutating_input():
+    delta = np.random.default_rng(3).integers(
+        -40, 41, size=(4, 256)).astype(np.float64)
+    codec = FullIntCodec()
+    clean = codec.encode(delta)
+    before = clean.payload["values"].copy()
+    spec = FaultSpec(error_rate=0.2, bits=8)
+    noisy = corrupt_update(clean, spec, np.random.default_rng(0))
+    np.testing.assert_array_equal(clean.payload["values"], before)
+    assert not np.array_equal(noisy.payload["values"], before)
+    assert noisy.nbytes == clean.nbytes
+
+
+def test_corrupt_update_flips_signs():
+    delta = np.ones((2, 512))
+    update = SignCodec().encode(delta)
+    spec = FaultSpec(error_rate=0.5, bits=1)
+    noisy = corrupt_update(update, spec, np.random.default_rng(1))
+    assert (noisy.payload["signs"] == -1).any()
+    # inactive spec and None are no-ops returning the same update
+    assert corrupt_update(update, None, np.random.default_rng(0)) is update
+    calm = corrupt_update(update, FaultSpec(error_rate=0.0),
+                          np.random.default_rng(0))
+    assert calm is update

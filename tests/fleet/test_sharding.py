@@ -1,0 +1,63 @@
+"""Dirichlet non-IID sharding: partition laws and skew behavior."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.fleet import dirichlet_shards, shard_summary
+
+
+@given(
+    n=st.integers(min_value=1, max_value=400),
+    n_devices=st.integers(min_value=1, max_value=32),
+    n_classes=st.integers(min_value=1, max_value=8),
+    alpha=st.floats(min_value=0.05, max_value=50.0),
+    seed=st.integers(min_value=0, max_value=2**32 - 1),
+)
+@settings(max_examples=60, deadline=None)
+def test_partition_is_disjoint_and_complete(n, n_devices, n_classes,
+                                            alpha, seed):
+    y = np.random.default_rng(seed).integers(0, n_classes, size=n)
+    shards = dirichlet_shards(y, n_devices, alpha=alpha, seed=seed)
+    assert len(shards) == n_devices
+    merged = np.concatenate(shards) if shards else np.empty(0)
+    # every sample index appears exactly once across the fleet
+    assert sorted(merged.tolist()) == list(range(n))
+
+
+def test_deterministic_for_a_seed():
+    y = np.random.default_rng(0).integers(0, 4, size=300)
+    a = dirichlet_shards(y, 16, alpha=0.3, seed=9)
+    b = dirichlet_shards(y, 16, alpha=0.3, seed=9)
+    assert all(np.array_equal(x, z) for x, z in zip(a, b))
+    c = dirichlet_shards(y, 16, alpha=0.3, seed=10)
+    assert any(not np.array_equal(x, z) for x, z in zip(a, c))
+
+
+def test_small_alpha_is_more_skewed_than_large():
+    y = np.random.default_rng(1).integers(0, 6, size=3000)
+    skew_low = shard_summary(dirichlet_shards(y, 20, alpha=0.05, seed=2), y)
+    skew_high = shard_summary(dirichlet_shards(y, 20, alpha=100.0, seed=2), y)
+    assert skew_low["label_skew"] > skew_high["label_skew"]
+    # near-IID Dirichlet should sit close to the global histogram
+    assert skew_high["label_skew"] < 0.15
+
+
+def test_summary_counts():
+    y = np.asarray([0, 0, 1, 1, 2, 2])
+    shards = dirichlet_shards(y, 3, alpha=1.0, seed=0)
+    summary = shard_summary(shards, y)
+    assert summary["samples"] == 6
+    assert summary["devices"] == 3
+    assert summary["min_shard"] + summary["max_shard"] <= 6
+
+
+def test_rejects_bad_args():
+    y = np.zeros(4, dtype=int)
+    with pytest.raises(ValueError):
+        dirichlet_shards(y, 0)
+    with pytest.raises(ValueError):
+        dirichlet_shards(y, 2, alpha=0.0)

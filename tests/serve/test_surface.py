@@ -1,0 +1,181 @@
+"""ServingSurface conformance: both backends, one contract.
+
+The shared schema test the ISSUE asked for: the threaded
+:class:`InferenceServer` and the process-sharded :class:`ShardedServer`
+must satisfy the :class:`~repro.serve.surface.ServingSurface` protocol
+structurally *and* emit :func:`~repro.serve.surface.validate_stats`-clean
+``stats()`` snapshots with identical required top-level keys, so
+consumers (stream loop, benches, fleet aggregator) can treat them
+interchangeably.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+import pytest
+
+from repro.serve import (
+    STATS_OPTIONAL_KEYS,
+    STATS_REQUIRED_KEYS,
+    InferenceServer,
+    ServeConfig,
+    ServingSurface,
+    validate_stats,
+)
+from repro.serve.sharded import ShardedServeConfig, ShardedServer
+from repro.serve.surface import ServingSurfaceBase
+
+needs_shm = pytest.mark.skipif(
+    not os.path.isdir("/dev/shm"),
+    reason="POSIX shared memory not available",
+)
+
+
+@pytest.fixture(scope="module")
+def thread_server(serve_classifier):
+    server = InferenceServer(ServeConfig(n_workers=1, max_batch=8))
+    server.register("m", serve_classifier)
+    with server:
+        yield server
+
+
+@pytest.fixture(scope="module")
+def sharded_server(serve_classifier):
+    if not os.path.isdir("/dev/shm"):
+        pytest.skip("POSIX shared memory not available")
+    server = ShardedServer(ShardedServeConfig(
+        n_shards=2, max_batch=8, max_wait=0.002, default_deadline=None,
+    ))
+    server.register("m", serve_classifier)
+    with server:
+        yield server
+
+
+class TestProtocol:
+    def test_both_backends_satisfy_the_protocol(self, thread_server,
+                                                sharded_server):
+        assert isinstance(thread_server, ServingSurface)
+        assert isinstance(sharded_server, ServingSurface)
+
+    def test_both_backends_share_the_base(self, thread_server,
+                                          sharded_server):
+        assert isinstance(thread_server, ServingSurfaceBase)
+        assert isinstance(sharded_server, ServingSurfaceBase)
+
+    def test_a_random_object_does_not(self):
+        assert not isinstance(object(), ServingSurface)
+
+
+class TestStatsSchema:
+    def test_thread_stats_validate(self, thread_server):
+        thread_server.predict("m", np.zeros(24), timeout=30.0)
+        snap = thread_server.stats()
+        validate_stats(snap)
+        assert set(snap) == STATS_REQUIRED_KEYS
+
+    @needs_shm
+    def test_sharded_stats_validate(self, sharded_server):
+        sharded_server.predict("m", np.zeros(24), timeout=30.0)
+        snap = sharded_server.stats()
+        validate_stats(snap)
+        assert set(snap) == STATS_REQUIRED_KEYS | STATS_OPTIONAL_KEYS
+
+    @needs_shm
+    def test_required_keys_agree_across_backends(self, thread_server,
+                                                 sharded_server):
+        thread_keys = set(thread_server.stats())
+        sharded_keys = set(sharded_server.stats())
+        assert thread_keys <= sharded_keys
+        assert sharded_keys - thread_keys <= STATS_OPTIONAL_KEYS
+        for key in ("queue", "policy", "resilience"):
+            assert (set(thread_server.stats()[key])
+                    == set(sharded_server.stats()[key]))
+
+    def test_validate_rejects_missing_and_unknown_keys(self, thread_server):
+        snap = thread_server.stats()
+        broken = dict(snap)
+        broken.pop("queue")
+        with pytest.raises(ValueError, match="missing required"):
+            validate_stats(broken)
+        extra = dict(snap)
+        extra["workers"] = {}  # the old pre-schema drift key
+        with pytest.raises(ValueError, match="unknown top-level"):
+            validate_stats(extra)
+
+    def test_validate_rejects_malformed_nested_dicts(self, thread_server):
+        snap = thread_server.stats()
+        bad = dict(snap)
+        bad["policy"] = {"level": 0}
+        with pytest.raises(ValueError, match="policy"):
+            validate_stats(bad)
+        bad = dict(snap)
+        bad["deployments"] = {"m": {"kind": "classifier"}}
+        with pytest.raises(ValueError, match="deployments"):
+            validate_stats(bad)
+
+    def test_illegal_extra_stats_fail_fast(self, serve_classifier):
+        class Rogue(InferenceServer):
+            def _extra_stats(self):
+                return {"not_in_schema": 1}
+
+        rogue = Rogue(ServeConfig(n_workers=1))
+        rogue.register("m", serve_classifier)
+        with pytest.raises(RuntimeError, match="outside the stats schema"):
+            rogue.stats()
+
+
+class TestPredictEncoded:
+    def test_thread_parity_with_direct_model(self, thread_server,
+                                             serve_classifier,
+                                             serve_queries):
+        dep = thread_server.registry.get("m")
+        encoded = dep.encode(serve_queries[:16])
+        via_server = thread_server.predict_encoded("m", encoded)
+        direct = serve_classifier.predict_encoded(encoded)
+        np.testing.assert_array_equal(via_server, direct)
+
+    def test_thread_dim_reduction_passthrough(self, thread_server,
+                                              serve_classifier,
+                                              serve_queries):
+        dep = thread_server.registry.get("m")
+        encoded = dep.encode(serve_queries[:8])
+        via_server = thread_server.predict_encoded("m", encoded, dim=256)
+        direct = serve_classifier.predict_encoded(encoded, dim=256)
+        np.testing.assert_array_equal(via_server, direct)
+
+    @needs_shm
+    def test_sharded_parity_with_packed_model(self, sharded_server,
+                                              serve_packed, serve_queries):
+        dep = sharded_server.registry.get("m")
+        encoded = dep.encode(serve_queries[:16])
+        via_server = sharded_server.predict_encoded("m", encoded)
+        direct = serve_packed.predict_packed(
+            serve_packed.encode_packed(serve_queries[:16]))
+        np.testing.assert_array_equal(via_server, direct)
+
+    def test_matches_the_submit_path(self, thread_server, serve_queries):
+        batch = serve_queries[:8]
+        dep = thread_server.registry.get("m")
+        side_door = thread_server.predict_encoded("m", dep.encode(batch))
+        queued = [p.label for p in
+                  thread_server.predict_many("m", batch, timeout=30.0)]
+        np.testing.assert_array_equal(side_door, queued)
+
+
+class TestUtilization:
+    def test_thread_worker_utilization_shape(self, thread_server,
+                                             serve_queries):
+        thread_server.predict_many("m", serve_queries[:8], timeout=30.0)
+        util = thread_server.worker_utilization()
+        assert set(util) >= {"busy_seconds", "served"}
+        assert len(util["busy_seconds"]) == len(util["served"])
+
+    @needs_shm
+    def test_sharded_worker_utilization_shape(self, sharded_server,
+                                              serve_queries):
+        sharded_server.predict_many("m", serve_queries[:8], timeout=60.0)
+        util = sharded_server.worker_utilization()
+        assert set(util) >= {"busy_seconds", "served"}
+        assert len(util["busy_seconds"]) == 2  # one entry per shard
